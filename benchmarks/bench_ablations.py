@@ -1,0 +1,147 @@
+"""Design-choice ablations beyond the paper's own figures (DESIGN.md §4).
+
+1. Replication headroom: how over-provisioning replicas vs the paper's
+   exact ceil(s*f/W̄) affects balance and MRAM cost.
+2. Scheduler refinement: greedy Algorithm 2 with and without the local-
+   search rebalancing pass.
+3. Optimization stack: cumulative effect of enabling placement, CAE and
+   top-k pruning one at a time.
+"""
+
+import numpy as np
+
+from benchmarks.harness import (
+    SIM_NPROBES,
+    build_pim_engine,
+    get_bundle,
+    pim_qps,
+    save_result,
+)
+from repro.analysis.report import render_table
+from repro.config import UpANNSConfig
+from repro.core.scheduling import schedule_batch
+
+
+def run_headroom_ablation():
+    bundle = get_bundle("SIFT1B", 512)
+    rows = []
+    for headroom in (1.0, 1.5, 2.0, 3.0, 4.0):
+        engine = build_pim_engine(
+            bundle,
+            nprobe=SIM_NPROBES[1],
+            upanns=UpANNSConfig(replication_headroom=headroom),
+        )
+        qps, res = pim_qps(engine, bundle.queries)
+        rows.append(
+            [
+                headroom,
+                engine.replication_factor(),
+                res.cycle_load_ratio,
+                qps,
+            ]
+        )
+    return rows
+
+
+def run_refinement_ablation():
+    bundle = get_bundle("SIFT1B", 512)
+    engine = build_pim_engine(bundle, nprobe=SIM_NPROBES[1])
+    sizes = bundle.index.ivf.cluster_sizes()
+    probes = bundle.index.ivf.search_clusters(bundle.queries, SIM_NPROBES[1])
+    greedy = schedule_batch(probes, sizes, engine.placement, refine=False)
+    refined = schedule_batch(probes, sizes, engine.placement, refine=True)
+    return greedy.load_ratio(), refined.load_ratio()
+
+
+def run_stack_ablation():
+    bundle = get_bundle("SIFT1B", 512)
+    stack = [
+        ("none (PIM-naive)", UpANNSConfig(enable_placement=False, enable_cae=False, enable_topk_pruning=False)),
+        ("+placement", UpANNSConfig(enable_placement=True, enable_cae=False, enable_topk_pruning=False)),
+        ("+CAE", UpANNSConfig(enable_placement=True, enable_cae=True, enable_topk_pruning=False)),
+        ("+topk pruning (full)", UpANNSConfig()),
+    ]
+    rows = []
+    for label, cfg in stack:
+        engine = build_pim_engine(bundle, nprobe=SIM_NPROBES[1], upanns=cfg)
+        qps, res = pim_qps(engine, bundle.queries)
+        rows.append([label, qps, res.cycle_load_ratio])
+    return rows
+
+
+def run_combo_length_ablation():
+    """Paper section 4.3: 'longer combinations can be selected if a
+    larger cache size is available'.  Sweep the mined run length."""
+    bundle = get_bundle("SIFT1B", 512)
+    rows = []
+    for length in (2, 3, 4, 5):
+        engine = build_pim_engine(
+            bundle,
+            nprobe=SIM_NPROBES[1],
+            upanns=UpANNSConfig(cae_combo_length=length),
+        )
+        qps, _ = pim_qps(engine, bundle.queries)
+        rows.append([length, engine.length_reduction_rate(), qps])
+    return rows
+
+
+def test_ablation_combo_length(run_once):
+    rows = run_once(run_combo_length_ablation)
+    text = render_table(
+        ["combo length", "length reduction", "qps"],
+        [[r[0], f"{r[1] * 100:.1f}%", r[2]] for r in rows],
+        title="Ablation: co-occurrence combination length (paper default 3)",
+        float_fmt="{:.1f}",
+    )
+    save_result("ablation_combo_length", text)
+    # Longer runs shrink covered vectors more per hit but match less
+    # often; with 4 correlated subspaces planted, length 3-4 should beat
+    # length 2 on reduction rate.
+    reductions = {r[0]: r[1] for r in rows}
+    assert reductions[3] > 0.02
+    assert max(reductions[3], reductions[4]) >= reductions[2] * 0.8
+    # All lengths keep a working engine (results exactness is covered by
+    # unit tests; here we check throughput stays in a sane band).
+    qps = [r[2] for r in rows]
+    assert max(qps) / min(qps) < 1.5
+
+
+def test_ablation_replication_headroom(run_once):
+    rows = run_once(run_headroom_ablation)
+    text = render_table(
+        ["headroom", "replicas/cluster", "max/avg cycles", "qps"],
+        rows,
+        title="Ablation: replication headroom (1.0 = paper's exact ncpy)",
+        float_fmt="{:.2f}",
+    )
+    save_result("ablation_headroom", text)
+    # More headroom -> more replicas and no worse balance.
+    replicas = [r[1] for r in rows]
+    assert replicas == sorted(replicas)
+    assert rows[-1][2] <= rows[0][2] + 0.05
+
+
+def test_ablation_scheduler_refinement(run_once):
+    greedy, refined = run_once(run_refinement_ablation)
+    text = (
+        f"greedy Algorithm 2 max/avg: {greedy:.3f}\n"
+        f"with local-search refinement: {refined:.3f}"
+    )
+    save_result("ablation_refinement", text)
+    assert refined <= greedy + 1e-9
+
+
+def test_ablation_optimization_stack(run_once):
+    rows = run_once(run_stack_ablation)
+    text = render_table(
+        ["optimizations", "qps (896-DPU equiv)", "max/avg cycles"],
+        rows,
+        title="Ablation: cumulative optimization stack",
+        float_fmt="{:.2f}",
+    )
+    save_result("ablation_stack", text)
+    qps = [r[1] for r in rows]
+    # Placement is the big win; CAE and pruning add on top.
+    assert qps[1] > qps[0]
+    assert qps[3] >= qps[1] * 0.95
+    assert qps[3] > qps[0]

@@ -1,0 +1,84 @@
+"""Figure 1: IVFPQ query-time breakdown on CPU and GPU at 1M/100M/1B.
+
+Paper setup: SIFT vectors, M=32, |C|=4096, nprobe=32.  Claims to
+reproduce: (a) the CPU bottleneck *shifts* from LUT construction at 1M
+to distance calculation at 1B (99.5 %); (b) the GPU is dominated by the
+top-k stage at every scale, increasingly so as the dataset grows.
+"""
+
+import pytest
+
+from benchmarks.harness import (
+    dataset_arrays,
+    save_result,
+    timing_scale,
+)
+from repro.analysis.report import render_table
+from repro.baselines.cpu import CpuEngine
+from repro.baselines.gpu import GpuEngine
+from repro.ivfpq import IVFPQIndex
+from repro.metrics import breakdown_percentages, dominant_stage
+
+SCALES = {"1M": 10**6, "100M": 10**8, "1B": 10**9}
+SIM_CLUSTERS = 256
+PAPER_CLUSTERS = 4096
+NPROBE = 2  # paper nprobe=32, scaled by 16 like |C|
+
+
+@pytest.fixture(scope="module")
+def m32_index():
+    ds, queries, _ = dataset_arrays("SIFT1B")
+    index = IVFPQIndex(128, SIM_CLUSTERS, 32)
+    import numpy as np
+
+    index.train(ds.vectors[:20000], n_iter=4, rng=np.random.default_rng(0))
+    index.add(ds.vectors)
+    return index, queries
+
+
+def run_breakdown(m32_index):
+    index, queries = m32_index
+    rows = []
+    shift = {}
+    for label, n in SCALES.items():
+        scale = timing_scale(n, index.ntotal, SIM_CLUSTERS, PAPER_CLUSTERS)
+        for hw, engine in (
+            ("CPU", CpuEngine(index, workload_scale=scale)),
+            ("GPU", GpuEngine(index, workload_scale=scale)),
+        ):
+            res = engine.search_batch(queries, 10, NPROBE, compute_results=False)
+            pct = breakdown_percentages(res.stage_seconds)
+            rows.append(
+                [
+                    hw,
+                    label,
+                    pct["cluster_filter"],
+                    pct["lut_construction"],
+                    pct["distance_calc"],
+                    pct["topk_selection"],
+                    dominant_stage(res.stage_seconds),
+                ]
+            )
+            shift[(hw, label)] = dominant_stage(res.stage_seconds)
+    return rows, shift
+
+
+def test_fig01_breakdown_across_scales(m32_index, run_once):
+    rows, shift = run_once(run_breakdown, m32_index)
+    text = render_table(
+        ["hw", "scale", "filter%", "LUT%", "distance%", "topk%", "bottleneck"],
+        rows,
+        title="Figure 1: IVFPQ stage breakdown (M=32, IVF4096, nprobe=32)",
+        float_fmt="{:.1f}",
+    )
+    save_result("fig01_breakdown_scale", text)
+
+    # Paper claim (a): CPU bottleneck shifts LUT -> distance with scale.
+    assert shift[("CPU", "1M")] == "lut_construction"
+    assert shift[("CPU", "1B")] == "distance_calc"
+    # Paper claim (b): GPU top-k dominates at billion scale (64 %+).
+    gpu_1b = [r for r in rows if r[0] == "GPU" and r[1] == "1B"][0]
+    assert gpu_1b[5] > 60.0
+    # CPU distance share at 1B approaches the paper's 99.5 %.
+    cpu_1b = [r for r in rows if r[0] == "CPU" and r[1] == "1B"][0]
+    assert cpu_1b[4] > 95.0

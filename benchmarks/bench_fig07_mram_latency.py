@@ -1,0 +1,42 @@
+"""Figure 7: MRAM read latency vs DMA transfer size.
+
+Paper observation: latency grows slowly from 8 B to ~256 B (setup cost
+dominated) and almost linearly beyond — therefore reads under ~256 B
+"yield greater benefits" per WRAM byte.
+"""
+
+import numpy as np
+
+from benchmarks.harness import save_result
+from repro.analysis.report import render_series
+from repro.hardware.mram import MramModel
+
+
+def run_curve():
+    model = MramModel()
+    sizes = [8, 16, 32, 64, 128, 256, 512, 1024, 2048]
+    latency = [model.latency_cycles(s) for s in sizes]
+    bandwidth = [model.effective_bandwidth_bytes_per_cycle(s) for s in sizes]
+    return sizes, latency, bandwidth
+
+
+def test_fig07_mram_latency_curve(run_once):
+    sizes, latency, bandwidth = run_once(run_curve)
+    text = render_series(
+        "bytes",
+        sizes,
+        {"latency_cycles": latency, "bytes_per_cycle": bandwidth},
+        title="Figure 7: MRAM DMA latency vs transfer size",
+        float_fmt="{:.2f}",
+    )
+    save_result("fig07_mram_latency", text)
+
+    lat = dict(zip(sizes, latency))
+    # Slow growth below the knee: 32x more data < 1.6x more latency.
+    assert lat[256] / lat[8] < 1.6
+    # Near-linear growth beyond the knee: constant marginal cost/byte.
+    marginal_lo = (lat[512] - lat[256]) / 256
+    marginal_hi = (lat[2048] - lat[1024]) / 1024
+    np.testing.assert_allclose(marginal_hi, marginal_lo, rtol=0.05)
+    # Latency is monotone.
+    assert latency == sorted(latency)

@@ -1,0 +1,65 @@
+"""Figure 10: QPS of UpANNS / PIM-naive / Faiss-CPU across datasets,
+IVF in {4096, 8192, 16384} and nprobe in {64, 128, 256} (both scaled by
+16 in simulation; reported at paper-equivalent values).
+
+Shape targets from the paper: UpANNS is the fastest PIM/CPU solution at
+every setting (1.6-4.3x over Faiss-CPU); QPS decreases with nprobe for
+every solution; UpANNS's advantage over the CPU grows with IVF (the
+CPU loses cache locality on smaller clusters); PIM-naive trails UpANNS.
+"""
+
+from benchmarks.harness import save_result
+from benchmarks.sweep_overall import run_sweep
+from repro.analysis.report import render_table
+from repro.metrics import normalize_to
+
+
+def test_fig10_qps_normalized_to_cpu(run_once):
+    results = run_once(run_sweep)
+    rows = []
+    checks_grow_with_ivf = {}
+    for r in results:
+        rows.append(
+            [
+                r["dataset"],
+                r["ivf"],
+                r["nprobe"],
+                r["cpu_qps"],
+                r["naive_qps"],
+                r["upanns_qps"],
+                r["upanns_qps"] / r["cpu_qps"],
+            ]
+        )
+        checks_grow_with_ivf.setdefault((r["dataset"], r["nprobe"]), []).append(
+            r["upanns_qps"] / r["cpu_qps"]
+        )
+    text = render_table(
+        ["dataset", "IVF", "nprobe", "CPU qps", "PIM-naive qps", "UpANNS qps", "UpANNS/CPU"],
+        rows,
+        title="Figure 10: QPS vs Faiss-CPU (paper-equivalent IVF/nprobe)",
+        float_fmt="{:.2f}",
+    )
+    save_result("fig10_qps_vs_cpu", text)
+
+    # UpANNS beats the CPU everywhere, within the paper's reported band.
+    speedups = [r["upanns_qps"] / r["cpu_qps"] for r in results]
+    assert min(speedups) > 1.0
+    assert max(speedups) < 10.0  # same order as the paper's 1.6-4.3x
+    # QPS decreases with nprobe at fixed (dataset, IVF) for all engines.
+    by_setting = {}
+    for r in results:
+        by_setting.setdefault((r["dataset"], r["ivf"]), []).append(r)
+    for rows_ in by_setting.values():
+        rows_ = sorted(rows_, key=lambda r: r["nprobe"])
+        for eng in ("cpu_qps", "upanns_qps"):
+            vals = [r[eng] for r in rows_]
+            assert vals[0] >= vals[-1]
+    # UpANNS/CPU advantage grows with IVF on average (paper section
+    # 5.2; individual cells carry +-15 % scheduling noise).
+    first = [r[0] for r in checks_grow_with_ivf.values()]
+    last = [r[-1] for r in checks_grow_with_ivf.values()]
+    import numpy as np
+
+    assert np.mean(last) >= np.mean(first) * 0.95
+    # UpANNS consistently above PIM-naive.
+    assert all(r["upanns_qps"] > r["naive_qps"] for r in results)

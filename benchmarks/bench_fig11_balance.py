@@ -1,0 +1,46 @@
+"""Figure 11: max/avg DPU workload ratio — PIM-naive vs UpANNS.
+
+Paper claims: PIM-naive's ratio is significantly above 1, *especially
+when IVF and nprobe are small*; UpANNS stays close to 1 everywhere.
+"""
+
+import numpy as np
+
+from benchmarks.harness import save_result
+from benchmarks.sweep_overall import run_sweep
+from repro.analysis.report import render_table
+
+
+def test_fig11_workload_balance(run_once):
+    results = run_once(run_sweep)
+    rows = [
+        [r["dataset"], r["ivf"], r["nprobe"], r["naive_ratio"], r["upanns_ratio"]]
+        for r in results
+    ]
+    text = render_table(
+        ["dataset", "IVF", "nprobe", "naive max/avg", "UpANNS max/avg"],
+        rows,
+        title="Figure 11: DPU workload balance (max/avg busy cycles)",
+        float_fmt="{:.2f}",
+    )
+    save_result("fig11_balance", text)
+
+    naive = np.array([r["naive_ratio"] for r in results])
+    upanns = np.array([r["upanns_ratio"] for r in results])
+    # UpANNS close to 1 under all settings; naive significantly above.
+    assert np.median(upanns) < 1.5
+    assert upanns.max() < 2.5
+    assert (naive >= upanns * 0.95).all()
+    assert naive.mean() > 2.0
+    # Naive imbalance worst at the smallest IVF x nprobe corner.
+    small = [
+        r["naive_ratio"]
+        for r in results
+        if r["ivf"] == 4096 and r["nprobe"] == 64
+    ]
+    large = [
+        r["naive_ratio"]
+        for r in results
+        if r["ivf"] == 16384 and r["nprobe"] == 256
+    ]
+    assert np.mean(small) > np.mean(large)

@@ -1,0 +1,65 @@
+"""Figure 12: UpANNS vs Faiss-GPU — QPS (a) and QPS/W (b), plus the
+per-dollar comparison from section 5.2.
+
+Shape targets: UpANNS QPS is comparable to the GPU's (same order);
+UpANNS delivers ~2x the GPU's QPS/W in most settings (paper headline
+2.3x); per-dollar QPS advantage up to ~9.3x; GPU runs out of memory on
+DEEP1B-like settings (blue-X markers).
+"""
+
+import numpy as np
+
+from benchmarks.harness import save_result
+from benchmarks.sweep_overall import run_sweep
+from repro.analysis.report import render_table
+from repro.hardware.specs import A100_PCIE_80GB, UPMEM_7_DIMMS
+
+
+def test_fig12_gpu_qps_and_energy(run_once):
+    results = run_once(run_sweep)
+    rows = []
+    for r in results:
+        if r["gpu_oom"]:
+            rows.append(
+                [r["dataset"], r["ivf"], r["nprobe"], "OOM (X)", r["upanns_qps"], "-", "-"]
+            )
+            continue
+        qps_ratio = r["upanns_qps"] / r["gpu_qps"]
+        watt_ratio = r["upanns_qps_per_w"] / r["gpu_qps_per_w"]
+        dollar_ratio = (r["upanns_qps"] / UPMEM_7_DIMMS.price_usd) / (
+            r["gpu_qps"] / A100_PCIE_80GB.price_usd
+        )
+        rows.append(
+            [
+                r["dataset"],
+                r["ivf"],
+                r["nprobe"],
+                r["gpu_qps"],
+                r["upanns_qps"],
+                watt_ratio,
+                dollar_ratio,
+            ]
+        )
+    text = render_table(
+        ["dataset", "IVF", "nprobe", "GPU qps", "UpANNS qps", "QPS/W ratio", "QPS/$ ratio"],
+        rows,
+        title="Figure 12: UpANNS vs Faiss-GPU (QPS, QPS/W, QPS/$)",
+        float_fmt="{:.2f}",
+    )
+    save_result("fig12_gpu_energy", text)
+
+    ok = [r for r in results if not r["gpu_oom"]]
+    qps_ratios = np.array([r["upanns_qps"] / r["gpu_qps"] for r in ok])
+    watt_ratios = np.array([r["upanns_qps_per_w"] / r["gpu_qps_per_w"] for r in ok])
+    # 'Comparable QPS': within the same order of magnitude everywhere.
+    assert qps_ratios.min() > 0.2 and qps_ratios.max() < 5.0
+    # Better energy efficiency in most cases (~2x on average).
+    assert np.median(watt_ratios) > 1.0
+    assert watt_ratios.max() > 1.5
+    # Per-dollar QPS strongly favors PIM (paper: up to 9.3x).
+    dollar = [
+        (r["upanns_qps"] / UPMEM_7_DIMMS.price_usd)
+        / (r["gpu_qps"] / A100_PCIE_80GB.price_usd)
+        for r in ok
+    ]
+    assert max(dollar) > 3.0

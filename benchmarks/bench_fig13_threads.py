@@ -1,0 +1,56 @@
+"""Figure 13: QPS of UpANNS vs #tasklets per DPU (1..24).
+
+Paper shape: QPS rises ~linearly with tasklet count up to 11 (the
+14-stage pipeline's reissue interval), then saturates; 11 tasklets give
+~11x the single-tasklet QPS.
+"""
+
+import numpy as np
+
+from benchmarks.harness import (
+    SIM_NPROBES,
+    build_pim_engine,
+    get_bundle,
+    pim_qps,
+    save_result,
+)
+from repro.analysis.report import render_series
+from repro.config import UpANNSConfig
+
+TASKLETS = (1, 2, 4, 8, 11, 16, 24)
+
+
+def run_thread_sweep():
+    bundle = get_bundle("SIFT1B", 512)
+    qps = []
+    for t in TASKLETS:
+        engine = build_pim_engine(
+            bundle,
+            nprobe=SIM_NPROBES[0],
+            upanns=UpANNSConfig(n_tasklets=t),
+        )
+        q, _ = pim_qps(engine, bundle.queries)
+        qps.append(q)
+    normalized = [q / qps[0] for q in qps]
+    return list(TASKLETS), qps, normalized
+
+
+def test_fig13_tasklet_scaling(run_once):
+    tasklets, qps, normalized = run_once(run_thread_sweep)
+    text = render_series(
+        "tasklets",
+        tasklets,
+        {"qps": qps, "speedup_vs_1": normalized},
+        title="Figure 13: UpANNS QPS vs #tasklets per DPU (SIFT1B-like)",
+        float_fmt="{:.2f}",
+    )
+    save_result("fig13_threads", text)
+
+    speedup = dict(zip(tasklets, normalized))
+    # Near-linear up to 11 tasklets...
+    assert speedup[8] > 5.0
+    assert speedup[11] > 7.0
+    # ...then saturation: 24 tasklets buy almost nothing over 11.
+    assert speedup[24] < speedup[11] * 1.15
+    # Monotone non-decreasing throughout.
+    assert all(b >= a * 0.98 for a, b in zip(normalized, normalized[1:]))

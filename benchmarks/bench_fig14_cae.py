@@ -1,0 +1,114 @@
+"""Figure 14: speedup from Co-occurrence Aware Encoding (CAE) vs the
+achieved vector-length reduction rate.
+
+Paper shape: performance improvement correlates positively with the
+length-reduction rate; LUT-construction time rises slightly (partial
+sums must be built); distance-calculation time falls, more so at higher
+reduction rates.
+"""
+
+import numpy as np
+
+from benchmarks.harness import (
+    N_COMPONENTS,
+    SIM_DPUS,
+    ZIPF_ALPHA,
+    build_pim_engine,
+    save_result,
+    timing_scale,
+)
+from benchmarks.harness import Bundle, N_TRAIN, TRAIN_ITERS
+from repro.analysis.report import render_table
+from repro.config import UpANNSConfig
+from repro.data import make_dataset, make_queries, zipf_weights
+from repro.data.synthetic import SIFT1B
+from repro.ivfpq import IVFPQIndex
+
+CORRELATION_LEVELS = (0, 2, 5, 8)  # correlated subspaces planted
+N = 40_000
+CLUSTERS = 256
+
+
+def make_cae_bundle(correlated: int) -> Bundle:
+    ds = make_dataset(
+        SIFT1B,
+        N,
+        n_components=N_COMPONENTS,
+        size_sigma=1.0,
+        correlated_subspaces=correlated,
+        rng=np.random.default_rng(100 + correlated),
+    )
+    pop = zipf_weights(N_COMPONENTS, ZIPF_ALPHA)
+    history = make_queries(ds, 2000, popularity=pop, rng=np.random.default_rng(5))
+    queries = make_queries(ds, 300, popularity=pop, rng=np.random.default_rng(6))
+    index = IVFPQIndex(SIFT1B.dim, CLUSTERS, SIFT1B.pq_m)
+    index.train(ds.vectors[:N_TRAIN], n_iter=TRAIN_ITERS, rng=np.random.default_rng(0))
+    index.add(ds.vectors)
+    return Bundle(
+        name=f"corr{correlated}",
+        spec=SIFT1B,
+        vectors=ds.vectors,
+        queries=queries,
+        history=history,
+        index=index,
+        sim_clusters=CLUSTERS,
+        paper_clusters=CLUSTERS * 16,
+        scale=timing_scale(SIFT1B.full_scale, N, CLUSTERS, CLUSTERS * 16),
+    )
+
+
+def run_cae_sweep():
+    rows = []
+    for corr in CORRELATION_LEVELS:
+        bundle = make_cae_bundle(corr)
+        with_cae = build_pim_engine(bundle, nprobe=8, upanns=UpANNSConfig(enable_cae=True))
+        without = build_pim_engine(bundle, nprobe=8, upanns=UpANNSConfig(enable_cae=False))
+        r_with = with_cae.search_batch(bundle.queries)
+        r_without = without.search_batch(bundle.queries)
+        rows.append(
+            {
+                "reduction": with_cae.length_reduction_rate(),
+                "speedup": r_with.qps / r_without.qps,
+                "lut_with": r_with.stage_seconds.lut_construction,
+                "lut_without": r_without.stage_seconds.lut_construction,
+                "dist_with": r_with.stage_seconds.distance_calc,
+                "dist_without": r_without.stage_seconds.distance_calc,
+            }
+        )
+    return rows
+
+
+def test_fig14_cae_improvement(run_once):
+    rows = run_once(run_cae_sweep)
+    table = [
+        [
+            f"{r['reduction'] * 100:.1f}%",
+            r["speedup"],
+            r["lut_with"] / max(r["lut_without"], 1e-12),
+            r["dist_with"] / max(r["dist_without"], 1e-12),
+        ]
+        for r in rows
+    ]
+    text = render_table(
+        ["length reduction", "QPS speedup", "LUT time ratio", "distance time ratio"],
+        table,
+        title="Figure 14: CAE speedup vs length-reduction rate",
+        float_fmt="{:.3f}",
+    )
+    save_result("fig14_cae", text)
+
+    reductions = [r["reduction"] for r in rows]
+    speedups = [r["speedup"] for r in rows]
+    # More planted correlation -> higher reduction rates.
+    assert reductions[-1] > reductions[0]
+    assert max(reductions) > 0.10
+    # Speedup correlates positively with reduction (paper's key claim).
+    corr = np.corrcoef(reductions, speedups)[0, 1]
+    assert corr > 0.8
+    # The highest-reduction setting is a real win.
+    assert speedups[-1] > 1.05
+    # LUT construction gets slightly slower (partial-sum work), distance
+    # calculation gets faster, at the high-reduction end.
+    best = rows[-1]
+    assert best["lut_with"] >= best["lut_without"] * 0.999
+    assert best["dist_with"] < best["dist_without"]

@@ -1,0 +1,58 @@
+"""Figure 17: QPS vs MRAM read size (vectors fetched per DMA).
+
+Paper shape: QPS rises quickly as the read grows from 2 to ~16 vectors,
+then flattens — consistent with the Figure 7 latency knee.  The default
+is 16 vectors: good QPS at reasonable WRAM cost.
+"""
+
+from benchmarks.harness import (
+    SIM_NPROBES,
+    build_pim_engine,
+    get_bundle,
+    pim_qps,
+    save_result,
+)
+from repro.analysis.report import render_series
+from repro.config import UpANNSConfig
+
+READ_VECTORS = (2, 4, 8, 16, 32, 64)
+
+
+def run_read_size_sweep():
+    bundle = get_bundle("SIFT1B", 512)
+    qps = []
+    wram_per_tasklet = []
+    for rv in READ_VECTORS:
+        engine = build_pim_engine(
+            bundle,
+            nprobe=SIM_NPROBES[0],
+            upanns=UpANNSConfig(mram_read_vectors=rv),
+        )
+        q, _ = pim_qps(engine, bundle.queries)
+        qps.append(q)
+        wram_per_tasklet.append(engine.wram_plan.read_buffer_bytes)
+    return list(READ_VECTORS), qps, wram_per_tasklet
+
+
+def test_fig17_mram_read_size(run_once):
+    rvs, qps, wram = run_once(run_read_size_sweep)
+    normalized = [q / qps[0] for q in qps]
+    text = render_series(
+        "vectors/read",
+        rvs,
+        {"qps": qps, "vs_2_vectors": normalized, "buffer_bytes": [float(w) for w in wram]},
+        title="Figure 17: QPS vs MRAM read size (SIFT1B-like)",
+        float_fmt="{:.3g}",
+    )
+    save_result("fig17_mram_read_size", text)
+
+    gain = dict(zip(rvs, normalized))
+    # Fast rise from 2 -> 16 vectors...
+    assert gain[16] > 1.10
+    # ...then stability: 64 vectors gain < 5 % over 16 while costing 4x
+    # the WRAM per tasklet.
+    assert gain[64] < gain[16] * 1.05
+    assert wram[-1] >= 4 * wram[3]
+    # Monotone non-decreasing up to the knee (within 2 % noise).
+    head = normalized[:4]
+    assert all(b >= a * 0.98 for a, b in zip(head, head[1:]))

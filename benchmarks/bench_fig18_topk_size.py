@@ -1,0 +1,60 @@
+"""Figure 18: QPS vs requested k (1..100) for UpANNS, Faiss-CPU and
+Faiss-GPU.
+
+Paper shape: UpANNS averages ~2.5x Faiss-CPU and ~1.6x Faiss-GPU;
+Faiss-CPU's QPS is nearly flat in k (distance-bound); UpANNS and
+Faiss-GPU degrade slightly as k grows (result-transfer and k-select
+costs respectively).
+"""
+
+import numpy as np
+
+from benchmarks.harness import (
+    build_pim_engine,
+    cpu_engine,
+    get_bundle,
+    gpu_engine,
+    pim_qps,
+    save_result,
+)
+from repro.analysis.report import render_series
+
+KS = (1, 10, 50, 100)
+NPROBE = 4
+
+
+def run_k_sweep():
+    bundle = get_bundle("SIFT1B", 256)
+    cpu = cpu_engine(bundle)
+    gpu = gpu_engine(bundle)
+    up = build_pim_engine(bundle, nprobe=NPROBE, k=max(KS))
+    cpu_qps, gpu_qps, up_qps = [], [], []
+    for k in KS:
+        cpu_qps.append(cpu.search_batch(bundle.queries, k, NPROBE, compute_results=False).qps)
+        gpu_qps.append(gpu.search_batch(bundle.queries, k, NPROBE, compute_results=False).qps)
+        q, _ = pim_qps(up, bundle.queries, k=k)
+        up_qps.append(q)
+    return list(KS), cpu_qps, gpu_qps, up_qps
+
+
+def test_fig18_topk_size(run_once):
+    ks, cpu_qps, gpu_qps, up_qps = run_once(run_k_sweep)
+    text = render_series(
+        "k",
+        ks,
+        {"Faiss-CPU": cpu_qps, "Faiss-GPU": gpu_qps, "UpANNS": up_qps},
+        title="Figure 18: QPS vs top-k size (SIFT1B-like, IVF4096, nprobe=64)",
+        float_fmt="{:.1f}",
+    )
+    save_result("fig18_topk_size", text)
+
+    # UpANNS above the CPU at every k.
+    assert all(u > c for u, c in zip(up_qps, cpu_qps))
+    # CPU nearly flat in k (< 5 % swing).
+    assert max(cpu_qps) / min(cpu_qps) < 1.05
+    # GPU and UpANNS degrade as k grows — but only mildly.
+    assert gpu_qps[-1] < gpu_qps[0]
+    assert up_qps[-1] < up_qps[0]
+    assert up_qps[-1] > up_qps[0] / 4
+    # Average advantage in the paper's reported direction.
+    assert np.mean([u / c for u, c in zip(up_qps, cpu_qps)]) > 1.5

@@ -1,0 +1,94 @@
+"""Figure 19: query-time breakdown per solution and dataset.
+
+Paper shape: Faiss-CPU spends ~99.5 % in distance calculation; the GPU
+spends >85 % in top-k (CUDA sync); UpANNS cuts the distance share to
+75-80 % with top-k at 9-17 %, growing with k.
+"""
+
+from benchmarks.harness import (
+    DATASETS,
+    build_pim_engine,
+    cpu_engine,
+    get_bundle,
+    gpu_engine,
+    save_result,
+)
+from repro.analysis.report import render_table
+from repro.metrics import breakdown_percentages
+
+NPROBE = 4
+IVF = 256
+
+
+def run_breakdowns():
+    rows = []
+    shares = {}
+    for name in DATASETS:
+        bundle = get_bundle(name, IVF)
+        engines = {
+            "Faiss-CPU": lambda b=bundle: cpu_engine(b).search_batch(
+                b.queries, 10, NPROBE, compute_results=False
+            ).stage_seconds,
+            "Faiss-GPU": lambda b=bundle: gpu_engine(b).search_batch(
+                b.queries, 10, NPROBE, compute_results=False
+            ).stage_seconds,
+            "UpANNS": lambda b=bundle: build_pim_engine(b, nprobe=NPROBE)
+            .search_batch(b.queries)
+            .stage_seconds,
+        }
+        for eng_name, fn in engines.items():
+            try:
+                stage = fn()
+            except Exception:
+                rows.append([name, eng_name, "-", "-", "-", "-"])
+                continue
+            pct = breakdown_percentages(stage)
+            rows.append(
+                [
+                    name,
+                    eng_name,
+                    pct["cluster_filter"],
+                    pct["lut_construction"],
+                    pct["distance_calc"],
+                    pct["topk_selection"],
+                ]
+            )
+            shares[(name, eng_name)] = pct
+    return rows, shares
+
+
+def run_k_growth():
+    bundle = get_bundle("SIFT1B", IVF)
+    up = build_pim_engine(bundle, nprobe=NPROBE, k=100)
+    shares = {}
+    for k in (10, 100):
+        stage = up.search_batch(bundle.queries, k=k).stage_seconds
+        shares[k] = breakdown_percentages(stage)["topk_selection"]
+    return shares
+
+
+def test_fig19_stage_breakdown(run_once):
+    (rows, shares), k_growth = run_once(lambda: (run_breakdowns(), run_k_growth()))
+    text = render_table(
+        ["dataset", "engine", "filter%", "LUT%", "distance%", "topk%"],
+        rows,
+        title="Figure 19: query-time breakdown per solution",
+        float_fmt="{:.1f}",
+    )
+    text += (
+        f"\nUpANNS top-k share: {k_growth[10]:.1f}% at k=10 -> "
+        f"{k_growth[100]:.1f}% at k=100"
+    )
+    save_result("fig19_breakdown", text)
+
+    for name in DATASETS:
+        if (name, "Faiss-CPU") in shares:
+            assert shares[(name, "Faiss-CPU")]["distance_calc"] > 95.0
+        if (name, "Faiss-GPU") in shares:
+            assert shares[(name, "Faiss-GPU")]["topk_selection"] > 70.0
+        if (name, "UpANNS") in shares:
+            up = shares[(name, "UpANNS")]
+            assert 60.0 < up["distance_calc"] < 95.0
+            assert up["topk_selection"] < 25.0
+    # UpANNS top-k share grows with k (paper: 9 % -> 17 %).
+    assert k_growth[100] > k_growth[10]

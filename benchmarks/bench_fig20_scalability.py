@@ -1,0 +1,81 @@
+"""Figure 20: UpANNS scalability in the number of DPUs.
+
+Paper methodology, reproduced literally: measure QPS at several DPU
+counts (they use 500-900 on a 500M-scale corpus), fit a linear
+regression, extrapolate to the 2560-DPU maximum, and read off (a) the
+GPU-crossover and (b) the iso-power comparison at 300 W = 1654 DPUs.
+
+In simulation we sweep 32..96 DPUs (same clusters-per-DPU fidelity
+band) and extrapolate with the same affine fit; the QPS axis is
+reported in simulator units.
+"""
+
+import numpy as np
+
+from benchmarks.harness import (
+    build_pim_engine,
+    get_bundle,
+    gpu_engine,
+    save_result,
+)
+from repro.analysis.regression import fit_scaling
+from repro.analysis.report import render_series
+from repro.hardware.power import dpus_for_power_budget
+from repro.hardware.specs import UPMEM_7_DIMMS
+
+# Simulated sweep band and the paper-equivalent points they map onto.
+SIM_DPUS_SWEEP = (32, 48, 64, 80, 96)
+DPU_RATIO = 896 / 64  # sim -> paper DPU-count mapping used elsewhere
+NPROBE = 8
+
+
+def run_scaling():
+    bundle = get_bundle("SIFT1B", 512)
+    measured = []
+    for n in SIM_DPUS_SWEEP:
+        engine = build_pim_engine(bundle, nprobe=NPROBE, n_dpus=n)
+        res = engine.search_batch(bundle.queries)
+        # Same per-DPU throughput mapping as Figures 10/12: one
+        # simulated DPU stands for DPU_RATIO paper DPUs.
+        measured.append(res.qps * DPU_RATIO)
+    paper_dpus = np.array(SIM_DPUS_SWEEP) * DPU_RATIO
+    fit = fit_scaling(paper_dpus, np.array(measured))
+    gpu_qps = gpu_engine(bundle).search_batch(
+        bundle.queries, 10, NPROBE, compute_results=False
+    ).qps
+    return paper_dpus, measured, fit, gpu_qps
+
+
+def test_fig20_scalability(run_once):
+    paper_dpus, measured, fit, gpu_qps = run_once(run_scaling)
+    predict_at = np.array([896, 1654, 2048, 2560])
+    predicted = fit.predict(predict_at)
+    text = render_series(
+        "DPUs",
+        [int(d) for d in paper_dpus] + [int(d) for d in predict_at],
+        {
+            "qps": list(measured) + [float("nan")] * 4,
+            "regression": list(fit.predict(paper_dpus)) + list(predicted),
+        },
+        title="Figure 20: UpANNS QPS vs #DPUs (measured + regression)",
+        float_fmt="{:.1f}",
+    )
+    text += f"\nfit: qps = {fit.slope:.4f} * dpus + {fit.intercept:.1f} (R^2={fit.r_squared:.3f})"
+    text += f"\nFaiss-GPU reference qps: {gpu_qps:.1f}"
+    iso_power_dpus = dpus_for_power_budget(UPMEM_7_DIMMS, 300.0)
+    text += f"\niso-power point (300 W): {iso_power_dpus} DPUs -> predicted qps {fit.predict(iso_power_dpus):.1f}"
+    if fit.slope > 0 and gpu_qps > fit.intercept:
+        text += f"\nGPU crossover at ~{fit.crossover(gpu_qps):.0f} DPUs"
+    save_result("fig20_scalability", text)
+
+    # Near-linear scaling: the affine fit explains the measurements.
+    assert fit.r_squared > 0.95
+    assert fit.slope > 0
+    # QPS increases monotonically with DPUs (up to small noise).
+    assert measured[-1] > measured[0] * 1.5
+    # At 2560 DPUs UpANNS clearly exceeds the GPU (paper: up to 2.6x).
+    assert 1.5 < fit.predict(2560) / gpu_qps < 6.0
+    # The crossover falls well before the 2560-DPU maximum.
+    assert fit.crossover(gpu_qps) < 2560
+    # At the 300 W iso-power point UpANNS beats the GPU (paper claim).
+    assert fit.predict(iso_power_dpus) > gpu_qps

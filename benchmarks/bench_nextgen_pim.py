@@ -1,0 +1,101 @@
+"""Projection: next-generation PIM hardware (paper conclusion).
+
+"Future work will ... exploit next-generation PIM hardware with higher
+frequency and bandwidth to further improve competitiveness against
+high-end accelerators."  The simulator makes this a parameter sweep:
+scale DPU frequency and MRAM bandwidth and compare the projected QPS
+against the A100 model and the paper-cited H100 figures (3.5 TB/s at
+700 W — bandwidth and power scale together, which is why the paper
+argues PIM stays the more energy-efficient option).
+"""
+
+from dataclasses import replace
+
+from benchmarks.harness import (
+    PAPER_DPUS,
+    SIM_DPUS,
+    build_pim_engine,
+    get_bundle,
+    gpu_engine,
+    save_result,
+)
+from repro.analysis.report import render_table
+from repro.hardware.mram import MramModel
+from repro.hardware.specs import UPMEM_7_DIMMS
+
+NPROBE = 8
+
+# (label, frequency multiplier, MRAM bandwidth multiplier, power multiplier)
+GENERATIONS = (
+    ("UPMEM v1 (350 MHz)", 1.0, 1.0, 1.0),
+    ("2x freq", 2.0, 1.0, 1.3),
+    ("2x freq + 2x BW", 2.0, 2.0, 1.5),
+    ("4x freq + 4x BW", 4.0, 4.0, 2.2),
+)
+
+
+def run_projection():
+    bundle = get_bundle("SIFT1B", 512)
+    gpu = gpu_engine(bundle)
+    gpu_qps = gpu.search_batch(bundle.queries, 10, NPROBE, compute_results=False).qps
+    gpu_qps_per_w = gpu_qps / 300.0
+
+    rows = []
+    base = UPMEM_7_DIMMS.with_n_dpus(SIM_DPUS)
+    for label, f_mult, bw_mult, p_mult in GENERATIONS:
+        dpu = replace(base.dpu, frequency_hz=base.dpu.frequency_hz * f_mult)
+        pim = replace(base, dpu=dpu, dimm_peak_power_w=base.dimm_peak_power_w * p_mult)
+        # MRAM latency is a *wall-clock* property: at f_mult x the core
+        # frequency the same transfer costs f_mult x the cycles unless
+        # the DRAM bandwidth itself scales by bw_mult.
+        default = MramModel()
+        cycle_mult = f_mult / bw_mult
+        mram = MramModel(
+            setup_cycles=default.setup_cycles,  # dominated by core-side logic
+            slow_rate_cycles_per_byte=default.slow_rate_cycles_per_byte * cycle_mult,
+            fast_rate_cycles_per_byte=default.fast_rate_cycles_per_byte * cycle_mult,
+        )
+        engine = build_pim_engine(bundle, nprobe=NPROBE, n_dpus=SIM_DPUS)
+        engine.config = replace(engine.config, pim=pim)
+        for d in engine.pim.dpus:
+            d.spec = dpu
+            d.mram_model = mram
+            d.__post_init__()  # rebind pipeline/barrier models
+            d.n_tasklets = engine.config.upanns.n_tasklets
+        result = engine.search_batch(bundle.queries)
+        qps = result.qps * (PAPER_DPUS / SIM_DPUS)
+        power = UPMEM_7_DIMMS.peak_power_w * p_mult
+        rows.append(
+            [
+                label,
+                qps,
+                qps / gpu_qps,
+                (qps / power) / gpu_qps_per_w,
+            ]
+        )
+    return rows, gpu_qps
+
+
+def test_nextgen_pim_projection(run_once):
+    rows, gpu_qps = run_once(run_projection)
+    text = render_table(
+        ["generation", "projected QPS", "vs A100 QPS", "vs A100 QPS/W"],
+        rows,
+        title="Next-generation PIM projection (conclusion's future work)",
+        float_fmt="{:.2f}",
+    )
+    text += f"\nA100 reference: {gpu_qps:.1f} QPS"
+    save_result("nextgen_pim", text)
+
+    qps = [r[1] for r in rows]
+    # Each generation improves throughput.
+    assert all(b > a for a, b in zip(qps, qps[1:]))
+    # Frequency alone helps less than frequency + bandwidth: the DPU is
+    # partially DMA-bound, so next-gen designs must scale both.
+    gain_freq = qps[1] / qps[0]
+    gain_both = qps[2] / qps[0]
+    assert gain_both > gain_freq
+    # Energy-efficiency lead over the A100 persists (and grows) because
+    # PIM power scales sub-linearly with its bandwidth in this model.
+    eff = [r[3] for r in rows]
+    assert eff[-1] > eff[0]

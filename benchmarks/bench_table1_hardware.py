@@ -1,0 +1,35 @@
+"""Table 1: specifications of the evaluated hardware platforms."""
+
+from benchmarks.harness import save_result
+from repro.analysis.report import render_table
+from repro.hardware.specs import TABLE1_ROWS
+
+
+def run_table():
+    return [
+        [
+            spec.name,
+            f"{spec.price_usd:,.0f} USD",
+            f"{spec.memory_gb:.0f} GB",
+            f"{spec.peak_power_w:.0f} W",
+            f"{spec.bandwidth_gb_per_s:.1f} GB/s",
+        ]
+        for spec in TABLE1_ROWS
+    ]
+
+
+def test_table1_hardware_specs(run_once):
+    rows = run_once(run_table)
+    text = render_table(
+        ["hardware", "approx. price", "memory", "peak power", "bandwidth"],
+        rows,
+        title="Table 1: evaluated hardware architectures",
+    )
+    save_result("table1_hardware", text)
+
+    # Paper's cross-platform facts: PIM is the cheapest per bandwidth
+    # and sits between CPU and GPU in aggregate bandwidth.
+    cpu, gpu, pim = TABLE1_ROWS
+    assert cpu.bandwidth_bytes_per_s < pim.bandwidth_bytes_per_s < gpu.bandwidth_bytes_per_s
+    assert pim.peak_power_w < cpu.peak_power_w < gpu.peak_power_w
+    assert pim.price_usd < gpu.price_usd

@@ -1,0 +1,76 @@
+"""The shared (dataset x IVF x nprobe) sweep behind Figures 10, 11, 12.
+
+One simulation pass per (dataset, IVF, nprobe) measures UpANNS and
+PIM-naive on the simulated PIM plus the CPU/GPU analytic models, and
+records QPS, balance ratios and efficiency.  Figures 10-12 render
+different projections of the same results, so the sweep runs once per
+pytest session and is cached here.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DeviceOutOfMemoryError
+
+from benchmarks.harness import (
+    DATASETS,
+    SIM_IVFS,
+    SIM_NPROBES,
+    SCALE_FACTOR,
+    PAPER_DPUS,
+    build_pim_engine,
+    cpu_engine,
+    get_bundle,
+    gpu_engine,
+    pim_qps,
+)
+from repro.hardware.specs import A100_PCIE_80GB, UPMEM_7_DIMMS
+
+_RESULTS: list[dict] | None = None
+
+
+def run_sweep() -> list[dict]:
+    global _RESULTS
+    if _RESULTS is not None:
+        return _RESULTS
+    results: list[dict] = []
+    for name in DATASETS:
+        for ivf in SIM_IVFS:
+            bundle = get_bundle(name, ivf)
+            cpu = cpu_engine(bundle)
+            gpu = gpu_engine(bundle)
+            for nprobe in SIM_NPROBES:
+                row: dict = {
+                    "dataset": name,
+                    "ivf": ivf * SCALE_FACTOR,  # report at paper scale
+                    "nprobe": nprobe * SCALE_FACTOR,
+                }
+                row["cpu_qps"] = cpu.search_batch(
+                    bundle.queries, 10, nprobe, compute_results=False
+                ).qps
+                try:
+                    row["gpu_qps"] = gpu.search_batch(
+                        bundle.queries, 10, nprobe, compute_results=False
+                    ).qps
+                    row["gpu_oom"] = False
+                except DeviceOutOfMemoryError:
+                    row["gpu_qps"] = float("nan")
+                    row["gpu_oom"] = True
+
+                up = build_pim_engine(bundle, nprobe=nprobe)
+                qps, res = pim_qps(up, bundle.queries)
+                row["upanns_qps"] = qps
+                row["upanns_ratio"] = res.cycle_load_ratio
+                row["upanns_qps_per_w"] = qps / UPMEM_7_DIMMS.peak_power_w
+                row["gpu_qps_per_w"] = (
+                    row["gpu_qps"] / A100_PCIE_80GB.peak_power_w
+                    if not row["gpu_oom"]
+                    else float("nan")
+                )
+
+                naive = build_pim_engine(bundle, nprobe=nprobe, naive=True)
+                qps_n, res_n = pim_qps(naive, bundle.queries)
+                row["naive_qps"] = qps_n
+                row["naive_ratio"] = res_n.cycle_load_ratio
+                results.append(row)
+    _RESULTS = results
+    return results

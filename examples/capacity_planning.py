@@ -1,0 +1,67 @@
+"""Capacity planning: how many UPMEM DIMMs does a deployment need?
+
+Uses the paper's Figure-20 methodology as a planning tool: measure QPS
+at several simulated DPU counts, fit the (near-linear) scaling curve,
+then answer two operator questions:
+
+  * how many DPUs reach a QPS target?
+  * what QPS fits inside a power budget (e.g. one A100's 300 W)?
+
+Run:  python examples/capacity_planning.py
+"""
+
+import numpy as np
+
+from repro import make_engine
+from repro.analysis.regression import fit_scaling
+from repro.data import make_dataset, make_queries, zipf_weights
+from repro.data.synthetic import SIFT1B
+from repro.hardware.power import dpus_for_power_budget
+from repro.hardware.specs import UPMEM_7_DIMMS
+
+QPS_TARGET = 4000.0
+POWER_BUDGET_W = 300.0  # one A100's peak power
+DPU_SWEEP = (32, 48, 64, 80, 96)
+
+
+def main() -> None:
+    rng = np.random.default_rng(1)
+    corpus = make_dataset(SIFT1B, 30_000, n_components=64, correlated_subspaces=4, rng=rng)
+    popularity = zipf_weights(64, 0.6)
+    history = make_queries(corpus, 2000, popularity=popularity, rng=rng)
+    queries = make_queries(corpus, 300, popularity=popularity, rng=rng)
+
+    print(f"{'DPUs':>6}  {'QPS':>10}")
+    measured = []
+    for n_dpus in DPU_SWEEP:
+        engine = make_engine(
+            dim=SIFT1B.dim,
+            n_clusters=128,
+            m=SIFT1B.pq_m,
+            nprobe=8,
+            k=10,
+            pim_spec=UPMEM_7_DIMMS.with_n_dpus(n_dpus),
+            timing_scale=1000.0,
+        )
+        engine.build(corpus.vectors, history_queries=history)
+        qps = engine.search_batch(queries).qps
+        measured.append(qps)
+        print(f"{n_dpus:6d}  {qps:10,.0f}")
+
+    fit = fit_scaling(np.array(DPU_SWEEP, dtype=float), np.array(measured))
+    print(f"\nscaling fit: qps = {fit.slope:.2f} * dpus + {fit.intercept:.1f} "
+          f"(R^2 = {fit.r_squared:.3f})")
+
+    needed = fit.crossover(QPS_TARGET)
+    dimm_size = 128
+    dimms = int(np.ceil(needed / dimm_size))
+    print(f"\nto reach {QPS_TARGET:,.0f} QPS: ~{needed:.0f} DPUs "
+          f"=> {dimms} DIMM(s) ({dimms * dimm_size} DPUs)")
+
+    budget_dpus = dpus_for_power_budget(UPMEM_7_DIMMS, POWER_BUDGET_W)
+    print(f"under a {POWER_BUDGET_W:.0f} W budget: {budget_dpus} DPUs "
+          f"=> predicted {fit.predict(budget_dpus):,.0f} QPS")
+
+
+if __name__ == "__main__":
+    main()

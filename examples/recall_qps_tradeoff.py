@@ -1,0 +1,89 @@
+"""The classic ANN evaluation: the recall-vs-QPS frontier.
+
+Sweeps nprobe to trace the accuracy/throughput trade-off for UpANNS and
+the CPU baseline, with exact ground truth from the FlatIndex — the
+operating-point picture an operator uses to choose nprobe for a target
+recall.  Also contrasts the exhaustive-PQ index (no IVF): same PQ
+distortion, but it must scan everything, which is exactly the cost the
+paper's cluster filtering avoids.
+
+Run:  python examples/recall_qps_tradeoff.py
+"""
+
+import numpy as np
+
+from repro import CpuEngine, make_engine
+from repro.data import make_dataset, make_queries, zipf_weights
+from repro.hardware.specs import UPMEM_7_DIMMS
+from repro.data.synthetic import SIFT1B
+from repro.ivfpq import FlatIndex, recall_at_k
+from repro.ivfpq.pq_index import PQIndex
+
+N = 30_000
+TIMING_SCALE = 1000.0
+
+
+def main() -> None:
+    rng = np.random.default_rng(5)
+    dataset = make_dataset(SIFT1B, N, n_components=64, correlated_subspaces=4, rng=rng)
+    popularity = zipf_weights(64, 0.6)
+    history = make_queries(dataset, 2000, popularity=popularity, rng=rng)
+    queries = make_queries(dataset, 200, popularity=popularity, rng=rng)
+
+    print("Computing exact ground truth...")
+    flat = FlatIndex(SIFT1B.dim)
+    flat.add(dataset.vectors)
+    _, gt = flat.search(queries, 10)
+
+    print("Building the shared IVFPQ index (|C|=128)...")
+    engine = make_engine(
+        dim=SIFT1B.dim, n_clusters=128, m=SIFT1B.pq_m,
+        nprobe=1, k=10, pim_spec=UPMEM_7_DIMMS.with_n_dpus(128), timing_scale=TIMING_SCALE,
+    )
+    engine.build(dataset.vectors, history_queries=history)
+    cpu = CpuEngine(engine.index, workload_scale=TIMING_SCALE)
+
+    sweep = (1, 2, 4, 8, 16, 32)
+    frontier = []
+    for nprobe in sweep:
+        probes = engine.index.ivf.search_clusters(queries, nprobe)
+        res = engine.search_batch(queries, probes=[row for row in probes])
+        r_cpu = cpu.search_batch(queries, 10, nprobe, compute_results=False)
+        recall = recall_at_k(res.ids, gt, 10)
+        frontier.append((nprobe, recall, res.qps, r_cpu.qps))
+
+    # Normalize each engine to its own most-expensive setting so the
+    # frontier (recall bought per throughput given up) is comparable.
+    up_base = frontier[-1][2]
+    cpu_base = frontier[-1][3]
+    print(f"\n{'nprobe':>6}  {'recall@10':>9}  {'UpANNS rel-QPS':>14}  {'CPU rel-QPS':>11}")
+    for nprobe, recall, up_qps, cpu_qps in frontier:
+        print(
+            f"{nprobe:6d}  {recall:9.3f}  {up_qps / up_base:14.2f}  "
+            f"{cpu_qps / cpu_base:11.2f}"
+        )
+
+    # The exhaustive-PQ contrast: best-possible PQ recall, worst scan.
+    print("\nExhaustive PQ (no IVF) for contrast:")
+    pq = PQIndex(SIFT1B.dim, SIFT1B.pq_m)
+    pq.train(dataset.vectors, n_iter=5, rng=rng)
+    pq.add(dataset.vectors)
+    _, pq_ids = pq.search(queries, 10)
+    ceiling = recall_at_k(pq_ids, gt, 10)
+    scanned_ratio = pq.scanned_points(1) / (
+        engine.index.scanned_points(queries, 8).mean()
+    )
+    print(f"  recall ceiling (all points scanned): {ceiling:.3f}")
+    print(f"  ...at {scanned_ratio:.0f}x the scan volume of IVFPQ @ nprobe=8")
+
+    best = max(frontier, key=lambda f: f[1])
+    print(
+        f"\nAt nprobe={best[0]} the IVFPQ engines reach recall {best[1]:.3f} —"
+        f"\nresidual encoding even beats the plain-PQ ceiling ({ceiling:.3f})"
+        f"\nwhile scanning a small fraction of the corpus.  Past that point,"
+        f"\nmore probes only cost throughput: pick the knee."
+    )
+
+
+if __name__ == "__main__":
+    main()

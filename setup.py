@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+Enables legacy `pip install -e . --no-build-isolation` editable installs;
+all real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

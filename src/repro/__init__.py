@@ -1,0 +1,72 @@
+"""UpANNS reproduction: billion-scale ANNS on a simulated UPMEM PIM.
+
+Public API
+----------
+The most common entry points are re-exported here:
+
+* :class:`~repro.core.engine.UpANNSEngine` / :func:`~repro.core.engine.make_engine`
+  — the paper's system (build + batch search on the PIM simulator);
+* :class:`~repro.baselines.cpu.CpuEngine`, :class:`~repro.baselines.gpu.GpuEngine`,
+  :func:`~repro.baselines.pim_naive.make_pim_naive` — the compared baselines;
+* :class:`~repro.ivfpq.index.IVFPQIndex`, :class:`~repro.ivfpq.flat.FlatIndex`
+  — the reference algorithm stack and exact ground truth;
+* :mod:`repro.data` — synthetic SIFT/DEEP/SPACEV-like datasets and workloads.
+
+See README.md for the architecture overview and DESIGN.md for the
+paper-to-module map.
+"""
+
+from repro.config import IndexConfig, QueryConfig, SystemConfig, UpANNSConfig
+from repro.baselines import CpuEngine, GpuEngine, make_pim_naive
+from repro.core import (
+    BatchResult,
+    IVFFlatPimEngine,
+    MultiHostEngine,
+    OnlineService,
+    UpANNSEngine,
+    make_engine,
+    make_flat_engine,
+)
+from repro.data import make_dataset, make_queries
+from repro.ivfpq import (
+    FlatIndex,
+    IVFFlatIndex,
+    IVFPQIndex,
+    PQIndex,
+    load_index,
+    recall_1_at_k,
+    recall_at_k,
+    save_index,
+)
+from repro.metrics import LatencyRecorder
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BatchResult",
+    "CpuEngine",
+    "FlatIndex",
+    "GpuEngine",
+    "IVFFlatIndex",
+    "IVFFlatPimEngine",
+    "IVFPQIndex",
+    "LatencyRecorder",
+    "MultiHostEngine",
+    "OnlineService",
+    "PQIndex",
+    "IndexConfig",
+    "QueryConfig",
+    "SystemConfig",
+    "UpANNSConfig",
+    "UpANNSEngine",
+    "__version__",
+    "load_index",
+    "make_dataset",
+    "make_engine",
+    "make_flat_engine",
+    "make_pim_naive",
+    "save_index",
+    "make_queries",
+    "recall_1_at_k",
+    "recall_at_k",
+]

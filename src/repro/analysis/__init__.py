@@ -1,0 +1,15 @@
+"""Analysis helpers: scalability regression, reporting, sweeps."""
+
+from repro.analysis.regression import ScalingFit, fit_scaling
+from repro.analysis.report import render_bar, render_series, render_table
+from repro.analysis.sweep import Sweep, SweepResult
+
+__all__ = [
+    "ScalingFit",
+    "Sweep",
+    "SweepResult",
+    "fit_scaling",
+    "render_bar",
+    "render_series",
+    "render_table",
+]

@@ -1,0 +1,49 @@
+"""Scalability regression (paper Figure 20).
+
+The paper measures QPS at 500-900 DPUs and fits a regression to predict
+throughput up to the 2560-DPU maximum a host can hold, then reads off
+the GPU-crossover point and the iso-power (300 W = 1654 DPUs)
+comparison.  :class:`ScalingFit` reproduces that methodology: an affine
+least-squares fit with an R^2 quality check and prediction helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ScalingFit:
+    """Affine fit qps ≈ slope * n_dpus + intercept."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, n_dpus) -> np.ndarray:
+        n = np.asarray(n_dpus, dtype=np.float64)
+        return self.slope * n + self.intercept
+
+    def crossover(self, target_qps: float) -> float:
+        """DPU count at which predicted QPS reaches ``target_qps``."""
+        if self.slope <= 0:
+            raise ConfigError("non-positive slope: no crossover exists")
+        return (target_qps - self.intercept) / self.slope
+
+
+def fit_scaling(n_dpus: np.ndarray, qps: np.ndarray) -> ScalingFit:
+    """Least-squares affine fit of QPS against DPU count."""
+    n = np.asarray(n_dpus, dtype=np.float64)
+    q = np.asarray(qps, dtype=np.float64)
+    if n.shape != q.shape or n.size < 2:
+        raise ConfigError("need >= 2 aligned (n_dpus, qps) samples")
+    slope, intercept = np.polyfit(n, q, 1)
+    pred = slope * n + intercept
+    ss_res = float(((q - pred) ** 2).sum())
+    ss_tot = float(((q - q.mean()) ** 2).sum())
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return ScalingFit(slope=float(slope), intercept=float(intercept), r_squared=r2)

@@ -1,0 +1,76 @@
+"""ASCII table / series rendering shared by every bench harness.
+
+Each bench regenerates a paper exhibit as rows or series printed to
+stdout; these helpers keep the output format consistent and readable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigError
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str = "",
+    float_fmt: str = "{:.3g}",
+) -> str:
+    """Render a fixed-width table with per-column alignment."""
+    rendered_rows: list[list[str]] = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ConfigError("row width does not match headers")
+        rendered_rows.append(
+            [
+                float_fmt.format(cell) if isinstance(cell, float) else str(cell)
+                for cell in row
+            ]
+        )
+    widths = [
+        max(len(h), *(len(r[i]) for r in rendered_rows)) if rendered_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rendered_rows:
+        lines.append("  ".join(r[i].ljust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    xs: Sequence[object],
+    series: dict[str, Sequence[float]],
+    *,
+    title: str = "",
+    float_fmt: str = "{:.3g}",
+) -> str:
+    """Render one x-column plus one column per named series.
+
+    This is the textual equivalent of a line plot: each paper figure's
+    series becomes a column so trends and crossovers are readable.
+    """
+    headers = [x_label, *series.keys()]
+    rows = []
+    for i, x in enumerate(xs):
+        row: list[object] = [x]
+        for name, values in series.items():
+            if len(values) != len(xs):
+                raise ConfigError(f"series {name!r} length mismatch")
+            row.append(float(values[i]))
+        rows.append(row)
+    return render_table(headers, rows, title=title, float_fmt=float_fmt)
+
+
+def render_bar(value: float, max_value: float, width: int = 40) -> str:
+    """A proportional ASCII bar for breakdown visualizations."""
+    if max_value <= 0:
+        raise ConfigError("max_value must be positive")
+    filled = int(round(width * min(value, max_value) / max_value))
+    return "#" * filled + "." * (width - filled)

@@ -1,0 +1,53 @@
+"""Parameter-sweep harness shared by the benchmark scripts."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Any, Callable, Iterable
+
+
+@dataclass
+class SweepResult:
+    """One point of a sweep: the parameters plus measured outputs."""
+
+    params: dict[str, Any]
+    outputs: dict[str, float]
+
+    def __getitem__(self, key: str) -> Any:
+        if key in self.params:
+            return self.params[key]
+        return self.outputs[key]
+
+
+@dataclass
+class Sweep:
+    """Cartesian-product sweep runner with labeled axes.
+
+    ``run`` calls ``fn(**params)`` for every combination; ``fn`` returns
+    a dict of measured outputs.  Results are kept in declaration order
+    so benches can group/pivot deterministically.
+    """
+
+    axes: dict[str, Iterable[Any]]
+    results: list[SweepResult] = field(default_factory=list)
+
+    def run(self, fn: Callable[..., dict[str, float]]) -> list[SweepResult]:
+        keys = list(self.axes)
+        for values in product(*(list(self.axes[k]) for k in keys)):
+            params = dict(zip(keys, values))
+            outputs = fn(**params)
+            self.results.append(SweepResult(params=params, outputs=outputs))
+        return self.results
+
+    def where(self, **conditions: Any) -> list[SweepResult]:
+        """Filter results by exact parameter matches."""
+        out = []
+        for r in self.results:
+            if all(r.params.get(k) == v for k, v in conditions.items()):
+                out.append(r)
+        return out
+
+    def column(self, output_key: str, **conditions: Any) -> list[float]:
+        """Extract one output across the filtered results, in order."""
+        return [r.outputs[output_key] for r in self.where(**conditions)]

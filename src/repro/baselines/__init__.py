@@ -1,0 +1,14 @@
+"""Baseline systems the paper compares against: Faiss-CPU-like,
+Faiss-GPU-like (A100 model) and PIM-naive."""
+
+from repro.baselines.cpu import BaselineBatchResult, CpuEngine
+from repro.baselines.gpu import GpuEngine
+from repro.baselines.pim_naive import PIM_NAIVE_CONFIG, make_pim_naive
+
+__all__ = [
+    "BaselineBatchResult",
+    "CpuEngine",
+    "GpuEngine",
+    "PIM_NAIVE_CONFIG",
+    "make_pim_naive",
+]

@@ -1,0 +1,59 @@
+"""PIM-naive baseline (paper section 5.1).
+
+"PIM-naive is the naive implementation of IVFPQ on PIM with our PIM
+resource management strategy" — i.e. it keeps Opt2 (thread scheduling,
+WRAM reuse) but drops Opt1 (random, non-replicated placement; forced
+scheduling), Opt3 (plain PQ codes) and Opt4 (un-pruned top-k merge).
+It also ships non-uniform host<->DPU buffers, paying the serialized
+transfer penalty UpANNS avoids by padding.
+
+Implemented as a configuration of the shared
+:class:`~repro.core.engine.UpANNSEngine`, so the two systems differ by
+exactly the optimizations under study and nothing else.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import IndexConfig, QueryConfig, SystemConfig, UpANNSConfig
+from repro.core.engine import UpANNSEngine
+from repro.hardware.specs import PimSystemSpec, UPMEM_7_DIMMS
+
+PIM_NAIVE_CONFIG = UpANNSConfig(
+    enable_placement=False,
+    enable_cae=False,
+    enable_topk_pruning=False,
+)
+
+
+def make_pim_naive(
+    dim: int,
+    *,
+    n_clusters: int,
+    m: int,
+    nprobe: int,
+    k: int = 10,
+    pim_spec: PimSystemSpec | None = None,
+    batch_size: int = 1000,
+    train_iters: int = 8,
+    timing_scale: float = 1.0,
+    n_tasklets: int = 11,
+    mram_read_vectors: int = 16,
+) -> UpANNSEngine:
+    """Construct the PIM-naive engine with the given geometry."""
+    upanns = UpANNSConfig(
+        enable_placement=False,
+        enable_cae=False,
+        enable_topk_pruning=False,
+        n_tasklets=n_tasklets,
+        mram_read_vectors=mram_read_vectors,
+    )
+    cfg = SystemConfig(
+        index=IndexConfig(dim=dim, n_clusters=n_clusters, m=m, train_iters=train_iters),
+        query=QueryConfig(nprobe=nprobe, k=k, batch_size=batch_size),
+        upanns=upanns,
+        pim=pim_spec if pim_spec is not None else UPMEM_7_DIMMS,
+        timing_scale=timing_scale,
+    )
+    return UpANNSEngine(cfg)

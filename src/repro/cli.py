@@ -1,0 +1,211 @@
+"""Command-line interface: generate / build / search / bench / specs.
+
+Usage examples::
+
+    python -m repro.cli generate --out corpus.fvecs --n 30000 --spec SIFT1B
+    python -m repro.cli build --vectors corpus.fvecs --index index.npz \
+        --clusters 128 --m 16
+    python -m repro.cli search --index index.npz --queries queries.fvecs \
+        --k 10 --nprobe 8
+    python -m repro.cli bench --n 30000 --clusters 128
+    python -m repro.cli specs
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.analysis.report import render_table
+from repro.baselines.cpu import CpuEngine
+from repro.config import IndexConfig, QueryConfig, SystemConfig, UpANNSConfig
+from repro.core.engine import UpANNSEngine
+from repro.data.loader import read_vecs, write_vecs
+from repro.data.synthetic import ALL_SPECS, make_dataset, make_queries
+from repro.data.skew import zipf_weights
+from repro.hardware.specs import TABLE1_ROWS, UPMEM_7_DIMMS
+from repro.ivfpq import IVFPQIndex
+from repro.ivfpq.io import load_index, save_index
+
+_SPECS = {spec.name: spec for spec in ALL_SPECS}
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    spec = _SPECS[args.spec]
+    rng = np.random.default_rng(args.seed)
+    dataset = make_dataset(
+        spec,
+        args.n,
+        n_components=args.components,
+        correlated_subspaces=args.correlated,
+        rng=rng,
+    )
+    write_vecs(args.out, dataset.vectors)
+    print(f"wrote {args.n} x {spec.dim} vectors to {args.out}")
+    if args.queries_out:
+        popularity = zipf_weights(args.components, args.zipf_alpha)
+        queries = make_queries(dataset, args.n_queries, popularity=popularity, rng=rng)
+        write_vecs(args.queries_out, queries)
+        print(f"wrote {args.n_queries} queries to {args.queries_out}")
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    vectors = read_vecs(args.vectors).astype(np.float32)
+    print(f"loaded {vectors.shape[0]} x {vectors.shape[1]} vectors")
+    index = IVFPQIndex(vectors.shape[1], args.clusters, args.m, args.nbits)
+    t0 = time.time()
+    index.train(vectors, n_iter=args.train_iters, rng=np.random.default_rng(args.seed))
+    index.add(vectors)
+    print(f"trained IVF{args.clusters} x PQ{args.m} in {time.time() - t0:.1f}s")
+    save_index(args.index, index)
+    print(f"saved index to {args.index}")
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    index = load_index(args.index)
+    queries = read_vecs(args.queries).astype(np.float32)
+    print(
+        f"index: {index.ntotal} vectors, IVF{index.n_clusters} x PQ{index.m}; "
+        f"{queries.shape[0]} queries"
+    )
+    cfg = SystemConfig(
+        index=IndexConfig(
+            dim=index.dim, n_clusters=index.n_clusters, m=index.m, nbits=index.nbits
+        ),
+        query=QueryConfig(nprobe=args.nprobe, k=args.k, batch_size=queries.shape[0]),
+        upanns=UpANNSConfig(),
+        pim=UPMEM_7_DIMMS,
+        timing_scale=args.timing_scale,
+    )
+    engine = UpANNSEngine(cfg)
+    engine.build(np.empty((0, index.dim), np.float32), prebuilt_index=index)
+    result = engine.search_batch(queries)
+    print(f"modeled QPS: {result.qps:,.1f}   balance max/avg: {result.cycle_load_ratio:.2f}")
+    for i in range(min(args.show, queries.shape[0])):
+        print(f"q{i}: {result.ids[i].tolist()}")
+    if args.groundtruth:
+        from repro.data.groundtruth import load_groundtruth
+        from repro.ivfpq.recall import recall_at_k
+
+        _, gt = load_groundtruth(args.groundtruth)
+        print(f"recall@{args.k}: {recall_at_k(result.ids, gt, args.k):.3f}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    spec = _SPECS[args.spec]
+    rng = np.random.default_rng(args.seed)
+    dataset = make_dataset(
+        spec, args.n, n_components=64, correlated_subspaces=4, rng=rng
+    )
+    popularity = zipf_weights(64, 0.6)
+    history = make_queries(dataset, 2000, popularity=popularity, rng=rng)
+    queries = make_queries(dataset, args.n_queries, popularity=popularity, rng=rng)
+
+    cfg = SystemConfig(
+        index=IndexConfig(dim=spec.dim, n_clusters=args.clusters, m=spec.pq_m, train_iters=5),
+        query=QueryConfig(nprobe=args.nprobe, k=args.k, batch_size=args.n_queries),
+        pim=UPMEM_7_DIMMS,
+        timing_scale=args.timing_scale,
+    )
+    engine = UpANNSEngine(cfg)
+    print("building UpANNS engine...")
+    engine.build(dataset.vectors, history_queries=history)
+    cpu = CpuEngine(engine.index, workload_scale=args.timing_scale)
+    r_pim = engine.search_batch(queries)
+    r_cpu = cpu.search_batch(queries, args.k, args.nprobe, compute_results=False)
+    print(
+        render_table(
+            ["engine", "QPS", "QPS/W"],
+            [
+                ["Faiss-CPU (modeled)", r_cpu.qps, r_cpu.qps / 190.0],
+                [
+                    "UpANNS (896 DPUs)",
+                    r_pim.qps,
+                    r_pim.qps / UPMEM_7_DIMMS.peak_power_w,
+                ],
+            ],
+            float_fmt="{:.1f}",
+        )
+    )
+    print(f"speedup: {r_pim.qps / r_cpu.qps:.2f}x")
+    return 0
+
+
+def _cmd_specs(_args: argparse.Namespace) -> int:
+    rows = [
+        [s.name, f"{s.price_usd:,.0f}", f"{s.memory_gb:.0f} GB",
+         f"{s.peak_power_w:.0f} W", f"{s.bandwidth_gb_per_s:.1f} GB/s"]
+        for s in TABLE1_ROWS
+    ]
+    print(render_table(["hardware", "price USD", "memory", "power", "bandwidth"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="UpANNS reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic corpus")
+    gen.add_argument("--out", required=True)
+    gen.add_argument("--queries-out", default=None)
+    gen.add_argument("--spec", choices=sorted(_SPECS), default="SIFT1B")
+    gen.add_argument("--n", type=int, default=30_000)
+    gen.add_argument("--n-queries", type=int, default=500)
+    gen.add_argument("--components", type=int, default=64)
+    gen.add_argument("--correlated", type=int, default=4)
+    gen.add_argument("--zipf-alpha", type=float, default=0.6)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.set_defaults(func=_cmd_generate)
+
+    build = sub.add_parser("build", help="train and save an IVFPQ index")
+    build.add_argument("--vectors", required=True)
+    build.add_argument("--index", required=True)
+    build.add_argument("--clusters", type=int, default=128)
+    build.add_argument("--m", type=int, default=16)
+    build.add_argument("--nbits", type=int, default=8)
+    build.add_argument("--train-iters", type=int, default=8)
+    build.add_argument("--seed", type=int, default=0)
+    build.set_defaults(func=_cmd_build)
+
+    search = sub.add_parser("search", help="search a saved index on PIM")
+    search.add_argument("--index", required=True)
+    search.add_argument("--queries", required=True)
+    search.add_argument("--k", type=int, default=10)
+    search.add_argument("--nprobe", type=int, default=8)
+    search.add_argument("--timing-scale", type=float, default=1.0)
+    search.add_argument("--show", type=int, default=3)
+    search.add_argument("--groundtruth", default=None)
+    search.set_defaults(func=_cmd_search)
+
+    bench = sub.add_parser("bench", help="quick UpANNS-vs-CPU comparison")
+    bench.add_argument("--spec", choices=sorted(_SPECS), default="SIFT1B")
+    bench.add_argument("--n", type=int, default=30_000)
+    bench.add_argument("--n-queries", type=int, default=300)
+    bench.add_argument("--clusters", type=int, default=128)
+    bench.add_argument("--nprobe", type=int, default=8)
+    bench.add_argument("--k", type=int, default=10)
+    bench.add_argument("--timing-scale", type=float, default=1000.0)
+    bench.add_argument("--seed", type=int, default=0)
+    bench.set_defaults(func=_cmd_bench)
+
+    specs = sub.add_parser("specs", help="print the Table-1 hardware specs")
+    specs.set_defaults(func=_cmd_specs)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,596 @@
+"""The UpANNS engine: offline build + online batch search (paper section 3).
+
+Offline: train IVFPQ, mine co-occurrences and re-encode clusters (Opt3),
+place cluster replicas across DPUs from the access trace (Opt1), load
+MRAM and plan WRAM (Opt2).  Online: host-side cluster filtering and
+greedy scheduling (Opt1), per-DPU kernel execution (Opt2/3/4), host-side
+aggregation.  Functional results are exact IVFPQ results; timing comes
+from the hardware models.
+
+Setting ``enable_placement/enable_cae/enable_topk_pruning`` to False
+turns the engine into the paper's PIM-naive baseline (same resource
+management, none of the UpANNS optimizations).
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import IndexConfig, QueryConfig, SystemConfig, UpANNSConfig
+from repro.errors import ConfigError, NotTrainedError
+from repro.core.cooccurrence import mine_combinations
+from repro.core.encoding import encode_cluster
+from repro.core.kernel import (
+    ClusterPayload,
+    DpuWorkLog,
+    KernelConfig,
+    run_query_on_dpu,
+)
+from repro.core.memory_plan import WramPlan, plan_wram
+from repro.core.placement import Placement, place_clusters, random_placement
+from repro.core.scheduling import Assignment, schedule_batch
+from repro.core.topk import HeapStats
+from repro.hardware.counters import StageCycles
+from repro.hardware.host import HostModel
+from repro.hardware.rank import PimSystem
+from repro.ivfpq.adc import topk_from_distances
+from repro.ivfpq.index import IVFPQIndex
+from repro.workload.trace import AccessTrace
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class OfflineStats:
+    """What the offline phase cost and produced (reported by build()).
+
+    ``mram_load_seconds`` models pushing every cluster replica from the
+    host into MRAM.  Per-DPU payloads are naturally non-uniform, so the
+    transfer serializes (paper section 2.2) — a one-time cost the online
+    phase then amortizes.
+    """
+
+    mram_load_seconds: float = 0.0
+    mram_load_parallel: bool = False
+    total_payload_bytes: int = 0
+    replication_overhead: float = 1.0  # stored bytes / unique bytes
+
+    def amortized_over(self, n_queries: int, batch_qps: float) -> float:
+        """Fraction of total serving time the load cost represents after
+        ``n_queries`` have been served at ``batch_qps``."""
+        if n_queries <= 0 or batch_qps <= 0:
+            raise ConfigError("need positive query volume and QPS")
+        serve_s = n_queries / batch_qps
+        return self.mram_load_seconds / (self.mram_load_seconds + serve_s)
+
+
+@dataclass
+class BatchTiming:
+    """Where one batch's wall-clock time went (modeled seconds)."""
+
+    host_filter_s: float = 0.0
+    host_schedule_s: float = 0.0
+    transfer_in_s: float = 0.0
+    dpu_makespan_s: float = 0.0
+    transfer_out_s: float = 0.0
+    host_aggregate_s: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        return (
+            self.host_filter_s
+            + self.host_schedule_s
+            + self.transfer_in_s
+            + self.dpu_makespan_s
+            + self.transfer_out_s
+            + self.host_aggregate_s
+        )
+
+
+@dataclass
+class BatchResult:
+    """Functional + modeled-timing outcome of one batch."""
+
+    ids: np.ndarray  # (nq, k) int64, -1 padded
+    distances: np.ndarray  # (nq, k) float32, inf padded
+    timing: BatchTiming
+    stage_seconds: StageCycles  # breakdown incl. host filter (Figure 19)
+    assignment: Assignment
+    heap_stats: HeapStats
+    cycle_load_ratio: float  # measured max/mean DPU busy cycles
+    dpu_busy_seconds: np.ndarray = field(default_factory=lambda: np.zeros(0))
+
+    @property
+    def qps(self) -> float:
+        n = self.ids.shape[0]
+        total = self.timing.total_s
+        return n / total if total > 0 else float("inf")
+
+    def energy_report(self, pim_spec) -> dict[str, float]:
+        """Activity-based energy accounting for this batch (J, J/query,
+        idle-energy share) next to the paper's peak-power figure."""
+        from repro.hardware.energy import batch_energy_report
+
+        return batch_energy_report(
+            pim_spec,
+            self.dpu_busy_seconds,
+            self.timing.dpu_makespan_s,
+            self.ids.shape[0],
+        )
+
+
+@dataclass
+class UpANNSEngine:
+    """Facade over the full UpANNS system."""
+
+    config: SystemConfig
+    index: IVFPQIndex = field(init=False)
+    pim: PimSystem = field(init=False)
+    host: HostModel = field(default_factory=HostModel)
+    placement: Placement | None = None
+    wram_plan: WramPlan | None = None
+    trace: AccessTrace | None = None
+    offline: OfflineStats | None = None
+    _payloads: list[ClusterPayload] = field(default_factory=list)
+    _sizes: np.ndarray | None = None
+    _owned: np.ndarray | None = None
+    _built: bool = False
+
+    def __post_init__(self) -> None:
+        ic = self.config.index
+        self.index = IVFPQIndex(ic.dim, ic.n_clusters, ic.m, ic.nbits)
+
+    # ------------------------------------------------------------------
+    # Offline phase
+    # ------------------------------------------------------------------
+
+    def build(
+        self,
+        vectors: np.ndarray,
+        *,
+        frequencies: np.ndarray | None = None,
+        history_queries: np.ndarray | None = None,
+        train_vectors: np.ndarray | None = None,
+        prebuilt_index: IVFPQIndex | None = None,
+        cluster_subset: np.ndarray | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> "UpANNSEngine":
+        """Run the complete offline pipeline of Figure 5 (top).
+
+        Cluster access frequencies for Algorithm 1 come from, in order of
+        preference: an explicit ``frequencies`` vector, a sample of
+        ``history_queries`` (filtered through the freshly-trained coarse
+        quantizer, mirroring how the paper derives f_i from historical
+        access patterns), or a uniform prior.
+
+        ``cluster_subset`` restricts which clusters this engine owns
+        (places in MRAM) — the multi-host extension of paper section 5.5
+        shards the global cluster set across hosts this way.  Queries
+        must then arrive with externally computed ``probes`` limited to
+        owned clusters.
+        """
+        ic, uc = self.config.index, self.config.upanns
+        rng = rng if rng is not None else np.random.default_rng(0)
+        vectors = np.ascontiguousarray(np.atleast_2d(vectors), dtype=np.float32)
+
+        if prebuilt_index is not None:
+            if not prebuilt_index.is_trained or prebuilt_index.ntotal == 0:
+                raise NotTrainedError("prebuilt_index must be trained and populated")
+            if (prebuilt_index.dim, prebuilt_index.n_clusters, prebuilt_index.m) != (
+                ic.dim,
+                ic.n_clusters,
+                ic.m,
+            ):
+                raise ConfigError("prebuilt_index geometry does not match config")
+            self.index = prebuilt_index
+        else:
+            train = train_vectors if train_vectors is not None else vectors
+            self.index.train(train, n_iter=ic.train_iters, rng=rng)
+            self.index.add(vectors)
+
+        sizes = self.index.ivf.cluster_sizes()
+        self._sizes = sizes
+        self.trace = AccessTrace(ic.n_clusters)
+        if frequencies is None and history_queries is not None:
+            hist_probes = self.index.ivf.search_clusters(
+                np.atleast_2d(history_queries), self.config.query.nprobe
+            )
+            self.trace.record_batch(hist_probes)
+            frequencies = self.trace.frequencies()
+        elif frequencies is None:
+            frequencies = np.full(ic.n_clusters, 1.0 / ic.n_clusters)
+        else:
+            frequencies = np.asarray(frequencies, dtype=np.float64)
+            frequencies = frequencies / frequencies.sum()
+
+        if cluster_subset is not None:
+            owned = np.zeros(ic.n_clusters, dtype=bool)
+            owned[np.asarray(cluster_subset, dtype=np.int64)] = True
+        else:
+            owned = np.ones(ic.n_clusters, dtype=bool)
+        self._owned = owned
+
+        self._payloads = self._encode_payloads()
+        self._place_and_load(frequencies, rng)
+        self.wram_plan = self._plan_wram()
+        self.offline = self._offline_stats()
+        self._built = True
+        logger.info(
+            "built UpANNS: %d clusters on %d DPUs, %.2f replicas/cluster, "
+            "CAE length reduction %.1f%%, %d tasklets/DPU",
+            int(owned.sum()),
+            self.config.pim.n_dpus,
+            self.replication_factor(),
+            self.length_reduction_rate() * 100,
+            self.pim.dpus[0].n_tasklets,
+        )
+        return self
+
+    def _encode_payloads(self) -> list[ClusterPayload]:
+        """Opt3 per cluster: mine combinations and re-encode, or keep plain."""
+        uc = self.config.upanns
+        payloads: list[ClusterPayload] = []
+        for cl in self.index.ivf.lists:
+            if uc.enable_cae and cl.size > 0:
+                model = mine_combinations(
+                    cl.codes,
+                    top_m=uc.cae_combos,
+                    combo_length=uc.cae_combo_length,
+                )
+                encoded = encode_cluster(cl.codes, model)
+                payloads.append(
+                    ClusterPayload(
+                        cluster_id=cl.cluster_id,
+                        ids=cl.ids,
+                        encoded=encoded,
+                        cooc=model,
+                    )
+                )
+            else:
+                payloads.append(
+                    ClusterPayload(cluster_id=cl.cluster_id, ids=cl.ids, codes=cl.codes)
+                )
+        return payloads
+
+    def _max_dpu_vectors(self) -> int:
+        uc, ic = self.config.upanns, self.config.index
+        if uc.max_dpu_vectors is not None:
+            return uc.max_dpu_vectors
+        # Worst-case on-device bytes per vector: 2 B/token x m tokens + id.
+        per_vector = 2 * ic.m + 8
+        return int(self.config.pim.dpu.mram_bytes // per_vector)
+
+    def _place_and_load(self, frequencies: np.ndarray, rng: np.random.Generator) -> None:
+        uc = self.config.upanns
+        sizes = self._sizes
+        assert sizes is not None
+        owned = (
+            self._owned
+            if self._owned is not None
+            else np.ones(sizes.shape[0], dtype=bool)
+        )
+        owned_ids = np.flatnonzero(owned)
+        max_vec = self._max_dpu_vectors()
+        if uc.enable_placement:
+            sub_placement = place_clusters(
+                sizes[owned_ids],
+                frequencies[owned_ids],
+                self.config.pim.n_dpus,
+                max_dpu_vectors=max_vec,
+                centroids=self.index.ivf.centroids[owned_ids],
+                threshold_rate=uc.placement_threshold_rate,
+                replication_headroom=uc.replication_headroom,
+            )
+        else:
+            sub_placement = random_placement(
+                sizes[owned_ids],
+                self.config.pim.n_dpus,
+                max_dpu_vectors=max_vec,
+                rng=rng,
+            )
+        # Map the owned-subset placement back onto global cluster ids;
+        # unowned clusters keep empty replica lists (scheduling to them
+        # is a SchedulingError, by design).
+        replicas: list[list[int]] = [[] for _ in range(sizes.shape[0])]
+        for local, global_id in enumerate(owned_ids):
+            replicas[int(global_id)] = sub_placement.replicas[local]
+        self.placement = Placement(
+            n_dpus=sub_placement.n_dpus,
+            replicas=replicas,
+            dpu_workload=sub_placement.dpu_workload,
+            dpu_vectors=sub_placement.dpu_vectors,
+            mean_workload=sub_placement.mean_workload,
+        )
+        self.pim = PimSystem(self.config.pim, n_tasklets=uc.n_tasklets)
+        for c, payload in enumerate(self._payloads):
+            if payload.size == 0 or not owned[c]:
+                continue
+            # MRAM capacity accounting per replica; arrays are shared
+            # (zero-copy) between replicas — only the byte ledger differs.
+            blob = np.empty(payload.nbytes, dtype=np.uint8)
+            for d in self.placement.replicas[c]:
+                self.pim.dpu(d).mram_store(f"cluster_{c}", blob)
+
+    def _offline_stats(self) -> OfflineStats:
+        """Model the one-time host->MRAM index load (section 2.2)."""
+        per_dpu_bytes = [d.mram_used_bytes for d in self.pim.dpus]
+        transfer = self.pim.host_transfer_seconds(per_dpu_bytes)
+        unique = sum(p.nbytes for p in self._payloads if p.size > 0)
+        stored = sum(per_dpu_bytes)
+        return OfflineStats(
+            mram_load_seconds=transfer.seconds,
+            mram_load_parallel=transfer.parallel,
+            total_payload_bytes=stored,
+            replication_overhead=stored / unique if unique else 1.0,
+        )
+
+    def _plan_wram(self) -> WramPlan:
+        ic, uc, qc = self.config.index, self.config.upanns, self.config.query
+        n_slots = uc.cae_combos if uc.enable_cae else 0
+        vector_bytes = 2 * ic.m if uc.enable_cae else ic.m
+        plan = plan_wram(
+            self.config.pim.dpu,
+            dim=ic.dim,
+            m=ic.m,
+            k=qc.k,
+            n_combo_slots=n_slots,
+            vector_bytes=vector_bytes,
+            read_vectors=uc.mram_read_vectors,
+            requested_tasklets=uc.n_tasklets,
+        )
+        effective = plan.tasklets_supported(uc.n_tasklets)
+        for d in self.pim.dpus:
+            d.n_tasklets = effective
+        return plan
+
+    # ------------------------------------------------------------------
+    # Online phase
+    # ------------------------------------------------------------------
+
+    def search_batch(
+        self,
+        queries: np.ndarray,
+        *,
+        k: int | None = None,
+        probes: list[np.ndarray] | np.ndarray | None = None,
+    ) -> BatchResult:
+        """Process one batch through the Figure 5 online pipeline.
+
+        ``probes`` optionally supplies externally computed per-query
+        cluster lists (2-D matrix or ragged list of id arrays).  Used by
+        the multi-host coordinator, which runs cluster filtering once
+        and ships each host only the clusters it owns; the host-side
+        filtering cost is then charged by the coordinator, not here.
+        """
+        if not self._built:
+            raise NotTrainedError("build() must be called before search_batch()")
+        qc, ic, uc = self.config.query, self.config.index, self.config.upanns
+        k = k if k is not None else qc.k
+        queries = np.ascontiguousarray(np.atleast_2d(queries), dtype=np.float32)
+        nq = queries.shape[0]
+        sizes = self._sizes
+        assert sizes is not None and self.placement is not None
+
+        timing = BatchTiming()
+
+        # (a) Cluster filtering on the host (skipped when the probes
+        # arrive pre-computed from a coordinator).
+        if probes is None:
+            probes = self.index.ivf.search_clusters(queries, qc.nprobe)
+            timing.host_filter_s = self.host.cluster_filter_seconds(
+                nq, ic.n_clusters, ic.dim
+            )
+        elif not isinstance(probes, (list, tuple)):
+            probes = np.atleast_2d(np.asarray(probes, dtype=np.int64))
+        if isinstance(probes, (list, tuple)) and len(probes) != nq:
+            raise ConfigError("probes must supply one cluster list per query")
+        assert self.trace is not None
+        self.trace.record_batch(probes)
+
+        # Opt1: greedy scheduling.
+        assignment = schedule_batch(probes, sizes, self.placement)
+        timing.host_schedule_s = self.host.scheduling_seconds(
+            1, assignment.total_pairs()
+        )
+
+        # Host -> DPU: queries broadcast + per-DPU worklists.  UpANNS pads
+        # worklists to a uniform size so the transfer parallelizes; the
+        # naive path ships exact (non-uniform) sizes and serializes.
+        query_bytes = nq * ic.dim * 4
+        timing.transfer_in_s = self.pim.broadcast_seconds(query_bytes)
+        pair_counts = [len(p) for p in assignment.per_dpu]
+        if uc.enable_placement:
+            pad = max(pair_counts) if pair_counts else 0
+            meta_sizes = [pad * 8] * self.pim.n_dpus
+        else:
+            meta_sizes = [c * 8 for c in pair_counts]
+        timing.transfer_in_s += self.pim.host_transfer_seconds(meta_sizes).seconds
+
+        # Per-DPU kernel execution.
+        kernel_cfg = KernelConfig(
+            k=k,
+            n_tasklets=self.pim.dpus[0].n_tasklets,
+            read_vectors=uc.mram_read_vectors,
+            prune_topk=uc.enable_topk_pruning,
+            workload_scale=self.config.timing_scale,
+        )
+        partials: dict[int, list[tuple[np.ndarray, np.ndarray]]] = {
+            q: [] for q in range(nq)
+        }
+        heap_total = HeapStats()
+        logs = [DpuWorkLog() for _ in range(self.pim.n_dpus)]
+        centroids = self.index.ivf.centroids
+        self.pim.reset_counters()
+        # Precompute per-query LUTs for all probed clusters in one
+        # vectorized batch (functional shortcut only — each DPU is still
+        # charged for building its own copies inside the kernel).
+        from repro.ivfpq.lut import build_luts_for_probes
+
+        lut_cache: list[dict[int, np.ndarray]] = []
+        for qi in range(nq):
+            probe_ids = np.asarray(probes[qi], dtype=np.int64)
+            if probe_ids.size == 0:
+                lut_cache.append({})
+                continue
+            luts = build_luts_for_probes(
+                self.index.pq, queries[qi], centroids, probe_ids
+            )
+            lut_cache.append({int(c): luts[j] for j, c in enumerate(probe_ids)})
+        for d, pairs in enumerate(assignment.per_dpu):
+            if not pairs:
+                continue
+            by_query: dict[int, list[ClusterPayload]] = {}
+            for qi, c in pairs:
+                if self._payloads[c].size == 0:
+                    continue
+                by_query.setdefault(qi, []).append(self._payloads[c])
+            dpu = self.pim.dpu(d)
+            for qi, payloads in by_query.items():
+                out = run_query_on_dpu(
+                    dpu,
+                    self.index.pq,
+                    centroids,
+                    payloads,
+                    queries[qi],
+                    kernel_cfg,
+                    luts=lut_cache[qi],
+                )
+                partials[qi].append((out.ids, out.distances))
+                logs[d].stage += out.stage
+                logs[d].queries_served += 1
+                logs[d].pairs_served += len(payloads)
+                heap_total.merge(out.heap_stats)
+
+        # Batch time on PIM = slowest DPU (paper section 5.3.1).
+        busy = np.array([log.total_cycles for log in logs])
+        freq = self.config.pim.dpu.frequency_hz
+        timing.dpu_makespan_s = float(busy.max()) / freq if busy.size else 0.0
+        active = busy[busy > 0]
+        cycle_ratio = float(busy.max() / active.mean()) if active.size else 1.0
+
+        # DPU -> host result gather (uniform when padded).
+        result_sizes = [log.queries_served * k * 8 for log in logs]
+        if uc.enable_placement and any(result_sizes):
+            pad = max(result_sizes)
+            result_sizes = [pad] * len(result_sizes)
+        timing.transfer_out_s = self.pim.gather_seconds(result_sizes).seconds
+
+        # Host-side final aggregation across DPUs.
+        out_d = np.full((nq, k), np.inf, dtype=np.float32)
+        out_i = np.full((nq, k), -1, dtype=np.int64)
+        n_partials = 0
+        for qi, parts in partials.items():
+            if not parts:
+                continue
+            n_partials += len(parts)
+            ids = np.concatenate([p[0] for p in parts])
+            dists = np.concatenate([p[1] for p in parts])
+            top_i, top_d = topk_from_distances(ids, dists, k)
+            out_i[qi, : top_i.shape[0]] = top_i
+            out_d[qi, : top_d.shape[0]] = top_d
+        timing.host_aggregate_s = self.host.aggregate_seconds(
+            nq, k, max(1, n_partials // max(nq, 1))
+        )
+
+        # Stage breakdown in seconds: the makespan DPU's stages plus the
+        # host-side stages (Figure 19's decomposition).
+        worst = int(np.argmax(busy)) if busy.size else 0
+        stage_seconds = logs[worst].stage.scaled(1.0 / freq)
+        stage_seconds.cluster_filter += timing.host_filter_s
+        stage_seconds.other += (
+            timing.host_schedule_s
+            + timing.transfer_in_s
+            + timing.transfer_out_s
+            + timing.host_aggregate_s
+        )
+
+        logger.debug(
+            "batch of %d queries: %.3f ms modeled (%d pairs, max/avg %.2f)",
+            nq,
+            timing.total_s * 1e3,
+            assignment.total_pairs(),
+            cycle_ratio,
+        )
+        return BatchResult(
+            ids=out_i,
+            distances=out_d,
+            timing=timing,
+            stage_seconds=stage_seconds,
+            assignment=assignment,
+            heap_stats=heap_total,
+            cycle_load_ratio=cycle_ratio,
+            dpu_busy_seconds=busy / freq,
+        )
+
+    # ------------------------------------------------------------------
+    # Adaptivity (paper section 4.1.2)
+    # ------------------------------------------------------------------
+
+    def refresh_placement(self, *, rng: np.random.Generator | None = None) -> None:
+        """Re-place clusters using the access trace accumulated online.
+
+        Implements the paper's adaptive response to query-pattern change:
+        replica counts and locations are recomputed from the live f_i.
+        Call after :class:`~repro.core.scheduling.AdaptivePolicy`
+        requests 'rereplicate' or 'relocate'.
+        """
+        if not self._built or self.trace is None:
+            raise NotTrainedError("engine must be built before refresh_placement()")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self._place_and_load(self.trace.frequencies(), rng)
+        self.wram_plan = self._plan_wram()
+
+    # ------------------------------------------------------------------
+    # Introspection used by benches
+    # ------------------------------------------------------------------
+
+    def length_reduction_rate(self) -> float:
+        """Mean CAE length reduction across non-empty clusters (Fig 14)."""
+        rates = [
+            p.encoded.length_reduction_rate()
+            for p in self._payloads
+            if p.is_cae and p.size > 0 and p.encoded is not None
+        ]
+        return float(np.mean(rates)) if rates else 0.0
+
+    def replication_factor(self) -> float:
+        """Mean replicas per cluster created by Algorithm 1."""
+        if self.placement is None:
+            return 1.0
+        return float(np.mean([len(r) for r in self.placement.replicas]))
+
+
+def make_engine(
+    dim: int,
+    *,
+    n_clusters: int,
+    m: int,
+    nprobe: int,
+    k: int = 10,
+    pim_spec=None,
+    upanns: UpANNSConfig | None = None,
+    batch_size: int = 1000,
+    train_iters: int = 8,
+    timing_scale: float = 1.0,
+) -> UpANNSEngine:
+    """Convenience constructor used by examples and benches."""
+    from repro.hardware.specs import UPMEM_7_DIMMS
+
+    cfg = SystemConfig(
+        index=IndexConfig(dim=dim, n_clusters=n_clusters, m=m, train_iters=train_iters),
+        query=QueryConfig(nprobe=nprobe, k=k, batch_size=batch_size),
+        upanns=upanns if upanns is not None else UpANNSConfig(),
+        pim=pim_spec if pim_spec is not None else UPMEM_7_DIMMS,
+        timing_scale=timing_scale,
+    )
+    return UpANNSEngine(cfg)
+
+
+PIM_NAIVE_CONFIG = UpANNSConfig(
+    enable_placement=False,
+    enable_cae=False,
+    enable_topk_pruning=False,
+)

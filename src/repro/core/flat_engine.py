@@ -1,0 +1,270 @@
+"""IVFFlat on PIM: the transferability demonstration.
+
+The paper's conclusion: "the core techniques, namely workload
+distribution, resource management, and top-k pruning, are transferable"
+beyond IVFPQ.  This engine reuses Algorithm 1 placement, Algorithm 2
+scheduling, the WRAM/MRAM models and the Opt4 pruned top-k over an
+:class:`~repro.ivfpq.ivfflat.IVFFlatIndex` — no LUTs, no CAE (there are
+no codes to re-encode), raw L2 on the DPU.
+
+The per-point costs differ sharply from IVFPQ: a raw 128-d float vector
+is 512 B of MRAM traffic (vs 16-32 B of codes), so the flat engine is
+even more memory-bound — exactly why the paper's billion-scale focus is
+compression-based methods.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import IndexConfig, QueryConfig, SystemConfig, UpANNSConfig
+from repro.core.engine import BatchResult, BatchTiming
+from repro.core.kernel import INSTR_PER_VECTOR_OVERHEAD
+from repro.core.memory_plan import HEAP_ENTRY_BYTES
+from repro.core.placement import Placement, place_clusters, random_placement
+from repro.core.scheduling import Assignment, schedule_batch
+from repro.core.topk import HeapStats, estimate_scan_stats, scan_topk_fast
+from repro.errors import ConfigError, NotTrainedError
+from repro.hardware.counters import StageCycles
+from repro.hardware.host import HostModel
+from repro.hardware.mram import MAX_DMA_BYTES, round_up_dma
+from repro.hardware.rank import PimSystem
+from repro.ivfpq.adc import topk_from_distances
+from repro.ivfpq.ivfflat import IVFFlatIndex
+from repro.ivfpq.kmeans import squared_distances
+
+logger = logging.getLogger(__name__)
+
+# One fused multiply-add per dimension, two instructions on the
+# FPU-less DPU (fixed-point mul + add).
+INSTR_PER_DIM = 2.0
+
+
+@dataclass
+class IVFFlatPimEngine:
+    """UpANNS's Opt1/Opt2/Opt4 applied to IVFFlat."""
+
+    config: SystemConfig
+    index: IVFFlatIndex = field(init=False)
+    pim: PimSystem = field(init=False)
+    host: HostModel = field(default_factory=HostModel)
+    placement: Placement | None = None
+    _built: bool = False
+
+    def __post_init__(self) -> None:
+        ic = self.config.index
+        self.index = IVFFlatIndex(ic.dim, ic.n_clusters)
+
+    def build(
+        self,
+        vectors: np.ndarray,
+        *,
+        frequencies: np.ndarray | None = None,
+        history_queries: np.ndarray | None = None,
+        prebuilt_index: IVFFlatIndex | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> "IVFFlatPimEngine":
+        ic, uc = self.config.index, self.config.upanns
+        rng = rng if rng is not None else np.random.default_rng(0)
+        if prebuilt_index is not None:
+            if not prebuilt_index.is_trained or prebuilt_index.ntotal == 0:
+                raise NotTrainedError("prebuilt_index must be trained and populated")
+            self.index = prebuilt_index
+        else:
+            vectors = np.ascontiguousarray(np.atleast_2d(vectors), dtype=np.float32)
+            self.index.train(vectors, n_iter=ic.train_iters, rng=rng)
+            self.index.add(vectors)
+
+        sizes = self.index.cluster_sizes()
+        if frequencies is None and history_queries is not None:
+            probes = self.index.ivf.search_clusters(
+                np.atleast_2d(history_queries), self.config.query.nprobe
+            )
+            frequencies = (
+                np.bincount(probes.ravel(), minlength=ic.n_clusters) + 1.0
+            )
+        if frequencies is None:
+            frequencies = np.full(ic.n_clusters, 1.0)
+        frequencies = np.asarray(frequencies, dtype=np.float64)
+        frequencies = frequencies / frequencies.sum()
+
+        # Raw vectors are dim*4 B each — MRAM capacity binds much
+        # earlier than with PQ codes.
+        per_vector = ic.dim * 4 + 8
+        max_vec = int(self.config.pim.dpu.mram_bytes // per_vector)
+        if uc.enable_placement:
+            self.placement = place_clusters(
+                sizes,
+                frequencies,
+                self.config.pim.n_dpus,
+                max_dpu_vectors=max_vec,
+                centroids=self.index.ivf.centroids,
+                replication_headroom=uc.replication_headroom,
+            )
+        else:
+            self.placement = random_placement(
+                sizes, self.config.pim.n_dpus, max_dpu_vectors=max_vec, rng=rng
+            )
+        self.pim = PimSystem(self.config.pim, n_tasklets=uc.n_tasklets)
+        for c, cl in enumerate(self.index.lists):
+            if cl.size == 0:
+                continue
+            blob = np.empty(cl.nbytes, dtype=np.uint8)
+            for d in self.placement.replicas[c]:
+                self.pim.dpu(d).mram_store(f"cluster_{c}", blob)
+        self._built = True
+        logger.info(
+            "built IVFFlat-PIM: %d clusters on %d DPUs (%.0f MB raw vectors)",
+            ic.n_clusters,
+            self.config.pim.n_dpus,
+            self.index.memory_bytes() / 1e6,
+        )
+        return self
+
+    def _read_chunk_bytes(self) -> int:
+        """Per-DMA chunk: as many raw vectors as fit in 2 KB."""
+        vec_bytes = self.config.index.dim * 4
+        per_read = max(1, min(self.config.upanns.mram_read_vectors, MAX_DMA_BYTES // vec_bytes))
+        return round_up_dma(min(per_read * vec_bytes, MAX_DMA_BYTES))
+
+    def search_batch(self, queries: np.ndarray, *, k: int | None = None) -> BatchResult:
+        """Filter -> schedule -> per-DPU raw-L2 scan -> pruned top-k."""
+        if not self._built or self.placement is None:
+            raise NotTrainedError("build() must be called before search_batch()")
+        qc, ic, uc = self.config.query, self.config.index, self.config.upanns
+        k = k if k is not None else qc.k
+        queries = np.ascontiguousarray(np.atleast_2d(queries), dtype=np.float32)
+        nq = queries.shape[0]
+        sizes = self.index.cluster_sizes()
+        scale = self.config.timing_scale
+
+        timing = BatchTiming()
+        probes = self.index.ivf.search_clusters(queries, qc.nprobe)
+        timing.host_filter_s = self.host.cluster_filter_seconds(nq, ic.n_clusters, ic.dim)
+        assignment = schedule_batch(probes, sizes, self.placement)
+        timing.host_schedule_s = self.host.scheduling_seconds(1, assignment.total_pairs())
+        timing.transfer_in_s = self.pim.broadcast_seconds(nq * ic.dim * 4)
+
+        chunk = self._read_chunk_bytes()
+        partials: dict[int, list[tuple[np.ndarray, np.ndarray]]] = {
+            q: [] for q in range(nq)
+        }
+        heap_total = HeapStats()
+        busy = np.zeros(self.pim.n_dpus)
+        stage_by_dpu = [StageCycles() for _ in range(self.pim.n_dpus)]
+        self.pim.reset_counters()
+        for d, pairs in enumerate(assignment.per_dpu):
+            if not pairs:
+                continue
+            dpu = self.pim.dpu(d)
+            by_query: dict[int, list[int]] = {}
+            for qi, c in pairs:
+                if self.index.lists[c].size:
+                    by_query.setdefault(qi, []).append(c)
+            for qi, clusters in by_query.items():
+                all_ids, all_d = [], []
+                stage = stage_by_dpu[d]
+                for c in clusters:
+                    cl = self.index.lists[c]
+                    d2 = squared_distances(queries[qi : qi + 1], cl.vectors)[0]
+                    all_ids.append(cl.ids)
+                    all_d.append(d2.astype(np.float32))
+                    scan_bytes = int(cl.vectors.nbytes * scale)
+                    dma = dpu.charge_mram_read(scan_bytes, chunk)
+                    instr = scale * cl.size * (
+                        ic.dim * INSTR_PER_DIM + INSTR_PER_VECTOR_OVERHEAD
+                    )
+                    dpu.charge_instructions(instr)
+                    compute = dpu.pipeline.compute_cycles(instr, dpu.n_tasklets)
+                    stage.distance_calc += dpu.combine_cycles(compute, dma)
+                    stage.distance_calc += dpu.charge_barrier()
+                ids = np.concatenate(all_ids)
+                dists = np.concatenate(all_d)
+                out_v, out_i, stats = scan_topk_fast(
+                    dists, ids, k, dpu.n_tasklets, prune=uc.enable_topk_pruning
+                )
+                heap_total.merge(stats)
+                comps, ins = estimate_scan_stats(ids.shape[0] * scale, k, dpu.n_tasklets)
+                topk_instr = comps * 2.0 + ins * 6.0 + stats.merge_comparisons * 2.0
+                dpu.charge_instructions(topk_instr)
+                stage.topk_selection += dpu.pipeline.compute_cycles(
+                    topk_instr, dpu.n_tasklets
+                )
+                stage.topk_selection += dpu.charge_mram_write(
+                    max(8, out_v.shape[0] * HEAP_ENTRY_BYTES), chunk
+                )
+                partials[qi].append((out_i, out_v))
+            busy[d] = stage_by_dpu[d].total
+
+        freq = self.config.pim.dpu.frequency_hz
+        timing.dpu_makespan_s = float(busy.max()) / freq if busy.size else 0.0
+        result_sizes = [len({q for q, _ in p}) * k * 8 for p in assignment.per_dpu]
+        if uc.enable_placement and any(result_sizes):
+            result_sizes = [max(result_sizes)] * len(result_sizes)
+        timing.transfer_out_s = self.pim.gather_seconds(result_sizes).seconds
+
+        out_d = np.full((nq, k), np.inf, dtype=np.float32)
+        out_i = np.full((nq, k), -1, dtype=np.int64)
+        n_partials = 0
+        for qi, parts in partials.items():
+            if not parts:
+                continue
+            n_partials += len(parts)
+            ids = np.concatenate([p[0] for p in parts])
+            dists = np.concatenate([p[1] for p in parts])
+            top_i, top_d = topk_from_distances(ids, dists, k)
+            out_i[qi, : top_i.shape[0]] = top_i
+            out_d[qi, : top_d.shape[0]] = top_d
+        timing.host_aggregate_s = self.host.aggregate_seconds(
+            nq, k, max(1, n_partials // max(nq, 1))
+        )
+
+        active = busy[busy > 0]
+        worst = int(np.argmax(busy)) if busy.size else 0
+        stage_seconds = stage_by_dpu[worst].scaled(1.0 / freq)
+        stage_seconds.cluster_filter += timing.host_filter_s
+        stage_seconds.other += (
+            timing.host_schedule_s
+            + timing.transfer_in_s
+            + timing.transfer_out_s
+            + timing.host_aggregate_s
+        )
+        return BatchResult(
+            ids=out_i,
+            distances=out_d,
+            timing=timing,
+            stage_seconds=stage_seconds,
+            assignment=assignment,
+            heap_stats=heap_total,
+            cycle_load_ratio=float(busy.max() / active.mean()) if active.size else 1.0,
+            dpu_busy_seconds=busy / freq,
+        )
+
+
+def make_flat_engine(
+    dim: int,
+    *,
+    n_clusters: int,
+    nprobe: int,
+    k: int = 10,
+    pim_spec=None,
+    upanns: UpANNSConfig | None = None,
+    timing_scale: float = 1.0,
+    train_iters: int = 8,
+) -> IVFFlatPimEngine:
+    """Convenience constructor mirroring :func:`make_engine`."""
+    from repro.hardware.specs import UPMEM_7_DIMMS
+
+    if dim % 4:
+        raise ConfigError("dim must be a multiple of 4 for DMA alignment")
+    cfg = SystemConfig(
+        index=IndexConfig(dim=dim, n_clusters=n_clusters, m=4, train_iters=train_iters),
+        query=QueryConfig(nprobe=nprobe, k=k),
+        upanns=upanns if upanns is not None else UpANNSConfig(enable_cae=False),
+        pim=pim_spec if pim_spec is not None else UPMEM_7_DIMMS,
+        timing_scale=timing_scale,
+    )
+    return IVFFlatPimEngine(cfg)

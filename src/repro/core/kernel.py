@@ -1,0 +1,268 @@
+"""The per-DPU IVFPQ kernel: functional execution + cycle charging.
+
+This module simulates what the UpANNS DPU program does for one query on
+one DPU (paper Figure 6): for each assigned cluster, build the LUT from
+the codebook (threads share the work), compute the co-occurrence partial
+sums, stream encoded points from MRAM and accumulate distances, feeding
+thread-local top-k heaps; after the last cluster, merge the local heaps
+into the DPU top-k with pruning (Opt4).  Four barriers separate the
+stages.
+
+Every functional step charges the DPU's ledger with the instruction and
+DMA-traffic counts a real 350 MHz DPU would incur, using the per-token
+cost constants below.  The constants are order-of-magnitude calibrated
+against the UPMEM characterization literature; the *structure* (what
+scales with M, cluster size, token count, read size, tasklets) is what
+reproduces the paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.core.encoding import EncodedCluster, build_flat_table
+from repro.core.cooccurrence import CooccurrenceModel
+from repro.core.topk import HeapStats, estimate_scan_stats, scan_topk_fast
+from repro.hardware.counters import StageCycles
+from repro.hardware.dpu import DPU
+from repro.ivfpq.adc import adc_distances, adc_distances_direct
+from repro.ivfpq.lut import build_lut
+from repro.ivfpq.pq import ProductQuantizer
+
+# --- Instruction cost constants (per element) -------------------------------
+INSTR_PER_LUT_ENTRY_PER_DIM = 3.0  # load codeword elem, sub/mul, accumulate
+# Per cached partial sum: one LUT load + add per combination element,
+# plus store/bookkeeping.  (= 8 instructions at the default length 3.)
+INSTR_PER_COMBO_ELEMENT = 2.0
+INSTR_PER_COMBO_OVERHEAD = 2.0
+# The ADC inner loop is tight on a DPU: a 32-bit WRAM load covers two
+# uint16 tokens and the add dual-issues with the index increment, so the
+# amortized cost is close to one instruction per token.  This makes the
+# distance stage DMA-bound at small MRAM read sizes — the regime the
+# paper's Figure 17 sweep exposes.
+INSTR_PER_TOKEN = 1.2
+INSTR_PER_VECTOR_OVERHEAD = 3.0  # id fetch + heap root compare + branch
+INSTR_PER_HEAP_COMPARISON = 2.0
+INSTR_PER_HEAP_INSERTION = 6.0
+CODEBOOK_CHUNK_BYTES = 2048  # codebook streamed at max DMA size
+
+
+@dataclass
+class ClusterPayload:
+    """What one cluster replica stores in a DPU's MRAM.
+
+    Plain form keeps raw PQ codes; CAE form keeps the direct-address
+    re-encoding.  ``nbytes`` is the on-device footprint used for both
+    MRAM capacity checks and DMA traffic charging.
+    """
+
+    cluster_id: int
+    ids: np.ndarray
+    codes: np.ndarray | None = None  # (s, m) uint8, plain path
+    encoded: EncodedCluster | None = None  # CAE path
+    cooc: CooccurrenceModel | None = None
+
+    def __post_init__(self) -> None:
+        if (self.codes is None) == (self.encoded is None):
+            raise ConfigError("payload must be exactly one of plain / CAE")
+
+    @property
+    def size(self) -> int:
+        return int(self.ids.shape[0])
+
+    @property
+    def is_cae(self) -> bool:
+        return self.encoded is not None
+
+    @property
+    def nbytes(self) -> int:
+        if self.codes is not None:
+            return int(self.ids.nbytes + self.codes.nbytes)
+        assert self.encoded is not None
+        return int(self.ids.nbytes + self.encoded.nbytes)
+
+    @property
+    def token_count(self) -> int:
+        """Total ADC tokens the distance stage must consume."""
+        if self.codes is not None:
+            return int(self.codes.shape[0] * self.codes.shape[1])
+        assert self.encoded is not None
+        return int(self.encoded.lengths.sum())
+
+    @property
+    def scan_bytes(self) -> int:
+        """Bytes streamed from MRAM during the distance stage."""
+        if self.codes is not None:
+            return int(self.codes.nbytes)
+        assert self.encoded is not None
+        return int(2 * self.encoded.lengths.sum())
+
+
+@dataclass(frozen=True)
+class KernelConfig:
+    """Knobs the ablations sweep."""
+
+    k: int = 10
+    n_tasklets: int = 11
+    read_vectors: int = 16
+    prune_topk: bool = True
+    lut_entry_bytes: int = 2
+    codebook_entry_bytes: int = 1
+    # Timing-only extrapolation: multiply every per-point charge (scan
+    # traffic, distance instructions, heap scan comparisons) by this
+    # factor to model the paper's billion-scale list lengths while
+    # computing functionally on scaled-down lists.  1.0 = no scaling.
+    workload_scale: float = 1.0
+
+
+@dataclass
+class QueryKernelOutput:
+    """One query's result on one DPU."""
+
+    ids: np.ndarray  # ascending-distance local top-k
+    distances: np.ndarray
+    stage: StageCycles  # (compute+dma) cycles already combined per stage
+    heap_stats: HeapStats
+
+
+def _read_chunk_bytes(payload: ClusterPayload, cfg: KernelConfig) -> int:
+    """DMA chunk size for scanning this cluster's encoded points."""
+    if payload.codes is not None:
+        per_vec = payload.codes.shape[1]
+    else:
+        assert payload.encoded is not None
+        per_vec = 2 * payload.encoded.m  # worst-case tokens, 2 B each
+    from repro.hardware.mram import MAX_DMA_BYTES, round_up_dma
+
+    chunk = min(cfg.read_vectors * per_vec, MAX_DMA_BYTES)
+    return round_up_dma(chunk)
+
+
+def run_query_on_dpu(
+    dpu: DPU,
+    pq: ProductQuantizer,
+    centroids: np.ndarray,
+    payloads: list[ClusterPayload],
+    query: np.ndarray,
+    cfg: KernelConfig,
+    luts: dict[int, np.ndarray] | None = None,
+) -> QueryKernelOutput:
+    """Execute one query over its clusters assigned to ``dpu``.
+
+    Functional result: the exact local top-k over all assigned clusters.
+    Timing result: per-stage cycles charged to the DPU ledger and
+    returned in ``stage`` (DMA overlap already applied per stage).
+    ``luts`` optionally supplies precomputed per-cluster LUTs (the engine
+    batches their computation per query); the DPU is charged for
+    building them either way.
+    """
+    if not payloads:
+        raise ConfigError("no clusters assigned for this query on this DPU")
+    stage = StageCycles()
+    all_ids: list[np.ndarray] = []
+    all_d: list[np.ndarray] = []
+    tasklets = dpu.n_tasklets
+
+    for payload in payloads:
+        centroid = centroids[payload.cluster_id]
+        # --- Stage b: LUT construction (threads share the codebook scan).
+        if luts is not None and payload.cluster_id in luts:
+            lut = luts[payload.cluster_id]
+        else:
+            lut = build_lut(pq, query, centroid)
+        codebook_bytes = pq.dim * 256 * cfg.codebook_entry_bytes
+        dma = dpu.charge_mram_read(codebook_bytes, CODEBOOK_CHUNK_BYTES)
+        instr = pq.m * pq.ksub * pq.dsub * INSTR_PER_LUT_ENTRY_PER_DIM
+        dpu.charge_instructions(instr)
+        compute = dpu.pipeline.compute_cycles(instr, tasklets)
+        stage.lut_construction += dpu.combine_cycles(compute, dma)
+        stage.lut_construction += dpu.charge_barrier()  # Barrier 1
+
+        # --- Stage b': co-occurrence partial sums (Opt3, still "LUT" time:
+        # the paper attributes the slight LUT-stage increase to this step).
+        if payload.is_cae and payload.cooc is not None:
+            flat_table = build_flat_table(lut, payload.cooc)
+            instr = payload.cooc.n_slots * (
+                INSTR_PER_COMBO_OVERHEAD
+                + INSTR_PER_COMBO_ELEMENT * max(payload.cooc.combo_length, 1)
+            )
+            dpu.charge_instructions(instr)
+            stage.lut_construction += dpu.pipeline.compute_cycles(instr, tasklets)
+        else:
+            flat_table = None
+        stage.lut_construction += dpu.charge_barrier()  # Barrier 2
+
+        # --- Stage c: distance calculation (memory-bound scan).
+        if payload.is_cae:
+            assert payload.encoded is not None and flat_table is not None
+            dists = adc_distances_direct(
+                payload.encoded.addresses,
+                flat_table,
+                payload.encoded.lengths.astype(np.int64),
+            )
+        else:
+            assert payload.codes is not None
+            dists = adc_distances(payload.codes, lut)
+
+        chunk = _read_chunk_bytes(payload, cfg)
+        scale = cfg.workload_scale
+        dma = dpu.charge_mram_read(int(payload.scan_bytes * scale), chunk)
+        instr = scale * (
+            payload.token_count * INSTR_PER_TOKEN
+            + payload.size * INSTR_PER_VECTOR_OVERHEAD
+        )
+        dpu.charge_instructions(instr)
+        compute = dpu.pipeline.compute_cycles(instr, tasklets)
+        stage.distance_calc += dpu.combine_cycles(compute, dma)
+        stage.distance_calc += dpu.charge_barrier()  # Barrier 0 (next iter safety)
+
+        all_ids.append(payload.ids)
+        all_d.append(dists)
+
+    # --- Stage d: top-k with thread-local heaps + pruned merge (Opt4).
+    ids = np.concatenate(all_ids)
+    dists = np.concatenate(all_d)
+    out_v, out_i, heap_stats = scan_topk_fast(
+        dists, ids, cfg.k, tasklets, prune=cfg.prune_topk
+    )
+    dpu.counters.heap_comparisons += heap_stats.comparisons
+    dpu.counters.pruned_insertions += heap_stats.pruned
+    # Charge the scan analytically at the *scaled* list length — heap
+    # insertions grow logarithmically, so simulated counts cannot be
+    # linearly rescaled.  The merge term keeps the simulated pruned /
+    # naive split: its cost ratio is what Opt4 changes.
+    scan_comps, scan_ins = estimate_scan_stats(
+        ids.shape[0] * cfg.workload_scale, cfg.k, tasklets
+    )
+    instr = (
+        scan_comps * INSTR_PER_HEAP_COMPARISON
+        + scan_ins * INSTR_PER_HEAP_INSERTION
+        + heap_stats.merge_comparisons * INSTR_PER_HEAP_COMPARISON
+    )
+    dpu.charge_instructions(instr)
+    stage.topk_selection += dpu.pipeline.compute_cycles(instr, tasklets)
+    stage.topk_selection += dpu.charge_barrier()  # Barrier 3
+    # Result write-back to MRAM for the host to gather.
+    stage.topk_selection += dpu.charge_mram_write(
+        max(8, out_v.shape[0] * 8), CODEBOOK_CHUNK_BYTES
+    )
+
+    return QueryKernelOutput(
+        ids=out_i, distances=out_v, stage=stage, heap_stats=heap_stats
+    )
+
+
+@dataclass
+class DpuWorkLog:
+    """Accumulated work of one DPU over a batch."""
+
+    stage: StageCycles = field(default_factory=StageCycles)
+    queries_served: int = 0
+    pairs_served: int = 0
+
+    @property
+    def total_cycles(self) -> float:
+        return self.stage.total

@@ -1,0 +1,154 @@
+"""Opt2, memory half: static WRAM reuse planning (section 4.2.2, Figure 6).
+
+The DPU has 64 KB of physically-addressed WRAM and no MMU, so UpANNS
+plans the layout offline and *reuses* regions across pipeline stages:
+
+* stage 1 (LUT build): codebooks + LUT are resident;
+* stage 2 (combo sums): partial-sum buffer is carved out; the LUT and
+  sums stay resident for the remainder of the query;
+* stage 3 (distance calc): the codebook region is dead — its space is
+  recycled into per-tasklet MRAM read buffers and thread-local heaps,
+  which is what lets 16 threads load encoded points concurrently in the
+  paper's SIFT example.
+
+:func:`plan_wram` computes the layout and the maximum tasklet count the
+leftover space supports; :func:`apply_plan` replays it against a real
+:class:`~repro.hardware.wram.WramAllocator` so tests can prove the plan
+never overlaps live buffers or exceeds capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError, WramOverflowError
+from repro.hardware.mram import MAX_DMA_BYTES, round_up_dma
+from repro.hardware.specs import DpuSpec
+from repro.hardware.wram import WramAllocator
+
+LUT_ENTRY_BYTES = 2  # uint16 on-device (paper: M x 256 x sizeof(uint16))
+CODEBOOK_ENTRY_BYTES = 1  # uint8 codebook elements (paper: D x 256 = 32 KB)
+COMBO_SUM_BYTES = 2
+HEAP_ENTRY_BYTES = 8  # 4 B distance + 4 B id per retained candidate
+
+
+@dataclass(frozen=True)
+class WramPlan:
+    """Computed WRAM budget for one (query, cluster) kernel."""
+
+    codebook_bytes: int
+    lut_bytes: int
+    combo_sum_bytes: int
+    read_buffer_bytes: int  # per tasklet, DMA-aligned
+    heap_bytes: int  # per tasklet
+    max_tasklets: int
+    wram_capacity: int
+
+    @property
+    def stage1_resident(self) -> int:
+        """Bytes live while building the LUT (codebook + LUT)."""
+        return self.codebook_bytes + self.lut_bytes
+
+    @property
+    def stage3_resident(self) -> int:
+        """Bytes live during distance calc (LUT + sums + per-tasklet)."""
+        return (
+            self.lut_bytes
+            + self.combo_sum_bytes
+            + self.max_tasklets * (self.read_buffer_bytes + self.heap_bytes)
+        )
+
+    def tasklets_supported(self, requested: int) -> int:
+        """Clamp a requested tasklet count to what WRAM can feed."""
+        return max(1, min(requested, self.max_tasklets))
+
+
+def plan_wram(
+    spec: DpuSpec,
+    *,
+    dim: int,
+    m: int,
+    k: int,
+    n_combo_slots: int,
+    vector_bytes: int,
+    read_vectors: int,
+    requested_tasklets: int,
+) -> WramPlan:
+    """Compute the reuse plan for the given index geometry.
+
+    ``vector_bytes`` is the MRAM footprint of one encoded vector
+    (M bytes plain, 2 x tokens for CAE); ``read_vectors`` is the number
+    of vectors fetched per DMA (paper default 16, Figure 17).
+    """
+    if read_vectors < 1 or requested_tasklets < 1:
+        raise ConfigError("read_vectors and tasklets must be >= 1")
+    codebook = dim * 256 * CODEBOOK_ENTRY_BYTES
+    lut = m * 256 * LUT_ENTRY_BYTES
+    combo = n_combo_slots * COMBO_SUM_BYTES
+    if codebook + lut + combo > spec.wram_bytes:
+        raise WramOverflowError(
+            f"codebook ({codebook} B) + LUT ({lut} B) + combo sums "
+            f"({combo} B) exceed WRAM ({spec.wram_bytes} B); reduce D or M"
+        )
+    payload = read_vectors * vector_bytes
+    if payload > MAX_DMA_BYTES:
+        raise ConfigError(
+            f"{read_vectors} vectors x {vector_bytes} B = {payload} B "
+            f"exceeds the {MAX_DMA_BYTES} B DMA limit"
+        )
+    read_buffer = round_up_dma(payload)
+    heap = k * HEAP_ENTRY_BYTES
+
+    # Stage 3 reuses the codebook's space: resident = LUT + sums +
+    # T * (read buffer + heap)  <= capacity.
+    available = spec.wram_bytes - lut - combo
+    per_tasklet = read_buffer + heap
+    max_tasklets = min(available // per_tasklet, spec.max_tasklets)
+    if max_tasklets < 1:
+        raise WramOverflowError(
+            f"per-tasklet footprint {per_tasklet} B does not fit in the "
+            f"{available} B left after LUT and combo sums"
+        )
+    return WramPlan(
+        codebook_bytes=codebook,
+        lut_bytes=lut,
+        combo_sum_bytes=combo,
+        read_buffer_bytes=read_buffer,
+        heap_bytes=heap,
+        max_tasklets=int(max_tasklets),
+        wram_capacity=spec.wram_bytes,
+    )
+
+
+def apply_plan(plan: WramPlan, allocator: WramAllocator, n_tasklets: int) -> None:
+    """Replay the plan's alloc/free sequence on a real allocator.
+
+    Raises :class:`~repro.errors.WramOverflowError` if the plan lied
+    about fitting — this is the executable proof of Figure 6's reuse
+    story, exercised by unit and property tests.
+    """
+    n_tasklets = plan.tasklets_supported(n_tasklets)
+    # Stage 1: LUT construction.
+    allocator.alloc("codebook", plan.codebook_bytes)
+    allocator.alloc("lut", plan.lut_bytes)
+    # Stage 2: combination partial sums (codebook still resident while
+    # threads finish reading it; sums fit beside it by construction).
+    if plan.combo_sum_bytes:
+        allocator.alloc("combo_sums", plan.combo_sum_bytes)
+    # Stage 3: the codebook region is recycled for read buffers + heaps.
+    allocator.free("codebook")
+    for t in range(n_tasklets):
+        allocator.alloc(f"read_buffer_{t}", plan.read_buffer_bytes)
+        allocator.alloc(f"heap_{t}", plan.heap_bytes)
+    allocator.verify_no_overlap()
+
+
+def release_plan(plan: WramPlan, allocator: WramAllocator, n_tasklets: int) -> None:
+    """Free everything :func:`apply_plan` allocated (end of query)."""
+    n_tasklets = plan.tasklets_supported(n_tasklets)
+    allocator.free("lut")
+    if plan.combo_sum_bytes:
+        allocator.free("combo_sums")
+    for t in range(n_tasklets):
+        allocator.free(f"read_buffer_{t}")
+        allocator.free(f"heap_{t}")

@@ -1,0 +1,275 @@
+"""Multi-host UpANNS (paper section 5.5).
+
+"UpANNS can be easily extended to multi-host configurations.  Only
+query distribution and result aggregation require cross-host
+communication.  The core memory-intensive search operations remain
+local to each host."
+
+This module implements that extension: a coordinator owns the trained
+coarse quantizer and shards the cluster set across hosts with the same
+Algorithm-1 machinery used inside a host (hot clusters may be
+replicated on several hosts).  Per batch, the coordinator filters
+clusters once, routes each (query, cluster) pair to a host holding a
+replica (Algorithm 2 at host granularity), and merges the per-host
+top-k — paying network distribution/aggregation costs modeled by
+:class:`NetworkModel`.  Each host runs a full single-host
+:class:`~repro.core.engine.UpANNSEngine` over its owned clusters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import SystemConfig
+from repro.core.engine import BatchTiming, UpANNSEngine
+from repro.core.placement import Placement, place_clusters
+from repro.core.scheduling import schedule_batch
+from repro.errors import ConfigError, NotTrainedError
+from repro.hardware.host import HostModel
+from repro.ivfpq.adc import topk_from_distances
+from repro.ivfpq.index import IVFPQIndex
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Cross-host link: bandwidth + per-message latency (e.g. 10 GbE)."""
+
+    bandwidth_bytes_per_s: float = 1.25e9
+    latency_s: float = 50e-6
+
+    def transfer_seconds(self, bytes_per_host: list[float]) -> float:
+        """Hosts sit behind one switch: transfers overlap, the largest
+        per-host payload plus one message latency sets the wall time."""
+        if not bytes_per_host:
+            return 0.0
+        return max(bytes_per_host) / self.bandwidth_bytes_per_s + self.latency_s
+
+
+@dataclass
+class MultiHostBatchResult:
+    """Merged results plus the multi-host timing decomposition."""
+
+    ids: np.ndarray
+    distances: np.ndarray
+    coordinator_filter_s: float
+    distribute_s: float
+    host_makespan_s: float
+    gather_s: float
+    merge_s: float
+    per_host_qps: list[float]
+
+    @property
+    def total_s(self) -> float:
+        return (
+            self.coordinator_filter_s
+            + self.distribute_s
+            + self.host_makespan_s
+            + self.gather_s
+            + self.merge_s
+        )
+
+    @property
+    def qps(self) -> float:
+        return self.ids.shape[0] / self.total_s if self.total_s > 0 else float("inf")
+
+
+@dataclass
+class MultiHostEngine:
+    """Coordinator + N single-host UpANNS engines over a sharded index."""
+
+    host_configs: list[SystemConfig]
+    network: NetworkModel = field(default_factory=NetworkModel)
+    coordinator: HostModel = field(default_factory=HostModel)
+    # Hot clusters may be replicated on this many hosts at most.
+    max_host_replicas: int = 2
+    index: IVFPQIndex | None = None
+    hosts: list[UpANNSEngine] = field(default_factory=list)
+    host_placement: Placement | None = None
+    _sizes: np.ndarray | None = None
+    _built: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.host_configs:
+            raise ConfigError("need at least one host")
+        first = self.host_configs[0].index
+        for cfg in self.host_configs[1:]:
+            if cfg.index != first:
+                raise ConfigError("all hosts must share the index geometry")
+
+    @property
+    def n_hosts(self) -> int:
+        return len(self.host_configs)
+
+    # ------------------------------------------------------------------
+    # Offline phase
+    # ------------------------------------------------------------------
+
+    def build(
+        self,
+        vectors: np.ndarray,
+        *,
+        history_queries: np.ndarray | None = None,
+        prebuilt_index: IVFPQIndex | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> "MultiHostEngine":
+        """Train once, shard clusters across hosts, build each host."""
+        rng = rng if rng is not None else np.random.default_rng(0)
+        ic = self.host_configs[0].index
+        if prebuilt_index is not None:
+            self.index = prebuilt_index
+        else:
+            self.index = IVFPQIndex(ic.dim, ic.n_clusters, ic.m, ic.nbits)
+            self.index.train(vectors, n_iter=ic.train_iters, rng=rng)
+            self.index.add(vectors)
+
+        sizes = self.index.ivf.cluster_sizes()
+        self._sizes = sizes
+        if history_queries is not None:
+            probes = self.index.ivf.search_clusters(
+                np.atleast_2d(history_queries), self.host_configs[0].query.nprobe
+            )
+            freqs = np.bincount(probes.ravel(), minlength=ic.n_clusters) + 1.0
+            freqs = freqs / freqs.sum()
+        else:
+            freqs = np.full(ic.n_clusters, 1.0 / ic.n_clusters)
+
+        # Algorithm 1 at host granularity: shard (and replicate hot)
+        # clusters across hosts, balancing expected workload.
+        self.host_placement = place_clusters(
+            sizes,
+            freqs,
+            self.n_hosts,
+            max_dpu_vectors=int(sizes.sum()) + 1,
+            centroids=self.index.ivf.centroids,
+            replication_headroom=1.0,
+        )
+        for c in range(ic.n_clusters):
+            reps = self.host_placement.replicas[c]
+            if len(reps) > self.max_host_replicas:
+                self.host_placement.replicas[c] = reps[: self.max_host_replicas]
+
+        self.hosts = []
+        for h, cfg in enumerate(self.host_configs):
+            owned = np.array(
+                [
+                    c
+                    for c in range(ic.n_clusters)
+                    if h in self.host_placement.replicas[c]
+                ],
+                dtype=np.int64,
+            )
+            engine = UpANNSEngine(cfg)
+            engine.build(
+                vectors,
+                frequencies=freqs,
+                prebuilt_index=self.index,
+                cluster_subset=owned,
+                rng=rng,
+            )
+            self.hosts.append(engine)
+        self._built = True
+        return self
+
+    # ------------------------------------------------------------------
+    # Online phase
+    # ------------------------------------------------------------------
+
+    def search_batch(self, queries: np.ndarray, *, k: int | None = None) -> MultiHostBatchResult:
+        """Coordinator-filter -> route -> per-host search -> merge."""
+        if not self._built or self.index is None:
+            raise NotTrainedError("build() must be called before search_batch()")
+        qc = self.host_configs[0].query
+        ic = self.host_configs[0].index
+        k = k if k is not None else qc.k
+        queries = np.ascontiguousarray(np.atleast_2d(queries), dtype=np.float32)
+        nq = queries.shape[0]
+        sizes = self._sizes
+        assert sizes is not None and self.host_placement is not None
+
+        # Coordinator: one global cluster-filtering pass.
+        probes = self.index.ivf.search_clusters(queries, qc.nprobe)
+        filter_s = self.coordinator.cluster_filter_seconds(nq, ic.n_clusters, ic.dim)
+
+        # Route every (query, cluster) pair to a replica-holding host
+        # (Algorithm 2 at host granularity).
+        routing = schedule_batch(probes, sizes, self.host_placement)
+        per_host_probes: list[list[list[int]]] = [
+            [[] for _ in range(nq)] for _ in range(self.n_hosts)
+        ]
+        for h in range(self.n_hosts):
+            for qi, c in routing.per_dpu[h]:
+                per_host_probes[h][qi].append(c)
+
+        # Cross-host distribution: each host receives the queries it
+        # participates in plus its schedule.
+        distribute_bytes = []
+        for h in range(self.n_hosts):
+            participating = sum(1 for row in per_host_probes[h] if row)
+            pairs = sum(len(row) for row in per_host_probes[h])
+            distribute_bytes.append(participating * ic.dim * 4 + pairs * 8)
+        distribute_s = self.network.transfer_seconds(distribute_bytes)
+
+        # Local searches (memory-intensive work stays on each host).
+        host_results = []
+        host_seconds = []
+        for h, engine in enumerate(self.hosts):
+            ragged = [
+                np.asarray(row, dtype=np.int64) for row in per_host_probes[h]
+            ]
+            if not any(r.size for r in ragged):
+                host_results.append(None)
+                host_seconds.append(0.0)
+                continue
+            res = engine.search_batch(queries, k=k, probes=ragged)
+            host_results.append(res)
+            host_seconds.append(res.timing.total_s)
+        host_makespan_s = max(host_seconds) if host_seconds else 0.0
+
+        # Gather per-host top-k and merge at the coordinator.
+        gather_bytes = [
+            (0 if r is None else int((r.ids >= 0).sum()) * 12) for r in host_results
+        ]
+        gather_s = self.network.transfer_seconds(gather_bytes)
+
+        out_d = np.full((nq, k), np.inf, dtype=np.float32)
+        out_i = np.full((nq, k), -1, dtype=np.int64)
+        for qi in range(nq):
+            cand_i, cand_d = [], []
+            for r in host_results:
+                if r is None:
+                    continue
+                mask = r.ids[qi] >= 0
+                cand_i.append(r.ids[qi][mask])
+                cand_d.append(r.distances[qi][mask])
+            if not cand_i:
+                continue
+            ids, dists = topk_from_distances(
+                np.concatenate(cand_i), np.concatenate(cand_d), k
+            )
+            out_i[qi, : ids.shape[0]] = ids
+            out_d[qi, : dists.shape[0]] = dists
+        merge_s = self.coordinator.aggregate_seconds(nq, k, self.n_hosts)
+
+        return MultiHostBatchResult(
+            ids=out_i,
+            distances=out_d,
+            coordinator_filter_s=filter_s,
+            distribute_s=distribute_s,
+            host_makespan_s=host_makespan_s,
+            gather_s=gather_s,
+            merge_s=merge_s,
+            per_host_qps=[
+                (0.0 if r is None else nq / r.timing.total_s) for r in host_results
+            ],
+        )
+
+    def cluster_ownership(self) -> list[int]:
+        """#clusters owned per host (balance introspection)."""
+        counts = [0] * self.n_hosts
+        assert self.host_placement is not None
+        for reps in self.host_placement.replicas:
+            for h in reps:
+                counts[h] += 1
+        return counts

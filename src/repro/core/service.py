@@ -1,0 +1,90 @@
+"""Online serving loop: batches in, results + adaptation out.
+
+Packages the paper's deployment story into one object: an
+:class:`OnlineService` owns an engine, a latency recorder and the
+section-4.1.2 adaptive policy.  Each submitted batch is searched,
+latency is recorded, drift against the placement-time traffic snapshot
+is measured, and — when the policy asks — the placement is refreshed
+from the live access trace.
+
+The recommendation/RAG examples use this loop; tests drive it through
+drift scenarios and assert both adaptation and exactness.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.engine import BatchResult, UpANNSEngine
+from repro.core.scheduling import AdaptivePolicy
+from repro.errors import NotTrainedError
+from repro.metrics.latency import LatencyRecorder
+from repro.workload.trace import AccessTrace
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class ServiceReport:
+    """One serving step's outcome."""
+
+    result: BatchResult
+    drift: float
+    action: str
+
+
+@dataclass
+class OnlineService:
+    """Engine + latency accounting + adaptive placement maintenance."""
+
+    engine: UpANNSEngine
+    policy: AdaptivePolicy = field(default_factory=AdaptivePolicy)
+    latency: LatencyRecorder = field(default_factory=LatencyRecorder)
+    # Refresh placement at most once every this many batches (a real
+    # deployment re-places 'every few days', not per batch).
+    min_batches_between_refreshes: int = 1
+    _snapshot: AccessTrace | None = None
+    _batches_since_refresh: int = 0
+    refresh_count: int = 0
+
+    def __post_init__(self) -> None:
+        if self.engine.trace is None:
+            raise NotTrainedError("the engine must be built before serving")
+        self._snapshot = self.engine.trace.snapshot()
+
+    def submit(self, queries: np.ndarray, *, k: int | None = None) -> ServiceReport:
+        """Serve one batch; adapt the placement if traffic drifted."""
+        result = self.engine.search_batch(queries, k=k)
+        self.latency.record_batch_result(result)
+        assert self.engine.trace is not None and self._snapshot is not None
+        drift = self.engine.trace.drift_from(self._snapshot)
+        action = self.policy.decide(drift)
+        self._batches_since_refresh += 1
+        if (
+            action != "keep"
+            and self._batches_since_refresh >= self.min_batches_between_refreshes
+        ):
+            logger.info("traffic drift %.3f -> %s: refreshing placement", drift, action)
+            self.engine.refresh_placement()
+            self._snapshot = self.engine.trace.snapshot()
+            self._batches_since_refresh = 0
+            self.refresh_count += 1
+        return ServiceReport(result=result, drift=drift, action=action)
+
+    def serve(self, batches, *, k: int | None = None) -> list[ServiceReport]:
+        """Serve an iterable of query batches (arrays or QueryBatch)."""
+        reports = []
+        for batch in batches:
+            queries = getattr(batch, "queries", batch)
+            reports.append(self.submit(queries, k=k))
+        return reports
+
+    def summary(self) -> dict[str, float]:
+        """Latency percentiles, throughput and adaptation activity."""
+        out = dict(self.latency.summary())
+        out["refreshes"] = float(self.refresh_count)
+        out["batches"] = float(self.latency.n_batches)
+        return out

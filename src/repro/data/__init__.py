@@ -1,0 +1,50 @@
+"""Dataset substrate: synthetic corpora, skew machinery, codecs, ground truth."""
+
+from repro.data.groundtruth import (
+    compute_groundtruth,
+    groundtruth_for,
+    load_groundtruth,
+    save_groundtruth,
+)
+from repro.data.loader import read_vecs, write_vecs
+from repro.data.skew import (
+    gini,
+    lognormal_sizes,
+    sample_categories,
+    skew_ratio,
+    zipf_weights,
+)
+from repro.data.synthetic import (
+    ALL_SPECS,
+    DEEP1B,
+    SIFT1B,
+    SPACEV1B,
+    DatasetSpec,
+    ScaledDataset,
+    SyntheticDataset,
+    make_dataset,
+    make_queries,
+)
+
+__all__ = [
+    "ALL_SPECS",
+    "DEEP1B",
+    "DatasetSpec",
+    "SIFT1B",
+    "SPACEV1B",
+    "ScaledDataset",
+    "SyntheticDataset",
+    "compute_groundtruth",
+    "gini",
+    "groundtruth_for",
+    "load_groundtruth",
+    "lognormal_sizes",
+    "make_dataset",
+    "make_queries",
+    "read_vecs",
+    "sample_categories",
+    "save_groundtruth",
+    "skew_ratio",
+    "write_vecs",
+    "zipf_weights",
+]

@@ -1,0 +1,52 @@
+"""Exact ground-truth computation and caching for recall evaluation."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.ivfpq.flat import FlatIndex
+
+
+def compute_groundtruth(
+    base: np.ndarray, queries: np.ndarray, k: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact (distances, ids) of the true top-k for each query."""
+    base = np.atleast_2d(base)
+    queries = np.atleast_2d(queries)
+    if base.shape[1] != queries.shape[1]:
+        raise ConfigError("base and query dimensions differ")
+    index = FlatIndex(base.shape[1])
+    index.add(base)
+    return index.search(queries, k)
+
+
+def save_groundtruth(path: str | Path, distances: np.ndarray, ids: np.ndarray) -> None:
+    """Persist ground truth as a compressed npz bundle."""
+    np.savez_compressed(Path(path), distances=distances, ids=ids)
+
+
+def load_groundtruth(path: str | Path) -> tuple[np.ndarray, np.ndarray]:
+    with np.load(Path(path)) as data:
+        return data["distances"], data["ids"]
+
+
+def groundtruth_for(
+    base: np.ndarray,
+    queries: np.ndarray,
+    k: int,
+    cache_path: str | Path | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Compute ground truth, consulting/producing an npz cache if given."""
+    if cache_path is not None:
+        path = Path(cache_path)
+        if path.exists():
+            distances, ids = load_groundtruth(path)
+            if ids.shape[0] == np.atleast_2d(queries).shape[0] and ids.shape[1] >= k:
+                return distances[:, :k], ids[:, :k]
+    distances, ids = compute_groundtruth(base, queries, k)
+    if cache_path is not None:
+        save_groundtruth(cache_path, distances, ids)
+    return distances, ids

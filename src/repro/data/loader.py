@@ -1,0 +1,70 @@
+"""Codecs for the standard ANN benchmark file formats.
+
+``.fvecs`` / ``.ivecs`` / ``.bvecs``: each vector is stored as a
+little-endian int32 dimension header followed by ``dim`` elements of
+float32 / int32 / uint8 respectively.  These are the formats SIFT1B,
+DEEP1B and SPACEV1B ship in, so a user with the real corpora can load
+them straight into this library.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+_ELEMENT_DTYPES = {
+    ".fvecs": np.dtype("<f4"),
+    ".ivecs": np.dtype("<i4"),
+    ".bvecs": np.dtype("<u1"),
+}
+
+
+def _dtype_for(path: Path) -> np.dtype:
+    try:
+        return _ELEMENT_DTYPES[path.suffix]
+    except KeyError:
+        raise ConfigError(f"unknown vector-file suffix {path.suffix!r}") from None
+
+
+def read_vecs(path: str | Path, *, max_vectors: int | None = None) -> np.ndarray:
+    """Read an fvecs/ivecs/bvecs file into an (n, dim) array."""
+    path = Path(path)
+    dtype = _dtype_for(path)
+    raw = np.fromfile(path, dtype=np.uint8)
+    if raw.size == 0:
+        return np.empty((0, 0), dtype=dtype)
+    dim = int(np.frombuffer(raw[:4].tobytes(), dtype="<i4")[0])
+    if dim <= 0:
+        raise ConfigError(f"{path}: invalid dimension header {dim}")
+    record_bytes = 4 + dim * dtype.itemsize
+    if raw.size % record_bytes != 0:
+        raise ConfigError(f"{path}: file size is not a multiple of the record size")
+    n = raw.size // record_bytes
+    if max_vectors is not None:
+        n = min(n, max_vectors)
+    records = raw[: n * record_bytes].reshape(n, record_bytes)
+    dims = records[:, :4].copy().view("<i4").ravel()
+    if not np.all(dims == dim):
+        raise ConfigError(f"{path}: inconsistent dimension headers")
+    body = records[:, 4:].copy().view(dtype)
+    return body.reshape(n, dim)
+
+
+def write_vecs(path: str | Path, vectors: np.ndarray) -> None:
+    """Write an (n, dim) array in the format implied by the suffix."""
+    path = Path(path)
+    dtype = _dtype_for(path)
+    vectors = np.ascontiguousarray(np.atleast_2d(vectors), dtype=dtype)
+    n, dim = vectors.shape
+    if dim == 0:
+        raise ConfigError("cannot write zero-dimensional vectors")
+    record_bytes = 4 + dim * dtype.itemsize
+    out = np.empty((n, record_bytes), dtype=np.uint8)
+    out[:, :4] = np.frombuffer(
+        np.full(n, dim, dtype="<i4").tobytes(), dtype=np.uint8
+    ).reshape(n, 4)
+    out[:, 4:] = vectors.view(np.uint8).reshape(n, dim * dtype.itemsize)
+    out.tofile(path)

@@ -1,0 +1,74 @@
+"""Skew machinery: Zipf popularity and heavy-tailed cluster masses.
+
+The paper's Figure 4 (SPACEV1B) motivates everything in Opt1: cluster
+*access frequencies* span ~500x and cluster *sizes* span up to ~10^6x.
+These helpers generate and measure such distributions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+def zipf_weights(n: int, alpha: float = 1.0) -> np.ndarray:
+    """Normalized Zipf weights: w_i ∝ 1 / rank^alpha."""
+    if n < 1:
+        raise ConfigError("n must be >= 1")
+    if alpha < 0:
+        raise ConfigError("alpha must be non-negative")
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    w = ranks**-alpha
+    return w / w.sum()
+
+
+def lognormal_sizes(
+    n: int, total: int, sigma: float = 1.5, rng: np.random.Generator | None = None
+) -> np.ndarray:
+    """Heavy-tailed cluster sizes summing exactly to ``total``.
+
+    Lognormal masses reproduce the multi-decade size spread of
+    Figure 4b; largest-remainder rounding keeps the exact total.
+    """
+    if n < 1 or total < n:
+        raise ConfigError(f"cannot split {total} points into {n} non-empty clusters")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    masses = rng.lognormal(mean=0.0, sigma=sigma, size=n)
+    fractions = masses / masses.sum()
+    # Guarantee every cluster at least one point, then distribute the rest.
+    sizes = np.ones(n, dtype=np.int64)
+    remaining = total - n
+    raw = fractions * remaining
+    sizes += raw.astype(np.int64)
+    shortfall = total - int(sizes.sum())
+    if shortfall > 0:
+        order = np.argsort(raw - raw.astype(np.int64))[::-1]
+        sizes[order[:shortfall]] += 1
+    return sizes
+
+
+def sample_categories(
+    weights: np.ndarray, n_samples: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Draw category indices according to ``weights``."""
+    return rng.choice(len(weights), size=n_samples, p=weights)
+
+
+def skew_ratio(values: np.ndarray) -> float:
+    """max / min over positive entries — the Figure 4 '500x' statistic."""
+    values = np.asarray(values, dtype=np.float64)
+    positive = values[values > 0]
+    if positive.size == 0:
+        raise ConfigError("no positive values to measure skew")
+    return float(positive.max() / positive.min())
+
+
+def gini(values: np.ndarray) -> float:
+    """Gini coefficient in [0, 1): 0 = perfectly balanced."""
+    v = np.sort(np.asarray(values, dtype=np.float64))
+    if v.size == 0 or v.sum() == 0:
+        return 0.0
+    n = v.size
+    cum = np.cumsum(v)
+    return float((n + 1 - 2 * (cum / cum[-1]).sum()) / n)

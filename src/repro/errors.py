@@ -1,0 +1,51 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch simulator/algorithm failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration was supplied."""
+
+
+class WramOverflowError(ReproError):
+    """A WRAM allocation request exceeds the DPU's 64 KB scratchpad."""
+
+
+class MramOverflowError(ReproError):
+    """Data loaded onto a DPU exceeds its 64 MB MRAM capacity."""
+
+
+class DmaAlignmentError(ReproError):
+    """An MRAM DMA transfer violates UPMEM's size/alignment rules.
+
+    Transfers must be 8-byte aligned, at least 8 bytes and at most
+    2048 bytes (UPMEM SDK constraint, paper section 4.2.1).
+    """
+
+
+class PlacementError(ReproError):
+    """Cluster placement could not satisfy capacity/balance constraints."""
+
+
+class SchedulingError(ReproError):
+    """A query references a cluster with no replica on any DPU."""
+
+
+class DeviceOutOfMemoryError(ReproError):
+    """A baseline device (e.g. the modeled GPU) cannot hold the index.
+
+    Mirrors the GPU out-of-memory failure the paper reports for DEEP1B
+    on the 80 GB A100 (blue 'X' markers in Figure 12).
+    """
+
+
+class NotTrainedError(ReproError):
+    """An index/engine operation requires training that has not happened."""

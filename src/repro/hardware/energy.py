@@ -1,0 +1,88 @@
+"""Per-batch energy accounting beyond the paper's peak-power proxy.
+
+The paper compares efficiency by *peak* power ("we can use it as an
+approximation").  This module refines that with an activity-based
+model: a DPU burns ``active_w`` while busy and ``idle_w`` while parked,
+plus a constant per-DIMM background draw.  The Figure-12 peak-power
+comparison is recovered by :func:`peak_energy`, and the refined model
+exposes how load imbalance wastes energy (idle DPUs still draw power
+while the makespan DPU finishes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.hardware.specs import PimSystemSpec
+
+
+@dataclass(frozen=True)
+class DpuPowerModel:
+    """Power states of one DPU, derived from the per-DIMM figure.
+
+    Falevoz & Legriel measure 23.22 W per 128-DPU DIMM at load
+    (~181 mW/DPU); at idle roughly half the draw remains (DRAM refresh
+    and logic leakage).
+    """
+
+    active_w: float = 0.181
+    idle_w: float = 0.090
+    dimm_background_w: float = 0.0
+
+    def batch_energy_j(
+        self, busy_seconds: np.ndarray, makespan_s: float
+    ) -> float:
+        """Joules burned by the array during one batch.
+
+        Each DPU is active for its own busy time and idle for the rest
+        of the batch (the makespan): imbalance directly shows up as
+        idle-energy waste.
+        """
+        busy = np.asarray(busy_seconds, dtype=np.float64)
+        if makespan_s < 0 or (busy < -1e-12).any():
+            raise ConfigError("negative times in energy accounting")
+        if busy.size and makespan_s + 1e-12 < busy.max():
+            raise ConfigError("makespan shorter than the busiest DPU")
+        active_j = float(busy.sum()) * self.active_w
+        idle_j = float((makespan_s - busy).sum()) * self.idle_w
+        return active_j + idle_j
+
+    def wasted_idle_fraction(
+        self, busy_seconds: np.ndarray, makespan_s: float
+    ) -> float:
+        """Share of the batch's energy spent in idle DPUs."""
+        total = self.batch_energy_j(busy_seconds, makespan_s)
+        if total <= 0:
+            return 0.0
+        busy = np.asarray(busy_seconds, dtype=np.float64)
+        idle_j = float((makespan_s - busy).sum()) * self.idle_w
+        return idle_j / total
+
+
+def peak_energy(spec: PimSystemSpec, seconds: float) -> float:
+    """The paper's approximation: peak power x elapsed time."""
+    if seconds < 0:
+        raise ConfigError("elapsed time cannot be negative")
+    return spec.peak_power_w * seconds
+
+
+def batch_energy_report(
+    spec: PimSystemSpec,
+    busy_seconds: np.ndarray,
+    makespan_s: float,
+    n_queries: int,
+    model: DpuPowerModel | None = None,
+) -> dict[str, float]:
+    """Energy summary for one batch: refined vs peak-power accounting."""
+    model = model if model is not None else DpuPowerModel()
+    refined = model.batch_energy_j(busy_seconds, makespan_s)
+    peak = peak_energy(spec, makespan_s)
+    return {
+        "refined_j": refined,
+        "peak_j": peak,
+        "j_per_query": refined / max(n_queries, 1),
+        "idle_fraction": model.wasted_idle_fraction(busy_seconds, makespan_s),
+    }

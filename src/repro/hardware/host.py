@@ -1,0 +1,48 @@
+"""Host-CPU cost model for the PIM deployment's orchestration work.
+
+In UpANNS the host CPU performs the light-weight stages: cluster
+filtering (query x centroid distances), query scheduling (Algorithm 2)
+and final top-k aggregation across DPUs.  These are compute-bound,
+small-footprint steps, so a FLOP/comparison cost model over the
+:class:`~repro.hardware.specs.CpuSpec` suffices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+import math
+
+from repro.hardware.specs import CpuSpec, XEON_4110_PAIR
+
+
+@dataclass(frozen=True)
+class HostModel:
+    """Analytic timing for host-side orchestration stages."""
+
+    cpu: CpuSpec = field(default_factory=lambda: XEON_4110_PAIR)
+    # Achievable fraction of peak FLOPs for small GEMM-like kernels.
+    flop_efficiency: float = 0.5
+    # Cost of one scheduling decision (heap/bookkeeping) in seconds.
+    schedule_op_seconds: float = 30e-9
+    # Cost of one comparison during final host-side top-k merging.
+    merge_op_seconds: float = 6e-9
+
+    def cluster_filter_seconds(self, n_queries: int, n_clusters: int, dim: int) -> float:
+        """Distances from every query to every coarse centroid + top-nprobe.
+
+        2*D FLOPs per (query, centroid) pair for the L2 computation; the
+        partial-sort term is dominated by the distance matrix.
+        """
+        flops = 2.0 * n_queries * n_clusters * dim
+        return flops / (self.cpu.flops * self.flop_efficiency)
+
+    def scheduling_seconds(self, n_queries: int, nprobe: int) -> float:
+        """Algorithm 2 runs in O(|Q| * nprobe) (paper section 4.1.2)."""
+        return n_queries * nprobe * self.schedule_op_seconds
+
+    def aggregate_seconds(self, n_queries: int, k: int, n_partials_per_query: int) -> float:
+        """Merge per-DPU top-k lists into the final per-query top-k."""
+        if n_partials_per_query <= 0:
+            return 0.0
+        comparisons = n_queries * n_partials_per_query * k * math.log2(max(k, 2))
+        return comparisons * self.merge_op_seconds

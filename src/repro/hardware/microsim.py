@@ -1,0 +1,150 @@
+"""Cycle-level DPU micro-simulator (validation substrate).
+
+The analytic :class:`~repro.hardware.pipeline.PipelineModel` asserts
+that a DPU retires ``min(T, 11)/11`` instructions per cycle with T
+resident tasklets.  This module *derives* that behaviour instead of
+assuming it: a discrete-time simulation of the 14-stage in-order
+pipeline with round-robin dispatch, the same-thread reissue interval,
+blocking DMA transactions through a single MRAM engine, and barriers.
+
+It is far too slow for whole-system simulation (that is the analytic
+model's job) but exactly right for validating the model's shape — the
+tests check that the micro-simulated throughput curve matches the
+closed form, including the knee at 11 tasklets, and that DMA-bound
+workloads saturate at the MRAM engine's service rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import ConfigError
+from repro.hardware.mram import MramModel
+from repro.hardware.specs import DpuSpec
+
+
+class OpKind(Enum):
+    """Workload atoms a tasklet program is made of."""
+
+    COMPUTE = "compute"  # one ALU instruction
+    DMA = "dma"  # a blocking MRAM<->WRAM transaction
+    BARRIER = "barrier"  # wait for all tasklets
+
+
+@dataclass(frozen=True)
+class Op:
+    kind: OpKind
+    # For DMA: transfer size in bytes; ignored otherwise.
+    size_bytes: int = 0
+
+
+def compute_block(n: int) -> list[Op]:
+    """n back-to-back ALU instructions."""
+    return [Op(OpKind.COMPUTE)] * n
+
+
+def dma_read(size_bytes: int) -> list[Op]:
+    return [Op(OpKind.DMA, size_bytes=size_bytes)]
+
+
+def barrier() -> list[Op]:
+    return [Op(OpKind.BARRIER)]
+
+
+@dataclass
+class _Tasklet:
+    program: list[Op]
+    pc: int = 0
+    # Cycle at which this tasklet may issue its next instruction.
+    ready_at: int = 0
+    at_barrier: bool = False
+
+    @property
+    def done(self) -> bool:
+        return self.pc >= len(self.program)
+
+
+@dataclass
+class MicroSim:
+    """Run identical (or distinct) tasklet programs to completion."""
+
+    spec: DpuSpec = field(default_factory=DpuSpec)
+    mram: MramModel = field(default_factory=MramModel)
+
+    def run(self, programs: list[list[Op]]) -> int:
+        """Simulate until every tasklet finishes; returns total cycles.
+
+        Dispatch: one instruction per cycle, round-robin over ready
+        tasklets; an issued instruction makes its tasklet unready for
+        ``pipeline_reissue_cycles`` (the in-order same-thread hazard).
+        DMA: the single MRAM engine serves one transaction at a time;
+        the issuing tasklet blocks until it completes.  Barriers release
+        when every live tasklet has arrived.
+        """
+        if not 1 <= len(programs) <= self.spec.max_tasklets:
+            raise ConfigError(
+                f"tasklet count {len(programs)} outside [1, {self.spec.max_tasklets}]"
+            )
+        tasklets = [_Tasklet(program=list(p)) for p in programs]
+        reissue = self.spec.pipeline_reissue_cycles
+        dma_free_at = 0  # cycle at which the MRAM engine is next free
+        cycle = 0
+        rr = 0  # round-robin pointer
+        guard = 0
+        while any(not t.done for t in tasklets):
+            guard += 1
+            if guard > 100_000_000:  # pragma: no cover - defensive
+                raise ConfigError("micro-simulation did not terminate")
+
+            # Barrier release check: all non-done tasklets waiting.
+            live = [t for t in tasklets if not t.done]
+            if live and all(t.at_barrier for t in live):
+                for t in live:
+                    t.at_barrier = False
+                    t.pc += 1
+                    t.ready_at = cycle + self.spec.pipeline_stages
+                cycle += 1
+                continue
+
+            issued = False
+            for i in range(len(tasklets)):
+                t = tasklets[(rr + i) % len(tasklets)]
+                if t.done or t.at_barrier or t.ready_at > cycle:
+                    continue
+                op = t.program[t.pc]
+                if op.kind is OpKind.COMPUTE:
+                    t.pc += 1
+                    t.ready_at = cycle + reissue
+                elif op.kind is OpKind.DMA:
+                    start = max(cycle, dma_free_at)
+                    latency = int(round(self.mram.latency_cycles(op.size_bytes)))
+                    dma_free_at = start + latency
+                    t.pc += 1
+                    t.ready_at = dma_free_at
+                else:  # BARRIER
+                    t.at_barrier = True
+                rr = (rr + i + 1) % len(tasklets)
+                issued = True
+                break
+            cycle += 1
+            if not issued:
+                # Nothing ready this cycle: fast-forward to the next
+                # event instead of ticking one cycle at a time.
+                pending = [
+                    t.ready_at
+                    for t in tasklets
+                    if not t.done and not t.at_barrier and t.ready_at > cycle
+                ]
+                if pending:
+                    cycle = max(cycle, min(pending))
+        # Issuing the last instruction is not finishing it: account for
+        # in-flight DMA and pipeline drain of the final instructions.
+        finish = max((t.ready_at for t in tasklets), default=cycle)
+        return max(cycle, dma_free_at, finish)
+
+    def throughput(self, n_tasklets: int, instructions_per_tasklet: int = 2000) -> float:
+        """Measured instructions/cycle for a pure-compute workload."""
+        programs = [compute_block(instructions_per_tasklet) for _ in range(n_tasklets)]
+        cycles = self.run(programs)
+        return n_tasklets * instructions_per_tasklet / cycles

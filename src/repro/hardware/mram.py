@@ -1,0 +1,110 @@
+"""MRAM DMA transfer model.
+
+UPMEM DPUs move data between the 64 MB MRAM and the 64 KB WRAM through an
+explicit DMA engine.  Transfers must be 8-byte aligned, between 8 and
+2048 bytes.  The paper's Figure 7 measures the transfer latency curve:
+it grows *slowly* from 8 B up to roughly 256 B (fixed DMA setup cost
+dominates) and *almost linearly* beyond (per-byte streaming dominates).
+This knee is what makes ~16-vector reads optimal in Figure 17.
+
+The model here is a two-slope piecewise-linear curve in cycles:
+
+    latency(s) = setup + slow_rate * min(s, knee) + fast_rate * max(0, s - knee)
+
+with default constants calibrated against the published UPMEM
+characterization (Gomez-Luna et al., IEEE Access 2022) so that an 8 B
+read costs ~78 cycles and a 2 KB read ~1 us at 350 MHz.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DmaAlignmentError
+
+MIN_DMA_BYTES = 8
+MAX_DMA_BYTES = 2048
+DMA_ALIGN = 8
+
+
+def validate_dma_size(size_bytes: int) -> None:
+    """Raise :class:`DmaAlignmentError` unless ``size_bytes`` is legal.
+
+    UPMEM constraint (paper section 4.2.1): multiples of 8 in [8, 2048].
+    """
+    if size_bytes < MIN_DMA_BYTES or size_bytes > MAX_DMA_BYTES:
+        raise DmaAlignmentError(
+            f"DMA size {size_bytes} outside [{MIN_DMA_BYTES}, {MAX_DMA_BYTES}]"
+        )
+    if size_bytes % DMA_ALIGN != 0:
+        raise DmaAlignmentError(f"DMA size {size_bytes} not {DMA_ALIGN}-byte aligned")
+
+
+def round_up_dma(size_bytes: int) -> int:
+    """Round a payload size up to a legal DMA transfer size."""
+    size = max(MIN_DMA_BYTES, (size_bytes + DMA_ALIGN - 1) // DMA_ALIGN * DMA_ALIGN)
+    if size > MAX_DMA_BYTES:
+        raise DmaAlignmentError(f"payload {size_bytes} exceeds max DMA {MAX_DMA_BYTES}")
+    return size
+
+
+@dataclass(frozen=True)
+class MramModel:
+    """Latency curve for a single MRAM<->WRAM DMA transaction."""
+
+    setup_cycles: float = 77.0
+    slow_rate_cycles_per_byte: float = 0.085
+    fast_rate_cycles_per_byte: float = 0.47
+    knee_bytes: int = 256
+
+    def latency_cycles(self, size_bytes: int) -> float:
+        """Cycles for one DMA transaction of ``size_bytes`` (validated)."""
+        validate_dma_size(size_bytes)
+        slow_part = min(size_bytes, self.knee_bytes)
+        fast_part = max(0, size_bytes - self.knee_bytes)
+        return (
+            self.setup_cycles
+            + self.slow_rate_cycles_per_byte * slow_part
+            + self.fast_rate_cycles_per_byte * fast_part
+        )
+
+    def latency_curve(self, sizes: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`latency_cycles` (sizes must all be legal)."""
+        sizes = np.asarray(sizes)
+        for s in np.unique(sizes):
+            validate_dma_size(int(s))
+        slow = np.minimum(sizes, self.knee_bytes)
+        fast = np.maximum(0, sizes - self.knee_bytes)
+        return (
+            self.setup_cycles
+            + self.slow_rate_cycles_per_byte * slow
+            + self.fast_rate_cycles_per_byte * fast
+        )
+
+    def bulk_transfer_cycles(self, total_bytes: int, chunk_bytes: int) -> float:
+        """Cycles to stream ``total_bytes`` using ``chunk_bytes`` DMA reads.
+
+        The tail transfer is rounded up to a legal DMA size, matching how
+        a real kernel must over-fetch the final partial chunk.
+        """
+        if total_bytes <= 0:
+            return 0.0
+        validate_dma_size(chunk_bytes)
+        full, tail = divmod(total_bytes, chunk_bytes)
+        cycles = full * self.latency_cycles(chunk_bytes)
+        if tail:
+            cycles += self.latency_cycles(round_up_dma(tail))
+        return cycles
+
+    def transactions_for(self, total_bytes: int, chunk_bytes: int) -> int:
+        """Number of DMA transactions for a bulk transfer."""
+        if total_bytes <= 0:
+            return 0
+        validate_dma_size(chunk_bytes)
+        return -(-total_bytes // chunk_bytes)
+
+    def effective_bandwidth_bytes_per_cycle(self, chunk_bytes: int) -> float:
+        """Sustained bytes/cycle when streaming with a given chunk size."""
+        return chunk_bytes / self.latency_cycles(chunk_bytes)

@@ -1,0 +1,78 @@
+"""DPU pipeline throughput model.
+
+Each UPMEM DPU has a 14-stage in-order pipeline with fine-grained
+multithreading: every cycle, the dispatcher issues one instruction from a
+*different* tasklet (round-robin).  Consecutive instructions from the
+same tasklet must be at least 11 cycles apart, because only the last
+three pipeline stages overlap with the first stages of the next
+instruction of the same thread (paper section 5.3.2).  Consequences the
+paper measures, and this model reproduces:
+
+* with T tasklets, instruction throughput is ``min(T, 11) / 11`` of peak;
+* QPS scales linearly up to 11 tasklets (Figure 13), then saturates —
+  running 12-24 tasklets adds no throughput (but costs WRAM for buffers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.hardware.specs import DpuSpec
+
+
+@dataclass(frozen=True)
+class PipelineModel:
+    """Converts instruction counts into cycles for a tasklet count."""
+
+    spec: DpuSpec = DpuSpec()
+
+    def throughput(self, n_tasklets: int) -> float:
+        """Instructions per cycle achieved with ``n_tasklets`` threads."""
+        self._validate(n_tasklets)
+        return min(n_tasklets, self.spec.pipeline_reissue_cycles) / float(
+            self.spec.pipeline_reissue_cycles
+        )
+
+    def compute_cycles(self, instructions: float, n_tasklets: int) -> float:
+        """Cycles to retire ``instructions`` with ``n_tasklets`` threads."""
+        if instructions < 0:
+            raise ConfigError("instruction count cannot be negative")
+        if instructions == 0:
+            return 0.0
+        return instructions / self.throughput(n_tasklets)
+
+    def speedup(self, n_tasklets: int) -> float:
+        """Speedup over a single tasklet (the Figure 13 y-axis)."""
+        return self.throughput(n_tasklets) / self.throughput(1)
+
+    def saturation_point(self) -> int:
+        """Tasklet count beyond which adding threads gains nothing."""
+        return self.spec.pipeline_reissue_cycles
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        return cycles / self.spec.frequency_hz
+
+    def _validate(self, n_tasklets: int) -> None:
+        if not 1 <= n_tasklets <= self.spec.max_tasklets:
+            raise ConfigError(
+                f"tasklet count {n_tasklets} outside [1, {self.spec.max_tasklets}]"
+            )
+
+
+@dataclass(frozen=True)
+class BarrierModel:
+    """Cost of a hardware barrier across tasklets.
+
+    UpANNS uses four barriers per (query, cluster) kernel (Figure 6).
+    A barrier costs roughly one pipeline drain plus a few instructions
+    per participating tasklet.
+    """
+
+    spec: DpuSpec = DpuSpec()
+    cycles_per_tasklet: float = 4.0
+
+    def barrier_cycles(self, n_tasklets: int) -> float:
+        if not 1 <= n_tasklets <= self.spec.max_tasklets:
+            raise ConfigError(f"invalid tasklet count {n_tasklets}")
+        return self.spec.pipeline_stages + self.cycles_per_tasklet * n_tasklets

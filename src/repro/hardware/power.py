@@ -1,0 +1,69 @@
+"""Peak-power and cost-efficiency accounting.
+
+The paper approximates energy efficiency by peak power ("we can use it as
+an approximation to compare the energy efficiency", section 5.2):
+QPS/W with 162 W for 7 PIM DIMMs vs 300 W for the A100, plus the
+QPS-per-dollar comparison (up to 9.3x in UpANNS's favor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.hardware.specs import HardwareSpec, PimSystemSpec
+
+
+@dataclass(frozen=True)
+class EfficiencyReport:
+    """QPS normalized by power and price for one platform."""
+
+    name: str
+    qps: float
+    peak_power_w: float
+    price_usd: float
+
+    @property
+    def qps_per_watt(self) -> float:
+        return self.qps / self.peak_power_w
+
+    @property
+    def qps_per_dollar(self) -> float:
+        return self.qps / self.price_usd
+
+    def energy_per_query_j(self) -> float:
+        """Joules per query at peak power (upper bound)."""
+        if self.qps <= 0:
+            raise ConfigError("QPS must be positive to compute energy/query")
+        return self.peak_power_w / self.qps
+
+
+def report_for_spec(spec: HardwareSpec, qps: float) -> EfficiencyReport:
+    return EfficiencyReport(
+        name=spec.name,
+        qps=qps,
+        peak_power_w=spec.peak_power_w,
+        price_usd=spec.price_usd,
+    )
+
+
+def report_for_pim(spec: PimSystemSpec, qps: float) -> EfficiencyReport:
+    return EfficiencyReport(
+        name=f"{spec.n_dpus}-DPU UPMEM PIM",
+        qps=qps,
+        peak_power_w=spec.peak_power_w,
+        price_usd=spec.price_usd,
+    )
+
+
+def dpus_for_power_budget(spec: PimSystemSpec, budget_w: float) -> int:
+    """How many DPUs fit under a power budget (Figure 20's 300 W line).
+
+    With 23.22 W per 128-DPU DIMM the paper computes 1654 DPUs for an
+    A100-equivalent 300 W budget.
+    """
+    if budget_w <= 0:
+        raise ConfigError("power budget must be positive")
+    per_dimm = spec.chips_per_dimm * spec.dpus_per_chip
+    per_dpu_w = spec.dimm_peak_power_w / per_dimm
+    return int(budget_w / per_dpu_w)

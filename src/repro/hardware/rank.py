@@ -1,0 +1,119 @@
+"""PIM system topology and host<->MRAM transfer model.
+
+A :class:`PimSystem` owns the full set of simulated DPUs (896 for the
+paper's 7-DIMM testbed) plus the host-side transfer model.  The key
+architectural quirk it models (paper section 2.2): host->MRAM transfers
+across DPUs proceed *in parallel only when every per-DPU buffer has the
+same size*; otherwise the driver falls back to sequential per-DPU copies.
+UpANNS exploits this by padding scheduling metadata to uniform sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigError
+from repro.hardware.dpu import DPU
+from repro.hardware.mram import MramModel
+from repro.hardware.specs import PimSystemSpec
+
+
+@dataclass
+class TransferStats:
+    """Outcome of a host<->MRAM transfer batch."""
+
+    total_bytes: int
+    parallel: bool
+    seconds: float
+
+
+@dataclass
+class PimSystem:
+    """The simulated UPMEM deployment: topology + DPU instances."""
+
+    spec: PimSystemSpec = field(default_factory=PimSystemSpec)
+    n_tasklets: int = 11
+    mram_model: MramModel = field(default_factory=MramModel)
+    dpus: list[DPU] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.n_tasklets <= self.spec.dpu.max_tasklets:
+            raise ConfigError(f"invalid tasklet count {self.n_tasklets}")
+        self.dpus = [
+            DPU(
+                dpu_id=i,
+                spec=self.spec.dpu,
+                mram_model=self.mram_model,
+                n_tasklets=self.n_tasklets,
+            )
+            for i in range(self.spec.n_dpus)
+        ]
+
+    @property
+    def n_dpus(self) -> int:
+        return self.spec.n_dpus
+
+    def dpu(self, dpu_id: int) -> DPU:
+        return self.dpus[dpu_id]
+
+    def reset_counters(self) -> None:
+        for d in self.dpus:
+            d.reset_counters()
+
+    # --- Host <-> MRAM transfers ---------------------------------------
+
+    def host_transfer_seconds(self, buffer_sizes: Sequence[int]) -> TransferStats:
+        """Time to push (or pull) one buffer per DPU from the host.
+
+        Uniform sizes -> one parallel transfer at the aggregate host
+        bandwidth; non-uniform -> serialized copies (each at the
+        aggregate bandwidth since only one DPU is active at a time,
+        which is the degradation the paper warns about).
+        """
+        sizes = [int(s) for s in buffer_sizes if s > 0]
+        if not sizes:
+            return TransferStats(0, True, 0.0)
+        bw = self.spec.host_transfer_bytes_per_s
+        total = sum(sizes)
+        uniform = len(set(sizes)) == 1
+        if uniform:
+            # All DPUs receive concurrently; wall time is one buffer's
+            # worth at full host bandwidth.
+            seconds = sizes[0] / bw
+        else:
+            seconds = total / bw
+        return TransferStats(total, uniform, seconds)
+
+    def broadcast_seconds(self, size_bytes: int) -> float:
+        """Same buffer to all DPUs (e.g. the query batch)."""
+        if size_bytes <= 0:
+            return 0.0
+        return size_bytes / self.spec.host_transfer_bytes_per_s
+
+    def gather_seconds(self, per_dpu_bytes: Iterable[int]) -> TransferStats:
+        """Pull per-DPU result buffers back to the host."""
+        return self.host_transfer_seconds(list(per_dpu_bytes))
+
+    # --- Aggregate views -------------------------------------------------
+
+    def makespan_seconds(self) -> float:
+        """Batch execution time: the slowest DPU determines the makespan.
+
+        The paper: "the largest workload among DPUs determines the
+        overall performance" (section 5.3.1).
+        """
+        if not self.dpus:
+            return 0.0
+        return max(d.elapsed_seconds() for d in self.dpus)
+
+    def load_ratio(self) -> float:
+        """max/mean DPU busy time — the Figure 11 balance metric."""
+        times = [d.elapsed_cycles() for d in self.dpus]
+        mean = sum(times) / len(times)
+        if mean == 0:
+            return 1.0
+        return max(times) / mean
+
+    def total_mram_used(self) -> int:
+        return sum(d.mram_used_bytes for d in self.dpus)

@@ -1,0 +1,211 @@
+"""Hardware descriptors for the three evaluated platforms (paper Table 1).
+
+The paper compares a dual-socket Intel Xeon Silver 4110 host, an NVIDIA
+A100 PCI-e 80 GB GPU and seven UPMEM PIM DIMMs (896 DPUs).  These
+dataclasses capture the published specifications that every cost model in
+:mod:`repro.baselines` and :mod:`repro.hardware` is parameterized by, so
+that changing a spec consistently changes the simulation.
+
+All frequencies are in Hz, capacities in bytes, bandwidths in bytes/s and
+power in watts unless a field name says otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigError
+
+GiB = 1024**3
+GB = 10**9
+KiB = 1024
+MiB = 1024**2
+
+
+@dataclass(frozen=True)
+class HardwareSpec:
+    """Platform-level descriptor (one row of the paper's Table 1)."""
+
+    name: str
+    price_usd: float
+    memory_bytes: int
+    peak_power_w: float
+    bandwidth_bytes_per_s: float
+
+    def __post_init__(self) -> None:
+        if self.price_usd <= 0 or self.memory_bytes <= 0:
+            raise ConfigError(f"invalid spec for {self.name!r}")
+        if self.peak_power_w <= 0 or self.bandwidth_bytes_per_s <= 0:
+            raise ConfigError(f"invalid spec for {self.name!r}")
+
+    @property
+    def memory_gb(self) -> float:
+        return self.memory_bytes / GB
+
+    @property
+    def bandwidth_gb_per_s(self) -> float:
+        return self.bandwidth_bytes_per_s / GB
+
+
+@dataclass(frozen=True)
+class CpuSpec(HardwareSpec):
+    """Host CPU descriptor.
+
+    ``flops`` is the aggregate single-precision FLOP/s available for the
+    compute-bound LUT-construction stage; ``random_access_efficiency``
+    discounts the streaming bandwidth for the pointer-chasing access
+    pattern of the distance-calculation stage (the paper identifies this
+    stage as memory-bound: 250M random accesses per query at 1B scale).
+    """
+
+    cores: int = 16
+    frequency_hz: float = 2.10e9
+    flops: float = 5.3e11
+    random_access_efficiency: float = 0.35
+    cache_bytes: int = 11 * MiB * 2
+
+
+@dataclass(frozen=True)
+class GpuSpec(HardwareSpec):
+    """GPU descriptor (A100-class).
+
+    ``topk_sync_us`` models the per-(query, probe) CUDA stream
+    synchronization cost that the paper measures to dominate GPU runtime
+    (64–89 % in the top-k stage, Figures 1 and 19). ``flops`` is FP32.
+    """
+
+    flops: float = 1.95e13
+    sm_count: int = 108
+    topk_sync_us: float = 1.6
+    kernel_launch_us: float = 8.0
+
+
+@dataclass(frozen=True)
+class DpuSpec:
+    """A single UPMEM DRAM Processing Unit (paper section 2.2)."""
+
+    frequency_hz: float = 350e6
+    max_tasklets: int = 24
+    pipeline_stages: int = 14
+    # Consecutive instructions of the SAME thread must be >= this many
+    # cycles apart; with >= this many tasklets the pipeline issues one
+    # instruction per cycle (paper section 5.3.2: QPS scales linearly up
+    # to 11 tasklets, then saturates).
+    pipeline_reissue_cycles: int = 11
+    wram_bytes: int = 64 * KiB
+    mram_bytes: int = 64 * MiB
+    iram_bytes: int = 24 * KiB
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.pipeline_reissue_cycles <= self.pipeline_stages:
+            raise ConfigError("reissue interval cannot exceed pipeline depth")
+        if self.max_tasklets < 1:
+            raise ConfigError("a DPU needs at least one tasklet")
+
+
+@dataclass(frozen=True)
+class PimSystemSpec:
+    """A host populated with UPMEM DIMMs.
+
+    Topology per the paper: each DIMM houses 16 PIM chips x 8 DPUs =
+    128 DPUs; 7 DIMMs => 896 DPUs, 56 GB MRAM, 162 W peak (23.22 W per
+    DIMM per Falevoz & Legriel).  Host<->MRAM transfers are parallel
+    across DPUs only when all per-DPU buffers are the same size,
+    otherwise they serialize (paper section 2.2).
+    """
+
+    n_dimms: int = 7
+    chips_per_dimm: int = 16
+    dpus_per_chip: int = 8
+    dpu: DpuSpec = field(default_factory=DpuSpec)
+    dimm_peak_power_w: float = 23.22
+    dimm_price_usd: float = 400.0
+    # Aggregate host<->MRAM bandwidth for uniform parallel transfers.
+    host_transfer_bytes_per_s: float = 2.0e9
+    # Effective MRAM streaming bandwidth of one DPU; x 896 DPUs this
+    # yields ~0.6 TB/s, matching the 612.5 GB/s aggregate in Table 1.
+    dpu_mram_bytes_per_s: float = 683.7e6
+
+    def __post_init__(self) -> None:
+        if min(self.n_dimms, self.chips_per_dimm, self.dpus_per_chip) < 1:
+            raise ConfigError("PIM topology dimensions must be positive")
+
+    @property
+    def n_dpus(self) -> int:
+        return self.n_dimms * self.chips_per_dimm * self.dpus_per_chip
+
+    @property
+    def total_mram_bytes(self) -> int:
+        return self.n_dpus * self.dpu.mram_bytes
+
+    @property
+    def peak_power_w(self) -> float:
+        return self.n_dimms * self.dimm_peak_power_w
+
+    @property
+    def price_usd(self) -> float:
+        return self.n_dimms * self.dimm_price_usd
+
+    @property
+    def aggregate_bandwidth_bytes_per_s(self) -> float:
+        return self.n_dpus * self.dpu_mram_bytes_per_s
+
+    def with_n_dpus(self, n_dpus: int) -> "PimSystemSpec":
+        """Return a spec scaled to exactly ``n_dpus`` DPUs.
+
+        Used by the scalability study (Figure 20), which sweeps 500-2560
+        DPUs.  Partial DIMMs are allowed for power accounting: power
+        scales with DPU count at 23.22/128 W per DPU.
+        """
+        if n_dpus < 1:
+            raise ConfigError("n_dpus must be positive")
+        per_dimm = self.chips_per_dimm * self.dpus_per_chip
+        # Represent as 1 "dimm" of n_dpus chips x 1 dpu to keep the
+        # topology product exact while preserving per-DPU parameters.
+        return replace(
+            self,
+            n_dimms=1,
+            chips_per_dimm=n_dpus,
+            dpus_per_chip=1,
+            dimm_peak_power_w=self.dimm_peak_power_w * n_dpus / per_dimm,
+            dimm_price_usd=self.dimm_price_usd * n_dpus / per_dimm,
+        )
+
+    def as_hardware_spec(self) -> HardwareSpec:
+        """Summarize the PIM system as a Table-1 row."""
+        return HardwareSpec(
+            name=f"{self.n_dpus}-DPU UPMEM PIM",
+            price_usd=self.price_usd,
+            memory_bytes=self.total_mram_bytes,
+            peak_power_w=self.peak_power_w,
+            bandwidth_bytes_per_s=self.aggregate_bandwidth_bytes_per_s,
+        )
+
+
+# --- Published Table 1 instances -------------------------------------------
+
+XEON_4110_PAIR = CpuSpec(
+    name="2x Intel Xeon Silver 4110 + 4x DDR4",
+    price_usd=1400.0,
+    memory_bytes=128 * GB,
+    peak_power_w=190.0,
+    bandwidth_bytes_per_s=85.3 * GB,
+    cores=16,
+    frequency_hz=2.10e9,
+)
+
+A100_PCIE_80GB = GpuSpec(
+    name="NVIDIA A100 PCI-e 80GB",
+    price_usd=20000.0,
+    memory_bytes=80 * GB,
+    peak_power_w=300.0,
+    bandwidth_bytes_per_s=1935 * GB,
+)
+
+UPMEM_7_DIMMS = PimSystemSpec(n_dimms=7)
+
+TABLE1_ROWS = (
+    XEON_4110_PAIR,
+    A100_PCIE_80GB,
+    UPMEM_7_DIMMS.as_hardware_spec(),
+)

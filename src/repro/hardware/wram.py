@@ -1,0 +1,123 @@
+"""WRAM scratchpad allocator with physical addressing.
+
+UPMEM DPUs have 64 KB of fast WRAM and *no MMU* — kernels address WRAM
+physically (paper challenge 2).  UpANNS therefore plans WRAM layout
+statically and *reuses* regions across pipeline stages: the codebook
+region is overwritten by encoded-point read buffers once the LUT is
+built (Figure 6, red annotations).
+
+:class:`WramAllocator` models exactly that: named, explicitly-freed
+regions with fixed physical offsets, overflow detection, and a live-range
+log that tests use to prove reuse plans never overlap two simultaneously
+live buffers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import WramOverflowError
+
+WRAM_ALIGN = 8
+
+
+@dataclass(frozen=True)
+class WramRegion:
+    """A named, fixed-offset region of WRAM."""
+
+    name: str
+    offset: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.size
+
+    def overlaps(self, other: "WramRegion") -> bool:
+        return self.offset < other.end and other.offset < self.end
+
+
+@dataclass
+class WramAllocator:
+    """First-fit allocator over a fixed-size physical scratchpad."""
+
+    capacity: int = 64 * 1024
+    _live: dict[str, WramRegion] = field(default_factory=dict)
+    _history: list[tuple[str, str, int, int]] = field(default_factory=list)
+    peak_bytes: int = 0
+
+    def _aligned(self, size: int) -> int:
+        return (size + WRAM_ALIGN - 1) // WRAM_ALIGN * WRAM_ALIGN
+
+    def alloc(self, name: str, size: int) -> WramRegion:
+        """Allocate a named region; first-fit into the lowest free gap."""
+        if name in self._live:
+            raise WramOverflowError(f"region {name!r} already allocated")
+        if size <= 0:
+            raise WramOverflowError(f"region {name!r} has non-positive size")
+        size = self._aligned(size)
+        offset = self._find_gap(size)
+        if offset is None:
+            raise WramOverflowError(
+                f"cannot fit {size} B region {name!r}: "
+                f"{self.used_bytes} B of {self.capacity} B in use"
+            )
+        region = WramRegion(name, offset, size)
+        self._live[name] = region
+        self._history.append(("alloc", name, offset, size))
+        self.peak_bytes = max(self.peak_bytes, self.used_bytes)
+        return region
+
+    def free(self, name: str) -> None:
+        """Release a region so its physical range can be reused."""
+        region = self._live.pop(name, None)
+        if region is None:
+            raise WramOverflowError(f"region {name!r} is not allocated")
+        self._history.append(("free", name, region.offset, region.size))
+
+    def _find_gap(self, size: int) -> int | None:
+        regions = sorted(self._live.values(), key=lambda r: r.offset)
+        cursor = 0
+        for r in regions:
+            if r.offset - cursor >= size:
+                return cursor
+            cursor = max(cursor, r.end)
+        if self.capacity - cursor >= size:
+            return cursor
+        return None
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(r.size for r in self._live.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity - self.used_bytes
+
+    def region(self, name: str) -> WramRegion:
+        return self._live[name]
+
+    def is_live(self, name: str) -> bool:
+        return name in self._live
+
+    def live_regions(self) -> list[WramRegion]:
+        return sorted(self._live.values(), key=lambda r: r.offset)
+
+    def largest_free_block(self) -> int:
+        """Size of the largest contiguous free range (fragmentation probe)."""
+        best, cursor = 0, 0
+        for r in self.live_regions():
+            best = max(best, r.offset - cursor)
+            cursor = max(cursor, r.end)
+        return max(best, self.capacity - cursor)
+
+    def verify_no_overlap(self) -> None:
+        """Assert the invariant that live regions never overlap."""
+        regions = self.live_regions()
+        for a, b in zip(regions, regions[1:]):
+            if a.overlaps(b):  # pragma: no cover - defensive
+                raise WramOverflowError(f"overlap between {a.name} and {b.name}")
+
+    def history(self) -> list[tuple[str, str, int, int]]:
+        """(op, name, offset, size) log, for reuse-plan verification."""
+        return list(self._history)

@@ -1,0 +1,56 @@
+"""From-scratch IVFPQ algorithm stack (paper section 2.1).
+
+K-means coarse quantization, product quantization of residuals,
+lookup-table construction, asymmetric distance computation, exact
+brute-force ground truth and recall metrics.
+"""
+
+from repro.ivfpq.adc import adc_distances, adc_distances_direct, topk_from_distances
+from repro.ivfpq.flat import FlatIndex
+from repro.ivfpq.index import IVFPQIndex, SearchResult
+from repro.ivfpq.io import load_index, save_index
+from repro.ivfpq.ivfflat import FlatClusterList, IVFFlatIndex
+from repro.ivfpq.pq_index import PQIndex
+from repro.ivfpq.ivf import ClusterList, InvertedFile
+from repro.ivfpq.kmeans import (
+    KMeansResult,
+    assign_to_centroids,
+    kmeans,
+    kmeans_pp_init,
+    squared_distances,
+)
+from repro.ivfpq.lut import (
+    build_lut,
+    build_luts_for_probes,
+    codebook_size_bytes,
+    lut_size_bytes,
+)
+from repro.ivfpq.pq import ProductQuantizer
+from repro.ivfpq.recall import recall_1_at_k, recall_at_k
+
+__all__ = [
+    "ClusterList",
+    "FlatIndex",
+    "IVFFlatIndex",
+    "IVFPQIndex",
+    "PQIndex",
+    "InvertedFile",
+    "KMeansResult",
+    "ProductQuantizer",
+    "SearchResult",
+    "adc_distances",
+    "adc_distances_direct",
+    "assign_to_centroids",
+    "build_lut",
+    "load_index",
+    "save_index",
+    "build_luts_for_probes",
+    "codebook_size_bytes",
+    "kmeans",
+    "kmeans_pp_init",
+    "lut_size_bytes",
+    "recall_1_at_k",
+    "recall_at_k",
+    "squared_distances",
+    "topk_from_distances",
+]

@@ -1,0 +1,98 @@
+"""Index persistence: save/load a trained IVFPQ index as one .npz file.
+
+The offline phase (k-means + PQ training + encoding) is the expensive
+part of the pipeline; deployments train once and serve many times.
+The format stores the coarse centroids, PQ codebooks, and the inverted
+lists (ids + codes, concatenated with offsets), plus the geometry needed
+to validate on load.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ConfigError, NotTrainedError
+from repro.ivfpq.index import IVFPQIndex
+
+FORMAT_VERSION = 1
+
+
+def save_index(path: str | Path, index: IVFPQIndex) -> None:
+    """Persist a trained, populated index to ``path`` (.npz)."""
+    if not index.is_trained:
+        raise NotTrainedError("cannot save an untrained index")
+    if not index.ivf.lists:
+        raise NotTrainedError("cannot save an index with no inverted lists")
+    ids = [cl.ids for cl in index.ivf.lists]
+    codes = [cl.codes for cl in index.ivf.lists]
+    offsets = np.zeros(len(ids) + 1, dtype=np.int64)
+    np.cumsum([a.shape[0] for a in ids], out=offsets[1:])
+    np.savez_compressed(
+        Path(path),
+        format_version=np.int64(FORMAT_VERSION),
+        dim=np.int64(index.dim),
+        n_clusters=np.int64(index.n_clusters),
+        m=np.int64(index.m),
+        nbits=np.int64(index.nbits),
+        ntotal=np.int64(index.ntotal),
+        centroids=index.ivf.centroids,
+        codebooks=index.pq.codebooks,
+        list_offsets=offsets,
+        all_ids=np.concatenate(ids) if offsets[-1] else np.empty(0, np.int64),
+        all_codes=(
+            np.concatenate(codes)
+            if offsets[-1]
+            else np.empty((0, index.m), np.uint8)
+        ),
+    )
+
+
+def load_index(path: str | Path) -> IVFPQIndex:
+    """Load an index saved by :func:`save_index`, validating geometry."""
+    with np.load(Path(path)) as data:
+        version = int(data["format_version"])
+        if version != FORMAT_VERSION:
+            raise ConfigError(
+                f"index file format v{version} unsupported (expected v{FORMAT_VERSION})"
+            )
+        index = IVFPQIndex(
+            dim=int(data["dim"]),
+            n_clusters=int(data["n_clusters"]),
+            m=int(data["m"]),
+            nbits=int(data["nbits"]),
+        )
+        centroids = data["centroids"]
+        codebooks = data["codebooks"]
+        if centroids.shape != (index.n_clusters, index.dim):
+            raise ConfigError("corrupt index file: centroid shape mismatch")
+        if codebooks.shape != (index.m, index.pq.ksub, index.pq.dsub):
+            raise ConfigError("corrupt index file: codebook shape mismatch")
+        index.ivf.centroids = np.ascontiguousarray(centroids, dtype=np.float32)
+        index.pq.codebooks = np.ascontiguousarray(codebooks, dtype=np.float32)
+
+        offsets = data["list_offsets"]
+        all_ids = data["all_ids"]
+        all_codes = data["all_codes"]
+        if offsets.shape[0] != index.n_clusters + 1:
+            raise ConfigError("corrupt index file: offset table mismatch")
+        if int(offsets[-1]) != all_ids.shape[0]:
+            raise ConfigError("corrupt index file: id payload mismatch")
+        from repro.ivfpq.ivf import ClusterList
+
+        lists = []
+        for c in range(index.n_clusters):
+            lo, hi = int(offsets[c]), int(offsets[c + 1])
+            lists.append(
+                ClusterList(
+                    cluster_id=c,
+                    ids=np.ascontiguousarray(all_ids[lo:hi]),
+                    codes=np.ascontiguousarray(all_codes[lo:hi]),
+                )
+            )
+        index.ivf.lists = lists
+        index._ntotal = int(data["ntotal"])
+        if index._ntotal != int(offsets[-1]):
+            raise ConfigError("corrupt index file: ntotal mismatch")
+    return index

@@ -1,0 +1,155 @@
+"""Inverted file (IVF) coarse quantizer and cluster lists.
+
+The IVF stage partitions the dataset into |C| clusters via k-means and
+stores each point as a *residual* (point minus its coarse centroid),
+which is what PQ then compresses (paper Figure 2, offline phase).  At
+query time, only the ``nprobe`` closest clusters are scanned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError, NotTrainedError
+from repro.ivfpq.kmeans import assign_to_centroids, kmeans, squared_distances
+
+
+@dataclass
+class ClusterList:
+    """One inverted list: the ids and PQ codes of a cluster's members."""
+
+    cluster_id: int
+    ids: np.ndarray  # (s,) int64 global vector ids
+    codes: np.ndarray  # (s, m) uint8 PQ codes of residuals
+
+    @property
+    def size(self) -> int:
+        return int(self.ids.shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.ids.nbytes + self.codes.nbytes)
+
+
+@dataclass
+class InvertedFile:
+    """Coarse quantizer + per-cluster inverted lists."""
+
+    n_clusters: int
+    centroids: np.ndarray | None = field(default=None, repr=False)  # (|C|, d)
+    lists: list[ClusterList] = field(default_factory=list)
+
+    @property
+    def is_trained(self) -> bool:
+        return self.centroids is not None
+
+    def _require_trained(self) -> np.ndarray:
+        if self.centroids is None:
+            raise NotTrainedError("InvertedFile.train() has not been called")
+        return self.centroids
+
+    def train(
+        self,
+        x: np.ndarray,
+        *,
+        n_iter: int = 20,
+        rng: np.random.Generator | None = None,
+    ) -> "InvertedFile":
+        """Fit the coarse quantizer (k-means over full vectors)."""
+        res = kmeans(x, self.n_clusters, n_iter=n_iter, rng=rng)
+        self.centroids = res.centroids
+        return self
+
+    def assign(self, x: np.ndarray) -> np.ndarray:
+        """Coarse cluster id for each vector."""
+        labels, _ = assign_to_centroids(
+            np.ascontiguousarray(x, dtype=np.float32), self._require_trained()
+        )
+        return labels
+
+    def residuals(self, x: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        """Point minus its assigned coarse centroid."""
+        centroids = self._require_trained()
+        return np.ascontiguousarray(x, dtype=np.float32) - centroids[labels]
+
+    def build_lists(
+        self, ids: np.ndarray, labels: np.ndarray, codes: np.ndarray
+    ) -> None:
+        """Group (id, code) pairs into per-cluster inverted lists."""
+        ids = np.asarray(ids, dtype=np.int64)
+        if not (len(ids) == len(labels) == len(codes)):
+            raise ConfigError("ids, labels and codes must align")
+        order = np.argsort(labels, kind="stable")
+        sorted_labels = labels[order]
+        boundaries = np.searchsorted(
+            sorted_labels, np.arange(self.n_clusters + 1), side="left"
+        )
+        self.lists = []
+        for c in range(self.n_clusters):
+            sel = order[boundaries[c] : boundaries[c + 1]]
+            self.lists.append(
+                ClusterList(
+                    cluster_id=c,
+                    ids=np.ascontiguousarray(ids[sel]),
+                    codes=np.ascontiguousarray(codes[sel]),
+                )
+            )
+
+    def append_to_lists(
+        self, ids: np.ndarray, labels: np.ndarray, codes: np.ndarray
+    ) -> None:
+        """Append (id, code) pairs to existing inverted lists.
+
+        Supports incremental corpus growth: lists are extended in place
+        (cluster membership is decided by the *existing* coarse
+        quantizer, as in any IVF library).
+        """
+        if not self.lists:
+            self.build_lists(ids, labels, codes)
+            return
+        ids = np.asarray(ids, dtype=np.int64)
+        if not (len(ids) == len(labels) == len(codes)):
+            raise ConfigError("ids, labels and codes must align")
+        order = np.argsort(labels, kind="stable")
+        sorted_labels = labels[order]
+        boundaries = np.searchsorted(
+            sorted_labels, np.arange(self.n_clusters + 1), side="left"
+        )
+        for c in range(self.n_clusters):
+            sel = order[boundaries[c] : boundaries[c + 1]]
+            if sel.size == 0:
+                continue
+            cl = self.lists[c]
+            cl.ids = np.concatenate([cl.ids, ids[sel]])
+            cl.codes = np.vstack([cl.codes, codes[sel]]) if cl.codes.size else codes[sel]
+
+    def search_clusters(self, queries: np.ndarray, nprobe: int) -> np.ndarray:
+        """Stage (a), cluster filtering: the nprobe nearest clusters.
+
+        Returns (nq, nprobe) int64 cluster ids ordered nearest-first.
+        """
+        centroids = self._require_trained()
+        if not 1 <= nprobe <= self.n_clusters:
+            raise ConfigError(f"nprobe {nprobe} outside [1, {self.n_clusters}]")
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+        d2 = squared_distances(queries, centroids)
+        if nprobe == self.n_clusters:
+            probes = np.argsort(d2, axis=1)
+        else:
+            part = np.argpartition(d2, nprobe - 1, axis=1)[:, :nprobe]
+            row = np.arange(queries.shape[0])[:, None]
+            inner = np.argsort(d2[row, part], axis=1)
+            probes = part[row, inner]
+        return probes.astype(np.int64)
+
+    def cluster_sizes(self) -> np.ndarray:
+        """(|C|,) list lengths — the Figure 4b skew input."""
+        if not self.lists:
+            return np.zeros(self.n_clusters, dtype=np.int64)
+        return np.array([cl.size for cl in self.lists], dtype=np.int64)
+
+    @property
+    def ntotal(self) -> int:
+        return int(self.cluster_sizes().sum())

@@ -1,0 +1,146 @@
+"""IVFFlat: inverted-file search over *raw* vectors (no PQ).
+
+The paper's conclusion says the core UpANNS techniques — workload
+distribution, resource management, top-k pruning — "are transferable"
+to broader ANNS algorithms.  IVFFlat is the natural first target: the
+same cluster-filtered scan, but distances are exact L2 over raw
+vectors instead of LUT sums over codes.  (CAE does not transfer — there
+are no codes to re-encode — which is itself part of the story.)
+
+This module provides the reference index;
+:mod:`repro.core.flat_engine` runs it on the PIM simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError, NotTrainedError
+from repro.ivfpq.adc import topk_from_distances
+from repro.ivfpq.ivf import InvertedFile
+from repro.ivfpq.kmeans import squared_distances
+
+
+@dataclass
+class FlatClusterList:
+    """One inverted list holding raw vectors."""
+
+    cluster_id: int
+    ids: np.ndarray
+    vectors: np.ndarray  # (s, dim) float32
+
+    @property
+    def size(self) -> int:
+        return int(self.ids.shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.ids.nbytes + self.vectors.nbytes)
+
+
+@dataclass
+class IVFFlatIndex:
+    """Coarse quantizer + raw-vector inverted lists."""
+
+    dim: int
+    n_clusters: int
+    ivf: InvertedFile = field(init=False)
+    lists: list[FlatClusterList] = field(default_factory=list)
+    _ntotal: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_clusters < 1:
+            raise ConfigError("n_clusters must be >= 1")
+        self.ivf = InvertedFile(self.n_clusters)
+
+    @property
+    def is_trained(self) -> bool:
+        return self.ivf.is_trained
+
+    @property
+    def ntotal(self) -> int:
+        return self._ntotal
+
+    def train(
+        self,
+        x: np.ndarray,
+        *,
+        n_iter: int = 20,
+        rng: np.random.Generator | None = None,
+    ) -> "IVFFlatIndex":
+        self.ivf.train(np.atleast_2d(x), n_iter=n_iter, rng=rng)
+        return self
+
+    def add(self, x: np.ndarray, ids: np.ndarray | None = None) -> None:
+        if not self.is_trained:
+            raise NotTrainedError("train() must be called before add()")
+        x = np.ascontiguousarray(np.atleast_2d(x), dtype=np.float32)
+        if x.shape[1] != self.dim:
+            raise ConfigError(f"vector dim {x.shape[1]} != index dim {self.dim}")
+        if ids is None:
+            ids = np.arange(self._ntotal, self._ntotal + x.shape[0], dtype=np.int64)
+        else:
+            ids = np.asarray(ids, dtype=np.int64)
+        labels = self.ivf.assign(x)
+        if not self.lists:
+            self.lists = [
+                FlatClusterList(
+                    cluster_id=c,
+                    ids=np.empty(0, dtype=np.int64),
+                    vectors=np.empty((0, self.dim), dtype=np.float32),
+                )
+                for c in range(self.n_clusters)
+            ]
+        order = np.argsort(labels, kind="stable")
+        boundaries = np.searchsorted(
+            labels[order], np.arange(self.n_clusters + 1), side="left"
+        )
+        for c in range(self.n_clusters):
+            sel = order[boundaries[c] : boundaries[c + 1]]
+            if sel.size == 0:
+                continue
+            cl = self.lists[c]
+            cl.ids = np.concatenate([cl.ids, ids[sel]])
+            cl.vectors = np.vstack([cl.vectors, x[sel]])
+        self._ntotal += x.shape[0]
+
+    def search(
+        self, queries: np.ndarray, k: int, nprobe: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Exact L2 over the probed clusters -> (distances, ids)."""
+        if not self.is_trained or not self.lists:
+            raise NotTrainedError("index must be trained and populated")
+        queries = np.ascontiguousarray(np.atleast_2d(queries), dtype=np.float32)
+        probes = self.ivf.search_clusters(queries, nprobe)
+        nq = queries.shape[0]
+        out_d = np.full((nq, k), np.inf, dtype=np.float32)
+        out_i = np.full((nq, k), -1, dtype=np.int64)
+        for qi in range(nq):
+            cand_i, cand_d = [], []
+            for c in probes[qi]:
+                cl = self.lists[c]
+                if cl.size == 0:
+                    continue
+                d2 = squared_distances(queries[qi : qi + 1], cl.vectors)[0]
+                cand_i.append(cl.ids)
+                cand_d.append(d2)
+            if not cand_i:
+                continue
+            ids, dists = topk_from_distances(
+                np.concatenate(cand_i), np.concatenate(cand_d).astype(np.float32), k
+            )
+            out_i[qi, : ids.shape[0]] = ids
+            out_d[qi, : dists.shape[0]] = dists
+        return out_d, out_i
+
+    def cluster_sizes(self) -> np.ndarray:
+        if not self.lists:
+            return np.zeros(self.n_clusters, dtype=np.int64)
+        return np.array([cl.size for cl in self.lists], dtype=np.int64)
+
+    def memory_bytes(self) -> int:
+        """Raw-vector storage — the cost PQ compresses away (paper's
+        motivation for compression-based methods at billion scale)."""
+        return sum(cl.nbytes for cl in self.lists)

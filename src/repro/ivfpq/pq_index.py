@@ -1,0 +1,88 @@
+"""Exhaustive product-quantization index (no coarse quantizer).
+
+The IndexPQ of the Faiss family: every vector is PQ-encoded and every
+query scans *all* codes through one LUT.  Included for library
+completeness and as the didactic contrast to IVFPQ — it shows exactly
+what the IVF stage buys (the paper's cluster filtering shrinks the scan
+by |C|/nprobe, which is why billion-scale search is feasible at all).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError, NotTrainedError
+from repro.ivfpq.adc import adc_distances, topk_from_distances
+from repro.ivfpq.pq import ProductQuantizer
+
+
+@dataclass
+class PQIndex:
+    """Flat PQ index: encode everything, scan everything."""
+
+    dim: int
+    m: int
+    nbits: int = 8
+    pq: ProductQuantizer = field(init=False)
+    _codes: np.ndarray | None = None
+    _ids: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        self.pq = ProductQuantizer(self.dim, self.m, self.nbits)
+
+    @property
+    def is_trained(self) -> bool:
+        return self.pq.is_trained
+
+    @property
+    def ntotal(self) -> int:
+        return 0 if self._codes is None else int(self._codes.shape[0])
+
+    def train(
+        self,
+        x: np.ndarray,
+        *,
+        n_iter: int = 20,
+        rng: np.random.Generator | None = None,
+    ) -> "PQIndex":
+        self.pq.train(np.atleast_2d(x), n_iter=n_iter, rng=rng)
+        return self
+
+    def add(self, x: np.ndarray, ids: np.ndarray | None = None) -> None:
+        if not self.is_trained:
+            raise NotTrainedError("train() must be called before add()")
+        x = np.atleast_2d(x)
+        codes = self.pq.encode(x)
+        if ids is None:
+            ids = np.arange(self.ntotal, self.ntotal + x.shape[0], dtype=np.int64)
+        else:
+            ids = np.asarray(ids, dtype=np.int64)
+            if ids.shape[0] != x.shape[0]:
+                raise ConfigError("ids and vectors must align")
+        if self._codes is None:
+            self._codes, self._ids = codes, ids
+        else:
+            self._codes = np.vstack([self._codes, codes])
+            self._ids = np.concatenate([self._ids, ids])
+
+    def search(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Exhaustive ADC scan: returns (distances, ids), each (nq, k)."""
+        if self._codes is None or self._ids is None:
+            raise NotTrainedError("index is empty")
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+        nq = queries.shape[0]
+        k_eff = min(k, self.ntotal)
+        out_d = np.empty((nq, k_eff), dtype=np.float32)
+        out_i = np.empty((nq, k_eff), dtype=np.int64)
+        for qi in range(nq):
+            lut = self.pq.compute_lut(queries[qi])
+            dists = adc_distances(self._codes, lut)
+            ids, d = topk_from_distances(self._ids, dists, k_eff)
+            out_i[qi], out_d[qi] = ids, d
+        return out_d, out_i
+
+    def scanned_points(self, nq: int) -> int:
+        """Candidates touched per batch — always nq x ntotal (no IVF)."""
+        return nq * self.ntotal

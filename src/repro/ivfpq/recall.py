@@ -1,0 +1,43 @@
+"""Recall metrics for ANN results against exact ground truth."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+def recall_at_k(result_ids: np.ndarray, gt_ids: np.ndarray, k: int | None = None) -> float:
+    """Fraction of true top-k neighbors recovered, averaged over queries.
+
+    ``result_ids`` and ``gt_ids`` are (nq, >=k) arrays; rows are compared
+    as sets over their first k columns (standard recall@k).
+    """
+    result_ids = np.atleast_2d(result_ids)
+    gt_ids = np.atleast_2d(gt_ids)
+    if result_ids.shape[0] != gt_ids.shape[0]:
+        raise ConfigError("result and ground-truth query counts differ")
+    k = k if k is not None else min(result_ids.shape[1], gt_ids.shape[1])
+    if k < 1 or k > result_ids.shape[1] or k > gt_ids.shape[1]:
+        raise ConfigError(f"invalid k={k} for shapes {result_ids.shape}, {gt_ids.shape}")
+    hits = 0
+    for r, g in zip(result_ids[:, :k], gt_ids[:, :k]):
+        hits += len(set(r.tolist()) & set(g.tolist()))
+    return hits / (result_ids.shape[0] * k)
+
+
+def recall_1_at_k(result_ids: np.ndarray, gt_ids: np.ndarray, k: int | None = None) -> float:
+    """R1@k: fraction of queries whose single true NN appears in the top k.
+
+    This is the metric reported by the SIFT1B/DEEP1B benchmark suites.
+    """
+    result_ids = np.atleast_2d(result_ids)
+    gt_ids = np.atleast_2d(gt_ids)
+    if result_ids.shape[0] != gt_ids.shape[0]:
+        raise ConfigError("result and ground-truth query counts differ")
+    k = k if k is not None else result_ids.shape[1]
+    if k < 1 or k > result_ids.shape[1]:
+        raise ConfigError(f"invalid k={k}")
+    true_nn = gt_ids[:, 0]
+    found = (result_ids[:, :k] == true_nn[:, None]).any(axis=1)
+    return float(found.mean())

@@ -1,0 +1,29 @@
+"""Evaluation metrics: QPS, normalization, stage breakdowns."""
+
+from repro.metrics.breakdown import (
+    STAGE_LABELS,
+    breakdown_percentages,
+    dominant_stage,
+    format_breakdown,
+)
+from repro.metrics.latency import LatencyRecorder
+from repro.metrics.qps import (
+    LatencyStats,
+    geometric_mean,
+    normalize_to,
+    qps,
+    speedup,
+)
+
+__all__ = [
+    "LatencyRecorder",
+    "LatencyStats",
+    "STAGE_LABELS",
+    "breakdown_percentages",
+    "dominant_stage",
+    "format_breakdown",
+    "geometric_mean",
+    "normalize_to",
+    "qps",
+    "speedup",
+]

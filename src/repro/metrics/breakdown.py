@@ -1,0 +1,40 @@
+"""Stage-breakdown helpers for the Figure 1/14/19-style exhibits."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.hardware.counters import StageCycles
+
+STAGE_LABELS = {
+    "cluster_filter": "cluster filtering",
+    "lut_construction": "LUT construction",
+    "distance_calc": "distance calculation",
+    "topk_selection": "top-k selection",
+    "other": "other (transfer/host)",
+}
+
+
+def breakdown_percentages(stage: StageCycles) -> dict[str, float]:
+    """Stage shares as percentages (sum to 100 for non-empty stages)."""
+    total = stage.total
+    if total <= 0:
+        raise ConfigError("empty stage breakdown")
+    return {k: 100.0 * v / total for k, v in stage.as_dict().items()}
+
+
+def dominant_stage(stage: StageCycles) -> str:
+    """Name of the largest stage — what 'the bottleneck' means in Fig 1."""
+    shares = stage.as_dict()
+    return max(shares, key=shares.get)
+
+
+def format_breakdown(stage: StageCycles, *, label: str = "") -> str:
+    """One-line human-readable breakdown for bench output."""
+    pct = breakdown_percentages(stage)
+    parts = [
+        f"{STAGE_LABELS[k]} {pct[k]:5.1f}%"
+        for k in ("cluster_filter", "lut_construction", "distance_calc", "topk_selection", "other")
+        if pct[k] > 0.05
+    ]
+    prefix = f"{label}: " if label else ""
+    return prefix + " | ".join(parts)

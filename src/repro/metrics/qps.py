@@ -1,0 +1,60 @@
+"""Throughput metrics and normalization helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+def qps(n_queries: int, seconds: float) -> float:
+    """Queries per second."""
+    if seconds <= 0:
+        raise ConfigError("elapsed time must be positive")
+    return n_queries / seconds
+
+
+def normalize_to(values: dict[str, float], reference_key: str) -> dict[str, float]:
+    """Normalize a {label: value} mapping to one entry = 1.0.
+
+    Every figure in the paper's evaluation is normalized to a named
+    baseline setting (e.g. "Faiss-CPU @ IVF4096/nprobe256").
+    """
+    if reference_key not in values:
+        raise ConfigError(f"reference {reference_key!r} not among {list(values)}")
+    ref = values[reference_key]
+    if ref == 0:
+        raise ConfigError("reference value is zero")
+    return {k: v / ref for k, v in values.items()}
+
+
+def speedup(fast: float, slow: float) -> float:
+    """How many times faster ``fast`` is than ``slow`` (QPS ratio)."""
+    if slow <= 0:
+        raise ConfigError("baseline QPS must be positive")
+    return fast / slow
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Per-batch latency summary (Figure 16's y-axis)."""
+
+    batch_size: int
+    batch_seconds: float
+
+    @property
+    def per_query_ms(self) -> float:
+        return self.batch_seconds / self.batch_size * 1e3
+
+    @property
+    def qps(self) -> float:
+        return self.batch_size / self.batch_seconds
+
+
+def geometric_mean(values) -> float:
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0 or (arr <= 0).any():
+        raise ConfigError("geometric mean needs positive values")
+    return float(np.exp(np.log(arr).mean()))

@@ -1,0 +1,6 @@
+"""Query workload substrate: batches, popularity drift, access traces."""
+
+from repro.workload.batch import BatchGenerator, QueryBatch
+from repro.workload.trace import AccessTrace, synthetic_trace
+
+__all__ = ["AccessTrace", "BatchGenerator", "QueryBatch", "synthetic_trace"]

@@ -1,0 +1,89 @@
+"""Query batch generation, including popularity drift over time.
+
+The paper processes 1,000 queries at a time (section 5.1) and targets
+applications whose query patterns "change regularly (e.g., every few
+days) and incrementally" (section 4.1.2).  :class:`BatchGenerator`
+produces a stream of batches whose component popularity follows a Zipf
+profile that can be rotated or re-drawn to model that drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.data.skew import zipf_weights
+from repro.data.synthetic import SyntheticDataset, make_queries
+
+
+@dataclass
+class QueryBatch:
+    """One batch of queries plus provenance."""
+
+    queries: np.ndarray  # (b, dim) float32
+    batch_index: int
+
+    @property
+    def size(self) -> int:
+        return int(self.queries.shape[0])
+
+
+@dataclass
+class BatchGenerator:
+    """Streams query batches with (optionally drifting) popularity skew."""
+
+    dataset: SyntheticDataset
+    batch_size: int = 1000
+    zipf_alpha: float = 1.0
+    # Fraction of popularity mass that rotates to new components per batch.
+    drift_per_batch: float = 0.0
+    rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(7))
+    _popularity: np.ndarray = field(init=False)
+    _emitted: int = 0
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ConfigError("batch_size must be >= 1")
+        if not 0.0 <= self.drift_per_batch <= 1.0:
+            raise ConfigError("drift_per_batch must be in [0, 1]")
+        ncomp = self.dataset.mixture_centers.shape[0]
+        weights = zipf_weights(ncomp, self.zipf_alpha)
+        self.rng.shuffle(weights)
+        self._popularity = weights
+
+    @property
+    def popularity(self) -> np.ndarray:
+        return self._popularity.copy()
+
+    def _apply_drift(self) -> None:
+        if self.drift_per_batch <= 0:
+            return
+        ncomp = self._popularity.shape[0]
+        fresh = zipf_weights(ncomp, self.zipf_alpha)
+        self.rng.shuffle(fresh)
+        self._popularity = (
+            (1.0 - self.drift_per_batch) * self._popularity
+            + self.drift_per_batch * fresh
+        )
+        self._popularity /= self._popularity.sum()
+
+    def next_batch(self) -> QueryBatch:
+        """Generate the next batch; drift is applied *between* batches."""
+        if self._emitted > 0:
+            self._apply_drift()
+        queries = make_queries(
+            self.dataset,
+            self.batch_size,
+            popularity=self._popularity,
+            rng=self.rng,
+        )
+        batch = QueryBatch(queries=queries, batch_index=self._emitted)
+        self._emitted += 1
+        return batch
+
+    def batches(self, n: int):
+        """Yield ``n`` successive batches."""
+        for _ in range(n):
+            yield self.next_batch()

@@ -1,0 +1,101 @@
+"""Cluster access-frequency traces.
+
+UpANNS's offline placement (Algorithm 1) is driven by *historical*
+access frequencies f_i.  :class:`AccessTrace` accumulates observations
+from executed batches (or from a synthetic prior) and exposes the
+frequency vector placement consumes.  It also supports drift detection,
+feeding the adaptive re-replication path described in section 4.1.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class AccessTrace:
+    """Exponentially-decayed cluster access counts."""
+
+    n_clusters: int
+    decay: float = 1.0  # 1.0 = plain counting; <1 = recent-weighted
+    counts: np.ndarray = field(init=False)
+    total_observations: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_clusters < 1:
+            raise ConfigError("n_clusters must be >= 1")
+        if not 0 < self.decay <= 1.0:
+            raise ConfigError("decay must be in (0, 1]")
+        self.counts = np.zeros(self.n_clusters, dtype=np.float64)
+
+    def record_batch(self, probes) -> None:
+        """Record one batch's probed clusters.
+
+        ``probes`` is either an (nq, nprobe) matrix or a ragged list of
+        per-query id arrays (the multi-host path sends each host only
+        the clusters it owns).
+        """
+        if isinstance(probes, (list, tuple)):
+            flat = (
+                np.concatenate([np.asarray(p).ravel() for p in probes])
+                if probes
+                else np.empty(0, dtype=np.int64)
+            )
+        else:
+            flat = np.atleast_2d(probes).ravel()
+        if flat.size and (flat.min() < 0 or flat.max() >= self.n_clusters):
+            raise ConfigError("probe ids out of range")
+        if self.decay < 1.0:
+            self.counts *= self.decay
+        np.add.at(self.counts, flat, 1.0)
+        self.total_observations += flat.size
+
+    def frequencies(self, *, smoothing: float = 1.0) -> np.ndarray:
+        """Normalized access frequencies with additive smoothing.
+
+        Smoothing keeps never-observed clusters at a small positive
+        frequency so placement still assigns them non-zero workload.
+        """
+        smoothed = self.counts + smoothing
+        return smoothed / smoothed.sum()
+
+    def drift_from(self, other: "AccessTrace") -> float:
+        """Total-variation distance between two traces' distributions.
+
+        The engine re-replicates when drift exceeds a threshold (minor
+        shifts) and fully re-places on large drift (section 4.1.2).
+        """
+        if other.n_clusters != self.n_clusters:
+            raise ConfigError("traces cover different cluster counts")
+        p = self.frequencies()
+        q = other.frequencies()
+        return float(0.5 * np.abs(p - q).sum())
+
+    def snapshot(self) -> "AccessTrace":
+        """Frozen copy for later drift comparison."""
+        copy = AccessTrace(self.n_clusters, self.decay)
+        copy.counts = self.counts.copy()
+        copy.total_observations = self.total_observations
+        return copy
+
+
+def synthetic_trace(
+    n_clusters: int,
+    alpha: float = 1.0,
+    observations: int = 100_000,
+    rng: np.random.Generator | None = None,
+) -> AccessTrace:
+    """A trace whose frequencies follow a shuffled Zipf(alpha) profile."""
+    from repro.data.skew import zipf_weights
+
+    rng = rng if rng is not None else np.random.default_rng(0)
+    weights = zipf_weights(n_clusters, alpha)
+    rng.shuffle(weights)
+    trace = AccessTrace(n_clusters)
+    trace.counts = weights * observations
+    trace.total_observations = observations
+    return trace

@@ -1,0 +1,100 @@
+"""Regression, reporting and sweep harness tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.regression import ScalingFit, fit_scaling
+from repro.analysis.report import render_bar, render_series, render_table
+from repro.analysis.sweep import Sweep
+from repro.errors import ConfigError
+
+
+class TestScalingFit:
+    def test_perfect_linear_fit(self):
+        n = np.array([500, 600, 700, 800, 900])
+        q = 2.0 * n + 10
+        fit = fit_scaling(n, q)
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(10.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict_extrapolates(self):
+        """The Figure 20 methodology: fit 500-900, predict 2560."""
+        n = np.array([500, 600, 700, 800, 900])
+        fit = fit_scaling(n, 3.0 * n)
+        assert fit.predict(2560) == pytest.approx(7680, rel=1e-6)
+
+    def test_crossover(self):
+        fit = ScalingFit(slope=2.0, intercept=0.0, r_squared=1.0)
+        assert fit.crossover(3308.0) == pytest.approx(1654.0)
+
+    def test_crossover_needs_positive_slope(self):
+        with pytest.raises(ConfigError):
+            ScalingFit(slope=0.0, intercept=1.0, r_squared=1.0).crossover(10.0)
+
+    def test_noisy_fit_r2_below_one(self):
+        rng = np.random.default_rng(0)
+        n = np.linspace(500, 900, 20)
+        q = 2 * n + rng.normal(0, 50, size=20)
+        fit = fit_scaling(n, q)
+        assert 0.9 < fit.r_squared < 1.0
+
+    def test_needs_two_points(self):
+        with pytest.raises(ConfigError):
+            fit_scaling(np.array([1.0]), np.array([2.0]))
+
+
+class TestReport:
+    def test_table_renders_all_rows(self):
+        text = render_table(["a", "b"], [[1, 2.5], ["x", 3.0]], title="T")
+        assert "T" in text
+        assert "2.5" in text and "x" in text
+
+    def test_table_rejects_ragged(self):
+        with pytest.raises(ConfigError):
+            render_table(["a", "b"], [[1]])
+
+    def test_series_columns(self):
+        text = render_series("n", [1, 2], {"qps": [10.0, 20.0]})
+        assert "qps" in text
+        assert "20" in text
+
+    def test_series_length_mismatch(self):
+        with pytest.raises(ConfigError):
+            render_series("n", [1, 2], {"qps": [10.0]})
+
+    def test_bar_proportional(self):
+        full = render_bar(10, 10, width=10)
+        half = render_bar(5, 10, width=10)
+        assert full.count("#") == 10
+        assert half.count("#") == 5
+
+    def test_bar_invalid_max(self):
+        with pytest.raises(ConfigError):
+            render_bar(1, 0)
+
+
+class TestSweep:
+    def test_cartesian_product(self):
+        s = Sweep({"a": [1, 2], "b": ["x", "y"]})
+        s.run(lambda a, b: {"v": a})
+        assert len(s.results) == 4
+
+    def test_where_filters(self):
+        s = Sweep({"a": [1, 2], "b": [10, 20]})
+        s.run(lambda a, b: {"v": a * b})
+        hits = s.where(a=2)
+        assert len(hits) == 2
+        assert all(r.params["a"] == 2 for r in hits)
+
+    def test_column_extraction(self):
+        s = Sweep({"a": [1, 2, 3]})
+        s.run(lambda a: {"sq": float(a * a)})
+        assert s.column("sq") == [1.0, 4.0, 9.0]
+
+    def test_result_getitem(self):
+        s = Sweep({"a": [5]})
+        s.run(lambda a: {"v": 7.0})
+        r = s.results[0]
+        assert r["a"] == 5
+        assert r["v"] == 7.0

@@ -1,0 +1,93 @@
+"""CPU baseline (Faiss-CPU-like) tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cpu import CpuEngine
+from repro.errors import NotTrainedError
+from repro.ivfpq import IVFPQIndex
+
+
+@pytest.fixture(scope="module")
+def cpu(trained_index):
+    return CpuEngine(trained_index, workload_scale=1000.0)
+
+
+class TestFunctional:
+    def test_results_match_reference(self, cpu, trained_index, small_queries):
+        res = cpu.search_batch(small_queries, 5, 8)
+        ref = trained_index.search(small_queries, 5, 8)
+        np.testing.assert_array_equal(res.ids, ref.ids)
+
+    def test_timing_only_mode(self, cpu, small_queries):
+        fast = cpu.search_batch(small_queries, 5, 8, compute_results=False)
+        full = cpu.search_batch(small_queries, 5, 8, compute_results=True)
+        assert fast.total_seconds == pytest.approx(full.total_seconds)
+        assert (fast.ids == -1).all()
+
+    def test_untrained_rejected(self):
+        with pytest.raises(NotTrainedError):
+            CpuEngine(IVFPQIndex(8, 2, 2)).search_batch(
+                np.zeros((1, 8), np.float32), 1, 1
+            )
+
+
+class TestTimingModel:
+    def test_distance_stage_dominates_at_scale(self, cpu, small_queries):
+        """Figure 19: CPU distance calculation ~99.5 % at billion scale."""
+        res = cpu.search_batch(small_queries, 10, 8, compute_results=False)
+        assert res.stage_seconds.fractions()["distance_calc"] > 0.9
+
+    def test_lut_dominates_at_tiny_scale(self, trained_index, small_queries):
+        """Figure 1: at small scale the bottleneck is LUT construction."""
+        tiny = CpuEngine(trained_index, workload_scale=0.001)
+        res = tiny.search_batch(small_queries, 10, 8, compute_results=False)
+        frac = res.stage_seconds.fractions()
+        assert frac["lut_construction"] > frac["distance_calc"]
+
+    def test_time_scales_with_nprobe(self, cpu, small_queries):
+        t8 = cpu.search_batch(small_queries, 5, 8, compute_results=False).total_seconds
+        t16 = cpu.search_batch(small_queries, 5, 16, compute_results=False).total_seconds
+        assert t16 > 1.5 * t8
+
+    def test_time_scales_with_workload_scale(self, trained_index, small_queries):
+        t1 = CpuEngine(trained_index, workload_scale=100.0).search_batch(
+            small_queries, 5, 8, compute_results=False
+        )
+        t2 = CpuEngine(trained_index, workload_scale=1000.0).search_batch(
+            small_queries, 5, 8, compute_results=False
+        )
+        assert t2.total_seconds > 5 * t1.total_seconds
+
+    def test_qps_positive(self, cpu, small_queries):
+        assert cpu.search_batch(small_queries, 5, 8, compute_results=False).qps > 0
+
+    def test_memory_required(self, cpu, trained_index):
+        assert cpu.memory_required_bytes() == pytest.approx(
+            trained_index.ntotal * 1000.0 * (trained_index.m + 8)
+        )
+
+    def test_locality_penalty_for_small_clusters(self, small_dataset):
+        """Paper section 5.2: smaller clusters hurt the CPU's cache-
+        friendly streaming, so effective bandwidth drops."""
+        few = IVFPQIndex(32, 4, 8)
+        few.train(small_dataset.vectors, n_iter=4)
+        few.add(small_dataset.vectors)
+        many = IVFPQIndex(32, 64, 8)
+        many.train(small_dataset.vectors, n_iter=4)
+        many.add(small_dataset.vectors)
+        q = small_dataset.vectors[:10]
+        # Same fraction of the dataset scanned: nprobe proportional.
+        t_few = CpuEngine(few, workload_scale=4000).search_batch(
+            q, 5, 2, compute_results=False
+        )
+        t_many = CpuEngine(many, workload_scale=4000).search_batch(
+            q, 5, 32, compute_results=False
+        )
+        few_rate = t_few.stage_seconds.distance_calc
+        many_rate = t_many.stage_seconds.distance_calc
+        # many-small-clusters must be no faster per scanned byte; compare
+        # normalized by scanned volume.
+        few_scanned = few.scanned_points(q, 2).sum()
+        many_scanned = many.scanned_points(q, 32).sum()
+        assert many_rate / many_scanned >= few_rate / few_scanned

@@ -1,0 +1,82 @@
+"""GPU baseline (Faiss-GPU-like, A100 model) tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.gpu import GpuEngine
+from repro.errors import DeviceOutOfMemoryError
+from repro.ivfpq import IVFPQIndex
+
+
+@pytest.fixture(scope="module")
+def gpu(trained_index):
+    return GpuEngine(trained_index, workload_scale=1000.0)
+
+
+class TestFunctional:
+    def test_results_match_reference(self, gpu, trained_index, small_queries):
+        res = gpu.search_batch(small_queries, 5, 8)
+        ref = trained_index.search(small_queries, 5, 8)
+        np.testing.assert_array_equal(res.ids, ref.ids)
+
+    def test_timing_only_mode(self, gpu, small_queries):
+        fast = gpu.search_batch(small_queries, 5, 8, compute_results=False)
+        assert (fast.ids == -1).all()
+        assert fast.total_seconds > 0
+
+
+class TestTimingModel:
+    def test_topk_dominates(self, gpu, small_queries):
+        """Figure 19: GPU top-k consumes > 85 % of time at scale."""
+        res = gpu.search_batch(small_queries, 10, 8, compute_results=False)
+        assert res.stage_seconds.fractions()["topk_selection"] > 0.7
+
+    def test_topk_share_grows_with_k(self, gpu, small_queries):
+        """Figure 19: top-k ratio grows 76 % -> 89 % as k 10 -> 100."""
+        f10 = gpu.search_batch(small_queries, 10, 8, compute_results=False)
+        f100 = gpu.search_batch(small_queries, 100, 8, compute_results=False)
+        assert (
+            f100.stage_seconds.fractions()["topk_selection"]
+            > f10.stage_seconds.fractions()["topk_selection"]
+        )
+
+    def test_qps_degrades_with_k(self, gpu, small_queries):
+        """Figure 18: GPU QPS drops slightly as k grows."""
+        q10 = gpu.search_batch(small_queries, 10, 8, compute_results=False).qps
+        q100 = gpu.search_batch(small_queries, 100, 8, compute_results=False).qps
+        assert q100 < q10
+        assert q100 > q10 / 5  # 'slight', not collapse
+
+    def test_gpu_faster_than_cpu_at_scale(self, trained_index, small_queries):
+        """At billion-equivalent scale the GPU's bandwidth advantage
+        beats the CPU even with its k-select overhead (Figure 10/12)."""
+        from repro.baselines.cpu import CpuEngine
+
+        cpu_t = CpuEngine(trained_index, workload_scale=2e4).search_batch(
+            small_queries, 10, 8, compute_results=False
+        )
+        gpu_t = GpuEngine(trained_index, workload_scale=2e4).search_batch(
+            small_queries, 10, 8, compute_results=False
+        )
+        assert gpu_t.total_seconds < cpu_t.total_seconds
+
+
+class TestMemoryModel:
+    def test_within_capacity_ok(self, gpu):
+        gpu.check_memory(nprobe=8)
+
+    def test_oom_raised_when_working_set_exceeds(self, trained_index, small_queries):
+        """Reproduces the paper's DEEP1B blue-X markers (Figure 12)."""
+        big = GpuEngine(trained_index, workload_scale=5e5)
+        with pytest.raises(DeviceOutOfMemoryError):
+            big.search_batch(small_queries, 10, 16)
+
+    def test_required_bytes_grows_with_nprobe(self, gpu):
+        assert gpu.required_bytes(32) > gpu.required_bytes(8)
+
+    def test_rerank_storage_counts(self, trained_index):
+        plain = GpuEngine(trained_index, workload_scale=1000.0)
+        rerank = GpuEngine(
+            trained_index, workload_scale=1000.0, rerank_bytes_per_vector=96
+        )
+        assert rerank.required_bytes(8) > plain.required_bytes(8)

@@ -1,0 +1,69 @@
+"""Regime tests for the baseline cost models: the Figure-1 scale
+behaviour must come out of the model structure, not tuning per run."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cpu import CpuEngine
+from repro.baselines.gpu import GpuEngine
+from repro.metrics import dominant_stage
+
+
+class TestCpuScaleRegimes:
+    @pytest.fixture(scope="class")
+    def queries(self, small_queries):
+        return small_queries
+
+    def test_cache_boost_vanishes_at_scale(self, trained_index, queries):
+        """The LLC boost is a small-index effect only."""
+        small = CpuEngine(trained_index, workload_scale=1.0)
+        large = CpuEngine(trained_index, workload_scale=1e5)
+        t_small = small.search_batch(queries, 10, 8, compute_results=False)
+        t_large = large.search_batch(queries, 10, 8, compute_results=False)
+        # Per scanned point, the large index is much slower (no cache).
+        per_point_small = t_small.stage_seconds.distance_calc / 1.0
+        per_point_large = t_large.stage_seconds.distance_calc / 1e5
+        assert per_point_large > 3 * per_point_small
+
+    def test_bottleneck_shift_is_monotone_in_scale(self, trained_index, queries):
+        """Sweeping scale, the distance share must rise monotonically —
+        no oscillation between regimes."""
+        shares = []
+        for scale in (1.0, 10.0, 100.0, 1e3, 1e4):
+            eng = CpuEngine(trained_index, workload_scale=scale)
+            res = eng.search_batch(queries, 10, 8, compute_results=False)
+            shares.append(res.stage_seconds.fractions()["distance_calc"])
+        assert all(b >= a - 1e-9 for a, b in zip(shares, shares[1:]))
+
+    def test_filter_share_shrinks_with_nprobe(self, trained_index, queries):
+        eng = CpuEngine(trained_index, workload_scale=100.0)
+        f2 = eng.search_batch(queries, 10, 2, compute_results=False)
+        f16 = eng.search_batch(queries, 10, 16, compute_results=False)
+        assert (
+            f16.stage_seconds.fractions()["cluster_filter"]
+            <= f2.stage_seconds.fractions()["cluster_filter"]
+        )
+
+
+class TestGpuRegimes:
+    def test_topk_dominates_at_any_large_scale(self, trained_index, small_queries):
+        for scale in (1e3, 1e4, 1e5):
+            eng = GpuEngine(trained_index, workload_scale=scale, memory_scale=1.0)
+            res = eng.search_batch(small_queries, 10, 8, compute_results=False)
+            assert dominant_stage(res.stage_seconds) == "topk_selection"
+
+    def test_k_dependence_is_mild(self, trained_index, small_queries):
+        """Figure 18: 10x more k costs well under 10x the time."""
+        eng = GpuEngine(trained_index, workload_scale=1e4, memory_scale=1.0)
+        t10 = eng.search_batch(small_queries, 10, 8, compute_results=False)
+        t100 = eng.search_batch(small_queries, 100, 8, compute_results=False)
+        assert t100.total_seconds < 4 * t10.total_seconds
+
+    def test_memory_scale_decoupled_from_timing(self, trained_index, small_queries):
+        """Timing must not change when only the capacity model's scale
+        changes (memory is about residency, not per-query work)."""
+        a = GpuEngine(trained_index, workload_scale=100.0, memory_scale=1.0)
+        b = GpuEngine(trained_index, workload_scale=100.0, memory_scale=1000.0)
+        ta = a.search_batch(small_queries, 10, 4, compute_results=False)
+        tb = b.search_batch(small_queries, 10, 4, compute_results=False)
+        assert ta.total_seconds == pytest.approx(tb.total_seconds)

@@ -1,0 +1,65 @@
+"""PIM-naive baseline construction tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.pim_naive import PIM_NAIVE_CONFIG, make_pim_naive
+from repro.hardware.specs import PimSystemSpec
+
+
+class TestConfig:
+    def test_all_optimizations_disabled(self):
+        assert not PIM_NAIVE_CONFIG.enable_placement
+        assert not PIM_NAIVE_CONFIG.enable_cae
+        assert not PIM_NAIVE_CONFIG.enable_topk_pruning
+
+    def test_resource_management_retained(self):
+        """Paper: PIM-naive keeps 'our PIM resource management strategy'
+        (Opt2): multi-tasklet execution and tuned MRAM reads."""
+        assert PIM_NAIVE_CONFIG.n_tasklets == 11
+        assert PIM_NAIVE_CONFIG.mram_read_vectors == 16
+
+
+class TestFactory:
+    def test_engine_builds_and_searches(self, small_dataset, trained_index, small_queries):
+        eng = make_pim_naive(
+            32,
+            n_clusters=32,
+            m=8,
+            nprobe=8,
+            k=5,
+            pim_spec=PimSystemSpec(n_dimms=1, chips_per_dimm=2, dpus_per_chip=8),
+        )
+        eng.build(small_dataset.vectors, prebuilt_index=trained_index)
+        res = eng.search_batch(small_queries)
+        ref = trained_index.search(small_queries, 5, 8)
+        np.testing.assert_allclose(
+            np.where(np.isfinite(res.distances), res.distances, -1),
+            np.where(np.isfinite(ref.distances), ref.distances, -1),
+            rtol=1e-4, atol=1e-4,
+        )
+
+    def test_no_replication(self, small_dataset, trained_index):
+        eng = make_pim_naive(
+            32, n_clusters=32, m=8, nprobe=8,
+            pim_spec=PimSystemSpec(n_dimms=1, chips_per_dimm=2, dpus_per_chip=8),
+        )
+        eng.build(small_dataset.vectors, prebuilt_index=trained_index)
+        assert eng.replication_factor() == pytest.approx(1.0)
+
+    def test_no_cae(self, small_dataset, trained_index):
+        eng = make_pim_naive(
+            32, n_clusters=32, m=8, nprobe=8,
+            pim_spec=PimSystemSpec(n_dimms=1, chips_per_dimm=2, dpus_per_chip=8),
+        )
+        eng.build(small_dataset.vectors, prebuilt_index=trained_index)
+        assert eng.length_reduction_rate() == 0.0
+
+    def test_no_pruning_stats(self, small_dataset, trained_index, small_queries):
+        eng = make_pim_naive(
+            32, n_clusters=32, m=8, nprobe=8, k=5,
+            pim_spec=PimSystemSpec(n_dimms=1, chips_per_dimm=2, dpus_per_chip=8),
+        )
+        eng.build(small_dataset.vectors, prebuilt_index=trained_index)
+        res = eng.search_batch(small_queries)
+        assert res.heap_stats.pruned == 0

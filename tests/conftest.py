@@ -1,0 +1,67 @@
+"""Shared fixtures: small, session-scoped datasets and trained indexes.
+
+Training an IVFPQ index is the slow part of the suite, so the fixtures
+are session-scoped and immutable by convention — tests must not mutate
+fixture state (engines that need to mutate build their own).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import SIFT1B, make_dataset, make_queries, zipf_weights
+from repro.ivfpq import IVFPQIndex
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """6k 32-d vectors with planted co-occurrence structure."""
+    from dataclasses import replace
+
+    spec = replace(SIFT1B, dim=32, pq_m=8)
+    return make_dataset(
+        spec,
+        6000,
+        n_components=24,
+        correlated_subspaces=3,
+        rng=np.random.default_rng(7),
+    )
+
+
+@pytest.fixture(scope="session")
+def small_queries(small_dataset):
+    pop = zipf_weights(24, 0.8)
+    return make_queries(
+        small_dataset, 40, popularity=pop, rng=np.random.default_rng(11)
+    )
+
+
+@pytest.fixture(scope="session")
+def history_queries(small_dataset):
+    pop = zipf_weights(24, 0.8)
+    return make_queries(
+        small_dataset, 400, popularity=pop, rng=np.random.default_rng(13)
+    )
+
+
+@pytest.fixture(scope="session")
+def trained_index(small_dataset):
+    """IVFPQ over the small dataset: 32 clusters, m=8."""
+    index = IVFPQIndex(dim=32, n_clusters=32, m=8)
+    index.train(small_dataset.vectors, n_iter=6, rng=np.random.default_rng(3))
+    index.add(small_dataset.vectors)
+    return index
+
+
+@pytest.fixture(scope="session")
+def cluster_codes(trained_index):
+    """Codes of the largest cluster — handy for CAE tests."""
+    sizes = trained_index.ivf.cluster_sizes()
+    biggest = int(np.argmax(sizes))
+    return trained_index.ivf.lists[biggest].codes

@@ -1,0 +1,174 @@
+"""Opt3 mining tests: ECG, frequent triples, coverage."""
+
+import numpy as np
+import pytest
+
+from repro.core.cooccurrence import (
+    CooccurrenceModel,
+    build_ecg,
+    combination_coverage,
+    mine_combinations,
+)
+from repro.errors import ConfigError
+
+
+def planted_codes(n=200, m=8, seed=0, triple=(1, 15, 26), pos=0, fraction=0.4):
+    """Random codes with a planted triple at a fixed anchor position."""
+    rng = np.random.default_rng(seed)
+    codes = rng.integers(0, 256, size=(n, m)).astype(np.uint8)
+    hit = rng.random(n) < fraction
+    codes[hit, pos : pos + 3] = triple
+    return codes, hit
+
+
+class TestMining:
+    def test_planted_triple_found_first(self):
+        codes, hit = planted_codes()
+        model = mine_combinations(codes, top_m=16)
+        top = model.combos[0]
+        assert top.start_pos == 0
+        assert top.codes == (1, 15, 26)
+        assert top.count == int(hit.sum())
+
+    def test_counts_are_exact(self):
+        codes = np.array(
+            [[1, 2, 3, 9], [1, 2, 3, 8], [1, 2, 3, 7], [5, 2, 3, 4]], dtype=np.uint8
+        )
+        model = mine_combinations(codes, top_m=10, min_count=2)
+        found = {(c.start_pos, c.codes): c.count for c in model.combos}
+        assert found[(0, (1, 2, 3))] == 3
+        assert found[(1, (2, 3, 9))] == 1 if (1, (2, 3, 9)) in found else True
+
+    def test_min_count_filters(self):
+        codes, _ = planted_codes(fraction=0.0)  # fully random
+        model = mine_combinations(codes, top_m=256, min_count=3)
+        assert all(c.count >= 3 for c in model.combos)
+
+    def test_top_m_limit(self):
+        codes, _ = planted_codes(n=500, fraction=0.0)
+        model = mine_combinations(codes, top_m=5, min_count=1)
+        assert model.n_slots <= 5
+
+    def test_slots_are_sequential(self):
+        codes, _ = planted_codes()
+        model = mine_combinations(codes, top_m=32, min_count=1)
+        assert [c.slot for c in model.combos] == list(range(model.n_slots))
+
+    def test_sorted_by_count_desc(self):
+        codes, _ = planted_codes(n=400, fraction=0.3)
+        model = mine_combinations(codes, top_m=64, min_count=1)
+        counts = [c.count for c in model.combos]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_empty_cluster(self):
+        model = mine_combinations(np.empty((0, 8), dtype=np.uint8))
+        assert model.n_slots == 0
+
+    def test_too_short_vectors(self):
+        model = mine_combinations(np.zeros((5, 2), dtype=np.uint8))
+        assert model.n_slots == 0
+
+    def test_length_bounds_enforced(self):
+        with pytest.raises(ConfigError):
+            mine_combinations(np.zeros((5, 8), np.uint8), combo_length=1)
+        with pytest.raises(ConfigError):
+            mine_combinations(np.zeros((5, 8), np.uint8), combo_length=8)
+
+    @pytest.mark.parametrize("length", [2, 4, 5])
+    def test_longer_combinations_mined(self, length):
+        """The paper's extension: longer runs when cache allows."""
+        codes = np.zeros((30, 8), dtype=np.uint8)
+        codes[:, 1 : 1 + length] = np.arange(10, 10 + length)
+        model = mine_combinations(codes, top_m=8, combo_length=length, min_count=5)
+        assert model.combo_length == length
+        planted = (1, tuple(range(10, 10 + length)))
+        assert planted in {(c.start_pos, c.codes) for c in model.combos}
+
+    @pytest.mark.parametrize("length", [2, 4])
+    def test_longer_combinations_preserve_distances(self, length):
+        """CAE with non-default lengths stays distance-exact."""
+        from repro.core.encoding import (
+            build_flat_table,
+            decode_distances,
+            encode_cluster,
+        )
+        from repro.ivfpq.adc import adc_distances
+
+        rng = np.random.default_rng(0)
+        codes = rng.integers(0, 4, size=(100, 8)).astype(np.uint8)  # dense reuse
+        model = mine_combinations(codes, top_m=64, combo_length=length)
+        encoded = encode_cluster(codes, model)
+        assert encoded.length_reduction_rate() > 0.0
+        lut = rng.random((8, 256)).astype(np.float32)
+        np.testing.assert_allclose(
+            decode_distances(encoded, build_flat_table(lut, model)),
+            adc_distances(codes, lut),
+            rtol=1e-5,
+            atol=1e-4,
+        )
+
+    def test_positions_are_anchored(self):
+        """A triple at pos 2 must not match the same codes at pos 0."""
+        codes = np.zeros((10, 8), dtype=np.uint8)
+        codes[:, 2:5] = (7, 8, 9)
+        model = mine_combinations(codes, top_m=4, min_count=5)
+        assert any(c.start_pos == 2 and c.codes == (7, 8, 9) for c in model.combos)
+        assert not any(c.start_pos == 0 and c.codes == (7, 8, 9) for c in model.combos)
+
+
+class TestPartialSums:
+    def test_partial_sum_values(self):
+        codes, _ = planted_codes()
+        model = mine_combinations(codes, top_m=8)
+        lut = np.arange(8 * 256, dtype=np.float32).reshape(8, 256)
+        sums = model.partial_sums(lut)
+        for combo in model.combos:
+            expected = sum(
+                lut[combo.start_pos + off, code]
+                for off, code in enumerate(combo.codes)
+            )
+            assert sums[combo.slot] == pytest.approx(expected)
+
+    def test_wrong_lut_shape(self):
+        model = CooccurrenceModel(m=8, combos=[])
+        with pytest.raises(ConfigError):
+            model.partial_sums(np.zeros((4, 256), dtype=np.float32))
+
+
+class TestECG:
+    def test_edge_weights_match_pair_counts(self):
+        codes = np.array([[1, 2, 3], [1, 2, 4], [1, 5, 4]], dtype=np.uint8)
+        g = build_ecg(codes)
+        assert g[(0, 1)][(1, 2)]["weight"] == 2
+        assert g[(1, 2)][(2, 3)]["weight"] == 1
+        assert g[(0, 1)][(1, 5)]["weight"] == 1
+
+    def test_mined_triples_are_ecg_paths(self):
+        """Every mined combination corresponds to a path of positive-
+        weight edges in the ECG (the paper's mining abstraction)."""
+        codes, _ = planted_codes(n=100)
+        g = build_ecg(codes)
+        model = mine_combinations(codes, top_m=8, min_count=2)
+        for combo in model.combos:
+            a = (combo.start_pos, combo.codes[0])
+            b = (combo.start_pos + 1, combo.codes[1])
+            c = (combo.start_pos + 2, combo.codes[2])
+            assert g.has_edge(a, b) and g[a][b]["weight"] >= combo.count
+            assert g.has_edge(b, c) and g[b][c]["weight"] >= combo.count
+
+
+class TestCoverage:
+    def test_planted_coverage(self):
+        codes, hit = planted_codes(fraction=0.5)
+        model = mine_combinations(codes, top_m=1, min_count=2)
+        cov = combination_coverage(codes, model)
+        assert cov >= hit.mean() - 0.01
+
+    def test_no_combos_zero_coverage(self):
+        codes, _ = planted_codes()
+        assert combination_coverage(codes, CooccurrenceModel(m=8, combos=[])) == 0.0
+
+    def test_real_cluster_has_structure(self, cluster_codes):
+        """The synthetic datasets must plant minable co-occurrence."""
+        model = mine_combinations(cluster_codes, top_m=256)
+        assert combination_coverage(cluster_codes, model) > 0.3

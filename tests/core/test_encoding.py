@@ -1,0 +1,157 @@
+"""Opt3 re-encoding tests: the central invariant is that CAE never
+changes a distance (paper: 'without compromising accuracy')."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cooccurrence import mine_combinations
+from repro.core.encoding import (
+    build_flat_table,
+    decode_distances,
+    encode_cluster,
+    pack_device_rows,
+    unpack_device_rows,
+)
+from repro.errors import ConfigError
+from repro.ivfpq.adc import adc_distances
+
+
+def random_case(n, m, seed, fraction=0.3, top_m=32):
+    rng = np.random.default_rng(seed)
+    codes = rng.integers(0, 256, size=(n, m)).astype(np.uint8)
+    if m >= 3 and fraction > 0:
+        triple = tuple(int(x) for x in rng.integers(0, 256, size=3))
+        pos = int(rng.integers(0, m - 2))
+        hit = rng.random(n) < fraction
+        codes[hit, pos : pos + 3] = triple
+    model = mine_combinations(codes, top_m=top_m, min_count=2)
+    encoded = encode_cluster(codes, model)
+    lut = rng.random((m, 256)).astype(np.float32)
+    return codes, model, encoded, lut
+
+
+class TestDistancePreservation:
+    @given(
+        n=st.integers(1, 60),
+        m=st.sampled_from([4, 8, 16]),
+        seed=st.integers(0, 10_000),
+        fraction=st.floats(0.0, 0.9),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_cae_distances_equal_plain_adc(self, n, m, seed, fraction):
+        """Property: for any codes/mined combos/LUT, the re-encoded
+        distance equals the plain ADC distance."""
+        codes, model, encoded, lut = random_case(n, m, seed, fraction)
+        table = build_flat_table(lut, model)
+        cae = decode_distances(encoded, table)
+        plain = adc_distances(codes, lut)
+        np.testing.assert_allclose(cae, plain, rtol=1e-5, atol=1e-4)
+
+    def test_real_cluster_distances_preserved(self, cluster_codes):
+        rng = np.random.default_rng(0)
+        m = cluster_codes.shape[1]
+        model = mine_combinations(cluster_codes, top_m=256)
+        encoded = encode_cluster(cluster_codes, model)
+        lut = rng.random((m, 256)).astype(np.float32)
+        table = build_flat_table(lut, model)
+        np.testing.assert_allclose(
+            decode_distances(encoded, table),
+            adc_distances(cluster_codes, lut),
+            rtol=1e-5,
+            atol=1e-4,
+        )
+
+
+class TestLengthReduction:
+    def test_planted_data_shrinks(self):
+        codes, model, encoded, _ = random_case(300, 16, seed=1, fraction=0.6)
+        assert encoded.length_reduction_rate() > 0.05
+
+    def test_random_data_barely_shrinks(self):
+        codes, model, encoded, _ = random_case(300, 16, seed=2, fraction=0.0)
+        assert encoded.length_reduction_rate() < 0.05
+
+    def test_paper_example_rate(self):
+        """Figure 8: a 16-code vector with three disjoint triples packs
+        to 12 tokens (the paper says the new length is at most 16; two
+        full triples + one pair leaves 3x1 + 2 + 5 singles... our greedy
+        replaces the two full triples it mined)."""
+        m = 16
+        base = np.arange(m, dtype=np.uint8)[None, :].repeat(50, axis=0)
+        model = mine_combinations(base, top_m=16, min_count=2)
+        encoded = encode_cluster(base, model)
+        # Greedy replaces floor(16/3)=5 disjoint triples: 16 -> 6 tokens.
+        assert int(encoded.lengths[0]) == 6
+
+    def test_lengths_never_exceed_m(self):
+        codes, model, encoded, _ = random_case(100, 8, seed=3)
+        assert (encoded.lengths <= 8).all()
+        assert (encoded.lengths >= 1).all()
+
+    def test_nbytes_accounts_tokens(self):
+        codes, model, encoded, _ = random_case(10, 8, seed=4)
+        assert encoded.nbytes == 2 * int(encoded.lengths.sum()) + 2 * 10
+
+
+class TestAddressLayout:
+    def test_plain_addresses_are_premultiplied(self):
+        """Original code c at position p -> 256*p + c (no runtime mul)."""
+        codes = np.array([[3, 200, 77, 4]], dtype=np.uint8)
+        model = mine_combinations(codes, top_m=1, min_count=5)  # no combos
+        encoded = encode_cluster(codes, model)
+        np.testing.assert_array_equal(
+            encoded.addresses[0], [3, 256 + 200, 512 + 77, 768 + 4]
+        )
+
+    def test_combo_addresses_offset_past_lut(self):
+        codes = np.tile(np.array([9, 8, 7, 1], dtype=np.uint8), (5, 1))
+        model = mine_combinations(codes, top_m=2, min_count=2)
+        encoded = encode_cluster(codes, model)
+        combo_addr = encoded.addresses[0, 0]
+        assert combo_addr >= 256 * 4
+
+    def test_mismatched_model_rejected(self):
+        codes = np.zeros((3, 8), dtype=np.uint8)
+        model = mine_combinations(np.zeros((3, 4), dtype=np.uint8), top_m=1)
+        with pytest.raises(ConfigError):
+            encode_cluster(codes, model)
+
+    def test_bad_table_size_rejected(self):
+        codes, model, encoded, lut = random_case(5, 4, seed=5)
+        with pytest.raises(ConfigError):
+            decode_distances(encoded, np.zeros(3, dtype=np.float32))
+
+    def test_empty_cluster(self):
+        model = mine_combinations(np.empty((0, 8), dtype=np.uint8))
+        encoded = encode_cluster(np.empty((0, 8), dtype=np.uint8), model)
+        assert encoded.size == 0
+        assert encoded.length_reduction_rate() == 0.0
+
+
+class TestDeviceWireFormat:
+    @given(n=st.integers(1, 40), seed=st.integers(0, 5000), fraction=st.floats(0, 1))
+    @settings(max_examples=50, deadline=None)
+    def test_pack_unpack_roundtrip(self, n, seed, fraction):
+        """Property: the in-band second-digit length encoding of Figure 8
+        round-trips for any mix of shortened and full-length rows."""
+        codes, model, encoded, _ = random_case(n, 16, seed, fraction)
+        rows = pack_device_rows(encoded)
+        addresses, lengths = unpack_device_rows(rows, 16)
+        np.testing.assert_array_equal(lengths, encoded.lengths)
+        np.testing.assert_array_equal(addresses, encoded.addresses)
+
+    def test_full_length_row_stored_verbatim(self):
+        codes = np.array([[3, 200, 77, 4]], dtype=np.uint8)
+        model = mine_combinations(codes, top_m=1, min_count=5)
+        encoded = encode_cluster(codes, model)
+        rows = pack_device_rows(encoded)
+        assert rows[0].shape[0] == 4  # no in-band length needed
+
+    def test_shortened_row_second_digit_is_length(self):
+        codes = np.tile(np.arange(16, dtype=np.uint8), (4, 1))
+        model = mine_combinations(codes, top_m=8, min_count=2)
+        encoded = encode_cluster(codes, model)
+        rows = pack_device_rows(encoded)
+        assert int(rows[0][1]) == int(encoded.lengths[0])
+        assert int(rows[0][1]) < 256  # distinguishable from addresses

@@ -1,0 +1,127 @@
+"""Opt2 WRAM reuse-plan tests (paper Figure 6)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.memory_plan import apply_plan, plan_wram, release_plan
+from repro.errors import ConfigError, WramOverflowError
+from repro.hardware.specs import DpuSpec
+from repro.hardware.wram import WramAllocator
+
+SIFT_ARGS = dict(
+    dim=128, m=16, k=10, n_combo_slots=256, vector_bytes=32, read_vectors=16
+)
+
+
+class TestPlanComputation:
+    def test_paper_sift_footprints(self):
+        """Section 4.2: codebook 32 KB, LUT 8 KB for SIFT (M=16)."""
+        plan = plan_wram(DpuSpec(), requested_tasklets=16, **SIFT_ARGS)
+        assert plan.codebook_bytes == 32 * 1024
+        assert plan.lut_bytes == 8 * 1024
+        assert plan.combo_sum_bytes == 512
+
+    def test_stage1_fits(self):
+        plan = plan_wram(DpuSpec(), requested_tasklets=16, **SIFT_ARGS)
+        assert plan.stage1_resident <= plan.wram_capacity
+
+    def test_stage3_fits(self):
+        plan = plan_wram(DpuSpec(), requested_tasklets=16, **SIFT_ARGS)
+        assert plan.stage3_resident <= plan.wram_capacity
+
+    def test_reuse_enables_many_tasklets(self):
+        """Recycling the codebook leaves room for >= 16 concurrent
+        readers (the paper's example uses 16 threads / 32 KB)."""
+        plan = plan_wram(DpuSpec(), requested_tasklets=24, **SIFT_ARGS)
+        assert plan.max_tasklets >= 16
+
+    def test_tasklets_clamped_by_wram(self):
+        args = dict(SIFT_ARGS)
+        args["read_vectors"] = 60  # 1920 B buffers eat WRAM
+        plan = plan_wram(DpuSpec(), requested_tasklets=24, **args)
+        assert plan.tasklets_supported(24) <= plan.max_tasklets
+
+    def test_oversized_geometry_rejected(self):
+        with pytest.raises(WramOverflowError):
+            plan_wram(
+                DpuSpec(),
+                dim=1024,
+                m=64,
+                k=10,
+                n_combo_slots=0,
+                vector_bytes=64,
+                read_vectors=16,
+                requested_tasklets=4,
+            )
+
+    def test_dma_limit_enforced(self):
+        with pytest.raises(ConfigError):
+            plan_wram(
+                DpuSpec(),
+                dim=128,
+                m=16,
+                k=10,
+                n_combo_slots=0,
+                vector_bytes=64,
+                read_vectors=64,  # 4096 B > 2048 B DMA limit
+                requested_tasklets=4,
+            )
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigError):
+            plan_wram(DpuSpec(), dim=8, m=2, k=1, n_combo_slots=0,
+                      vector_bytes=2, read_vectors=0, requested_tasklets=1)
+
+
+class TestPlanExecution:
+    def test_apply_and_release(self):
+        plan = plan_wram(DpuSpec(), requested_tasklets=16, **SIFT_ARGS)
+        alloc = WramAllocator(capacity=plan.wram_capacity)
+        apply_plan(plan, alloc, 16)
+        assert not alloc.is_live("codebook")  # recycled in stage 3
+        assert alloc.is_live("lut")
+        release_plan(plan, alloc, 16)
+        assert alloc.used_bytes == 0
+
+    def test_codebook_region_actually_reused(self):
+        plan = plan_wram(DpuSpec(), requested_tasklets=16, **SIFT_ARGS)
+        alloc = WramAllocator(capacity=plan.wram_capacity)
+        apply_plan(plan, alloc, 16)
+        # The first read buffer starts where the codebook lived.
+        assert alloc.region("read_buffer_0").offset == 0
+
+    def test_peak_never_exceeds_capacity(self):
+        plan = plan_wram(DpuSpec(), requested_tasklets=24, **SIFT_ARGS)
+        alloc = WramAllocator(capacity=plan.wram_capacity)
+        apply_plan(plan, alloc, 24)
+        assert alloc.peak_bytes <= plan.wram_capacity
+
+    @given(
+        m=st.sampled_from([8, 16, 32]),
+        k=st.integers(1, 100),
+        slots=st.sampled_from([0, 64, 256]),
+        read_vectors=st.integers(1, 32),
+        tasklets=st.integers(1, 24),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_any_plan_is_executable(self, m, k, slots, read_vectors, tasklets):
+        """Property: whatever plan plan_wram returns can be replayed on a
+        real allocator without overlap or overflow."""
+        dim = m * 8
+        try:
+            plan = plan_wram(
+                DpuSpec(),
+                dim=dim,
+                m=m,
+                k=k,
+                n_combo_slots=slots,
+                vector_bytes=2 * m,
+                read_vectors=read_vectors,
+                requested_tasklets=tasklets,
+            )
+        except (WramOverflowError, ConfigError):
+            return
+        alloc = WramAllocator(capacity=plan.wram_capacity)
+        apply_plan(plan, alloc, tasklets)
+        release_plan(plan, alloc, tasklets)
+        assert alloc.used_bytes == 0

@@ -1,0 +1,186 @@
+"""Multi-host extension tests (paper section 5.5)."""
+
+import numpy as np
+import pytest
+
+from repro.config import IndexConfig, QueryConfig, SystemConfig, UpANNSConfig
+from repro.core.engine import UpANNSEngine
+from repro.core.multihost import MultiHostEngine, NetworkModel
+from repro.errors import ConfigError, NotTrainedError, SchedulingError
+from repro.hardware.specs import PimSystemSpec
+
+
+def host_config(n_dpus=16, nprobe=8, k=5):
+    return SystemConfig(
+        index=IndexConfig(dim=32, n_clusters=32, m=8, train_iters=6),
+        query=QueryConfig(nprobe=nprobe, k=k, batch_size=40),
+        upanns=UpANNSConfig(),
+        pim=PimSystemSpec(n_dimms=1, chips_per_dimm=n_dpus // 8, dpus_per_chip=8),
+    )
+
+
+@pytest.fixture(scope="module")
+def multihost(small_dataset, trained_index, history_queries):
+    engine = MultiHostEngine(host_configs=[host_config(), host_config(), host_config()])
+    engine.build(
+        small_dataset.vectors,
+        history_queries=history_queries,
+        prebuilt_index=trained_index,
+    )
+    return engine
+
+
+class TestConstruction:
+    def test_needs_hosts(self):
+        with pytest.raises(ConfigError):
+            MultiHostEngine(host_configs=[])
+
+    def test_geometry_must_match(self):
+        other = SystemConfig(
+            index=IndexConfig(dim=32, n_clusters=16, m=8, train_iters=2),
+            pim=PimSystemSpec(n_dimms=1, chips_per_dimm=2, dpus_per_chip=8),
+        )
+        with pytest.raises(ConfigError):
+            MultiHostEngine(host_configs=[host_config(), other])
+
+    def test_search_before_build(self):
+        eng = MultiHostEngine(host_configs=[host_config()])
+        with pytest.raises(NotTrainedError):
+            eng.search_batch(np.zeros((1, 32), np.float32))
+
+    def test_every_cluster_owned_somewhere(self, multihost):
+        owned = set()
+        for reps in multihost.host_placement.replicas:
+            owned.update(reps)
+            assert len(reps) >= 1
+        assert owned <= set(range(3))
+
+    def test_ownership_roughly_balanced(self, multihost):
+        counts = multihost.cluster_ownership()
+        assert min(counts) > 0
+        assert max(counts) <= 3 * min(counts)
+
+    def test_replication_capped(self, multihost):
+        for reps in multihost.host_placement.replicas:
+            assert len(reps) <= multihost.max_host_replicas
+
+
+class TestFunctionalExactness:
+    def test_matches_single_host_reference(
+        self, multihost, trained_index, small_queries
+    ):
+        """Sharding across hosts must not change results (section 5.5:
+        'core search operations remain local')."""
+        res = multihost.search_batch(small_queries)
+        ref = trained_index.search(small_queries, 5, 8)
+        np.testing.assert_allclose(
+            np.where(np.isfinite(res.distances), res.distances, -1),
+            np.where(np.isfinite(ref.distances), ref.distances, -1),
+            rtol=1e-4,
+            atol=1e-4,
+        )
+
+    def test_single_host_degenerate_case(
+        self, small_dataset, trained_index, history_queries, small_queries
+    ):
+        solo = MultiHostEngine(host_configs=[host_config()])
+        solo.build(
+            small_dataset.vectors,
+            history_queries=history_queries,
+            prebuilt_index=trained_index,
+        )
+        res = solo.search_batch(small_queries)
+        ref = trained_index.search(small_queries, 5, 8)
+        np.testing.assert_allclose(
+            np.where(np.isfinite(res.distances), res.distances, -1),
+            np.where(np.isfinite(ref.distances), ref.distances, -1),
+            rtol=1e-4, atol=1e-4,
+        )
+
+    def test_k_override(self, multihost, small_queries):
+        res = multihost.search_batch(small_queries, k=3)
+        assert res.ids.shape == (len(small_queries), 3)
+
+
+class TestTiming:
+    def test_components_positive_and_sum(self, multihost, small_queries):
+        res = multihost.search_batch(small_queries)
+        assert res.coordinator_filter_s > 0
+        assert res.distribute_s > 0
+        assert res.host_makespan_s > 0
+        assert res.gather_s > 0
+        assert res.total_s == pytest.approx(
+            res.coordinator_filter_s
+            + res.distribute_s
+            + res.host_makespan_s
+            + res.gather_s
+            + res.merge_s
+        )
+
+    def test_qps(self, multihost, small_queries):
+        res = multihost.search_batch(small_queries)
+        assert res.qps == pytest.approx(len(small_queries) / res.total_s)
+
+    def test_network_model(self):
+        net = NetworkModel(bandwidth_bytes_per_s=1e9, latency_s=1e-5)
+        assert net.transfer_seconds([]) == 0.0
+        assert net.transfer_seconds([1e9, 5e8]) == pytest.approx(1.0 + 1e-5)
+
+    def test_only_search_is_distributed(self, multihost, small_queries):
+        """Paper: 'only query distribution and result aggregation
+        require cross-host communication' — the network terms must be
+        small next to local search at billion-equivalent scale."""
+        res = multihost.search_batch(small_queries)
+        network = res.distribute_s + res.gather_s
+        assert network < res.total_s  # present but not dominant here
+
+
+class TestClusterSubsetEngine:
+    def test_subset_engine_rejects_unowned_probes(
+        self, small_dataset, trained_index
+    ):
+        eng = UpANNSEngine(host_config())
+        owned = np.arange(16)  # first half of the 32 clusters
+        eng.build(
+            small_dataset.vectors,
+            prebuilt_index=trained_index,
+            cluster_subset=owned,
+        )
+        q = small_dataset.vectors[:2]
+        bad = [np.array([20]), np.array([0])]  # cluster 20 unowned
+        with pytest.raises(SchedulingError):
+            eng.search_batch(q, probes=bad)
+
+    def test_subset_engine_stores_only_owned(self, small_dataset, trained_index):
+        eng = UpANNSEngine(host_config())
+        owned = np.arange(16)
+        eng.build(
+            small_dataset.vectors,
+            prebuilt_index=trained_index,
+            cluster_subset=owned,
+        )
+        stored = sum(
+            1
+            for c in range(32)
+            if any(eng.pim.dpu(d).mram_contains(f"cluster_{c}") for d in range(16))
+        )
+        sizes = trained_index.ivf.cluster_sizes()
+        expected = int((sizes[:16] > 0).sum())
+        assert stored == expected
+
+    def test_ragged_probes_match_matrix_probes(
+        self, small_dataset, trained_index, small_queries
+    ):
+        eng = UpANNSEngine(host_config())
+        eng.build(small_dataset.vectors, prebuilt_index=trained_index)
+        matrix = trained_index.ivf.search_clusters(small_queries, 8)
+        ragged = [row.copy() for row in matrix]
+        a = eng.search_batch(small_queries, probes=matrix)
+        b = eng.search_batch(small_queries, probes=ragged)
+        np.testing.assert_array_equal(a.ids, b.ids)
+
+    def test_probe_count_mismatch_rejected(self, small_dataset, trained_index, small_queries):
+        eng = UpANNSEngine(host_config())
+        eng.build(small_dataset.vectors, prebuilt_index=trained_index)
+        with pytest.raises(ConfigError):
+            eng.search_batch(small_queries, probes=[np.array([0])])

@@ -1,0 +1,59 @@
+"""Multi-host property test: exactness must hold for any host count and
+replica cap."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.config import IndexConfig, QueryConfig, SystemConfig, UpANNSConfig
+from repro.core.multihost import MultiHostEngine
+from repro.hardware.specs import PimSystemSpec
+from repro.ivfpq import IVFPQIndex
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    n_hosts=st.integers(1, 4),
+    max_replicas=st.integers(1, 3),
+    nprobe=st.sampled_from([2, 4, 8]),
+    seed=st.integers(0, 1000),
+)
+def test_sharding_never_changes_results(n_hosts, max_replicas, nprobe, seed):
+    """Property: for any host count, cross-host replica cap and nprobe,
+    the merged multi-host result equals the single-index reference."""
+    rng = np.random.default_rng(seed)
+    dim, n_clusters, m, k = 16, 16, 4, 5
+    vectors = rng.normal(size=(800, dim)).astype(np.float32)
+    queries = rng.normal(size=(6, dim)).astype(np.float32)
+    index = IVFPQIndex(dim, n_clusters, m)
+    index.train(vectors, n_iter=3, rng=rng)
+    index.add(vectors)
+
+    def host_cfg():
+        return SystemConfig(
+            index=IndexConfig(dim=dim, n_clusters=n_clusters, m=m, train_iters=3),
+            query=QueryConfig(nprobe=nprobe, k=k, batch_size=6),
+            upanns=UpANNSConfig(),
+            pim=PimSystemSpec(n_dimms=1, chips_per_dimm=1, dpus_per_chip=8),
+        )
+
+    engine = MultiHostEngine(
+        host_configs=[host_cfg() for _ in range(n_hosts)],
+        max_host_replicas=max_replicas,
+    )
+    engine.build(vectors, prebuilt_index=index, rng=rng)
+    res = engine.search_batch(queries)
+    ref = index.search(queries, k, nprobe)
+    np.testing.assert_allclose(
+        np.where(np.isfinite(res.distances), res.distances, -1.0),
+        np.where(np.isfinite(ref.distances), ref.distances, -1.0),
+        rtol=1e-4,
+        atol=1e-3,
+    )
+    # Every cluster must be owned by at least one and at most the
+    # capped number of hosts.
+    for reps in engine.host_placement.replicas:
+        assert 1 <= len(reps) <= max_replicas

@@ -1,0 +1,61 @@
+"""Offline-phase statistics tests."""
+
+import numpy as np
+import pytest
+
+from repro.config import IndexConfig, QueryConfig, SystemConfig, UpANNSConfig
+from repro.core.engine import OfflineStats, UpANNSEngine
+from repro.errors import ConfigError
+from repro.hardware.specs import PimSystemSpec
+
+
+@pytest.fixture(scope="module")
+def engine(small_dataset, trained_index, history_queries):
+    cfg = SystemConfig(
+        index=IndexConfig(dim=32, n_clusters=32, m=8, train_iters=4),
+        query=QueryConfig(nprobe=8, k=5, batch_size=40),
+        upanns=UpANNSConfig(),
+        pim=PimSystemSpec(n_dimms=1, chips_per_dimm=2, dpus_per_chip=8),
+    )
+    eng = UpANNSEngine(cfg)
+    eng.build(
+        small_dataset.vectors,
+        history_queries=history_queries,
+        prebuilt_index=trained_index,
+    )
+    return eng
+
+
+class TestOfflineStats:
+    def test_populated_after_build(self, engine):
+        assert engine.offline is not None
+        assert engine.offline.mram_load_seconds > 0
+        assert engine.offline.total_payload_bytes == engine.pim.total_mram_used()
+
+    def test_load_serializes_on_ragged_payloads(self, engine):
+        """Per-DPU payloads differ, so the one-time load is sequential
+        (the section-2.2 constraint)."""
+        per_dpu = [d.mram_used_bytes for d in engine.pim.dpus]
+        if len(set(b for b in per_dpu if b > 0)) > 1:
+            assert not engine.offline.mram_load_parallel
+
+    def test_replication_overhead_at_least_one(self, engine):
+        assert engine.offline.replication_overhead >= 1.0
+
+    def test_replication_overhead_tracks_placement(self, engine):
+        assert engine.offline.replication_overhead == pytest.approx(
+            engine.pim.total_mram_used()
+            / sum(p.nbytes for p in engine._payloads if p.size > 0)
+        )
+
+    def test_amortization_decreases_with_volume(self, engine):
+        small = engine.offline.amortized_over(1_000, 1_000.0)
+        large = engine.offline.amortized_over(1_000_000, 1_000.0)
+        assert 0 < large < small < 1
+
+    def test_amortization_validates_inputs(self):
+        stats = OfflineStats(mram_load_seconds=1.0)
+        with pytest.raises(ConfigError):
+            stats.amortized_over(0, 100.0)
+        with pytest.raises(ConfigError):
+            stats.amortized_over(10, 0.0)

@@ -1,0 +1,122 @@
+"""Online serving loop tests."""
+
+import numpy as np
+import pytest
+
+from repro.config import IndexConfig, QueryConfig, SystemConfig, UpANNSConfig
+from repro.core.engine import UpANNSEngine
+from repro.core.scheduling import AdaptivePolicy
+from repro.core.service import OnlineService
+from repro.errors import NotTrainedError
+from repro.hardware.specs import PimSystemSpec
+from repro.workload.batch import BatchGenerator
+
+
+def built_engine(small_dataset, trained_index, history_queries):
+    cfg = SystemConfig(
+        index=IndexConfig(dim=32, n_clusters=32, m=8, train_iters=4),
+        query=QueryConfig(nprobe=8, k=5, batch_size=30),
+        upanns=UpANNSConfig(),
+        pim=PimSystemSpec(n_dimms=1, chips_per_dimm=2, dpus_per_chip=8),
+    )
+    eng = UpANNSEngine(cfg)
+    eng.build(
+        small_dataset.vectors,
+        history_queries=history_queries,
+        prebuilt_index=trained_index,
+    )
+    return eng
+
+
+class TestLifecycle:
+    def test_requires_built_engine(self):
+        cfg = SystemConfig(
+            index=IndexConfig(dim=32, n_clusters=32, m=8, train_iters=2),
+            pim=PimSystemSpec(n_dimms=1, chips_per_dimm=2, dpus_per_chip=8),
+        )
+        with pytest.raises(NotTrainedError):
+            OnlineService(engine=UpANNSEngine(cfg))
+
+    def test_submit_returns_report(
+        self, small_dataset, trained_index, history_queries, small_queries
+    ):
+        service = OnlineService(
+            engine=built_engine(small_dataset, trained_index, history_queries)
+        )
+        report = service.submit(small_queries)
+        assert report.action in {"keep", "rereplicate", "relocate"}
+        assert report.drift >= 0.0
+        assert report.result.ids.shape == (len(small_queries), 5)
+
+    def test_latency_accumulates(
+        self, small_dataset, trained_index, history_queries, small_queries
+    ):
+        service = OnlineService(
+            engine=built_engine(small_dataset, trained_index, history_queries)
+        )
+        service.submit(small_queries)
+        service.submit(small_queries)
+        assert service.latency.n_batches == 2
+        summary = service.summary()
+        assert summary["batches"] == 2.0
+        assert summary["p50_ms"] > 0
+
+
+class TestAdaptation:
+    def test_stable_traffic_keeps_placement(
+        self, small_dataset, trained_index, history_queries, small_queries
+    ):
+        service = OnlineService(
+            engine=built_engine(small_dataset, trained_index, history_queries),
+            policy=AdaptivePolicy(replicate_threshold=0.9, relocate_threshold=0.95),
+        )
+        for _ in range(3):
+            report = service.submit(small_queries)
+            assert report.action == "keep"
+        assert service.refresh_count == 0
+
+    def test_drifting_traffic_triggers_refresh(
+        self, small_dataset, trained_index, history_queries
+    ):
+        service = OnlineService(
+            engine=built_engine(small_dataset, trained_index, history_queries),
+            policy=AdaptivePolicy(replicate_threshold=0.01, relocate_threshold=0.8),
+        )
+        gen = BatchGenerator(
+            small_dataset, batch_size=30, zipf_alpha=1.2, drift_per_batch=0.8,
+            rng=np.random.default_rng(9),
+        )
+        service.serve(gen.batches(4))
+        assert service.refresh_count >= 1
+
+    def test_results_stay_exact_through_refreshes(
+        self, small_dataset, trained_index, history_queries
+    ):
+        service = OnlineService(
+            engine=built_engine(small_dataset, trained_index, history_queries),
+            policy=AdaptivePolicy(replicate_threshold=0.0, relocate_threshold=0.5),
+        )
+        gen = BatchGenerator(
+            small_dataset, batch_size=30, zipf_alpha=1.0, drift_per_batch=0.5,
+            rng=np.random.default_rng(4),
+        )
+        for batch in gen.batches(3):
+            report = service.submit(batch.queries)
+            ref = trained_index.search(batch.queries, 5, 8)
+            np.testing.assert_allclose(
+                np.where(np.isfinite(report.result.distances), report.result.distances, -1),
+                np.where(np.isfinite(ref.distances), ref.distances, -1),
+                rtol=1e-4, atol=1e-4,
+            )
+
+    def test_refresh_rate_limited(
+        self, small_dataset, trained_index, history_queries, small_queries
+    ):
+        service = OnlineService(
+            engine=built_engine(small_dataset, trained_index, history_queries),
+            policy=AdaptivePolicy(replicate_threshold=0.0, relocate_threshold=0.9),
+            min_batches_between_refreshes=100,
+        )
+        for _ in range(3):
+            service.submit(small_queries)
+        assert service.refresh_count == 0  # rate limiter held it back

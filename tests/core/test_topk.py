@@ -1,0 +1,175 @@
+"""Opt4 top-k tests: heap correctness and pruning equivalence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.topk import (
+    BoundedMaxHeap,
+    merge_heaps_naive,
+    merge_heaps_pruned,
+    scan_topk_fast,
+    scan_topk_threaded,
+)
+from repro.errors import ConfigError
+
+
+def exact_topk(values, ids, k):
+    order = np.argsort(values, kind="stable")[:k]
+    return values[order], ids[order]
+
+
+class TestBoundedMaxHeap:
+    def test_retains_k_smallest(self):
+        rng = np.random.default_rng(0)
+        v = rng.random(100).astype(np.float32)
+        h = BoundedMaxHeap(10)
+        h.push_many(v, np.arange(100))
+        got_v, _ = h.sorted_ascending()
+        np.testing.assert_allclose(np.sort(got_v), np.sort(v)[:10])
+
+    def test_root_is_kth_best(self):
+        h = BoundedMaxHeap(3)
+        for i, v in enumerate([5.0, 1.0, 3.0, 2.0]):
+            h.push(v, i)
+        assert h.root == pytest.approx(3.0)
+
+    def test_root_inf_until_full(self):
+        h = BoundedMaxHeap(3)
+        h.push(1.0, 0)
+        assert h.root == float("inf")
+
+    def test_rejects_worse_candidates(self):
+        h = BoundedMaxHeap(2)
+        h.push(1.0, 0)
+        h.push(2.0, 1)
+        assert not h.push(3.0, 2)
+        assert h.push(0.5, 3)
+
+    def test_heap_invariant_maintained(self):
+        rng = np.random.default_rng(1)
+        h = BoundedMaxHeap(16)
+        h.push_many(rng.random(200).astype(np.float32), np.arange(200))
+        v = h.values[: h.size]
+        for i in range(h.size):
+            left, right = 2 * i + 1, 2 * i + 2
+            if left < h.size:
+                assert v[i] >= v[left]
+            if right < h.size:
+                assert v[i] >= v[right]
+
+    def test_comparison_counting(self):
+        h = BoundedMaxHeap(4)
+        h.push_many(np.arange(50, dtype=np.float32), np.arange(50))
+        assert h.stats.comparisons > 0
+        assert h.stats.insertions >= 4
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigError):
+            BoundedMaxHeap(0)
+
+    def test_ids_follow_values(self):
+        v = np.array([4.0, 2.0, 3.0, 1.0], dtype=np.float32)
+        h = BoundedMaxHeap(2)
+        h.push_many(v, np.array([40, 20, 30, 10]))
+        got_v, got_i = h.sorted_ascending()
+        np.testing.assert_array_equal(got_i, [10, 20])
+
+
+class TestMerge:
+    def _make_heaps(self, seed, t=4, n=120, k=6):
+        rng = np.random.default_rng(seed)
+        v = rng.random(n).astype(np.float32)
+        ids = np.arange(n)
+        heaps = []
+        for i in range(t):
+            h = BoundedMaxHeap(k)
+            h.push_many(v[i::t], ids[i::t])
+            heaps.append(h)
+        return heaps, v, ids, k
+
+    def test_pruned_equals_naive_results(self):
+        for seed in range(5):
+            heaps_a, v, ids, k = self._make_heaps(seed)
+            heaps_b, *_ = self._make_heaps(seed)
+            pv, pi, _ = merge_heaps_pruned(heaps_a, k)
+            nv, ni, _ = merge_heaps_naive(heaps_b, k)
+            np.testing.assert_allclose(pv, nv)
+            np.testing.assert_array_equal(pi, ni)
+
+    def test_merge_equals_exact(self):
+        heaps, v, ids, k = self._make_heaps(7)
+        pv, pi, _ = merge_heaps_pruned(heaps, k)
+        ev, ei = exact_topk(v, ids, k)
+        np.testing.assert_allclose(pv, ev)
+
+    def test_pruning_skips_work(self):
+        """Figure 9/15: pruning skips a large share of insertions."""
+        heaps_a, _, _, k = self._make_heaps(3, t=8, n=800, k=10)
+        heaps_b, *_ = self._make_heaps(3, t=8, n=800, k=10)
+        _, _, pruned_stats = merge_heaps_pruned(heaps_a, k)
+        assert pruned_stats.pruned > 0
+
+    def test_empty_heaps(self):
+        heaps = [BoundedMaxHeap(5) for _ in range(3)]
+        v, i, _ = merge_heaps_pruned(heaps, 5)
+        assert v.size == 0
+
+
+class TestScanTopk:
+    @given(
+        n=st.integers(1, 300),
+        k=st.integers(1, 20),
+        t=st.integers(1, 16),
+        seed=st.integers(0, 2000),
+        prune=st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_threaded_scan_equals_exact(self, n, k, t, seed, prune):
+        """Property: thread-striped scan + (pruned) merge == exact top-k,
+        for any stripe count, k and input."""
+        rng = np.random.default_rng(seed)
+        v = rng.random(n).astype(np.float32)
+        ids = rng.permutation(n).astype(np.int64)
+        got_v, got_i, _ = scan_topk_threaded(v, ids, k, t, prune=prune)
+        ev, ei = exact_topk(v, ids, min(k, n))
+        np.testing.assert_allclose(got_v, ev)
+        np.testing.assert_array_equal(got_i, ei)
+
+    @given(
+        n=st.integers(1, 500),
+        k=st.integers(1, 20),
+        t=st.integers(1, 16),
+        seed=st.integers(0, 2000),
+        prune=st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_fast_scan_equals_exact(self, n, k, t, seed, prune):
+        """Property: the vectorized fast path is result-identical."""
+        rng = np.random.default_rng(seed)
+        v = rng.random(n).astype(np.float32)
+        ids = rng.permutation(n).astype(np.int64)
+        got_v, got_i, _ = scan_topk_fast(v, ids, k, t, prune=prune)
+        ev, ei = exact_topk(v, ids, min(k, n))
+        np.testing.assert_allclose(got_v, ev)
+        np.testing.assert_array_equal(got_i, ei)
+
+    def test_fast_pruning_stats_positive(self):
+        rng = np.random.default_rng(0)
+        v = rng.random(2000).astype(np.float32)
+        _, _, stats = scan_topk_fast(v, np.arange(2000), 10, 11, prune=True)
+        assert stats.pruned > 0
+
+    def test_pruned_does_less_merge_work_than_naive(self):
+        """The paper reports 68 % of comparisons skipped; directionally,
+        pruning must reduce total comparisons."""
+        rng = np.random.default_rng(1)
+        v = rng.random(5000).astype(np.float32)
+        ids = np.arange(5000)
+        _, _, pruned = scan_topk_fast(v, ids, 50, 11, prune=True)
+        _, _, naive = scan_topk_fast(v, ids, 50, 11, prune=False)
+        assert pruned.comparisons < naive.comparisons
+
+    def test_invalid_tasklets(self):
+        with pytest.raises(ConfigError):
+            scan_topk_fast(np.ones(3, np.float32), np.arange(3), 1, 0)

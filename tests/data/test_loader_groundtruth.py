@@ -1,0 +1,108 @@
+"""Vector-file codec and ground-truth caching tests."""
+
+import numpy as np
+import pytest
+
+from repro.data.groundtruth import (
+    compute_groundtruth,
+    groundtruth_for,
+    load_groundtruth,
+    save_groundtruth,
+)
+from repro.data.loader import read_vecs, write_vecs
+from repro.errors import ConfigError
+
+
+class TestVecsCodecs:
+    @pytest.mark.parametrize(
+        "suffix,dtype",
+        [(".fvecs", np.float32), (".ivecs", np.int32), (".bvecs", np.uint8)],
+    )
+    def test_roundtrip(self, tmp_path, suffix, dtype):
+        rng = np.random.default_rng(0)
+        if dtype == np.uint8:
+            data = rng.integers(0, 256, size=(20, 16)).astype(dtype)
+        elif dtype == np.int32:
+            data = rng.integers(-1000, 1000, size=(20, 16)).astype(dtype)
+        else:
+            data = rng.normal(size=(20, 16)).astype(dtype)
+        path = tmp_path / f"x{suffix}"
+        write_vecs(path, data)
+        back = read_vecs(path)
+        np.testing.assert_array_equal(back, data)
+
+    def test_max_vectors(self, tmp_path):
+        data = np.arange(40, dtype=np.float32).reshape(10, 4)
+        path = tmp_path / "x.fvecs"
+        write_vecs(path, data)
+        back = read_vecs(path, max_vectors=3)
+        np.testing.assert_array_equal(back, data[:3])
+
+    def test_unknown_suffix(self, tmp_path):
+        with pytest.raises(ConfigError):
+            read_vecs(tmp_path / "x.weird")
+
+    def test_corrupt_file_detected(self, tmp_path):
+        path = tmp_path / "x.fvecs"
+        data = np.zeros((2, 4), dtype=np.float32)
+        write_vecs(path, data)
+        with open(path, "ab") as f:
+            f.write(b"xx")  # trailing garbage breaks record alignment
+        with pytest.raises(ConfigError):
+            read_vecs(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "x.fvecs"
+        path.write_bytes(b"")
+        assert read_vecs(path).size == 0
+
+    def test_file_layout_matches_standard(self, tmp_path):
+        """Each record: int32 dim header then payload (fvecs spec)."""
+        path = tmp_path / "x.fvecs"
+        write_vecs(path, np.array([[1.5, 2.5]], dtype=np.float32))
+        raw = path.read_bytes()
+        assert np.frombuffer(raw[:4], "<i4")[0] == 2
+        np.testing.assert_allclose(np.frombuffer(raw[4:], "<f4"), [1.5, 2.5])
+
+
+class TestGroundTruth:
+    def test_compute_matches_flat(self):
+        rng = np.random.default_rng(0)
+        base = rng.normal(size=(200, 8)).astype(np.float32)
+        q = rng.normal(size=(5, 8)).astype(np.float32)
+        _, ids = compute_groundtruth(base, q, 3)
+        for i in range(5):
+            true = np.argsort(((base - q[i]) ** 2).sum(axis=1))[:3]
+            np.testing.assert_array_equal(ids[i], true)
+
+    def test_dim_mismatch(self):
+        with pytest.raises(ConfigError):
+            compute_groundtruth(np.zeros((5, 4)), np.zeros((2, 3)), 1)
+
+    def test_save_load_roundtrip(self, tmp_path):
+        d = np.random.rand(3, 4).astype(np.float32)
+        i = np.arange(12).reshape(3, 4)
+        path = tmp_path / "gt.npz"
+        save_groundtruth(path, d, i)
+        d2, i2 = load_groundtruth(path)
+        np.testing.assert_array_equal(i, i2)
+
+    def test_cache_used(self, tmp_path):
+        rng = np.random.default_rng(1)
+        base = rng.normal(size=(100, 4)).astype(np.float32)
+        q = rng.normal(size=(3, 4)).astype(np.float32)
+        path = tmp_path / "gt.npz"
+        _, first = groundtruth_for(base, q, 5, cache_path=path)
+        assert path.exists()
+        # Second call must hit the cache even with different base data.
+        _, second = groundtruth_for(base * 0, q, 5, cache_path=path)
+        np.testing.assert_array_equal(first, second)
+
+    def test_cache_ignored_when_too_small(self, tmp_path):
+        rng = np.random.default_rng(2)
+        base = rng.normal(size=(100, 4)).astype(np.float32)
+        q = rng.normal(size=(3, 4)).astype(np.float32)
+        path = tmp_path / "gt.npz"
+        groundtruth_for(base, q, 2, cache_path=path)
+        _, ids = groundtruth_for(base, q, 5, cache_path=path)  # k grew
+        assert ids.shape[1] == 5

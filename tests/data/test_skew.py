@@ -1,0 +1,91 @@
+"""Skew machinery tests (Figure 4 statistics)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.skew import (
+    gini,
+    lognormal_sizes,
+    sample_categories,
+    skew_ratio,
+    zipf_weights,
+)
+from repro.errors import ConfigError
+
+
+class TestZipf:
+    def test_normalized(self):
+        w = zipf_weights(100, 1.0)
+        assert w.sum() == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        w = zipf_weights(50, 1.2)
+        assert (np.diff(w) <= 0).all()
+
+    def test_alpha_zero_uniform(self):
+        w = zipf_weights(10, 0.0)
+        np.testing.assert_allclose(w, 0.1)
+
+    def test_higher_alpha_more_skew(self):
+        assert skew_ratio(zipf_weights(100, 1.5)) > skew_ratio(zipf_weights(100, 0.5))
+
+    def test_paper_scale_spread_reachable(self):
+        """Figure 4a reports ~500x access-frequency spread."""
+        w = zipf_weights(4096, 0.75)
+        assert skew_ratio(w) > 400
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_invalid_n(self, bad):
+        with pytest.raises(ConfigError):
+            zipf_weights(bad)
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ConfigError):
+            zipf_weights(10, -0.5)
+
+
+class TestLognormalSizes:
+    @given(n=st.integers(1, 50), mult=st.integers(1, 100), seed=st.integers(0, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_sums_exactly_and_non_empty(self, n, mult, seed):
+        total = n * mult
+        sizes = lognormal_sizes(n, total, rng=np.random.default_rng(seed))
+        assert int(sizes.sum()) == total
+        assert sizes.min() >= 1
+
+    def test_heavy_tail(self):
+        sizes = lognormal_sizes(200, 100_000, sigma=1.5, rng=np.random.default_rng(0))
+        assert skew_ratio(sizes) > 50
+
+    def test_infeasible_rejected(self):
+        with pytest.raises(ConfigError):
+            lognormal_sizes(10, 5)
+
+
+class TestStats:
+    def test_skew_ratio(self):
+        assert skew_ratio(np.array([1.0, 10.0, 100.0])) == pytest.approx(100.0)
+
+    def test_skew_ratio_ignores_zeros(self):
+        assert skew_ratio(np.array([0.0, 2.0, 8.0])) == pytest.approx(4.0)
+
+    def test_skew_ratio_all_zero_rejected(self):
+        with pytest.raises(ConfigError):
+            skew_ratio(np.zeros(3))
+
+    def test_gini_uniform_zero(self):
+        assert gini(np.ones(100)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_gini_concentrated_near_one(self):
+        v = np.zeros(100)
+        v[0] = 1.0
+        assert gini(v) > 0.9
+
+    def test_gini_empty(self):
+        assert gini(np.array([])) == 0.0
+
+    def test_sample_categories(self):
+        w = np.array([0.9, 0.1])
+        samples = sample_categories(w, 1000, np.random.default_rng(0))
+        assert (samples == 0).mean() > 0.8

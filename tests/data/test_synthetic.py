@@ -1,0 +1,99 @@
+"""Synthetic dataset generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    ALL_SPECS,
+    DEEP1B,
+    SIFT1B,
+    SPACEV1B,
+    make_dataset,
+    make_queries,
+)
+from repro.errors import ConfigError
+
+
+class TestSpecs:
+    def test_paper_geometries(self):
+        """Section 5.1: DEEP 96d/12, SIFT 128d/16, SPACEV 100d/20."""
+        assert (DEEP1B.dim, DEEP1B.pq_m) == (96, 12)
+        assert (SIFT1B.dim, SIFT1B.pq_m) == (128, 16)
+        assert (SPACEV1B.dim, SPACEV1B.pq_m) == (100, 20)
+
+    def test_all_specs_billion_scale(self):
+        assert all(s.full_scale == 10**9 for s in ALL_SPECS)
+
+    def test_scaled_factor(self):
+        scaled = SIFT1B.scaled(100_000)
+        assert scaled.scale_factor == pytest.approx(10_000)
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("spec", ALL_SPECS, ids=lambda s: s.name)
+    def test_shapes_and_ranges(self, spec):
+        ds = make_dataset(spec, 2000, n_components=16, rng=np.random.default_rng(0))
+        assert ds.vectors.shape == (2000, spec.dim)
+        assert ds.vectors.dtype == np.float32
+        lo, hi = spec.value_range
+        assert ds.vectors.min() >= lo
+        assert ds.vectors.max() <= hi
+
+    def test_component_sizes_skewed(self):
+        ds = make_dataset(
+            SIFT1B, 5000, n_components=32, size_sigma=1.5, rng=np.random.default_rng(1)
+        )
+        counts = np.bincount(ds.component_of, minlength=32)
+        assert counts.max() > 5 * max(counts.min(), 1)
+
+    def test_all_components_non_empty(self):
+        ds = make_dataset(SIFT1B, 2000, n_components=64, rng=np.random.default_rng(2))
+        assert np.bincount(ds.component_of, minlength=64).min() >= 1
+
+    def test_n_smaller_than_components_rejected(self):
+        with pytest.raises(ConfigError):
+            make_dataset(SIFT1B, 10, n_components=64)
+
+    def test_correlated_subspaces_create_duplicates(self):
+        """The CAE-enabling structure: correlated subspaces repeat
+        exact sub-vector values within a component."""
+        ds = make_dataset(
+            SIFT1B, 3000, n_components=8, correlated_subspaces=2,
+            rng=np.random.default_rng(3),
+        )
+        dsub = SIFT1B.dim // SIFT1B.pq_m
+        comp0 = ds.vectors[ds.component_of == 0][:, :dsub]
+        unique_rows = np.unique(comp0.round(4), axis=0)
+        assert unique_rows.shape[0] <= 4  # at most n_protos variants
+
+    def test_deterministic(self):
+        a = make_dataset(SIFT1B, 1000, n_components=8, rng=np.random.default_rng(5))
+        b = make_dataset(SIFT1B, 1000, n_components=8, rng=np.random.default_rng(5))
+        np.testing.assert_array_equal(a.vectors, b.vectors)
+
+
+class TestQueries:
+    @pytest.fixture(scope="class")
+    def ds(self):
+        return make_dataset(SIFT1B, 2000, n_components=16, rng=np.random.default_rng(0))
+
+    def test_query_shape_and_range(self, ds):
+        q = make_queries(ds, 50, rng=np.random.default_rng(1))
+        assert q.shape == (50, 128)
+        lo, hi = SIFT1B.value_range
+        assert q.min() >= lo and q.max() <= hi
+
+    def test_popularity_shapes_traffic(self, ds):
+        """Zipf popularity must concentrate queries near hot components
+        — the Figure 4a access-skew mechanism."""
+        pop = np.zeros(16)
+        pop[3] = 1.0
+        q = make_queries(ds, 100, popularity=pop, rng=np.random.default_rng(2))
+        center = ds.mixture_centers[3]
+        d_hot = ((q - center) ** 2).sum(axis=1)
+        d_other = ((q - ds.mixture_centers[0]) ** 2).sum(axis=1)
+        assert np.median(d_hot) < np.median(d_other)
+
+    def test_bad_popularity_rejected(self, ds):
+        with pytest.raises(ConfigError):
+            make_queries(ds, 10, popularity=np.ones(5))

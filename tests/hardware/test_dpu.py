@@ -1,0 +1,100 @@
+"""DPU functional storage + cycle-ledger tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MramOverflowError
+from repro.hardware.dpu import DPU
+from repro.hardware.specs import DpuSpec
+
+
+@pytest.fixture
+def dpu():
+    return DPU(dpu_id=0)
+
+
+class TestMramStorage:
+    def test_store_and_load(self, dpu):
+        arr = np.arange(100, dtype=np.int64)
+        dpu.mram_store("x", arr)
+        assert dpu.mram_contains("x")
+        np.testing.assert_array_equal(dpu.mram_load("x"), arr)
+
+    def test_capacity_enforced(self):
+        small = DPU(dpu_id=0, spec=DpuSpec(mram_bytes=1024))
+        with pytest.raises(MramOverflowError):
+            small.mram_store("big", np.zeros(2048, dtype=np.uint8))
+
+    def test_replace_reuses_budget(self):
+        small = DPU(dpu_id=0, spec=DpuSpec(mram_bytes=1024))
+        small.mram_store("x", np.zeros(800, dtype=np.uint8))
+        small.mram_store("x", np.zeros(1000, dtype=np.uint8))  # replace ok
+        assert small.mram_used_bytes == 1000
+
+    def test_delete_frees(self, dpu):
+        dpu.mram_store("x", np.zeros(100, dtype=np.uint8))
+        dpu.mram_delete("x")
+        assert not dpu.mram_contains("x")
+        assert dpu.mram_used_bytes == 0
+
+    def test_free_bytes(self, dpu):
+        dpu.mram_store("x", np.zeros(1000, dtype=np.uint8))
+        assert dpu.mram_free_bytes == dpu.spec.mram_bytes - 1000
+
+
+class TestCharging:
+    def test_instruction_charge(self, dpu):
+        dpu.charge_instructions(123)
+        assert dpu.counters.instructions == 123
+
+    def test_mram_read_charge(self, dpu):
+        cycles = dpu.charge_mram_read(1024, 256)
+        assert cycles > 0
+        assert dpu.counters.mram_read_bytes == 1024
+        assert dpu.counters.dma_transactions == 4
+        assert dpu.counters.dma_cycles == int(cycles)
+
+    def test_mram_write_charge(self, dpu):
+        dpu.charge_mram_write(512, 256)
+        assert dpu.counters.mram_write_bytes == 512
+
+    def test_barrier_charge(self, dpu):
+        c = dpu.charge_barrier()
+        assert c > 0
+        assert dpu.counters.barriers == 1
+
+    def test_reset(self, dpu):
+        dpu.charge_instructions(10)
+        dpu.reset_counters()
+        assert dpu.counters.instructions == 0
+
+
+class TestTiming:
+    def test_overlap_bounds(self, dpu):
+        """Combined time lies between max (perfect overlap) and sum."""
+        combined = dpu.combine_cycles(1000.0, 600.0)
+        assert 1000.0 <= combined <= 1600.0
+
+    def test_full_overlap(self):
+        d = DPU(dpu_id=0, overlap_efficiency=1.0)
+        assert d.combine_cycles(1000.0, 600.0) == pytest.approx(1000.0)
+
+    def test_no_overlap(self):
+        d = DPU(dpu_id=0, overlap_efficiency=0.0)
+        assert d.combine_cycles(1000.0, 600.0) == pytest.approx(1600.0)
+
+    def test_elapsed_accumulates_all_terms(self, dpu):
+        dpu.charge_instructions(11000)
+        dpu.charge_mram_read(4096, 512)
+        dpu.charge_barrier()
+        assert dpu.elapsed_cycles() > 0
+        assert dpu.elapsed_seconds() == pytest.approx(
+            dpu.elapsed_cycles() / 350e6
+        )
+
+    def test_more_tasklets_faster_compute(self):
+        d1 = DPU(dpu_id=0, n_tasklets=1)
+        d11 = DPU(dpu_id=1, n_tasklets=11)
+        for d in (d1, d11):
+            d.charge_instructions(110_000)
+        assert d1.elapsed_cycles() > 10 * d11.elapsed_cycles()

@@ -1,0 +1,86 @@
+"""Activity-based energy model tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.hardware.energy import DpuPowerModel, batch_energy_report, peak_energy
+from repro.hardware.specs import UPMEM_7_DIMMS
+
+
+class TestDpuPowerModel:
+    def test_fully_busy_array(self):
+        m = DpuPowerModel(active_w=0.2, idle_w=0.1)
+        busy = np.full(10, 2.0)
+        assert m.batch_energy_j(busy, 2.0) == pytest.approx(10 * 2.0 * 0.2)
+
+    def test_idle_array_draws_idle_power(self):
+        m = DpuPowerModel(active_w=0.2, idle_w=0.1)
+        busy = np.zeros(10)
+        assert m.batch_energy_j(busy, 2.0) == pytest.approx(10 * 2.0 * 0.1)
+
+    def test_imbalance_wastes_idle_energy(self):
+        """The connection to Opt1: an imbalanced batch burns more idle
+        energy for the same total work."""
+        m = DpuPowerModel()
+        total_work = 8.0
+        balanced = np.full(8, 1.0)  # makespan 1.0
+        skewed = np.zeros(8)
+        skewed[0] = total_work  # makespan 8.0
+        e_balanced = m.batch_energy_j(balanced, 1.0)
+        e_skewed = m.batch_energy_j(skewed, 8.0)
+        assert e_skewed > e_balanced
+
+    def test_idle_fraction_bounds(self):
+        m = DpuPowerModel()
+        busy = np.array([1.0, 0.5, 0.0])
+        frac = m.wasted_idle_fraction(busy, 1.0)
+        assert 0.0 < frac < 1.0
+
+    def test_makespan_must_cover_busiest(self):
+        m = DpuPowerModel()
+        with pytest.raises(ConfigError):
+            m.batch_energy_j(np.array([2.0]), 1.0)
+
+    def test_negative_times_rejected(self):
+        m = DpuPowerModel()
+        with pytest.raises(ConfigError):
+            m.batch_energy_j(np.array([-1.0]), 1.0)
+
+
+class TestReports:
+    def test_peak_energy_matches_paper_arithmetic(self):
+        # 162 W for one second.
+        assert peak_energy(UPMEM_7_DIMMS, 1.0) == pytest.approx(
+            UPMEM_7_DIMMS.peak_power_w
+        )
+
+    def test_peak_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            peak_energy(UPMEM_7_DIMMS, -1.0)
+
+    def test_report_keys_and_consistency(self):
+        busy = np.random.default_rng(0).uniform(0, 1.0, size=896)
+        rep = batch_energy_report(UPMEM_7_DIMMS, busy, 1.0, n_queries=100)
+        assert set(rep) == {"refined_j", "peak_j", "j_per_query", "idle_fraction"}
+        assert rep["refined_j"] <= rep["peak_j"] * 1.5
+        assert rep["j_per_query"] == pytest.approx(rep["refined_j"] / 100)
+
+    def test_engine_energy_report(self, small_dataset, trained_index, small_queries):
+        from repro.config import IndexConfig, QueryConfig, SystemConfig
+        from repro.core.engine import UpANNSEngine
+        from repro.hardware.specs import PimSystemSpec
+
+        pim = PimSystemSpec(n_dimms=1, chips_per_dimm=2, dpus_per_chip=8)
+        cfg = SystemConfig(
+            index=IndexConfig(dim=32, n_clusters=32, m=8, train_iters=2),
+            query=QueryConfig(nprobe=4, k=5, batch_size=40),
+            pim=pim,
+            timing_scale=100.0,
+        )
+        eng = UpANNSEngine(cfg)
+        eng.build(small_dataset.vectors, prebuilt_index=trained_index)
+        res = eng.search_batch(small_queries)
+        rep = res.energy_report(pim)
+        assert rep["refined_j"] > 0
+        assert 0.0 <= rep["idle_fraction"] < 1.0

@@ -1,0 +1,85 @@
+"""Host cost model and power/efficiency accounting tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hardware.host import HostModel
+from repro.hardware.power import (
+    EfficiencyReport,
+    dpus_for_power_budget,
+    report_for_pim,
+    report_for_spec,
+)
+from repro.hardware.specs import A100_PCIE_80GB, UPMEM_7_DIMMS
+
+
+class TestHostModel:
+    def test_cluster_filter_scales_with_everything(self):
+        h = HostModel()
+        base = h.cluster_filter_seconds(100, 512, 128)
+        assert h.cluster_filter_seconds(200, 512, 128) == pytest.approx(2 * base)
+        assert h.cluster_filter_seconds(100, 1024, 128) == pytest.approx(2 * base)
+        assert h.cluster_filter_seconds(100, 512, 256) == pytest.approx(2 * base)
+
+    def test_scheduling_linear_in_pairs(self):
+        h = HostModel()
+        assert h.scheduling_seconds(1000, 64) == pytest.approx(
+            64 * h.scheduling_seconds(1000, 1)
+        )
+
+    def test_aggregate_zero_partials(self):
+        assert HostModel().aggregate_seconds(10, 10, 0) == 0.0
+
+    def test_aggregate_grows_with_k(self):
+        h = HostModel()
+        assert h.aggregate_seconds(10, 100, 4) > h.aggregate_seconds(10, 10, 4)
+
+    def test_filtering_is_lightweight(self):
+        """Paper: cluster filtering is 'relatively light-weighted'."""
+        h = HostModel()
+        # 1000 queries x 4096 centroids x 128 dims well under 10 ms.
+        assert h.cluster_filter_seconds(1000, 4096, 128) < 0.01
+
+
+class TestEfficiency:
+    def test_qps_per_watt(self):
+        r = EfficiencyReport("x", qps=324.0, peak_power_w=162.0, price_usd=2800)
+        assert r.qps_per_watt == pytest.approx(2.0)
+
+    def test_qps_per_dollar(self):
+        r = EfficiencyReport("x", qps=2800.0, peak_power_w=1, price_usd=2800)
+        assert r.qps_per_dollar == pytest.approx(1.0)
+
+    def test_energy_per_query(self):
+        r = EfficiencyReport("x", qps=100.0, peak_power_w=300.0, price_usd=1)
+        assert r.energy_per_query_j() == pytest.approx(3.0)
+
+    def test_energy_requires_positive_qps(self):
+        r = EfficiencyReport("x", qps=0.0, peak_power_w=300.0, price_usd=1)
+        with pytest.raises(ConfigError):
+            r.energy_per_query_j()
+
+    def test_report_for_spec(self):
+        r = report_for_spec(A100_PCIE_80GB, 500.0)
+        assert r.peak_power_w == 300
+        assert r.price_usd == 20000
+
+    def test_report_for_pim(self):
+        r = report_for_pim(UPMEM_7_DIMMS, 500.0)
+        assert r.peak_power_w == pytest.approx(UPMEM_7_DIMMS.peak_power_w)
+
+
+class TestPowerBudget:
+    def test_paper_iso_power_point(self):
+        """Paper section 5.5: 300 W (one A100) buys ~1654 DPUs."""
+        n = dpus_for_power_budget(UPMEM_7_DIMMS, 300.0)
+        assert n == pytest.approx(1654, abs=5)
+
+    def test_budget_scales_linearly(self):
+        n1 = dpus_for_power_budget(UPMEM_7_DIMMS, 100.0)
+        n3 = dpus_for_power_budget(UPMEM_7_DIMMS, 300.0)
+        assert n3 == pytest.approx(3 * n1, abs=3)
+
+    def test_invalid_budget(self):
+        with pytest.raises(ConfigError):
+            dpus_for_power_budget(UPMEM_7_DIMMS, 0.0)

@@ -1,0 +1,112 @@
+"""Micro-simulator tests: the analytic models must match the cycle-level
+behaviour they summarize."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.hardware.microsim import (
+    MicroSim,
+    barrier,
+    compute_block,
+    dma_read,
+)
+from repro.hardware.mram import MramModel
+from repro.hardware.pipeline import PipelineModel
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return MicroSim()
+
+
+class TestComputeThroughput:
+    def test_single_tasklet_is_one_over_reissue(self, sim):
+        """One tasklet can only issue every 11 cycles."""
+        assert sim.throughput(1) == pytest.approx(1 / 11, rel=0.02)
+
+    @pytest.mark.parametrize("t", [2, 4, 8, 11])
+    def test_linear_scaling_below_knee(self, sim, t):
+        assert sim.throughput(t) == pytest.approx(t / 11, rel=0.02)
+
+    @pytest.mark.parametrize("t", [12, 16, 24])
+    def test_saturation_beyond_knee(self, sim, t):
+        """The Figure-13 knee *emerges* from round-robin dispatch with
+        the 11-cycle reissue interval — it is not hard-coded here."""
+        assert sim.throughput(t) == pytest.approx(1.0, rel=0.02)
+
+    def test_matches_analytic_model_across_range(self, sim):
+        analytic = PipelineModel()
+        for t in (1, 3, 7, 11, 15, 24):
+            measured = sim.throughput(t)
+            assert measured == pytest.approx(analytic.throughput(t), rel=0.03)
+
+    def test_invalid_tasklet_count(self, sim):
+        with pytest.raises(ConfigError):
+            sim.run([])
+        with pytest.raises(ConfigError):
+            sim.run([compute_block(1)] * 25)
+
+
+class TestDma:
+    def test_single_dma_costs_model_latency(self, sim):
+        cycles = sim.run([dma_read(512)])
+        expected = MramModel().latency_cycles(512)
+        assert cycles == pytest.approx(expected, abs=3)
+
+    def test_dma_engine_serializes_across_tasklets(self, sim):
+        """One MRAM engine: concurrent tasklet DMAs queue up."""
+        t = 8
+        cycles = sim.run([dma_read(512) for _ in range(t)])
+        single = MramModel().latency_cycles(512)
+        assert cycles == pytest.approx(t * single, rel=0.05)
+
+    def test_dma_overlaps_compute_of_other_tasklets(self, sim):
+        """While one tasklet waits on DMA, others keep the pipeline
+        busy — the overlap Opt2's thread scheduling exploits."""
+        dma_prog = dma_read(2048) + compute_block(10)
+        compute_prog = compute_block(400)
+        both = sim.run([dma_prog] + [compute_prog] * 10)
+        compute_only = sim.run([compute_prog] * 10)
+        dma_only = sim.run([dma_prog])
+        # Far better than serial execution of the two workloads.
+        assert both < 0.85 * (compute_only + dma_only)
+
+    def test_small_reads_charge_more_per_byte(self, sim):
+        """The Figure-17 mechanism at the cycle level: streaming the
+        same bytes through smaller DMA chunks takes longer."""
+        total, small_chunk, big_chunk = 8192, 64, 1024
+        small = sim.run([dma_read(small_chunk) * (total // small_chunk)])
+        big = sim.run([dma_read(big_chunk) * (total // big_chunk)])
+        assert small > 1.5 * big
+
+
+class TestBarriers:
+    def test_barrier_waits_for_stragglers(self, sim):
+        fast = compute_block(10) + barrier() + compute_block(10)
+        slow = compute_block(400) + barrier() + compute_block(10)
+        cycles = sim.run([fast, slow])
+        # Must exceed the slow tasklet's pre-barrier work alone.
+        assert cycles > sim.run([compute_block(400)])
+
+    def test_all_arrive_then_proceed(self, sim):
+        progs = [compute_block(50) + barrier() + compute_block(50) for _ in range(4)]
+        cycles = sim.run(progs)
+        no_barrier = sim.run([compute_block(100)] * 4)
+        # The barrier costs a pipeline drain, not much more, when the
+        # tasklets are symmetric.
+        assert cycles < no_barrier + 5 * 14
+
+    def test_unbalanced_work_past_barrier(self, sim):
+        progs = [barrier() + compute_block(n) for n in (10, 10, 500)]
+        cycles = sim.run(progs)
+        assert cycles > 500  # the long tail dominates
+
+
+class TestFastForward:
+    def test_idle_gaps_are_skipped_correctly(self, sim):
+        """A single tasklet with sparse readiness still yields exact
+        cycle counts (fast-forward must not skip events)."""
+        cycles = sim.run([compute_block(7)])
+        # 7 instructions, one per 11 cycles; last issues at cycle 66.
+        assert cycles == pytest.approx(7 * 11, abs=11)

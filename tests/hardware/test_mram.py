@@ -1,0 +1,120 @@
+"""MRAM DMA model tests (paper Figure 7 latency curve)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DmaAlignmentError
+from repro.hardware.mram import (
+    MAX_DMA_BYTES,
+    MIN_DMA_BYTES,
+    MramModel,
+    round_up_dma,
+    validate_dma_size,
+)
+
+legal_sizes = st.integers(min_value=1, max_value=MAX_DMA_BYTES // 8).map(lambda k: 8 * k)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("size", [8, 16, 256, 2048])
+    def test_legal_sizes_pass(self, size):
+        validate_dma_size(size)
+
+    @pytest.mark.parametrize("size", [0, 4, 7, 12, 2049, 4096, -8])
+    def test_illegal_sizes_raise(self, size):
+        with pytest.raises(DmaAlignmentError):
+            validate_dma_size(size)
+
+    def test_round_up_small_payload(self):
+        assert round_up_dma(1) == MIN_DMA_BYTES
+        assert round_up_dma(9) == 16
+        assert round_up_dma(2048) == 2048
+
+    def test_round_up_too_large(self):
+        with pytest.raises(DmaAlignmentError):
+            round_up_dma(MAX_DMA_BYTES + 1)
+
+
+class TestLatencyCurve:
+    def test_knee_shape(self):
+        """Figure 7: slow growth below ~256 B, near-linear beyond."""
+        m = MramModel()
+        small_slope = (m.latency_cycles(256) - m.latency_cycles(8)) / (256 - 8)
+        large_slope = (m.latency_cycles(2048) - m.latency_cycles(512)) / (2048 - 512)
+        assert large_slope > 3 * small_slope
+
+    @given(a=legal_sizes, b=legal_sizes)
+    def test_monotonic_in_size(self, a, b):
+        m = MramModel()
+        if a <= b:
+            assert m.latency_cycles(a) <= m.latency_cycles(b)
+        else:
+            assert m.latency_cycles(a) >= m.latency_cycles(b)
+
+    def test_setup_cost_dominates_smallest(self):
+        m = MramModel()
+        assert m.latency_cycles(8) < 1.1 * m.setup_cycles + 8
+
+    def test_latency_curve_vectorized_matches_scalar(self):
+        m = MramModel()
+        sizes = np.array([8, 64, 256, 1024, 2048])
+        curve = m.latency_curve(sizes)
+        for s, c in zip(sizes, curve):
+            assert c == pytest.approx(m.latency_cycles(int(s)))
+
+    def test_latency_curve_rejects_illegal(self):
+        with pytest.raises(DmaAlignmentError):
+            MramModel().latency_curve(np.array([8, 10]))
+
+
+class TestBulkTransfer:
+    def test_zero_bytes_free(self):
+        assert MramModel().bulk_transfer_cycles(0, 64) == 0.0
+
+    def test_exact_multiple(self):
+        m = MramModel()
+        assert m.bulk_transfer_cycles(640, 64) == pytest.approx(
+            10 * m.latency_cycles(64)
+        )
+
+    def test_tail_rounded_up(self):
+        m = MramModel()
+        # 100 B with 64 B chunks: one full chunk + 36 B tail -> 40 B DMA.
+        expected = m.latency_cycles(64) + m.latency_cycles(40)
+        assert m.bulk_transfer_cycles(100, 64) == pytest.approx(expected)
+
+    def test_transactions_count(self):
+        m = MramModel()
+        assert m.transactions_for(0, 64) == 0
+        assert m.transactions_for(640, 64) == 10
+        assert m.transactions_for(641, 64) == 11
+
+    @given(total=st.integers(1, 100_000), chunk=st.integers(1, 16).map(lambda k: 8 * k))
+    def test_bigger_chunks_never_slower_below_knee(self, total, chunk):
+        """Below the latency knee, larger DMA chunks amortize setup."""
+        m = MramModel()
+        assert m.bulk_transfer_cycles(total, chunk * 2) <= m.bulk_transfer_cycles(
+            total, chunk
+        ) + m.latency_cycles(chunk * 2)
+
+    def test_effective_bandwidth_rises_then_saturates(self):
+        """Figure 7/17 mechanism: strong gains up to the knee, 'minimal
+        returns' beyond — larger reads only cost WRAM."""
+        m = MramModel()
+        bw = m.effective_bandwidth_bytes_per_cycle
+        assert bw(256) > 5 * bw(8)  # steep gains below the knee
+        # Beyond the knee, bandwidth changes by < 15 % per doubling.
+        for s in (512, 1024):
+            assert abs(bw(2 * s) - bw(s)) / bw(s) < 0.15
+
+    def test_bandwidth_saturates_past_knee(self):
+        """Diminishing returns past the knee (paper: ~16 vectors)."""
+        m = MramModel()
+        gain_small = m.effective_bandwidth_bytes_per_cycle(
+            128
+        ) / m.effective_bandwidth_bytes_per_cycle(32)
+        gain_large = m.effective_bandwidth_bytes_per_cycle(
+            2048
+        ) / m.effective_bandwidth_bytes_per_cycle(512)
+        assert gain_small > gain_large

@@ -1,0 +1,67 @@
+"""Pipeline throughput model tests (paper section 5.3.2 / Figure 13)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hardware.pipeline import BarrierModel, PipelineModel
+from repro.hardware.specs import DpuSpec
+
+
+class TestThroughput:
+    def test_linear_scaling_up_to_11(self):
+        """Figure 13: QPS scales linearly with tasklets up to 11."""
+        p = PipelineModel()
+        for t in range(1, 12):
+            assert p.speedup(t) == pytest.approx(t)
+
+    def test_saturation_beyond_11(self):
+        """Beyond 11 tasklets the pipeline is already full."""
+        p = PipelineModel()
+        for t in range(12, 25):
+            assert p.speedup(t) == pytest.approx(11)
+
+    def test_saturation_point(self):
+        assert PipelineModel().saturation_point() == 11
+
+    def test_compute_cycles_inverse_to_throughput(self):
+        p = PipelineModel()
+        assert p.compute_cycles(1100, 1) == pytest.approx(11 * 1100)
+        assert p.compute_cycles(1100, 11) == pytest.approx(1100)
+        assert p.compute_cycles(1100, 24) == pytest.approx(1100)
+
+    def test_zero_instructions_free(self):
+        assert PipelineModel().compute_cycles(0, 5) == 0.0
+
+    def test_negative_instructions_rejected(self):
+        with pytest.raises(ConfigError):
+            PipelineModel().compute_cycles(-1, 5)
+
+    @pytest.mark.parametrize("t", [0, 25, -3])
+    def test_invalid_tasklet_counts(self, t):
+        with pytest.raises(ConfigError):
+            PipelineModel().throughput(t)
+
+    def test_cycles_to_seconds_uses_350mhz(self):
+        p = PipelineModel()
+        assert p.cycles_to_seconds(350e6) == pytest.approx(1.0)
+
+    def test_custom_reissue_interval(self):
+        spec = DpuSpec(pipeline_reissue_cycles=8)
+        p = PipelineModel(spec)
+        assert p.saturation_point() == 8
+        assert p.speedup(8) == pytest.approx(8)
+        assert p.speedup(12) == pytest.approx(8)
+
+
+class TestBarrier:
+    def test_cost_grows_with_tasklets(self):
+        b = BarrierModel()
+        assert b.barrier_cycles(11) > b.barrier_cycles(1)
+
+    def test_includes_pipeline_drain(self):
+        b = BarrierModel()
+        assert b.barrier_cycles(1) >= b.spec.pipeline_stages
+
+    def test_invalid_tasklets(self):
+        with pytest.raises(ConfigError):
+            BarrierModel().barrier_cycles(0)

@@ -1,0 +1,99 @@
+"""PIM system topology and host-transfer semantics tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.hardware.rank import PimSystem
+from repro.hardware.specs import PimSystemSpec
+
+
+@pytest.fixture
+def small_pim():
+    return PimSystem(PimSystemSpec(n_dimms=1, chips_per_dimm=2, dpus_per_chip=4))
+
+
+class TestTopology:
+    def test_dpu_count(self, small_pim):
+        assert small_pim.n_dpus == 8
+        assert len(small_pim.dpus) == 8
+
+    def test_dpu_ids_sequential(self, small_pim):
+        assert [d.dpu_id for d in small_pim.dpus] == list(range(8))
+
+    def test_invalid_tasklets(self):
+        with pytest.raises(ConfigError):
+            PimSystem(PimSystemSpec(), n_tasklets=99)
+
+    def test_reset_counters(self, small_pim):
+        small_pim.dpu(0).charge_instructions(5)
+        small_pim.reset_counters()
+        assert small_pim.dpu(0).counters.instructions == 0
+
+
+class TestHostTransfers:
+    def test_uniform_buffers_parallel(self, small_pim):
+        """Equal per-DPU buffers transfer concurrently (paper 2.2)."""
+        stats = small_pim.host_transfer_seconds([1024] * 8)
+        assert stats.parallel
+        assert stats.seconds == pytest.approx(
+            1024 / small_pim.spec.host_transfer_bytes_per_s
+        )
+
+    def test_non_uniform_buffers_serialize(self, small_pim):
+        sizes = [1024] * 7 + [2048]
+        stats = small_pim.host_transfer_seconds(sizes)
+        assert not stats.parallel
+        assert stats.seconds == pytest.approx(
+            sum(sizes) / small_pim.spec.host_transfer_bytes_per_s
+        )
+
+    def test_serialized_much_slower_than_uniform(self, small_pim):
+        uniform = small_pim.host_transfer_seconds([1024] * 8).seconds
+        ragged = small_pim.host_transfer_seconds([1024] * 7 + [1032]).seconds
+        assert ragged > 7 * uniform
+
+    def test_empty_transfer(self, small_pim):
+        stats = small_pim.host_transfer_seconds([])
+        assert stats.seconds == 0.0
+
+    def test_zero_sizes_skipped(self, small_pim):
+        stats = small_pim.host_transfer_seconds([0, 1024, 0, 1024])
+        assert stats.parallel
+
+    def test_broadcast(self, small_pim):
+        assert small_pim.broadcast_seconds(2_000_000_000) == pytest.approx(
+            2_000_000_000 / small_pim.spec.host_transfer_bytes_per_s
+        )
+        assert small_pim.broadcast_seconds(0) == 0.0
+
+    def test_gather_is_transfer(self, small_pim):
+        assert small_pim.gather_seconds([64] * 8).parallel
+
+
+class TestAggregates:
+    def test_makespan_is_max(self, small_pim):
+        small_pim.dpu(3).charge_instructions(1_000_000)
+        small_pim.dpu(5).charge_instructions(10_000)
+        assert small_pim.makespan_seconds() == pytest.approx(
+            small_pim.dpu(3).elapsed_seconds()
+        )
+
+    def test_load_ratio_balanced(self, small_pim):
+        for d in small_pim.dpus:
+            d.charge_instructions(1000)
+        assert small_pim.load_ratio() == pytest.approx(1.0)
+
+    def test_load_ratio_skewed(self, small_pim):
+        small_pim.dpu(0).charge_instructions(8000)
+        for d in small_pim.dpus[1:]:
+            d.charge_instructions(1000)
+        assert small_pim.load_ratio() > 4.0
+
+    def test_load_ratio_idle_system(self, small_pim):
+        assert small_pim.load_ratio() == 1.0
+
+    def test_total_mram_used(self, small_pim):
+        small_pim.dpu(0).mram_store("x", np.zeros(100, dtype=np.uint8))
+        small_pim.dpu(1).mram_store("y", np.zeros(50, dtype=np.uint8))
+        assert small_pim.total_mram_used() == 150

@@ -1,0 +1,127 @@
+"""Hardware descriptor tests (paper Table 1)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hardware.specs import (
+    A100_PCIE_80GB,
+    GB,
+    TABLE1_ROWS,
+    UPMEM_7_DIMMS,
+    XEON_4110_PAIR,
+    CpuSpec,
+    DpuSpec,
+    HardwareSpec,
+    PimSystemSpec,
+)
+
+
+class TestTable1Values:
+    def test_cpu_row(self):
+        assert XEON_4110_PAIR.price_usd == 1400
+        assert XEON_4110_PAIR.memory_gb == pytest.approx(128)
+        assert XEON_4110_PAIR.peak_power_w == 190
+        assert XEON_4110_PAIR.bandwidth_gb_per_s == pytest.approx(85.3)
+
+    def test_gpu_row(self):
+        assert A100_PCIE_80GB.price_usd == 20000
+        assert A100_PCIE_80GB.memory_gb == pytest.approx(80)
+        assert A100_PCIE_80GB.peak_power_w == 300
+        assert A100_PCIE_80GB.bandwidth_gb_per_s == pytest.approx(1935)
+
+    def test_pim_dpu_count(self):
+        # 7 DIMMs x 16 chips x 8 DPUs = 896 DPUs (paper section 5.1).
+        assert UPMEM_7_DIMMS.n_dpus == 896
+
+    def test_pim_memory_capacity(self):
+        # 896 x 64 MB = 56 GiB ~= the 56 GB Table 1 reports.
+        assert UPMEM_7_DIMMS.total_mram_bytes == 896 * 64 * 1024**2
+
+    def test_pim_peak_power(self):
+        # 7 x 23.22 W = 162.5 W (paper: 162 W).
+        assert UPMEM_7_DIMMS.peak_power_w == pytest.approx(162.54, abs=0.01)
+
+    def test_pim_aggregate_bandwidth_matches_table(self):
+        # Table 1: 612.5 GB/s for 896 DPUs.
+        assert UPMEM_7_DIMMS.aggregate_bandwidth_bytes_per_s == pytest.approx(
+            612.5 * GB, rel=0.01
+        )
+
+    def test_table1_has_three_rows(self):
+        assert len(TABLE1_ROWS) == 3
+        assert all(isinstance(r, HardwareSpec) for r in TABLE1_ROWS)
+
+
+class TestDpuSpec:
+    def test_defaults_match_paper(self):
+        d = DpuSpec()
+        assert d.frequency_hz == 350e6
+        assert d.max_tasklets == 24
+        assert d.pipeline_stages == 14
+        assert d.pipeline_reissue_cycles == 11
+        assert d.wram_bytes == 64 * 1024
+        assert d.mram_bytes == 64 * 1024**2
+        assert d.iram_bytes == 24 * 1024
+
+    def test_reissue_cannot_exceed_depth(self):
+        with pytest.raises(ConfigError):
+            DpuSpec(pipeline_stages=10, pipeline_reissue_cycles=11)
+
+    def test_needs_a_tasklet(self):
+        with pytest.raises(ConfigError):
+            DpuSpec(max_tasklets=0)
+
+
+class TestPimSystemSpec:
+    def test_with_n_dpus_preserves_count(self):
+        scaled = UPMEM_7_DIMMS.with_n_dpus(500)
+        assert scaled.n_dpus == 500
+
+    def test_with_n_dpus_scales_power_linearly(self):
+        per_dpu = UPMEM_7_DIMMS.peak_power_w / UPMEM_7_DIMMS.n_dpus
+        scaled = UPMEM_7_DIMMS.with_n_dpus(1654)
+        assert scaled.peak_power_w == pytest.approx(1654 * per_dpu)
+
+    def test_with_n_dpus_scales_price(self):
+        scaled = UPMEM_7_DIMMS.with_n_dpus(UPMEM_7_DIMMS.n_dpus * 2)
+        assert scaled.price_usd == pytest.approx(UPMEM_7_DIMMS.price_usd * 2)
+
+    def test_with_n_dpus_rejects_zero(self):
+        with pytest.raises(ConfigError):
+            UPMEM_7_DIMMS.with_n_dpus(0)
+
+    def test_as_hardware_spec_roundtrip(self):
+        row = UPMEM_7_DIMMS.as_hardware_spec()
+        assert row.memory_bytes == UPMEM_7_DIMMS.total_mram_bytes
+        assert row.peak_power_w == pytest.approx(UPMEM_7_DIMMS.peak_power_w)
+
+    def test_invalid_topology(self):
+        with pytest.raises(ConfigError):
+            PimSystemSpec(n_dimms=0)
+
+
+class TestHardwareSpecValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"price_usd": 0},
+            {"memory_bytes": 0},
+            {"peak_power_w": -1},
+            {"bandwidth_bytes_per_s": 0},
+        ],
+    )
+    def test_rejects_non_positive(self, kwargs):
+        base = dict(
+            name="x",
+            price_usd=1.0,
+            memory_bytes=1,
+            peak_power_w=1.0,
+            bandwidth_bytes_per_s=1.0,
+        )
+        base.update(kwargs)
+        with pytest.raises(ConfigError):
+            HardwareSpec(**base)
+
+    def test_cpu_spec_extra_fields(self):
+        assert XEON_4110_PAIR.cores == 16
+        assert isinstance(XEON_4110_PAIR, CpuSpec)

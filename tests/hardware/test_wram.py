@@ -1,0 +1,128 @@
+"""WRAM allocator tests: physical addressing, reuse, overflow."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import WramOverflowError
+from repro.hardware.wram import WramAllocator
+
+
+class TestBasicAllocation:
+    def test_first_allocation_at_zero(self):
+        a = WramAllocator()
+        r = a.alloc("codebook", 1000)
+        assert r.offset == 0
+        assert r.size == 1000  # already 8-aligned
+
+    def test_alignment(self):
+        a = WramAllocator()
+        r = a.alloc("x", 13)
+        assert r.size == 16
+
+    def test_sequential_offsets(self):
+        a = WramAllocator()
+        r1 = a.alloc("a", 64)
+        r2 = a.alloc("b", 64)
+        assert r2.offset == r1.end
+
+    def test_duplicate_name_rejected(self):
+        a = WramAllocator()
+        a.alloc("x", 8)
+        with pytest.raises(WramOverflowError):
+            a.alloc("x", 8)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(WramOverflowError):
+            WramAllocator().alloc("x", 0)
+
+    def test_free_unknown_rejected(self):
+        with pytest.raises(WramOverflowError):
+            WramAllocator().free("nope")
+
+
+class TestCapacity:
+    def test_overflow_raises(self):
+        a = WramAllocator(capacity=128)
+        a.alloc("a", 64)
+        with pytest.raises(WramOverflowError):
+            a.alloc("b", 72)
+
+    def test_exact_fit(self):
+        a = WramAllocator(capacity=128)
+        a.alloc("a", 64)
+        a.alloc("b", 64)
+        assert a.free_bytes == 0
+
+    def test_used_free_accounting(self):
+        a = WramAllocator(capacity=1024)
+        a.alloc("a", 100)  # -> 104
+        assert a.used_bytes == 104
+        assert a.free_bytes == 1024 - 104
+
+
+class TestReuse:
+    def test_freed_region_is_reused(self):
+        """The Figure 6 story: the codebook region is recycled."""
+        a = WramAllocator(capacity=64 * 1024)
+        cb = a.alloc("codebook", 32 * 1024)
+        a.alloc("lut", 8 * 1024)
+        a.free("codebook")
+        buf = a.alloc("read_buffer_0", 2 * 1024)
+        assert buf.offset == cb.offset  # first-fit lands in the freed hole
+
+    def test_fragmented_gap_skipped_when_too_small(self):
+        a = WramAllocator(capacity=1024)
+        a.alloc("a", 64)
+        a.alloc("b", 64)
+        a.alloc("c", 64)
+        a.free("b")
+        big = a.alloc("d", 128)  # does not fit in b's 64 B hole
+        assert big.offset == a.region("c").end
+
+    def test_largest_free_block(self):
+        a = WramAllocator(capacity=1024)
+        a.alloc("a", 256)
+        a.alloc("b", 256)
+        a.free("a")
+        assert a.largest_free_block() == 1024 - 512
+
+    def test_peak_tracking(self):
+        a = WramAllocator(capacity=1024)
+        a.alloc("a", 512)
+        a.free("a")
+        a.alloc("b", 128)
+        assert a.peak_bytes == 512
+
+    def test_history_records_ops(self):
+        a = WramAllocator()
+        a.alloc("a", 8)
+        a.free("a")
+        ops = [op for op, *_ in a.history()]
+        assert ops == ["alloc", "free"]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["alloc", "free"]), st.integers(0, 7), st.integers(8, 9000)),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_random_sequences_never_overlap(ops):
+    """Property: whatever the alloc/free pattern, live regions never
+    overlap and never exceed capacity."""
+    a = WramAllocator(capacity=32 * 1024)
+    for op, slot, size in ops:
+        name = f"r{slot}"
+        try:
+            if op == "alloc":
+                a.alloc(name, size)
+            else:
+                a.free(name)
+        except WramOverflowError:
+            continue
+        a.verify_no_overlap()
+        assert a.used_bytes <= a.capacity
+        regions = a.live_regions()
+        assert all(r.end <= a.capacity for r in regions)

@@ -1,0 +1,177 @@
+"""Cross-module integration tests: the full UpANNS story on one corpus."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cpu import CpuEngine
+from repro.baselines.gpu import GpuEngine
+from repro.baselines.pim_naive import PIM_NAIVE_CONFIG
+from repro.config import IndexConfig, QueryConfig, SystemConfig, UpANNSConfig
+from repro.core.engine import UpANNSEngine
+from repro.core.scheduling import AdaptivePolicy
+from repro.data import make_dataset, make_queries, zipf_weights
+from repro.data.synthetic import SIFT1B
+from repro.hardware.specs import PimSystemSpec
+from repro.ivfpq import FlatIndex, recall_at_k
+from repro.workload.batch import BatchGenerator
+
+
+def small_pim(n_dpus=16):
+    return PimSystemSpec(n_dimms=1, chips_per_dimm=max(1, n_dpus // 8), dpus_per_chip=8)
+
+
+@pytest.fixture(scope="module")
+def system(small_dataset, trained_index, history_queries):
+    cfg = SystemConfig(
+        index=IndexConfig(dim=32, n_clusters=32, m=8, train_iters=6),
+        query=QueryConfig(nprobe=8, k=10, batch_size=40),
+        upanns=UpANNSConfig(),
+        pim=small_pim(),
+        timing_scale=500.0,
+    )
+    eng = UpANNSEngine(cfg)
+    eng.build(
+        small_dataset.vectors,
+        history_queries=history_queries,
+        prebuilt_index=trained_index,
+    )
+    return eng
+
+
+class TestAllEnginesAgree:
+    def test_four_engines_identical_distances(
+        self, system, small_dataset, trained_index, history_queries, small_queries
+    ):
+        """UpANNS, PIM-naive, CPU and GPU all search the same trained
+        state and must return identical neighbor distances."""
+        naive = UpANNSEngine(
+            SystemConfig(
+                index=IndexConfig(dim=32, n_clusters=32, m=8, train_iters=6),
+                query=QueryConfig(nprobe=8, k=10, batch_size=40),
+                upanns=PIM_NAIVE_CONFIG,
+                pim=small_pim(),
+            )
+        )
+        naive.build(small_dataset.vectors, prebuilt_index=trained_index)
+        cpu = CpuEngine(trained_index)
+        gpu = GpuEngine(trained_index)
+
+        r_up = system.search_batch(small_queries)
+        r_naive = naive.search_batch(small_queries)
+        r_cpu = cpu.search_batch(small_queries, 10, 8)
+        r_gpu = gpu.search_batch(small_queries, 10, 8)
+
+        def clean(d):
+            return np.where(np.isfinite(d), d, -1)
+
+        for other in (r_naive.distances, r_cpu.distances, r_gpu.distances):
+            np.testing.assert_allclose(
+                clean(r_up.distances), clean(other), rtol=1e-4, atol=1e-4
+            )
+
+
+class TestRecallPipeline:
+    def test_recall_vs_ground_truth(self, system, small_dataset, small_queries):
+        flat = FlatIndex(32)
+        flat.add(small_dataset.vectors)
+        _, gt = flat.search(small_queries, 10)
+        res = system.search_batch(small_queries)
+        assert recall_at_k(res.ids, gt, 10) > 0.3
+
+    def test_recall_grows_with_nprobe(
+        self, small_dataset, trained_index, small_queries
+    ):
+        flat = FlatIndex(32)
+        flat.add(small_dataset.vectors)
+        _, gt = flat.search(small_queries, 10)
+        recalls = []
+        for nprobe in (1, 4, 16):
+            cfg = SystemConfig(
+                index=IndexConfig(dim=32, n_clusters=32, m=8, train_iters=6),
+                query=QueryConfig(nprobe=nprobe, k=10, batch_size=40),
+                pim=small_pim(),
+            )
+            eng = UpANNSEngine(cfg)
+            eng.build(small_dataset.vectors, prebuilt_index=trained_index)
+            recalls.append(recall_at_k(eng.search_batch(small_queries).ids, gt, 10))
+        assert recalls[0] <= recalls[1] <= recalls[2] + 1e-9
+
+
+class TestAdaptiveLoop:
+    def test_drift_detection_and_refresh(self, small_dataset, trained_index):
+        """Section 4.1.2's loop: observe drift, re-replicate, keep
+        returning exact results."""
+        cfg = SystemConfig(
+            index=IndexConfig(dim=32, n_clusters=32, m=8, train_iters=6),
+            query=QueryConfig(nprobe=4, k=5, batch_size=30),
+            pim=small_pim(),
+        )
+        eng = UpANNSEngine(cfg)
+        eng.build(small_dataset.vectors, prebuilt_index=trained_index)
+        policy = AdaptivePolicy(replicate_threshold=0.02, relocate_threshold=0.6)
+
+        gen = BatchGenerator(
+            small_dataset, batch_size=30, zipf_alpha=1.0, drift_per_batch=0.6,
+            rng=np.random.default_rng(3),
+        )
+        snapshot = eng.trace.snapshot()
+        actions = []
+        for batch in gen.batches(4):
+            res = eng.search_batch(batch.queries)
+            drift = eng.trace.drift_from(snapshot)
+            action = policy.decide(drift)
+            actions.append(action)
+            if action != "keep":
+                eng.refresh_placement()
+                snapshot = eng.trace.snapshot()
+            ref = trained_index.search(batch.queries, 5, 4)
+            np.testing.assert_allclose(
+                np.where(np.isfinite(res.distances), res.distances, -1),
+                np.where(np.isfinite(ref.distances), ref.distances, -1),
+                rtol=1e-4, atol=1e-4,
+            )
+        assert len(actions) == 4
+
+
+class TestScalingBehavior:
+    def test_more_dpus_higher_qps(self, small_dataset, trained_index, history_queries):
+        """Figure 20 mechanism: QPS grows with DPU count."""
+        pop = zipf_weights(24, 0.8)
+        q = make_queries(small_dataset, 60, popularity=pop, rng=np.random.default_rng(9))
+        qps = []
+        for n_dpus in (8, 32):
+            cfg = SystemConfig(
+                index=IndexConfig(dim=32, n_clusters=32, m=8, train_iters=6),
+                query=QueryConfig(nprobe=8, k=10, batch_size=60),
+                pim=small_pim(n_dpus),
+                timing_scale=500.0,
+            )
+            eng = UpANNSEngine(cfg)
+            eng.build(
+                small_dataset.vectors,
+                history_queries=history_queries,
+                prebuilt_index=trained_index,
+            )
+            qps.append(eng.search_batch(q).qps)
+        assert qps[1] > 1.5 * qps[0]
+
+    def test_upanns_beats_naive_on_skewed_traffic(
+        self, small_dataset, trained_index, history_queries, small_queries
+    ):
+        results = {}
+        for name, uconf in (("up", UpANNSConfig()), ("naive", PIM_NAIVE_CONFIG)):
+            cfg = SystemConfig(
+                index=IndexConfig(dim=32, n_clusters=32, m=8, train_iters=6),
+                query=QueryConfig(nprobe=8, k=10, batch_size=40),
+                upanns=uconf,
+                pim=small_pim(),
+                timing_scale=500.0,
+            )
+            eng = UpANNSEngine(cfg)
+            eng.build(
+                small_dataset.vectors,
+                history_queries=history_queries,
+                prebuilt_index=trained_index,
+            )
+            results[name] = eng.search_batch(small_queries).qps
+        assert results["up"] > results["naive"]

@@ -1,0 +1,79 @@
+"""System-level property tests: the engine/reference equivalence must
+hold for arbitrary geometries and optimization mixes, not just the
+fixture configuration."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.config import IndexConfig, QueryConfig, SystemConfig, UpANNSConfig
+from repro.core.engine import UpANNSEngine
+from repro.hardware.specs import PimSystemSpec
+from repro.ivfpq import IVFPQIndex
+
+
+@st.composite
+def engine_cases(draw):
+    dim = draw(st.sampled_from([16, 32]))
+    m = draw(st.sampled_from([4, 8]))
+    if dim % m:
+        m = 4
+    n_clusters = draw(st.sampled_from([8, 16]))
+    nprobe = draw(st.integers(1, n_clusters))
+    k = draw(st.integers(1, 12))
+    n_dpus = draw(st.sampled_from([8, 16, 24]))
+    placement = draw(st.booleans())
+    cae = draw(st.booleans())
+    prune = draw(st.booleans())
+    tasklets = draw(st.sampled_from([1, 4, 11]))
+    seed = draw(st.integers(0, 10_000))
+    return dim, m, n_clusters, nprobe, k, n_dpus, placement, cae, prune, tasklets, seed
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(case=engine_cases())
+def test_engine_matches_reference_for_random_configs(case):
+    """Property: whatever the geometry, PIM topology, tasklet count and
+    optimization mix, the engine's distances equal the reference
+    index's (the paper's accuracy-preservation claim, universally)."""
+    dim, m, n_clusters, nprobe, k, n_dpus, placement, cae, prune, tasklets, seed = case
+    rng = np.random.default_rng(seed)
+    n = 600
+    vectors = rng.normal(size=(n, dim)).astype(np.float32)
+    queries = rng.normal(size=(8, dim)).astype(np.float32)
+
+    index = IVFPQIndex(dim, n_clusters, m)
+    index.train(vectors, n_iter=3, rng=rng)
+    index.add(vectors)
+
+    chips = max(1, n_dpus // 8)
+    cfg = SystemConfig(
+        index=IndexConfig(dim=dim, n_clusters=n_clusters, m=m, train_iters=3),
+        query=QueryConfig(nprobe=nprobe, k=k, batch_size=8),
+        upanns=UpANNSConfig(
+            enable_placement=placement,
+            enable_cae=cae,
+            enable_topk_pruning=prune,
+            n_tasklets=tasklets,
+        ),
+        pim=PimSystemSpec(n_dimms=1, chips_per_dimm=chips, dpus_per_chip=8),
+    )
+    engine = UpANNSEngine(cfg)
+    engine.build(vectors, prebuilt_index=index, rng=rng)
+    res = engine.search_batch(queries)
+    ref = index.search(queries, k, nprobe)
+
+    np.testing.assert_allclose(
+        np.where(np.isfinite(res.distances), res.distances, -1.0),
+        np.where(np.isfinite(ref.distances), ref.distances, -1.0),
+        rtol=1e-4,
+        atol=1e-3,
+    )
+    # Timing is always positive and finite.
+    assert np.isfinite(res.timing.total_s) and res.timing.total_s > 0
+    # Balance statistic is well-formed.
+    assert res.cycle_load_ratio >= 1.0 - 1e-9

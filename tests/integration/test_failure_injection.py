@@ -1,0 +1,140 @@
+"""Failure-injection tests: the simulator must fail loudly and precisely
+when a configuration violates the architecture's physical limits."""
+
+import numpy as np
+import pytest
+
+from repro.config import IndexConfig, QueryConfig, SystemConfig, UpANNSConfig
+from repro.core.engine import UpANNSEngine
+from repro.errors import (
+    ConfigError,
+    MramOverflowError,
+    PlacementError,
+    WramOverflowError,
+)
+from repro.hardware.specs import DpuSpec, PimSystemSpec
+
+
+def config_with(dpu: DpuSpec | None = None, n_dpus: int = 16, **upanns_kwargs):
+    pim_kwargs = {}
+    if dpu is not None:
+        pim_kwargs["dpu"] = dpu
+    return SystemConfig(
+        index=IndexConfig(dim=32, n_clusters=32, m=8, train_iters=4),
+        query=QueryConfig(nprobe=8, k=5, batch_size=20),
+        upanns=UpANNSConfig(**upanns_kwargs),
+        pim=PimSystemSpec(
+            n_dimms=1, chips_per_dimm=n_dpus // 8, dpus_per_chip=8, **pim_kwargs
+        ),
+    )
+
+
+class TestMramPressure:
+    def test_tiny_mram_fails_placement(self, small_dataset, trained_index):
+        """If MRAM cannot hold the clusters, the build must fail with a
+        placement error (MAX_DPU_SIZE infeasible), not silently drop
+        data."""
+        tiny = DpuSpec(mram_bytes=4096)
+        eng = UpANNSEngine(config_with(dpu=tiny, n_dpus=8))
+        with pytest.raises((PlacementError, MramOverflowError)):
+            eng.build(small_dataset.vectors, prebuilt_index=trained_index)
+
+    def test_explicit_max_dpu_vectors_enforced(self, small_dataset, trained_index):
+        sizes = trained_index.ivf.cluster_sizes()
+        too_small = int(sizes.max()) - 1  # largest cluster cannot fit
+        eng = UpANNSEngine(config_with(max_dpu_vectors=too_small))
+        with pytest.raises(PlacementError):
+            eng.build(small_dataset.vectors, prebuilt_index=trained_index)
+
+
+class TestWramPressure:
+    def test_oversized_geometry_fails_plan(self, small_dataset):
+        """A (dim, m) geometry whose codebook+LUT exceed 64 KB must be
+        rejected when the WRAM plan is computed."""
+        cfg = SystemConfig(
+            index=IndexConfig(dim=512, n_clusters=16, m=64, train_iters=2),
+            query=QueryConfig(nprobe=4, k=5, batch_size=10),
+            upanns=UpANNSConfig(),
+            pim=PimSystemSpec(n_dimms=1, chips_per_dimm=2, dpus_per_chip=8),
+        )
+        rng = np.random.default_rng(0)
+        vectors = rng.normal(size=(2000, 512)).astype(np.float32)
+        eng = UpANNSEngine(cfg)
+        with pytest.raises(WramOverflowError):
+            eng.build(vectors, rng=rng)
+
+    def test_tasklets_clamped_not_failed(self, small_dataset, trained_index):
+        """Requesting 24 tasklets with big read buffers must *clamp* to
+        what WRAM supports rather than failing."""
+        eng = UpANNSEngine(
+            config_with(n_tasklets=24, mram_read_vectors=32)
+        )
+        eng.build(small_dataset.vectors, prebuilt_index=trained_index)
+        assert 1 <= eng.pim.dpus[0].n_tasklets <= 24
+
+
+class TestBadInputs:
+    def test_mismatched_query_dim(self, small_dataset, trained_index):
+        eng = UpANNSEngine(config_with())
+        eng.build(small_dataset.vectors, prebuilt_index=trained_index)
+        with pytest.raises(Exception):
+            eng.search_batch(np.zeros((3, 7), np.float32))
+
+    def test_invalid_upanns_config(self):
+        with pytest.raises(ConfigError):
+            UpANNSConfig(n_tasklets=0)
+        with pytest.raises(ConfigError):
+            UpANNSConfig(mram_read_vectors=0)
+        with pytest.raises(ConfigError):
+            UpANNSConfig(replication_headroom=0.5)
+        with pytest.raises(ConfigError):
+            UpANNSConfig(cae_combo_length=1)
+
+    def test_invalid_timing_scale(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(
+                index=IndexConfig(dim=32, n_clusters=4, m=8),
+                timing_scale=0.0,
+            )
+
+    def test_nprobe_beyond_clusters(self, small_dataset, trained_index):
+        eng = UpANNSEngine(config_with())
+        eng.build(small_dataset.vectors, prebuilt_index=trained_index)
+        cfg_bad = SystemConfig(
+            index=IndexConfig(dim=32, n_clusters=32, m=8, train_iters=4),
+            query=QueryConfig(nprobe=64, k=5, batch_size=20),
+            pim=PimSystemSpec(n_dimms=1, chips_per_dimm=2, dpus_per_chip=8),
+        )
+        eng_bad = UpANNSEngine(cfg_bad)
+        eng_bad.build(small_dataset.vectors, prebuilt_index=trained_index)
+        with pytest.raises(ConfigError):
+            eng_bad.search_batch(small_dataset.vectors[:2])
+
+
+class TestDegenerateData:
+    def test_all_identical_vectors(self):
+        """A pathological corpus (all points identical) must still build
+        and search without crashing."""
+        vectors = np.ones((600, 16), dtype=np.float32)
+        cfg = SystemConfig(
+            index=IndexConfig(dim=16, n_clusters=4, m=4, train_iters=2),
+            query=QueryConfig(nprobe=2, k=3, batch_size=5),
+            pim=PimSystemSpec(n_dimms=1, chips_per_dimm=1, dpus_per_chip=8),
+        )
+        eng = UpANNSEngine(cfg)
+        eng.build(vectors)
+        res = eng.search_batch(vectors[:5])
+        assert (res.distances[np.isfinite(res.distances)] <= 1e-3).all()
+
+    def test_single_query(self, small_dataset, trained_index):
+        eng = UpANNSEngine(config_with())
+        eng.build(small_dataset.vectors, prebuilt_index=trained_index)
+        res = eng.search_batch(small_dataset.vectors[:1])
+        assert res.ids.shape == (1, 5)
+
+    def test_k_larger_than_candidates(self, small_dataset, trained_index):
+        eng = UpANNSEngine(config_with())
+        eng.build(small_dataset.vectors, prebuilt_index=trained_index)
+        res = eng.search_batch(small_dataset.vectors[:2], k=10_000)
+        # Rows padded with -1/inf beyond the candidate count.
+        assert (res.ids == -1).any()

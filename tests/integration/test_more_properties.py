@@ -1,0 +1,144 @@
+"""Additional cross-module property tests (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.cooccurrence import mine_combinations
+from repro.core.encoding import (
+    build_flat_table,
+    decode_distances,
+    encode_cluster,
+    pack_device_rows,
+    unpack_device_rows,
+)
+from repro.data.loader import read_vecs, write_vecs
+from repro.hardware.rank import PimSystem
+from repro.hardware.specs import PimSystemSpec
+from repro.ivfpq.adc import adc_distances
+from repro.ivfpq.ivf import InvertedFile
+from repro.ivfpq.kmeans import kmeans
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(2, 80),
+    length=st.sampled_from([2, 3, 4, 5]),
+    m=st.sampled_from([8, 16]),
+    top_m=st.integers(1, 64),
+    seed=st.integers(0, 5000),
+)
+def test_cae_exactness_for_any_combo_length(n, length, m, top_m, seed):
+    """Property: distance preservation holds for every supported
+    combination length, mined set size and code distribution."""
+    rng = np.random.default_rng(seed)
+    # Low-cardinality codes so combinations actually repeat.
+    codes = rng.integers(0, 5, size=(n, m)).astype(np.uint8)
+    model = mine_combinations(codes, top_m=top_m, combo_length=length)
+    encoded = encode_cluster(codes, model)
+    lut = rng.random((m, 256)).astype(np.float32)
+    table = build_flat_table(lut, model)
+    np.testing.assert_allclose(
+        decode_distances(encoded, table),
+        adc_distances(codes, lut),
+        rtol=1e-5,
+        atol=1e-4,
+    )
+    # The in-band wire format round-trips too.
+    addresses, lengths = unpack_device_rows(pack_device_rows(encoded), m)
+    np.testing.assert_array_equal(lengths, encoded.lengths)
+    np.testing.assert_array_equal(addresses, encoded.addresses)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n_chunks=st.integers(1, 4),
+    dim=st.sampled_from([4, 8]),
+    seed=st.integers(0, 1000),
+)
+def test_incremental_list_building_is_order_exact(n_chunks, dim, seed):
+    """Property: appending vectors in chunks yields the same inverted
+    lists (same membership per cluster) as one bulk insert."""
+    rng = np.random.default_rng(seed)
+    n = 40 * n_chunks
+    x = rng.normal(size=(n, dim)).astype(np.float32)
+    ivf_bulk = InvertedFile(4).train(x, n_iter=3, rng=np.random.default_rng(0))
+    labels = ivf_bulk.assign(x)
+    codes = rng.integers(0, 256, size=(n, 2)).astype(np.uint8)
+    ivf_bulk.build_lists(np.arange(n), labels, codes)
+
+    ivf_inc = InvertedFile(4)
+    ivf_inc.centroids = ivf_bulk.centroids
+    bounds = np.linspace(0, n, n_chunks + 1).astype(int)
+    for lo, hi in zip(bounds, bounds[1:]):
+        ivf_inc.append_to_lists(np.arange(lo, hi), labels[lo:hi], codes[lo:hi])
+
+    for a, b in zip(ivf_bulk.lists, ivf_inc.lists):
+        np.testing.assert_array_equal(np.sort(a.ids), np.sort(b.ids))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    sizes=st.lists(st.integers(0, 4096).map(lambda v: v * 8), min_size=1, max_size=16),
+)
+def test_host_transfer_uniformity_rule(sizes):
+    """Property: the parallel/serial decision depends exactly on size
+    uniformity of the non-empty buffers, and serialized time is the sum."""
+    pim = PimSystem(PimSystemSpec(n_dimms=1, chips_per_dimm=2, dpus_per_chip=8))
+    stats = pim.host_transfer_seconds(sizes)
+    nonzero = [s for s in sizes if s > 0]
+    if not nonzero:
+        assert stats.seconds == 0.0
+        return
+    bw = pim.spec.host_transfer_bytes_per_s
+    if len(set(nonzero)) == 1:
+        assert stats.parallel
+        assert stats.seconds == pytest.approx(nonzero[0] / bw)
+    else:
+        assert not stats.parallel
+        assert stats.seconds == pytest.approx(sum(nonzero) / bw)
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    n=st.integers(20, 200),
+    dim=st.integers(1, 12),
+    k=st.integers(1, 8),
+    seed=st.integers(0, 1000),
+)
+def test_kmeans_universal_invariants(n, dim, k, seed):
+    """Property: for any data shape, k-means returns k centroids, full
+    coverage, nearest-centroid assignments and non-negative inertia."""
+    if n < k:
+        return
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, dim)).astype(np.float32)
+    res = kmeans(x, k, n_iter=4, rng=rng)
+    assert res.centroids.shape == (k, dim)
+    assert res.assignments.shape == (n,)
+    assert res.assignments.min() >= 0 and res.assignments.max() < k
+    assert res.inertia >= 0
+    assert np.isfinite(res.centroids).all()
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(0, 30),
+    dim=st.integers(1, 20),
+    kind=st.sampled_from([".fvecs", ".ivecs", ".bvecs"]),
+    seed=st.integers(0, 500),
+)
+def test_vector_codec_roundtrip_property(tmp_path_factory, n, dim, kind, seed):
+    """Property: write/read round-trips for any shape and element type."""
+    if n == 0:
+        return  # empty files have no dimension header to preserve
+    rng = np.random.default_rng(seed)
+    if kind == ".fvecs":
+        data = rng.normal(size=(n, dim)).astype(np.float32)
+    elif kind == ".ivecs":
+        data = rng.integers(-(2**20), 2**20, size=(n, dim)).astype(np.int32)
+    else:
+        data = rng.integers(0, 256, size=(n, dim)).astype(np.uint8)
+    path = tmp_path_factory.mktemp("vecs") / f"x{kind}"
+    write_vecs(path, data)
+    np.testing.assert_array_equal(read_vecs(path), data)

@@ -1,0 +1,140 @@
+"""Reference IVFPQ index tests: pipeline correctness and recall behavior."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, NotTrainedError
+from repro.ivfpq import FlatIndex, IVFPQIndex, recall_at_k
+
+
+class TestLifecycle:
+    def test_search_before_train_raises(self):
+        idx = IVFPQIndex(8, 4, 2)
+        with pytest.raises(NotTrainedError):
+            idx.search(np.zeros((1, 8), np.float32), 1, 1)
+
+    def test_add_before_train_raises(self):
+        idx = IVFPQIndex(8, 4, 2)
+        with pytest.raises(NotTrainedError):
+            idx.add(np.zeros((10, 8), np.float32))
+
+    def test_incremental_add_extends_lists(self, small_dataset):
+        idx = IVFPQIndex(32, 8, 8)
+        idx.train(small_dataset.vectors[:2000], n_iter=4)
+        idx.add(small_dataset.vectors[:100])
+        idx.add(small_dataset.vectors[100:200])
+        assert idx.ntotal == 200
+        assert int(idx.ivf.cluster_sizes().sum()) == 200
+        # New ids are assigned past the existing range.
+        res = idx.search(small_dataset.vectors[150:151], k=1, nprobe=8)
+        assert res.ids[0, 0] == 150
+
+    def test_incremental_add_equals_bulk_add(self, small_dataset, small_queries):
+        bulk = IVFPQIndex(32, 8, 8)
+        bulk.train(small_dataset.vectors[:2000], n_iter=4)
+        bulk.add(small_dataset.vectors[:400])
+        inc = IVFPQIndex(32, 8, 8)
+        inc.train(small_dataset.vectors[:2000], n_iter=4)
+        inc.add(small_dataset.vectors[:250])
+        inc.add(small_dataset.vectors[250:400])
+        a = bulk.search(small_queries, 5, 8)
+        b = inc.search(small_queries, 5, 8)
+        np.testing.assert_allclose(a.distances, b.distances, rtol=1e-5)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ConfigError):
+            IVFPQIndex(10, 4, 3)
+        with pytest.raises(ConfigError):
+            IVFPQIndex(8, 0, 2)
+
+    def test_ntotal(self, trained_index, small_dataset):
+        assert trained_index.ntotal == small_dataset.n
+
+
+class TestSearchResults:
+    def test_shapes(self, trained_index, small_queries):
+        res = trained_index.search(small_queries, k=7, nprobe=4)
+        assert res.ids.shape == (len(small_queries), 7)
+        assert res.distances.shape == (len(small_queries), 7)
+
+    def test_rows_sorted_ascending(self, trained_index, small_queries):
+        res = trained_index.search(small_queries, k=10, nprobe=8)
+        finite = np.isfinite(res.distances)
+        for row, mask in zip(res.distances, finite):
+            vals = row[mask]
+            assert (np.diff(vals) >= -1e-5).all()
+
+    def test_ids_are_valid(self, trained_index, small_queries, small_dataset):
+        res = trained_index.search(small_queries, k=5, nprobe=8)
+        valid = res.ids[res.ids >= 0]
+        assert valid.max() < small_dataset.n
+
+    def test_no_duplicate_ids_per_query(self, trained_index, small_queries):
+        res = trained_index.search(small_queries, k=10, nprobe=8)
+        for row in res.ids:
+            real = row[row >= 0]
+            assert len(set(real.tolist())) == len(real)
+
+    def test_deterministic(self, trained_index, small_queries):
+        a = trained_index.search(small_queries, 5, 4)
+        b = trained_index.search(small_queries, 5, 4)
+        np.testing.assert_array_equal(a.ids, b.ids)
+
+    def test_full_probe_equals_exhaustive_adc(self, trained_index, small_dataset):
+        """nprobe = |C| must rank every point by its ADC distance."""
+        q = small_dataset.vectors[:3]
+        res = trained_index.search(q, k=5, nprobe=trained_index.n_clusters)
+        # Recompute by brute force over all lists.
+        from repro.ivfpq.adc import adc_distances
+        from repro.ivfpq.lut import build_lut
+
+        for qi in range(3):
+            all_ids, all_d = [], []
+            for cl in trained_index.ivf.lists:
+                if cl.size == 0:
+                    continue
+                lut = build_lut(
+                    trained_index.pq, q[qi], trained_index.ivf.centroids[cl.cluster_id]
+                )
+                all_ids.append(cl.ids)
+                all_d.append(adc_distances(cl.codes, lut))
+            d = np.concatenate(all_d)
+            best = np.argsort(d, kind="stable")[:5]
+            np.testing.assert_allclose(
+                res.distances[qi], d[best], rtol=1e-5, atol=1e-5
+            )
+
+
+class TestRecallBehavior:
+    def test_recall_improves_with_nprobe(self, trained_index, small_dataset, small_queries):
+        flat = FlatIndex(32)
+        flat.add(small_dataset.vectors)
+        _, gt = flat.search(small_queries, 10)
+        r_small = recall_at_k(
+            trained_index.search(small_queries, 10, 1).ids, gt, 10
+        )
+        r_large = recall_at_k(
+            trained_index.search(small_queries, 10, 16).ids, gt, 10
+        )
+        assert r_large >= r_small
+
+    def test_reasonable_recall_at_full_probe(
+        self, trained_index, small_dataset, small_queries
+    ):
+        """With all clusters probed, only PQ distortion limits recall."""
+        flat = FlatIndex(32)
+        flat.add(small_dataset.vectors)
+        _, gt = flat.search(small_queries, 10)
+        res = trained_index.search(small_queries, 10, trained_index.n_clusters)
+        assert recall_at_k(res.ids, gt, 10) > 0.5
+
+
+class TestWorkloadEstimation:
+    def test_scanned_points(self, trained_index, small_queries):
+        scanned = trained_index.scanned_points(small_queries, 4)
+        sizes = trained_index.ivf.cluster_sizes()
+        probes = trained_index.ivf.search_clusters(small_queries, 4)
+        np.testing.assert_array_equal(scanned, sizes[probes].sum(axis=1))
+
+    def test_code_bytes_total(self, trained_index, small_dataset):
+        assert trained_index.code_bytes_total() == small_dataset.n * trained_index.m

@@ -1,0 +1,97 @@
+"""Index persistence tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, NotTrainedError
+from repro.ivfpq import IVFPQIndex
+from repro.ivfpq.io import save_index, load_index
+
+
+class TestRoundtrip:
+    def test_search_results_identical(self, trained_index, small_queries, tmp_path):
+        path = tmp_path / "index.npz"
+        save_index(path, trained_index)
+        loaded = load_index(path)
+        a = trained_index.search(small_queries, 10, 8)
+        b = loaded.search(small_queries, 10, 8)
+        np.testing.assert_array_equal(a.ids, b.ids)
+        np.testing.assert_allclose(a.distances, b.distances, rtol=1e-6)
+
+    def test_geometry_preserved(self, trained_index, tmp_path):
+        path = tmp_path / "index.npz"
+        save_index(path, trained_index)
+        loaded = load_index(path)
+        assert loaded.dim == trained_index.dim
+        assert loaded.n_clusters == trained_index.n_clusters
+        assert loaded.m == trained_index.m
+        assert loaded.ntotal == trained_index.ntotal
+
+    def test_cluster_sizes_preserved(self, trained_index, tmp_path):
+        path = tmp_path / "index.npz"
+        save_index(path, trained_index)
+        loaded = load_index(path)
+        np.testing.assert_array_equal(
+            loaded.ivf.cluster_sizes(), trained_index.ivf.cluster_sizes()
+        )
+
+    def test_loaded_index_drives_engine(
+        self, trained_index, small_dataset, small_queries, tmp_path
+    ):
+        from repro.config import IndexConfig, QueryConfig, SystemConfig
+        from repro.core.engine import UpANNSEngine
+        from repro.hardware.specs import PimSystemSpec
+
+        path = tmp_path / "index.npz"
+        save_index(path, trained_index)
+        loaded = load_index(path)
+        cfg = SystemConfig(
+            index=IndexConfig(dim=32, n_clusters=32, m=8, train_iters=2),
+            query=QueryConfig(nprobe=8, k=5, batch_size=40),
+            pim=PimSystemSpec(n_dimms=1, chips_per_dimm=2, dpus_per_chip=8),
+        )
+        engine = UpANNSEngine(cfg)
+        engine.build(small_dataset.vectors, prebuilt_index=loaded)
+        res = engine.search_batch(small_queries)
+        ref = trained_index.search(small_queries, 5, 8)
+        np.testing.assert_allclose(
+            np.where(np.isfinite(res.distances), res.distances, -1),
+            np.where(np.isfinite(ref.distances), ref.distances, -1),
+            rtol=1e-4, atol=1e-4,
+        )
+
+
+class TestErrors:
+    def test_untrained_rejected(self, tmp_path):
+        with pytest.raises(NotTrainedError):
+            save_index(tmp_path / "x.npz", IVFPQIndex(8, 2, 2))
+
+    def test_corrupt_centroids_detected(self, trained_index, tmp_path):
+        path = tmp_path / "index.npz"
+        save_index(path, trained_index)
+        with np.load(path) as data:
+            fields = {k: data[k] for k in data.files}
+        fields["centroids"] = fields["centroids"][:5]
+        np.savez_compressed(path, **fields)
+        with pytest.raises(ConfigError):
+            load_index(path)
+
+    def test_corrupt_offsets_detected(self, trained_index, tmp_path):
+        path = tmp_path / "index.npz"
+        save_index(path, trained_index)
+        with np.load(path) as data:
+            fields = {k: data[k] for k in data.files}
+        fields["list_offsets"] = fields["list_offsets"][:-2]
+        np.savez_compressed(path, **fields)
+        with pytest.raises(ConfigError):
+            load_index(path)
+
+    def test_unknown_version_rejected(self, trained_index, tmp_path):
+        path = tmp_path / "index.npz"
+        save_index(path, trained_index)
+        with np.load(path) as data:
+            fields = {k: data[k] for k in data.files}
+        fields["format_version"] = np.int64(99)
+        np.savez_compressed(path, **fields)
+        with pytest.raises(ConfigError):
+            load_index(path)

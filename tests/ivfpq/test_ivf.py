@@ -1,0 +1,101 @@
+"""Inverted-file tests: training, lists, cluster filtering."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, NotTrainedError
+from repro.ivfpq.ivf import InvertedFile
+from repro.ivfpq.kmeans import squared_distances
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(0)
+    return rng.normal(size=(1200, 8)).astype(np.float32)
+
+
+@pytest.fixture(scope="module")
+def ivf(data):
+    return InvertedFile(16).train(data, n_iter=8, rng=np.random.default_rng(1))
+
+
+class TestTraining:
+    def test_untrained_raises(self, data):
+        f = InvertedFile(4)
+        with pytest.raises(NotTrainedError):
+            f.assign(data)
+        with pytest.raises(NotTrainedError):
+            f.search_clusters(data[:2], 2)
+
+    def test_centroid_shape(self, ivf):
+        assert ivf.centroids.shape == (16, 8)
+
+
+class TestResiduals:
+    def test_residual_definition(self, ivf, data):
+        labels = ivf.assign(data[:50])
+        res = ivf.residuals(data[:50], labels)
+        np.testing.assert_allclose(
+            res, data[:50] - ivf.centroids[labels], atol=1e-6
+        )
+
+    def test_residuals_smaller_than_originals(self, ivf, data):
+        labels = ivf.assign(data)
+        res = ivf.residuals(data, labels)
+        assert (res**2).sum() < (data**2).sum()
+
+
+class TestLists:
+    def test_lists_partition_all_ids(self, ivf, data):
+        labels = ivf.assign(data)
+        ids = np.arange(len(data))
+        codes = np.zeros((len(data), 4), dtype=np.uint8)
+        ivf.build_lists(ids, labels, codes)
+        collected = np.concatenate([cl.ids for cl in ivf.lists])
+        assert sorted(collected.tolist()) == ids.tolist()
+        assert ivf.ntotal == len(data)
+
+    def test_list_members_assigned_to_that_cluster(self, ivf, data):
+        labels = ivf.assign(data)
+        ivf.build_lists(np.arange(len(data)), labels, np.zeros((len(data), 4), np.uint8))
+        for cl in ivf.lists:
+            assert (labels[cl.ids] == cl.cluster_id).all()
+
+    def test_misaligned_inputs_rejected(self, ivf):
+        with pytest.raises(ConfigError):
+            ivf.build_lists(np.arange(3), np.zeros(4, np.int64), np.zeros((3, 4), np.uint8))
+
+    def test_cluster_sizes(self, ivf, data):
+        labels = ivf.assign(data)
+        ivf.build_lists(np.arange(len(data)), labels, np.zeros((len(data), 4), np.uint8))
+        np.testing.assert_array_equal(
+            ivf.cluster_sizes(), np.bincount(labels, minlength=16)
+        )
+
+
+class TestClusterFiltering:
+    def test_probes_sorted_nearest_first(self, ivf, data):
+        q = data[:5]
+        probes = ivf.search_clusters(q, 4)
+        d2 = squared_distances(q, ivf.centroids)
+        for i in range(5):
+            dists = d2[i, probes[i]]
+            assert (np.diff(dists) >= -1e-4).all()
+
+    def test_probes_are_the_nearest_set(self, ivf, data):
+        q = data[:5]
+        probes = ivf.search_clusters(q, 4)
+        d2 = squared_distances(q, ivf.centroids)
+        for i in range(5):
+            true_set = set(np.argsort(d2[i])[:4].tolist())
+            assert set(probes[i].tolist()) == true_set
+
+    def test_nprobe_equals_all(self, ivf, data):
+        probes = ivf.search_clusters(data[:3], 16)
+        assert probes.shape == (3, 16)
+        assert set(probes[0].tolist()) == set(range(16))
+
+    @pytest.mark.parametrize("nprobe", [0, 17, -1])
+    def test_invalid_nprobe(self, ivf, data, nprobe):
+        with pytest.raises(ConfigError):
+            ivf.search_clusters(data[:2], nprobe)

@@ -1,0 +1,138 @@
+"""K-means tests: correctness, degenerate cases, invariants."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.ivfpq.kmeans import (
+    assign_to_centroids,
+    kmeans,
+    kmeans_pp_init,
+    squared_distances,
+)
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    rng = np.random.default_rng(0)
+    centers = rng.normal(0, 10, size=(5, 8)).astype(np.float32)
+    labels = rng.integers(0, 5, size=500)
+    return (centers[labels] + rng.normal(0, 0.3, size=(500, 8))).astype(
+        np.float32
+    ), labels, centers
+
+
+class TestSquaredDistances:
+    def test_matches_naive(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(20, 6)).astype(np.float32)
+        c = rng.normal(size=(7, 6)).astype(np.float32)
+        d2 = squared_distances(x, c)
+        naive = ((x[:, None, :] - c[None, :, :]) ** 2).sum(axis=2)
+        np.testing.assert_allclose(d2, naive, rtol=1e-4, atol=1e-3)
+
+    def test_chunking_invariant(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(100, 4)).astype(np.float32)
+        c = rng.normal(size=(9, 4)).astype(np.float32)
+        np.testing.assert_allclose(
+            squared_distances(x, c, chunk=7), squared_distances(x, c), atol=1e-4
+        )
+
+    def test_non_negative(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(50, 3)).astype(np.float32)
+        assert (squared_distances(x, x[:5]) >= 0).all()
+
+    def test_self_distance_zero(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(10, 5)).astype(np.float32)
+        d2 = squared_distances(x, x)
+        np.testing.assert_allclose(np.diag(d2), 0.0, atol=1e-3)
+
+
+class TestAssign:
+    def test_assignment_is_nearest(self, blobs):
+        x, _, _ = blobs
+        c = x[:6].copy()
+        labels, dists = assign_to_centroids(x, c)
+        full = squared_distances(x, c)
+        np.testing.assert_array_equal(labels, full.argmin(axis=1))
+        np.testing.assert_allclose(dists, full.min(axis=1), rtol=1e-3, atol=1e-2)
+
+
+class TestKMeansPP:
+    def test_returns_k_centroids(self, blobs):
+        x, _, _ = blobs
+        c = kmeans_pp_init(x, 7, np.random.default_rng(0))
+        assert c.shape == (7, x.shape[1])
+
+    def test_degenerate_identical_points(self):
+        x = np.ones((20, 3), dtype=np.float32)
+        c = kmeans_pp_init(x, 4, np.random.default_rng(0))
+        assert c.shape == (4, 3)
+
+
+class TestKMeans:
+    def test_recovers_blob_structure(self, blobs):
+        x, true_labels, _ = blobs
+        res = kmeans(x, 5, n_iter=25, rng=np.random.default_rng(0))
+        # Each found cluster should be dominated by one true blob.
+        for c in range(5):
+            members = true_labels[res.assignments == c]
+            if members.size:
+                dominant = np.bincount(members).max() / members.size
+                assert dominant > 0.9
+
+    def test_no_empty_clusters(self, blobs):
+        x, _, _ = blobs
+        res = kmeans(x, 32, n_iter=10, rng=np.random.default_rng(0))
+        assert np.bincount(res.assignments, minlength=32).min() >= 1
+
+    def test_inertia_improves_over_random_init_assignment(self, blobs):
+        x, _, _ = blobs
+        r1 = kmeans(x, 5, n_iter=1, rng=np.random.default_rng(0))
+        r20 = kmeans(x, 5, n_iter=20, rng=np.random.default_rng(0))
+        assert r20.inertia <= r1.inertia * 1.001
+
+    def test_deterministic_given_seed(self, blobs):
+        x, _, _ = blobs
+        a = kmeans(x, 5, rng=np.random.default_rng(42))
+        b = kmeans(x, 5, rng=np.random.default_rng(42))
+        np.testing.assert_array_equal(a.assignments, b.assignments)
+
+    def test_k_equals_one(self, blobs):
+        x, _, _ = blobs
+        res = kmeans(x, 1, n_iter=3)
+        np.testing.assert_allclose(res.centroids[0], x.mean(axis=0), atol=1e-2)
+
+    def test_k_equals_n(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(10, 3)).astype(np.float32)
+        res = kmeans(x, 10, n_iter=5)
+        assert res.inertia == pytest.approx(0.0, abs=1e-2)
+
+    def test_rejects_k_over_n(self):
+        with pytest.raises(ConfigError):
+            kmeans(np.zeros((3, 2), dtype=np.float32), 5)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ConfigError):
+            kmeans(np.zeros((3, 2), dtype=np.float32), 0)
+
+    def test_rejects_unknown_init(self, blobs):
+        x, _, _ = blobs
+        with pytest.raises(ConfigError):
+            kmeans(x, 3, init="bogus")
+
+    def test_random_init_works(self, blobs):
+        x, _, _ = blobs
+        res = kmeans(x, 5, n_iter=15, init="random", rng=np.random.default_rng(0))
+        assert res.centroids.shape == (5, x.shape[1])
+
+    def test_assignments_match_centroids(self, blobs):
+        """Post-condition: every point is assigned to its nearest centroid."""
+        x, _, _ = blobs
+        res = kmeans(x, 5, n_iter=10)
+        d2 = squared_distances(x, res.centroids)
+        np.testing.assert_array_equal(res.assignments, d2.argmin(axis=1))

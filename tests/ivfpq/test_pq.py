@@ -1,0 +1,132 @@
+"""Product quantizer tests: training, coding, LUTs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, NotTrainedError
+from repro.ivfpq.pq import ProductQuantizer
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(0)
+    return rng.normal(0, 1, size=(2000, 16)).astype(np.float32)
+
+
+@pytest.fixture(scope="module")
+def pq(data):
+    return ProductQuantizer(dim=16, m=4).train(data, n_iter=8)
+
+
+class TestConstruction:
+    def test_dim_divisibility(self):
+        with pytest.raises(ConfigError):
+            ProductQuantizer(dim=10, m=3)
+
+    def test_nbits_range(self):
+        with pytest.raises(ConfigError):
+            ProductQuantizer(dim=8, m=2, nbits=9)
+
+    def test_geometry(self, pq):
+        assert pq.dsub == 4
+        assert pq.ksub == 256
+        assert pq.code_bytes == 4
+
+    def test_small_nbits(self, data):
+        small = ProductQuantizer(dim=16, m=4, nbits=4).train(data, n_iter=5)
+        codes = small.encode(data[:50])
+        assert codes.max() < 16
+
+
+class TestTraining:
+    def test_untrained_raises(self):
+        p = ProductQuantizer(dim=8, m=2)
+        with pytest.raises(NotTrainedError):
+            p.encode(np.zeros((1, 8), dtype=np.float32))
+        with pytest.raises(NotTrainedError):
+            p.compute_lut(np.zeros(8, dtype=np.float32))
+
+    def test_needs_enough_vectors(self):
+        with pytest.raises(ConfigError):
+            ProductQuantizer(dim=8, m=2).train(np.zeros((10, 8), dtype=np.float32))
+
+    def test_wrong_dim_rejected(self, data):
+        with pytest.raises(ConfigError):
+            ProductQuantizer(dim=8, m=2).train(data)
+
+    def test_codebook_shape(self, pq):
+        assert pq.codebooks.shape == (4, 256, 4)
+
+
+class TestCoding:
+    def test_code_shape_and_dtype(self, pq, data):
+        codes = pq.encode(data[:100])
+        assert codes.shape == (100, 4)
+        assert codes.dtype == np.uint8
+
+    def test_single_vector_encode(self, pq, data):
+        codes = pq.encode(data[0])
+        assert codes.shape == (1, 4)
+
+    def test_decode_shape(self, pq, data):
+        rec = pq.decode(pq.encode(data[:10]))
+        assert rec.shape == (10, 16)
+
+    def test_roundtrip_reduces_error_vs_mean(self, pq, data):
+        """PQ reconstruction must beat the trivial mean predictor."""
+        err = pq.quantization_error(data[:500])
+        mean_err = float(
+            np.mean(((data[:500] - data[:500].mean(axis=0)) ** 2).sum(axis=1))
+        )
+        assert err < 0.25 * mean_err
+
+    def test_codeword_roundtrip_is_exact(self, pq):
+        """Encoding a codeword reconstruction returns the same code."""
+        codes = np.array([[1, 2, 3, 4], [250, 0, 17, 99]], dtype=np.uint8)
+        rec = pq.decode(codes)
+        np.testing.assert_array_equal(pq.encode(rec), codes)
+
+    def test_encode_rejects_wrong_dim(self, pq):
+        with pytest.raises(ConfigError):
+            pq.encode(np.zeros((3, 7), dtype=np.float32))
+
+    def test_decode_rejects_wrong_m(self, pq):
+        with pytest.raises(ConfigError):
+            pq.decode(np.zeros((3, 5), dtype=np.uint8))
+
+
+class TestLUT:
+    def test_lut_shape(self, pq, data):
+        lut = pq.compute_lut(data[0])
+        assert lut.shape == (4, 256)
+        assert lut.dtype == np.float32
+
+    def test_lut_values_match_naive(self, pq, data):
+        q = data[0]
+        lut = pq.compute_lut(q)
+        for sub in range(4):
+            qs = q[sub * 4 : (sub + 1) * 4]
+            naive = ((pq.codebooks[sub] - qs) ** 2).sum(axis=1)
+            np.testing.assert_allclose(lut[sub], naive, rtol=1e-4, atol=1e-4)
+
+    def test_batched_luts_match_single(self, pq, data):
+        qs = data[:5]
+        batched = pq.compute_luts(qs)
+        for i in range(5):
+            np.testing.assert_allclose(
+                batched[i], pq.compute_lut(qs[i]), rtol=1e-4, atol=1e-3
+            )
+
+    def test_lut_non_negative(self, pq, data):
+        assert (pq.compute_luts(data[:20]) >= 0).all()
+
+    def test_adc_distance_via_lut_approximates_true(self, pq, data):
+        """sum(LUT[code]) == || q - decode(code) ||^2 exactly."""
+        q = data[1]
+        codes = pq.encode(data[2:12])
+        lut = pq.compute_lut(q)
+        adc = np.array(
+            [sum(lut[s, c] for s, c in enumerate(row)) for row in codes]
+        )
+        true = ((pq.decode(codes) - q) ** 2).sum(axis=1)
+        np.testing.assert_allclose(adc, true, rtol=1e-3, atol=1e-2)

@@ -1,0 +1,62 @@
+"""Recall metric tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.ivfpq.recall import recall_1_at_k, recall_at_k
+
+
+class TestRecallAtK:
+    def test_perfect(self):
+        ids = np.array([[1, 2, 3], [4, 5, 6]])
+        assert recall_at_k(ids, ids) == 1.0
+
+    def test_order_insensitive(self):
+        a = np.array([[1, 2, 3]])
+        b = np.array([[3, 1, 2]])
+        assert recall_at_k(a, b) == 1.0
+
+    def test_partial(self):
+        a = np.array([[1, 2, 99]])
+        b = np.array([[1, 2, 3]])
+        assert recall_at_k(a, b) == pytest.approx(2 / 3)
+
+    def test_zero(self):
+        assert recall_at_k(np.array([[7, 8]]), np.array([[1, 2]])) == 0.0
+
+    def test_k_prefix(self):
+        a = np.array([[1, 9, 9, 9]])
+        b = np.array([[1, 2, 3, 4]])
+        assert recall_at_k(a, b, k=1) == 1.0
+
+    def test_mismatched_queries(self):
+        with pytest.raises(ConfigError):
+            recall_at_k(np.zeros((2, 3)), np.zeros((3, 3)))
+
+    def test_invalid_k(self):
+        with pytest.raises(ConfigError):
+            recall_at_k(np.zeros((1, 3)), np.zeros((1, 3)), k=5)
+
+
+class TestRecall1AtK:
+    def test_nn_found_anywhere_in_topk(self):
+        results = np.array([[9, 8, 1]])
+        gt = np.array([[1, 5, 7]])
+        assert recall_1_at_k(results, gt) == 1.0
+
+    def test_nn_missed(self):
+        results = np.array([[9, 8, 2]])
+        gt = np.array([[1, 5, 7]])
+        assert recall_1_at_k(results, gt) == 0.0
+
+    def test_average_over_queries(self):
+        results = np.array([[1, 0], [9, 9]])
+        gt = np.array([[1, 5], [2, 5]])
+        assert recall_1_at_k(results, gt) == pytest.approx(0.5)
+
+    def test_k_restricts_window(self):
+        results = np.array([[9, 1]])
+        gt = np.array([[1, 2]])
+        assert recall_1_at_k(results, gt, k=1) == 0.0
+        assert recall_1_at_k(results, gt, k=2) == 1.0

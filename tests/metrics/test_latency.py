@@ -1,0 +1,74 @@
+"""LatencyRecorder tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.metrics.latency import LatencyRecorder
+
+
+class TestRecording:
+    def test_counts(self):
+        rec = LatencyRecorder()
+        rec.record(100, 0.1)
+        rec.record(50, 0.2)
+        assert rec.n_batches == 2
+        assert rec.total_queries == 150
+
+    def test_invalid_observation(self):
+        rec = LatencyRecorder()
+        with pytest.raises(ConfigError):
+            rec.record(0, 0.1)
+        with pytest.raises(ConfigError):
+            rec.record(10, -1.0)
+
+    def test_record_batch_result(self, small_dataset, trained_index, small_queries):
+        from repro.config import IndexConfig, QueryConfig, SystemConfig
+        from repro.core.engine import UpANNSEngine
+        from repro.hardware.specs import PimSystemSpec
+
+        cfg = SystemConfig(
+            index=IndexConfig(dim=32, n_clusters=32, m=8, train_iters=2),
+            query=QueryConfig(nprobe=4, k=5, batch_size=40),
+            pim=PimSystemSpec(n_dimms=1, chips_per_dimm=2, dpus_per_chip=8),
+        )
+        eng = UpANNSEngine(cfg)
+        eng.build(small_dataset.vectors, prebuilt_index=trained_index)
+        rec = LatencyRecorder()
+        rec.record_batch_result(eng.search_batch(small_queries))
+        assert rec.total_queries == len(small_queries)
+        assert rec.mean_qps() > 0
+
+
+class TestStatistics:
+    def test_per_query_ms(self):
+        rec = LatencyRecorder()
+        rec.record(10, 0.01)  # 1 ms/query
+        rec.record(10, 0.02)  # 2 ms/query
+        np.testing.assert_allclose(rec.per_query_ms(), [1.0, 2.0])
+
+    def test_percentiles_ordered(self):
+        rec = LatencyRecorder()
+        rng = np.random.default_rng(0)
+        for s in rng.uniform(0.01, 0.1, size=100):
+            rec.record(10, float(s))
+        assert rec.percentile_ms(50) <= rec.percentile_ms(95) <= rec.percentile_ms(99)
+
+    def test_summary_keys(self):
+        rec = LatencyRecorder()
+        rec.record(10, 0.01)
+        s = rec.summary()
+        assert set(s) == {"p50_ms", "p95_ms", "p99_ms", "mean_qps"}
+        assert s["mean_qps"] == pytest.approx(1000.0)
+
+    def test_empty_recorder_rejects_stats(self):
+        with pytest.raises(ConfigError):
+            LatencyRecorder().per_query_ms()
+        with pytest.raises(ConfigError):
+            LatencyRecorder().mean_qps()
+
+    def test_bad_percentile(self):
+        rec = LatencyRecorder()
+        rec.record(1, 0.001)
+        with pytest.raises(ConfigError):
+            rec.percentile_ms(150)

@@ -1,0 +1,96 @@
+"""Metric helper tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hardware.counters import StageCycles
+from repro.metrics import (
+    LatencyStats,
+    breakdown_percentages,
+    dominant_stage,
+    format_breakdown,
+    geometric_mean,
+    normalize_to,
+    qps,
+    speedup,
+)
+
+
+class TestQps:
+    def test_qps(self):
+        assert qps(1000, 2.0) == 500.0
+
+    def test_qps_invalid_time(self):
+        with pytest.raises(ConfigError):
+            qps(10, 0.0)
+
+    def test_speedup(self):
+        assert speedup(430.0, 100.0) == pytest.approx(4.3)
+
+    def test_speedup_invalid(self):
+        with pytest.raises(ConfigError):
+            speedup(1.0, 0.0)
+
+
+class TestNormalize:
+    def test_normalize_to_reference(self):
+        out = normalize_to({"a": 2.0, "b": 4.0}, "a")
+        assert out == {"a": 1.0, "b": 2.0}
+
+    def test_missing_reference(self):
+        with pytest.raises(ConfigError):
+            normalize_to({"a": 1.0}, "b")
+
+    def test_zero_reference(self):
+        with pytest.raises(ConfigError):
+            normalize_to({"a": 0.0}, "a")
+
+
+class TestLatency:
+    def test_per_query_ms(self):
+        s = LatencyStats(batch_size=100, batch_seconds=0.2)
+        assert s.per_query_ms == pytest.approx(2.0)
+        assert s.qps == pytest.approx(500.0)
+
+
+class TestGeometricMean:
+    def test_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ConfigError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ConfigError):
+            geometric_mean([])
+
+
+class TestBreakdown:
+    def test_percentages_sum_100(self):
+        s = StageCycles(cluster_filter=1, lut_construction=2, distance_calc=3, topk_selection=4)
+        pct = breakdown_percentages(s)
+        assert sum(pct.values()) == pytest.approx(100.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            breakdown_percentages(StageCycles())
+
+    def test_dominant_stage(self):
+        s = StageCycles(distance_calc=10, topk_selection=1)
+        assert dominant_stage(s) == "distance_calc"
+
+    def test_format_contains_labels(self):
+        s = StageCycles(distance_calc=99, topk_selection=1)
+        text = format_breakdown(s, label="CPU")
+        assert "CPU:" in text
+        assert "distance calculation" in text
+
+    def test_stage_cycles_merge_and_scale(self):
+        a = StageCycles(distance_calc=10)
+        a += StageCycles(distance_calc=5, topk_selection=1)
+        assert a.distance_calc == 15
+        scaled = a.scaled(2.0)
+        assert scaled.distance_calc == 30
+        assert a.distance_calc == 15  # scaled() copies
+
+    def test_fractions_of_empty(self):
+        assert StageCycles().fractions()["distance_calc"] == 0.0

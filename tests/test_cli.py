@@ -1,0 +1,65 @@
+"""CLI smoke tests: generate -> build -> search -> bench wiring."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data.loader import read_vecs
+
+
+@pytest.fixture()
+def tiny_flow(tmp_path):
+    corpus = tmp_path / "corpus.fvecs"
+    queries = tmp_path / "queries.fvecs"
+    index = tmp_path / "index.npz"
+    return corpus, queries, index
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    @pytest.mark.parametrize("cmd", ["generate", "build", "search", "bench", "specs"])
+    def test_subcommands_exist(self, cmd):
+        parser = build_parser()
+        actions = {
+            a.dest: a for a in parser._actions if a.dest == "command"
+        }["command"]
+        assert cmd in actions.choices
+
+
+class TestFlow:
+    def test_generate_build_search(self, tiny_flow, capsys):
+        corpus, queries, index = tiny_flow
+        assert main([
+            "generate", "--out", str(corpus), "--queries-out", str(queries),
+            "--n", "3000", "--components", "16", "--n-queries", "10",
+        ]) == 0
+        assert read_vecs(corpus).shape == (3000, 128)
+        assert main([
+            "build", "--vectors", str(corpus), "--index", str(index),
+            "--clusters", "16", "--m", "16", "--train-iters", "3",
+        ]) == 0
+        assert index.exists()
+        assert main([
+            "search", "--index", str(index), "--queries", str(queries),
+            "--k", "5", "--nprobe", "4", "--show", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "modeled QPS" in out
+        assert "q0:" in out
+
+    def test_specs(self, capsys):
+        assert main(["specs"]) == 0
+        out = capsys.readouterr().out
+        assert "NVIDIA A100" in out
+        assert "UPMEM" in out
+
+    def test_generate_deterministic(self, tmp_path):
+        a = tmp_path / "a.fvecs"
+        b = tmp_path / "b.fvecs"
+        for path in (a, b):
+            main(["generate", "--out", str(path), "--n", "500",
+                  "--components", "8", "--seed", "7"])
+        np.testing.assert_array_equal(read_vecs(a), read_vecs(b))

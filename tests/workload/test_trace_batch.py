@@ -1,0 +1,105 @@
+"""Access-trace and batch-generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.data.skew import skew_ratio
+from repro.errors import ConfigError
+from repro.workload.batch import BatchGenerator
+from repro.workload.trace import AccessTrace, synthetic_trace
+
+
+class TestAccessTrace:
+    def test_record_and_frequencies(self):
+        t = AccessTrace(8)
+        t.record_batch(np.array([[0, 1], [0, 2]]))
+        f = t.frequencies(smoothing=0.0)
+        assert f[0] == pytest.approx(0.5)
+        assert f.sum() == pytest.approx(1.0)
+
+    def test_smoothing_keeps_unseen_positive(self):
+        t = AccessTrace(8)
+        t.record_batch(np.array([[0]]))
+        assert t.frequencies()[7] > 0
+
+    def test_out_of_range_rejected(self):
+        t = AccessTrace(4)
+        with pytest.raises(ConfigError):
+            t.record_batch(np.array([[5]]))
+
+    def test_decay_weights_recent(self):
+        t = AccessTrace(2, decay=0.5)
+        t.record_batch(np.array([[0]] * 8))
+        t.record_batch(np.array([[1]] * 8))
+        f = t.frequencies(smoothing=0.0)
+        assert f[1] > f[0]
+
+    def test_invalid_decay(self):
+        with pytest.raises(ConfigError):
+            AccessTrace(2, decay=0.0)
+
+    def test_drift_zero_for_identical(self):
+        a = AccessTrace(4)
+        a.record_batch(np.array([[0, 1]]))
+        assert a.drift_from(a.snapshot()) == pytest.approx(0.0)
+
+    def test_drift_detects_shift(self):
+        a = AccessTrace(4)
+        a.record_batch(np.array([[0]] * 100))
+        b = AccessTrace(4)
+        b.record_batch(np.array([[3]] * 100))
+        assert a.drift_from(b) > 0.5
+
+    def test_drift_dimension_mismatch(self):
+        with pytest.raises(ConfigError):
+            AccessTrace(4).drift_from(AccessTrace(5))
+
+    def test_snapshot_is_independent(self):
+        a = AccessTrace(4)
+        snap = a.snapshot()
+        a.record_batch(np.array([[0]]))
+        assert snap.total_observations == 0
+
+    def test_synthetic_trace_skewed(self):
+        t = synthetic_trace(64, alpha=1.0)
+        assert skew_ratio(t.frequencies()) > 5
+
+
+class TestBatchGenerator:
+    def test_batch_shapes(self, small_dataset):
+        gen = BatchGenerator(small_dataset, batch_size=25)
+        b = gen.next_batch()
+        assert b.queries.shape == (25, small_dataset.dim)
+        assert b.size == 25
+        assert b.batch_index == 0
+
+    def test_indices_increment(self, small_dataset):
+        gen = BatchGenerator(small_dataset, batch_size=5)
+        batches = list(gen.batches(3))
+        assert [b.batch_index for b in batches] == [0, 1, 2]
+
+    def test_no_drift_stable_popularity(self, small_dataset):
+        gen = BatchGenerator(small_dataset, batch_size=5, drift_per_batch=0.0)
+        p0 = gen.popularity
+        gen.next_batch()
+        gen.next_batch()
+        np.testing.assert_allclose(gen.popularity, p0)
+
+    def test_drift_changes_popularity(self, small_dataset):
+        gen = BatchGenerator(small_dataset, batch_size=5, drift_per_batch=0.5)
+        p0 = gen.popularity
+        gen.next_batch()
+        gen.next_batch()  # drift applied between batches
+        assert np.abs(gen.popularity - p0).sum() > 0.05
+
+    def test_popularity_stays_normalized_under_drift(self, small_dataset):
+        gen = BatchGenerator(small_dataset, batch_size=5, drift_per_batch=0.3)
+        for _ in range(5):
+            gen.next_batch()
+        assert gen.popularity.sum() == pytest.approx(1.0)
+
+    def test_invalid_params(self, small_dataset):
+        with pytest.raises(ConfigError):
+            BatchGenerator(small_dataset, batch_size=0)
+        with pytest.raises(ConfigError):
+            BatchGenerator(small_dataset, drift_per_batch=1.5)
