@@ -14,11 +14,9 @@ exactly the optimizations under study and nothing else.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.config import IndexConfig, QueryConfig, SystemConfig, UpANNSConfig
 from repro.core.engine import UpANNSEngine
-from repro.hardware.specs import PimSystemSpec, UPMEM_7_DIMMS
+from repro.hardware.specs import DEFAULT_N_TASKLETS, PimSystemSpec, UPMEM_7_DIMMS
 
 PIM_NAIVE_CONFIG = UpANNSConfig(
     enable_placement=False,
@@ -38,7 +36,7 @@ def make_pim_naive(
     batch_size: int = 1000,
     train_iters: int = 8,
     timing_scale: float = 1.0,
-    n_tasklets: int = 11,
+    n_tasklets: int = DEFAULT_N_TASKLETS,
     mram_read_vectors: int = 16,
 ) -> UpANNSEngine:
     """Construct the PIM-naive engine with the given geometry."""

@@ -9,6 +9,7 @@ Usage examples::
         --k 10 --nprobe 8
     python -m repro.cli bench --n 30000 --clusters 128
     python -m repro.cli specs
+    python -m repro.cli lint src/repro
 """
 
 from __future__ import annotations
@@ -137,6 +138,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.__main__ import main as lint_main
+
+    return lint_main(list(args.lint_args))
+
+
 def _cmd_specs(_args: argparse.Namespace) -> int:
     rows = [
         [s.name, f"{s.price_usd:,.0f}", f"{s.memory_gb:.0f} GB",
@@ -198,6 +205,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     specs = sub.add_parser("specs", help="print the Table-1 hardware specs")
     specs.set_defaults(func=_cmd_specs)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the simlint invariant checker (same as python -m repro.lint)",
+    )
+    lint.add_argument(
+        "lint_args",
+        nargs=argparse.REMAINDER,
+        help="arguments forwarded to python -m repro.lint",
+    )
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 

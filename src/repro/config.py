@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
-from repro.hardware.specs import PimSystemSpec, UPMEM_7_DIMMS
+from repro.hardware.specs import DEFAULT_N_TASKLETS, PimSystemSpec, UPMEM_7_DIMMS
 
 
 @dataclass(frozen=True)
@@ -48,7 +48,7 @@ class UpANNSConfig:
     * replication and scheduling per Algorithms 1-2.
     """
 
-    n_tasklets: int = 11
+    n_tasklets: int = DEFAULT_N_TASKLETS
     mram_read_vectors: int = 16
     enable_placement: bool = True
     enable_cae: bool = True

@@ -22,10 +22,14 @@ import numpy as np
 
 from repro.config import IndexConfig, QueryConfig, SystemConfig, UpANNSConfig
 from repro.core.engine import BatchResult, BatchTiming
-from repro.core.kernel import INSTR_PER_VECTOR_OVERHEAD
+from repro.core.kernel import (
+    INSTR_PER_HEAP_COMPARISON,
+    INSTR_PER_HEAP_INSERTION,
+    INSTR_PER_VECTOR_OVERHEAD,
+)
 from repro.core.memory_plan import HEAP_ENTRY_BYTES
 from repro.core.placement import Placement, place_clusters, random_placement
-from repro.core.scheduling import Assignment, schedule_batch
+from repro.core.scheduling import schedule_batch
 from repro.core.topk import HeapStats, estimate_scan_stats, scan_topk_fast
 from repro.errors import ConfigError, NotTrainedError
 from repro.hardware.counters import StageCycles
@@ -188,7 +192,11 @@ class IVFFlatPimEngine:
                 )
                 heap_total.merge(stats)
                 comps, ins = estimate_scan_stats(ids.shape[0] * scale, k, dpu.n_tasklets)
-                topk_instr = comps * 2.0 + ins * 6.0 + stats.merge_comparisons * 2.0
+                topk_instr = (
+                    comps * INSTR_PER_HEAP_COMPARISON
+                    + ins * INSTR_PER_HEAP_INSERTION
+                    + stats.merge_comparisons * INSTR_PER_HEAP_COMPARISON
+                )
                 dpu.charge_instructions(topk_instr)
                 stage.topk_selection += dpu.pipeline.compute_cycles(
                     topk_instr, dpu.n_tasklets

@@ -28,6 +28,8 @@ from repro.core.cooccurrence import CooccurrenceModel
 from repro.core.topk import HeapStats, estimate_scan_stats, scan_topk_fast
 from repro.hardware.counters import StageCycles
 from repro.hardware.dpu import DPU
+from repro.hardware.mram import MAX_DMA_BYTES, round_up_dma
+from repro.hardware.specs import DEFAULT_N_TASKLETS
 from repro.ivfpq.adc import adc_distances, adc_distances_direct
 from repro.ivfpq.lut import build_lut
 from repro.ivfpq.pq import ProductQuantizer
@@ -47,7 +49,9 @@ INSTR_PER_TOKEN = 1.2
 INSTR_PER_VECTOR_OVERHEAD = 3.0  # id fetch + heap root compare + branch
 INSTR_PER_HEAP_COMPARISON = 2.0
 INSTR_PER_HEAP_INSERTION = 6.0
-CODEBOOK_CHUNK_BYTES = 2048  # codebook streamed at max DMA size
+# The codebook is streamed at the maximum legal DMA size; imported from
+# the spec module so the chunk tracks the hardware constraint.
+CODEBOOK_CHUNK_BYTES = MAX_DMA_BYTES
 
 
 @dataclass
@@ -106,7 +110,7 @@ class KernelConfig:
     """Knobs the ablations sweep."""
 
     k: int = 10
-    n_tasklets: int = 11
+    n_tasklets: int = DEFAULT_N_TASKLETS
     read_vectors: int = 16
     prune_topk: bool = True
     lut_entry_bytes: int = 2
@@ -135,8 +139,6 @@ def _read_chunk_bytes(payload: ClusterPayload, cfg: KernelConfig) -> int:
     else:
         assert payload.encoded is not None
         per_vec = 2 * payload.encoded.m  # worst-case tokens, 2 B each
-    from repro.hardware.mram import MAX_DMA_BYTES, round_up_dma
-
     chunk = min(cfg.read_vectors * per_vec, MAX_DMA_BYTES)
     return round_up_dma(chunk)
 

@@ -23,13 +23,56 @@ from dataclasses import dataclass
 
 from repro.errors import ConfigError, WramOverflowError
 from repro.hardware.mram import MAX_DMA_BYTES, round_up_dma
-from repro.hardware.specs import DpuSpec
+from repro.hardware.specs import DEFAULT_N_TASKLETS, DpuSpec
 from repro.hardware.wram import WramAllocator
 
 LUT_ENTRY_BYTES = 2  # uint16 on-device (paper: M x 256 x sizeof(uint16))
 CODEBOOK_ENTRY_BYTES = 1  # uint8 codebook elements (paper: D x 256 = 32 KB)
 COMBO_SUM_BYTES = 2
 HEAP_ENTRY_BYTES = 8  # 4 B distance + 4 B id per retained candidate
+
+# --- Declarative layout for the paper-default geometry ----------------------
+# SIFT-style geometry: D=128, M=16, k=10, 256 length-3 combo slots,
+# 16-byte codes read 16 vectors per DMA, 11 resident tasklets.
+_PAPER_DIM = 128
+_PAPER_M = 16
+_PAPER_K = 10
+_PAPER_COMBO_SLOTS = 256
+_PAPER_READ_BUFFER_BYTES = 256  # round_up_dma(16 vectors x 16 B codes)
+
+#: Static WRAM plan for the per-DPU kernel, phase by phase (Figure 6):
+#: the codebook region is live only until the LUT is built, then its
+#: space is recycled into per-tasklet read buffers and heaps.  simlint's
+#: WRAM001 rule const-evaluates this structure and proves — before any
+#: kernel runs — that every phase fits in ``DpuSpec.wram_bytes`` with no
+#: two simultaneously-live regions overlapping, complementing the
+#: dynamic checks :func:`apply_plan` performs at runtime.
+KERNEL_WRAM_LAYOUT = (
+    (
+        "lut_build",
+        (
+            ("codebook", _PAPER_DIM * 256 * CODEBOOK_ENTRY_BYTES),
+            ("lut", _PAPER_M * 256 * LUT_ENTRY_BYTES),
+        ),
+    ),
+    (
+        "combo_sums",
+        (
+            ("codebook", _PAPER_DIM * 256 * CODEBOOK_ENTRY_BYTES),
+            ("lut", _PAPER_M * 256 * LUT_ENTRY_BYTES),
+            ("combo_sums", _PAPER_COMBO_SLOTS * COMBO_SUM_BYTES),
+        ),
+    ),
+    (
+        "distance_scan",
+        (
+            ("lut", _PAPER_M * 256 * LUT_ENTRY_BYTES),
+            ("combo_sums", _PAPER_COMBO_SLOTS * COMBO_SUM_BYTES),
+            ("read_buffers", DEFAULT_N_TASKLETS * _PAPER_READ_BUFFER_BYTES),
+            ("heaps", DEFAULT_N_TASKLETS * _PAPER_K * HEAP_ENTRY_BYTES),
+        ),
+    ),
+)
 
 
 @dataclass(frozen=True)

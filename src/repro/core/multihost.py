@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.config import SystemConfig
-from repro.core.engine import BatchTiming, UpANNSEngine
+from repro.core.engine import UpANNSEngine
 from repro.core.placement import Placement, place_clusters
 from repro.core.scheduling import schedule_batch
 from repro.errors import ConfigError, NotTrainedError

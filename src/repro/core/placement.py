@@ -16,7 +16,7 @@ round-robin scan finds no feasible DPU (paper lines 5-12).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -20,7 +20,7 @@ from repro.errors import MramOverflowError
 from repro.hardware.counters import Counters
 from repro.hardware.mram import MramModel
 from repro.hardware.pipeline import BarrierModel, PipelineModel
-from repro.hardware.specs import DpuSpec
+from repro.hardware.specs import DEFAULT_N_TASKLETS, DpuSpec
 from repro.hardware.wram import WramAllocator
 
 
@@ -31,7 +31,7 @@ class DPU:
     dpu_id: int
     spec: DpuSpec = field(default_factory=DpuSpec)
     mram_model: MramModel = field(default_factory=MramModel)
-    n_tasklets: int = 11
+    n_tasklets: int = DEFAULT_N_TASKLETS
     # How completely the pipeline hides DMA latency behind compute:
     # 1.0 = perfect overlap (time = max), 0.0 = fully serial (time = sum).
     overlap_efficiency: float = 0.85

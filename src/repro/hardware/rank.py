@@ -16,7 +16,7 @@ from typing import Iterable, Sequence
 from repro.errors import ConfigError
 from repro.hardware.dpu import DPU
 from repro.hardware.mram import MramModel
-from repro.hardware.specs import PimSystemSpec
+from repro.hardware.specs import DEFAULT_N_TASKLETS, PimSystemSpec
 
 
 @dataclass
@@ -33,7 +33,7 @@ class PimSystem:
     """The simulated UPMEM deployment: topology + DPU instances."""
 
     spec: PimSystemSpec = field(default_factory=PimSystemSpec)
-    n_tasklets: int = 11
+    n_tasklets: int = DEFAULT_N_TASKLETS
     mram_model: MramModel = field(default_factory=MramModel)
     dpus: list[DPU] = field(init=False)
 

@@ -204,6 +204,12 @@ A100_PCIE_80GB = GpuSpec(
 
 UPMEM_7_DIMMS = PimSystemSpec(n_dimms=7)
 
+#: Default resident tasklet count: the pipeline saturation point (paper
+#: section 5.3.2 — QPS scales linearly up to 11 tasklets, then plateaus).
+#: Engines and configs import this instead of re-spelling the number, so
+#: changing ``DpuSpec.pipeline_reissue_cycles`` changes every default.
+DEFAULT_N_TASKLETS = DpuSpec().pipeline_reissue_cycles
+
 TABLE1_ROWS = (
     XEON_4110_PAIR,
     A100_PCIE_80GB,

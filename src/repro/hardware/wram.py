@@ -14,11 +14,18 @@ live buffers.
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 
-from repro.errors import WramOverflowError
+from repro.errors import ConfigError, WramOverflowError
+from repro.hardware.specs import DpuSpec
 
 WRAM_ALIGN = 8
+
+
+def _default_capacity() -> int:
+    """WRAM capacity comes from the spec, as specs.py promises."""
+    return DpuSpec().wram_bytes
 
 
 @dataclass(frozen=True)
@@ -41,7 +48,7 @@ class WramRegion:
 class WramAllocator:
     """First-fit allocator over a fixed-size physical scratchpad."""
 
-    capacity: int = 64 * 1024
+    capacity: int = field(default_factory=_default_capacity)
     _live: dict[str, WramRegion] = field(default_factory=dict)
     _history: list[tuple[str, str, int, int]] = field(default_factory=list)
     peak_bytes: int = 0
@@ -121,3 +128,38 @@ class WramAllocator:
     def history(self) -> list[tuple[str, str, int, int]]:
         """(op, name, offset, size) log, for reuse-plan verification."""
         return list(self._history)
+
+
+def replay_history(
+    history: Iterable[Sequence], capacity: int | None = None
+) -> WramAllocator:
+    """Re-execute an ``(op, name, offset, size)`` log on a fresh allocator.
+
+    First-fit placement is deterministic, so a faithfully recorded log
+    must reproduce the exact offsets it recorded; any divergence means
+    the log was tampered with or produced by different allocator
+    semantics.  Used by the WRAM001 static checks and the live-range
+    tests to validate reuse plans offline.
+
+    Raises :class:`~repro.errors.WramOverflowError` on an invalid
+    sequence and :class:`~repro.errors.ConfigError` on a malformed log
+    or an offset mismatch.
+    """
+    allocator = WramAllocator() if capacity is None else WramAllocator(capacity)
+    for entry in history:
+        try:
+            op, name, offset, size = entry
+        except ValueError as exc:
+            raise ConfigError(f"malformed history entry {entry!r}") from exc
+        if op == "alloc":
+            region = allocator.alloc(name, size)
+            if region.offset != offset:
+                raise ConfigError(
+                    f"history replay diverged: {name!r} recorded at offset "
+                    f"{offset} but first-fit places it at {region.offset}"
+                )
+        elif op == "free":
+            allocator.free(name)
+        else:
+            raise ConfigError(f"unknown history op {op!r}")
+    return allocator

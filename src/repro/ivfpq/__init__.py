@@ -30,6 +30,7 @@ from repro.ivfpq.recall import recall_1_at_k, recall_at_k
 
 __all__ = [
     "ClusterList",
+    "FlatClusterList",
     "FlatIndex",
     "IVFFlatIndex",
     "IVFPQIndex",

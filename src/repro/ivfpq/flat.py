@@ -14,6 +14,11 @@ import numpy as np
 from repro.errors import ConfigError
 from repro.ivfpq.kmeans import squared_distances
 
+# Vectors per scan block for the host-side brute-force search.  This is
+# a cache-friendliness knob, *not* a hardware limit — it merely happens
+# to share a value with DpuSpec.wram_bytes.
+SCAN_BLOCK_VECTORS = 65536  # simlint: ignore[HW001]
+
 
 @dataclass
 class FlatIndex:
@@ -43,7 +48,7 @@ class FlatIndex:
         return sum(v.shape[0] for v in self._vectors)
 
     def search(
-        self, queries: np.ndarray, k: int, *, chunk: int = 65536
+        self, queries: np.ndarray, k: int, *, chunk: int = SCAN_BLOCK_VECTORS
     ) -> tuple[np.ndarray, np.ndarray]:
         """Exact top-k: returns (distances, ids), each (nq, k), ascending.
 

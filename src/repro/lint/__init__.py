@@ -1,0 +1,42 @@
+"""simlint: AST-based static invariant checks for the PIM simulator.
+
+The credibility of this reproduction rests on the cost model's
+*structure* — event counts x the UPMEM latency curves.  A violated
+hardware invariant (a DMA chunk over 2048 B, a drifting copy of a spec
+constant, cycles added to bytes, a WRAM layout that silently exceeds
+64 KB) corrupts every figure without failing a functional test.  simlint
+encodes those invariants as source-level rules:
+
+========  ==============================================================
+HW001     hardware magic constants re-declared outside the spec modules
+DMA001    literal DMA chunk sizes bypassing ``round_up_dma``/validation
+COST001   ``charge_instructions`` without a ``compute_cycles`` charge
+UNIT001   mixed unit suffixes (``_bytes`` vs ``_cycles`` ...) in +/-
+WRAM001   declared WRAM layouts proven to fit with no overlap
+========  ==============================================================
+
+Run ``python -m repro.lint [paths]`` (text or ``--format json``),
+suppress per line with ``# simlint: ignore[RULE]``, configure under
+``[tool.simlint]`` in pyproject.toml.  The test suite runs the full rule
+set over ``src/repro`` so the tree stays permanently lint-clean.
+"""
+
+from __future__ import annotations
+
+from repro.lint.config import SimlintConfig, load_config
+from repro.lint.engine import iter_python_files, lint_source, run
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, all_rules, register, resolve_rules
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "SimlintConfig",
+    "all_rules",
+    "iter_python_files",
+    "lint_source",
+    "load_config",
+    "register",
+    "resolve_rules",
+    "run",
+]

@@ -1,0 +1,103 @@
+"""``python -m repro.lint`` — run the simulator invariant checker.
+
+Exit codes: 0 = clean, 1 = findings reported, 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.lint.config import load_config
+from repro.lint.engine import run
+from repro.lint.report import render_json, render_rule_list, render_text
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "simlint: static invariant checks for the PIM simulator "
+            "(hardware constants, DMA sizes, cost pairing, unit suffixes, "
+            "WRAM layouts).  Suppress per line with '# simlint: "
+            "ignore[RULE]'; configure via [tool.simlint] in pyproject.toml."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: [tool.simlint] paths, "
+        "else src/repro, else .)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=None,
+        metavar="RULE",
+        help="run only these rules (repeatable)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        default=None,
+        metavar="RULE",
+        help="skip these rules (repeatable)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list rules and exit"
+    )
+    parser.add_argument(
+        "--no-config",
+        action="store_true",
+        help="ignore [tool.simlint] in pyproject.toml",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(render_rule_list())
+        return 0
+
+    if args.no_config:
+        from repro.lint.config import SimlintConfig
+
+        config = SimlintConfig()
+    else:
+        start = Path(args.paths[0]) if args.paths else Path.cwd()
+        config = load_config(start)
+    if args.select is not None:
+        config.select = args.select
+    if args.ignore is not None:
+        config.ignore = args.ignore
+
+    paths = args.paths or config.paths
+    if not paths:
+        fallback = Path("src/repro")
+        paths = [str(fallback)] if fallback.is_dir() else ["."]
+    missing = [p for p in paths if not Path(p).exists()]
+    if missing:
+        print(f"simlint: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    try:
+        findings = run(paths, config)
+    except ValueError as exc:  # unknown rule ids from select/ignore
+        print(f"simlint: {exc}", file=sys.stderr)
+        return 2
+
+    render = render_json if args.format == "json" else render_text
+    print(render(findings))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,86 @@
+"""File discovery and rule execution."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from repro.lint.config import SimlintConfig
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, resolve_rules
+
+_ALWAYS_EXCLUDED = ("__pycache__",)
+
+
+def iter_python_files(
+    paths: Sequence[str | Path], exclude: Iterable[str] = ()
+) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated file list."""
+    exclusions = tuple(exclude) + _ALWAYS_EXCLUDED
+    found: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        candidates = (
+            sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        )
+        for candidate in candidates:
+            text = str(candidate)
+            if any(pattern in text for pattern in exclusions):
+                continue
+            found.add(candidate)
+    return sorted(found)
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    config: SimlintConfig | None = None,
+    rules: Sequence[Rule] | None = None,
+) -> list[Finding]:
+    """Lint one in-memory source blob (the unit-test entry point)."""
+    config = config if config is not None else SimlintConfig()
+    if rules is None:
+        rules = resolve_rules(config.select, config.ignore)
+    try:
+        ctx = FileContext.build(source, path, config)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                rule_id="PARSE",
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    if ctx.skip_file:
+        return []
+    findings: list[Finding] = []
+    for rule in rules:
+        for finding in rule.check(ctx):
+            if not ctx.is_suppressed(finding):
+                findings.append(finding)
+    return sorted(findings)
+
+
+def run(paths: Sequence[str | Path], config: SimlintConfig) -> list[Finding]:
+    """Lint every Python file reachable from ``paths``."""
+    rules = resolve_rules(config.select, config.ignore)
+    findings: list[Finding] = []
+    for path in iter_python_files(paths, config.exclude):
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            findings.append(
+                Finding(
+                    path=str(path),
+                    line=1,
+                    col=1,
+                    rule_id="IO",
+                    message=f"cannot read file: {exc}",
+                )
+            )
+            continue
+        findings.extend(lint_source(source, str(path), config, rules))
+    return sorted(findings)

@@ -1,0 +1,68 @@
+"""Constant folding over small AST expression trees.
+
+Two folding modes back the rules:
+
+* :func:`fold_literal` — pure numeric literals and arithmetic on them
+  only.  Used where a *name* is the desired fix (HW001, DMA001): a raw
+  ``64 * 1024`` folds, an imported ``MAX_DMA_BYTES`` deliberately does
+  not.
+* :func:`fold_symbolic` — additionally resolves names through a symbol
+  table (module-level constants plus the canonical hardware symbols).
+  Used by WRAM001, which must evaluate declared layout sizes written in
+  terms of named constants.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Mapping
+
+Num = int | float
+
+_BIN_OPS: dict[type[ast.operator], object] = {
+    ast.Add: lambda a, b: a + b,
+    ast.Sub: lambda a, b: a - b,
+    ast.Mult: lambda a, b: a * b,
+    ast.Div: lambda a, b: a / b,
+    ast.FloorDiv: lambda a, b: a // b,
+    ast.Mod: lambda a, b: a % b,
+    ast.Pow: lambda a, b: a**b,
+}
+
+
+def _fold(node: ast.expr, names: Mapping[str, Num] | None) -> Num | None:
+    if isinstance(node, ast.Constant):
+        if isinstance(node.value, bool) or not isinstance(node.value, (int, float)):
+            return None
+        return node.value
+    if isinstance(node, ast.Name) and names is not None:
+        value = names.get(node.id)
+        return value if isinstance(value, (int, float)) else None
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        inner = _fold(node.operand, names)
+        if inner is None:
+            return None
+        return -inner if isinstance(node.op, ast.USub) else inner
+    if isinstance(node, ast.BinOp):
+        op = _BIN_OPS.get(type(node.op))
+        if op is None:
+            return None
+        left = _fold(node.left, names)
+        right = _fold(node.right, names)
+        if left is None or right is None:
+            return None
+        try:
+            return op(left, right)  # type: ignore[operator]
+        except (ZeroDivisionError, OverflowError, ValueError):
+            return None
+    return None
+
+
+def fold_literal(node: ast.expr) -> Num | None:
+    """Fold an expression built purely from numeric literals, else None."""
+    return _fold(node, None)
+
+
+def fold_symbolic(node: ast.expr, names: Mapping[str, Num]) -> Num | None:
+    """Fold literals *and* names resolvable through ``names``, else None."""
+    return _fold(node, names)

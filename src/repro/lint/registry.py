@@ -1,0 +1,70 @@
+"""Rule base class and registry.
+
+A rule is a stateless object with a ``rule_id``, a one-line ``summary``
+and a ``check(ctx)`` generator.  Importing :mod:`repro.lint.rules` is
+what populates the registry (each rule module registers itself at import
+time), mirroring how pluggable checkers register in larger linters.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+
+
+class Rule:
+    """Base class for simlint rules."""
+
+    rule_id: str = ""
+    summary: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(rule_cls: type[Rule]) -> type[Rule]:
+    """Class decorator: instantiate and index the rule by its id."""
+    rule = rule_cls()
+    if not rule.rule_id:
+        raise ValueError(f"{rule_cls.__name__} has no rule_id")
+    if rule.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.rule_id}")
+    _REGISTRY[rule.rule_id] = rule
+    return rule_cls
+
+
+def all_rules() -> dict[str, Rule]:
+    """Registered rules, keyed by id (import side effect: load them)."""
+    import repro.lint.rules  # noqa: F401  (registers on import)
+
+    return dict(_REGISTRY)
+
+
+def resolve_rules(
+    select: Iterable[str] | None, ignore: Iterable[str] | None
+) -> list[Rule]:
+    """Return the active rule set after select/ignore filtering.
+
+    Unknown rule ids raise ``ValueError`` so typos fail loudly.
+    """
+    rules = all_rules()
+    chosen = set(rules)
+    if select:
+        wanted = {r.upper() for r in select}
+        unknown = wanted - set(rules)
+        if unknown:
+            raise ValueError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+        chosen = wanted
+    if ignore:
+        dropped = {r.upper() for r in ignore}
+        unknown = dropped - set(rules)
+        if unknown:
+            raise ValueError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+        chosen -= dropped
+    return [rules[r] for r in sorted(chosen)]

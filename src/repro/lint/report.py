@@ -1,0 +1,43 @@
+"""Text and JSON rendering of lint results."""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+
+from repro.lint.findings import Finding
+from repro.lint.registry import all_rules
+
+SCHEMA_VERSION = 1
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    lines = [finding.render() for finding in findings]
+    if findings:
+        rules = sorted({finding.rule_id for finding in findings})
+        lines.append(
+            f"simlint: {len(findings)} finding(s) [{', '.join(rules)}]"
+        )
+    else:
+        lines.append("simlint: clean")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    return json.dumps(
+        {
+            "version": SCHEMA_VERSION,
+            "count": len(findings),
+            "findings": [finding.to_dict() for finding in findings],
+        },
+        indent=2,
+    )
+
+
+def render_rule_list() -> str:
+    rules = all_rules()
+    width = max(len(rule_id) for rule_id in rules)
+    return "\n".join(
+        f"{rule_id:<{width}}  {rule.summary}"
+        for rule_id, rule in sorted(rules.items())
+    )

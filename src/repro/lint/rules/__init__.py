@@ -1,0 +1,7 @@
+"""Rule modules — importing this package registers every rule."""
+
+from __future__ import annotations
+
+from repro.lint.rules import cost001, dma001, hw001, unit001, wram001
+
+__all__ = ["cost001", "dma001", "hw001", "unit001", "wram001"]

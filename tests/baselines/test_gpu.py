@@ -5,7 +5,6 @@ import pytest
 
 from repro.baselines.gpu import GpuEngine
 from repro.errors import DeviceOutOfMemoryError
-from repro.ivfpq import IVFPQIndex
 
 
 @pytest.fixture(scope="module")

@@ -1,7 +1,6 @@
 """Regime tests for the baseline cost models: the Figure-1 scale
 behaviour must come out of the model structure, not tuning per run."""
 
-import numpy as np
 import pytest
 
 from repro.baselines.cpu import CpuEngine

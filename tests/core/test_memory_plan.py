@@ -3,9 +3,14 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.memory_plan import apply_plan, plan_wram, release_plan
+from repro.core.memory_plan import (
+    KERNEL_WRAM_LAYOUT,
+    apply_plan,
+    plan_wram,
+    release_plan,
+)
 from repro.errors import ConfigError, WramOverflowError
-from repro.hardware.specs import DpuSpec
+from repro.hardware.specs import DEFAULT_N_TASKLETS, DpuSpec
 from repro.hardware.wram import WramAllocator
 
 SIFT_ARGS = dict(
@@ -125,3 +130,48 @@ class TestPlanExecution:
         apply_plan(plan, alloc, tasklets)
         release_plan(plan, alloc, tasklets)
         assert alloc.used_bytes == 0
+
+
+class TestDeclarativeLayout:
+    """KERNEL_WRAM_LAYOUT (the WRAM001-checked declaration) must agree
+    with what plan_wram computes at the paper's SIFT operating point."""
+
+    def _paper_plan(self):
+        return plan_wram(
+            DpuSpec(),
+            dim=128,
+            m=16,
+            k=10,
+            n_combo_slots=256,
+            vector_bytes=16,
+            read_vectors=16,
+            requested_tasklets=DEFAULT_N_TASKLETS,
+        )
+
+    def _phases(self):
+        return {phase: dict(regions) for phase, regions in KERNEL_WRAM_LAYOUT}
+
+    def test_phase_names(self):
+        assert list(self._phases()) == ["lut_build", "combo_sums", "distance_scan"]
+
+    def test_sizes_match_plan(self):
+        plan = self._paper_plan()
+        phases = self._phases()
+        assert phases["lut_build"]["codebook"] == plan.codebook_bytes
+        assert phases["lut_build"]["lut"] == plan.lut_bytes
+        assert phases["combo_sums"]["combo_sums"] == plan.combo_sum_bytes
+        scan = phases["distance_scan"]
+        assert scan["read_buffers"] == DEFAULT_N_TASKLETS * plan.read_buffer_bytes
+        assert scan["heaps"] == DEFAULT_N_TASKLETS * plan.heap_bytes
+
+    def test_codebook_region_is_recycled(self):
+        """The Figure 6 story, stated declaratively: the codebook is gone
+        by the distance scan and its space feeds the per-tasklet buffers."""
+        phases = self._phases()
+        assert "codebook" in phases["lut_build"]
+        assert "codebook" not in phases["distance_scan"]
+
+    def test_every_phase_fits_wram(self):
+        capacity = DpuSpec().wram_bytes
+        for phase, regions in self._phases().items():
+            assert sum(regions.values()) <= capacity, phase

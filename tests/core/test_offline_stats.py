@@ -1,6 +1,5 @@
 """Offline-phase statistics tests."""
 
-import numpy as np
 import pytest
 
 from repro.config import IndexConfig, QueryConfig, SystemConfig, UpANNSConfig

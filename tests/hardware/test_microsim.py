@@ -1,7 +1,6 @@
 """Micro-simulator tests: the analytic models must match the cycle-level
 behaviour they summarize."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigError

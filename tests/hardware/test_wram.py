@@ -3,8 +3,9 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.errors import WramOverflowError
-from repro.hardware.wram import WramAllocator
+from repro.errors import ConfigError, WramOverflowError
+from repro.hardware.specs import DpuSpec
+from repro.hardware.wram import WramAllocator, WramRegion, replay_history
 
 
 class TestBasicAllocation:
@@ -99,6 +100,90 @@ class TestReuse:
         a.free("a")
         ops = [op for op, *_ in a.history()]
         assert ops == ["alloc", "free"]
+
+
+class TestDefaultCapacity:
+    def test_default_capacity_comes_from_spec(self):
+        """Changing DpuSpec.wram_bytes must change the simulation."""
+        assert WramAllocator().capacity == DpuSpec().wram_bytes
+
+
+class TestBoundaries:
+    def test_adjacent_regions_do_not_overlap(self):
+        """offset + size == other.offset is adjacency, not overlap."""
+        a = WramRegion("a", 0, 16)
+        b = WramRegion("b", 16, 16)
+        assert not a.overlaps(b)
+        assert not b.overlaps(a)
+
+    def test_one_byte_overlap_detected(self):
+        a = WramRegion("a", 0, 17)
+        b = WramRegion("b", 16, 16)
+        assert a.overlaps(b)
+        assert b.overlaps(a)
+
+    def test_allocation_lands_exactly_at_freed_boundary(self):
+        a = WramAllocator(capacity=64)
+        a.alloc("x", 16)
+        a.alloc("y", 16)
+        a.free("x")
+        z = a.alloc("z", 16)
+        assert z.offset == 0 and z.end == a.region("y").offset
+        a.verify_no_overlap()
+
+    def test_alignment_roundup_at_capacity_edge(self):
+        """A request that only fits before alignment must be rejected."""
+        a = WramAllocator(capacity=24)
+        a.alloc("a", 16)
+        with pytest.raises(WramOverflowError):
+            a.alloc("b", 9)  # aligns to 16 > the 8 B left
+        a.alloc("c", 8)  # exact remaining space still works
+        assert a.free_bytes == 0
+
+    def test_aligned_request_fills_capacity_exactly(self):
+        a = WramAllocator(capacity=24)
+        a.alloc("a", 17)  # aligns up to 24 == capacity
+        assert a.used_bytes == 24
+        with pytest.raises(WramOverflowError):
+            a.alloc("b", 8)
+
+
+class TestHistoryReplay:
+    def test_replay_reproduces_offsets_and_peak(self):
+        a = WramAllocator(capacity=1024)
+        a.alloc("codebook", 512)
+        a.alloc("lut", 128)
+        a.free("codebook")
+        a.alloc("read_buffer", 256)
+        replayed = replay_history(a.history(), capacity=1024)
+        assert replayed.peak_bytes == a.peak_bytes
+        assert replayed.live_regions() == a.live_regions()
+
+    def test_replay_uses_spec_capacity_by_default(self):
+        a = WramAllocator()
+        a.alloc("a", 64)
+        assert replay_history(a.history()).capacity == DpuSpec().wram_bytes
+
+    def test_tampered_offset_is_detected(self):
+        a = WramAllocator(capacity=1024)
+        a.alloc("a", 64)
+        a.alloc("b", 64)
+        history = a.history()
+        op, name, offset, size = history[1]
+        history[1] = (op, name, offset + 8, size)
+        with pytest.raises(ConfigError):
+            replay_history(history, capacity=1024)
+
+    def test_replay_rejects_overflowing_log(self):
+        history = [("alloc", "a", 0, 64), ("alloc", "b", 64, 128)]
+        with pytest.raises(WramOverflowError):
+            replay_history(history, capacity=128)
+
+    def test_malformed_entry_rejected(self):
+        with pytest.raises(ConfigError):
+            replay_history([("alloc", "a", 0)])
+        with pytest.raises(ConfigError):
+            replay_history([("mystery", "a", 0, 8)])
 
 
 @settings(max_examples=60, deadline=None)

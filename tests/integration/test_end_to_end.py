@@ -9,8 +9,7 @@ from repro.baselines.pim_naive import PIM_NAIVE_CONFIG
 from repro.config import IndexConfig, QueryConfig, SystemConfig, UpANNSConfig
 from repro.core.engine import UpANNSEngine
 from repro.core.scheduling import AdaptivePolicy
-from repro.data import make_dataset, make_queries, zipf_weights
-from repro.data.synthetic import SIFT1B
+from repro.data import make_queries, zipf_weights
 from repro.hardware.specs import PimSystemSpec
 from repro.ivfpq import FlatIndex, recall_at_k
 from repro.workload.batch import BatchGenerator

@@ -3,7 +3,6 @@ hold for arbitrary geometries and optimization mixes, not just the
 fixture configuration."""
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.config import IndexConfig, QueryConfig, SystemConfig, UpANNSConfig

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigError, NotTrainedError
-from repro.ivfpq import FlatIndex, IVFPQIndex, recall_at_k
+from repro.ivfpq import FlatIndex, recall_at_k
 from repro.ivfpq.pq_index import PQIndex
 
 

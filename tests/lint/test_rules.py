@@ -1,0 +1,322 @@
+"""Per-rule positive and negative fixtures for simlint."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lint import SimlintConfig, all_rules, lint_source, resolve_rules
+from repro.lint.report import render_json, render_text
+from repro.lint.rules.unit001 import unit_of
+
+
+def rule_ids(source: str, **config_kwargs) -> list[str]:
+    config = SimlintConfig(**config_kwargs) if config_kwargs else None
+    return [f.rule_id for f in lint_source(source, "fixture.py", config)]
+
+
+class TestHW001:
+    def test_literal_dma_max_flagged(self):
+        assert rule_ids("CHUNK = 2048\n") == ["HW001"]
+
+    def test_folded_expression_flagged(self):
+        assert rule_ids("CAP = 64 * 1024\n") == ["HW001"]
+
+    def test_wram_capacity_float_form_flagged(self):
+        assert rule_ids("FREQ = 350e6\n") == ["HW001"]
+
+    def test_named_import_is_clean(self):
+        source = (
+            "from repro.hardware.mram import MAX_DMA_BYTES\n"
+            "CHUNK = MAX_DMA_BYTES\n"
+        )
+        assert rule_ids(source) == []
+
+    def test_unrelated_number_is_clean(self):
+        assert rule_ids("N = 2047\nM = 4096\n") == []
+
+    def test_definition_site_exempt(self):
+        config = SimlintConfig()
+        findings = lint_source(
+            "MAX_DMA_BYTES = 2048\n", "src/repro/hardware/mram.py", config
+        )
+        assert findings == []
+
+    def test_contextual_tasklet_default_flagged(self):
+        assert rule_ids("def f(n_tasklets: int = 11):\n    pass\n") == ["HW001"]
+
+    def test_contextual_keyword_argument_flagged(self):
+        assert rule_ids("configure(max_tasklets=24)\n") == ["HW001"]
+
+    def test_contextual_class_field_flagged(self):
+        source = "class C:\n    pipeline_stages: int = 14\n"
+        assert rule_ids(source) == ["HW001"]
+
+    def test_small_constant_without_context_is_clean(self):
+        assert rule_ids("hours = 24\nk = 11\nstages = 3\n") == []
+
+    def test_suppression_comment(self):
+        assert rule_ids("CHUNK = 2048  # simlint: ignore[HW001]\n") == []
+
+    def test_bare_suppression_covers_all_rules(self):
+        assert rule_ids("CHUNK = 2048  # simlint: ignore\n") == []
+
+    def test_skip_file_marker(self):
+        assert rule_ids("# simlint: skip-file\nCHUNK = 2048\n") == []
+
+
+class TestDMA001:
+    def test_literal_chunk_flagged(self):
+        source = "def f(dpu):\n    dpu.charge_mram_read(100, 4096)\n"
+        assert rule_ids(source) == ["DMA001"]
+
+    def test_keyword_chunk_flagged(self):
+        source = (
+            "def f(m):\n"
+            "    m.bulk_transfer_cycles(100, chunk_bytes=16)\n"
+        )
+        assert rule_ids(source) == ["DMA001"]
+
+    def test_illegal_size_mentioned_in_message(self):
+        source = "def f(dpu):\n    dpu.charge_mram_write(64, 100)\n"
+        findings = lint_source(source, "fixture.py")
+        assert len(findings) == 1
+        assert "not even a legal DMA size" in findings[0].message
+
+    def test_derived_chunk_is_clean(self):
+        source = (
+            "def f(dpu, payload):\n"
+            "    chunk = round_up_dma(payload)\n"
+            "    dpu.charge_mram_read(100, chunk)\n"
+        )
+        assert rule_ids(source) == []
+
+    def test_unrelated_call_is_clean(self):
+        assert rule_ids("def f(x):\n    x.resize(100, 4096)\n") == []
+
+
+class TestCOST001:
+    def test_unpaired_charge_flagged(self):
+        source = "def f(dpu):\n    dpu.charge_instructions(10)\n"
+        assert rule_ids(source) == ["COST001"]
+
+    def test_paired_charge_is_clean(self):
+        source = (
+            "def f(dpu):\n"
+            "    dpu.charge_instructions(10)\n"
+            "    t = dpu.pipeline.compute_cycles(10, 11)\n"
+        )
+        assert rule_ids(source) == []
+
+    def test_elapsed_cycles_discharges(self):
+        source = (
+            "def f(dpu):\n"
+            "    dpu.charge_instructions(10)\n"
+            "    return dpu.elapsed_cycles()\n"
+        )
+        assert rule_ids(source) == []
+
+    def test_nested_function_has_own_obligation(self):
+        source = (
+            "def outer(dpu):\n"
+            "    t = dpu.pipeline.compute_cycles(1, 1)\n"
+            "    def inner():\n"
+            "        dpu.charge_instructions(10)\n"
+            "    return inner\n"
+        )
+        assert rule_ids(source) == ["COST001"]
+
+
+class TestUNIT001:
+    def test_bytes_plus_cycles_flagged(self):
+        source = "def f(total_bytes, setup_cycles):\n    return total_bytes + setup_cycles\n"
+        assert rule_ids(source) == ["UNIT001"]
+
+    def test_augmented_assignment_flagged(self):
+        source = (
+            "def f(total_cycles, extra_bytes):\n"
+            "    total_cycles += extra_bytes\n"
+        )
+        assert rule_ids(source) == ["UNIT001"]
+
+    def test_comparison_flagged(self):
+        source = "def f(size_bytes, budget_cycles):\n    return size_bytes > budget_cycles\n"
+        assert rule_ids(source) == ["UNIT001"]
+
+    def test_same_unit_is_clean(self):
+        source = "def f(a_bytes, b_bytes):\n    return a_bytes + b_bytes\n"
+        assert rule_ids(source) == []
+
+    def test_multiplication_is_a_conversion(self):
+        source = "def f(n_bytes, cycles_factor):\n    return n_bytes * cycles_factor\n"
+        assert rule_ids(source) == []
+
+    def test_rate_suffixes_differ_from_base_unit(self):
+        source = (
+            "def f(bandwidth_bytes_per_s, total_bytes):\n"
+            "    return bandwidth_bytes_per_s - total_bytes\n"
+        )
+        assert rule_ids(source) == ["UNIT001"]
+
+    def test_unit_of_parsing(self):
+        assert unit_of("setup_cycles") == "cycles"
+        assert unit_of("bandwidth_bytes_per_s") == "bytes_per_s"
+        assert unit_of("transfer_in_s") == "s"
+        assert unit_of("offset") is None
+        assert unit_of("cycles_per_tasklet") is None
+        assert unit_of("s") is None  # a bare unit name carries no signal
+
+
+class TestWRAM001:
+    def test_overflowing_layout_flagged(self):
+        source = 'X_WRAM_LAYOUT = (("p", (("a", 40000), ("b", 40000))),)\n'
+        assert rule_ids(source) == ["WRAM001"]
+
+    def test_fitting_layout_is_clean(self):
+        source = 'X_WRAM_LAYOUT = (("p", (("a", 30000), ("b", 30000))),)\n'
+        assert rule_ids(source) == []
+
+    def test_sizes_fold_through_module_constants(self):
+        source = (
+            "ENTRY = 16\n"
+            "COUNT = 4097\n"
+            'X_WRAM_LAYOUT = (("p", (("big", ENTRY * COUNT),)),)\n'
+        )
+        assert rule_ids(source) == ["WRAM001"]  # 65552 B > 64 KiB capacity
+
+    def test_exact_capacity_layout_is_clean(self):
+        source = (
+            "ENTRY = 16\n"
+            "COUNT = 4096\n"
+            'X_WRAM_LAYOUT = (("p", (("big", ENTRY * COUNT),)),)\n'
+        )
+        assert rule_ids(source) == []
+
+    def test_explicit_offsets_overlap_flagged(self):
+        source = (
+            "X_WRAM_LAYOUT = ("
+            '("p", (("a", 64, 0), ("b", 64, 32))),'
+            ")\n"
+        )
+        findings = lint_source(source, "fixture.py")
+        assert [f.rule_id for f in findings] == ["WRAM001"]
+        assert "overlap" in findings[0].message
+
+    def test_adjacent_explicit_offsets_are_clean(self):
+        source = (
+            "X_WRAM_LAYOUT = ("
+            '("p", (("a", 64, 0), ("b", 64, 64))),'
+            ")\n"
+        )
+        assert rule_ids(source) == []
+
+    def test_region_changing_size_across_phases_flagged(self):
+        source = (
+            "X_WRAM_LAYOUT = ("
+            '("p1", (("lut", 4096),)),'
+            '("p2", (("lut", 8192),)),'
+            ")\n"
+        )
+        findings = lint_source(source, "fixture.py")
+        assert [f.rule_id for f in findings] == ["WRAM001"]
+        assert "changes size" in findings[0].message
+
+    def test_unfoldable_layout_flagged(self):
+        source = 'X_WRAM_LAYOUT = (("p", (("a", mystery()),)),)\n'
+        findings = lint_source(source, "fixture.py")
+        assert [f.rule_id for f in findings] == ["WRAM001"]
+        assert "not statically evaluable" in findings[0].message
+
+    def test_alloc_sequence_overflow_flagged(self):
+        source = (
+            "def plan(wram):\n"
+            "    wram.alloc('a', 50000)\n"
+            "    wram.alloc('b', 50000)\n"
+        )
+        assert rule_ids(source) == ["WRAM001"]
+
+    def test_alloc_sequence_with_reuse_is_clean(self):
+        source = (
+            "def plan(wram):\n"
+            "    wram.alloc('codebook', 50000)\n"
+            "    wram.free('codebook')\n"
+            "    wram.alloc('buffers', 50000)\n"
+        )
+        assert rule_ids(source) == []
+
+    def test_double_alloc_flagged(self):
+        source = (
+            "def plan(allocator):\n"
+            "    allocator.alloc('a', 128)\n"
+            "    allocator.alloc('a', 128)\n"
+        )
+        assert rule_ids(source) == ["WRAM001"]
+
+    def test_dynamic_sizes_are_left_to_runtime(self):
+        source = (
+            "def plan(wram, plan_obj):\n"
+            "    wram.alloc('a', plan_obj.nbytes)\n"
+            "    wram.alloc('b', 90000)\n"
+        )
+        assert rule_ids(source) == []
+
+    def test_control_flow_defers_to_runtime(self):
+        source = (
+            "def plan(wram, cond):\n"
+            "    if cond:\n"
+            "        wram.alloc('a', 90000)\n"
+        )
+        assert rule_ids(source) == []
+
+    def test_capacity_override(self):
+        source = "def plan(wram):\n    wram.alloc('a', 1024)\n"
+        assert rule_ids(source, wram_capacity=512) == ["WRAM001"]
+        assert rule_ids(source, wram_capacity=2048) == []
+
+
+class TestEngineAndConfig:
+    def test_select_limits_rules(self):
+        source = (
+            "CHUNK = 2048\n"
+            "def f(dpu):\n    dpu.charge_instructions(1)\n"
+        )
+        config = SimlintConfig(select=["COST001"])
+        assert [f.rule_id for f in lint_source(source, "x.py", config)] == [
+            "COST001"
+        ]
+
+    def test_ignore_drops_rules(self):
+        config = SimlintConfig(ignore=["HW001"])
+        assert lint_source("CHUNK = 2048\n", "x.py", config) == []
+
+    def test_unknown_rule_id_raises(self):
+        with pytest.raises(ValueError):
+            resolve_rules(["NOPE999"], None)
+
+    def test_syntax_error_becomes_parse_finding(self):
+        findings = lint_source("def f(:\n", "broken.py")
+        assert [f.rule_id for f in findings] == ["PARSE"]
+
+    def test_all_rules_registered(self):
+        assert set(all_rules()) == {
+            "HW001",
+            "DMA001",
+            "COST001",
+            "UNIT001",
+            "WRAM001",
+        }
+
+    def test_text_report_shape(self):
+        findings = lint_source("CHUNK = 2048\n", "x.py")
+        text = render_text(findings)
+        assert "x.py:1:9: HW001" in text
+        assert "1 finding(s)" in text
+        assert render_text([]) == "simlint: clean"
+
+    def test_json_report_round_trips(self):
+        findings = lint_source("CHUNK = 2048\n", "x.py")
+        payload = json.loads(render_json(findings))
+        assert payload["count"] == 1
+        assert payload["findings"][0]["rule"] == "HW001"
+        assert payload["findings"][0]["line"] == 1

@@ -1,0 +1,130 @@
+"""The self-check: src/repro is permanently simlint-clean.
+
+These tests are the enforcement half of the acceptance criteria: the
+tree lints clean, a seeded violation is caught with a non-zero exit, and
+the CLI contracts (exit codes, JSON schema) hold.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+
+from repro.lint import load_config, run
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC_REPRO = REPO_ROOT / "src" / "repro"
+
+
+def run_cli(*args: str, cwd: Path | None = None) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=str(cwd if cwd is not None else REPO_ROOT),
+        timeout=120,
+    )
+
+
+class TestTreeIsClean:
+    def test_src_repro_has_no_findings(self):
+        """The codebase must stay lint-clean forever."""
+        config = load_config(SRC_REPRO)
+        findings = run([SRC_REPRO], config)
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+    def test_cli_exits_zero_on_clean_tree(self):
+        result = run_cli(str(SRC_REPRO))
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "simlint: clean" in result.stdout
+
+
+class TestSeededViolations:
+    def test_reintroduced_raw_dma_constant_is_caught(self, tmp_path):
+        """The exact regression the tentpole guards: a raw 2048 chunk."""
+        seeded = tmp_path / "kernel_copy.py"
+        seeded.write_text(
+            "CODEBOOK_CHUNK_BYTES = 2048  # codebook streamed at max DMA size\n"
+        )
+        result = run_cli(str(seeded))
+        assert result.returncode == 1
+        assert "HW001" in result.stdout
+        assert "MAX_DMA_BYTES" in result.stdout
+
+    def test_report_is_readable(self, tmp_path):
+        seeded = tmp_path / "bad.py"
+        seeded.write_text(
+            "def f(dpu, total_bytes, lut_cycles):\n"
+            "    dpu.charge_mram_read(total_bytes, 4096)\n"
+            "    return total_bytes + lut_cycles\n"
+        )
+        result = run_cli(str(seeded))
+        assert result.returncode == 1
+        assert "bad.py:2:" in result.stdout
+        assert "DMA001" in result.stdout
+        assert "UNIT001" in result.stdout
+        assert "finding(s)" in result.stdout
+
+    def test_json_format_parses(self, tmp_path):
+        seeded = tmp_path / "bad.py"
+        seeded.write_text("CAP = 64 * 1024\n")
+        result = run_cli(str(seeded), "--format", "json")
+        assert result.returncode == 1
+        payload = json.loads(result.stdout)
+        assert payload["count"] == 1
+        assert payload["findings"][0]["rule"] == "HW001"
+
+
+class TestCliContracts:
+    def test_missing_path_is_usage_error(self):
+        result = run_cli("definitely/not/a/path.py")
+        assert result.returncode == 2
+
+    def test_unknown_rule_is_usage_error(self, tmp_path):
+        seeded = tmp_path / "ok.py"
+        seeded.write_text("x = 1\n")
+        result = run_cli(str(seeded), "--select", "NOPE999")
+        assert result.returncode == 2
+
+    def test_list_rules(self):
+        result = run_cli("--list-rules")
+        assert result.returncode == 0
+        for rule_id in ("HW001", "DMA001", "COST001", "UNIT001", "WRAM001"):
+            assert rule_id in result.stdout
+
+    def test_select_filters_findings(self, tmp_path):
+        seeded = tmp_path / "bad.py"
+        seeded.write_text("CHUNK = 2048\n")
+        result = run_cli(str(seeded), "--select", "COST001")
+        assert result.returncode == 0
+
+    def test_pyproject_config_supplies_default_paths(self):
+        """Running with no arguments from the repo root lints src/repro."""
+        result = run_cli()
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "simlint: clean" in result.stdout
+
+
+class TestMainCliIntegration:
+    def test_repro_cli_lint_subcommand(self):
+        from repro.cli import main
+
+        assert main(["lint", str(SRC_REPRO)]) == 0
+
+    def test_repro_cli_lint_finds_seeded_violation(self, tmp_path, capsys):
+        from repro.cli import main
+
+        seeded = tmp_path / "bad.py"
+        seeded.write_text("FREQ = 350e6\n")
+        assert main(["lint", str(seeded)]) == 1
+        out = capsys.readouterr().out
+        assert "HW001" in out
