@@ -17,6 +17,24 @@ import pytest
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--trace-dir",
+        default=None,
+        metavar="DIR",
+        help="dump each figure's composed batch schedule as Chrome-trace "
+        "JSON into DIR (one <figure>.trace.json per save_result call)",
+    )
+
+
+def pytest_configure(config):
+    trace_dir = config.getoption("--trace-dir")
+    if trace_dir is not None:
+        from benchmarks import harness
+
+        harness.TRACE_DIR = Path(trace_dir)
+
+
 @pytest.fixture
 def run_once(benchmark):
     """Time ``fn`` once via pytest-benchmark and return its result."""

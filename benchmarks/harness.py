@@ -33,6 +33,12 @@ from repro.ivfpq import IVFPQIndex
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
+# When set (``pytest benchmarks --trace-dir <dir>`` or assignment from a
+# driver script), every figure run also dumps the Chrome-trace JSON of
+# the PIM batches it executed, named ``<figure>.trace.json``.
+TRACE_DIR: Path | None = None
+_TRACE_SCHEDULES: list = []
+
 # --- Scaled defaults ---------------------------------------------------------
 N_BASE = 60_000  # vectors per synthetic corpus
 N_TRAIN = 20_000
@@ -163,6 +169,8 @@ def build_pim_engine(
 def pim_qps(engine: UpANNSEngine, queries: np.ndarray, *, k: int | None = None):
     """Run a batch; return (extrapolated-to-896-DPUs QPS, BatchResult)."""
     result = engine.search_batch(queries, k=k)
+    if TRACE_DIR is not None and result.schedule is not None:
+        _TRACE_SCHEDULES.append(result.schedule)
     n_sim = engine.config.pim.n_dpus
     return result.qps * (PAPER_DPUS / n_sim), result
 
@@ -187,7 +195,24 @@ def gpu_engine(bundle: Bundle, **kwargs) -> GpuEngine:
 
 
 def save_result(figure: str, text: str) -> None:
-    """Print a figure's regenerated rows and archive them on disk."""
+    """Print a figure's regenerated rows and archive them on disk.
+
+    With :data:`TRACE_DIR` set, also composes every PIM batch schedule
+    recorded since the last figure into one sequential timeline and
+    writes it as ``<figure>.trace.json`` (Chrome-trace / Perfetto
+    format) — no per-benchmark code needed.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{figure}.txt").write_text(text + "\n")
     print(f"\n===== {figure} =====\n{text}\n")
+    if TRACE_DIR is not None and _TRACE_SCHEDULES:
+        import json
+
+        from repro.sim import compose
+
+        TRACE_DIR.mkdir(parents=True, exist_ok=True)
+        combined = compose(list(_TRACE_SCHEDULES), "sequential")
+        path = TRACE_DIR / f"{figure}.trace.json"
+        path.write_text(json.dumps(combined.to_chrome_trace()))
+        print(f"wrote {len(_TRACE_SCHEDULES)} batch schedule(s) to {path}")
+        _TRACE_SCHEDULES.clear()

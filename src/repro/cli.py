@@ -138,6 +138,60 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Serve a few batches on a tiny synthetic deployment and dump the
+    composed per-resource timeline as Chrome-trace JSON."""
+    import json
+
+    from repro.core.service import OnlineService
+    from repro.data.synthetic import SIFT1B
+    from repro.hardware.specs import PimSystemSpec
+    from repro.sim import validate_chrome_trace
+
+    from dataclasses import replace
+
+    rng = np.random.default_rng(args.seed)
+    spec = replace(SIFT1B, dim=32, pq_m=8)
+    dataset = make_dataset(
+        spec, 4000, n_components=16, correlated_subspaces=2, rng=rng
+    )
+    popularity = zipf_weights(16, 0.6)
+    queries = make_queries(
+        dataset, args.batches * args.batch_size, popularity=popularity, rng=rng
+    )
+    history = make_queries(dataset, 300, popularity=popularity, rng=rng)
+
+    cfg = SystemConfig(
+        index=IndexConfig(dim=32, n_clusters=32, m=8, train_iters=4),
+        query=QueryConfig(nprobe=8, k=5, batch_size=args.batch_size),
+        upanns=UpANNSConfig(),
+        pim=PimSystemSpec(n_dimms=1, chips_per_dimm=2, dpus_per_chip=8),
+        timing_scale=args.timing_scale,
+    )
+    engine = UpANNSEngine(cfg)
+    engine.build(dataset.vectors, history_queries=history, rng=rng)
+    service = OnlineService(engine, overlap=args.overlap)
+    for b in range(args.batches):
+        lo = b * args.batch_size
+        service.submit(queries[lo : lo + args.batch_size])
+
+    combined = service.combined_schedule()
+    payload = combined.to_chrome_trace()
+    errors = validate_chrome_trace(payload)
+    if errors:
+        for err in errors:
+            print(f"trace invalid: {err}", file=sys.stderr)
+        return 1
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh)
+    n_events = len(payload["traceEvents"])
+    print(
+        f"wrote {n_events} events over {len(combined.resources())} resources "
+        f"to {args.out} ({args.overlap}: wall-clock {combined.makespan * 1e3:.3f} ms)"
+    )
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint.__main__ import main as lint_main
 
@@ -202,6 +256,20 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--timing-scale", type=float, default=1000.0)
     bench.add_argument("--seed", type=int, default=0)
     bench.set_defaults(func=_cmd_bench)
+
+    trace = sub.add_parser(
+        "trace",
+        help="serve a tiny synthetic workload and export a Chrome-trace JSON",
+    )
+    trace.add_argument("--out", required=True)
+    trace.add_argument("--batches", type=int, default=3)
+    trace.add_argument("--batch-size", type=int, default=32)
+    trace.add_argument(
+        "--overlap", choices=["sequential", "double_buffer"], default="sequential"
+    )
+    trace.add_argument("--timing-scale", type=float, default=1.0)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.set_defaults(func=_cmd_trace)
 
     specs = sub.add_parser("specs", help="print the Table-1 hardware specs")
     specs.set_defaults(func=_cmd_specs)

@@ -38,6 +38,19 @@ from repro.hardware.host import HostModel
 from repro.hardware.rank import PimSystem
 from repro.ivfpq.adc import topk_from_distances
 from repro.ivfpq.index import IVFPQIndex
+from repro.metrics.balance import max_mean_ratio
+from repro.metrics.breakdown import stage_seconds_from_schedule
+from repro.sim import (
+    HOST_CPU,
+    PIM_BUS,
+    STAGE_AGGREGATE,
+    STAGE_CLUSTER_FILTER,
+    STAGE_SCHEDULE,
+    STAGE_TRANSFER_IN,
+    STAGE_TRANSFER_OUT,
+    BatchSchedule,
+    BatchTiming,
+)
 from repro.workload.trace import AccessTrace
 
 logger = logging.getLogger(__name__)
@@ -68,29 +81,6 @@ class OfflineStats:
 
 
 @dataclass
-class BatchTiming:
-    """Where one batch's wall-clock time went (modeled seconds)."""
-
-    host_filter_s: float = 0.0
-    host_schedule_s: float = 0.0
-    transfer_in_s: float = 0.0
-    dpu_makespan_s: float = 0.0
-    transfer_out_s: float = 0.0
-    host_aggregate_s: float = 0.0
-
-    @property
-    def total_s(self) -> float:
-        return (
-            self.host_filter_s
-            + self.host_schedule_s
-            + self.transfer_in_s
-            + self.dpu_makespan_s
-            + self.transfer_out_s
-            + self.host_aggregate_s
-        )
-
-
-@dataclass
 class BatchResult:
     """Functional + modeled-timing outcome of one batch."""
 
@@ -102,6 +92,7 @@ class BatchResult:
     heap_stats: HeapStats
     cycle_load_ratio: float  # measured max/mean DPU busy cycles
     dpu_busy_seconds: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    schedule: BatchSchedule | None = None  # per-resource event timelines
 
     @property
     def qps(self) -> float:
@@ -374,14 +365,16 @@ class UpANNSEngine:
         sizes = self._sizes
         assert sizes is not None and self.placement is not None
 
-        timing = BatchTiming()
+        schedule = BatchSchedule(dpu_frequency_hz=self.config.pim.dpu.frequency_hz)
 
         # (a) Cluster filtering on the host (skipped when the probes
         # arrive pre-computed from a coordinator).
         if probes is None:
             probes = self.index.ivf.search_clusters(queries, qc.nprobe)
-            timing.host_filter_s = self.host.cluster_filter_seconds(
-                nq, ic.n_clusters, ic.dim
+            schedule.record(
+                HOST_CPU,
+                STAGE_CLUSTER_FILTER,
+                self.host.cluster_filter_seconds(nq, ic.n_clusters, ic.dim),
             )
         elif not isinstance(probes, (list, tuple)):
             probes = np.atleast_2d(np.asarray(probes, dtype=np.int64))
@@ -392,22 +385,29 @@ class UpANNSEngine:
 
         # Opt1: greedy scheduling.
         assignment = schedule_batch(probes, sizes, self.placement)
-        timing.host_schedule_s = self.host.scheduling_seconds(
-            1, assignment.total_pairs()
+        schedule.record(
+            HOST_CPU,
+            STAGE_SCHEDULE,
+            self.host.scheduling_seconds_for_pairs(assignment.total_pairs()),
         )
 
         # Host -> DPU: queries broadcast + per-DPU worklists.  UpANNS pads
         # worklists to a uniform size so the transfer parallelizes; the
         # naive path ships exact (non-uniform) sizes and serializes.
         query_bytes = nq * ic.dim * 4
-        timing.transfer_in_s = self.pim.broadcast_seconds(query_bytes)
+        self.pim.record_broadcast(
+            schedule,
+            query_bytes,
+            stage=STAGE_TRANSFER_IN,
+            start_s=schedule.timeline(HOST_CPU).end,
+        )
         pair_counts = [len(p) for p in assignment.per_dpu]
         if uc.enable_placement:
             pad = max(pair_counts) if pair_counts else 0
             meta_sizes = [pad * 8] * self.pim.n_dpus
         else:
             meta_sizes = [c * 8 for c in pair_counts]
-        timing.transfer_in_s += self.pim.host_transfer_seconds(meta_sizes).seconds
+        self.pim.record_transfer(schedule, meta_sizes, stage=STAGE_TRANSFER_IN)
 
         # Per-DPU kernel execution.
         kernel_cfg = KernelConfig(
@@ -464,19 +464,28 @@ class UpANNSEngine:
                 logs[d].pairs_served += len(payloads)
                 heap_total.merge(out.heap_stats)
 
-        # Batch time on PIM = slowest DPU (paper section 5.3.1).
+        # Batch time on PIM = slowest DPU (paper section 5.3.1); every
+        # active DPU gets its own resource lane starting when the
+        # inbound transfer completes.
         busy = np.array([log.total_cycles for log in logs])
         freq = self.config.pim.dpu.frequency_hz
-        timing.dpu_makespan_s = float(busy.max()) / freq if busy.size else 0.0
-        active = busy[busy > 0]
-        cycle_ratio = float(busy.max() / active.mean()) if active.size else 1.0
+        transfer_done = schedule.timeline(PIM_BUS).end
+        for d, log in enumerate(logs):
+            if log.total_cycles > 0:
+                schedule.record_dpu_stages(d, log.stage, start_s=transfer_done)
+        cycle_ratio = max_mean_ratio(busy, active_only=True)
 
         # DPU -> host result gather (uniform when padded).
         result_sizes = [log.queries_served * k * 8 for log in logs]
         if uc.enable_placement and any(result_sizes):
             pad = max(result_sizes)
             result_sizes = [pad] * len(result_sizes)
-        timing.transfer_out_s = self.pim.gather_seconds(result_sizes).seconds
+        dpu_done = max(
+            (tl.end for tl in schedule.dpu_timelines()), default=transfer_done
+        )
+        self.pim.record_gather(
+            schedule, result_sizes, stage=STAGE_TRANSFER_OUT, start_s=dpu_done
+        )
 
         # Host-side final aggregation across DPUs.
         out_d = np.full((nq, k), np.inf, dtype=np.float32)
@@ -491,21 +500,18 @@ class UpANNSEngine:
             top_i, top_d = topk_from_distances(ids, dists, k)
             out_i[qi, : top_i.shape[0]] = top_i
             out_d[qi, : top_d.shape[0]] = top_d
-        timing.host_aggregate_s = self.host.aggregate_seconds(
-            nq, k, max(1, n_partials // max(nq, 1))
+        schedule.record_at(
+            HOST_CPU,
+            STAGE_AGGREGATE,
+            schedule.timeline(PIM_BUS).end,
+            self.host.aggregate_seconds(nq, k, max(1, n_partials // max(nq, 1))),
         )
 
-        # Stage breakdown in seconds: the makespan DPU's stages plus the
-        # host-side stages (Figure 19's decomposition).
-        worst = int(np.argmax(busy)) if busy.size else 0
-        stage_seconds = logs[worst].stage.scaled(1.0 / freq)
-        stage_seconds.cluster_filter += timing.host_filter_s
-        stage_seconds.other += (
-            timing.host_schedule_s
-            + timing.transfer_in_s
-            + timing.transfer_out_s
-            + timing.host_aggregate_s
-        )
+        # Derived views: the legacy additive scalars and the Figure 19
+        # stage breakdown (makespan DPU's stages + host-side stages) now
+        # both come from the recorded spans.
+        timing = schedule.derive_batch_timing()
+        stage_seconds = stage_seconds_from_schedule(schedule, timing)
 
         logger.debug(
             "batch of %d queries: %.3f ms modeled (%d pairs, max/avg %.2f)",
@@ -523,6 +529,7 @@ class UpANNSEngine:
             heap_stats=heap_total,
             cycle_load_ratio=cycle_ratio,
             dpu_busy_seconds=busy / freq,
+            schedule=schedule,
         )
 
     # ------------------------------------------------------------------

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.config import IndexConfig, QueryConfig, SystemConfig, UpANNSConfig
-from repro.core.engine import BatchResult, BatchTiming
+from repro.core.engine import BatchResult
 from repro.core.kernel import (
     INSTR_PER_HEAP_COMPARISON,
     INSTR_PER_HEAP_INSERTION,
@@ -39,6 +39,18 @@ from repro.hardware.rank import PimSystem
 from repro.ivfpq.adc import topk_from_distances
 from repro.ivfpq.ivfflat import IVFFlatIndex
 from repro.ivfpq.kmeans import squared_distances
+from repro.metrics.balance import max_mean_ratio
+from repro.metrics.breakdown import stage_seconds_from_schedule
+from repro.sim import (
+    HOST_CPU,
+    PIM_BUS,
+    STAGE_AGGREGATE,
+    STAGE_CLUSTER_FILTER,
+    STAGE_SCHEDULE,
+    STAGE_TRANSFER_IN,
+    STAGE_TRANSFER_OUT,
+    BatchSchedule,
+)
 
 logger = logging.getLogger(__name__)
 
@@ -145,12 +157,25 @@ class IVFFlatPimEngine:
         sizes = self.index.cluster_sizes()
         scale = self.config.timing_scale
 
-        timing = BatchTiming()
+        schedule = BatchSchedule(dpu_frequency_hz=self.config.pim.dpu.frequency_hz)
         probes = self.index.ivf.search_clusters(queries, qc.nprobe)
-        timing.host_filter_s = self.host.cluster_filter_seconds(nq, ic.n_clusters, ic.dim)
+        schedule.record(
+            HOST_CPU,
+            STAGE_CLUSTER_FILTER,
+            self.host.cluster_filter_seconds(nq, ic.n_clusters, ic.dim),
+        )
         assignment = schedule_batch(probes, sizes, self.placement)
-        timing.host_schedule_s = self.host.scheduling_seconds(1, assignment.total_pairs())
-        timing.transfer_in_s = self.pim.broadcast_seconds(nq * ic.dim * 4)
+        schedule.record(
+            HOST_CPU,
+            STAGE_SCHEDULE,
+            self.host.scheduling_seconds_for_pairs(assignment.total_pairs()),
+        )
+        self.pim.record_broadcast(
+            schedule,
+            nq * ic.dim * 4,
+            stage=STAGE_TRANSFER_IN,
+            start_s=schedule.timeline(HOST_CPU).end,
+        )
 
         chunk = self._read_chunk_bytes()
         partials: dict[int, list[tuple[np.ndarray, np.ndarray]]] = {
@@ -208,11 +233,19 @@ class IVFFlatPimEngine:
             busy[d] = stage_by_dpu[d].total
 
         freq = self.config.pim.dpu.frequency_hz
-        timing.dpu_makespan_s = float(busy.max()) / freq if busy.size else 0.0
+        transfer_done = schedule.timeline(PIM_BUS).end
+        for d, stage in enumerate(stage_by_dpu):
+            if stage.total > 0:
+                schedule.record_dpu_stages(d, stage, start_s=transfer_done)
         result_sizes = [len({q for q, _ in p}) * k * 8 for p in assignment.per_dpu]
         if uc.enable_placement and any(result_sizes):
             result_sizes = [max(result_sizes)] * len(result_sizes)
-        timing.transfer_out_s = self.pim.gather_seconds(result_sizes).seconds
+        dpu_done = max(
+            (tl.end for tl in schedule.dpu_timelines()), default=transfer_done
+        )
+        self.pim.record_gather(
+            schedule, result_sizes, stage=STAGE_TRANSFER_OUT, start_s=dpu_done
+        )
 
         out_d = np.full((nq, k), np.inf, dtype=np.float32)
         out_i = np.full((nq, k), -1, dtype=np.int64)
@@ -226,20 +259,15 @@ class IVFFlatPimEngine:
             top_i, top_d = topk_from_distances(ids, dists, k)
             out_i[qi, : top_i.shape[0]] = top_i
             out_d[qi, : top_d.shape[0]] = top_d
-        timing.host_aggregate_s = self.host.aggregate_seconds(
-            nq, k, max(1, n_partials // max(nq, 1))
+        schedule.record_at(
+            HOST_CPU,
+            STAGE_AGGREGATE,
+            schedule.timeline(PIM_BUS).end,
+            self.host.aggregate_seconds(nq, k, max(1, n_partials // max(nq, 1))),
         )
 
-        active = busy[busy > 0]
-        worst = int(np.argmax(busy)) if busy.size else 0
-        stage_seconds = stage_by_dpu[worst].scaled(1.0 / freq)
-        stage_seconds.cluster_filter += timing.host_filter_s
-        stage_seconds.other += (
-            timing.host_schedule_s
-            + timing.transfer_in_s
-            + timing.transfer_out_s
-            + timing.host_aggregate_s
-        )
+        timing = schedule.derive_batch_timing()
+        stage_seconds = stage_seconds_from_schedule(schedule, timing)
         return BatchResult(
             ids=out_i,
             distances=out_d,
@@ -247,8 +275,9 @@ class IVFFlatPimEngine:
             stage_seconds=stage_seconds,
             assignment=assignment,
             heap_stats=heap_total,
-            cycle_load_ratio=float(busy.max() / active.mean()) if active.size else 1.0,
+            cycle_load_ratio=max_mean_ratio(busy, active_only=True),
             dpu_busy_seconds=busy / freq,
+            schedule=schedule,
         )
 
 

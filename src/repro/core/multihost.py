@@ -30,6 +30,19 @@ from repro.errors import ConfigError, NotTrainedError
 from repro.hardware.host import HostModel
 from repro.ivfpq.adc import topk_from_distances
 from repro.ivfpq.index import IVFPQIndex
+from repro.sim import (
+    HOST_CPU,
+    NETWORK,
+    STAGE_AGGREGATE,
+    STAGE_CLUSTER_FILTER,
+    STAGE_SCHEDULE,
+    STAGE_TRANSFER_IN,
+    STAGE_TRANSFER_OUT,
+    BatchSchedule,
+)
+
+# Stage label for one host's local search window on its ``host/{h}`` lane.
+STAGE_HOST_SEARCH = "host_search"
 
 
 @dataclass(frozen=True)
@@ -54,16 +67,19 @@ class MultiHostBatchResult:
     ids: np.ndarray
     distances: np.ndarray
     coordinator_filter_s: float
+    route_s: float
     distribute_s: float
     host_makespan_s: float
     gather_s: float
     merge_s: float
     per_host_qps: list[float]
+    schedule: BatchSchedule | None = None  # per-resource event timelines
 
     @property
     def total_s(self) -> float:
         return (
             self.coordinator_filter_s
+            + self.route_s
             + self.distribute_s
             + self.host_makespan_s
             + self.gather_s
@@ -188,13 +204,19 @@ class MultiHostEngine:
         sizes = self._sizes
         assert sizes is not None and self.host_placement is not None
 
+        schedule = BatchSchedule()
+
         # Coordinator: one global cluster-filtering pass.
         probes = self.index.ivf.search_clusters(queries, qc.nprobe)
         filter_s = self.coordinator.cluster_filter_seconds(nq, ic.n_clusters, ic.dim)
+        schedule.record(HOST_CPU, STAGE_CLUSTER_FILTER, filter_s)
 
         # Route every (query, cluster) pair to a replica-holding host
-        # (Algorithm 2 at host granularity).
+        # (Algorithm 2 at host granularity) — charged like any other
+        # scheduling pass, at the coordinator's per-decision cost.
         routing = schedule_batch(probes, sizes, self.host_placement)
+        route_s = self.coordinator.scheduling_seconds_for_pairs(routing.total_pairs())
+        schedule.record(HOST_CPU, STAGE_SCHEDULE, route_s)
         per_host_probes: list[list[list[int]]] = [
             [[] for _ in range(nq)] for _ in range(self.n_hosts)
         ]
@@ -210,6 +232,10 @@ class MultiHostEngine:
             pairs = sum(len(row) for row in per_host_probes[h])
             distribute_bytes.append(participating * ic.dim * 4 + pairs * 8)
         distribute_s = self.network.transfer_seconds(distribute_bytes)
+        schedule.record_at(
+            NETWORK, STAGE_TRANSFER_IN, schedule.timeline(HOST_CPU).end, distribute_s
+        )
+        distribute_done = schedule.timeline(NETWORK).end
 
         # Local searches (memory-intensive work stays on each host).
         host_results = []
@@ -225,6 +251,9 @@ class MultiHostEngine:
             res = engine.search_batch(queries, k=k, probes=ragged)
             host_results.append(res)
             host_seconds.append(res.timing.total_s)
+            schedule.record_at(
+                f"host/{h}", STAGE_HOST_SEARCH, distribute_done, res.timing.total_s
+            )
         host_makespan_s = max(host_seconds) if host_seconds else 0.0
 
         # Gather per-host top-k and merge at the coordinator.
@@ -232,6 +261,15 @@ class MultiHostEngine:
             (0 if r is None else int((r.ids >= 0).sum()) * 12) for r in host_results
         ]
         gather_s = self.network.transfer_seconds(gather_bytes)
+        hosts_done = max(
+            (
+                schedule.timeline(f"host/{h}").end
+                for h, r in enumerate(host_results)
+                if r is not None
+            ),
+            default=distribute_done,
+        )
+        schedule.record_at(NETWORK, STAGE_TRANSFER_OUT, hosts_done, gather_s)
 
         out_d = np.full((nq, k), np.inf, dtype=np.float32)
         out_i = np.full((nq, k), -1, dtype=np.int64)
@@ -251,11 +289,15 @@ class MultiHostEngine:
             out_i[qi, : ids.shape[0]] = ids
             out_d[qi, : dists.shape[0]] = dists
         merge_s = self.coordinator.aggregate_seconds(nq, k, self.n_hosts)
+        schedule.record_at(
+            HOST_CPU, STAGE_AGGREGATE, schedule.timeline(NETWORK).end, merge_s
+        )
 
         return MultiHostBatchResult(
             ids=out_i,
             distances=out_d,
             coordinator_filter_s=filter_s,
+            route_s=route_s,
             distribute_s=distribute_s,
             host_makespan_s=host_makespan_s,
             gather_s=gather_s,
@@ -263,6 +305,7 @@ class MultiHostEngine:
             per_host_qps=[
                 (0.0 if r is None else nq / r.timing.total_s) for r in host_results
             ],
+            schedule=schedule,
         )
 
     def cluster_ownership(self) -> list[int]:

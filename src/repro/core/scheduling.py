@@ -37,15 +37,14 @@ class Assignment:
         return sum(len(p) for p in self.per_dpu)
 
     def load_ratio(self) -> float:
-        """max/mean scheduled workload over *active* DPUs' mean.
+        """max/mean scheduled workload across all DPUs.
 
         Matches Figure 11's "ratio of maximum process and average
         process": 1.0 means perfectly even work.
         """
-        mean = float(self.dpu_workload.mean())
-        if mean == 0:
-            return 1.0
-        return float(self.dpu_workload.max()) / mean
+        from repro.metrics.balance import max_mean_ratio
+
+        return max_mean_ratio(self.dpu_workload)
 
     def queries_per_dpu(self) -> np.ndarray:
         """Distinct queries each DPU serves (LUT build cost driver)."""

@@ -40,6 +40,15 @@ class HostModel:
         """Algorithm 2 runs in O(|Q| * nprobe) (paper section 4.1.2)."""
         return n_queries * nprobe * self.schedule_op_seconds
 
+    def scheduling_seconds_for_pairs(self, n_pairs: int) -> float:
+        """Algorithm 2 cost from the actual scheduled pair count.
+
+        The engines know the exact number of (query, cluster) decisions
+        the scheduler made — charging that directly avoids the shape
+        mismatch of passing a pair total through the per-query API.
+        """
+        return n_pairs * self.schedule_op_seconds
+
     def aggregate_seconds(self, n_queries: int, k: int, n_partials_per_query: int) -> float:
         """Merge per-DPU top-k lists into the final per-query top-k."""
         if n_partials_per_query <= 0:

@@ -11,12 +11,17 @@ UpANNS exploits this by padding scheduling metadata to uniform sizes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.errors import ConfigError
 from repro.hardware.dpu import DPU
 from repro.hardware.mram import MramModel
 from repro.hardware.specs import DEFAULT_N_TASKLETS, PimSystemSpec
+from repro.sim.span import PIM_BUS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.schedule import BatchSchedule
+    from repro.sim.span import Span
 
 
 @dataclass
@@ -95,6 +100,52 @@ class PimSystem:
         """Pull per-DPU result buffers back to the host."""
         return self.host_transfer_seconds(list(per_dpu_bytes))
 
+    # --- Span-recording transfer API -----------------------------------
+    # The engines account transfer time by emitting spans onto the
+    # shared ``pim_bus`` lane of a schedule; these wrappers keep the
+    # timing model and the event emission in one place.
+
+    def record_broadcast(
+        self,
+        schedule: "BatchSchedule",
+        size_bytes: int,
+        *,
+        stage: str,
+        start_s: float | None = None,
+    ) -> "Span":
+        """Charge a same-buffer-to-all-DPUs push as a ``pim_bus`` span."""
+        seconds = self.broadcast_seconds(size_bytes)
+        if start_s is None:
+            return schedule.record(PIM_BUS, stage, seconds)
+        return schedule.record_at(PIM_BUS, stage, start_s, seconds)
+
+    def record_transfer(
+        self,
+        schedule: "BatchSchedule",
+        buffer_sizes: Sequence[int],
+        *,
+        stage: str,
+        start_s: float | None = None,
+    ) -> "Span":
+        """Charge a per-DPU buffer push/pull as a ``pim_bus`` span."""
+        stats = self.host_transfer_seconds(buffer_sizes)
+        if start_s is None:
+            return schedule.record(PIM_BUS, stage, stats.seconds)
+        return schedule.record_at(PIM_BUS, stage, start_s, stats.seconds)
+
+    def record_gather(
+        self,
+        schedule: "BatchSchedule",
+        per_dpu_bytes: Iterable[int],
+        *,
+        stage: str,
+        start_s: float | None = None,
+    ) -> "Span":
+        """Charge a per-DPU result pull as a ``pim_bus`` span."""
+        return self.record_transfer(
+            schedule, list(per_dpu_bytes), stage=stage, start_s=start_s
+        )
+
     # --- Aggregate views -------------------------------------------------
 
     def makespan_seconds(self) -> float:
@@ -109,11 +160,9 @@ class PimSystem:
 
     def load_ratio(self) -> float:
         """max/mean DPU busy time — the Figure 11 balance metric."""
-        times = [d.elapsed_cycles() for d in self.dpus]
-        mean = sum(times) / len(times)
-        if mean == 0:
-            return 1.0
-        return max(times) / mean
+        from repro.metrics.balance import max_mean_ratio
+
+        return max_mean_ratio([d.elapsed_cycles() for d in self.dpus])
 
     def total_mram_used(self) -> int:
         return sum(d.mram_used_bytes for d in self.dpus)

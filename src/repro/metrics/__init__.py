@@ -1,10 +1,12 @@
 """Evaluation metrics: QPS, normalization, stage breakdowns."""
 
+from repro.metrics.balance import max_mean_ratio
 from repro.metrics.breakdown import (
     STAGE_LABELS,
     breakdown_percentages,
     dominant_stage,
     format_breakdown,
+    stage_seconds_from_schedule,
 )
 from repro.metrics.latency import LatencyRecorder
 from repro.metrics.qps import (
@@ -23,7 +25,9 @@ __all__ = [
     "dominant_stage",
     "format_breakdown",
     "geometric_mean",
+    "max_mean_ratio",
     "normalize_to",
     "qps",
     "speedup",
+    "stage_seconds_from_schedule",
 ]

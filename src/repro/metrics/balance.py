@@ -1,0 +1,30 @@
+"""Load-balance metric shared by placement, scheduling and execution.
+
+The paper's Figure 11 reports balance as "the ratio of maximum process
+and average process" — max/mean over per-worker load.  Three call sites
+used to re-implement it (scheduled workload, measured DPU cycles, DPU
+elapsed time); they all route through :func:`max_mean_ratio` now.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def max_mean_ratio(values, *, active_only: bool = False) -> float:
+    """max/mean over ``values``; 1.0 for empty or all-zero input.
+
+    ``active_only`` restricts the *mean* to strictly-positive entries
+    (the engines' measured-cycle convention: idle DPUs do not dilute the
+    average), while the max is always taken over every entry.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        return 1.0
+    denom = arr[arr > 0] if active_only else arr
+    if denom.size == 0:
+        return 1.0
+    mean = denom.mean()
+    if mean == 0:
+        return 1.0
+    return float(arr.max() / mean)

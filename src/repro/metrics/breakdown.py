@@ -2,8 +2,13 @@
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.errors import ConfigError
 from repro.hardware.counters import StageCycles
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.schedule import BatchSchedule, BatchTiming
 
 STAGE_LABELS = {
     "cluster_filter": "cluster filtering",
@@ -26,6 +31,35 @@ def dominant_stage(stage: StageCycles) -> str:
     """Name of the largest stage — what 'the bottleneck' means in Fig 1."""
     shares = stage.as_dict()
     return max(shares, key=shares.get)
+
+
+def stage_seconds_from_schedule(
+    schedule: "BatchSchedule", timing: "BatchTiming | None" = None
+) -> StageCycles:
+    """Figure 19's per-stage seconds, derived from a recorded schedule.
+
+    Replicates the engines' legacy attribution exactly: the makespan
+    DPU's kernel stages converted to seconds, host filtering added to
+    the cluster-filter stage, and every orchestration/transfer term
+    folded into ``other``.
+    """
+    if timing is None:
+        timing = schedule.derive_batch_timing()
+    worst = schedule.worst_dpu_stage_cycles()
+    if schedule.dpu_frequency_hz is not None:
+        stage_seconds = worst.scaled(1.0 / schedule.dpu_frequency_hz)
+    elif worst.total == 0:
+        stage_seconds = StageCycles()
+    else:
+        raise ConfigError("schedule has DPU cycles but no frequency")
+    stage_seconds.cluster_filter += timing.host_filter_s
+    stage_seconds.other += (
+        timing.host_schedule_s
+        + timing.transfer_in_s
+        + timing.transfer_out_s
+        + timing.host_aggregate_s
+    )
+    return stage_seconds
 
 
 def format_breakdown(stage: StageCycles, *, label: str = "") -> str:

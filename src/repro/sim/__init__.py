@@ -1,0 +1,83 @@
+"""Timeline execution core: spans, per-resource timelines, schedules.
+
+Engines emit timed work as :class:`Span` events onto per-resource
+timelines via :meth:`BatchSchedule.record` (or the module-level
+:func:`record` convenience).  Everything downstream — the legacy
+:class:`BatchTiming` scalars, stage breakdowns, overlap composition,
+Chrome-trace export — is derived from the recorded schedule.
+"""
+
+from repro.sim.overlap import (
+    OVERLAP_MODES,
+    compose,
+    compose_double_buffer,
+    compose_sequential,
+    pipeline_wallclock,
+)
+from repro.sim.schedule import (
+    STAGE_AGGREGATE,
+    STAGE_CLUSTER_FILTER,
+    STAGE_SCHEDULE,
+    STAGE_TRANSFER_IN,
+    STAGE_TRANSFER_OUT,
+    BatchSchedule,
+    BatchTiming,
+)
+from repro.sim.span import (
+    HOST_AGG,
+    HOST_CPU,
+    NETWORK,
+    PIM_BUS,
+    ResourceTimeline,
+    Span,
+    dpu_resource,
+    is_dpu_resource,
+)
+from repro.sim.trace import chrome_trace, validate_chrome_trace
+
+
+def record(
+    schedule: BatchSchedule,
+    resource: str,
+    stage: str,
+    duration_s: float,
+    *,
+    cycles: float | None = None,
+    counters: object | None = None,
+) -> Span:
+    """Record one span of timed work onto ``schedule``.
+
+    This is the sanctioned way for engine code to account wall-clock
+    time (simlint rule TIME001 forbids hand-summing ``*_s`` scalars in
+    the online pipelines).
+    """
+    return schedule.record(
+        resource, stage, duration_s, cycles=cycles, counters=counters
+    )
+
+
+__all__ = [
+    "BatchSchedule",
+    "BatchTiming",
+    "HOST_AGG",
+    "HOST_CPU",
+    "NETWORK",
+    "OVERLAP_MODES",
+    "PIM_BUS",
+    "ResourceTimeline",
+    "STAGE_AGGREGATE",
+    "STAGE_CLUSTER_FILTER",
+    "STAGE_SCHEDULE",
+    "STAGE_TRANSFER_IN",
+    "STAGE_TRANSFER_OUT",
+    "Span",
+    "chrome_trace",
+    "compose",
+    "compose_double_buffer",
+    "compose_sequential",
+    "dpu_resource",
+    "is_dpu_resource",
+    "pipeline_wallclock",
+    "record",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,150 @@
+"""Chrome-trace (Perfetto) export and validation for schedules.
+
+The exported object follows the Trace Event Format: ``X`` (complete)
+events with microsecond ``ts``/``dur`` per span, plus ``M`` metadata
+events naming one thread per resource.  Load the JSON file in
+https://ui.perfetto.dev or ``chrome://tracing`` to inspect a run.
+
+``validate_chrome_trace`` checks the schema plus the simulator's own
+invariant — per-resource spans must not overlap — and is runnable on a
+file with ``python -m repro.sim.trace <trace.json>`` (used by CI).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.schedule import BatchSchedule
+
+_US_PER_S = 1e6
+#: Relative slack for the overlap check: scaling seconds to microseconds
+#: rounds ts and dur independently, so adjacent spans may disagree by a
+#: few ULPs without any real overlap.
+_OVERLAP_RTOL = 1e-9
+
+
+def chrome_trace(schedule: "BatchSchedule") -> dict[str, Any]:
+    """Trace Event Format object for one schedule (one thread/resource)."""
+    events: list[dict[str, Any]] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": "repro.sim"},
+        }
+    ]
+    for tid, (resource, tl) in enumerate(schedule.timelines.items()):
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": 0,
+                "tid": tid,
+                "args": {"name": resource},
+            }
+        )
+        for span in tl.spans:
+            event: dict[str, Any] = {
+                "ph": "X",
+                "name": span.stage,
+                "cat": "sim",
+                "pid": 0,
+                "tid": tid,
+                "ts": span.t0 * _US_PER_S,
+                "dur": span.duration * _US_PER_S,
+            }
+            if span.cycles is not None:
+                event["args"] = {"cycles": span.cycles}
+            events.append(event)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def validate_chrome_trace(payload: Any) -> list[str]:
+    """Schema + invariant errors for a Trace Event Format object.
+
+    Returns a list of human-readable problems (empty = valid): the
+    top-level shape, per-event required fields, and non-overlapping
+    ``X`` events per (pid, tid) lane.
+    """
+    errors: list[str] = []
+    if not isinstance(payload, dict):
+        return ["top level must be a JSON object"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-list 'traceEvents'"]
+
+    lanes: dict[tuple[Any, Any], list[tuple[float, float, str]]] = {}
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            errors.append(f"event {i}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in ("X", "M"):
+            errors.append(f"event {i}: unsupported phase {ph!r}")
+            continue
+        if not isinstance(event.get("name"), str):
+            errors.append(f"event {i}: missing string 'name'")
+        if ph == "M":
+            args = event.get("args")
+            if not isinstance(args, dict) or not isinstance(args.get("name"), str):
+                errors.append(f"event {i}: metadata event needs args.name")
+            continue
+        ts, dur = event.get("ts"), event.get("dur")
+        if not _is_number(ts) or ts < 0:
+            errors.append(f"event {i}: 'ts' must be a non-negative number")
+            continue
+        if not _is_number(dur) or dur < 0:
+            errors.append(f"event {i}: 'dur' must be a non-negative number")
+            continue
+        lanes.setdefault((event.get("pid"), event.get("tid")), []).append(
+            (float(ts), float(dur), str(event.get("name")))
+        )
+
+    for (pid, tid), spans in lanes.items():
+        spans.sort(key=lambda s: s[0])
+        prev_end = 0.0
+        prev_name = ""
+        for ts, dur, name in spans:
+            slack = _OVERLAP_RTOL * max(1.0, abs(prev_end))
+            if ts + slack < prev_end:
+                errors.append(
+                    f"lane pid={pid} tid={tid}: {name!r} at ts={ts} overlaps "
+                    f"{prev_name!r} ending at {prev_end}"
+                )
+            prev_end = max(prev_end, ts + dur)
+            prev_name = name
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Validate a trace file: ``python -m repro.sim.trace <trace.json>``."""
+    argv = argv if argv is not None else sys.argv[1:]
+    if len(argv) != 1:
+        print("usage: python -m repro.sim.trace <trace.json>", file=sys.stderr)
+        return 2
+    try:
+        with open(argv[0]) as fh:
+            payload = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    errors = validate_chrome_trace(payload)
+    if errors:
+        for err in errors:
+            print(f"trace invalid: {err}")
+        return 1
+    n_events = len(payload["traceEvents"])
+    print(f"trace valid: {n_events} events")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -106,11 +106,13 @@ class TestTiming:
     def test_components_positive_and_sum(self, multihost, small_queries):
         res = multihost.search_batch(small_queries)
         assert res.coordinator_filter_s > 0
+        assert res.route_s > 0
         assert res.distribute_s > 0
         assert res.host_makespan_s > 0
         assert res.gather_s > 0
         assert res.total_s == pytest.approx(
             res.coordinator_filter_s
+            + res.route_s
             + res.distribute_s
             + res.host_makespan_s
             + res.gather_s

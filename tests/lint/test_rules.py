@@ -275,6 +275,49 @@ class TestWRAM001:
         assert rule_ids(source, wram_capacity=2048) == []
 
 
+class TestTIME001:
+    ENGINE_PATH = "src/repro/core/engine.py"
+
+    def ids_at(self, source: str, path: str) -> list[str]:
+        return [f.rule_id for f in lint_source(source, path)]
+
+    def test_assignment_in_engine_flagged(self):
+        source = "def f(timing, host):\n    timing.host_filter_s = host.cost()\n"
+        assert self.ids_at(source, self.ENGINE_PATH) == ["TIME001"]
+
+    def test_augmented_sum_in_engine_flagged(self):
+        source = "def f(timing, extra):\n    timing.transfer_in_s += extra\n"
+        assert self.ids_at(source, self.ENGINE_PATH) == ["TIME001"]
+
+    def test_baseline_module_in_scope(self):
+        source = "def f(t):\n    t.total_s = 1.0\n"
+        assert self.ids_at(source, "src/repro/baselines/pim_naive.py") == [
+            "TIME001"
+        ]
+
+    def test_span_recording_is_clean(self):
+        source = (
+            "def f(schedule, host, nq):\n"
+            "    schedule.record('host_cpu', 'cluster_filter', host.cost(nq))\n"
+        )
+        assert self.ids_at(source, self.ENGINE_PATH) == []
+
+    def test_local_variable_is_clean(self):
+        source = "def f(host):\n    filter_s = host.cost()\n    return filter_s\n"
+        assert self.ids_at(source, self.ENGINE_PATH) == []
+
+    def test_out_of_scope_module_is_clean(self):
+        source = "def f(stats, seconds):\n    stats.seconds_s = seconds\n"
+        assert self.ids_at(source, "src/repro/hardware/rank.py") == []
+
+    def test_suppression_comment(self):
+        source = (
+            "def f(t):\n"
+            "    t.total_s = 1.0  # simlint: ignore[TIME001]\n"
+        )
+        assert self.ids_at(source, self.ENGINE_PATH) == []
+
+
 class TestEngineAndConfig:
     def test_select_limits_rules(self):
         source = (
@@ -303,6 +346,7 @@ class TestEngineAndConfig:
             "HW001",
             "DMA001",
             "COST001",
+            "TIME001",
             "UNIT001",
             "WRAM001",
         }

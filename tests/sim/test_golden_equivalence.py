@@ -1,0 +1,201 @@
+"""Timeline-derived timings equal the pre-refactor scalars bit-for-bit.
+
+``golden_timings.json`` was captured by running the seeded configs below
+against the last additive-scalar revision (every value stored as
+``float.hex()``).  The refactor's contract is exact equality — not
+approximate — for every ``BatchTiming`` field, every ``StageCycles``
+field and the cycle load ratio, across the UpANNS, PIM-naive, scaled,
+and IVFFlat pipelines, plus the multi-host decomposition.
+
+The suite also asserts the structural span invariants the timelines
+must uphold on real engine output.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.baselines.pim_naive import PIM_NAIVE_CONFIG
+from repro.config import IndexConfig, QueryConfig, SystemConfig, UpANNSConfig
+from repro.core.engine import UpANNSEngine
+from repro.core.flat_engine import IVFFlatPimEngine
+from repro.core.multihost import MultiHostEngine
+from repro.hardware.specs import PimSystemSpec
+from repro.sim import STAGE_TRANSFER_IN, validate_chrome_trace
+
+GOLDEN = json.loads(
+    (Path(__file__).parent / "golden_timings.json").read_text()
+)
+
+
+def pim_spec() -> PimSystemSpec:
+    return PimSystemSpec(n_dimms=1, chips_per_dimm=2, dpus_per_chip=8)
+
+
+def ivfpq_config(upanns=None, timing_scale=1.0) -> SystemConfig:
+    return SystemConfig(
+        index=IndexConfig(dim=32, n_clusters=32, m=8, train_iters=6),
+        query=QueryConfig(nprobe=8, k=5, batch_size=40),
+        upanns=upanns if upanns is not None else UpANNSConfig(),
+        pim=pim_spec(),
+        timing_scale=timing_scale,
+    )
+
+
+@pytest.fixture(scope="module")
+def flat_index(small_dataset):
+    import numpy as np
+
+    from repro.ivfpq.ivfflat import IVFFlatIndex
+
+    index = IVFFlatIndex(dim=32, n_clusters=32)
+    index.train(small_dataset.vectors, n_iter=6, rng=np.random.default_rng(3))
+    index.add(small_dataset.vectors)
+    return index
+
+
+def build_ivfpq(name, small_dataset, history_queries, trained_index):
+    upanns, scale = {
+        "upanns": (UpANNSConfig(), 1.0),
+        "pim_naive": (PIM_NAIVE_CONFIG, 1.0),
+        "upanns_scaled": (UpANNSConfig(), 500.0),
+    }[name]
+    engine = UpANNSEngine(ivfpq_config(upanns=upanns, timing_scale=scale))
+    return engine.build(
+        small_dataset.vectors,
+        history_queries=history_queries,
+        prebuilt_index=trained_index,
+    )
+
+
+def assert_timing_golden(result, golden: dict) -> None:
+    timing = result.timing
+    expected = golden["timing"]
+    for name in (
+        "host_filter_s",
+        "host_schedule_s",
+        "transfer_in_s",
+        "dpu_makespan_s",
+        "transfer_out_s",
+        "host_aggregate_s",
+        "total_s",
+    ):
+        assert getattr(timing, name) == float.fromhex(expected[name]), name
+    for name, hexval in golden["stage_seconds"].items():
+        assert getattr(result.stage_seconds, name) == float.fromhex(hexval), name
+    assert result.cycle_load_ratio == float.fromhex(golden["cycle_load_ratio"])
+
+
+def assert_span_invariants(schedule) -> None:
+    assert schedule is not None
+    for resource, tl in schedule.timelines.items():
+        for span in tl.spans:
+            assert span.duration >= 0.0, resource
+            assert span.t0 >= 0.0, resource
+        for prev, cur in zip(tl.spans, tl.spans[1:]):
+            assert cur.t0 >= prev.t1, f"overlap on {resource}"
+    if schedule.timelines:
+        assert schedule.makespan == max(
+            tl.end for tl in schedule.timelines.values()
+        )
+
+
+_IVFPQ_RESULTS: dict[str, object] = {}
+
+
+@pytest.mark.parametrize("name", ["upanns", "pim_naive", "upanns_scaled"])
+class TestIvfpqGolden:
+    @pytest.fixture
+    def result(self, name, small_dataset, history_queries, trained_index,
+               small_queries):
+        # Built once per config (the engine build is the slow part) and
+        # cached across the parametrized tests.
+        if name not in _IVFPQ_RESULTS:
+            engine = build_ivfpq(
+                name, small_dataset, history_queries, trained_index
+            )
+            _IVFPQ_RESULTS[name] = engine.search_batch(small_queries)
+        return _IVFPQ_RESULTS[name]
+
+    def test_timing_bit_for_bit(self, name, result):
+        assert_timing_golden(result, GOLDEN[name])
+
+    def test_span_invariants(self, name, result):
+        assert_span_invariants(result.schedule)
+        assert result.schedule.stage_seconds(STAGE_TRANSFER_IN) > 0
+
+    def test_trace_exports_clean(self, name, result):
+        assert validate_chrome_trace(result.schedule.to_chrome_trace()) == []
+
+
+class TestFlatGolden:
+    @pytest.fixture(scope="class")
+    def result(self, small_dataset, history_queries, flat_index, small_queries):
+        cfg = SystemConfig(
+            index=IndexConfig(dim=32, n_clusters=32, m=4, train_iters=4),
+            query=QueryConfig(nprobe=8, k=5, batch_size=40),
+            upanns=UpANNSConfig(enable_cae=False),
+            pim=pim_spec(),
+            timing_scale=200.0,
+        )
+        engine = IVFFlatPimEngine(cfg)
+        engine.build(
+            small_dataset.vectors,
+            history_queries=history_queries,
+            prebuilt_index=flat_index,
+        )
+        return engine.search_batch(small_queries)
+
+    def test_timing_bit_for_bit(self, result):
+        assert_timing_golden(result, GOLDEN["flat"])
+
+    def test_span_invariants(self, result):
+        assert_span_invariants(result.schedule)
+
+
+class TestMultiHostGolden:
+    @pytest.fixture(scope="class")
+    def result(self, small_dataset, history_queries, trained_index,
+               small_queries):
+        engine = MultiHostEngine(
+            host_configs=[ivfpq_config(), ivfpq_config(), ivfpq_config()]
+        )
+        engine.build(
+            small_dataset.vectors,
+            history_queries=history_queries,
+            prebuilt_index=trained_index,
+        )
+        return engine.search_batch(small_queries)
+
+    def test_components_bit_for_bit(self, result):
+        golden = GOLDEN["multihost"]
+        for name in (
+            "coordinator_filter_s",
+            "distribute_s",
+            "host_makespan_s",
+            "gather_s",
+            "merge_s",
+        ):
+            assert getattr(result, name) == float.fromhex(golden[name]), name
+
+    def test_routing_is_now_charged(self, result):
+        """The satellite fix: Algorithm-2-at-host-granularity cost is no
+        longer silently dropped."""
+        assert result.route_s > 0
+        assert result.total_s > sum(
+            float.fromhex(GOLDEN["multihost"][n])
+            for n in (
+                "coordinator_filter_s",
+                "distribute_s",
+                "host_makespan_s",
+                "gather_s",
+                "merge_s",
+            )
+        )
+
+    def test_span_invariants(self, result):
+        assert_span_invariants(result.schedule)
+        assert validate_chrome_trace(result.schedule.to_chrome_trace()) == []
