@@ -39,6 +39,10 @@ RESULTS_DIR = Path(__file__).parent / "results"
 TRACE_DIR: Path | None = None
 _TRACE_SCHEDULES: list = []
 
+# Every ``pim_qps`` call since the last ``save_result`` — the raw
+# material for the schema-versioned ``<figure>.json`` result record.
+_RESULT_RUNS: list = []
+
 # --- Scaled defaults ---------------------------------------------------------
 N_BASE = 60_000  # vectors per synthetic corpus
 N_TRAIN = 20_000
@@ -172,7 +176,9 @@ def pim_qps(engine: UpANNSEngine, queries: np.ndarray, *, k: int | None = None):
     if TRACE_DIR is not None and result.schedule is not None:
         _TRACE_SCHEDULES.append(result.schedule)
     n_sim = engine.config.pim.n_dpus
-    return result.qps * (PAPER_DPUS / n_sim), result
+    qps = result.qps * (PAPER_DPUS / n_sim)
+    _RESULT_RUNS.append((qps, result))
+    return qps, result
 
 
 def cpu_engine(bundle: Bundle) -> CpuEngine:
@@ -197,17 +203,58 @@ def gpu_engine(bundle: Bundle, **kwargs) -> GpuEngine:
 def save_result(figure: str, text: str) -> None:
     """Print a figure's regenerated rows and archive them on disk.
 
+    Every figure that ran PIM batches through :func:`pim_qps` also gets
+    a schema-versioned machine-readable record, ``<figure>.json``
+    (``repro.bench.result/v1``): config, QPS stats over every batch,
+    summed stage seconds, the last batch's per-resource utilization and
+    critical path, and a registry snapshot.  ``python -m
+    repro.telemetry.schema results/<figure>.json`` validates it.
+
     With :data:`TRACE_DIR` set, also composes every PIM batch schedule
     recorded since the last figure into one sequential timeline and
     writes it as ``<figure>.trace.json`` (Chrome-trace / Perfetto
     format) — no per-benchmark code needed.
     """
+    import json
+
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{figure}.txt").write_text(text + "\n")
     print(f"\n===== {figure} =====\n{text}\n")
-    if TRACE_DIR is not None and _TRACE_SCHEDULES:
-        import json
+    if _RESULT_RUNS:
+        from repro import telemetry
+        from repro.telemetry.pipeline import TIMING_STAGES
 
+        stage_seconds: dict[str, float] = {}
+        for _, result in _RESULT_RUNS:
+            for stage, attr in TIMING_STAGES:
+                stage_seconds[stage] = stage_seconds.get(stage, 0.0) + getattr(
+                    result.timing, attr
+                )
+        last_schedule = next(
+            (r.schedule for _, r in reversed(_RESULT_RUNS) if r.schedule is not None),
+            None,
+        )
+        if last_schedule is not None:
+            record = telemetry.make_result_record(
+                name=figure,
+                config={
+                    "sim_dpus": SIM_DPUS,
+                    "paper_dpus": PAPER_DPUS,
+                    "extrapolation": EXTRAPOLATION,
+                    "n_base": N_BASE,
+                    "batch_size": BATCH_SIZE,
+                    "scale_factor": SCALE_FACTOR,
+                },
+                qps_values=[qps for qps, _ in _RESULT_RUNS],
+                stage_seconds=stage_seconds,
+                utilization=telemetry.utilization_report(last_schedule).to_json(),
+                metrics=telemetry.snapshot(),
+            )
+            path = RESULTS_DIR / f"{figure}.json"
+            path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+            print(f"wrote {len(_RESULT_RUNS)} run(s) to {path}")
+        _RESULT_RUNS.clear()
+    if TRACE_DIR is not None and _TRACE_SCHEDULES:
         from repro.sim import compose
 
         TRACE_DIR.mkdir(parents=True, exist_ok=True)

@@ -8,8 +8,13 @@ Usage examples::
     python -m repro.cli search --index index.npz --queries queries.fvecs \
         --k 10 --nprobe 8
     python -m repro.cli bench --n 30000 --clusters 128
+    python -m repro.cli metrics --json
     python -m repro.cli specs
     python -m repro.cli lint src/repro
+
+Progress chatter goes to stderr through the structured logger (tune it
+with ``-v`` / ``-q``); the machine- or human-consumable *results* of a
+command stay on stdout so they can be piped.
 """
 
 from __future__ import annotations
@@ -20,6 +25,7 @@ import time
 
 import numpy as np
 
+from repro import telemetry
 from repro.analysis.report import render_table
 from repro.baselines.cpu import CpuEngine
 from repro.config import IndexConfig, QueryConfig, SystemConfig, UpANNSConfig
@@ -33,6 +39,8 @@ from repro.ivfpq.io import load_index, save_index
 
 _SPECS = {spec.name: spec for spec in ALL_SPECS}
 
+log = telemetry.get_logger()
+
 
 def _cmd_generate(args: argparse.Namespace) -> int:
     spec = _SPECS[args.spec]
@@ -45,34 +53,42 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         rng=rng,
     )
     write_vecs(args.out, dataset.vectors)
-    print(f"wrote {args.n} x {spec.dim} vectors to {args.out}")
+    log.info("generate.corpus", file=args.out, n=args.n, dim=spec.dim)
     if args.queries_out:
         popularity = zipf_weights(args.components, args.zipf_alpha)
         queries = make_queries(dataset, args.n_queries, popularity=popularity, rng=rng)
         write_vecs(args.queries_out, queries)
-        print(f"wrote {args.n_queries} queries to {args.queries_out}")
+        log.info("generate.queries", file=args.queries_out, n=args.n_queries)
     return 0
 
 
 def _cmd_build(args: argparse.Namespace) -> int:
     vectors = read_vecs(args.vectors).astype(np.float32)
-    print(f"loaded {vectors.shape[0]} x {vectors.shape[1]} vectors")
+    log.info("build.loaded", n=vectors.shape[0], dim=vectors.shape[1])
     index = IVFPQIndex(vectors.shape[1], args.clusters, args.m, args.nbits)
     t0 = time.time()
     index.train(vectors, n_iter=args.train_iters, rng=np.random.default_rng(args.seed))
     index.add(vectors)
-    print(f"trained IVF{args.clusters} x PQ{args.m} in {time.time() - t0:.1f}s")
+    log.info(
+        "build.trained",
+        ivf=args.clusters,
+        pq_m=args.m,
+        seconds=round(time.time() - t0, 1),
+    )
     save_index(args.index, index)
-    print(f"saved index to {args.index}")
+    log.info("build.saved", file=args.index)
     return 0
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
     index = load_index(args.index)
     queries = read_vecs(args.queries).astype(np.float32)
-    print(
-        f"index: {index.ntotal} vectors, IVF{index.n_clusters} x PQ{index.m}; "
-        f"{queries.shape[0]} queries"
+    log.info(
+        "search.index",
+        vectors=index.ntotal,
+        ivf=index.n_clusters,
+        pq_m=index.m,
+        queries=queries.shape[0],
     )
     cfg = SystemConfig(
         index=IndexConfig(
@@ -115,7 +131,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         timing_scale=args.timing_scale,
     )
     engine = UpANNSEngine(cfg)
-    print("building UpANNS engine...")
+    log.info("bench.building", n=args.n, clusters=args.clusters)
     engine.build(dataset.vectors, history_queries=history)
     cpu = CpuEngine(engine.index, workload_scale=args.timing_scale)
     r_pim = engine.search_batch(queries)
@@ -138,15 +154,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_trace(args: argparse.Namespace) -> int:
-    """Serve a few batches on a tiny synthetic deployment and dump the
-    composed per-resource timeline as Chrome-trace JSON."""
-    import json
-
+def _tiny_service(args: argparse.Namespace):
+    """Build and drive the tiny synthetic deployment shared by the
+    ``trace`` and ``metrics`` subcommands; returns the served service."""
     from repro.core.service import OnlineService
     from repro.data.synthetic import SIFT1B
     from repro.hardware.specs import PimSystemSpec
-    from repro.sim import validate_chrome_trace
 
     from dataclasses import replace
 
@@ -174,13 +187,23 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     for b in range(args.batches):
         lo = b * args.batch_size
         service.submit(queries[lo : lo + args.batch_size])
+    return service
 
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Serve a few batches on a tiny synthetic deployment and dump the
+    composed per-resource timeline as Chrome-trace JSON."""
+    import json
+
+    from repro.sim import validate_chrome_trace
+
+    service = _tiny_service(args)
     combined = service.combined_schedule()
     payload = combined.to_chrome_trace()
     errors = validate_chrome_trace(payload)
     if errors:
         for err in errors:
-            print(f"trace invalid: {err}", file=sys.stderr)
+            log.error("trace.invalid", error=err)
         return 1
     with open(args.out, "w") as fh:
         json.dump(payload, fh)
@@ -189,6 +212,56 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         f"wrote {n_events} events over {len(combined.resources())} resources "
         f"to {args.out} ({args.overlap}: wall-clock {combined.makespan * 1e3:.3f} ms)"
     )
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Serve the tiny deployment and report per-resource utilization.
+
+    Default output is a human-readable table; ``--json`` emits a full
+    schema-versioned result record instead, and ``--prom FILE`` writes
+    the registry as Prometheus text exposition alongside either.
+    """
+    import json
+
+    telemetry.reset_metrics()
+    service = _tiny_service(args)
+    combined = service.combined_schedule()
+    report = telemetry.utilization_report(combined)
+
+    if args.prom:
+        with open(args.prom, "w", encoding="utf-8") as fh:
+            fh.write(telemetry.prometheus_text())
+        log.info("metrics.prom_written", file=args.prom)
+
+    if args.json:
+        stage_seconds: dict[str, float] = {}
+        qps_values = []
+        for sched in service.schedules:
+            timing = sched.derive_batch_timing()
+            qps_values.append(args.batch_size / timing.total_s)
+            for stage, attr in telemetry.pipeline.TIMING_STAGES:
+                stage_seconds[stage] = stage_seconds.get(stage, 0.0) + getattr(
+                    timing, attr
+                )
+        record = telemetry.make_result_record(
+            name="cli_metrics",
+            config={
+                "batches": args.batches,
+                "batch_size": args.batch_size,
+                "overlap": args.overlap,
+                "timing_scale": args.timing_scale,
+                "seed": args.seed,
+                "n_dpus": service.engine.pim.n_dpus,
+            },
+            qps_values=qps_values,
+            stage_seconds=stage_seconds,
+            utilization=report.to_json(),
+            metrics=telemetry.snapshot(),
+        )
+        print(json.dumps(record, indent=2, sort_keys=True))
+    else:
+        print(report.render_text())
     return 0
 
 
@@ -211,6 +284,20 @@ def _cmd_specs(_args: argparse.Namespace) -> int:
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="UpANNS reproduction CLI"
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="more progress chatter on stderr (debug level)",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="count",
+        default=0,
+        help="less progress chatter on stderr (warnings only)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -271,6 +358,30 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--seed", type=int, default=0)
     trace.set_defaults(func=_cmd_trace)
 
+    metrics = sub.add_parser(
+        "metrics",
+        help="serve a tiny synthetic workload and report resource utilization",
+    )
+    metrics.add_argument("--batches", type=int, default=3)
+    metrics.add_argument("--batch-size", type=int, default=32)
+    metrics.add_argument(
+        "--overlap", choices=["sequential", "double_buffer"], default="sequential"
+    )
+    metrics.add_argument("--timing-scale", type=float, default=1.0)
+    metrics.add_argument("--seed", type=int, default=0)
+    metrics.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a repro.bench.result/v1 record instead of the text table",
+    )
+    metrics.add_argument(
+        "--prom",
+        default=None,
+        metavar="FILE",
+        help="also write the registry as Prometheus text exposition",
+    )
+    metrics.set_defaults(func=_cmd_metrics)
+
     specs = sub.add_parser("specs", help="print the Table-1 hardware specs")
     specs.set_defaults(func=_cmd_specs)
 
@@ -290,6 +401,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    telemetry.configure(args.verbose - args.quiet)
     return args.func(args)
 
 

@@ -40,6 +40,7 @@ from repro.ivfpq.adc import topk_from_distances
 from repro.ivfpq.index import IVFPQIndex
 from repro.metrics.balance import max_mean_ratio
 from repro.metrics.breakdown import stage_seconds_from_schedule
+from repro.telemetry.pipeline import observe_batch
 from repro.sim import (
     HOST_CPU,
     PIM_BUS,
@@ -335,6 +336,18 @@ class UpANNSEngine:
         effective = plan.tasklets_supported(uc.n_tasklets)
         for d in self.pim.dpus:
             d.n_tasklets = effective
+        # Modeled residency peak: stage 2 (codebook + LUT + combo sums)
+        # vs stage 3 (LUT + sums + per-tasklet buffers after reuse).
+        from repro.telemetry.pipeline import observe_wram_peak
+
+        observe_wram_peak(
+            max(
+                plan.stage1_resident + plan.combo_sum_bytes,
+                plan.lut_bytes
+                + plan.combo_sum_bytes
+                + effective * (plan.read_buffer_bytes + plan.heap_bytes),
+            )
+        )
         return plan
 
     # ------------------------------------------------------------------
@@ -519,6 +532,14 @@ class UpANNSEngine:
             timing.total_s * 1e3,
             assignment.total_pairs(),
             cycle_ratio,
+        )
+        observe_batch(
+            "upanns",
+            nq,
+            timing,
+            busy_cycles=float(busy.sum()),
+            active_dpus=int((busy > 0).sum()),
+            n_tasklets=self.pim.dpus[0].n_tasklets,
         )
         return BatchResult(
             ids=out_i,

@@ -41,6 +41,7 @@ from repro.ivfpq.ivfflat import IVFFlatIndex
 from repro.ivfpq.kmeans import squared_distances
 from repro.metrics.balance import max_mean_ratio
 from repro.metrics.breakdown import stage_seconds_from_schedule
+from repro.telemetry.pipeline import observe_batch
 from repro.sim import (
     HOST_CPU,
     PIM_BUS,
@@ -268,6 +269,14 @@ class IVFFlatPimEngine:
 
         timing = schedule.derive_batch_timing()
         stage_seconds = stage_seconds_from_schedule(schedule, timing)
+        observe_batch(
+            "ivfflat_pim",
+            nq,
+            timing,
+            busy_cycles=float(busy.sum()),
+            active_dpus=int((busy > 0).sum()),
+            n_tasklets=self.pim.dpus[0].n_tasklets,
+        )
         return BatchResult(
             ids=out_i,
             distances=out_d,

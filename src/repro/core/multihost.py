@@ -40,6 +40,7 @@ from repro.sim import (
     STAGE_TRANSFER_OUT,
     BatchSchedule,
 )
+from repro.telemetry.registry import get_registry
 
 # Stage label for one host's local search window on its ``host/{h}`` lane.
 STAGE_HOST_SEARCH = "host_search"
@@ -292,6 +293,41 @@ class MultiHostEngine:
         schedule.record_at(
             HOST_CPU, STAGE_AGGREGATE, schedule.timeline(NETWORK).end, merge_s
         )
+
+        reg = get_registry()
+        reg.counter(
+            "repro_multihost_queries_total", "queries served by the coordinator"
+        ).inc(nq)
+        pairs_counter = reg.counter(
+            "repro_multihost_routed_pairs_total",
+            "(query, cluster) pairs routed to each host",
+            ("host",),
+        )
+        for h in range(self.n_hosts):
+            routed = sum(len(row) for row in per_host_probes[h])
+            if routed:
+                pairs_counter.labels(host=str(h)).inc(routed)
+        net_counter = reg.counter(
+            "repro_multihost_network_bytes_total",
+            "cross-host bytes moved per direction",
+            ("direction",),
+        )
+        net_counter.labels(direction="distribute").inc(sum(distribute_bytes))
+        net_counter.labels(direction="gather").inc(sum(gather_bytes))
+        stage_counter = reg.counter(
+            "repro_stage_seconds_total",
+            "modeled seconds per pipeline stage",
+            ("engine", "stage"),
+        )
+        for stage, seconds in (
+            ("cluster_filter", filter_s),
+            ("schedule", route_s),
+            ("transfer_in", distribute_s),
+            ("host_search", host_makespan_s),
+            ("transfer_out", gather_s),
+            ("aggregate", merge_s),
+        ):
+            stage_counter.labels(engine="multihost", stage=stage).inc(seconds)
 
         return MultiHostBatchResult(
             ids=out_i,

@@ -23,6 +23,7 @@ from repro.core.scheduling import AdaptivePolicy
 from repro.errors import ConfigError, NotTrainedError
 from repro.metrics.latency import LatencyRecorder
 from repro.sim import OVERLAP_MODES, BatchSchedule, compose
+from repro.telemetry.registry import get_registry
 from repro.workload.trace import AccessTrace
 
 logger = logging.getLogger(__name__)
@@ -30,11 +31,19 @@ logger = logging.getLogger(__name__)
 
 @dataclass
 class ServiceReport:
-    """One serving step's outcome."""
+    """One serving step's outcome.
+
+    The tail-latency fields are running per-query percentiles over every
+    batch the service has served *up to and including* this one, in
+    milliseconds — what an operator dashboard would show after the step.
+    """
 
     result: BatchResult
     drift: float
     action: str
+    p50_ms: float = 0.0
+    p95_ms: float = 0.0
+    p99_ms: float = 0.0
 
 
 @dataclass
@@ -85,7 +94,23 @@ class OnlineService:
             self._snapshot = self.engine.trace.snapshot()
             self._batches_since_refresh = 0
             self.refresh_count += 1
-        return ServiceReport(result=result, drift=drift, action=action)
+            get_registry().counter(
+                "repro_service_refreshes_total", "adaptive placement refreshes"
+            ).inc()
+        reg = get_registry()
+        reg.counter("repro_service_batches_total", "batches accepted by the service").inc()
+        reg.gauge(
+            "repro_service_queue_depth",
+            "schedules retained for overlap composition",
+        ).set(len(self.schedules))
+        return ServiceReport(
+            result=result,
+            drift=drift,
+            action=action,
+            p50_ms=self.latency.percentile_ms(50),
+            p95_ms=self.latency.percentile_ms(95),
+            p99_ms=self.latency.percentile_ms(99),
+        )
 
     def serve(self, batches, *, k: int | None = None) -> list[ServiceReport]:
         """Serve an iterable of query batches (arrays or QueryBatch)."""

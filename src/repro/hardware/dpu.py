@@ -22,6 +22,7 @@ from repro.hardware.mram import MramModel
 from repro.hardware.pipeline import BarrierModel, PipelineModel
 from repro.hardware.specs import DEFAULT_N_TASKLETS, DpuSpec
 from repro.hardware.wram import WramAllocator
+from repro.telemetry.pipeline import observe_dma
 
 
 @dataclass
@@ -93,6 +94,7 @@ class DPU:
             total_bytes, chunk_bytes
         )
         self.counters.dma_cycles += int(cycles)
+        observe_dma("read", total_bytes, chunk_bytes)
         return cycles
 
     def charge_mram_write(self, total_bytes: int, chunk_bytes: int) -> float:
@@ -102,6 +104,7 @@ class DPU:
             total_bytes, chunk_bytes
         )
         self.counters.dma_cycles += int(cycles)
+        observe_dma("write", total_bytes, chunk_bytes)
         return cycles
 
     def charge_barrier(self) -> float:

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import ConfigError, WramOverflowError
 from repro.hardware.specs import DpuSpec
+from repro.telemetry.pipeline import observe_wram_peak
 
 WRAM_ALIGN = 8
 
@@ -73,6 +74,7 @@ class WramAllocator:
         self._live[name] = region
         self._history.append(("alloc", name, offset, size))
         self.peak_bytes = max(self.peak_bytes, self.used_bytes)
+        observe_wram_peak(self.peak_bytes)
         return region
 
     def free(self, name: str) -> None:

@@ -2,6 +2,22 @@
 
 from __future__ import annotations
 
-from repro.lint.rules import cost001, dma001, hw001, time001, unit001, wram001
+from repro.lint.rules import (
+    cost001,
+    dma001,
+    hw001,
+    obs001,
+    time001,
+    unit001,
+    wram001,
+)
 
-__all__ = ["cost001", "dma001", "hw001", "time001", "unit001", "wram001"]
+__all__ = [
+    "cost001",
+    "dma001",
+    "hw001",
+    "obs001",
+    "time001",
+    "unit001",
+    "wram001",
+]

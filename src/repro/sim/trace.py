@@ -126,23 +126,25 @@ def validate_chrome_trace(payload: Any) -> list[str]:
 
 def main(argv: list[str] | None = None) -> int:
     """Validate a trace file: ``python -m repro.sim.trace <trace.json>``."""
+    from repro.telemetry.log import get_logger
+
+    log = get_logger()
     argv = argv if argv is not None else sys.argv[1:]
     if len(argv) != 1:
-        print("usage: python -m repro.sim.trace <trace.json>", file=sys.stderr)
+        log.error("trace.usage", usage="python -m repro.sim.trace <trace.json>")
         return 2
     try:
         with open(argv[0]) as fh:
             payload = json.load(fh)
     except (OSError, json.JSONDecodeError) as exc:
-        print(f"cannot read trace: {exc}", file=sys.stderr)
+        log.error("trace.read_failed", file=argv[0], error=str(exc))
         return 2
     errors = validate_chrome_trace(payload)
     if errors:
         for err in errors:
-            print(f"trace invalid: {err}")
+            log.error("trace.invalid", error=err)
         return 1
-    n_events = len(payload["traceEvents"])
-    print(f"trace valid: {n_events} events")
+    log.info("trace.valid", events=len(payload["traceEvents"]), file=argv[0])
     return 0
 
 

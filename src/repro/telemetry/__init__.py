@@ -1,0 +1,82 @@
+"""Telemetry: metrics registry, exposition, utilization reports, logging.
+
+The observability layer of the reproduction (ROADMAP: "production-scale
+system serving heavy traffic").  Four pieces:
+
+* :mod:`repro.telemetry.registry` — process-wide ``MetricsRegistry``
+  with ``Counter`` / ``Gauge`` / fixed-bucket ``Histogram`` families
+  (labels supported, fully deterministic);
+* :mod:`repro.telemetry.exposition` — Prometheus text format and a
+  schema-versioned JSON snapshot, plus well-formedness validators;
+* :mod:`repro.telemetry.report` — per-resource utilization and
+  critical-path attribution derived from any ``BatchSchedule``;
+* :mod:`repro.telemetry.schema` — machine-readable benchmark result
+  records (``python -m repro.telemetry.schema`` validates them);
+* :mod:`repro.telemetry.log` — structured stderr logging (simlint
+  OBS001 forbids raw ``print()`` outside the CLI).
+"""
+
+from repro.telemetry.exposition import (
+    SNAPSHOT_SCHEMA,
+    prometheus_text,
+    snapshot,
+    validate_prometheus_text,
+    validate_snapshot,
+)
+from repro.telemetry.log import StructuredLogger, configure, get_logger
+from repro.telemetry.pipeline import (
+    observe_batch,
+    observe_dma,
+    observe_wram_peak,
+)
+from repro.telemetry.registry import (
+    DEFAULT_SECONDS_BUCKETS,
+    MetricsRegistry,
+    get_registry,
+    reset_metrics,
+    set_registry,
+)
+from repro.telemetry.report import (
+    ResourceUtilization,
+    UtilizationReport,
+    critical_path_attribution,
+    utilization_report,
+)
+# schema re-exports are lazy so `python -m repro.telemetry.schema` does
+# not trip runpy's found-in-sys.modules warning.
+_SCHEMA_NAMES = ("RESULT_SCHEMA", "make_result_record", "validate_result_record")
+
+
+def __getattr__(name: str):
+    if name in _SCHEMA_NAMES:
+        from repro.telemetry import schema
+
+        return getattr(schema, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "DEFAULT_SECONDS_BUCKETS",
+    "MetricsRegistry",
+    "RESULT_SCHEMA",
+    "ResourceUtilization",
+    "SNAPSHOT_SCHEMA",
+    "StructuredLogger",
+    "UtilizationReport",
+    "configure",
+    "critical_path_attribution",
+    "get_logger",
+    "get_registry",
+    "make_result_record",
+    "observe_batch",
+    "observe_dma",
+    "observe_wram_peak",
+    "prometheus_text",
+    "reset_metrics",
+    "set_registry",
+    "snapshot",
+    "utilization_report",
+    "validate_prometheus_text",
+    "validate_result_record",
+    "validate_snapshot",
+]

@@ -1,0 +1,366 @@
+"""Exposition formats for a :class:`~repro.telemetry.registry.MetricsRegistry`.
+
+Two formats, both deterministic (families in name order, children in
+sorted label order):
+
+* **Prometheus text format** (`prometheus_text`) — the de-facto scrape
+  format: ``# HELP`` / ``# TYPE`` headers followed by samples;
+  histograms expand into cumulative ``_bucket{le=...}`` series plus
+  ``_sum`` / ``_count``.
+* **JSON snapshot** (`snapshot`) — a schema-versioned object embedded in
+  benchmark result records and the ``repro.cli metrics --json`` output.
+
+Both have well-formedness validators used by tests and CI
+(`validate_prometheus_text`, `validate_snapshot`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.telemetry.registry import MetricsRegistry, get_registry
+
+SNAPSHOT_SCHEMA = "repro.metrics/v1"
+
+_TYPES = ("counter", "gauge", "histogram")
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _escape_help(value: str) -> str:
+    return value.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN, defensively; the registry never produces one
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 2**53:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels_text(labels: dict[str, str], extra: tuple[tuple[str, str], ...] = ()) -> str:
+    items = [(k, v) for k, v in labels.items()] + list(extra)
+    if not items:
+        return ""
+    body = ",".join(f'{k}="{_escape_label_value(str(v))}"' for k, v in items)
+    return "{" + body + "}"
+
+
+def prometheus_text(registry: MetricsRegistry | None = None) -> str:
+    """The registry in Prometheus text exposition format (version 0.0.4)."""
+    registry = registry if registry is not None else get_registry()
+    lines: list[str] = []
+    for family in registry.families():
+        lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.type}")
+        for child in family.children():
+            if family.type == "histogram":
+                for le, cumulative in child.cumulative_buckets():
+                    lines.append(
+                        f"{family.name}_bucket"
+                        f"{_labels_text(child.labels, (('le', _format_value(le)),))}"
+                        f" {cumulative}"
+                    )
+                lines.append(
+                    f"{family.name}_bucket"
+                    f"{_labels_text(child.labels, (('le', '+Inf'),))}"
+                    f" {child.count}"
+                )
+                lines.append(
+                    f"{family.name}_sum{_labels_text(child.labels)}"
+                    f" {_format_value(child.sum)}"
+                )
+                lines.append(
+                    f"{family.name}_count{_labels_text(child.labels)} {child.count}"
+                )
+            else:
+                lines.append(
+                    f"{family.name}{_labels_text(child.labels)}"
+                    f" {_format_value(child.value)}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def snapshot(registry: MetricsRegistry | None = None) -> dict[str, Any]:
+    """JSON-able snapshot of every family and child in the registry."""
+    registry = registry if registry is not None else get_registry()
+    metrics: list[dict[str, Any]] = []
+    for family in registry.families():
+        samples: list[dict[str, Any]] = []
+        for child in family.children():
+            if family.type == "histogram":
+                samples.append(
+                    {
+                        "labels": dict(child.labels),
+                        "buckets": [
+                            [le, cumulative]
+                            for le, cumulative in child.cumulative_buckets()
+                        ],
+                        "sum": child.sum,
+                        "count": child.count,
+                    }
+                )
+            else:
+                samples.append(
+                    {"labels": dict(child.labels), "value": child.value}
+                )
+        metrics.append(
+            {
+                "name": family.name,
+                "type": family.type,
+                "help": family.help,
+                "labelnames": list(family.labelnames),
+                "samples": samples,
+            }
+        )
+    return {"schema": SNAPSHOT_SCHEMA, "metrics": metrics}
+
+
+# ---------------------------------------------------------------------------
+# Well-formedness validators (tests + CI scrape check)
+# ---------------------------------------------------------------------------
+
+def validate_snapshot(payload: Any) -> list[str]:
+    """Structural errors in a JSON snapshot (empty list = valid)."""
+    errors: list[str] = []
+    if not isinstance(payload, dict):
+        return ["snapshot must be a JSON object"]
+    if payload.get("schema") != SNAPSHOT_SCHEMA:
+        errors.append(
+            f"snapshot schema must be {SNAPSHOT_SCHEMA!r}, "
+            f"got {payload.get('schema')!r}"
+        )
+    metrics = payload.get("metrics")
+    if not isinstance(metrics, list):
+        return errors + ["snapshot 'metrics' must be a list"]
+    seen: set[str] = set()
+    for i, metric in enumerate(metrics):
+        where = f"metrics[{i}]"
+        if not isinstance(metric, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        name = metric.get("name")
+        if not isinstance(name, str) or not name:
+            errors.append(f"{where}: missing metric name")
+            name = f"<{i}>"
+        if name in seen:
+            errors.append(f"{where}: duplicate metric name {name!r}")
+        seen.add(name)
+        if metric.get("type") not in _TYPES:
+            errors.append(f"{where} ({name}): bad type {metric.get('type')!r}")
+        samples = metric.get("samples")
+        if not isinstance(samples, list):
+            errors.append(f"{where} ({name}): 'samples' must be a list")
+            continue
+        for j, sample in enumerate(samples):
+            swhere = f"{where} ({name}) sample[{j}]"
+            if not isinstance(sample, dict):
+                errors.append(f"{swhere}: not an object")
+                continue
+            if not isinstance(sample.get("labels"), dict):
+                errors.append(f"{swhere}: missing labels object")
+            if metric.get("type") == "histogram":
+                errors.extend(_validate_snapshot_histogram(sample, swhere))
+            elif not isinstance(sample.get("value"), (int, float)):
+                errors.append(f"{swhere}: missing numeric value")
+    return errors
+
+
+def _validate_snapshot_histogram(sample: dict, where: str) -> list[str]:
+    errors: list[str] = []
+    buckets = sample.get("buckets")
+    count = sample.get("count")
+    if not isinstance(buckets, list):
+        return [f"{where}: histogram needs a bucket list"]
+    if not isinstance(count, int) or count < 0:
+        errors.append(f"{where}: histogram needs a non-negative count")
+        return errors
+    if not isinstance(sample.get("sum"), (int, float)):
+        errors.append(f"{where}: histogram needs a numeric sum")
+    prev_le, prev_n = -math.inf, 0
+    for pair in buckets:
+        if not (isinstance(pair, list) and len(pair) == 2):
+            errors.append(f"{where}: bucket entries must be [le, count] pairs")
+            return errors
+        le, n = pair
+        if not isinstance(le, (int, float)) or not isinstance(n, int):
+            errors.append(f"{where}: bucket [le, count] must be numeric")
+            return errors
+        if le <= prev_le:
+            errors.append(f"{where}: bucket bounds not increasing at le={le}")
+        if n < prev_n:
+            errors.append(f"{where}: cumulative counts decrease at le={le}")
+        prev_le, prev_n = le, n
+    if prev_n > count:
+        errors.append(
+            f"{where}: last bucket count {prev_n} exceeds total count {count}"
+        )
+    return errors
+
+
+def validate_prometheus_text(text: str) -> list[str]:
+    """Well-formedness errors for a Prometheus text scrape.
+
+    Checks the invariants a scraper relies on: every sample belongs to a
+    ``# TYPE``-declared family, HELP/TYPE come before samples, histogram
+    series carry the ``_bucket``/``_sum``/``_count`` suffixes with a
+    ``+Inf`` bucket and non-decreasing cumulative counts.
+    """
+    errors: list[str] = []
+    declared: dict[str, str] = {}
+    bucket_state: dict[str, tuple[float, float]] = {}  # series key -> (le, n)
+    inf_seen: set[str] = set()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            parts = line.split(None, 3)
+            if len(parts) < 3:
+                errors.append(f"line {lineno}: malformed {parts[1]} comment")
+                continue
+            if parts[1] == "TYPE":
+                if len(parts) < 4 or parts[3] not in _TYPES:
+                    errors.append(f"line {lineno}: unknown metric type")
+                    continue
+                if parts[2] in declared:
+                    errors.append(f"line {lineno}: duplicate TYPE for {parts[2]}")
+                declared[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # free-form comment
+        name, labels, value, err = _parse_sample_line(line, lineno)
+        if err:
+            errors.append(err)
+            continue
+        base, suffix = _family_of(name, declared)
+        if base is None:
+            errors.append(f"line {lineno}: sample {name!r} has no TYPE declaration")
+            continue
+        if declared[base] == "histogram":
+            if suffix not in ("_bucket", "_sum", "_count"):
+                errors.append(
+                    f"line {lineno}: histogram sample {name!r} must use "
+                    "_bucket/_sum/_count"
+                )
+                continue
+            if suffix == "_bucket":
+                le_raw = labels.get("le")
+                if le_raw is None:
+                    errors.append(f"line {lineno}: _bucket sample missing 'le'")
+                    continue
+                key = base + _labels_text(
+                    {k: v for k, v in sorted(labels.items()) if k != "le"}
+                )
+                le = math.inf if le_raw == "+Inf" else _float_or_none(le_raw)
+                if le is None:
+                    errors.append(f"line {lineno}: bad le value {le_raw!r}")
+                    continue
+                prev_le, prev_n = bucket_state.get(key, (-math.inf, 0.0))
+                if le <= prev_le:
+                    errors.append(
+                        f"line {lineno}: bucket bounds not increasing for {base}"
+                    )
+                if value < prev_n:
+                    errors.append(
+                        f"line {lineno}: cumulative bucket count decreases "
+                        f"for {base}"
+                    )
+                bucket_state[key] = (le, value)
+                if le == math.inf:
+                    inf_seen.add(key)
+        elif suffix:
+            errors.append(
+                f"line {lineno}: {declared[base]} sample {name!r} must not "
+                "use a histogram suffix"
+            )
+    for key in bucket_state:
+        if key not in inf_seen:
+            errors.append(f"histogram series {key} has no +Inf bucket")
+    return errors
+
+
+def _family_of(name: str, declared: dict[str, str]) -> tuple[str | None, str]:
+    """Resolve a sample name to (declared family, suffix)."""
+    if name in declared:
+        return name, ""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix) and name[: -len(suffix)] in declared:
+            return name[: -len(suffix)], suffix
+    return None, ""
+
+
+def _float_or_none(raw: str) -> float | None:
+    try:
+        return float(raw)
+    except ValueError:
+        return None
+
+
+def _parse_sample_line(
+    line: str, lineno: int
+) -> tuple[str, dict[str, str], float, str | None]:
+    """Parse ``name{labels} value`` -> (name, labels, value, error)."""
+    rest = line
+    brace = rest.find("{")
+    labels: dict[str, str] = {}
+    if brace >= 0:
+        name = rest[:brace]
+        close = rest.rfind("}")
+        if close < brace:
+            return "", {}, 0.0, f"line {lineno}: unbalanced braces"
+        body, rest = rest[brace + 1 : close], rest[close + 1 :]
+        for item in filter(None, (p.strip() for p in _split_labels(body))):
+            if "=" not in item:
+                return "", {}, 0.0, f"line {lineno}: malformed label {item!r}"
+            key, _, raw = item.partition("=")
+            raw = raw.strip()
+            if len(raw) < 2 or raw[0] != '"' or raw[-1] != '"':
+                return "", {}, 0.0, f"line {lineno}: unquoted label value {raw!r}"
+            labels[key.strip()] = (
+                raw[1:-1]
+                .replace(r"\n", "\n")
+                .replace(r"\"", '"')
+                .replace(r"\\", "\\")
+            )
+    else:
+        name, _, rest = rest.partition(" ")
+    parts = rest.split()
+    if not name or not parts:
+        return "", {}, 0.0, f"line {lineno}: expected 'name value'"
+    if parts[0] == "+Inf":
+        return name, labels, math.inf, None
+    value = _float_or_none(parts[0])
+    if value is None:
+        return "", {}, 0.0, f"line {lineno}: non-numeric value {parts[0]!r}"
+    return name, labels, value, None
+
+
+def _split_labels(body: str) -> list[str]:
+    """Split a label body on commas outside quoted values."""
+    out, current, in_quotes, escaped = [], [], False, False
+    for ch in body:
+        if escaped:
+            current.append(ch)
+            escaped = False
+            continue
+        if ch == "\\":
+            current.append(ch)
+            escaped = True
+            continue
+        if ch == '"':
+            in_quotes = not in_quotes
+        if ch == "," and not in_quotes:
+            out.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    out.append("".join(current))
+    return out

@@ -1,0 +1,93 @@
+"""Structured stderr logging for the CLI and module entry points.
+
+Simlint rule OBS001 forbids raw ``print()`` inside ``src/repro`` outside
+the CLI: progress and diagnostic output goes through this logger, which
+keeps stdout clean for user-facing result lines (tables, QPS numbers,
+JSON payloads that other tools parse).
+
+Lines are ``event key=value`` pairs — machine-grep-able, deterministic
+(no timestamps; a simulated system must not read the wallclock in its
+reporting path), and levelled.  ``repro.cli --verbose/--quiet`` map onto
+:func:`configure`.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from dataclasses import dataclass, field
+from typing import Any, TextIO
+
+DEBUG = 10
+INFO = 20
+WARNING = 30
+ERROR = 40
+
+_LEVEL_NAMES = {DEBUG: "debug", INFO: "info", WARNING: "warning", ERROR: "error"}
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    if isinstance(value, (int, bool)) or value is None:
+        return str(value)
+    text = str(value)
+    if text == "" or any(c in text for c in ' ="\n\t'):
+        return json.dumps(text)
+    return text
+
+
+@dataclass
+class StructuredLogger:
+    """Levelled ``event key=value`` line writer (stderr by default)."""
+
+    level: int = INFO
+    stream: TextIO | None = None  # None = sys.stderr resolved per call
+    #: Number of lines emitted (visible to tests without capture tricks).
+    emitted: int = field(default=0, repr=False)
+
+    def _write(self, level: int, event: str, fields: dict[str, Any]) -> None:
+        if level < self.level:
+            return
+        stream = self.stream if self.stream is not None else sys.stderr
+        parts = [f"repro {_LEVEL_NAMES.get(level, level)} {event}"]
+        parts.extend(f"{key}={_format_value(val)}" for key, val in fields.items())
+        stream.write(" ".join(parts) + "\n")
+        self.emitted += 1
+
+    def debug(self, event: str, **fields: Any) -> None:
+        self._write(DEBUG, event, fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        self._write(INFO, event, fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        self._write(WARNING, event, fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        self._write(ERROR, event, fields)
+
+
+_logger = StructuredLogger()
+
+
+def get_logger() -> StructuredLogger:
+    """The process-wide structured logger."""
+    return _logger
+
+
+def configure(verbosity: int = 0, stream: TextIO | None = None) -> StructuredLogger:
+    """Map a CLI verbosity knob onto the global logger.
+
+    ``verbosity``: negative = quiet (warnings and errors only), 0 =
+    normal (info), positive = verbose (debug).
+    """
+    if verbosity < 0:
+        _logger.level = WARNING
+    elif verbosity == 0:
+        _logger.level = INFO
+    else:
+        _logger.level = DEBUG
+    if stream is not None:
+        _logger.stream = stream
+    return _logger

@@ -1,0 +1,124 @@
+"""Shared metric definitions for the instrumented online pipelines.
+
+Engines call :func:`observe_batch` once per served batch; the hardware
+models call the ``observe_*`` helpers from their charge paths.  All
+helpers write into the process-wide registry via get-or-create, so they
+are safe to call before any explicit registry setup and retarget
+automatically when tests swap the registry.
+
+Nothing here reads the wallclock or feeds back into the timing models:
+metrics observe modeled quantities, they never produce them (the
+golden-timing tests pin this).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.telemetry.registry import MetricsRegistry, get_registry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.schedule import BatchTiming
+
+#: DMA transaction sizes are legal in [8, MAX_DMA_BYTES]; power-of-two
+#: buckets ending at the hardware ceiling.
+DMA_BUCKETS = tuple(float(2**i) for i in range(3, 12))
+#: Queries per batch; 2048 here is a workload knob, not the DMA limit.
+BATCH_SIZE_BUCKETS = (1.0, 8.0, 32.0, 128.0, 512.0, 2048.0)  # simlint: ignore[HW001]
+
+#: Stage labels for the six BatchTiming scalars.
+TIMING_STAGES = (
+    ("cluster_filter", "host_filter_s"),
+    ("schedule", "host_schedule_s"),
+    ("transfer_in", "transfer_in_s"),
+    ("dpu", "dpu_makespan_s"),
+    ("transfer_out", "transfer_out_s"),
+    ("aggregate", "host_aggregate_s"),
+)
+
+
+def observe_dma(
+    direction: str,
+    total_bytes: int,
+    chunk_bytes: int,
+    *,
+    registry: MetricsRegistry | None = None,
+) -> None:
+    """Record one bulk MRAM<->WRAM stream: bytes moved + per-transaction
+    size histogram (``full`` chunk-sized reads plus one rounded tail)."""
+    if total_bytes <= 0:
+        return
+    reg = registry if registry is not None else get_registry()
+    reg.counter(
+        "repro_mram_dma_bytes_total",
+        "bytes moved across the MRAM<->WRAM DMA engine",
+        ("direction",),
+    ).labels(direction=direction).inc(total_bytes)
+    hist = reg.histogram(
+        "repro_mram_dma_transfer_bytes",
+        "per-DMA-transaction transfer size",
+        ("direction",),
+        buckets=DMA_BUCKETS,
+    ).labels(direction=direction)
+    full, tail = divmod(total_bytes, chunk_bytes)
+    if full:
+        hist.observe(chunk_bytes, count=full)
+    if tail:
+        from repro.hardware.mram import round_up_dma
+
+        hist.observe(round_up_dma(tail))
+
+
+def observe_wram_peak(peak_bytes: int, *, registry: MetricsRegistry | None = None) -> None:
+    """High-water mark across every WRAM allocator in the process."""
+    reg = registry if registry is not None else get_registry()
+    reg.gauge(
+        "repro_wram_peak_bytes",
+        "allocation high-water mark across all WRAM scratchpads",
+    ).set_max(peak_bytes)
+
+
+def observe_batch(
+    engine: str,
+    n_queries: int,
+    timing: "BatchTiming",
+    *,
+    busy_cycles: float = 0.0,
+    active_dpus: int = 0,
+    n_tasklets: int = 0,
+    registry: MetricsRegistry | None = None,
+) -> None:
+    """Record one served batch: volume, sizes, per-stage seconds, DPU load."""
+    reg = registry if registry is not None else get_registry()
+    reg.counter(
+        "repro_queries_total", "queries served", ("engine",)
+    ).labels(engine=engine).inc(n_queries)
+    reg.counter(
+        "repro_batches_total", "batches served", ("engine",)
+    ).labels(engine=engine).inc()
+    reg.histogram(
+        "repro_batch_size",
+        "queries per served batch",
+        ("engine",),
+        buckets=BATCH_SIZE_BUCKETS,
+    ).labels(engine=engine).observe(n_queries)
+    stage_counter = reg.counter(
+        "repro_stage_seconds_total",
+        "modeled seconds per pipeline stage",
+        ("engine", "stage"),
+    )
+    for stage, attr in TIMING_STAGES:
+        stage_counter.labels(engine=engine, stage=stage).inc(getattr(timing, attr))
+    if busy_cycles > 0:
+        reg.counter(
+            "repro_dpu_busy_cycles_total", "DPU busy cycles across all lanes"
+        ).inc(busy_cycles)
+    if active_dpus > 0:
+        reg.gauge(
+            "repro_dpu_active", "DPUs with nonzero work in the last batch"
+        ).set(active_dpus)
+    if n_tasklets > 0:
+        reg.gauge(
+            "repro_dpu_tasklets",
+            "tasklet occupancy per DPU (WRAM-plan effective)",
+        ).set(n_tasklets)

@@ -1,0 +1,309 @@
+"""Process-wide metrics registry: counters, gauges, fixed-bucket histograms.
+
+The PIM benchmarking literature (Gomez-Luna et al., "Benchmarking a New
+Paradigm") makes its claims checkable through per-resource counters;
+this module gives the simulator the same substrate.  A
+:class:`MetricsRegistry` owns named metric *families*; a family with
+label names fans out into one child per label-value combination (the
+Prometheus data model).  Everything is deterministic: values change only
+through explicit ``inc``/``set``/``observe`` calls — there are no
+wallclock reads, so instrumenting a simulated hot path can never perturb
+modeled time (the golden-timing guarantee).
+
+Instrumented code fetches metrics through the get-or-create accessors
+(:meth:`MetricsRegistry.counter` et al.), so swapping the process-wide
+registry (tests, CLI runs) retargets every call site at once.
+"""
+
+from __future__ import annotations
+
+import re
+from bisect import bisect_left
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+COUNTER = "counter"
+GAUGE = "gauge"
+HISTOGRAM = "histogram"
+
+#: Default histogram buckets for modeled-seconds observations.
+DEFAULT_SECONDS_BUCKETS = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0,
+)
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ConfigError(f"invalid metric name {name!r}")
+    return name
+
+
+def _check_labelnames(labelnames: tuple[str, ...]) -> tuple[str, ...]:
+    for label in labelnames:
+        if not _LABEL_RE.match(label):
+            raise ConfigError(f"invalid label name {label!r}")
+        if label == "le":
+            raise ConfigError("label name 'le' is reserved for histograms")
+    if len(set(labelnames)) != len(labelnames):
+        raise ConfigError(f"duplicate label names in {labelnames!r}")
+    return labelnames
+
+
+class _Child:
+    """One labelled time series of a metric family."""
+
+    __slots__ = ("labels",)
+
+    def __init__(self, labels: dict[str, str]):
+        self.labels = labels
+
+
+class CounterChild(_Child):
+    __slots__ = ("value",)
+
+    def __init__(self, labels: dict[str, str]):
+        super().__init__(labels)
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+
+class GaugeChild(_Child):
+    __slots__ = ("value",)
+
+    def __init__(self, labels: dict[str, str]):
+        super().__init__(labels)
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def set_max(self, value: float) -> None:
+        """High-water update: keep the larger of current and ``value``."""
+        if value > self.value:
+            self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class HistogramChild(_Child):
+    __slots__ = ("buckets", "counts", "inf_count", "sum", "count")
+
+    def __init__(self, labels: dict[str, str], buckets: tuple[float, ...]):
+        super().__init__(labels)
+        self.buckets = buckets
+        self.counts = [0] * len(buckets)  # per-bucket (non-cumulative)
+        self.inf_count = 0
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float, count: int = 1) -> None:
+        """Record ``count`` identical observations of ``value``.
+
+        The batched form exists for the DMA hot path: a bulk transfer is
+        thousands of equal-size transactions, observed in O(1).
+        """
+        if count < 0:
+            raise ConfigError(f"observation count must be >= 0, got {count}")
+        if count == 0:
+            return
+        i = bisect_left(self.buckets, value)
+        if i < len(self.buckets):
+            self.counts[i] += count
+        else:
+            self.inf_count += count
+        self.sum += value * count
+        self.count += count
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """(upper_bound, cumulative_count) pairs, Prometheus ``le`` style."""
+        out = []
+        running = 0
+        for le, n in zip(self.buckets, self.counts):
+            running += n
+            out.append((le, running))
+        return out
+
+
+@dataclass
+class MetricFamily:
+    """A named metric plus all its labelled children."""
+
+    name: str
+    type: str
+    help: str
+    labelnames: tuple[str, ...] = ()
+    buckets: tuple[float, ...] = ()  # histograms only
+    _children: dict[tuple[str, ...], _Child] = field(default_factory=dict)
+
+    def labels(self, **labelvalues: str | int | float):
+        """The child for one label-value combination (created on first use)."""
+        if set(labelvalues) != set(self.labelnames):
+            raise ConfigError(
+                f"metric {self.name!r} takes labels {self.labelnames}, "
+                f"got {tuple(labelvalues)}"
+            )
+        key = tuple(str(labelvalues[label]) for label in self.labelnames)
+        child = self._children.get(key)
+        if child is None:
+            labels = dict(zip(self.labelnames, key))
+            if self.type == COUNTER:
+                child = CounterChild(labels)
+            elif self.type == GAUGE:
+                child = GaugeChild(labels)
+            else:
+                child = HistogramChild(labels, self.buckets)
+            self._children[key] = child
+        return child
+
+    def _default_child(self):
+        if self.labelnames:
+            raise ConfigError(
+                f"metric {self.name!r} has labels {self.labelnames}; "
+                "use .labels(...) first"
+            )
+        return self.labels()
+
+    # Label-less convenience forwarding.
+    def inc(self, amount: float = 1.0) -> None:
+        self._default_child().inc(amount)
+
+    def set(self, value: float) -> None:
+        self._default_child().set(value)
+
+    def set_max(self, value: float) -> None:
+        self._default_child().set_max(value)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._default_child().dec(amount)
+
+    def observe(self, value: float, count: int = 1) -> None:
+        self._default_child().observe(value, count)
+
+    def children(self) -> list[_Child]:
+        """Children in deterministic (sorted label values) order."""
+        return [self._children[k] for k in sorted(self._children)]
+
+
+class MetricsRegistry:
+    """Name -> :class:`MetricFamily` map with get-or-create semantics."""
+
+    def __init__(self) -> None:
+        self._families: dict[str, MetricFamily] = {}
+
+    def _get_or_create(
+        self,
+        name: str,
+        type_: str,
+        help_: str,
+        labelnames: tuple[str, ...],
+        buckets: tuple[float, ...] = (),
+    ) -> MetricFamily:
+        family = self._families.get(name)
+        if family is not None:
+            if family.type != type_:
+                raise ConfigError(
+                    f"metric {name!r} already registered as {family.type}, "
+                    f"requested {type_}"
+                )
+            if family.labelnames != labelnames:
+                raise ConfigError(
+                    f"metric {name!r} already registered with labels "
+                    f"{family.labelnames}, requested {labelnames}"
+                )
+            if type_ == HISTOGRAM and buckets and family.buckets != buckets:
+                raise ConfigError(
+                    f"histogram {name!r} already registered with buckets "
+                    f"{family.buckets}, requested {buckets}"
+                )
+            return family
+        family = MetricFamily(
+            name=_check_name(name),
+            type=type_,
+            help=help_,
+            labelnames=_check_labelnames(tuple(labelnames)),
+            buckets=buckets,
+        )
+        self._families[name] = family
+        return family
+
+    def counter(
+        self, name: str, help: str = "", labelnames: tuple[str, ...] = ()
+    ) -> MetricFamily:
+        return self._get_or_create(name, COUNTER, help, tuple(labelnames))
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: tuple[str, ...] = ()
+    ) -> MetricFamily:
+        return self._get_or_create(name, GAUGE, help, tuple(labelnames))
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: tuple[str, ...] = (),
+        buckets: tuple[float, ...] = DEFAULT_SECONDS_BUCKETS,
+    ) -> MetricFamily:
+        buckets = tuple(float(b) for b in buckets)
+        if not buckets:
+            raise ConfigError(f"histogram {name!r} needs at least one bucket")
+        if list(buckets) != sorted(set(buckets)):
+            raise ConfigError(
+                f"histogram {name!r} buckets must be strictly increasing"
+            )
+        return self._get_or_create(name, HISTOGRAM, help, tuple(labelnames), buckets)
+
+    def families(self) -> list[MetricFamily]:
+        """All families in name order (deterministic exposition)."""
+        return [self._families[name] for name in sorted(self._families)]
+
+    def get(self, name: str) -> MetricFamily | None:
+        return self._families.get(name)
+
+    def reset(self) -> None:
+        """Drop every registered family (test isolation)."""
+        self._families.clear()
+
+    # Exposition lives in repro.telemetry.exposition; these forwarders
+    # keep the common calls one import away.
+    def snapshot(self) -> dict:
+        from repro.telemetry.exposition import snapshot
+
+        return snapshot(self)
+
+    def prometheus_text(self) -> str:
+        from repro.telemetry.exposition import prometheus_text
+
+        return prometheus_text(self)
+
+
+_default_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry instrumented code reports into."""
+    return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-wide registry; returns the previous one."""
+    global _default_registry
+    previous = _default_registry
+    _default_registry = registry
+    return previous
+
+
+def reset_metrics() -> None:
+    """Clear the process-wide registry in place (test/CLI-run isolation)."""
+    _default_registry.reset()

@@ -1,0 +1,218 @@
+"""Schema-versioned, machine-readable benchmark result records.
+
+Every harness figure run (and ``repro.cli metrics --json``) emits one
+record so the perf trajectory is diffable across commits::
+
+    {
+      "schema": "repro.bench.result/v1",
+      "name": "fig16_batch_size",
+      "config": {...},                      # free-form, str keys
+      "qps": {"mean":, "min":, "max":, "n_batches":},
+      "stage_seconds": {"cluster_filter":, ..., "dpu":, ...},
+      "utilization": {"makespan_s":, "resources": [...], "critical_path": {}},
+      "metrics": {"schema": "repro.metrics/v1", "metrics": [...]}
+    }
+
+:func:`make_result_record` builds and validates one;
+:func:`validate_result_record` returns structural errors.  Run as a
+module to validate files from CI::
+
+    python -m repro.telemetry.schema benchmarks/results/*.json
+    python -m repro.telemetry.schema --prom scrape.prom
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Iterable
+
+from repro.errors import ConfigError
+from repro.telemetry.exposition import validate_prometheus_text, validate_snapshot
+from repro.telemetry.log import get_logger
+
+RESULT_SCHEMA = "repro.bench.result/v1"
+
+#: Stage keys the six-scalar :class:`~repro.sim.schedule.BatchTiming`
+#: decomposes a batch into (the record may carry extra engine-specific
+#: stages; these are the canonical ones).
+BATCH_STAGES = (
+    "cluster_filter",
+    "schedule",
+    "transfer_in",
+    "dpu",
+    "transfer_out",
+    "aggregate",
+)
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def make_result_record(
+    *,
+    name: str,
+    config: dict[str, Any],
+    qps_values: Iterable[float],
+    stage_seconds: dict[str, float],
+    utilization: dict[str, Any],
+    metrics: dict[str, Any],
+) -> dict[str, Any]:
+    """Assemble and validate one result record (raises on invalid)."""
+    qps = [float(v) for v in qps_values]
+    if not qps:
+        raise ConfigError("a result record needs at least one QPS sample")
+    record = {
+        "schema": RESULT_SCHEMA,
+        "name": name,
+        "config": dict(config),
+        "qps": {
+            "mean": sum(qps) / len(qps),
+            "min": min(qps),
+            "max": max(qps),
+            "n_batches": len(qps),
+        },
+        "stage_seconds": {k: float(v) for k, v in stage_seconds.items()},
+        "utilization": utilization,
+        "metrics": metrics,
+    }
+    errors = validate_result_record(record)
+    if errors:
+        raise ConfigError(
+            "constructed an invalid result record: " + "; ".join(errors)
+        )
+    return record
+
+
+def validate_result_record(record: Any) -> list[str]:
+    """Structural errors in a result record (empty list = valid)."""
+    errors: list[str] = []
+    if not isinstance(record, dict):
+        return ["record must be a JSON object"]
+    if record.get("schema") != RESULT_SCHEMA:
+        errors.append(
+            f"schema must be {RESULT_SCHEMA!r}, got {record.get('schema')!r}"
+        )
+    if not isinstance(record.get("name"), str) or not record.get("name"):
+        errors.append("missing non-empty string 'name'")
+    config = record.get("config")
+    if not isinstance(config, dict) or not all(
+        isinstance(k, str) for k in config
+    ):
+        errors.append("'config' must be an object with string keys")
+    errors.extend(_validate_qps(record.get("qps")))
+    errors.extend(_validate_stage_seconds(record.get("stage_seconds")))
+    errors.extend(_validate_utilization(record.get("utilization")))
+    metrics = record.get("metrics")
+    if metrics is None:
+        errors.append("missing 'metrics' registry snapshot")
+    else:
+        errors.extend(f"metrics: {e}" for e in validate_snapshot(metrics))
+    return errors
+
+
+def _validate_qps(qps: Any) -> list[str]:
+    if not isinstance(qps, dict):
+        return ["'qps' must be an object"]
+    errors = []
+    for key in ("mean", "min", "max"):
+        if not _is_number(qps.get(key)) or qps.get(key, -1) < 0:
+            errors.append(f"qps.{key} must be a non-negative number")
+    n = qps.get("n_batches")
+    if not isinstance(n, int) or n < 1:
+        errors.append("qps.n_batches must be a positive integer")
+    if not errors and not (qps["min"] <= qps["mean"] <= qps["max"]):
+        errors.append("qps.mean must lie within [qps.min, qps.max]")
+    return errors
+
+
+def _validate_stage_seconds(stages: Any) -> list[str]:
+    if not isinstance(stages, dict):
+        return ["'stage_seconds' must be an object"]
+    errors = []
+    for key, value in stages.items():
+        if not isinstance(key, str):
+            errors.append(f"stage_seconds key {key!r} is not a string")
+        elif not _is_number(value) or value < 0:
+            errors.append(f"stage_seconds[{key!r}] must be a non-negative number")
+    return errors
+
+
+def _validate_utilization(util: Any) -> list[str]:
+    if not isinstance(util, dict):
+        return ["'utilization' must be an object"]
+    errors = []
+    if not _is_number(util.get("makespan_s")) or util.get("makespan_s", -1) < 0:
+        errors.append("utilization.makespan_s must be a non-negative number")
+    resources = util.get("resources")
+    if not isinstance(resources, list):
+        errors.append("utilization.resources must be a list")
+        resources = []
+    for i, row in enumerate(resources):
+        where = f"utilization.resources[{i}]"
+        if not isinstance(row, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        if not isinstance(row.get("resource"), str):
+            errors.append(f"{where}: missing string 'resource'")
+        for key in ("busy_s", "idle_s"):
+            if not _is_number(row.get(key)) or row.get(key, -1) < 0:
+                errors.append(f"{where}.{key} must be a non-negative number")
+        u = row.get("utilization")
+        if not _is_number(u) or not (0.0 <= u <= 1.0):
+            errors.append(f"{where}.utilization must be within [0, 1]")
+        if not isinstance(row.get("n_spans"), int) or row.get("n_spans", -1) < 0:
+            errors.append(f"{where}.n_spans must be a non-negative integer")
+    path = util.get("critical_path")
+    if not isinstance(path, dict):
+        errors.append("utilization.critical_path must be an object")
+    else:
+        for key, value in path.items():
+            if not isinstance(key, str) or not _is_number(value) or value < 0:
+                errors.append(
+                    f"critical_path[{key!r}] must map a string to a "
+                    "non-negative number"
+                )
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Validate result-record JSON files (or, with ``--prom``, Prometheus
+    text scrapes).  Exit 0 = all valid, 1 = invalid, 2 = usage/IO error."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    log = get_logger()
+    prom = "--prom" in argv
+    if prom:
+        argv.remove("--prom")
+    if not argv:
+        log.error(
+            "schema.usage",
+            usage="python -m repro.telemetry.schema [--prom] FILE...",
+        )
+        return 2
+    status = 0
+    for path in argv:
+        try:
+            text = open(path, encoding="utf-8").read()
+        except OSError as exc:
+            log.error("schema.read_failed", file=path, error=str(exc))
+            return 2
+        if prom:
+            errors = validate_prometheus_text(text)
+        else:
+            try:
+                errors = validate_result_record(json.loads(text))
+            except json.JSONDecodeError as exc:
+                errors = [f"not valid JSON: {exc}"]
+        if errors:
+            for err in errors:
+                log.error("schema.invalid", file=path, error=err)
+            status = 1
+        else:
+            log.info("schema.valid", file=path, kind="prometheus" if prom else "result")
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

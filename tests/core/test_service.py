@@ -62,6 +62,34 @@ class TestLifecycle:
         assert summary["p50_ms"] > 0
 
 
+class TestTailLatency:
+    def test_report_carries_running_percentiles(
+        self, small_dataset, trained_index, history_queries, small_queries
+    ):
+        service = OnlineService(
+            engine=built_engine(small_dataset, trained_index, history_queries)
+        )
+        first = service.submit(small_queries)
+        assert 0 < first.p50_ms <= first.p95_ms <= first.p99_ms
+        # One batch: every percentile is that batch's per-query latency.
+        assert first.p50_ms == pytest.approx(first.p99_ms)
+        second = service.submit(small_queries)
+        assert second.p50_ms == pytest.approx(service.latency.percentile_ms(50))
+        assert second.p95_ms == pytest.approx(service.latency.percentile_ms(95))
+        assert second.p99_ms == pytest.approx(service.latency.percentile_ms(99))
+
+    def test_summary_percentiles_match_recorder(
+        self, small_dataset, trained_index, history_queries, small_queries
+    ):
+        service = OnlineService(
+            engine=built_engine(small_dataset, trained_index, history_queries)
+        )
+        service.submit(small_queries)
+        summary = service.summary()
+        for key, q in (("p50_ms", 50), ("p95_ms", 95), ("p99_ms", 99)):
+            assert summary[key] == pytest.approx(service.latency.percentile_ms(q))
+
+
 class TestAdaptation:
     def test_stable_traffic_keeps_placement(
         self, small_dataset, trained_index, history_queries, small_queries

@@ -318,6 +318,43 @@ class TestTIME001:
         assert self.ids_at(source, self.ENGINE_PATH) == []
 
 
+class TestOBS001:
+    def test_print_flagged(self):
+        assert rule_ids('print("hello")\n') == ["OBS001"]
+
+    def test_print_inside_function_flagged(self):
+        source = "def f(x):\n    print(x)\n"
+        assert rule_ids(source) == ["OBS001"]
+
+    def test_logger_call_is_clean(self):
+        source = (
+            "from repro.telemetry.log import get_logger\n"
+            "get_logger().info('event', n=1)\n"
+        )
+        assert rule_ids(source) == []
+
+    def test_cli_module_exempt(self):
+        findings = lint_source('print("result")\n', "src/repro/cli.py", None)
+        assert findings == []
+
+    def test_main_shim_exempt(self):
+        findings = lint_source(
+            'print("usage")\n', "src/repro/lint/__main__.py", None
+        )
+        assert findings == []
+
+    def test_non_cli_path_not_exempt(self):
+        findings = lint_source('print("x")\n', "src/repro/core/engine.py", None)
+        assert [f.rule_id for f in findings] == ["OBS001"]
+
+    def test_method_named_print_is_clean(self):
+        # Only the builtin matters; attribute calls are fine.
+        assert rule_ids("device.print(1)\n") == []
+
+    def test_suppression_comment(self):
+        assert rule_ids('print("x")  # simlint: ignore[OBS001]\n') == []
+
+
 class TestEngineAndConfig:
     def test_select_limits_rules(self):
         source = (
@@ -349,6 +386,7 @@ class TestEngineAndConfig:
             "TIME001",
             "UNIT001",
             "WRAM001",
+            "OBS001",
         }
 
     def test_text_report_shape(self):

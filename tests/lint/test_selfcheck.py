@@ -98,7 +98,15 @@ class TestCliContracts:
     def test_list_rules(self):
         result = run_cli("--list-rules")
         assert result.returncode == 0
-        for rule_id in ("HW001", "DMA001", "COST001", "TIME001", "UNIT001", "WRAM001"):
+        for rule_id in (
+            "HW001",
+            "DMA001",
+            "COST001",
+            "TIME001",
+            "UNIT001",
+            "WRAM001",
+            "OBS001",
+        ):
             assert rule_id in result.stdout
 
     def test_select_filters_findings(self, tmp_path):

@@ -1,0 +1,44 @@
+"""max_mean_ratio edge cases (Figure 11's balance metric)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.balance import max_mean_ratio
+
+
+class TestDegenerateInputs:
+    def test_empty_is_balanced(self):
+        assert max_mean_ratio([]) == 1.0
+        assert max_mean_ratio(np.zeros(0)) == 1.0
+
+    def test_all_zero_is_balanced(self):
+        assert max_mean_ratio([0.0, 0.0, 0.0]) == 1.0
+
+    def test_all_zero_active_only(self):
+        assert max_mean_ratio([0.0, 0.0], active_only=True) == 1.0
+
+    def test_single_value(self):
+        assert max_mean_ratio([7.0]) == 1.0
+
+
+class TestRatios:
+    def test_uniform_load_is_one(self):
+        assert max_mean_ratio([4.0, 4.0, 4.0]) == pytest.approx(1.0)
+
+    def test_imbalance_measured(self):
+        # mean = 2, max = 4.
+        assert max_mean_ratio([0.0, 2.0, 4.0]) == pytest.approx(2.0)
+
+    def test_active_only_ignores_idle_workers(self):
+        values = [0.0, 0.0, 3.0, 3.0]
+        assert max_mean_ratio(values) == pytest.approx(2.0)
+        assert max_mean_ratio(values, active_only=True) == pytest.approx(1.0)
+
+    def test_active_only_max_still_global(self):
+        # Idle workers drop from the mean but never from the max.
+        assert max_mean_ratio([0.0, 1.0, 5.0], active_only=True) == pytest.approx(
+            5.0 / 3.0
+        )
+
+    def test_accepts_integer_arrays(self):
+        assert max_mean_ratio(np.array([1, 1, 4])) == pytest.approx(2.0)

@@ -72,3 +72,24 @@ class TestStatistics:
         rec.record(1, 0.001)
         with pytest.raises(ConfigError):
             rec.percentile_ms(150)
+        with pytest.raises(ConfigError):
+            rec.percentile_ms(-1)
+
+    def test_empty_recorder_rejects_percentiles(self):
+        with pytest.raises(ConfigError):
+            LatencyRecorder().percentile_ms(50)
+        with pytest.raises(ConfigError):
+            LatencyRecorder().summary()
+
+    def test_single_batch_percentiles_collapse(self):
+        rec = LatencyRecorder()
+        rec.record(10, 0.05)  # 5 ms/query
+        for q in (0, 50, 95, 99, 100):
+            assert rec.percentile_ms(q) == pytest.approx(5.0)
+
+    def test_zero_seconds_batch_is_legal_but_unrateable(self):
+        rec = LatencyRecorder()
+        rec.record(10, 0.0)
+        assert rec.per_query_ms()[0] == 0.0
+        with pytest.raises(ConfigError):
+            rec.mean_qps()  # no elapsed time to divide by

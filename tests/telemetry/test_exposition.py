@@ -1,0 +1,109 @@
+"""Prometheus text + JSON snapshot exposition and their validators."""
+
+import json
+
+import pytest
+
+from repro.telemetry.exposition import (
+    SNAPSHOT_SCHEMA,
+    prometheus_text,
+    snapshot,
+    validate_prometheus_text,
+    validate_snapshot,
+)
+from repro.telemetry.registry import MetricsRegistry
+
+
+@pytest.fixture()
+def reg():
+    r = MetricsRegistry()
+    r.counter("repro_queries_total", "queries", ("engine",)).labels(
+        engine="upanns"
+    ).inc(42)
+    r.gauge("repro_depth", "queue depth").set(3)
+    h = r.histogram("repro_sizes", "sizes", buckets=(1.0, 8.0))
+    h.observe(0.5)
+    h.observe(100.0)
+    return r
+
+
+class TestPrometheusText:
+    def test_round_trips_validator(self, reg):
+        text = prometheus_text(reg)
+        assert validate_prometheus_text(text) == []
+
+    def test_contains_headers_and_samples(self, reg):
+        text = prometheus_text(reg)
+        assert "# HELP repro_queries_total queries" in text
+        assert "# TYPE repro_queries_total counter" in text
+        assert 'repro_queries_total{engine="upanns"} 42' in text
+
+    def test_histogram_expansion(self, reg):
+        text = prometheus_text(reg)
+        assert 'repro_sizes_bucket{le="1"} 1' in text
+        assert 'repro_sizes_bucket{le="8"} 1' in text
+        assert 'repro_sizes_bucket{le="+Inf"} 2' in text
+        assert "repro_sizes_sum 100.5" in text
+        assert "repro_sizes_count 2" in text
+
+    def test_empty_registry_is_valid(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+        assert validate_prometheus_text("") == []
+
+    def test_validator_catches_undeclared_sample(self):
+        errors = validate_prometheus_text("repro_mystery 1\n")
+        assert any("no TYPE declaration" in e for e in errors)
+
+    def test_validator_catches_missing_inf_bucket(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="1"} 1\n'
+            "repro_h_sum 1\n"
+            "repro_h_count 1\n"
+        )
+        errors = validate_prometheus_text(text)
+        assert any("+Inf" in e for e in errors)
+
+    def test_validator_catches_decreasing_cumulative(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="1"} 5\n'
+            'repro_h_bucket{le="2"} 3\n'
+            'repro_h_bucket{le="+Inf"} 5\n'
+        )
+        errors = validate_prometheus_text(text)
+        assert any("decreases" in e for e in errors)
+
+    def test_validator_catches_suffix_on_counter(self):
+        text = "# TYPE repro_c counter\nrepro_c_sum 1\n"
+        errors = validate_prometheus_text(text)
+        assert errors
+
+
+class TestSnapshot:
+    def test_round_trips_validator_and_json(self, reg):
+        payload = snapshot(reg)
+        assert validate_snapshot(payload) == []
+        assert validate_snapshot(json.loads(json.dumps(payload))) == []
+
+    def test_schema_version(self, reg):
+        assert snapshot(reg)["schema"] == SNAPSHOT_SCHEMA
+
+    def test_validator_catches_bad_schema(self, reg):
+        payload = snapshot(reg)
+        payload["schema"] = "nope/v0"
+        assert any("schema" in e for e in validate_snapshot(payload))
+
+    def test_validator_catches_duplicate_names(self, reg):
+        payload = snapshot(reg)
+        payload["metrics"].append(dict(payload["metrics"][0]))
+        assert any("duplicate" in e for e in validate_snapshot(payload))
+
+    def test_validator_catches_nonmonotone_buckets(self, reg):
+        payload = snapshot(reg)
+        hist = next(m for m in payload["metrics"] if m["type"] == "histogram")
+        hist["samples"][0]["buckets"] = [[1.0, 5], [8.0, 3]]
+        assert any("decrease" in e for e in validate_snapshot(payload))
+
+    def test_non_object_rejected(self):
+        assert validate_snapshot([]) == ["snapshot must be a JSON object"]

@@ -1,0 +1,73 @@
+"""Structured logger formatting, levels and CLI verbosity mapping."""
+
+import io
+
+from repro.telemetry.log import (
+    DEBUG,
+    INFO,
+    WARNING,
+    StructuredLogger,
+    configure,
+    get_logger,
+)
+
+
+def lines_of(logger_calls) -> list[str]:
+    stream = io.StringIO()
+    log = StructuredLogger(stream=stream)
+    logger_calls(log)
+    return stream.getvalue().splitlines()
+
+
+class TestFormatting:
+    def test_event_and_fields(self):
+        out = lines_of(lambda log: log.info("build.done", n=3, qps=1234.5))
+        assert out == ["repro info build.done n=3 qps=1234.5"]
+
+    def test_strings_with_spaces_are_quoted(self):
+        out = lines_of(lambda log: log.warning("oops", msg="two words"))
+        assert out == ['repro warning oops msg="two words"']
+
+    def test_no_timestamps_anywhere(self):
+        out = lines_of(lambda log: log.info("tick"))
+        assert ":" not in out[0].replace("repro info tick", "")
+
+
+class TestLevels:
+    def test_debug_suppressed_at_info(self):
+        stream = io.StringIO()
+        log = StructuredLogger(level=INFO, stream=stream)
+        log.debug("hidden")
+        log.info("shown")
+        assert stream.getvalue() == "repro info shown\n"
+        assert log.emitted == 1
+
+    def test_warning_level_drops_info(self):
+        stream = io.StringIO()
+        log = StructuredLogger(level=WARNING, stream=stream)
+        log.info("hidden")
+        log.error("shown", code=2)
+        assert stream.getvalue() == "repro error shown code=2\n"
+
+
+class TestConfigure:
+    def test_verbosity_mapping(self):
+        log = get_logger()
+        before = (log.level, log.stream)
+        try:
+            assert configure(-1).level == WARNING
+            assert configure(0).level == INFO
+            assert configure(2).level == DEBUG
+        finally:
+            log.level, log.stream = before
+
+    def test_configure_mutates_singleton(self):
+        log = get_logger()
+        before = (log.level, log.stream)
+        try:
+            stream = io.StringIO()
+            configure(1, stream=stream)
+            get_logger().debug("visible")
+            assert "repro debug visible" in stream.getvalue()
+        finally:
+            log.level, log.stream = before

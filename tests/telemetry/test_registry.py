@@ -1,0 +1,150 @@
+"""MetricsRegistry / family / child behavior."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.telemetry.registry import (
+    DEFAULT_SECONDS_BUCKETS,
+    MetricsRegistry,
+    get_registry,
+    reset_metrics,
+    set_registry,
+)
+
+
+@pytest.fixture()
+def reg():
+    return MetricsRegistry()
+
+
+class TestCounters:
+    def test_inc_accumulates(self, reg):
+        c = reg.counter("repro_test_total", "help")
+        c.inc()
+        c.inc(4)
+        assert c._default_child().value == 5.0
+
+    def test_negative_increment_rejected(self, reg):
+        with pytest.raises(ConfigError):
+            reg.counter("repro_test_total").inc(-1)
+
+    def test_labeled_children_are_independent(self, reg):
+        c = reg.counter("repro_reqs_total", "", ("engine",))
+        c.labels(engine="a").inc(2)
+        c.labels(engine="b").inc(3)
+        assert c.labels(engine="a").value == 2.0
+        assert c.labels(engine="b").value == 3.0
+
+    def test_wrong_labels_rejected(self, reg):
+        c = reg.counter("repro_reqs_total", "", ("engine",))
+        with pytest.raises(ConfigError):
+            c.labels(host="x")
+        with pytest.raises(ConfigError):
+            c.inc()  # labeled family has no default child
+
+
+class TestGauges:
+    def test_set_and_move(self, reg):
+        g = reg.gauge("repro_depth")
+        g.set(7)
+        g.inc()
+        g.dec(3)
+        assert g._default_child().value == 5.0
+
+    def test_set_max_is_high_water(self, reg):
+        g = reg.gauge("repro_peak")
+        g.set_max(10)
+        g.set_max(4)
+        assert g._default_child().value == 10.0
+
+
+class TestHistograms:
+    def test_bucketing(self, reg):
+        h = reg.histogram("repro_sizes", buckets=(1.0, 2.0, 4.0))
+        h.observe(1.0)  # le=1
+        h.observe(1.5)  # le=2
+        h.observe(9.0)  # +Inf
+        child = h._default_child()
+        assert child.cumulative_buckets() == [(1.0, 1), (2.0, 2), (4.0, 2)]
+        assert child.count == 3
+        assert child.sum == pytest.approx(11.5)
+
+    def test_batched_observation(self, reg):
+        h = reg.histogram("repro_dma", buckets=(8.0, 2048.0))
+        h.observe(2048.0, count=1000)
+        child = h._default_child()
+        assert child.count == 1000
+        assert child.sum == pytest.approx(2048.0 * 1000)
+        assert child.cumulative_buckets()[-1] == (2048.0, 1000)
+
+    def test_negative_count_rejected(self, reg):
+        h = reg.histogram("repro_dma", buckets=(8.0,))
+        with pytest.raises(ConfigError):
+            h.observe(1.0, count=-1)
+
+    def test_bad_buckets_rejected(self, reg):
+        with pytest.raises(ConfigError):
+            reg.histogram("repro_bad", buckets=())
+        with pytest.raises(ConfigError):
+            reg.histogram("repro_bad", buckets=(2.0, 1.0))
+
+    def test_default_buckets_are_seconds_scale(self, reg):
+        h = reg.histogram("repro_latency_seconds")
+        assert h.buckets == DEFAULT_SECONDS_BUCKETS
+
+
+class TestGetOrCreate:
+    def test_same_call_returns_same_family(self, reg):
+        assert reg.counter("repro_x_total") is reg.counter("repro_x_total")
+
+    def test_type_mismatch_rejected(self, reg):
+        reg.counter("repro_x_total")
+        with pytest.raises(ConfigError):
+            reg.gauge("repro_x_total")
+
+    def test_labelname_mismatch_rejected(self, reg):
+        reg.counter("repro_x_total", "", ("a",))
+        with pytest.raises(ConfigError):
+            reg.counter("repro_x_total", "", ("b",))
+
+    def test_bucket_mismatch_rejected(self, reg):
+        reg.histogram("repro_h", buckets=(1.0, 2.0))
+        with pytest.raises(ConfigError):
+            reg.histogram("repro_h", buckets=(1.0, 3.0))
+
+    def test_invalid_names_rejected(self, reg):
+        with pytest.raises(ConfigError):
+            reg.counter("0bad")
+        with pytest.raises(ConfigError):
+            reg.counter("repro_x", "", ("le",))
+        with pytest.raises(ConfigError):
+            reg.counter("repro_x", "", ("a", "a"))
+
+    def test_families_sorted_by_name(self, reg):
+        reg.counter("repro_b_total")
+        reg.counter("repro_a_total")
+        assert [f.name for f in reg.families()] == [
+            "repro_a_total",
+            "repro_b_total",
+        ]
+
+
+class TestProcessRegistry:
+    def test_set_registry_swaps_and_restores(self):
+        mine = MetricsRegistry()
+        previous = set_registry(mine)
+        try:
+            assert get_registry() is mine
+        finally:
+            set_registry(previous)
+        assert get_registry() is previous
+
+    def test_reset_metrics_clears_in_place(self):
+        mine = MetricsRegistry()
+        previous = set_registry(mine)
+        try:
+            get_registry().counter("repro_tmp_total").inc()
+            reset_metrics()
+            assert get_registry().families() == []
+        finally:
+            set_registry(previous)

@@ -1,0 +1,133 @@
+"""Benchmark result records: construction, validation, CLI entry point."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.exposition import snapshot
+from repro.telemetry.schema import (
+    RESULT_SCHEMA,
+    main,
+    make_result_record,
+    validate_result_record,
+)
+
+
+def valid_record() -> dict:
+    reg = MetricsRegistry()
+    reg.counter("repro_queries_total").inc(100)
+    return make_result_record(
+        name="fig_test",
+        config={"sim_dpus": 64},
+        qps_values=[100.0, 200.0],
+        stage_seconds={"dpu": 0.5, "aggregate": 0.1},
+        utilization={
+            "makespan_s": 1.0,
+            "resources": [
+                {
+                    "resource": "dpu/*",
+                    "busy_s": 0.8,
+                    "idle_s": 0.2,
+                    "utilization": 0.8,
+                    "n_spans": 4,
+                    "n_lanes": 1,
+                }
+            ],
+            "critical_path": {"dpu/*": 1.0},
+        },
+        metrics=snapshot(reg),
+    )
+
+
+class TestMakeRecord:
+    def test_valid_record_passes(self):
+        record = valid_record()
+        assert record["schema"] == RESULT_SCHEMA
+        assert validate_result_record(record) == []
+
+    def test_qps_stats(self):
+        qps = valid_record()["qps"]
+        assert qps == {
+            "mean": pytest.approx(150.0),
+            "min": 100.0,
+            "max": 200.0,
+            "n_batches": 2,
+        }
+
+    def test_empty_qps_rejected(self):
+        with pytest.raises(ConfigError):
+            make_result_record(
+                name="x",
+                config={},
+                qps_values=[],
+                stage_seconds={},
+                utilization={},
+                metrics={},
+            )
+
+    def test_json_round_trip(self):
+        record = json.loads(json.dumps(valid_record()))
+        assert validate_result_record(record) == []
+
+
+class TestValidator:
+    def test_non_object(self):
+        assert validate_result_record(42) == ["record must be a JSON object"]
+
+    @pytest.mark.parametrize(
+        "mutate, needle",
+        [
+            (lambda r: r.update(schema="v0"), "schema"),
+            (lambda r: r.update(name=""), "name"),
+            (lambda r: r.update(config=[1]), "config"),
+            (lambda r: r["qps"].update(mean=-1), "qps.mean"),
+            (lambda r: r["qps"].update(mean=500.0), "within"),
+            (lambda r: r["stage_seconds"].update(dpu=-0.1), "stage_seconds"),
+            (lambda r: r["utilization"].update(makespan_s=-1), "makespan_s"),
+            (
+                lambda r: r["utilization"]["resources"][0].update(utilization=1.5),
+                "within [0, 1]",
+            ),
+            (
+                lambda r: r["utilization"].update(critical_path=[1]),
+                "critical_path",
+            ),
+            (lambda r: r.pop("metrics"), "metrics"),
+            (lambda r: r["metrics"].update(schema="bad"), "metrics:"),
+        ],
+    )
+    def test_each_field_is_checked(self, mutate, needle):
+        record = valid_record()
+        mutate(record)
+        errors = validate_result_record(record)
+        assert any(needle in e for e in errors), errors
+
+
+class TestCliEntryPoint:
+    def test_valid_file_exits_zero(self, tmp_path):
+        path = tmp_path / "record.json"
+        path.write_text(json.dumps(valid_record()))
+        assert main([str(path)]) == 0
+
+    def test_invalid_file_exits_one(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "nope"}))
+        assert main([str(path)]) == 1
+
+    def test_unreadable_file_exits_two(self, tmp_path):
+        assert main([str(tmp_path / "missing.json")]) == 2
+
+    def test_no_arguments_is_usage_error(self):
+        assert main([]) == 2
+
+    def test_prom_mode(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("repro_x_total").inc()
+        good = tmp_path / "good.prom"
+        good.write_text(reg.prometheus_text())
+        assert main(["--prom", str(good)]) == 0
+        bad = tmp_path / "bad.prom"
+        bad.write_text("repro_undeclared 1\n")
+        assert main(["--prom", str(bad)]) == 1

@@ -1,5 +1,7 @@
 """CLI smoke tests: generate -> build -> search -> bench wiring."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -20,7 +22,9 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
-    @pytest.mark.parametrize("cmd", ["generate", "build", "search", "bench", "specs"])
+    @pytest.mark.parametrize(
+        "cmd", ["generate", "build", "search", "bench", "specs", "metrics", "trace"]
+    )
     def test_subcommands_exist(self, cmd):
         parser = build_parser()
         actions = {
@@ -50,11 +54,49 @@ class TestFlow:
         assert "modeled QPS" in out
         assert "q0:" in out
 
+    def test_metrics_text_table(self, capsys):
+        assert main(["-q", "metrics", "--batches", "2", "--batch-size", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "utilization over" in out
+        assert "dpu/*" in out
+        assert "critical path:" in out
+
+    def test_metrics_json_round_trips_schema(self, tmp_path, capsys):
+        from repro.telemetry import validate_prometheus_text, validate_result_record
+
+        prom_path = tmp_path / "scrape.prom"
+        assert main([
+            "-q", "metrics", "--batches", "2", "--batch-size", "16",
+            "--json", "--prom", str(prom_path),
+        ]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert validate_result_record(record) == []
+        assert record["name"] == "cli_metrics"
+        assert record["qps"]["n_batches"] == 2
+        assert validate_prometheus_text(prom_path.read_text()) == []
+
     def test_specs(self, capsys):
         assert main(["specs"]) == 0
         out = capsys.readouterr().out
         assert "NVIDIA A100" in out
         assert "UPMEM" in out
+
+    def test_progress_lines_go_to_stderr(self, tiny_flow, capsys):
+        corpus, queries, _ = tiny_flow
+        main([
+            "generate", "--out", str(corpus), "--queries-out", str(queries),
+            "--n", "500", "--components", "8", "--n-queries", "5",
+        ])
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "repro info generate.corpus" in captured.err
+
+    def test_quiet_silences_progress(self, tiny_flow, capsys):
+        corpus, _, _ = tiny_flow
+        main(["-q", "generate", "--out", str(corpus), "--n", "500",
+              "--components", "8"])
+        captured = capsys.readouterr()
+        assert captured.err == ""
 
     def test_generate_deterministic(self, tmp_path):
         a = tmp_path / "a.fvecs"
