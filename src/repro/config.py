@@ -58,12 +58,27 @@ class UpANNSConfig:
     placement_threshold_rate: float = 0.02
     replication_headroom: float = 3.0
     max_dpu_vectors: int | None = None  # None = derive from MRAM capacity
+    # Functional execution path: "grouped" fuses all (query, cluster)
+    # pairs per DPU into vectorized NumPy ops and reuses LUTs across
+    # batches; "looped" is the reference per-pair loop.  Both charge the
+    # identical modeled cost (golden-pinned).
+    kernel_mode: str = "grouped"
+    # Cross-batch LUT cache capacity; 0 disables.  Functional-path only:
+    # a hit skips host-side recomputation, never the modeled DPU charge.
+    # (Coincidentally MRAM-sized; this is host memory, not a DPU limit.)
+    lut_cache_bytes: int = 64 * 1024 * 1024  # simlint: ignore[HW001]
 
     def __post_init__(self) -> None:
         if self.n_tasklets < 1:
             raise ConfigError("n_tasklets must be >= 1")
         if self.mram_read_vectors < 1:
             raise ConfigError("mram_read_vectors must be >= 1")
+        if self.kernel_mode not in ("grouped", "looped"):
+            raise ConfigError(
+                f"kernel_mode must be 'grouped' or 'looped', got {self.kernel_mode!r}"
+            )
+        if self.lut_cache_bytes < 0:
+            raise ConfigError("lut_cache_bytes must be >= 0 (0 disables)")
         if self.cae_combo_length < 2:
             raise ConfigError("co-occurrence combinations need length >= 2")
         if self.placement_threshold_rate <= 0:

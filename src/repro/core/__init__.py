@@ -23,7 +23,15 @@ from repro.core.engine import (
     UpANNSEngine,
     make_engine,
 )
-from repro.core.kernel import ClusterPayload, KernelConfig, run_query_on_dpu
+from repro.core.kernel import (
+    ClusterPayload,
+    KernelConfig,
+    PairCharges,
+    plan_pair_charges,
+    run_batch_on_dpu,
+    run_query_on_dpu,
+)
+from repro.core.lut_cache import LutCache, query_digest
 from repro.core.memory_plan import WramPlan, apply_plan, plan_wram, release_plan
 from repro.core.multihost import (
     MultiHostBatchResult,
@@ -39,6 +47,7 @@ from repro.core.topk import (
     merge_heaps_naive,
     merge_heaps_pruned,
     scan_topk_fast,
+    scan_topk_fast_batch,
     scan_topk_threaded,
 )
 
@@ -61,7 +70,9 @@ __all__ = [
     "EncodedCluster",
     "HeapStats",
     "KernelConfig",
+    "LutCache",
     "PIM_NAIVE_CONFIG",
+    "PairCharges",
     "Placement",
     "UpANNSEngine",
     "WramPlan",
@@ -77,11 +88,15 @@ __all__ = [
     "mine_combinations",
     "pack_device_rows",
     "place_clusters",
+    "plan_pair_charges",
     "plan_wram",
+    "query_digest",
     "random_placement",
     "release_plan",
+    "run_batch_on_dpu",
     "run_query_on_dpu",
     "scan_topk_fast",
+    "scan_topk_fast_batch",
     "scan_topk_threaded",
     "schedule_batch",
     "unpack_device_rows",

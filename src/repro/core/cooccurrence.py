@@ -20,7 +20,7 @@ adjacent positions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -51,6 +51,11 @@ class CooccurrenceModel:
 
     m: int  # sub-quantizer count of the underlying PQ
     combos: list[Combination]
+    # Lazily packed (positions, codes, slots) index matrices for the
+    # vectorized partial-sum gather; rebuilt only if combos change.
+    _packed: tuple[np.ndarray, np.ndarray, np.ndarray] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def n_slots(self) -> int:
@@ -73,21 +78,44 @@ class CooccurrenceModel:
             tables.setdefault(combo.start_pos, {})[combo.codes] = combo.slot
         return tables
 
+    def _packed_indices(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(positions, codes, slots) matrices for the gather form of
+        :meth:`partial_sums`; combos all share one length, so the rows
+        pack into dense (n_slots, length) matrices."""
+        if self._packed is None:
+            length = self.combo_length
+            pos = np.empty((self.n_slots, length), dtype=np.int64)
+            codes = np.empty((self.n_slots, length), dtype=np.int64)
+            slots = np.empty(self.n_slots, dtype=np.int64)
+            for row, combo in enumerate(self.combos):
+                pos[row] = np.arange(
+                    combo.start_pos, combo.start_pos + length, dtype=np.int64
+                )
+                codes[row] = combo.codes
+                slots[row] = combo.slot
+            self._packed = (pos, codes, slots)
+        return self._packed
+
     def partial_sums(self, lut: np.ndarray) -> np.ndarray:
         """Per-slot partial sums from a freshly built LUT (online step).
 
         ``lut`` is the (m, ksub) table; slot j caches
         ``sum_i lut[pos_i, code_i]`` for combination j — what the DPU
         stores in its reserved WRAM buffer after Barrier 1.
+
+        Vectorized as one fancy-index gather plus a row sum in float64
+        (bit-identical to the scalar loop it replaced: Python-float
+        accumulation over <= MAX_COMBO_LENGTH float32 values is the same
+        left-to-right float64 chain NumPy uses for short rows).
         """
         if lut.shape[0] != self.m:
             raise ConfigError(f"LUT rows {lut.shape[0]} != m {self.m}")
         sums = np.zeros(self.n_slots, dtype=np.float32)
-        for combo in self.combos:
-            acc = 0.0
-            for offset, code in enumerate(combo.codes):
-                acc += float(lut[combo.start_pos + offset, code])
-            sums[combo.slot] = acc
+        if not self.combos:
+            return sums
+        pos, codes, slots = self._packed_indices()
+        vals = lut[pos, codes]
+        sums[slots] = vals.sum(axis=1, dtype=np.float64).astype(np.float32)
         return sums
 
 

@@ -22,13 +22,15 @@ import numpy as np
 from repro.config import IndexConfig, QueryConfig, SystemConfig, UpANNSConfig
 from repro.errors import ConfigError, NotTrainedError
 from repro.core.cooccurrence import mine_combinations
-from repro.core.encoding import encode_cluster
+from repro.core.encoding import build_flat_table, encode_cluster
 from repro.core.kernel import (
     ClusterPayload,
     DpuWorkLog,
     KernelConfig,
+    run_batch_on_dpu,
     run_query_on_dpu,
 )
+from repro.core.lut_cache import LutCache, query_digest
 from repro.core.memory_plan import WramPlan, plan_wram
 from repro.core.placement import Placement, place_clusters, random_placement
 from repro.core.scheduling import Assignment, schedule_batch
@@ -126,10 +128,15 @@ class UpANNSEngine:
     wram_plan: WramPlan | None = None
     trace: AccessTrace | None = None
     offline: OfflineStats | None = None
+    lut_cache: LutCache | None = None
     _payloads: list[ClusterPayload] = field(default_factory=list)
     _sizes: np.ndarray | None = None
     _owned: np.ndarray | None = None
     _built: bool = False
+    _codebook_version: int = 0
+    # Memoized per-cluster visit charges for the grouped kernel, keyed
+    # (cluster_id, n_tasklets); cleared with the LUT cache.
+    _pair_charges: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         ic = self.config.index
@@ -209,6 +216,7 @@ class UpANNSEngine:
         self._place_and_load(frequencies, rng)
         self.wram_plan = self._plan_wram()
         self.offline = self._offline_stats()
+        self._invalidate_caches()
         self._built = True
         logger.info(
             "built UpANNS: %d clusters on %d DPUs, %.2f replicas/cluster, "
@@ -319,6 +327,27 @@ class UpANNSEngine:
             replication_overhead=stored / unique if unique else 1.0,
         )
 
+    def _invalidate_caches(self) -> None:
+        """Drop cross-batch state after an index/placement change.
+
+        The codebook version bump makes every existing LUT-cache key
+        unreachable; the explicit clear releases the bytes immediately.
+        """
+        self._codebook_version += 1
+        if self.lut_cache is None:
+            self.lut_cache = LutCache(self.config.upanns.lut_cache_bytes)
+        self.clear_runtime_caches()
+
+    def clear_runtime_caches(self) -> None:
+        """Empty the cross-batch caches without touching the placement.
+
+        Used by ``repro.perf`` to measure a cold batch on a built
+        engine; functionally a no-op (the caches only skip recompute).
+        """
+        if self.lut_cache is not None:
+            self.lut_cache.clear()
+        self._pair_charges.clear()
+
     def _plan_wram(self) -> WramPlan:
         ic, uc, qc = self.config.index, self.config.upanns, self.config.query
         n_slots = uc.cae_combos if uc.enable_cae else 0
@@ -396,8 +425,12 @@ class UpANNSEngine:
         assert self.trace is not None
         self.trace.record_batch(probes)
 
+        # Empty probed clusters contribute no candidates; drop the dead
+        # (query, cluster) pairs before scheduling and LUT construction.
+        probes_exec = _live_probes(probes, sizes)
+
         # Opt1: greedy scheduling.
-        assignment = schedule_batch(probes, sizes, self.placement)
+        assignment = schedule_batch(probes_exec, sizes, self.placement)
         schedule.record(
             HOST_CPU,
             STAGE_SCHEDULE,
@@ -437,45 +470,82 @@ class UpANNSEngine:
         logs = [DpuWorkLog() for _ in range(self.pim.n_dpus)]
         centroids = self.index.ivf.centroids
         self.pim.reset_counters()
-        # Precompute per-query LUTs for all probed clusters in one
-        # vectorized batch (functional shortcut only — each DPU is still
-        # charged for building its own copies inside the kernel).
-        from repro.ivfpq.lut import build_luts_for_probes
-
-        lut_cache: list[dict[int, np.ndarray]] = []
-        for qi in range(nq):
-            probe_ids = np.asarray(probes[qi], dtype=np.int64)
-            if probe_ids.size == 0:
-                lut_cache.append({})
-                continue
-            luts = build_luts_for_probes(
-                self.index.pq, queries[qi], centroids, probe_ids
-            )
-            lut_cache.append({int(c): luts[j] for j, c in enumerate(probe_ids)})
-        for d, pairs in enumerate(assignment.per_dpu):
-            if not pairs:
-                continue
-            by_query: dict[int, list[ClusterPayload]] = {}
-            for qi, c in pairs:
-                if self._payloads[c].size == 0:
+        if uc.kernel_mode == "grouped":
+            # Vectorized path: per-(query, cluster) functional tables
+            # come from the cross-batch LUT cache, then each DPU's whole
+            # worklist executes in fused NumPy ops.  Charges are
+            # replayed pair-by-pair, so the ledger matches the loop.
+            tables = self._build_tables(queries, probes_exec, centroids)
+            for d, pairs in enumerate(assignment.per_dpu):
+                if not pairs:
                     continue
-                by_query.setdefault(qi, []).append(self._payloads[c])
-            dpu = self.pim.dpu(d)
-            for qi, payloads in by_query.items():
-                out = run_query_on_dpu(
-                    dpu,
+                by_query: dict[int, list[ClusterPayload]] = {}
+                for qi, c in pairs:
+                    if self._payloads[c].size == 0:
+                        continue
+                    by_query.setdefault(qi, []).append(self._payloads[c])
+                if not by_query:
+                    continue
+                groups = list(by_query.items())
+                outs = run_batch_on_dpu(
+                    self.pim.dpu(d),
                     self.index.pq,
-                    centroids,
-                    payloads,
-                    queries[qi],
+                    groups,
                     kernel_cfg,
-                    luts=lut_cache[qi],
+                    tables,
+                    charge_cache=self._pair_charges,
                 )
-                partials[qi].append((out.ids, out.distances))
-                logs[d].stage += out.stage
-                logs[d].queries_served += 1
-                logs[d].pairs_served += len(payloads)
-                heap_total.merge(out.heap_stats)
+                for (qi, payloads), out in zip(groups, outs):
+                    partials[qi].append((out.ids, out.distances))
+                    logs[d].stage += out.stage
+                    logs[d].queries_served += 1
+                    logs[d].pairs_served += len(payloads)
+                    logs[d].results_returned += out.ids.shape[0]
+                    heap_total.merge(out.heap_stats)
+        else:
+            # Reference per-pair loop (the perf baseline).  Per-query
+            # LUTs are still precomputed in one vectorized batch
+            # (functional shortcut only — each DPU is charged for
+            # building its own copies inside the kernel).
+            from repro.ivfpq.lut import build_luts_for_probes
+
+            luts_by_query: list[dict[int, np.ndarray]] = []
+            for qi in range(nq):
+                probe_ids = np.asarray(probes_exec[qi], dtype=np.int64)
+                if probe_ids.size == 0:
+                    luts_by_query.append({})
+                    continue
+                luts = build_luts_for_probes(
+                    self.index.pq, queries[qi], centroids, probe_ids
+                )
+                luts_by_query.append(
+                    {int(c): luts[j] for j, c in enumerate(probe_ids)}
+                )
+            for d, pairs in enumerate(assignment.per_dpu):
+                if not pairs:
+                    continue
+                by_query = {}
+                for qi, c in pairs:
+                    if self._payloads[c].size == 0:
+                        continue
+                    by_query.setdefault(qi, []).append(self._payloads[c])
+                dpu = self.pim.dpu(d)
+                for qi, payloads in by_query.items():
+                    out = run_query_on_dpu(
+                        dpu,
+                        self.index.pq,
+                        centroids,
+                        payloads,
+                        queries[qi],
+                        kernel_cfg,
+                        luts=luts_by_query[qi],
+                    )
+                    partials[qi].append((out.ids, out.distances))
+                    logs[d].stage += out.stage
+                    logs[d].queries_served += 1
+                    logs[d].pairs_served += len(payloads)
+                    logs[d].results_returned += out.ids.shape[0]
+                    heap_total.merge(out.heap_stats)
 
         # Batch time on PIM = slowest DPU (paper section 5.3.1); every
         # active DPU gets its own resource lane starting when the
@@ -488,8 +558,10 @@ class UpANNSEngine:
                 schedule.record_dpu_stages(d, log.stage, start_s=transfer_done)
         cycle_ratio = max_mean_ratio(busy, active_only=True)
 
-        # DPU -> host result gather (uniform when padded).
-        result_sizes = [log.queries_served * k * 8 for log in logs]
+        # DPU -> host result gather (uniform when padded).  Sized from
+        # the candidates actually produced: a DPU whose clusters held
+        # fewer than k points returns fewer than k entries per query.
+        result_sizes = [log.results_returned * 8 for log in logs]
         if uc.enable_placement and any(result_sizes):
             pad = max(result_sizes)
             result_sizes = [pad] * len(result_sizes)
@@ -553,6 +625,69 @@ class UpANNSEngine:
             schedule=schedule,
         )
 
+    def _build_tables(
+        self,
+        queries: np.ndarray,
+        probes_exec,
+        centroids: np.ndarray,
+    ) -> dict[int, dict[int, np.ndarray]]:
+        """Per-(query, cluster) functional tables via the LUT cache.
+
+        The table is what the distance stage consumes: the (m, ksub) LUT
+        for a plain cluster, the flat [LUT | partial sums] table for a
+        CAE cluster.  Hits reuse the bytes computed in an earlier batch;
+        misses are built in one vectorized ``compute_luts`` call per
+        query and written through.  Modeled DPU cost is unaffected — the
+        kernel charges full LUT construction on every visit.
+        """
+        from repro.ivfpq.lut import build_luts_for_probes
+
+        cache = self.lut_cache
+        version = self._codebook_version
+        use_cache = cache is not None and cache.enabled
+        tables: dict[int, dict[int, np.ndarray]] = {}
+        for qi in range(queries.shape[0]):
+            probe_ids = np.asarray(probes_exec[qi], dtype=np.int64)
+            per_q: dict[int, np.ndarray] = {}
+            tables[qi] = per_q
+            if probe_ids.size == 0:
+                continue
+            digest = None
+            if use_cache:
+                assert cache is not None
+                digest = query_digest(queries[qi])
+                probe_list = [int(c) for c in probe_ids]
+                cached = cache.get_many(
+                    [(digest, c, version) for c in probe_list]
+                )
+                missing = []
+                for c, hit in zip(probe_list, cached):
+                    if hit is not None:
+                        per_q[c] = hit
+                    else:
+                        missing.append(c)
+            else:
+                missing = [int(c) for c in probe_ids]
+            if not missing:
+                continue
+            luts = build_luts_for_probes(
+                self.index.pq,
+                queries[qi],
+                centroids,
+                np.asarray(missing, dtype=np.int64),
+            )
+            for j, c in enumerate(missing):
+                payload = self._payloads[c]
+                if payload.is_cae and payload.cooc is not None:
+                    table = build_flat_table(luts[j], payload.cooc)
+                else:
+                    table = luts[j]
+                per_q[c] = table
+                if digest is not None:
+                    assert cache is not None
+                    cache.put((digest, c, version), table)
+        return tables
+
     # ------------------------------------------------------------------
     # Adaptivity (paper section 4.1.2)
     # ------------------------------------------------------------------
@@ -570,6 +705,7 @@ class UpANNSEngine:
         rng = rng if rng is not None else np.random.default_rng(0)
         self._place_and_load(self.trace.frequencies(), rng)
         self.wram_plan = self._plan_wram()
+        self._invalidate_caches()
 
     # ------------------------------------------------------------------
     # Introspection used by benches
@@ -589,6 +725,24 @@ class UpANNSEngine:
         if self.placement is None:
             return 1.0
         return float(np.mean([len(r) for r in self.placement.replicas]))
+
+
+def _live_probes(probes, sizes: np.ndarray):
+    """Probe lists with empty clusters removed (dead-pair filtering).
+
+    Returns the input unchanged (same object) when every probed cluster
+    is non-empty — the common case — so the matrix fast path survives.
+    """
+    if not isinstance(probes, (list, tuple)):
+        mat = np.atleast_2d(probes)
+        if mat.size == 0 or bool((sizes[mat] > 0).all()):
+            return probes
+        probes = list(mat)
+    out = []
+    for p in probes:
+        ids_q = np.asarray(p, dtype=np.int64)
+        out.append(ids_q[sizes[ids_q] > 0])
+    return out
 
 
 def make_engine(

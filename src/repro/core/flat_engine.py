@@ -30,7 +30,12 @@ from repro.core.kernel import (
 from repro.core.memory_plan import HEAP_ENTRY_BYTES
 from repro.core.placement import Placement, place_clusters, random_placement
 from repro.core.scheduling import schedule_batch
-from repro.core.topk import HeapStats, estimate_scan_stats, scan_topk_fast
+from repro.core.topk import (
+    HeapStats,
+    estimate_scan_stats,
+    scan_topk_fast,
+    scan_topk_fast_batch,
+)
 from repro.errors import ConfigError, NotTrainedError
 from repro.hardware.counters import StageCycles
 from repro.hardware.host import HostModel
@@ -147,6 +152,48 @@ class IVFFlatPimEngine:
         per_read = max(1, min(self.config.upanns.mram_read_vectors, MAX_DMA_BYTES // vec_bytes))
         return round_up_dma(min(per_read * vec_bytes, MAX_DMA_BYTES))
 
+    def _charge_scan(self, dpu, stage: StageCycles, cluster, chunk: int) -> None:
+        """Charge one cluster's raw-vector scan (DMA + distance FMAs)."""
+        ic = self.config.index
+        scale = self.config.timing_scale
+        scan_bytes = int(cluster.vectors.nbytes * scale)
+        dma = dpu.charge_mram_read(scan_bytes, chunk)
+        instr = scale * cluster.size * (
+            ic.dim * INSTR_PER_DIM + INSTR_PER_VECTOR_OVERHEAD
+        )
+        dpu.charge_instructions(instr)
+        compute = dpu.pipeline.compute_cycles(instr, dpu.n_tasklets)
+        stage.distance_calc += dpu.combine_cycles(compute, dma)
+        stage.distance_calc += dpu.charge_barrier()
+
+    def _charge_topk(
+        self,
+        dpu,
+        stage: StageCycles,
+        total_candidates: int,
+        stats: HeapStats,
+        result_len: int,
+        k: int,
+        chunk: int,
+    ) -> None:
+        """Charge one group's pruned top-k scan + result write-back."""
+        scale = self.config.timing_scale
+        comps, ins = estimate_scan_stats(
+            total_candidates * scale, k, dpu.n_tasklets
+        )
+        topk_instr = (
+            comps * INSTR_PER_HEAP_COMPARISON
+            + ins * INSTR_PER_HEAP_INSERTION
+            + stats.merge_comparisons * INSTR_PER_HEAP_COMPARISON
+        )
+        dpu.charge_instructions(topk_instr)
+        stage.topk_selection += dpu.pipeline.compute_cycles(
+            topk_instr, dpu.n_tasklets
+        )
+        stage.topk_selection += dpu.charge_mram_write(
+            max(8, result_len * HEAP_ENTRY_BYTES), chunk
+        )
+
     def search_batch(self, queries: np.ndarray, *, k: int | None = None) -> BatchResult:
         """Filter -> schedule -> per-DPU raw-L2 scan -> pruned top-k."""
         if not self._built or self.placement is None:
@@ -156,7 +203,6 @@ class IVFFlatPimEngine:
         queries = np.ascontiguousarray(np.atleast_2d(queries), dtype=np.float32)
         nq = queries.shape[0]
         sizes = self.index.cluster_sizes()
-        scale = self.config.timing_scale
 
         schedule = BatchSchedule(dpu_frequency_hz=self.config.pim.dpu.frequency_hz)
         probes = self.index.ivf.search_clusters(queries, qc.nprobe)
@@ -185,6 +231,7 @@ class IVFFlatPimEngine:
         heap_total = HeapStats()
         busy = np.zeros(self.pim.n_dpus)
         stage_by_dpu = [StageCycles() for _ in range(self.pim.n_dpus)]
+        results_returned = [0] * self.pim.n_dpus
         self.pim.reset_counters()
         for d, pairs in enumerate(assignment.per_dpu):
             if not pairs:
@@ -194,43 +241,67 @@ class IVFFlatPimEngine:
             for qi, c in pairs:
                 if self.index.lists[c].size:
                     by_query.setdefault(qi, []).append(c)
-            for qi, clusters in by_query.items():
-                all_ids, all_d = [], []
-                stage = stage_by_dpu[d]
-                for c in clusters:
-                    cl = self.index.lists[c]
-                    d2 = squared_distances(queries[qi : qi + 1], cl.vectors)[0]
-                    all_ids.append(cl.ids)
-                    all_d.append(d2.astype(np.float32))
-                    scan_bytes = int(cl.vectors.nbytes * scale)
-                    dma = dpu.charge_mram_read(scan_bytes, chunk)
-                    instr = scale * cl.size * (
-                        ic.dim * INSTR_PER_DIM + INSTR_PER_VECTOR_OVERHEAD
+            if not by_query:
+                continue
+            stage = stage_by_dpu[d]
+            if uc.kernel_mode == "grouped":
+                # Fused top-k: the distance scans stay per (query,
+                # cluster) — concatenating clusters into one GEMM is NOT
+                # bit-safe (BLAS blocking varies with the operand shape)
+                # — but every group's selection runs as one batched
+                # call, and charges replay afterwards in the per-pair
+                # loop's exact per-stage order.
+                groups = list(by_query.items())
+                values_list: list[np.ndarray] = []
+                ids_list: list[np.ndarray] = []
+                for qi, clusters in groups:
+                    parts = [
+                        squared_distances(
+                            queries[qi : qi + 1], self.index.lists[c].vectors
+                        )[0].astype(np.float32)
+                        for c in clusters
+                    ]
+                    values_list.append(np.concatenate(parts))
+                    ids_list.append(
+                        np.concatenate(
+                            [self.index.lists[c].ids for c in clusters]
+                        )
                     )
-                    dpu.charge_instructions(instr)
-                    compute = dpu.pipeline.compute_cycles(instr, dpu.n_tasklets)
-                    stage.distance_calc += dpu.combine_cycles(compute, dma)
-                    stage.distance_calc += dpu.charge_barrier()
-                ids = np.concatenate(all_ids)
-                dists = np.concatenate(all_d)
-                out_v, out_i, stats = scan_topk_fast(
-                    dists, ids, k, dpu.n_tasklets, prune=uc.enable_topk_pruning
+                topk = scan_topk_fast_batch(
+                    values_list, ids_list, k, dpu.n_tasklets,
+                    prune=uc.enable_topk_pruning,
                 )
-                heap_total.merge(stats)
-                comps, ins = estimate_scan_stats(ids.shape[0] * scale, k, dpu.n_tasklets)
-                topk_instr = (
-                    comps * INSTR_PER_HEAP_COMPARISON
-                    + ins * INSTR_PER_HEAP_INSERTION
-                    + stats.merge_comparisons * INSTR_PER_HEAP_COMPARISON
-                )
-                dpu.charge_instructions(topk_instr)
-                stage.topk_selection += dpu.pipeline.compute_cycles(
-                    topk_instr, dpu.n_tasklets
-                )
-                stage.topk_selection += dpu.charge_mram_write(
-                    max(8, out_v.shape[0] * HEAP_ENTRY_BYTES), chunk
-                )
-                partials[qi].append((out_i, out_v))
+                for (qi, clusters), (out_v, out_ids, stats), vals in zip(
+                    groups, topk, values_list
+                ):
+                    for c in clusters:
+                        self._charge_scan(dpu, stage, self.index.lists[c], chunk)
+                    heap_total.merge(stats)
+                    self._charge_topk(
+                        dpu, stage, vals.shape[0], stats, out_v.shape[0], k, chunk
+                    )
+                    partials[qi].append((out_ids, out_v))
+                    results_returned[d] += out_v.shape[0]
+            else:
+                for qi, clusters in by_query.items():
+                    all_ids, all_d = [], []
+                    for c in clusters:
+                        cl = self.index.lists[c]
+                        d2 = squared_distances(queries[qi : qi + 1], cl.vectors)[0]
+                        all_ids.append(cl.ids)
+                        all_d.append(d2.astype(np.float32))
+                        self._charge_scan(dpu, stage, cl, chunk)
+                    ids = np.concatenate(all_ids)
+                    dists = np.concatenate(all_d)
+                    out_v, out_ids, stats = scan_topk_fast(
+                        dists, ids, k, dpu.n_tasklets, prune=uc.enable_topk_pruning
+                    )
+                    heap_total.merge(stats)
+                    self._charge_topk(
+                        dpu, stage, ids.shape[0], stats, out_v.shape[0], k, chunk
+                    )
+                    partials[qi].append((out_ids, out_v))
+                    results_returned[d] += out_v.shape[0]
             busy[d] = stage_by_dpu[d].total
 
         freq = self.config.pim.dpu.frequency_hz
@@ -238,7 +309,9 @@ class IVFFlatPimEngine:
         for d, stage in enumerate(stage_by_dpu):
             if stage.total > 0:
                 schedule.record_dpu_stages(d, stage, start_s=transfer_done)
-        result_sizes = [len({q for q, _ in p}) * k * 8 for p in assignment.per_dpu]
+        # Size the result gather by what each DPU actually produced — a
+        # group over small clusters can return fewer than k candidates.
+        result_sizes = [n * 8 for n in results_returned]
         if uc.enable_placement and any(result_sizes):
             result_sizes = [max(result_sizes)] * len(result_sizes)
         dpu_done = max(

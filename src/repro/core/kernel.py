@@ -25,7 +25,12 @@ import numpy as np
 from repro.errors import ConfigError
 from repro.core.encoding import EncodedCluster, build_flat_table
 from repro.core.cooccurrence import CooccurrenceModel
-from repro.core.topk import HeapStats, estimate_scan_stats, scan_topk_fast
+from repro.core.topk import (
+    HeapStats,
+    estimate_scan_stats,
+    scan_topk_fast,
+    scan_topk_fast_batch_flat,
+)
 from repro.hardware.counters import StageCycles
 from repro.hardware.dpu import DPU
 from repro.hardware.mram import MAX_DMA_BYTES, round_up_dma
@@ -33,6 +38,11 @@ from repro.hardware.specs import DEFAULT_N_TASKLETS
 from repro.ivfpq.adc import adc_distances, adc_distances_direct
 from repro.ivfpq.lut import build_lut
 from repro.ivfpq.pq import ProductQuantizer
+from repro.telemetry.pipeline import (
+    dma_observations,
+    observe_dma,
+    observe_dma_batch,
+)
 
 # --- Instruction cost constants (per element) -------------------------------
 INSTR_PER_LUT_ENTRY_PER_DIM = 3.0  # load codeword elem, sub/mul, accumulate
@@ -53,6 +63,10 @@ INSTR_PER_HEAP_INSERTION = 6.0
 # the spec module so the chunk tracks the hardware constraint.
 CODEBOOK_CHUNK_BYTES = MAX_DMA_BYTES
 
+# One 0.0 slot appended after each flat table in fused CAE gathers;
+# dead addresses resolve here instead of being masked out per batch.
+_SENTINEL_ZERO = np.zeros(1, dtype=np.float32)
+
 
 @dataclass
 class ClusterPayload:
@@ -68,10 +82,43 @@ class ClusterPayload:
     codes: np.ndarray | None = None  # (s, m) uint8, plain path
     encoded: EncodedCluster | None = None  # CAE path
     cooc: CooccurrenceModel | None = None
+    # Lazily precomputed ADC gather indices (the payload's codes and
+    # slot masks never change once placed, so the grouped kernel reuses
+    # these across batches).  Host-side acceleration state only.
+    _gather_idx: np.ndarray | None = field(default=None, repr=False, compare=False)
+    _safe_addr: np.ndarray | None = field(default=None, repr=False, compare=False)
+    _safe_table_len: int = field(default=-1, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if (self.codes is None) == (self.encoded is None):
             raise ConfigError("payload must be exactly one of plain / CAE")
+
+    def adc_gather_indices(self, ksub: int) -> np.ndarray:
+        """Flat-LUT gather offsets (codes + per-subspace strides), int32."""
+        if self._gather_idx is None:
+            assert self.codes is not None
+            offsets = np.arange(self.codes.shape[1], dtype=np.int32) * ksub
+            self._gather_idx = self.codes.astype(np.int32) + offsets[None, :]
+        return self._gather_idx
+
+    def adc_safe_addresses(self, table_len: int) -> np.ndarray:
+        """Slot addresses with dead (past-length) slots redirected to a
+        zero sentinel appended after the flat table, int32.
+
+        Gathering through these indices yields the exact value sequence
+        ``np.where(mask, table[addr], 0.0)`` produces, without building
+        the mask per batch.
+        """
+        if self._safe_addr is None or self._safe_table_len != table_len:
+            assert self.encoded is not None
+            enc = self.encoded
+            width = enc.addresses.shape[1]
+            mask = np.arange(width)[None, :] < enc.lengths[:, None]
+            self._safe_addr = np.where(mask, enc.addresses, table_len).astype(
+                np.int32
+            )
+            self._safe_table_len = table_len
+        return self._safe_addr
 
     @property
     def size(self) -> int:
@@ -264,7 +311,447 @@ class DpuWorkLog:
     stage: StageCycles = field(default_factory=StageCycles)
     queries_served: int = 0
     pairs_served: int = 0
+    # Top-k candidates actually produced (may be < queries_served * k on
+    # small clusters); the result-gather transfer is sized from this.
+    results_returned: int = 0
 
     @property
     def total_cycles(self) -> float:
         return self.stage.total
+
+
+# --- Grouped (vectorized) execution path ------------------------------------
+#
+# The functions below reproduce run_query_on_dpu's *charges* float-for-
+# float while fusing its *functional* work across every (query, cluster)
+# pair assigned to one DPU.  The contract is strict: for any worklist,
+# the grouped path must leave the DPU ledger, the per-stage cycle sums
+# and the top-k outputs bit-identical to the per-pair loop (pinned by
+# tests/sim/golden_timings.json and the grouped-equivalence tests).
+
+
+@dataclass(frozen=True)
+class PairCharges:
+    """Precomputed cost of visiting one cluster payload for one query.
+
+    Every term a (query, cluster) visit adds to the DPU ledger is a pure
+    function of (payload, kernel config, tasklet count) — queries only
+    change the *data*, never the modeled cost.  Planning the charges
+    once per cluster and replaying them per visit is therefore exact:
+    integer counter deltas add associatively, and the per-stage float
+    terms are applied in the same order as the per-pair loop.
+    """
+
+    instructions: int  # sum of the per-charge int() truncations
+    mram_read_bytes: int
+    dma_transactions: int
+    dma_cycles: int
+    lut_combined: float  # combine_cycles(LUT compute, codebook DMA)
+    is_cae: bool
+    combo_compute: float  # partial-sum compute cycles (0.0 when plain)
+    dist_combined: float  # combine_cycles(scan compute, scan DMA)
+    # (total_bytes, chunk_bytes) of the two MRAM read streams, replayed
+    # into telemetry per visit.
+    dma_reads: tuple[tuple[int, int], ...]
+    # The same streams pre-aggregated as (transfer size, count) pairs,
+    # so batched replay skips the per-visit divmod/rounding.
+    dma_read_observations: tuple[tuple[int, int], ...]
+
+
+def plan_pair_charges(
+    dpu: DPU, pq: ProductQuantizer, payload: ClusterPayload, cfg: KernelConfig
+) -> PairCharges:
+    """Plan one payload's visit charges without touching the ledger."""
+    t = dpu.n_tasklets
+    codebook_bytes = pq.dim * 256 * cfg.codebook_entry_bytes
+    cb_dma = dpu.mram_model.bulk_transfer_cycles(codebook_bytes, CODEBOOK_CHUNK_BYTES)
+    cb_tx = dpu.mram_model.transactions_for(codebook_bytes, CODEBOOK_CHUNK_BYTES)
+    lut_instr = pq.m * pq.ksub * pq.dsub * INSTR_PER_LUT_ENTRY_PER_DIM
+    lut_combined = dpu.combine_cycles(
+        dpu.pipeline.compute_cycles(lut_instr, t), cb_dma
+    )
+
+    is_cae = payload.is_cae and payload.cooc is not None
+    if is_cae:
+        assert payload.cooc is not None
+        combo_instr = payload.cooc.n_slots * (
+            INSTR_PER_COMBO_OVERHEAD
+            + INSTR_PER_COMBO_ELEMENT * max(payload.cooc.combo_length, 1)
+        )
+        combo_compute = dpu.pipeline.compute_cycles(combo_instr, t)
+    else:
+        combo_instr = 0.0
+        combo_compute = 0.0
+
+    chunk = _read_chunk_bytes(payload, cfg)
+    scale = cfg.workload_scale
+    scan_bytes = int(payload.scan_bytes * scale)
+    scan_dma = dpu.mram_model.bulk_transfer_cycles(scan_bytes, chunk)
+    scan_tx = dpu.mram_model.transactions_for(scan_bytes, chunk)
+    dist_instr = scale * (
+        payload.token_count * INSTR_PER_TOKEN
+        + payload.size * INSTR_PER_VECTOR_OVERHEAD
+    )
+    dist_combined = dpu.combine_cycles(
+        dpu.pipeline.compute_cycles(dist_instr, t), scan_dma
+    )
+
+    return PairCharges(
+        instructions=int(lut_instr) + int(combo_instr) + int(dist_instr),
+        mram_read_bytes=codebook_bytes + scan_bytes,
+        dma_transactions=cb_tx + scan_tx,
+        dma_cycles=int(cb_dma) + int(scan_dma),
+        lut_combined=lut_combined,
+        is_cae=is_cae,
+        combo_compute=combo_compute,
+        dist_combined=dist_combined,
+        dma_reads=((codebook_bytes, CODEBOOK_CHUNK_BYTES), (scan_bytes, chunk)),
+        dma_read_observations=dma_observations(codebook_bytes, CODEBOOK_CHUNK_BYTES)
+        + dma_observations(scan_bytes, chunk),
+    )
+
+
+def apply_pair_charges(dpu: DPU, pc: PairCharges, stage: StageCycles) -> None:
+    """Replay one visit's charges: ledger deltas + ordered stage floats."""
+    counters = dpu.counters
+    counters.instructions += pc.instructions
+    counters.mram_read_bytes += pc.mram_read_bytes
+    counters.dma_transactions += pc.dma_transactions
+    counters.dma_cycles += pc.dma_cycles
+    counters.barriers += 3  # Barriers 1, 2 and 0 of the per-pair loop
+    for total_bytes, chunk in pc.dma_reads:
+        observe_dma("read", total_bytes, chunk)
+    barrier = dpu.barrier_model.barrier_cycles(dpu.n_tasklets)
+    stage.lut_construction += pc.lut_combined
+    stage.lut_construction += barrier
+    if pc.is_cae:
+        stage.lut_construction += pc.combo_compute
+    stage.lut_construction += barrier
+    stage.distance_calc += pc.dist_combined
+    stage.distance_calc += barrier
+
+
+def apply_topk_charges(
+    dpu: DPU,
+    stage: StageCycles,
+    heap_stats: HeapStats,
+    total_candidates: int,
+    result_len: int,
+    cfg: KernelConfig,
+) -> None:
+    """Charge the top-k stage exactly as run_query_on_dpu's stage d."""
+    t = dpu.n_tasklets
+    dpu.counters.heap_comparisons += heap_stats.comparisons
+    dpu.counters.pruned_insertions += heap_stats.pruned
+    scan_comps, scan_ins = estimate_scan_stats(
+        total_candidates * cfg.workload_scale, cfg.k, t
+    )
+    instr = (
+        scan_comps * INSTR_PER_HEAP_COMPARISON
+        + scan_ins * INSTR_PER_HEAP_INSERTION
+        + heap_stats.merge_comparisons * INSTR_PER_HEAP_COMPARISON
+    )
+    dpu.charge_instructions(instr)
+    stage.topk_selection += dpu.pipeline.compute_cycles(instr, t)
+    stage.topk_selection += dpu.charge_barrier()  # Barrier 3
+    stage.topk_selection += dpu.charge_mram_write(
+        max(8, result_len * 8), CODEBOOK_CHUNK_BYTES
+    )
+
+
+#: Row-chunk length for the fused ADC gather: bounds the (rows, m)
+#: intermediate at a couple of MB so it stays cache-friendly instead
+#: of materializing hundreds of MB for a large worklist (measured ~3x
+#: faster than the one-shot gather at 20M rows).
+_GATHER_CHUNK_ROWS = 1 << 16
+
+
+def _gather_sum(table: np.ndarray, gidx: np.ndarray, base: np.ndarray) -> np.ndarray:
+    """``table[gidx + base[:, None]].sum(axis=1)`` in row chunks.
+
+    Rows reduce independently (the axis-1 sum of an 8-ish-wide float32
+    row is sequential), so chunking over rows is bit-identical to the
+    one-shot expression while keeping the gathered intermediate small.
+    """
+    n = gidx.shape[0]
+    m = gidx.shape[1]
+    dists = np.empty(n, dtype=np.float32)
+    # One reused pair of chunk buffers: freshly mapped multi-MB
+    # temporaries per chunk otherwise spend real time in page faults.
+    rows = min(n, _GATHER_CHUNK_ROWS)
+    idx = np.empty((rows, m), dtype=gidx.dtype)
+    val = np.empty((rows, m), dtype=np.float32)
+    for s in range(0, n, _GATHER_CHUNK_ROWS):
+        e = min(n, s + _GATHER_CHUNK_ROWS)
+        c = e - s
+        np.add(gidx[s:e], base[s:e, None], out=idx[:c])
+        np.take(table, idx[:c], out=val[:c])
+        np.add.reduce(val[:c], axis=1, dtype=np.float32, out=dists[s:e])
+    return dists
+
+
+def compute_pair_distances(
+    pairs: list[tuple[ClusterPayload, np.ndarray]],
+) -> list[np.ndarray]:
+    """Fused ADC over many (payload, table) pairs.
+
+    ``table`` is the (m, ksub) LUT for a plain payload or the flat
+    [LUT | partial sums] table for a CAE payload.  Pairs are grouped by
+    encoding and padded row width, so each row's gather and axis-1
+    reduction run over exactly the same element sequence as the
+    per-pair :func:`adc_distances` / :func:`adc_distances_direct` call
+    — the outputs are bit-identical.
+    """
+    out: list[np.ndarray] = [None] * len(pairs)  # type: ignore[list-item]
+    groups: dict[tuple[str, int], list[int]] = {}
+    for i, (payload, _) in enumerate(pairs):
+        if payload.is_cae:
+            assert payload.encoded is not None
+            key = ("cae", payload.encoded.addresses.shape[1])
+        else:
+            assert payload.codes is not None
+            key = ("plain", payload.codes.shape[1])
+        groups.setdefault(key, []).append(i)
+
+    for (kind, _width), idxs in groups.items():
+        if len(idxs) == 1:
+            payload, table = pairs[idxs[0]]
+            if kind == "plain":
+                out[idxs[0]] = adc_distances(payload.codes, table)
+            else:
+                assert payload.encoded is not None
+                out[idxs[0]] = adc_distances_direct(
+                    payload.encoded.addresses,
+                    table,
+                    payload.encoded.lengths.astype(np.int64),
+                )
+            continue
+        sizes = [pairs[i][0].size for i in idxs]
+        if kind == "plain":
+            ksub = pairs[idxs[0]][1].shape[1]
+            m = pairs[idxs[0]][0].codes.shape[1]
+            gidx = np.concatenate(
+                [pairs[i][0].adc_gather_indices(ksub) for i in idxs]
+            )
+            flat = np.concatenate([pairs[i][1].reshape(-1) for i in idxs])
+            base = np.repeat(
+                np.arange(len(idxs), dtype=np.int32) * np.int32(m * ksub), sizes
+            )
+            dists = _gather_sum(flat, gidx, base)
+        else:
+            # Each pair's flat table is followed by one 0.0 sentinel
+            # slot its dead addresses point at, so a single gather+sum
+            # reproduces the masked per-pair reduction exactly.
+            parts: list[np.ndarray] = []
+            safes: list[np.ndarray] = []
+            table_lens = np.empty(len(idxs), dtype=np.int64)
+            for j, i in enumerate(idxs):
+                payload, table = pairs[i]
+                parts.append(table)
+                parts.append(_SENTINEL_ZERO)
+                table_lens[j] = table.shape[0]
+                safes.append(payload.adc_safe_addresses(table.shape[0]))
+            tables = np.concatenate(parts)
+            starts = np.zeros(len(idxs), dtype=np.int64)
+            np.cumsum(table_lens[:-1] + 1, out=starts[1:])
+            base = np.repeat(starts.astype(np.int32), sizes)
+            dists = _gather_sum(tables, np.concatenate(safes), base)
+        start = 0
+        for i, size in zip(idxs, sizes):
+            out[i] = dists[start : start + size]
+            start += size
+    return out
+
+
+def run_batch_on_dpu(
+    dpu: DPU,
+    pq: ProductQuantizer,
+    groups: list[tuple[int, list[ClusterPayload]]],
+    cfg: KernelConfig,
+    tables: dict[int, dict[int, np.ndarray]],
+    charge_cache: dict[tuple[int, int], PairCharges] | None = None,
+) -> list[QueryKernelOutput]:
+    """Grouped entry point: all (query, cluster) pairs of one DPU at once.
+
+    ``groups`` lists (query index, payloads) in the scheduling order;
+    ``tables[qi][cluster_id]`` supplies the precomputed functional table
+    for each pair (from the engine's cross-batch LUT cache).  Distances
+    are computed in fused gathers across the whole worklist and the
+    per-query top-k selections run as one batched call; charges are then
+    replayed per pair in the per-pair loop's exact order, so ledger and
+    stage cycles match :func:`run_query_on_dpu` bit-for-bit.
+
+    ``charge_cache`` optionally memoizes charge computations across
+    calls (and batches): :class:`PairCharges` keyed by (cluster id,
+    tasklet count), plus whole-group aggregates keyed by the group's
+    ordered cluster-id tuple so repeat traffic replays a query's charges
+    with one dict lookup.
+    """
+    if not groups:
+        return []
+    pair_list: list[tuple[ClusterPayload, np.ndarray]] = []
+    all_payloads: list[ClusterPayload] = []
+    for qi, payloads in groups:
+        if not payloads:
+            raise ConfigError("no clusters assigned for this query on this DPU")
+        for payload in payloads:
+            pair_list.append((payload, tables[qi][payload.cluster_id]))
+            all_payloads.append(payload)
+    dists = compute_pair_distances(pair_list)
+
+    # Pairs are already laid out in group order, so the per-group
+    # candidate slices are just contiguous runs of one flat array.
+    flat_v = dists[0] if len(dists) == 1 else np.concatenate(dists)
+    flat_i = (
+        all_payloads[0].ids
+        if len(all_payloads) == 1
+        else np.concatenate([p.ids for p in all_payloads])
+    )
+    pair_sizes = np.fromiter(
+        (d.shape[0] for d in dists), np.int64, len(dists)
+    )
+    counts = np.fromiter((len(p) for _qi, p in groups), np.int64, len(groups))
+    bounds = np.zeros(len(groups), dtype=np.int64)
+    np.cumsum(counts[:-1], out=bounds[1:])
+    group_sizes = np.add.reduceat(pair_sizes, bounds)
+    topk = scan_topk_fast_batch_flat(
+        flat_v, flat_i, group_sizes, cfg.k, dpu.n_tasklets, prune=cfg.prune_topk
+    )
+
+    # Charge replay, batched.  Integer ledger deltas and DMA telemetry
+    # increments add associatively, so they are accumulated locally and
+    # flushed once; the per-stage cycle floats are the only
+    # order-sensitive terms and are added in the per-pair loop's exact
+    # sequence (each group's StageCycles starts from 0.0 as before).
+    t = dpu.n_tasklets
+    barrier = dpu.barrier_model.barrier_cycles(t)
+    scale = cfg.workload_scale
+    if charge_cache is None:
+        charge_cache = {}
+    instr_acc = read_bytes_acc = write_bytes_acc = 0
+    tx_acc = dmac_acc = barriers_acc = 0
+    heap_comp_acc = pruned_acc = 0
+    read_obs: dict[int, int] = {}
+    write_obs: dict[int, int] = {}
+
+    outputs: list[QueryKernelOutput] = []
+    for (_qi, payloads), (out_v, out_i, heap_stats), total in zip(
+        groups, topk, group_sizes
+    ):
+        # Group-level memo: for a fixed tasklet count the whole group's
+        # aggregated charges are determined by its ordered cluster-id
+        # tuple — the stage floats are order-sensitive but deterministic,
+        # so storing the summed result is bit-identical to re-summing.
+        # Repeat traffic (the warm service path) hits this directly.
+        gkey = ("group", tuple(p.cluster_id for p in payloads), t)
+        agg = charge_cache.get(gkey)
+        if agg is None:
+            g_instr = g_read = g_tx = g_dmac = 0
+            g_obs: dict[int, int] = {}
+            lut_c = 0.0
+            dist_c = 0.0
+            for payload in payloads:
+                key = (payload.cluster_id, t)
+                pc = charge_cache.get(key)
+                if pc is None:
+                    pc = plan_pair_charges(dpu, pq, payload, cfg)
+                    charge_cache[key] = pc
+                g_instr += pc.instructions
+                g_read += pc.mram_read_bytes
+                g_tx += pc.dma_transactions
+                g_dmac += pc.dma_cycles
+                for size, count in pc.dma_read_observations:
+                    g_obs[size] = g_obs.get(size, 0) + count
+                lut_c += pc.lut_combined
+                lut_c += barrier
+                if pc.is_cae:
+                    lut_c += pc.combo_compute
+                lut_c += barrier
+                dist_c += pc.dist_combined
+                dist_c += barrier
+            agg = (
+                g_instr,
+                g_read,
+                g_tx,
+                g_dmac,
+                tuple(g_obs.items()),
+                lut_c,
+                dist_c,
+                len(payloads),
+            )
+            charge_cache[gkey] = agg
+        g_instr, g_read, g_tx, g_dmac, g_obs_items, lut_c, dist_c, n_pairs = agg
+        instr_acc += g_instr
+        read_bytes_acc += g_read
+        tx_acc += g_tx
+        dmac_acc += g_dmac
+        barriers_acc += 3 * n_pairs  # Barriers 1, 2 and 0 per pair
+        for size, count in g_obs_items:
+            read_obs[size] = read_obs.get(size, 0) + count
+
+        # Top-k stage, exactly as run_query_on_dpu's stage d.
+        heap_comp_acc += heap_stats.comparisons
+        pruned_acc += heap_stats.pruned
+        skey = ("scan", int(total), t)
+        scan = charge_cache.get(skey)
+        if scan is None:
+            scan = estimate_scan_stats(int(total) * scale, cfg.k, t)
+            charge_cache[skey] = scan
+        scan_comps, scan_ins = scan
+        instr = (
+            scan_comps * INSTR_PER_HEAP_COMPARISON
+            + scan_ins * INSTR_PER_HEAP_INSERTION
+            + heap_stats.merge_comparisons * INSTR_PER_HEAP_COMPARISON
+        )
+        instr_acc += int(instr)
+        topk_c = dpu.pipeline.compute_cycles(instr, t)
+        topk_c += barrier  # Barrier 3
+        barriers_acc += 1
+        wkey = ("write", out_v.shape[0], t)
+        write = charge_cache.get(wkey)
+        if write is None:
+            nbytes = max(8, out_v.shape[0] * 8)
+            cycles = dpu.mram_model.bulk_transfer_cycles(
+                nbytes, CODEBOOK_CHUNK_BYTES
+            )
+            write = (
+                cycles,
+                nbytes,
+                dpu.mram_model.transactions_for(nbytes, CODEBOOK_CHUNK_BYTES),
+                int(cycles),
+                dma_observations(nbytes, CODEBOOK_CHUNK_BYTES),
+            )
+            charge_cache[wkey] = write
+        w_cycles, w_bytes, w_tx, w_dmac, w_observations = write
+        write_bytes_acc += w_bytes
+        tx_acc += w_tx
+        dmac_acc += w_dmac
+        for size, count in w_observations:
+            write_obs[size] = write_obs.get(size, 0) + count
+        topk_c += w_cycles
+
+        outputs.append(
+            QueryKernelOutput(
+                ids=out_i,
+                distances=out_v,
+                stage=StageCycles(
+                    lut_construction=lut_c,
+                    distance_calc=dist_c,
+                    topk_selection=topk_c,
+                ),
+                heap_stats=heap_stats,
+            )
+        )
+
+    counters = dpu.counters
+    counters.instructions += instr_acc
+    counters.mram_read_bytes += read_bytes_acc
+    counters.mram_write_bytes += write_bytes_acc
+    counters.dma_transactions += tx_acc
+    counters.dma_cycles += dmac_acc
+    counters.barriers += barriers_acc
+    counters.heap_comparisons += heap_comp_acc
+    counters.pruned_insertions += pruned_acc
+    observe_dma_batch("read", read_bytes_acc, read_obs)
+    observe_dma_batch("write", write_bytes_acc, write_obs)
+    return outputs

@@ -1,0 +1,160 @@
+"""Cross-batch LUT cache for the online pipeline (functional-path only).
+
+Steady-state service traffic repeats queries and hot clusters, yet the
+engine used to rebuild every (query, cluster) lookup table from scratch
+each batch.  This byte-bounded LRU keeps the *functional* tables — the
+(m, ksub) LUT for plain clusters, the flat [LUT | partial sums] table
+for CAE clusters — across batches, keyed by
+
+    (query digest, cluster id, codebook version)
+
+so a repeated query skips the residual/LUT/partial-sum recomputation
+entirely.  The cache never touches modeled time: each DPU is still
+charged the full LUT-construction cost on every visit (the golden-timing
+contract), exactly as the real hardware would rebuild its WRAM copy.
+
+Invalidation: the engine bumps its codebook version (making every old
+key unreachable) and calls :meth:`LutCache.clear` whenever the index or
+the placement changes — ``build()`` and ``refresh_placement()``.
+
+Hit/miss totals are exposed through :mod:`repro.telemetry` as
+``repro_lut_cache_hits_total`` / ``repro_lut_cache_misses_total``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.telemetry.registry import MetricsRegistry, get_registry
+
+#: Cache key: (query digest, cluster id, codebook version).
+CacheKey = tuple[bytes, int, int]
+
+
+def query_digest(query: np.ndarray) -> bytes:
+    """Stable 16-byte digest of a query vector's float32 contents."""
+    data = np.ascontiguousarray(query, dtype=np.float32)
+    return hashlib.blake2b(data.tobytes(), digest_size=16).digest()
+
+
+class LutCache:
+    """Byte-capacity LRU over per-(query, cluster) lookup tables.
+
+    Entries are immutable NumPy arrays; eviction is by total stored
+    bytes, least-recently-used first.  A capacity of 0 (or less)
+    disables the cache: every lookup misses and nothing is retained.
+    """
+
+    def __init__(
+        self, capacity_bytes: int, *, registry: MetricsRegistry | None = None
+    ):
+        self.capacity_bytes = int(capacity_bytes)
+        self._registry = registry
+        self._entries: OrderedDict[CacheKey, np.ndarray] = OrderedDict()
+        self._bytes = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity_bytes > 0
+
+    @property
+    def nbytes(self) -> int:
+        return self._bytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _counters(self):
+        reg = self._registry if self._registry is not None else get_registry()
+        return reg.cached(
+            "lut_cache_counters",
+            lambda: (
+                reg.counter(
+                    "repro_lut_cache_hits_total",
+                    "cross-batch LUT cache hits",
+                ),
+                reg.counter(
+                    "repro_lut_cache_misses_total",
+                    "cross-batch LUT cache misses",
+                ),
+            ),
+        )
+
+    def get(self, key: CacheKey) -> np.ndarray | None:
+        """The cached table, refreshed as most-recently-used; None on miss."""
+        hits, misses = self._counters()
+        entry = self._entries.get(key)
+        if entry is None:
+            misses.inc()
+            return None
+        self._entries.move_to_end(key)
+        hits.inc()
+        return entry
+
+    def get_many(self, keys: list[CacheKey]) -> list[np.ndarray | None]:
+        """Batched :meth:`get`: one entry per key, None on miss.
+
+        Counter updates are coalesced into a single hit and a single
+        miss increment, which keeps the per-(query, cluster) lookup cost
+        out of the grouped engine's hot path.
+        """
+        hits, misses = self._counters()
+        entries = self._entries
+        out: list[np.ndarray | None] = []
+        n_hits = 0
+        for key in keys:
+            entry = entries.get(key)
+            if entry is not None:
+                entries.move_to_end(key)
+                n_hits += 1
+            out.append(entry)
+        if n_hits:
+            hits.inc(n_hits)
+        if len(out) > n_hits:
+            misses.inc(len(out) - n_hits)
+        return out
+
+    def put(self, key: CacheKey, table: np.ndarray) -> None:
+        """Insert (or refresh) one table, evicting LRU entries to fit.
+
+        A table larger than the whole capacity is simply not retained —
+        the caller keeps its own reference for the current batch.
+        """
+        if not self.enabled:
+            return
+        if table.nbytes > self.capacity_bytes:
+            return
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._bytes -= old.nbytes
+        self._entries[key] = table
+        self._bytes += table.nbytes
+        while self._bytes > self.capacity_bytes:
+            _, evicted = self._entries.popitem(last=False)
+            self._bytes -= evicted.nbytes
+
+    def clear(self) -> None:
+        """Drop every entry (codebook or placement changed)."""
+        self._entries.clear()
+        self._bytes = 0
+
+    def stats(self) -> dict[str, int]:
+        """Current occupancy (counts are in the telemetry registry)."""
+        return {
+            "entries": len(self._entries),
+            "bytes": self._bytes,
+            "capacity_bytes": self.capacity_bytes,
+        }
+
+
+def check_capacity(capacity_bytes: int) -> int:
+    """Validate a configured capacity (negative = configuration error)."""
+    if capacity_bytes < 0:
+        raise ConfigError(
+            f"lut_cache_bytes must be >= 0 (0 disables), got {capacity_bytes}"
+        )
+    return capacity_bytes

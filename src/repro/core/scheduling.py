@@ -14,6 +14,7 @@ Complexity O(|Q| x nprobe), negligible next to the search itself.
 
 from __future__ import annotations
 
+from bisect import insort_right
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -98,12 +99,23 @@ def schedule_batch(
                 multi.append((c, qi))
 
     # Pass 2: replicated clusters, largest first, to least-loaded holder
-    # (lines 8-14).  Stable sort keeps determinism for equal sizes.
-    multi.sort(key=lambda pair: (-sizes[pair[0]], pair[0], pair[1]))
+    # (lines 8-14).  The (-size, cluster, query) key is a total order,
+    # so the vectorized lexsort reproduces the tuple-key sort exactly.
+    if multi:
+        carr = np.fromiter((c for c, _ in multi), np.int64, len(multi))
+        qarr = np.fromiter((q for _, q in multi), np.int64, len(multi))
+        order = np.lexsort((qarr, carr, -sizes[carr]))
+        multi = [multi[int(j)] for j in order]
     for c, qi in multi:
         dpus = placement.replicas[c]
-        loads = workload[dpus]
-        d = dpus[int(np.argmin(loads))]
+        # First-minimum holder, like np.argmin, without the per-pair
+        # array dispatch (replica lists are tiny).
+        d = dpus[0]
+        best_load = workload[d]
+        for cand in dpus[1:]:
+            if workload[cand] < best_load:
+                d = cand
+                best_load = workload[cand]
         per_dpu[d].append((qi, c))
         workload[d] += sizes[c]
 
@@ -125,12 +137,29 @@ def _refine_assignment(
     per_dpu = assignment.per_dpu
     if max_rounds is None:
         max_rounds = 8 * assignment.n_dpus
+    # Per-DPU descending-size views, built lazily and maintained
+    # incrementally across rounds: a stable sort order survives removing
+    # one element, and a pair appended to a worklist sorts after every
+    # existing equal-size pair — exactly where insort_right puts it.
+    # Each round therefore scans the same sequence the per-round stable
+    # sort produced before, without re-sorting ~unchanged lists.
+    sorted_cache: dict[int, list[tuple[int, int]]] = {}
+
+    def sorted_pairs(d: int) -> list[tuple[int, int]]:
+        pairs = sorted_cache.get(d)
+        if pairs is None:
+            dp = per_dpu[d]
+            csizes = sizes[np.fromiter((c for _, c in dp), np.int64, len(dp))]
+            pairs = [dp[int(j)] for j in np.argsort(-csizes, kind="stable")]
+            sorted_cache[d] = pairs
+        return pairs
+
     for _ in range(max_rounds):
         src = int(np.argmax(workload))
         moved = False
-        # Try to move the source's largest movable pairs first.
-        pairs = sorted(per_dpu[src], key=lambda p: -sizes[p[1]])
-        for qi, c in pairs:
+        # Try to move the source's largest movable pairs first (stable
+        # argsort == the stable Python sort on -size it replaces).
+        for qi, c in sorted_pairs(src):
             s = sizes[c]
             holders = placement.replicas[c]
             if len(holders) < 2:
@@ -146,6 +175,11 @@ def _refine_assignment(
             if best >= 0:
                 per_dpu[src].remove((qi, c))
                 per_dpu[best].append((qi, c))
+                sorted_cache[src].remove((qi, c))
+                if best in sorted_cache:
+                    insort_right(
+                        sorted_cache[best], (qi, c), key=lambda p: -sizes[p[1]]
+                    )
                 workload[src] -= s
                 workload[best] += s
                 moved = True

@@ -179,27 +179,6 @@ def merge_heaps_naive(
     return out_v, out_i, stats
 
 
-def _local_topk_vectorized(
-    values: np.ndarray, ids: np.ndarray, k: int
-) -> tuple[np.ndarray, np.ndarray, int]:
-    """Exact k smallest of one stride + analytic scan comparison count.
-
-    A bounded max-heap scanning n random-order elements performs ~n root
-    comparisons plus ~k(1 + ln(n/k)) successful insertions costing
-    log2(k) sift comparisons each; we count that analytically instead of
-    looping in Python (the DPU charge model needs counts, not a replay).
-    """
-    n = values.shape[0]
-    if n == 0:
-        return values[:0], ids[:0], 0
-    k_eff = min(k, n)
-    part = np.argpartition(values, k_eff - 1)[:k_eff]
-    order = part[np.argsort(values[part], kind="stable")]
-    expected_insertions = k_eff * (1.0 + max(0.0, np.log(max(n, 1) / k_eff)))
-    comparisons = int(n + expected_insertions * max(1.0, np.log2(max(k_eff, 2))))
-    return values[order], ids[order], comparisons
-
-
 def scan_topk_fast(
     distances: np.ndarray,
     ids: np.ndarray,
@@ -210,57 +189,267 @@ def scan_topk_fast(
 ) -> tuple[np.ndarray, np.ndarray, HeapStats]:
     """Vectorized equivalent of :func:`scan_topk_threaded`.
 
-    Identical results (up to ties); the per-element scan is NumPy, and
-    only the small T*k merge replays the exact pruned/naive insertion
-    logic so the pruning statistics stay faithful.  This is what the
-    DPU kernel simulation calls on its hot path.
+    The thread strides are packed into one padded (tasklets, stride)
+    matrix so the per-stride local top-k is a single row-wise stable
+    argsort — no Python-level per-tasklet loop on the kernel hot path.
+    Work statistics are analytic (a bounded max-heap scanning n
+    random-order elements performs ~n root comparisons plus
+    ~k(1 + ln(n/k)) successful insertions costing log2(k) sift
+    comparisons each), computed with the exact same float64 expression
+    per stride as the scalar form so the charged cycles they feed are
+    reproduced bit-for-bit.
+
+    Ties are broken stably by scan position: the result is always
+    identical to ``np.argsort(distances, kind="stable")[:k]``, for any
+    tasklet count — a uniquely defined output, so the vectorized and
+    reference paths cannot drift apart on duplicate distances.
     """
     if n_tasklets < 1:
         raise ConfigError("need at least one tasklet")
     distances = np.asarray(distances, dtype=np.float32)
     ids = np.asarray(ids, dtype=np.int64)
     stats = HeapStats()
-    local_v: list[np.ndarray] = []
-    local_i: list[np.ndarray] = []
-    for t in range(n_tasklets):
-        v, i, comps = _local_topk_vectorized(
-            distances[t::n_tasklets], ids[t::n_tasklets], k
-        )
-        stats.comparisons += comps
-        stats.insertions += v.shape[0]
-        local_v.append(v)
-        local_i.append(i)
+    n = distances.shape[0]
+    if n == 0:
+        return distances[:0], ids[:0], stats
+    t = n_tasklets
+    stride = -(-n // t)  # ceil: max elements any tasklet scans
+    # Column j of the (stride, t) layout is tasklet j's stride; pad with
+    # +inf so short strides sort their live prefix first (stable sort
+    # keeps any real +inf ahead of padding — padding sits at larger
+    # scan positions).
+    pad = stride * t - n
+    mat_v = np.concatenate(
+        [distances, np.full(pad, np.inf, dtype=np.float32)]
+    ).reshape(stride, t).T  # (t, stride): row i = distances[i::t]
+    mat_p = np.arange(stride * t, dtype=np.int64).reshape(stride, t).T
+    stride_len = np.full(t, n // t, dtype=np.int64)
+    stride_len[: n % t] += 1
+    k_local = np.minimum(k, stride_len)  # per-stride retained count
 
-    # Global merge, vectorized: the final top-k over all local lists is
-    # the same set a heap merge produces; the pruning statistic is
-    # recovered exactly from each ascending local list — once a value
-    # fails against the final k-th best, everything after it would have
-    # been pruned by the semaphore-guarded merge of section 4.4.
-    cat_v = np.concatenate(local_v)
-    cat_i = np.concatenate(local_i)
+    kk = min(k, stride)
+    order = np.argsort(mat_v, axis=1, kind="stable")[:, :kk]
+    top_v = np.take_along_axis(mat_v, order, axis=1)
+    top_p = np.take_along_axis(mat_p, order, axis=1)
+    valid = np.arange(kk, dtype=np.int64)[None, :] < k_local[:, None]
+
+    # Analytic local-scan work, per stride (same float64 chain as the
+    # scalar formula; int truncation per stride, then summed).
+    live = stride_len > 0
+    n_f = stride_len.astype(np.float64)
+    k_f = k_local.astype(np.float64)
+    ratio = np.divide(n_f, k_f, out=np.ones_like(n_f), where=live)
+    exp_ins = k_f * (1.0 + np.maximum(0.0, np.log(ratio, where=live, out=np.zeros_like(ratio))))
+    comps = (
+        n_f + exp_ins * np.maximum(1.0, np.log2(np.maximum(k_f, 2.0)))
+    ).astype(np.int64)
+    stats.comparisons += int(comps[live].sum())
+    stats.insertions += int(k_local.sum())
+
+    # Global merge: concatenate the ascending local lists in tasklet
+    # order (the order the semaphore-guarded merge of section 4.4
+    # consumes them), then select the k best by (value, scan position).
+    flat_valid = valid.ravel()
+    cat_v = top_v.ravel()[flat_valid]
+    cat_p = top_p.ravel()[flat_valid]
     k_eff = min(k, cat_v.shape[0])
     if k_eff == 0:
-        return cat_v[:0], cat_i[:0], stats
-    part = np.argpartition(cat_v, k_eff - 1)[:k_eff]
-    order = part[np.argsort(cat_v[part], kind="stable")]
-    out_v, out_i = cat_v[order].copy(), cat_i[order].copy()
+        return cat_v[:0], ids[:0], stats
+    sel = np.lexsort((cat_p, cat_v))[:k_eff]
+    out_v = cat_v[sel].copy()
+    out_i = ids[cat_p[sel]]
     threshold = out_v[-1]
+
+    # Pruning statistic, recovered exactly from each ascending local
+    # list: once a value fails against the final k-th best, everything
+    # after it would have been pruned (Figure 9, grey nodes).
     merge_log_k = max(1.0, np.log2(max(k_eff, 2)))
-    for v in local_v:
-        if v.shape[0] == 0:
-            continue
-        if prune:
-            accepted = int(np.searchsorted(v, threshold, side="left"))
-            offered = min(accepted + 1, v.shape[0])  # +1 failing probe
-            stats.pruned += v.shape[0] - offered
-        else:
-            offered = v.shape[0]
-            accepted = int(np.searchsorted(v, threshold, side="left"))
-        merge_work = offered + int(accepted * merge_log_k)
-        stats.comparisons += merge_work
-        stats.merge_comparisons += merge_work
-        stats.insertions += accepted
+    accepted = ((top_v < threshold) & valid).sum(axis=1)
+    if prune:
+        offered = np.minimum(accepted + 1, k_local)  # +1 failing probe
+        stats.pruned += int((k_local - offered).sum())
+    else:
+        offered = k_local
+    merge_work = int(
+        (offered + (accepted * merge_log_k).astype(np.int64)).sum()
+    )
+    stats.comparisons += merge_work
+    stats.merge_comparisons += merge_work
+    stats.insertions += int(accepted.sum())
     return out_v, out_i, stats
+
+
+def _sortable_u32(values: np.ndarray) -> np.ndarray:
+    """Order-preserving float32 -> uint32 bijection (IEEE-754 trick).
+
+    Lets a plain integer sort implement the exact (value, position)
+    lexicographic order without a slow ``np.lexsort`` per group.
+    """
+    u = np.ascontiguousarray(values, dtype=np.float32).view(np.uint32)
+    neg = (u & np.uint32(0x80000000)) != 0
+    return np.where(neg, ~u, u | np.uint32(0x80000000))
+
+
+def scan_topk_fast_batch(
+    values_list: list[np.ndarray],
+    ids_list: list[np.ndarray],
+    k: int,
+    n_tasklets: int,
+    *,
+    prune: bool = True,
+) -> list[tuple[np.ndarray, np.ndarray, HeapStats]]:
+    """:func:`scan_topk_fast` over many independent candidate groups.
+
+    The grouped kernel calls this once per batch with one group per
+    (DPU, query) pair, replacing thousands of small NumPy dispatches
+    with a handful of fused ones.  Guaranteed result- and
+    stats-identical to calling :func:`scan_topk_fast` per group: the
+    padded layout only adds +inf entries past every stride's live
+    prefix, the work statistics are computed with the same float64
+    expressions from the true lengths, and the merge selects by the
+    same (value, scan position) key.
+    """
+    if len(values_list) == 0:
+        return []
+    n_arr = np.array([v.shape[0] for v in values_list], dtype=np.int64)
+    if int(n_arr.sum()) == 0:
+        flat_v = np.empty(0, dtype=np.float32)
+        flat_i = np.empty(0, dtype=np.int64)
+    else:
+        flat_v = np.concatenate(
+            [np.asarray(v, dtype=np.float32) for v in values_list]
+        )
+        flat_i = np.concatenate([np.asarray(i, dtype=np.int64) for i in ids_list])
+    return scan_topk_fast_batch_flat(
+        flat_v, flat_i, n_arr, k, n_tasklets, prune=prune
+    )
+
+
+def scan_topk_fast_batch_flat(
+    flat_v: np.ndarray,
+    flat_i: np.ndarray,
+    n_arr: np.ndarray,
+    k: int,
+    n_tasklets: int,
+    *,
+    prune: bool = True,
+) -> list[tuple[np.ndarray, np.ndarray, HeapStats]]:
+    """:func:`scan_topk_fast_batch` over pre-concatenated candidates.
+
+    ``flat_v`` / ``flat_i`` hold every group's candidates back to back
+    and ``n_arr`` gives the per-group lengths; callers that already own
+    contiguous per-group slices (the grouped kernel) avoid a second
+    concatenation pass.
+    """
+    if n_tasklets < 1:
+        raise ConfigError("need at least one tasklet")
+    t = n_tasklets
+    n_arr = np.asarray(n_arr, dtype=np.int64)
+    n_groups = int(n_arr.shape[0])
+    if n_groups == 0:
+        return []
+    total = int(n_arr.sum())
+    if total == 0:
+        return [
+            (np.empty(0, dtype=np.float32), np.empty(0, dtype=np.int64), HeapStats())
+            for _ in range(n_groups)
+        ]
+    flat_v = np.ascontiguousarray(flat_v, dtype=np.float32)
+    flat_i = np.asarray(flat_i, dtype=np.int64)
+    starts = np.zeros(n_groups + 1, dtype=np.int64)
+    np.cumsum(n_arr, out=starts[1:])
+    gidx = np.repeat(np.arange(n_groups, dtype=np.int64), n_arr)
+    j = np.arange(total, dtype=np.int64) - starts[gidx]
+
+    # Per-group top-k by packed (value, position) key: one O(n)
+    # partition + O(k log k) sort per group, no padding waste.  The
+    # union of per-stride local top-k lists always contains the global
+    # (value, position)-smallest k, so selecting directly over the raw
+    # group is result-identical to local-select-then-merge.
+    keys = (_sortable_u32(flat_v).astype(np.uint64) << np.uint64(32)) | (
+        j.astype(np.uint64)
+    )
+    mask32 = np.uint64(0xFFFFFFFF)
+    k_eff_arr = np.minimum(k, n_arr)
+    offs = np.zeros(n_groups + 1, dtype=np.int64)
+    np.cumsum(k_eff_arr, out=offs[1:])
+    all_sel = np.empty(int(offs[-1]), dtype=np.uint64)
+    starts_l = starts.tolist()
+    offs_l = offs.tolist()
+    for g in range(n_groups):
+        o0, o1 = offs_l[g], offs_l[g + 1]
+        if o1 == o0:
+            continue
+        s, e = starts_l[g], starts_l[g + 1]
+        ke = o1 - o0
+        if ke < e - s:
+            sel = np.partition(keys[s:e], ke - 1)[:ke]
+            sel.sort()
+        else:
+            sel = np.sort(keys[s:e])
+        all_sel[o0:o1] = sel
+    pos = (all_sel & mask32).astype(np.int64) + np.repeat(starts[:-1], k_eff_arr)
+    # Per-group selection threshold = last (largest) selected value;
+    # empty groups keep +inf (they contribute no candidates anyway).
+    th_v = np.where(
+        k_eff_arr > 0,
+        flat_v[pos[np.maximum(offs[1:] - 1, 0)]],
+        np.float32(np.inf),
+    ).astype(np.float32)
+
+    # Analytic local-scan work — the same per-stride float64 chain as
+    # scan_topk_fast, truncated per stride before summing.
+    stride_len = (n_arr[:, None] // t) + (
+        np.arange(t, dtype=np.int64)[None, :] < (n_arr[:, None] % t)
+    )
+    k_local = np.minimum(k, stride_len)
+    live = stride_len > 0
+    n_f = stride_len.astype(np.float64)
+    k_f = k_local.astype(np.float64)
+    ratio = np.divide(n_f, k_f, out=np.ones_like(n_f), where=live)
+    logr = np.log(ratio, out=np.zeros_like(ratio), where=live)
+    exp_ins = k_f * (1.0 + np.maximum(0.0, logr))
+    comps = (
+        n_f + exp_ins * np.maximum(1.0, np.log2(np.maximum(k_f, 2.0)))
+    ).astype(np.int64)
+    comps_g = np.where(live, comps, 0).sum(axis=1)
+    ins_local_g = k_local.sum(axis=1)
+
+    # Merge statistics.  A stride's accepted count — how many of its
+    # ascending local list beat the final threshold — equals its raw
+    # count of elements strictly below the threshold: at most
+    # min(k, n) - 1 elements lie below it globally, so no stride can
+    # hold more than its own local-top capacity of them.
+    below = flat_v < th_v[gidx]
+    accepted = np.bincount(
+        (gidx * t + (j % t))[below], minlength=n_groups * t
+    ).reshape(n_groups, t)
+    k_eff_g = np.minimum(k, n_arr)
+    merge_log_k = np.maximum(1.0, np.log2(np.maximum(k_eff_g, 2)))
+    if prune:
+        offered = np.minimum(accepted + 1, k_local)
+        pruned_g = (k_local - offered).sum(axis=1)
+    else:
+        offered = k_local
+        pruned_g = np.zeros(n_groups, dtype=np.int64)
+    merge_g = (
+        offered + (accepted * merge_log_k[:, None]).astype(np.int64)
+    ).sum(axis=1)
+    accepted_g = accepted.sum(axis=1)
+
+    out_v_all = flat_v[pos]
+    out_i_all = flat_i[pos]
+    out: list[tuple[np.ndarray, np.ndarray, HeapStats]] = []
+    for g in range(n_groups):
+        o0, o1 = offs_l[g], offs_l[g + 1]
+        stats = HeapStats(
+            comparisons=int(comps_g[g] + merge_g[g]),
+            insertions=int(ins_local_g[g] + accepted_g[g]),
+            pruned=int(pruned_g[g]),
+            merge_comparisons=int(merge_g[g]),
+        )
+        out.append((out_v_all[o0:o1], out_i_all[o0:o1], stats))
+    return out
 
 
 def estimate_scan_stats(n_points: float, k: int, n_tasklets: int) -> tuple[float, float]:

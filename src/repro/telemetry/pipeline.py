@@ -37,6 +37,42 @@ TIMING_STAGES = (
 )
 
 
+def _dma_children(reg: MetricsRegistry, direction: str):
+    """Cached (bytes counter child, size histogram child) for a direction."""
+    return reg.cached(
+        ("observe_dma", direction),
+        lambda: (
+            reg.counter(
+                "repro_mram_dma_bytes_total",
+                "bytes moved across the MRAM<->WRAM DMA engine",
+                ("direction",),
+            ).labels(direction=direction),
+            reg.histogram(
+                "repro_mram_dma_transfer_bytes",
+                "per-DMA-transaction transfer size",
+                ("direction",),
+                buckets=DMA_BUCKETS,
+            ).labels(direction=direction),
+        ),
+    )
+
+
+def dma_observations(total_bytes: int, chunk_bytes: int) -> tuple[tuple[int, int], ...]:
+    """One bulk stream as pre-aggregated (transfer size, count) pairs:
+    ``full`` chunk-sized transactions plus one rounded tail."""
+    if total_bytes <= 0:
+        return ()
+    full, tail = divmod(total_bytes, chunk_bytes)
+    obs = []
+    if full:
+        obs.append((chunk_bytes, full))
+    if tail:
+        from repro.hardware.mram import round_up_dma
+
+        obs.append((round_up_dma(tail), 1))
+    return tuple(obs)
+
+
 def observe_dma(
     direction: str,
     total_bytes: int,
@@ -49,24 +85,34 @@ def observe_dma(
     if total_bytes <= 0:
         return
     reg = registry if registry is not None else get_registry()
-    reg.counter(
-        "repro_mram_dma_bytes_total",
-        "bytes moved across the MRAM<->WRAM DMA engine",
-        ("direction",),
-    ).labels(direction=direction).inc(total_bytes)
-    hist = reg.histogram(
-        "repro_mram_dma_transfer_bytes",
-        "per-DMA-transaction transfer size",
-        ("direction",),
-        buckets=DMA_BUCKETS,
-    ).labels(direction=direction)
-    full, tail = divmod(total_bytes, chunk_bytes)
-    if full:
-        hist.observe(chunk_bytes, count=full)
-    if tail:
-        from repro.hardware.mram import round_up_dma
+    bytes_child, hist = _dma_children(reg, direction)
+    bytes_child.inc(total_bytes)
+    for size, count in dma_observations(total_bytes, chunk_bytes):
+        hist.observe(size, count=count)
 
-        hist.observe(round_up_dma(tail))
+
+def observe_dma_batch(
+    direction: str,
+    total_bytes: int,
+    observations: "dict[int, int] | list[tuple[int, int]]",
+    *,
+    registry: MetricsRegistry | None = None,
+) -> None:
+    """Flush many streams' pre-aggregated transactions in one call.
+
+    Counter and histogram updates are integer-valued, so draining an
+    accumulated ``{transfer size: count}`` map leaves the registry in
+    exactly the state per-stream :func:`observe_dma` calls would — the
+    grouped kernel uses this to replay thousands of charges cheaply.
+    """
+    if total_bytes <= 0:
+        return
+    reg = registry if registry is not None else get_registry()
+    bytes_child, hist = _dma_children(reg, direction)
+    bytes_child.inc(total_bytes)
+    items = observations.items() if isinstance(observations, dict) else observations
+    for size, count in items:
+        hist.observe(size, count=count)
 
 
 def observe_wram_peak(peak_bytes: int, *, registry: MetricsRegistry | None = None) -> None:

@@ -201,6 +201,7 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._families: dict[str, MetricFamily] = {}
+        self._cache: dict[object, object] = {}
 
     def _get_or_create(
         self,
@@ -271,9 +272,25 @@ class MetricsRegistry:
     def get(self, name: str) -> MetricFamily | None:
         return self._families.get(name)
 
+    def cached(self, key: object, factory):
+        """Get-or-create an arbitrary handle memoized on this registry.
+
+        Hot paths use this to hold resolved metric children (skipping the
+        name/label lookups per call).  Entries live exactly as long as
+        the families they reference: :meth:`reset` drops both, so a
+        cached child can never outlive its family.
+        """
+        try:
+            return self._cache[key]
+        except KeyError:
+            value = factory()
+            self._cache[key] = value
+            return value
+
     def reset(self) -> None:
-        """Drop every registered family (test isolation)."""
+        """Drop every registered family and cached handle (test isolation)."""
         self._families.clear()
+        self._cache.clear()
 
     # Exposition lives in repro.telemetry.exposition; these forwarders
     # keep the common calls one import away.

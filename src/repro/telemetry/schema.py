@@ -32,6 +32,7 @@ from repro.telemetry.exposition import validate_prometheus_text, validate_snapsh
 from repro.telemetry.log import get_logger
 
 RESULT_SCHEMA = "repro.bench.result/v1"
+PERF_SCHEMA = "repro.perf/v1"
 
 #: Stage keys the six-scalar :class:`~repro.sim.schedule.BatchTiming`
 #: decomposes a batch into (the record may carry extra engine-specific
@@ -177,6 +178,94 @@ def _validate_utilization(util: Any) -> list[str]:
     return errors
 
 
+def make_perf_record(
+    *,
+    name: str,
+    config: dict[str, Any],
+    cases: list[dict[str, Any]],
+) -> dict[str, Any]:
+    """Assemble and validate one wall-clock perf record.
+
+    Unlike :data:`RESULT_SCHEMA` records (modeled seconds), a perf
+    record carries *host* wall-clock measurements from ``repro.perf``:
+    one case per batch shape with looped / grouped-cold / grouped-warm
+    timings, plus aggregate totals.  Speedups are ratios of wall-clock
+    sums, so the record stays comparable across machines.
+    """
+    if not cases:
+        raise ConfigError("a perf record needs at least one case")
+    looped = sum(float(c.get("looped_s", 0.0)) for c in cases)
+    warm = sum(float(c.get("grouped_warm_s", 0.0)) for c in cases)
+    record = {
+        "schema": PERF_SCHEMA,
+        "name": name,
+        "config": dict(config),
+        "cases": [dict(c) for c in cases],
+        "totals": {
+            "looped_s": looped,
+            "grouped_warm_s": warm,
+            "speedup": (looped / warm) if warm > 0 else 0.0,
+        },
+    }
+    errors = validate_perf_record(record)
+    if errors:
+        raise ConfigError(
+            "constructed an invalid perf record: " + "; ".join(errors)
+        )
+    return record
+
+
+#: Required per-case wall-clock fields of a perf record.
+PERF_CASE_FIELDS = ("looped_s", "grouped_cold_s", "grouped_warm_s")
+
+
+def validate_perf_record(record: Any) -> list[str]:
+    """Structural errors in a perf record (empty list = valid)."""
+    errors: list[str] = []
+    if not isinstance(record, dict):
+        return ["record must be a JSON object"]
+    if record.get("schema") != PERF_SCHEMA:
+        errors.append(
+            f"schema must be {PERF_SCHEMA!r}, got {record.get('schema')!r}"
+        )
+    if not isinstance(record.get("name"), str) or not record.get("name"):
+        errors.append("missing non-empty string 'name'")
+    config = record.get("config")
+    if not isinstance(config, dict) or not all(
+        isinstance(k, str) for k in config
+    ):
+        errors.append("'config' must be an object with string keys")
+    cases = record.get("cases")
+    if not isinstance(cases, list) or not cases:
+        errors.append("'cases' must be a non-empty list")
+        cases = []
+    for i, case in enumerate(cases):
+        where = f"cases[{i}]"
+        if not isinstance(case, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        if not isinstance(case.get("name"), str) or not case.get("name"):
+            errors.append(f"{where}: missing non-empty string 'name'")
+        if not isinstance(case.get("shape"), dict):
+            errors.append(f"{where}: 'shape' must be an object")
+        if not isinstance(case.get("repeats"), int) or case.get("repeats", 0) < 1:
+            errors.append(f"{where}: 'repeats' must be a positive integer")
+        for key in PERF_CASE_FIELDS:
+            if not _is_number(case.get(key)) or case.get(key, -1) < 0:
+                errors.append(f"{where}.{key} must be a non-negative number")
+        for key in ("speedup_cold", "speedup_warm"):
+            if not _is_number(case.get(key)) or case.get(key, -1) < 0:
+                errors.append(f"{where}.{key} must be a non-negative number")
+    totals = record.get("totals")
+    if not isinstance(totals, dict):
+        errors.append("'totals' must be an object")
+    else:
+        for key in ("looped_s", "grouped_warm_s", "speedup"):
+            if not _is_number(totals.get(key)) or totals.get(key, -1) < 0:
+                errors.append(f"totals.{key} must be a non-negative number")
+    return errors
+
+
 def main(argv: list[str] | None = None) -> int:
     """Validate result-record JSON files (or, with ``--prom``, Prometheus
     text scrapes).  Exit 0 = all valid, 1 = invalid, 2 = usage/IO error."""
@@ -198,19 +287,27 @@ def main(argv: list[str] | None = None) -> int:
         except OSError as exc:
             log.error("schema.read_failed", file=path, error=str(exc))
             return 2
+        kind = "prometheus"
         if prom:
             errors = validate_prometheus_text(text)
         else:
             try:
-                errors = validate_result_record(json.loads(text))
+                record = json.loads(text)
             except json.JSONDecodeError as exc:
-                errors = [f"not valid JSON: {exc}"]
+                record, errors = None, [f"not valid JSON: {exc}"]
+            if record is not None:
+                # Dispatch on the embedded schema tag so one invocation
+                # can validate a mixed set of record files.
+                if isinstance(record, dict) and record.get("schema") == PERF_SCHEMA:
+                    kind, errors = "perf", validate_perf_record(record)
+                else:
+                    kind, errors = "result", validate_result_record(record)
         if errors:
             for err in errors:
                 log.error("schema.invalid", file=path, error=err)
             status = 1
         else:
-            log.info("schema.valid", file=path, kind="prometheus" if prom else "result")
+            log.info("schema.valid", file=path, kind=kind)
     return status
 
 

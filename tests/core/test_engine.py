@@ -200,3 +200,106 @@ class TestOptimizationEffects:
             np.where(np.isfinite(ref.distances), ref.distances, -1),
             rtol=1e-4, atol=1e-4,
         )
+
+
+TIMING_FIELDS = (
+    "host_filter_s",
+    "host_schedule_s",
+    "transfer_in_s",
+    "dpu_makespan_s",
+    "transfer_out_s",
+    "host_aggregate_s",
+)
+
+
+def timing_hex(timing):
+    return tuple(getattr(timing, f).hex() for f in TIMING_FIELDS)
+
+
+class TestGroupedKernel:
+    """The vectorized grouped path must be bit-identical to the looped
+    reference — results AND every charged timing float."""
+
+    @pytest.fixture(scope="class")
+    def engine_pair(self, small_dataset, trained_index, history_queries):
+        engines = {}
+        for mode in ("looped", "grouped"):
+            eng = UpANNSEngine(make_config(UpANNSConfig(kernel_mode=mode)))
+            eng.build(
+                small_dataset.vectors,
+                history_queries=history_queries,
+                prebuilt_index=trained_index,
+            )
+            engines[mode] = eng
+        return engines
+
+    def test_grouped_matches_looped_bitwise(self, engine_pair, small_queries):
+        looped = engine_pair["looped"].search_batch(small_queries)
+        grouped = engine_pair["grouped"].search_batch(small_queries)
+        np.testing.assert_array_equal(looped.ids, grouped.ids)
+        np.testing.assert_array_equal(looped.distances, grouped.distances)
+        assert timing_hex(looped.timing) == timing_hex(grouped.timing)
+
+    def test_warm_repeat_batch_identical(self, engine_pair, small_queries):
+        """Cross-batch caches (LUT tables, charge memos) must not change
+        a repeated batch's results or charged time."""
+        grouped = engine_pair["grouped"]
+        first = grouped.search_batch(small_queries)
+        second = grouped.search_batch(small_queries)
+        np.testing.assert_array_equal(first.ids, second.ids)
+        np.testing.assert_array_equal(first.distances, second.distances)
+        assert timing_hex(first.timing) == timing_hex(second.timing)
+
+    def test_clear_runtime_caches_is_functional_noop(
+        self, engine_pair, small_queries
+    ):
+        grouped = engine_pair["grouped"]
+        warm = grouped.search_batch(small_queries)
+        grouped.clear_runtime_caches()
+        cold = grouped.search_batch(small_queries)
+        np.testing.assert_array_equal(warm.ids, cold.ids)
+        assert timing_hex(warm.timing) == timing_hex(cold.timing)
+
+    def test_lut_cache_hits_on_repeat_traffic(
+        self, small_dataset, trained_index, history_queries, small_queries
+    ):
+        from repro.telemetry.registry import MetricsRegistry, set_registry
+
+        mine = MetricsRegistry()
+        previous = set_registry(mine)
+        try:
+            eng = UpANNSEngine(make_config())
+            eng.build(
+                small_dataset.vectors,
+                history_queries=history_queries,
+                prebuilt_index=trained_index,
+            )
+            eng.search_batch(small_queries)
+            eng.search_batch(small_queries)
+            families = {m["name"]: m for m in mine.snapshot()["metrics"]}
+            hits = families["repro_lut_cache_hits_total"]["samples"][0]["value"]
+            misses = families["repro_lut_cache_misses_total"]["samples"][0]["value"]
+        finally:
+            set_registry(previous)
+        # Every (query, cluster) pair misses once, then hits on repeat.
+        assert misses > 0
+        assert hits >= misses
+
+
+class TestResultTransferBytes:
+    def test_transfer_out_charged_for_actual_candidates(self, built_engine, small_queries):
+        """Result DMA is sized by what the DPUs actually return: with k
+        larger than every per-(query, DPU) candidate count, raising k
+        further cannot change the bytes moved — the old nq*k*8 sizing
+        would have doubled them.  Probing one known cluster pins the
+        candidate count per (query, DPU) to that cluster's size."""
+        sizes = built_engine.index.ivf.cluster_sizes()
+        cluster = int(np.argmax(sizes))
+        probes = np.full((len(small_queries), 1), cluster, dtype=np.int64)
+        k_small = int(sizes[cluster]) + 10
+        res_a = built_engine.search_batch(small_queries, k=k_small, probes=probes)
+        res_b = built_engine.search_batch(
+            small_queries, k=2 * k_small, probes=probes
+        )
+        assert res_a.timing.transfer_out_s == res_b.timing.transfer_out_s
+        assert res_a.timing.transfer_out_s > 0.0

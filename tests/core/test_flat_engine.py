@@ -19,7 +19,7 @@ def flat_index(small_dataset):
     return idx
 
 
-def flat_config(naive=False):
+def flat_config(naive=False, kernel_mode="grouped"):
     return SystemConfig(
         index=IndexConfig(dim=32, n_clusters=32, m=4, train_iters=4),
         query=QueryConfig(nprobe=8, k=5, batch_size=40),
@@ -27,6 +27,7 @@ def flat_config(naive=False):
             enable_cae=False,
             enable_placement=not naive,
             enable_topk_pruning=not naive,
+            kernel_mode=kernel_mode,
         ),
         pim=PimSystemSpec(n_dimms=1, chips_per_dimm=2, dpus_per_chip=8),
         timing_scale=200.0,
@@ -162,3 +163,75 @@ class TestEngine:
     def test_factory_validates_dim(self):
         with pytest.raises(ConfigError):
             make_flat_engine(30, n_clusters=8, nprobe=2)
+
+
+TIMING_FIELDS = (
+    "host_filter_s",
+    "host_schedule_s",
+    "transfer_in_s",
+    "dpu_makespan_s",
+    "transfer_out_s",
+    "host_aggregate_s",
+)
+
+
+def timing_hex(timing):
+    return tuple(getattr(timing, f).hex() for f in TIMING_FIELDS)
+
+
+class TestGroupedScan:
+    """The grouped flat scan must match the looped reference bit-for-bit."""
+
+    @pytest.fixture(scope="class")
+    def engine_pair(self, small_dataset, flat_index, history_queries):
+        engines = {}
+        for mode in ("looped", "grouped"):
+            eng = IVFFlatPimEngine(flat_config(kernel_mode=mode))
+            eng.build(
+                small_dataset.vectors,
+                history_queries=history_queries,
+                prebuilt_index=flat_index,
+            )
+            engines[mode] = eng
+        return engines
+
+    def test_grouped_matches_looped_bitwise(self, engine_pair, small_queries):
+        looped = engine_pair["looped"].search_batch(small_queries)
+        grouped = engine_pair["grouped"].search_batch(small_queries)
+        np.testing.assert_array_equal(looped.ids, grouped.ids)
+        np.testing.assert_array_equal(looped.distances, grouped.distances)
+        assert timing_hex(looped.timing) == timing_hex(grouped.timing)
+
+    def test_warm_repeat_batch_identical(self, engine_pair, small_queries):
+        grouped = engine_pair["grouped"]
+        first = grouped.search_batch(small_queries)
+        second = grouped.search_batch(small_queries)
+        np.testing.assert_array_equal(first.ids, second.ids)
+        assert timing_hex(first.timing) == timing_hex(second.timing)
+
+    def test_transfer_out_charged_for_actual_candidates(
+        self, small_dataset, flat_index, history_queries, small_queries
+    ):
+        """Same contract as the PQ engine: result bytes follow the
+        candidates actually returned, not the requested k.  With
+        nprobe=1 each (query, DPU) worklist is one cluster, so any k
+        beyond the largest cluster cannot change the bytes moved."""
+        cfg = flat_config()
+        cfg = SystemConfig(
+            index=cfg.index,
+            query=QueryConfig(nprobe=1, k=5, batch_size=40),
+            upanns=cfg.upanns,
+            pim=cfg.pim,
+            timing_scale=cfg.timing_scale,
+        )
+        eng = IVFFlatPimEngine(cfg)
+        eng.build(
+            small_dataset.vectors,
+            history_queries=history_queries,
+            prebuilt_index=flat_index,
+        )
+        k_small = int(eng.index.cluster_sizes().max()) + 10
+        res_a = eng.search_batch(small_queries, k=k_small)
+        res_b = eng.search_batch(small_queries, k=2 * k_small)
+        assert res_a.timing.transfer_out_s == res_b.timing.transfer_out_s
+        assert res_a.timing.transfer_out_s > 0.0

@@ -1,0 +1,137 @@
+"""Cross-batch LUT cache tests: LRU semantics, capacity, counters."""
+
+import numpy as np
+import pytest
+
+from repro.core.lut_cache import LutCache, check_capacity, query_digest
+from repro.errors import ConfigError
+from repro.telemetry.registry import MetricsRegistry, set_registry
+
+
+@pytest.fixture()
+def registry():
+    mine = MetricsRegistry()
+    previous = set_registry(mine)
+    yield mine
+    set_registry(previous)
+
+
+def table(fill, n=8):
+    return np.full(n, fill, dtype=np.float32)  # 4 * n bytes
+
+
+def key(i):
+    return (bytes([i]) * 16, i, 0)
+
+
+def counter_values(registry):
+    families = {m["name"]: m for m in registry.snapshot()["metrics"]}
+
+    def value(name):
+        fam = families.get(name)
+        return fam["samples"][0]["value"] if fam and fam["samples"] else 0.0
+
+    return (
+        value("repro_lut_cache_hits_total"),
+        value("repro_lut_cache_misses_total"),
+    )
+
+
+class TestLruSemantics:
+    def test_get_returns_stored_table(self, registry):
+        cache = LutCache(1024)
+        cache.put(key(1), table(1.0))
+        got = cache.get(key(1))
+        np.testing.assert_array_equal(got, table(1.0))
+
+    def test_eviction_is_by_bytes_lru_first(self, registry):
+        cache = LutCache(96)  # fits three 32-byte tables
+        for i in range(3):
+            cache.put(key(i), table(float(i)))
+        cache.get(key(0))  # refresh 0 -> 1 is now LRU
+        cache.put(key(3), table(3.0))
+        assert cache.get(key(1)) is None
+        assert cache.get(key(0)) is not None
+        assert cache.get(key(3)) is not None
+        assert cache.nbytes <= 96
+
+    def test_put_refreshes_existing_key_without_double_count(self, registry):
+        cache = LutCache(1024)
+        cache.put(key(1), table(1.0))
+        cache.put(key(1), table(2.0))
+        assert cache.nbytes == table(2.0).nbytes
+        np.testing.assert_array_equal(cache.get(key(1)), table(2.0))
+
+    def test_oversized_table_not_retained(self, registry):
+        cache = LutCache(16)
+        cache.put(key(1), table(1.0))  # 32 bytes > capacity
+        assert len(cache) == 0
+        assert cache.get(key(1)) is None
+
+    def test_zero_capacity_disables(self, registry):
+        cache = LutCache(0)
+        assert not cache.enabled
+        cache.put(key(1), table(1.0))
+        assert cache.get(key(1)) is None
+        assert len(cache) == 0
+
+    def test_clear_drops_everything(self, registry):
+        cache = LutCache(1024)
+        cache.put(key(1), table(1.0))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.nbytes == 0
+        assert cache.stats()["entries"] == 0
+
+
+class TestCounters:
+    def test_hits_and_misses_counted(self, registry):
+        cache = LutCache(1024, registry=registry)
+        cache.put(key(1), table(1.0))
+        cache.get(key(1))
+        cache.get(key(2))
+        assert counter_values(registry) == (1.0, 1.0)
+
+    def test_get_many_matches_sequential_gets(self, registry):
+        reg_a, reg_b = MetricsRegistry(), MetricsRegistry()
+        a = LutCache(1024, registry=reg_a)
+        b = LutCache(1024, registry=reg_b)
+        for c in (a, b):
+            c.put(key(1), table(1.0))
+            c.put(key(3), table(3.0))
+        keys = [key(1), key(2), key(3), key(4), key(1)]
+        batched = a.get_many(keys)
+        single = [b.get(k) for k in keys]
+        for got_a, got_b in zip(batched, single):
+            if got_b is None:
+                assert got_a is None
+            else:
+                np.testing.assert_array_equal(got_a, got_b)
+        assert counter_values(reg_a) == counter_values(reg_b) == (3.0, 2.0)
+
+    def test_get_many_refreshes_recency(self, registry):
+        cache = LutCache(64)  # fits two 32-byte tables
+        cache.put(key(1), table(1.0))
+        cache.put(key(2), table(2.0))
+        cache.get_many([key(1)])  # 2 becomes LRU
+        cache.put(key(3), table(3.0))
+        assert cache.get(key(2)) is None
+        assert cache.get(key(1)) is not None
+
+
+class TestDigestAndCapacity:
+    def test_digest_stable_and_content_sensitive(self):
+        q = np.arange(8, dtype=np.float32)
+        assert query_digest(q) == query_digest(q.copy())
+        assert query_digest(q) != query_digest(q + 1)
+        assert len(query_digest(q)) == 16
+
+    def test_digest_normalizes_dtype(self):
+        q = np.arange(8, dtype=np.float64)
+        assert query_digest(q) == query_digest(q.astype(np.float32))
+
+    def test_check_capacity_rejects_negative(self):
+        assert check_capacity(0) == 0
+        assert check_capacity(1024) == 1024
+        with pytest.raises(ConfigError):
+            check_capacity(-1)

@@ -9,6 +9,8 @@ from repro.core.topk import (
     merge_heaps_naive,
     merge_heaps_pruned,
     scan_topk_fast,
+    scan_topk_fast_batch,
+    scan_topk_fast_batch_flat,
     scan_topk_threaded,
 )
 from repro.errors import ConfigError
@@ -173,3 +175,99 @@ class TestScanTopk:
     def test_invalid_tasklets(self):
         with pytest.raises(ConfigError):
             scan_topk_fast(np.ones(3, np.float32), np.arange(3), 1, 0)
+
+
+def stats_tuple(s):
+    return (s.comparisons, s.insertions, s.pruned, s.merge_comparisons)
+
+
+class TestScanTopkBatch:
+    """The grouped kernel's batched selection must match per-group calls
+    exactly — results and the work statistics that feed charged cycles."""
+
+    def assert_batch_matches_pergroup(self, values_list, ids_list, k, t, prune=True):
+        batched = scan_topk_fast_batch(values_list, ids_list, k, t, prune=prune)
+        assert len(batched) == len(values_list)
+        for (bv, bi, bs), v, ids in zip(batched, values_list, ids_list):
+            gv, gi, gs = scan_topk_fast(v, ids, k, t, prune=prune)
+            np.testing.assert_array_equal(bv, gv)
+            np.testing.assert_array_equal(bi, gi)
+            assert stats_tuple(bs) == stats_tuple(gs)
+
+    @given(
+        n_groups=st.integers(1, 12),
+        k=st.integers(1, 16),
+        t=st.integers(1, 16),
+        seed=st.integers(0, 2000),
+        prune=st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_batch_equals_per_group(self, n_groups, k, t, seed, prune):
+        rng = np.random.default_rng(seed)
+        values_list, ids_list = [], []
+        for _ in range(n_groups):
+            n = int(rng.integers(0, 120))
+            values_list.append(rng.random(n).astype(np.float32))
+            ids_list.append(rng.permutation(n).astype(np.int64))
+        self.assert_batch_matches_pergroup(values_list, ids_list, k, t, prune)
+
+    def test_k_exceeds_total_candidates(self):
+        """k larger than any group's candidate count returns everything,
+        sorted, with no padding artifacts."""
+        rng = np.random.default_rng(2)
+        values_list = [rng.random(n).astype(np.float32) for n in (3, 1, 7)]
+        ids_list = [np.arange(v.shape[0], dtype=np.int64) for v in values_list]
+        self.assert_batch_matches_pergroup(values_list, ids_list, 50, 11)
+        batched = scan_topk_fast_batch(values_list, ids_list, 50, 11)
+        for (bv, bi, _), v in zip(batched, values_list):
+            assert bv.shape[0] == v.shape[0]
+            np.testing.assert_array_equal(bv, np.sort(v))
+
+    def test_duplicate_ids_across_replicas(self):
+        """The same vector id appearing twice (replicated cluster) is
+        kept twice — selection is by scan position, not id identity."""
+        v = np.array([0.5, 0.1, 0.5, 0.1], dtype=np.float32)
+        ids = np.array([7, 3, 7, 3], dtype=np.int64)
+        self.assert_batch_matches_pergroup([v], [ids], 3, 4)
+        (bv, bi, _), = scan_topk_fast_batch([v], [ids], 3, 4)
+        np.testing.assert_array_equal(bi, [3, 3, 7])
+        np.testing.assert_array_equal(bv, np.array([0.1, 0.1, 0.5], np.float32))
+
+    def test_all_equal_distances_tiebreak_by_position(self):
+        """Equal values select by earliest scan position, for any stripe
+        count — the uniquely defined stable order."""
+        for t in (1, 3, 11):
+            v = np.full(20, 0.25, dtype=np.float32)
+            ids = np.arange(100, 120, dtype=np.int64)
+            self.assert_batch_matches_pergroup([v], [ids], 5, t)
+            (bv, bi, _), = scan_topk_fast_batch([v], [ids], 5, t)
+            np.testing.assert_array_equal(bi, ids[:5])
+
+    def test_empty_groups_and_empty_list(self):
+        empty_v = np.empty(0, dtype=np.float32)
+        empty_i = np.empty(0, dtype=np.int64)
+        self.assert_batch_matches_pergroup(
+            [empty_v, np.array([0.5], np.float32)], [empty_i, np.array([9])], 4, 3
+        )
+        assert scan_topk_fast_batch([], [], 4, 3) == []
+        (bv, bi, bs), = scan_topk_fast_batch([empty_v], [empty_i], 4, 3)
+        assert bv.shape == (0,) and bi.shape == (0,)
+        assert stats_tuple(bs) == (0, 0, 0, 0)
+
+    def test_flat_form_matches_list_form(self):
+        rng = np.random.default_rng(5)
+        values_list = [rng.random(n).astype(np.float32) for n in (30, 0, 11, 64)]
+        ids_list = [np.arange(v.shape[0], dtype=np.int64) for v in values_list]
+        flat_v = np.concatenate(values_list)
+        flat_i = np.concatenate(ids_list)
+        n_arr = np.array([v.shape[0] for v in values_list], dtype=np.int64)
+        from_list = scan_topk_fast_batch(values_list, ids_list, 6, 7)
+        from_flat = scan_topk_fast_batch_flat(flat_v, flat_i, n_arr, 6, 7)
+        for (lv, li, ls), (fv, fi, fs) in zip(from_list, from_flat):
+            np.testing.assert_array_equal(lv, fv)
+            np.testing.assert_array_equal(li, fi)
+            assert stats_tuple(ls) == stats_tuple(fs)
+
+    def test_invalid_tasklets(self):
+        with pytest.raises(ConfigError):
+            scan_topk_fast_batch([np.ones(3, np.float32)], [np.arange(3)], 1, 0)

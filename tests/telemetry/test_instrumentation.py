@@ -134,3 +134,35 @@ class TestMultiHostMetrics:
         assert net.labels(direction="gather").value > 0
         stages = registry.get("repro_stage_seconds_total")
         assert stages.labels(engine="multihost", stage="host_search").value > 0
+
+
+class TestBatchedDmaObservation:
+    """observe_dma_batch must leave the registry exactly where the
+    per-stream observe_dma calls it replaces would."""
+
+    def test_batch_flush_equals_per_stream_calls(self):
+        from repro.telemetry.pipeline import (
+            dma_observations,
+            observe_dma,
+            observe_dma_batch,
+        )
+
+        streams = [(3000, 2048), (512, 2048), (7, 8), (2048, 2048)]
+        reg_single = MetricsRegistry()
+        total = 0
+        agg: dict[int, int] = {}
+        for nbytes, chunk in streams:
+            observe_dma("read", nbytes, chunk, registry=reg_single)
+            total += nbytes
+            for size, count in dma_observations(nbytes, chunk):
+                agg[size] = agg.get(size, 0) + count
+        reg_batch = MetricsRegistry()
+        observe_dma_batch("read", total, agg, registry=reg_batch)
+        assert reg_single.snapshot() == reg_batch.snapshot()
+
+    def test_zero_bytes_is_a_noop(self):
+        from repro.telemetry.pipeline import observe_dma_batch
+
+        reg = MetricsRegistry()
+        observe_dma_batch("write", 0, {})
+        assert reg.snapshot()["metrics"] == []

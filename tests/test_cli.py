@@ -23,7 +23,8 @@ class TestParser:
             build_parser().parse_args([])
 
     @pytest.mark.parametrize(
-        "cmd", ["generate", "build", "search", "bench", "specs", "metrics", "trace"]
+        "cmd",
+        ["generate", "build", "search", "bench", "specs", "metrics", "trace", "perf"],
     )
     def test_subcommands_exist(self, cmd):
         parser = build_parser()
