@@ -155,10 +155,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
-def _tiny_service(args: argparse.Namespace):
-    """Build and drive the tiny synthetic deployment shared by the
-    ``trace`` and ``metrics`` subcommands; returns the served service."""
-    from repro.core.service import OnlineService
+def _tiny_deployment(args: argparse.Namespace):
+    """Build the tiny synthetic deployment shared by the ``trace``,
+    ``metrics`` and ``chaos`` subcommands; returns (engine, batches)."""
     from repro.data.synthetic import SIFT1B
     from repro.hardware.specs import PimSystemSpec
 
@@ -184,10 +183,32 @@ def _tiny_service(args: argparse.Namespace):
     )
     engine = UpANNSEngine(cfg)
     engine.build(dataset.vectors, history_queries=history, rng=rng)
+    batches = [
+        queries[b * args.batch_size : (b + 1) * args.batch_size]
+        for b in range(args.batches)
+    ]
+    return engine, batches
+
+
+def _tiny_service(args: argparse.Namespace):
+    """Build and drive the tiny synthetic deployment shared by the
+    ``trace`` and ``metrics`` subcommands; returns the served service."""
+    from repro.core.service import OnlineService
+
+    engine, batches = _tiny_deployment(args)
+    fault_specs = getattr(args, "fault", None)
+    hazard = getattr(args, "hazard", 0.0)
+    if fault_specs or hazard > 0.0:
+        from repro.faults import FaultPlan
+
+        engine.inject(
+            FaultPlan.from_specs(
+                fault_specs or [], seed=args.seed, transfer_hazard=hazard
+            )
+        )
     service = OnlineService(engine, overlap=args.overlap)
-    for b in range(args.batches):
-        lo = b * args.batch_size
-        service.submit(queries[lo : lo + args.batch_size])
+    for batch in batches:
+        service.submit(batch)
     return service
 
 
@@ -321,6 +342,131 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Run a seeded chaos scenario end-to-end on the tiny deployment.
+
+    Serves the same query stream twice — once fault-free as the
+    reference, once with the fault plan armed — and emits a
+    schema-versioned ``repro.chaos/v1`` record: faults injected,
+    retries, re-routes, coverage floor, recall delta and recovery cost.
+    The default plan kills one fully-replicated DPU at batch 3, the
+    zero-recall-loss failover scenario.
+    """
+    import json
+
+    from repro.core.service import OnlineService
+    from repro.faults import FaultPlan, pick_replicated_unit
+
+    telemetry.reset_metrics()
+
+    # Reference pass: identical deployment, no plan armed.
+    engine, batches = _tiny_deployment(args)
+    reference = OnlineService(engine)
+    ref_ids = [reference.submit(b).result.ids for b in batches]
+
+    # Chaos pass: fresh identical deployment with the plan armed.
+    engine, batches = _tiny_deployment(args)
+    specs = list(args.fault or [])
+    if not specs and args.hazard == 0.0:
+        target = pick_replicated_unit(engine.placement)
+        if target is None:
+            log.error("chaos.no_replicated_dpu")
+            return 2
+        specs = [f"dpu:{target}@3"]
+    plan = FaultPlan.from_specs(
+        specs, seed=args.seed, transfer_hazard=args.hazard
+    )
+    state = engine.inject(plan)
+    service = OnlineService(engine)
+    from repro.errors import DpuFailedError
+
+    try:
+        reports = [service.submit(b) for b in batches]
+    except DpuFailedError as exc:
+        # Total loss: every unit is dead, there is nothing to degrade to.
+        log.error("chaos.total_loss", error=str(exc))
+        return 1
+
+    # Functional damage: top-k agreement against the fault-free run.
+    matched = total = 0
+    for ids, report in zip(ref_ids, reports):
+        got = report.result.ids
+        for qi in range(ids.shape[0]):
+            want = set(int(i) for i in ids[qi] if i >= 0)
+            have = set(int(i) for i in got[qi] if i >= 0)
+            matched += len(want & have)
+            total += len(want)
+    recall_delta = 1.0 - (matched / total if total else 1.0)
+
+    batch_rows = []
+    for i, report in enumerate(reports):
+        deg = report.result.degraded
+        batch_rows.append(
+            {
+                "batch": i,
+                "coverage_floor": deg.coverage_floor if deg else 1.0,
+                "rerouted_pairs": deg.rerouted_pairs if deg else 0,
+                "dropped_pairs": deg.dropped_pairs if deg else 0,
+                "retry_seconds": report.result.timing.retry_s,
+                "recovery_seconds": report.recovery_s,
+            }
+        )
+    first_fault = min((e.batch for e in state.events_fired), default=None)
+    recovered_at = next(
+        (i for i, r in enumerate(reports) if r.recovery_s > 0), None
+    )
+    recovery_batches = (
+        recovered_at - first_fault + 1
+        if first_fault is not None and recovered_at is not None
+        else 0
+    )
+    record = telemetry.make_chaos_record(
+        name="cli_chaos",
+        config={
+            "batches": args.batches,
+            "batch_size": args.batch_size,
+            "seed": args.seed,
+            "timing_scale": args.timing_scale,
+            "n_dpus": engine.pim.n_dpus,
+        },
+        plan={
+            "events": [e.to_dict() for e in plan.events],
+            "seed": plan.seed,
+            "transfer_hazard": plan.transfer_hazard,
+            "max_retries": plan.max_retries,
+        },
+        faults_injected=len(state.events_fired),
+        retries=state.total_retries,
+        rerouted_pairs=state.total_rerouted_pairs,
+        dropped_pairs=state.total_dropped_pairs,
+        dead_units=list(state.dead_units),
+        coverage_floor=min((r["coverage_floor"] for r in batch_rows), default=1.0),
+        recall_delta=recall_delta,
+        retry_seconds=sum(r["retry_seconds"] for r in batch_rows),
+        recovery_batches=recovery_batches,
+        recovery_seconds=sum(r.recovery_s for r in reports),
+        batches=batch_rows,
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(record, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        log.info("chaos.record_written", file=args.out)
+    if args.json or not args.out:
+        print(json.dumps(record, indent=2, sort_keys=True))
+    else:
+        faults = record["faults"]
+        print(
+            f"chaos: {faults['injected']} faults, {faults['retries']} retries, "
+            f"{faults['rerouted_pairs']} pairs re-routed, "
+            f"{faults['dropped_pairs']} dropped; coverage floor "
+            f"{record['degradation']['coverage_floor']:.3f}, recall delta "
+            f"{record['degradation']['recall_delta']:.4f}, recovered in "
+            f"{record['recovery']['batches']} batches"
+        )
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint.__main__ import main as lint_main
 
@@ -412,6 +558,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace.add_argument("--timing-scale", type=float, default=1.0)
     trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument(
+        "--fault",
+        action="append",
+        default=None,
+        metavar="KIND:TARGET@BATCH",
+        help="inject a fault (e.g. dpu:5@2); repeatable",
+    )
+    trace.add_argument(
+        "--hazard",
+        type=float,
+        default=0.0,
+        help="seeded per-DPU transient transfer-fault probability per batch",
+    )
     trace.set_defaults(func=_cmd_trace)
 
     metrics = sub.add_parser(
@@ -436,7 +595,54 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="also write the registry as Prometheus text exposition",
     )
+    metrics.add_argument(
+        "--fault",
+        action="append",
+        default=None,
+        metavar="KIND:TARGET@BATCH",
+        help="inject a fault (e.g. dpu:5@2); repeatable",
+    )
+    metrics.add_argument(
+        "--hazard",
+        type=float,
+        default=0.0,
+        help="seeded per-DPU transient transfer-fault probability per batch",
+    )
     metrics.set_defaults(func=_cmd_metrics)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a seeded fault scenario and emit a repro.chaos/v1 record",
+    )
+    chaos.add_argument("--batches", type=int, default=6)
+    chaos.add_argument("--batch-size", type=int, default=32)
+    chaos.add_argument("--timing-scale", type=float, default=1.0)
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--fault",
+        action="append",
+        default=None,
+        metavar="KIND:TARGET@BATCH",
+        help="inject a fault (default: kill one replicated DPU at batch 3)",
+    )
+    chaos.add_argument(
+        "--hazard",
+        type=float,
+        default=0.0,
+        help="seeded per-DPU transient transfer-fault probability per batch",
+    )
+    chaos.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="write the repro.chaos/v1 record as JSON",
+    )
+    chaos.add_argument(
+        "--json",
+        action="store_true",
+        help="dump the record to stdout even when --out is given",
+    )
+    chaos.set_defaults(func=_cmd_chaos)
 
     perf = sub.add_parser(
         "perf",

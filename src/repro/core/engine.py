@@ -20,7 +20,14 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.config import IndexConfig, QueryConfig, SystemConfig, UpANNSConfig
-from repro.errors import ConfigError, NotTrainedError
+from repro.errors import ConfigError, DpuFailedError, NotTrainedError
+from repro.faults import (
+    DegradedResult,
+    FaultPlan,
+    FaultState,
+    coverage_fractions,
+    restrict_placement,
+)
 from repro.core.cooccurrence import mine_combinations
 from repro.core.encoding import build_flat_table, encode_cluster
 from repro.core.kernel import (
@@ -42,12 +49,13 @@ from repro.ivfpq.adc import topk_from_distances
 from repro.ivfpq.index import IVFPQIndex
 from repro.metrics.balance import max_mean_ratio
 from repro.metrics.breakdown import stage_seconds_from_schedule
-from repro.telemetry.pipeline import observe_batch
+from repro.telemetry.pipeline import observe_batch, observe_faults
 from repro.sim import (
     HOST_CPU,
     PIM_BUS,
     STAGE_AGGREGATE,
     STAGE_CLUSTER_FILTER,
+    STAGE_RETRY,
     STAGE_SCHEDULE,
     STAGE_TRANSFER_IN,
     STAGE_TRANSFER_OUT,
@@ -96,6 +104,8 @@ class BatchResult:
     cycle_load_ratio: float  # measured max/mean DPU busy cycles
     dpu_busy_seconds: np.ndarray = field(default_factory=lambda: np.zeros(0))
     schedule: BatchSchedule | None = None  # per-resource event timelines
+    #: Fault-plane outcome; ``None`` on the fault-free path.
+    degraded: DegradedResult | None = None
 
     @property
     def qps(self) -> float:
@@ -134,6 +144,9 @@ class UpANNSEngine:
     _owned: np.ndarray | None = None
     _built: bool = False
     _codebook_version: int = 0
+    #: Live fault runtime; ``None`` keeps the engine on the exact
+    #: fault-free code path (golden-pinned).
+    fault_state: FaultState | None = None
     # Memoized per-cluster visit charges for the grouped kernel, keyed
     # (cluster_id, n_tasklets); cleared with the LUT cache.
     _pair_charges: dict = field(default_factory=dict)
@@ -263,7 +276,13 @@ class UpANNSEngine:
         per_vector = 2 * ic.m + 8
         return int(self.config.pim.dpu.mram_bytes // per_vector)
 
-    def _place_and_load(self, frequencies: np.ndarray, rng: np.random.Generator) -> None:
+    def _place_and_load(
+        self,
+        frequencies: np.ndarray,
+        rng: np.random.Generator,
+        *,
+        exclude_dpus: frozenset[int] = frozenset(),
+    ) -> None:
         uc = self.config.upanns
         sizes = self._sizes
         assert sizes is not None
@@ -274,11 +293,18 @@ class UpANNSEngine:
         )
         owned_ids = np.flatnonzero(owned)
         max_vec = self._max_dpu_vectors()
+        n_dpus = self.config.pim.n_dpus
+        # Recovery placements run over the surviving DPUs only: the
+        # sub-placement sees a dense id space of live DPUs and is mapped
+        # back to global ids afterwards, so dead devices hold nothing.
+        live = [d for d in range(n_dpus) if d not in exclude_dpus]
+        if not live:
+            raise DpuFailedError("cannot place: every DPU is excluded as dead")
         if uc.enable_placement:
             sub_placement = place_clusters(
                 sizes[owned_ids],
                 frequencies[owned_ids],
-                self.config.pim.n_dpus,
+                len(live),
                 max_dpu_vectors=max_vec,
                 centroids=self.index.ivf.centroids[owned_ids],
                 threshold_rate=uc.placement_threshold_rate,
@@ -287,7 +313,7 @@ class UpANNSEngine:
         else:
             sub_placement = random_placement(
                 sizes[owned_ids],
-                self.config.pim.n_dpus,
+                len(live),
                 max_dpu_vectors=max_vec,
                 rng=rng,
             )
@@ -296,12 +322,16 @@ class UpANNSEngine:
         # is a SchedulingError, by design).
         replicas: list[list[int]] = [[] for _ in range(sizes.shape[0])]
         for local, global_id in enumerate(owned_ids):
-            replicas[int(global_id)] = sub_placement.replicas[local]
+            replicas[int(global_id)] = [live[d] for d in sub_placement.replicas[local]]
+        dpu_w = np.zeros(n_dpus, dtype=sub_placement.dpu_workload.dtype)
+        dpu_w[live] = sub_placement.dpu_workload
+        dpu_s = np.zeros(n_dpus, dtype=sub_placement.dpu_vectors.dtype)
+        dpu_s[live] = sub_placement.dpu_vectors
         self.placement = Placement(
-            n_dpus=sub_placement.n_dpus,
+            n_dpus=n_dpus,
             replicas=replicas,
-            dpu_workload=sub_placement.dpu_workload,
-            dpu_vectors=sub_placement.dpu_vectors,
+            dpu_workload=dpu_w,
+            dpu_vectors=dpu_s,
             mean_workload=sub_placement.mean_workload,
         )
         self.pim = PimSystem(self.config.pim, n_tasklets=uc.n_tasklets)
@@ -429,8 +459,28 @@ class UpANNSEngine:
         # (query, cluster) pairs before scheduling and LUT construction.
         probes_exec = _live_probes(probes, sizes)
 
-        # Opt1: greedy scheduling.
-        assignment = schedule_batch(probes_exec, sizes, self.placement)
+        # Fault plane: everything due this batch is applied *before*
+        # scheduling, so dead DPUs are already excluded from routing and
+        # this batch's transient transfer faults are known up front.
+        # With no injected plan this whole path is skipped and the
+        # engine runs the exact golden-pinned code.
+        state = self.fault_state
+        faults = state.begin_batch() if state is not None else None
+        exec_placement = self.placement
+        rerouted_clusters: frozenset[int] = frozenset()
+        if state is not None:
+            exec_placement, rerouted_clusters, _ = restrict_placement(
+                self.placement, state.dead
+            )
+
+        # Opt1: greedy scheduling (over the fault-restricted replica map
+        # when a plan is active; lost clusters drop instead of raising).
+        assignment = schedule_batch(
+            probes_exec,
+            sizes,
+            exec_placement,
+            on_missing="drop" if state is not None else "raise",
+        )
         schedule.record(
             HOST_CPU,
             STAGE_SCHEDULE,
@@ -454,6 +504,11 @@ class UpANNSEngine:
         else:
             meta_sizes = [c * 8 for c in pair_counts]
         self.pim.record_transfer(schedule, meta_sizes, stage=STAGE_TRANSFER_IN)
+        if faults is not None and faults.transient:
+            _record_retries(
+                schedule, faults, state, meta_sizes,
+                self.config.pim.host_transfer_bytes_per_s,
+            )
 
         # Per-DPU kernel execution.
         kernel_cfg = KernelConfig(
@@ -613,6 +668,12 @@ class UpANNSEngine:
             active_dpus=int((busy > 0).sum()),
             n_tasklets=self.pim.dpus[0].n_tasklets,
         )
+        degraded = None
+        if state is not None and faults is not None:
+            degraded = _degraded_result(
+                "upanns", nq, probes_exec, assignment, faults, state,
+                rerouted_clusters, timing.retry_s,
+            )
         return BatchResult(
             ids=out_i,
             distances=out_d,
@@ -623,6 +684,7 @@ class UpANNSEngine:
             cycle_load_ratio=cycle_ratio,
             dpu_busy_seconds=busy / freq,
             schedule=schedule,
+            degraded=degraded,
         )
 
     def _build_tables(
@@ -689,23 +751,63 @@ class UpANNSEngine:
         return tables
 
     # ------------------------------------------------------------------
+    # Fault injection (repro.faults)
+    # ------------------------------------------------------------------
+
+    def inject(self, plan: FaultPlan) -> FaultState:
+        """Arm a fault plan on this engine's DPU pool.
+
+        Rank/DIMM granularities map onto contiguous DPU-id ranges from
+        the PIM topology: a DIMM is ``chips_per_dimm * dpus_per_chip``
+        DPUs, a rank is half a DIMM (UPMEM DIMMs carry two ranks).
+        Injecting ``None``-equivalent empty plans is legal and leaves
+        behavior observationally identical to no plan.
+        """
+        spec = self.config.pim
+        dimm = spec.chips_per_dimm * spec.dpus_per_chip
+        self.fault_state = plan.state(
+            n_units=spec.n_dpus,
+            rank_size=max(1, dimm // 2),
+            dimm_size=dimm,
+        )
+        return self.fault_state
+
+    def clear_faults(self) -> None:
+        """Disarm the fault plane (back to the golden fault-free path)."""
+        self.fault_state = None
+
+    # ------------------------------------------------------------------
     # Adaptivity (paper section 4.1.2)
     # ------------------------------------------------------------------
 
-    def refresh_placement(self, *, rng: np.random.Generator | None = None) -> None:
+    def refresh_placement(
+        self,
+        *,
+        rng: np.random.Generator | None = None,
+        exclude_dpus: "frozenset[int] | set[int]" = frozenset(),
+    ) -> float:
         """Re-place clusters using the access trace accumulated online.
 
         Implements the paper's adaptive response to query-pattern change:
         replica counts and locations are recomputed from the live f_i.
         Call after :class:`~repro.core.scheduling.AdaptivePolicy`
         requests 'rereplicate' or 'relocate'.
+
+        ``exclude_dpus`` supports fault recovery: the new placement uses
+        only the surviving DPUs, re-replicating clusters orphaned by the
+        dead ones.  Returns the modeled recovery time — the host->MRAM
+        reload of the new placement (also stored in ``offline``).
         """
         if not self._built or self.trace is None:
             raise NotTrainedError("engine must be built before refresh_placement()")
         rng = rng if rng is not None else np.random.default_rng(0)
-        self._place_and_load(self.trace.frequencies(), rng)
+        self._place_and_load(
+            self.trace.frequencies(), rng, exclude_dpus=frozenset(exclude_dpus)
+        )
         self.wram_plan = self._plan_wram()
+        self.offline = self._offline_stats()
         self._invalidate_caches()
+        return self.offline.mram_load_seconds
 
     # ------------------------------------------------------------------
     # Introspection used by benches
@@ -743,6 +845,69 @@ def _live_probes(probes, sizes: np.ndarray):
         ids_q = np.asarray(p, dtype=np.int64)
         out.append(ids_q[sizes[ids_q] > 0])
     return out
+
+
+def _record_retries(
+    schedule: BatchSchedule,
+    faults,
+    state: FaultState,
+    meta_sizes: list[int],
+    bus_bytes_per_s: float,
+) -> None:
+    """Charge this batch's transient-fault recovery onto the bus lane.
+
+    Each failed attempt costs its backoff plus re-transmitting the
+    victim DPU's worklist buffer.  Spans land on ``pim_bus`` *before*
+    the DPU start time is read, so kernels launch after recovery and
+    the cost is visible end-to-end (Chrome trace, utilization report,
+    ``BatchTiming.retry_s``).
+    """
+    for u in sorted(faults.transient):
+        retrans = meta_sizes[u] if u < len(meta_sizes) else 0
+        for attempt in range(1, faults.transient[u] + 1):
+            schedule.record(
+                PIM_BUS,
+                STAGE_RETRY,
+                state.backoff_s(attempt) + retrans / bus_bytes_per_s,
+            )
+
+
+def _degraded_result(
+    engine_label: str,
+    nq: int,
+    probes_exec,
+    assignment: Assignment,
+    faults,
+    state: FaultState,
+    rerouted_clusters: frozenset,
+    retry_s: float,
+) -> DegradedResult:
+    """Assemble the batch's degradation record and emit fault metrics."""
+    coverage = coverage_fractions(nq, probes_exec, assignment.dropped)
+    rerouted = sum(
+        1 for pairs in assignment.per_dpu for _, c in pairs if c in rerouted_clusters
+    )
+    state.total_rerouted_pairs += rerouted
+    state.total_dropped_pairs += len(assignment.dropped)
+    degraded = DegradedResult(
+        coverage=coverage,
+        rerouted_pairs=rerouted,
+        dropped_pairs=len(assignment.dropped),
+        retries=sum(faults.transient.values()),
+        retry_s=retry_s,
+        dead_units=state.dead_units,
+        events=faults.events,
+    )
+    observe_faults(
+        engine_label,
+        injected=len(faults.events),
+        retries=degraded.retries,
+        rerouted_pairs=rerouted,
+        dropped_pairs=degraded.dropped_pairs,
+        dead_units=len(state.dead),
+        coverage_floor=degraded.coverage_floor,
+    )
+    return degraded
 
 
 def make_engine(

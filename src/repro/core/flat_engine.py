@@ -21,7 +21,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.config import IndexConfig, QueryConfig, SystemConfig, UpANNSConfig
-from repro.core.engine import BatchResult
+from repro.core.engine import BatchResult, _degraded_result, _record_retries
+from repro.faults import FaultPlan, FaultState, restrict_placement
 from repro.core.kernel import (
     INSTR_PER_HEAP_COMPARISON,
     INSTR_PER_HEAP_INSERTION,
@@ -75,10 +76,25 @@ class IVFFlatPimEngine:
     host: HostModel = field(default_factory=HostModel)
     placement: Placement | None = None
     _built: bool = False
+    fault_state: FaultState | None = None
 
     def __post_init__(self) -> None:
         ic = self.config.index
         self.index = IVFFlatIndex(ic.dim, ic.n_clusters)
+
+    def inject(self, plan: FaultPlan) -> FaultState:
+        """Arm a fault plan (same granularity mapping as the PQ engine)."""
+        spec = self.config.pim
+        dimm = spec.chips_per_dimm * spec.dpus_per_chip
+        self.fault_state = plan.state(
+            n_units=spec.n_dpus,
+            rank_size=max(1, dimm // 2),
+            dimm_size=dimm,
+        )
+        return self.fault_state
+
+    def clear_faults(self) -> None:
+        self.fault_state = None
 
     def build(
         self,
@@ -211,7 +227,22 @@ class IVFFlatPimEngine:
             STAGE_CLUSTER_FILTER,
             self.host.cluster_filter_seconds(nq, ic.n_clusters, ic.dim),
         )
-        assignment = schedule_batch(probes, sizes, self.placement)
+        # Fault plane (see UpANNSEngine.search_batch): faults apply
+        # before scheduling so routing already avoids dead DPUs.
+        state = self.fault_state
+        faults = state.begin_batch() if state is not None else None
+        exec_placement = self.placement
+        rerouted_clusters: frozenset[int] = frozenset()
+        if state is not None:
+            exec_placement, rerouted_clusters, _ = restrict_placement(
+                self.placement, state.dead
+            )
+        assignment = schedule_batch(
+            probes,
+            sizes,
+            exec_placement,
+            on_missing="drop" if state is not None else "raise",
+        )
         schedule.record(
             HOST_CPU,
             STAGE_SCHEDULE,
@@ -223,6 +254,12 @@ class IVFFlatPimEngine:
             stage=STAGE_TRANSFER_IN,
             start_s=schedule.timeline(HOST_CPU).end,
         )
+        if faults is not None and faults.transient:
+            _record_retries(
+                schedule, faults, state,
+                [len(p) * 8 for p in assignment.per_dpu],
+                self.config.pim.host_transfer_bytes_per_s,
+            )
 
         chunk = self._read_chunk_bytes()
         partials: dict[int, list[tuple[np.ndarray, np.ndarray]]] = {
@@ -350,6 +387,12 @@ class IVFFlatPimEngine:
             active_dpus=int((busy > 0).sum()),
             n_tasklets=self.pim.dpus[0].n_tasklets,
         )
+        degraded = None
+        if state is not None and faults is not None:
+            degraded = _degraded_result(
+                "ivfflat_pim", nq, probes, assignment, faults, state,
+                rerouted_clusters, timing.retry_s,
+            )
         return BatchResult(
             ids=out_i,
             distances=out_d,
@@ -360,6 +403,7 @@ class IVFFlatPimEngine:
             cycle_load_ratio=max_mean_ratio(busy, active_only=True),
             dpu_busy_seconds=busy / freq,
             schedule=schedule,
+            degraded=degraded,
         )
 
 

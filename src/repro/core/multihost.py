@@ -23,10 +23,16 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.config import SystemConfig
-from repro.core.engine import UpANNSEngine
+from repro.core.engine import UpANNSEngine, _degraded_result
 from repro.core.placement import Placement, place_clusters
 from repro.core.scheduling import schedule_batch
-from repro.errors import ConfigError, NotTrainedError
+from repro.errors import ConfigError, DpuFailedError, NotTrainedError
+from repro.faults import (
+    DegradedResult,
+    FaultPlan,
+    FaultState,
+    restrict_placement,
+)
 from repro.hardware.host import HostModel
 from repro.ivfpq.adc import topk_from_distances
 from repro.ivfpq.index import IVFPQIndex
@@ -75,6 +81,8 @@ class MultiHostBatchResult:
     merge_s: float
     per_host_qps: list[float]
     schedule: BatchSchedule | None = None  # per-resource event timelines
+    #: Fault-plane outcome at host granularity; ``None`` when fault-free.
+    degraded: DegradedResult | None = None
 
     @property
     def total_s(self) -> float:
@@ -102,10 +110,14 @@ class MultiHostEngine:
     # Hot clusters may be replicated on this many hosts at most.
     max_host_replicas: int = 2
     index: IVFPQIndex | None = None
-    hosts: list[UpANNSEngine] = field(default_factory=list)
+    hosts: "list[UpANNSEngine | None]" = field(default_factory=list)
     host_placement: Placement | None = None
     _sizes: np.ndarray | None = None
     _built: bool = False
+    fault_state: FaultState | None = None
+    # Retained build inputs so reshard() can rebuild surviving hosts.
+    _vectors: np.ndarray | None = None
+    _freqs: np.ndarray | None = None
 
     def __post_init__(self) -> None:
         if not self.host_configs:
@@ -134,6 +146,8 @@ class MultiHostEngine:
         """Train once, shard clusters across hosts, build each host."""
         rng = rng if rng is not None else np.random.default_rng(0)
         ic = self.host_configs[0].index
+        vectors = np.ascontiguousarray(np.atleast_2d(vectors), dtype=np.float32)
+        self._vectors = vectors
         if prebuilt_index is not None:
             self.index = prebuilt_index
         else:
@@ -151,16 +165,48 @@ class MultiHostEngine:
             freqs = freqs / freqs.sum()
         else:
             freqs = np.full(ic.n_clusters, 1.0 / ic.n_clusters)
+        self._freqs = freqs
 
-        # Algorithm 1 at host granularity: shard (and replicate hot)
-        # clusters across hosts, balancing expected workload.
-        self.host_placement = place_clusters(
+        self._shard_and_build(rng)
+        self._built = True
+        return self
+
+    def _shard_and_build(
+        self, rng: np.random.Generator, *, exclude_hosts: frozenset[int] = frozenset()
+    ) -> None:
+        """Shard clusters across the (surviving) hosts and build each.
+
+        Algorithm 1 at host granularity: shard (and replicate hot)
+        clusters across hosts, balancing expected workload.  With
+        ``exclude_hosts``, the shard map is computed over live hosts
+        only — the fault-recovery reshard path.
+        """
+        assert self.index is not None and self._sizes is not None
+        assert self._vectors is not None and self._freqs is not None
+        ic = self.host_configs[0].index
+        sizes, freqs = self._sizes, self._freqs
+        live = [h for h in range(self.n_hosts) if h not in exclude_hosts]
+        if not live:
+            raise DpuFailedError("cannot reshard: every host is excluded as dead")
+        sub = place_clusters(
             sizes,
             freqs,
-            self.n_hosts,
+            len(live),
             max_dpu_vectors=int(sizes.sum()) + 1,
             centroids=self.index.ivf.centroids,
             replication_headroom=1.0,
+        )
+        replicas = [[live[h] for h in reps] for reps in sub.replicas]
+        host_w = np.zeros(self.n_hosts, dtype=sub.dpu_workload.dtype)
+        host_w[live] = sub.dpu_workload
+        host_v = np.zeros(self.n_hosts, dtype=sub.dpu_vectors.dtype)
+        host_v[live] = sub.dpu_vectors
+        self.host_placement = Placement(
+            n_dpus=self.n_hosts,
+            replicas=replicas,
+            dpu_workload=host_w,
+            dpu_vectors=host_v,
+            mean_workload=sub.mean_workload,
         )
         for c in range(ic.n_clusters):
             reps = self.host_placement.replicas[c]
@@ -169,6 +215,11 @@ class MultiHostEngine:
 
         self.hosts = []
         for h, cfg in enumerate(self.host_configs):
+            if h not in live:
+                # A dead host keeps its slot (lane/id alignment) but is
+                # never built or routed to again.
+                self.hosts.append(None)
+                continue
             owned = np.array(
                 [
                     c
@@ -179,15 +230,51 @@ class MultiHostEngine:
             )
             engine = UpANNSEngine(cfg)
             engine.build(
-                vectors,
+                self._vectors,
                 frequencies=freqs,
                 prebuilt_index=self.index,
                 cluster_subset=owned,
                 rng=rng,
             )
             self.hosts.append(engine)
-        self._built = True
-        return self
+
+    # ------------------------------------------------------------------
+    # Fault injection (repro.faults)
+    # ------------------------------------------------------------------
+
+    def inject(self, plan: FaultPlan) -> FaultState:
+        """Arm a host-granularity fault plan on the coordinator.
+
+        Only ``host`` events make sense here; DPU-level granularities
+        belong on the individual host engines (``hosts[h].inject``).
+        """
+        for event in plan.events:
+            if event.kind != "host":
+                raise ConfigError(
+                    f"multihost coordinator only injects 'host' faults, got {event.kind!r}"
+                )
+        self.fault_state = plan.state(n_units=self.n_hosts)
+        return self.fault_state
+
+    def reshard(self, *, rng: np.random.Generator | None = None) -> float:
+        """Re-shard clusters over the surviving hosts after host loss.
+
+        Returns the modeled recovery time: the slowest surviving host's
+        host->MRAM reload of its new shard (hosts reload in parallel).
+        """
+        if not self._built:
+            raise NotTrainedError("build() must be called before reshard()")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        dead = frozenset(self.fault_state.dead) if self.fault_state else frozenset()
+        self._shard_and_build(rng, exclude_hosts=dead)
+        return max(
+            (
+                e.offline.mram_load_seconds
+                for e in self.hosts
+                if e is not None and e.offline is not None
+            ),
+            default=0.0,
+        )
 
     # ------------------------------------------------------------------
     # Online phase
@@ -212,10 +299,27 @@ class MultiHostEngine:
         filter_s = self.coordinator.cluster_filter_seconds(nq, ic.n_clusters, ic.dim)
         schedule.record(HOST_CPU, STAGE_CLUSTER_FILTER, filter_s)
 
+        # Fault plane at host granularity: a lost host disappears from
+        # the routing map before any pair is assigned; clusters sharded
+        # only onto dead hosts drop (coverage < 1 until reshard()).
+        state = self.fault_state
+        faults = state.begin_batch() if state is not None else None
+        exec_placement = self.host_placement
+        rerouted_clusters: frozenset[int] = frozenset()
+        if state is not None:
+            exec_placement, rerouted_clusters, _ = restrict_placement(
+                self.host_placement, state.dead
+            )
+
         # Route every (query, cluster) pair to a replica-holding host
         # (Algorithm 2 at host granularity) — charged like any other
         # scheduling pass, at the coordinator's per-decision cost.
-        routing = schedule_batch(probes, sizes, self.host_placement)
+        routing = schedule_batch(
+            probes,
+            sizes,
+            exec_placement,
+            on_missing="drop" if state is not None else "raise",
+        )
         route_s = self.coordinator.scheduling_seconds_for_pairs(routing.total_pairs())
         schedule.record(HOST_CPU, STAGE_SCHEDULE, route_s)
         per_host_probes: list[list[list[int]]] = [
@@ -245,7 +349,7 @@ class MultiHostEngine:
             ragged = [
                 np.asarray(row, dtype=np.int64) for row in per_host_probes[h]
             ]
-            if not any(r.size for r in ragged):
+            if engine is None or not any(r.size for r in ragged):
                 host_results.append(None)
                 host_seconds.append(0.0)
                 continue
@@ -329,6 +433,12 @@ class MultiHostEngine:
         ):
             stage_counter.labels(engine="multihost", stage=stage).inc(seconds)
 
+        degraded = None
+        if state is not None and faults is not None:
+            degraded = _degraded_result(
+                "multihost", nq, probes, routing, faults, state,
+                rerouted_clusters, 0.0,
+            )
         return MultiHostBatchResult(
             ids=out_i,
             distances=out_d,
@@ -342,6 +452,7 @@ class MultiHostEngine:
                 (0.0 if r is None else nq / r.timing.total_s) for r in host_results
             ],
             schedule=schedule,
+            degraded=degraded,
         )
 
     def cluster_ownership(self) -> list[int]:

@@ -34,6 +34,11 @@ class Placement:
     mean_workload: float
 
     def dpus_for(self, cluster: int) -> list[int]:
+        if not 0 <= cluster < len(self.replicas):
+            raise PlacementError(
+                f"cluster {cluster} is not in this placement "
+                f"(have {len(self.replicas)} clusters)"
+            )
         return self.replicas[cluster]
 
     def n_replicas(self, cluster: int) -> int:
@@ -48,6 +53,20 @@ class Placement:
         if mean == 0:
             return 1.0
         return float(self.dpu_workload.max()) / mean
+
+    def check_complete(self) -> None:
+        """Every cluster must have at least one replica.
+
+        Build functions call this so a hole surfaces as a
+        :class:`PlacementError` naming the cluster, not as a downstream
+        ``IndexError``/empty-argmin inside the scheduler.  A *restricted*
+        placement (``repro.faults.restrict_placement``) is exempt: empty
+        replica lists there mean "cluster lost", handled by the
+        scheduler's drop path.
+        """
+        for c, dpus in enumerate(self.replicas):
+            if not dpus:
+                raise PlacementError(f"cluster {c} has no replica")
 
     def validate(self, sizes: np.ndarray, max_dpu_vectors: int) -> None:
         """Re-check the invariants the algorithm is supposed to maintain."""
@@ -184,13 +203,15 @@ def place_clusters(
         d_id = (base + 1) % n_dpus
         replicas[c] = placed
 
-    return Placement(
+    placement = Placement(
         n_dpus=n_dpus,
         replicas=replicas,
         dpu_workload=dpu_w,
         dpu_vectors=dpu_s,
         mean_workload=mean_w,
     )
+    placement.check_complete()
+    return placement
 
 
 def random_placement(
@@ -220,10 +241,12 @@ def random_placement(
                 break
         else:
             raise PlacementError(f"cannot place cluster {c}: all DPUs at capacity")
-    return Placement(
+    placement = Placement(
         n_dpus=n_dpus,
         replicas=replicas,
         dpu_workload=dpu_s.astype(np.float64),
         dpu_vectors=dpu_s,
         mean_workload=float(sizes.sum()) / n_dpus,
     )
+    placement.check_complete()
+    return placement

@@ -30,6 +30,10 @@ class Assignment:
     n_dpus: int
     per_dpu: list[list[tuple[int, int]]]  # dpu -> [(query_idx, cluster_id)]
     dpu_workload: np.ndarray  # (n_dpus,) scheduled vector-scan counts
+    #: (query_idx, cluster_id) pairs that could not be scheduled because
+    #: the cluster had no live replica (``on_missing="drop"``).  Empty
+    #: on the fault-free path.
+    dropped: list[tuple[int, int]] = field(default_factory=list)
 
     def pairs_on(self, dpu: int) -> list[tuple[int, int]]:
         return self.per_dpu[dpu]
@@ -61,6 +65,7 @@ def schedule_batch(
     placement: Placement,
     *,
     refine: bool = True,
+    on_missing: str = "raise",
 ) -> Assignment:
     """Algorithm 2 over a batch.
 
@@ -75,7 +80,16 @@ def schedule_batch(
     replica-restricted items stalls noticeably above the lower bound
     when hot clusters share holders; the refinement recovers the
     near-1.0 max/avg ratios the paper reports in Figure 11.
+
+    ``on_missing`` controls what happens when a probed cluster has no
+    replica: ``"raise"`` (default, fault-free invariant) raises
+    :class:`~repro.errors.SchedulingError`; ``"drop"`` records the pair
+    in :attr:`Assignment.dropped` and degrades gracefully — used when
+    scheduling over a fault-restricted placement where a cluster may
+    have lost every live holder.
     """
+    if on_missing not in ("raise", "drop"):
+        raise SchedulingError(f"on_missing must be 'raise' or 'drop', got {on_missing!r}")
     if not isinstance(probes, (list, tuple)):
         probes = np.atleast_2d(probes)
     sizes = np.asarray(sizes, dtype=np.int64)
@@ -85,11 +99,15 @@ def schedule_batch(
 
     # Pass 1: single-replica clusters are forced moves (lines 4-7).
     multi: list[tuple[int, int]] = []  # (cluster, query) pairs still open
+    dropped: list[tuple[int, int]] = []
     for qi in range(len(probes)):
         for c in probes[qi]:
             c = int(c)
             dpus = placement.replicas[c]
             if not dpus:
+                if on_missing == "drop":
+                    dropped.append((qi, c))
+                    continue
                 raise SchedulingError(f"cluster {c} has no replica")
             if len(dpus) == 1:
                 d = dpus[0]
@@ -119,7 +137,9 @@ def schedule_batch(
         per_dpu[d].append((qi, c))
         workload[d] += sizes[c]
 
-    assignment = Assignment(n_dpus=n_dpus, per_dpu=per_dpu, dpu_workload=workload)
+    assignment = Assignment(
+        n_dpus=n_dpus, per_dpu=per_dpu, dpu_workload=workload, dropped=dropped
+    )
     if refine:
         _refine_assignment(assignment, sizes, placement)
     return assignment

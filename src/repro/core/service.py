@@ -44,6 +44,14 @@ class ServiceReport:
     p50_ms: float = 0.0
     p95_ms: float = 0.0
     p99_ms: float = 0.0
+    #: True when the batch lost probed clusters to dead DPUs (its
+    #: per-query coverage is in ``result.degraded``).
+    degraded: bool = False
+    #: Worst per-query served-cluster fraction for this batch.
+    coverage_floor: float = 1.0
+    #: Modeled time spent re-placing around dead DPUs after this batch
+    #: (0.0 when no recovery ran).
+    recovery_s: float = 0.0
 
 
 @dataclass
@@ -65,6 +73,10 @@ class OnlineService:
     _snapshot: AccessTrace | None = None
     _batches_since_refresh: int = 0
     refresh_count: int = 0
+    recovery_count: int = 0
+    #: Dead-DPU set already recovered around; recovery re-runs only
+    #: when new deaths appear.
+    _recovered_dead: set[int] = field(default_factory=set)
 
     def __post_init__(self) -> None:
         if self.overlap not in OVERLAP_MODES:
@@ -85,6 +97,29 @@ class OnlineService:
         drift = self.engine.trace.drift_from(self._snapshot)
         action = self.policy.decide(drift)
         self._batches_since_refresh += 1
+
+        # Health takes precedence over drift cadence: the first batch
+        # that observes a new DPU death triggers an immediate placement
+        # refresh over the survivors, re-replicating orphaned clusters.
+        recovery_seconds = 0.0
+        state = self.engine.fault_state
+        if state is not None and state.dead and set(state.dead) != self._recovered_dead:
+            dead = frozenset(state.dead)
+            recovery_seconds = self.engine.refresh_placement(exclude_dpus=dead)
+            self._recovered_dead = set(dead)
+            self._snapshot = self.engine.trace.snapshot()
+            self._batches_since_refresh = 0
+            self.recovery_count += 1
+            logger.info(
+                "recovered around %d dead DPUs in %.3f ms (modeled reload)",
+                len(dead),
+                recovery_seconds * 1e3,
+            )
+            get_registry().counter(
+                "repro_service_recoveries_total",
+                "placement refreshes triggered by DPU death",
+            ).inc()
+
         if (
             action != "keep"
             and self._batches_since_refresh >= self.min_batches_between_refreshes
@@ -110,6 +145,11 @@ class OnlineService:
             p50_ms=self.latency.percentile_ms(50),
             p95_ms=self.latency.percentile_ms(95),
             p99_ms=self.latency.percentile_ms(99),
+            degraded=result.degraded.is_degraded if result.degraded else False,
+            coverage_floor=(
+                result.degraded.coverage_floor if result.degraded else 1.0
+            ),
+            recovery_s=recovery_seconds,
         )
 
     def serve(self, batches, *, k: int | None = None) -> list[ServiceReport]:
@@ -137,6 +177,7 @@ class OnlineService:
         """Latency percentiles, throughput and adaptation activity."""
         out = dict(self.latency.summary())
         out["refreshes"] = float(self.refresh_count)
+        out["recoveries"] = float(self.recovery_count)
         out["batches"] = float(self.latency.n_batches)
         if self.schedules:
             out["wallclock_s"] = self.wallclock_seconds()

@@ -49,3 +49,32 @@ class DeviceOutOfMemoryError(ReproError):
 
 class NotTrainedError(ReproError):
     """An index/engine operation requires training that has not happened."""
+
+
+class FaultError(ReproError):
+    """Base class for injected-fault conditions (``repro.faults``).
+
+    Raised only when graceful degradation is impossible or disabled;
+    the fault plane's default posture is to re-route, retry, or degrade
+    with a coverage flag rather than raise.
+    """
+
+
+class DpuFailedError(FaultError):
+    """A DPU (or a whole rank/DIMM of DPUs) is permanently dead.
+
+    Also the escalation of a transient transfer fault that exhausted
+    its retry budget.
+    """
+
+
+class TransferFaultError(FaultError):
+    """A host<->MRAM transfer failed and could not be retried."""
+
+
+class CoverageError(FaultError):
+    """A batch's coverage fell below a caller-required floor.
+
+    Degraded batches normally complete with a per-query ``coverage``
+    fraction; callers that cannot tolerate partial results raise this.
+    """

@@ -1,0 +1,437 @@
+"""Deterministic fault-injection plane for the PIM serving stack.
+
+Real UPMEM deployments see partial failure as the common case: the PrIM
+benchmarking work documents per-DIMM variability, transfer faults and
+rank-granularity allocation, and UpANNS's own replica machinery
+(Algorithm 1) exists precisely because hot clusters must survive on more
+than one DPU.  This module turns those replicas into an availability
+mechanism the simulator can exercise:
+
+* a :class:`FaultPlan` describes *what* fails and *when* — permanent DPU
+  death, transient MRAM/bus transfer faults, rank/DIMM outage, and
+  (for :class:`~repro.core.multihost.MultiHostEngine`) host loss — at
+  explicit batch indices or via a seeded per-batch hazard rate;
+* a :class:`FaultState` is the plan's live runtime: it advances one
+  batch at a time, applies scheduled events, draws hazard faults from a
+  seeded generator, and tracks the dead set;
+* :func:`restrict_placement` converts a placement plus a dead set into
+  the failover view the scheduler actually routes over: pairs headed to
+  a dead DPU land on a surviving replica, clusters with zero live
+  replicas are *dropped* (graceful degradation) instead of raising;
+* a :class:`DegradedResult` records what a batch lost: per-query
+  coverage, re-routed and dropped pair counts, retry traffic.
+
+Everything is strictly pay-for-what-you-use: an engine with no plan
+injected executes exactly the fault-free code path (golden-pinned), and
+an injected plan with no events and zero hazard is observationally
+identical to no plan at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.placement import Placement
+from repro.errors import ConfigError, DpuFailedError
+
+#: Fault granularities a plan may inject (``host`` only applies to the
+#: multi-host coordinator; the others target one host's PIM system).
+FAULT_KINDS = ("dpu", "transfer", "rank", "dimm", "host")
+
+#: Default transient-retry policy: capped exponential backoff.
+DEFAULT_MAX_RETRIES = 3
+DEFAULT_BACKOFF_BASE_S = 50e-6
+DEFAULT_BACKOFF_CAP_S = 1e-3
+
+
+def retry_backoff_s(
+    attempt: int,
+    *,
+    base_s: float = DEFAULT_BACKOFF_BASE_S,
+    cap_s: float = DEFAULT_BACKOFF_CAP_S,
+) -> float:
+    """Backoff before retry ``attempt`` (1-based): ``base * 2^(n-1)``, capped."""
+    if attempt < 1:
+        raise ConfigError(f"retry attempts are 1-based, got {attempt}")
+    return min(base_s * (2.0 ** (attempt - 1)), cap_s)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled failure: ``kind`` hits ``target`` at ``batch``.
+
+    ``target`` is a DPU id for ``dpu``/``transfer``, a rank or DIMM
+    index for ``rank``/``dimm``, and a host index for ``host``.
+    """
+
+    kind: str
+    target: int
+    batch: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.target < 0 or self.batch < 0:
+            raise ConfigError(f"fault target/batch must be >= 0: {self}")
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultEvent":
+        """Parse the CLI form ``kind:target@batch`` (e.g. ``dpu:3@2``)."""
+        try:
+            kind, rest = spec.split(":", 1)
+            target, batch = rest.split("@", 1)
+            return cls(kind=kind.strip(), target=int(target), batch=int(batch))
+        except ValueError as exc:
+            raise ConfigError(
+                f"bad fault spec {spec!r}; expected kind:target@batch "
+                f"with kind in {FAULT_KINDS}"
+            ) from exc
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "target": self.target, "batch": self.batch}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic, seedable failure scenario.
+
+    ``events`` fire at exact batch indices; ``transfer_hazard`` adds a
+    seeded per-(DPU, batch) probability of a transient transfer fault on
+    top.  Transient faults are retried with capped exponential backoff;
+    a fault that survives ``max_retries`` escalates to permanent DPU
+    death (the driver gives up on the device).
+    """
+
+    events: tuple[FaultEvent, ...] = ()
+    seed: int = 0
+    transfer_hazard: float = 0.0
+    max_retries: int = DEFAULT_MAX_RETRIES
+    backoff_base_s: float = DEFAULT_BACKOFF_BASE_S
+    backoff_cap_s: float = DEFAULT_BACKOFF_CAP_S
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.transfer_hazard < 1.0:
+            raise ConfigError("transfer_hazard must be in [0, 1)")
+        if self.max_retries < 1:
+            raise ConfigError("max_retries must be >= 1")
+        if self.backoff_base_s < 0 or self.backoff_cap_s < self.backoff_base_s:
+            raise ConfigError("need 0 <= backoff_base_s <= backoff_cap_s")
+        object.__setattr__(self, "events", tuple(self.events))
+
+    @classmethod
+    def from_specs(
+        cls,
+        specs: Iterable[str],
+        *,
+        seed: int = 0,
+        transfer_hazard: float = 0.0,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+    ) -> "FaultPlan":
+        """Build a plan from CLI ``kind:target@batch`` strings."""
+        return cls(
+            events=tuple(FaultEvent.parse(s) for s in specs),
+            seed=seed,
+            transfer_hazard=transfer_hazard,
+            max_retries=max_retries,
+        )
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultPlan":
+        """Build a plan from a config mapping (JSON/TOML-shaped)."""
+        events = []
+        for entry in data.get("events", ()):
+            if isinstance(entry, str):
+                events.append(FaultEvent.parse(entry))
+            elif isinstance(entry, Mapping):
+                events.append(
+                    FaultEvent(
+                        kind=str(entry["kind"]),
+                        target=int(entry["target"]),
+                        batch=int(entry["batch"]),
+                    )
+                )
+            else:
+                raise ConfigError(f"bad fault event entry: {entry!r}")
+        return cls(
+            events=tuple(events),
+            seed=int(data.get("seed", 0)),
+            transfer_hazard=float(data.get("transfer_hazard", 0.0)),
+            max_retries=int(data.get("max_retries", DEFAULT_MAX_RETRIES)),
+        )
+
+    def is_empty(self) -> bool:
+        return not self.events and self.transfer_hazard == 0.0
+
+    def state(self, *, n_units: int, rank_size: int = 1, dimm_size: int = 1) -> "FaultState":
+        """Instantiate the live runtime for one engine's unit pool."""
+        return FaultState(
+            plan=self, n_units=n_units, rank_size=rank_size, dimm_size=dimm_size
+        )
+
+
+@dataclass
+class BatchFaults:
+    """What the plan injected at the start of one batch."""
+
+    batch: int
+    newly_dead: tuple[int, ...] = ()
+    #: DPU id -> number of *failed* transfer attempts this batch (each
+    #: failed attempt is retried and charged as one ``retry`` span).
+    transient: dict[int, int] = field(default_factory=dict)
+    #: Events that fired this batch (for reporting).
+    events: tuple[FaultEvent, ...] = ()
+
+    def any(self) -> bool:
+        return bool(self.newly_dead or self.transient or self.events)
+
+
+@dataclass
+class FaultState:
+    """Live fault runtime: dead set + per-batch injection bookkeeping.
+
+    One state is bound to one engine (its ``n_units`` DPUs, or hosts for
+    the multi-host coordinator).  ``begin_batch`` must be called exactly
+    once per served batch, in serving order — all randomness comes from
+    the plan's seed, so two runs of the same plan over the same batch
+    sequence inject identical faults.
+    """
+
+    plan: FaultPlan
+    n_units: int
+    rank_size: int = 1
+    dimm_size: int = 1
+    dead: set[int] = field(default_factory=set)
+    batch_index: int = -1
+    #: Cumulative ledger for reports.
+    total_retries: int = 0
+    total_rerouted_pairs: int = 0
+    total_dropped_pairs: int = 0
+    events_fired: list[FaultEvent] = field(default_factory=list)
+    _rng: np.random.Generator = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.n_units < 1:
+            raise ConfigError("fault state needs at least one unit")
+        if self.rank_size < 1 or self.dimm_size < 1:
+            raise ConfigError("rank/dimm sizes must be >= 1")
+        self._rng = np.random.default_rng(self.plan.seed)
+
+    @property
+    def dead_units(self) -> tuple[int, ...]:
+        return tuple(sorted(self.dead))
+
+    def _targets_of(self, event: FaultEvent) -> list[int]:
+        """Expand an event to the unit ids it kills/faults."""
+        if event.kind in ("dpu", "transfer", "host"):
+            ids = [event.target]
+        elif event.kind == "rank":
+            lo = event.target * self.rank_size
+            ids = list(range(lo, lo + self.rank_size))
+        else:  # dimm
+            lo = event.target * self.dimm_size
+            ids = list(range(lo, lo + self.dimm_size))
+        valid = [u for u in ids if 0 <= u < self.n_units]
+        if not valid:
+            raise ConfigError(
+                f"fault event {event} targets no unit in [0, {self.n_units})"
+            )
+        return valid
+
+    def begin_batch(self) -> BatchFaults:
+        """Advance to the next batch and apply everything due at it."""
+        self.batch_index += 1
+        newly_dead: list[int] = []
+        transient: dict[int, int] = {}
+        fired: list[FaultEvent] = []
+        for event in self.plan.events:
+            if event.batch != self.batch_index:
+                continue
+            fired.append(event)
+            if event.kind == "transfer":
+                for u in self._targets_of(event):
+                    if u not in self.dead:
+                        transient[u] = transient.get(u, 0) + 1
+            else:
+                for u in self._targets_of(event):
+                    if u not in self.dead:
+                        self.dead.add(u)
+                        newly_dead.append(u)
+        # Seeded hazard: one draw per live unit per batch, in unit order,
+        # so the sequence is independent of which events also fired.
+        if self.plan.transfer_hazard > 0.0:
+            draws = self._rng.random(self.n_units)
+            for u in range(self.n_units):
+                if u in self.dead:
+                    continue
+                if draws[u] < self.plan.transfer_hazard:
+                    transient[u] = transient.get(u, 0) + 1
+        # Retry escalation: each failed attempt retries; a retry fails
+        # again with the hazard probability, up to max_retries, after
+        # which the unit is declared dead (permanent transfer fault).
+        for u in sorted(transient):
+            attempts = transient[u]
+            while (
+                attempts < self.plan.max_retries
+                and self.plan.transfer_hazard > 0.0
+                and float(self._rng.random()) < self.plan.transfer_hazard
+            ):
+                attempts += 1
+            transient[u] = attempts
+            if attempts >= self.plan.max_retries:
+                # The retry budget is exhausted *if the next attempt
+                # would also fail*; with explicit events (no hazard)
+                # the first retry always succeeds.
+                if self.plan.transfer_hazard > 0.0 and attempts >= self.plan.max_retries:
+                    transient.pop(u)
+                    if u not in self.dead:
+                        self.dead.add(u)
+                        newly_dead.append(u)
+        if len(self.dead) >= self.n_units:
+            raise DpuFailedError(
+                f"all {self.n_units} units dead at batch {self.batch_index}; "
+                "nothing left to fail over to"
+            )
+        self.total_retries += sum(transient.values())
+        self.events_fired.extend(fired)
+        return BatchFaults(
+            batch=self.batch_index,
+            newly_dead=tuple(newly_dead),
+            transient=transient,
+            events=tuple(fired),
+        )
+
+    def backoff_s(self, attempt: int) -> float:
+        return retry_backoff_s(
+            attempt, base_s=self.plan.backoff_base_s, cap_s=self.plan.backoff_cap_s
+        )
+
+
+@dataclass
+class DegradedResult:
+    """Degradation flag attached to a batch served under a fault plan.
+
+    ``coverage[q]`` is the fraction of query ``q``'s probed (non-empty)
+    clusters that a live replica actually served; 1.0 everywhere means
+    the batch fully failed over with no functional loss.
+    """
+
+    coverage: np.ndarray
+    rerouted_pairs: int = 0
+    dropped_pairs: int = 0
+    retries: int = 0
+    retry_s: float = 0.0
+    dead_units: tuple[int, ...] = ()
+    events: tuple[FaultEvent, ...] = ()
+
+    @property
+    def is_degraded(self) -> bool:
+        return bool(self.coverage.size) and bool((self.coverage < 1.0).any())
+
+    @property
+    def coverage_floor(self) -> float:
+        return float(self.coverage.min()) if self.coverage.size else 1.0
+
+    @property
+    def coverage_mean(self) -> float:
+        return float(self.coverage.mean()) if self.coverage.size else 1.0
+
+    def require_coverage(self, floor: float) -> None:
+        """Raise :class:`~repro.errors.CoverageError` below ``floor``."""
+        from repro.errors import CoverageError
+
+        if self.coverage_floor < floor:
+            raise CoverageError(
+                f"batch coverage floor {self.coverage_floor:.3f} below the "
+                f"required {floor:.3f} ({self.dropped_pairs} pairs dropped, "
+                f"dead units {list(self.dead_units)})"
+            )
+
+
+def restrict_placement(
+    placement: Placement, dead: Iterable[int]
+) -> tuple[Placement, frozenset[int], frozenset[int]]:
+    """The failover view of a placement given a dead-DPU set.
+
+    Returns ``(restricted, rerouted, lost)``: a placement whose replica
+    lists contain only live DPUs, the clusters that lost at least one
+    replica holder but still have a live one (their pairs *re-route*),
+    and the clusters with zero live replicas (their pairs *drop* and
+    the batch degrades).  Replica order is preserved so the scheduler's
+    deterministic tie-breaking survives the restriction.
+    """
+    dead_set = set(dead)
+    if not dead_set:
+        return placement, frozenset(), frozenset()
+    replicas: list[list[int]] = []
+    rerouted: set[int] = set()
+    lost: set[int] = set()
+    for c, dpus in enumerate(placement.replicas):
+        if not any(d in dead_set for d in dpus):
+            replicas.append(dpus)
+            continue
+        live = [d for d in dpus if d not in dead_set]
+        replicas.append(live)
+        if live:
+            rerouted.add(c)
+        elif dpus:
+            lost.add(c)
+    return (
+        Placement(
+            n_dpus=placement.n_dpus,
+            replicas=replicas,
+            dpu_workload=placement.dpu_workload,
+            dpu_vectors=placement.dpu_vectors,
+            mean_workload=placement.mean_workload,
+        ),
+        frozenset(rerouted),
+        frozenset(lost),
+    )
+
+
+def pick_replicated_unit(placement: Placement, *, exclude: Iterable[int] = ()) -> int | None:
+    """A unit whose death loses no data: every cluster it holds has a
+    replica elsewhere.  Used by the chaos scenario to demonstrate
+    zero-recall-loss failover; ``None`` when no such unit exists."""
+    excluded = set(exclude)
+    holders: dict[int, int] = {}
+    min_reps: dict[int, int] = {}
+    for dpus in placement.replicas:
+        for d in dpus:
+            holders[d] = holders.get(d, 0) + 1
+            min_reps[d] = min(min_reps.get(d, len(dpus)), len(dpus))
+    candidates = [
+        d
+        for d, n in sorted(holders.items())
+        if d not in excluded and min_reps[d] >= 2
+    ]
+    if not candidates:
+        return None
+    # The busiest such unit makes the most interesting failover story.
+    return max(candidates, key=lambda d: (holders[d], -d))
+
+
+def coverage_fractions(
+    n_queries: int,
+    probes_exec: Sequence[np.ndarray] | np.ndarray,
+    dropped: Sequence[tuple[int, int]],
+) -> np.ndarray:
+    """Per-query served fraction given the executed probe lists and the
+    (query, cluster) pairs the scheduler had to drop."""
+    denom = np.zeros(n_queries, dtype=np.float64)
+    if isinstance(probes_exec, np.ndarray):
+        mat = np.atleast_2d(probes_exec)
+        denom[: mat.shape[0]] = mat.shape[1]
+    else:
+        for qi, ids in enumerate(probes_exec):
+            denom[qi] = np.asarray(ids).size
+    lost = np.zeros(n_queries, dtype=np.float64)
+    for qi, _ in dropped:
+        lost[qi] += 1
+    with np.errstate(invalid="ignore"):
+        cov = np.where(denom > 0, (denom - lost) / np.maximum(denom, 1.0), 1.0)
+    return cov

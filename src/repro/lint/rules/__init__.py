@@ -5,6 +5,7 @@ from __future__ import annotations
 from repro.lint.rules import (
     cost001,
     dma001,
+    flt001,
     hw001,
     obs001,
     time001,
@@ -15,6 +16,7 @@ from repro.lint.rules import (
 __all__ = [
     "cost001",
     "dma001",
+    "flt001",
     "hw001",
     "obs001",
     "time001",

@@ -17,6 +17,7 @@ from repro.sim.overlap import (
 from repro.sim.schedule import (
     STAGE_AGGREGATE,
     STAGE_CLUSTER_FILTER,
+    STAGE_RETRY,
     STAGE_SCHEDULE,
     STAGE_TRANSFER_IN,
     STAGE_TRANSFER_OUT,
@@ -67,6 +68,7 @@ __all__ = [
     "ResourceTimeline",
     "STAGE_AGGREGATE",
     "STAGE_CLUSTER_FILTER",
+    "STAGE_RETRY",
     "STAGE_SCHEDULE",
     "STAGE_TRANSFER_IN",
     "STAGE_TRANSFER_OUT",

@@ -27,6 +27,10 @@ STAGE_SCHEDULE = "schedule"
 STAGE_TRANSFER_IN = "transfer_in"
 STAGE_TRANSFER_OUT = "transfer_out"
 STAGE_AGGREGATE = "aggregate"
+#: Recovery traffic: backoff + re-transmission after a transient
+#: transfer fault (``repro.faults``).  Charged on the ``pim_bus`` lane
+#: so Chrome traces and utilization reports show the recovery cost.
+STAGE_RETRY = "retry"
 
 
 @dataclass
@@ -45,6 +49,10 @@ class BatchTiming:
     dpu_makespan_s: float = 0.0
     transfer_out_s: float = 0.0
     host_aggregate_s: float = 0.0
+    # Fault-recovery traffic (retried transfers + backoff).  Strictly
+    # zero when no FaultPlan is injected; appended last in total_s so
+    # fault-free totals stay bit-identical (x + 0.0 == x).
+    retry_s: float = 0.0
 
     @property
     def total_s(self) -> float:
@@ -55,6 +63,7 @@ class BatchTiming:
             + self.dpu_makespan_s
             + self.transfer_out_s
             + self.host_aggregate_s
+            + self.retry_s
         )
 
 
@@ -191,6 +200,7 @@ class BatchSchedule:
             dpu_makespan_s=makespan,
             transfer_out_s=self.stage_seconds(STAGE_TRANSFER_OUT),
             host_aggregate_s=self.stage_seconds(STAGE_AGGREGATE),
+            retry_s=self.stage_seconds(STAGE_RETRY),
         )
 
     def worst_dpu_stage_cycles(self) -> StageCycles:

@@ -27,6 +27,7 @@ from repro.telemetry.log import StructuredLogger, configure, get_logger
 from repro.telemetry.pipeline import (
     observe_batch,
     observe_dma,
+    observe_faults,
     observe_wram_peak,
 )
 from repro.telemetry.registry import (
@@ -44,7 +45,14 @@ from repro.telemetry.report import (
 )
 # schema re-exports are lazy so `python -m repro.telemetry.schema` does
 # not trip runpy's found-in-sys.modules warning.
-_SCHEMA_NAMES = ("RESULT_SCHEMA", "make_result_record", "validate_result_record")
+_SCHEMA_NAMES = (
+    "RESULT_SCHEMA",
+    "CHAOS_SCHEMA",
+    "make_result_record",
+    "validate_result_record",
+    "make_chaos_record",
+    "validate_chaos_record",
+)
 
 
 def __getattr__(name: str):
@@ -56,6 +64,7 @@ def __getattr__(name: str):
 
 
 __all__ = [
+    "CHAOS_SCHEMA",
     "DEFAULT_SECONDS_BUCKETS",
     "MetricsRegistry",
     "RESULT_SCHEMA",
@@ -67,15 +76,18 @@ __all__ = [
     "critical_path_attribution",
     "get_logger",
     "get_registry",
+    "make_chaos_record",
     "make_result_record",
     "observe_batch",
     "observe_dma",
+    "observe_faults",
     "observe_wram_peak",
     "prometheus_text",
     "reset_metrics",
     "set_registry",
     "snapshot",
     "utilization_report",
+    "validate_chaos_record",
     "validate_prometheus_text",
     "validate_result_record",
     "validate_snapshot",

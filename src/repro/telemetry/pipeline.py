@@ -155,6 +155,10 @@ def observe_batch(
     )
     for stage, attr in TIMING_STAGES:
         stage_counter.labels(engine=engine, stage=stage).inc(getattr(timing, attr))
+    # The retry stage exists only under fault injection; the label child
+    # is created lazily so fault-free metric snapshots are unchanged.
+    if timing.retry_s > 0:
+        stage_counter.labels(engine=engine, stage="retry").inc(timing.retry_s)
     if busy_cycles > 0:
         reg.counter(
             "repro_dpu_busy_cycles_total", "DPU busy cycles across all lanes"
@@ -168,3 +172,57 @@ def observe_batch(
             "repro_dpu_tasklets",
             "tasklet occupancy per DPU (WRAM-plan effective)",
         ).set(n_tasklets)
+
+
+def observe_faults(
+    engine: str,
+    *,
+    injected: int = 0,
+    retries: int = 0,
+    rerouted_pairs: int = 0,
+    dropped_pairs: int = 0,
+    dead_units: int = 0,
+    coverage_floor: float = 1.0,
+    registry: MetricsRegistry | None = None,
+) -> None:
+    """Record one batch's fault activity (``repro_faults_*`` family).
+
+    Called only when a :class:`~repro.faults.FaultPlan` is injected, so
+    fault-free metric snapshots contain none of these series.
+    """
+    reg = registry if registry is not None else get_registry()
+    events = reg.counter(
+        "repro_faults_injected_total",
+        "fault events applied by the injection plane",
+        ("engine",),
+    ).labels(engine=engine)
+    if injected:
+        events.inc(injected)
+    if retries:
+        reg.counter(
+            "repro_faults_retries_total",
+            "transfer retry attempts charged to the timeline",
+            ("engine",),
+        ).labels(engine=engine).inc(retries)
+    if rerouted_pairs:
+        reg.counter(
+            "repro_faults_rerouted_pairs_total",
+            "(query, cluster) pairs failed over to a surviving replica",
+            ("engine",),
+        ).labels(engine=engine).inc(rerouted_pairs)
+    if dropped_pairs:
+        reg.counter(
+            "repro_faults_dropped_pairs_total",
+            "(query, cluster) pairs lost to clusters with no live replica",
+            ("engine",),
+        ).labels(engine=engine).inc(dropped_pairs)
+    reg.gauge(
+        "repro_faults_dead_units",
+        "units (DPUs or hosts) currently dead",
+        ("engine",),
+    ).labels(engine=engine).set(dead_units)
+    reg.gauge(
+        "repro_faults_coverage_floor",
+        "worst per-query served-cluster fraction in the last batch",
+        ("engine",),
+    ).labels(engine=engine).set(coverage_floor)

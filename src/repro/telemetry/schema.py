@@ -33,6 +33,7 @@ from repro.telemetry.log import get_logger
 
 RESULT_SCHEMA = "repro.bench.result/v1"
 PERF_SCHEMA = "repro.perf/v1"
+CHAOS_SCHEMA = "repro.chaos/v1"
 
 #: Stage keys the six-scalar :class:`~repro.sim.schedule.BatchTiming`
 #: decomposes a batch into (the record may carry extra engine-specific
@@ -266,6 +267,133 @@ def validate_perf_record(record: Any) -> list[str]:
     return errors
 
 
+def make_chaos_record(
+    *,
+    name: str,
+    config: dict[str, Any],
+    plan: dict[str, Any],
+    faults_injected: int,
+    retries: int,
+    rerouted_pairs: int,
+    dropped_pairs: int,
+    dead_units: list[int],
+    coverage_floor: float,
+    recall_delta: float,
+    retry_seconds: float,
+    recovery_batches: int,
+    recovery_seconds: float,
+    batches: list[dict[str, Any]],
+) -> dict[str, Any]:
+    """Assemble and validate one chaos-run record.
+
+    The record summarizes a seeded fault-injection scenario end-to-end:
+    what the plan injected, how the stack compensated (retries,
+    re-routes, recovery refreshes) and what it cost functionally
+    (coverage floor, recall delta vs the fault-free run) and in modeled
+    time (``retry_seconds``, ``recovery_seconds``).
+    """
+    record = {
+        "schema": CHAOS_SCHEMA,
+        "name": name,
+        "config": dict(config),
+        "plan": dict(plan),
+        "faults": {
+            "injected": int(faults_injected),
+            "retries": int(retries),
+            "rerouted_pairs": int(rerouted_pairs),
+            "dropped_pairs": int(dropped_pairs),
+            "dead_units": [int(u) for u in dead_units],
+        },
+        "degradation": {
+            "coverage_floor": float(coverage_floor),
+            "recall_delta": float(recall_delta),
+        },
+        "recovery": {
+            "batches": int(recovery_batches),
+            "retry_seconds": float(retry_seconds),
+            "recovery_seconds": float(recovery_seconds),
+        },
+        "batches": [dict(b) for b in batches],
+    }
+    errors = validate_chaos_record(record)
+    if errors:
+        raise ConfigError(
+            "constructed an invalid chaos record: " + "; ".join(errors)
+        )
+    return record
+
+
+#: Required per-batch fields of a chaos record.
+CHAOS_BATCH_FIELDS = ("batch", "coverage_floor", "rerouted_pairs", "dropped_pairs")
+
+
+def validate_chaos_record(record: Any) -> list[str]:
+    """Structural errors in a chaos record (empty list = valid)."""
+    errors: list[str] = []
+    if not isinstance(record, dict):
+        return ["record must be a JSON object"]
+    if record.get("schema") != CHAOS_SCHEMA:
+        errors.append(
+            f"schema must be {CHAOS_SCHEMA!r}, got {record.get('schema')!r}"
+        )
+    if not isinstance(record.get("name"), str) or not record.get("name"):
+        errors.append("missing non-empty string 'name'")
+    for section in ("config", "plan"):
+        value = record.get(section)
+        if not isinstance(value, dict) or not all(
+            isinstance(k, str) for k in value
+        ):
+            errors.append(f"'{section}' must be an object with string keys")
+    faults = record.get("faults")
+    if not isinstance(faults, dict):
+        errors.append("'faults' must be an object")
+    else:
+        for key in ("injected", "retries", "rerouted_pairs", "dropped_pairs"):
+            if not isinstance(faults.get(key), int) or faults.get(key, -1) < 0:
+                errors.append(f"faults.{key} must be a non-negative integer")
+        dead = faults.get("dead_units")
+        if not isinstance(dead, list) or not all(
+            isinstance(u, int) and u >= 0 for u in dead
+        ):
+            errors.append("faults.dead_units must be a list of unit ids")
+    degradation = record.get("degradation")
+    if not isinstance(degradation, dict):
+        errors.append("'degradation' must be an object")
+    else:
+        floor = degradation.get("coverage_floor")
+        if not _is_number(floor) or not (0.0 <= floor <= 1.0):
+            errors.append("degradation.coverage_floor must be within [0, 1]")
+        if not _is_number(degradation.get("recall_delta")):
+            errors.append("degradation.recall_delta must be a number")
+    recovery = record.get("recovery")
+    if not isinstance(recovery, dict):
+        errors.append("'recovery' must be an object")
+    else:
+        if not isinstance(recovery.get("batches"), int) or recovery.get("batches", -1) < 0:
+            errors.append("recovery.batches must be a non-negative integer")
+        for key in ("retry_seconds", "recovery_seconds"):
+            if not _is_number(recovery.get(key)) or recovery.get(key, -1) < 0:
+                errors.append(f"recovery.{key} must be a non-negative number")
+    batches = record.get("batches")
+    if not isinstance(batches, list) or not batches:
+        errors.append("'batches' must be a non-empty list")
+        batches = []
+    for i, row in enumerate(batches):
+        where = f"batches[{i}]"
+        if not isinstance(row, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        if not isinstance(row.get("batch"), int) or row.get("batch", -1) < 0:
+            errors.append(f"{where}.batch must be a non-negative integer")
+        floor = row.get("coverage_floor")
+        if not _is_number(floor) or not (0.0 <= floor <= 1.0):
+            errors.append(f"{where}.coverage_floor must be within [0, 1]")
+        for key in ("rerouted_pairs", "dropped_pairs"):
+            if not isinstance(row.get(key), int) or row.get(key, -1) < 0:
+                errors.append(f"{where}.{key} must be a non-negative integer")
+    return errors
+
+
 def main(argv: list[str] | None = None) -> int:
     """Validate result-record JSON files (or, with ``--prom``, Prometheus
     text scrapes).  Exit 0 = all valid, 1 = invalid, 2 = usage/IO error."""
@@ -300,6 +428,8 @@ def main(argv: list[str] | None = None) -> int:
                 # can validate a mixed set of record files.
                 if isinstance(record, dict) and record.get("schema") == PERF_SCHEMA:
                     kind, errors = "perf", validate_perf_record(record)
+                elif isinstance(record, dict) and record.get("schema") == CHAOS_SCHEMA:
+                    kind, errors = "chaos", validate_chaos_record(record)
                 else:
                     kind, errors = "result", validate_result_record(record)
         if errors:

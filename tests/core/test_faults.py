@@ -1,0 +1,267 @@
+"""Unit tests for the fault-injection plane (`repro.faults`)."""
+
+import numpy as np
+import pytest
+
+from repro.core.placement import Placement, place_clusters
+from repro.core.scheduling import schedule_batch
+from repro.errors import (
+    ConfigError,
+    CoverageError,
+    DpuFailedError,
+    PlacementError,
+    SchedulingError,
+)
+from repro.faults import (
+    DEFAULT_BACKOFF_CAP_S,
+    DegradedResult,
+    FaultEvent,
+    FaultPlan,
+    coverage_fractions,
+    pick_replicated_unit,
+    restrict_placement,
+    retry_backoff_s,
+)
+
+
+def make_placement(replicas, n_dpus=4):
+    n = len(replicas)
+    return Placement(
+        n_dpus=n_dpus,
+        replicas=[list(r) for r in replicas],
+        dpu_workload=np.zeros(n_dpus),
+        dpu_vectors=np.zeros(n_dpus, dtype=np.int64),
+        mean_workload=1.0,
+    )
+
+
+class TestFaultEvent:
+    def test_parse_roundtrip(self):
+        ev = FaultEvent.parse("dpu:3@2")
+        assert (ev.kind, ev.target, ev.batch) == ("dpu", 3, 2)
+        assert ev.to_dict() == {"kind": "dpu", "target": 3, "batch": 2}
+
+    @pytest.mark.parametrize(
+        "spec", ["dpu3@2", "dpu:3", "dpu:x@2", "dpu:3@y", ""]
+    )
+    def test_parse_rejects_malformed(self, spec):
+        with pytest.raises(ConfigError):
+            FaultEvent.parse(spec)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultEvent(kind="cosmic_ray", target=0, batch=0)
+
+    def test_negative_fields_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultEvent(kind="dpu", target=-1, batch=0)
+        with pytest.raises(ConfigError):
+            FaultEvent(kind="dpu", target=0, batch=-1)
+
+
+class TestFaultPlan:
+    def test_from_specs(self):
+        plan = FaultPlan.from_specs(["dpu:1@0", "transfer:2@1"], seed=9)
+        assert len(plan.events) == 2 and plan.seed == 9
+
+    def test_from_dict_mixed_forms(self):
+        plan = FaultPlan.from_dict(
+            {
+                "events": ["dpu:1@0", {"kind": "rank", "target": 0, "batch": 2}],
+                "seed": 3,
+                "transfer_hazard": 0.1,
+            }
+        )
+        assert plan.events[1].kind == "rank"
+        assert plan.transfer_hazard == 0.1
+
+    def test_from_dict_bad_entry(self):
+        with pytest.raises(ConfigError):
+            FaultPlan.from_dict({"events": [42]})
+
+    def test_hazard_bounds(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(transfer_hazard=1.0)
+        with pytest.raises(ConfigError):
+            FaultPlan(transfer_hazard=-0.1)
+
+    def test_backoff_ordering_enforced(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(backoff_base_s=2.0, backoff_cap_s=1.0)
+
+    def test_is_empty(self):
+        assert FaultPlan().is_empty()
+        assert not FaultPlan.from_specs(["dpu:0@0"]).is_empty()
+        assert not FaultPlan(transfer_hazard=0.5).is_empty()
+
+
+class TestRetryBackoff:
+    def test_exponential_then_capped(self):
+        assert retry_backoff_s(1, base_s=1e-4, cap_s=1.0) == 1e-4
+        assert retry_backoff_s(2, base_s=1e-4, cap_s=1.0) == 2e-4
+        assert retry_backoff_s(30, base_s=1e-4, cap_s=1.0) == 1.0
+
+    def test_one_based(self):
+        with pytest.raises(ConfigError):
+            retry_backoff_s(0)
+
+    def test_default_cap(self):
+        assert retry_backoff_s(40) == DEFAULT_BACKOFF_CAP_S
+
+
+class TestFaultState:
+    def test_scheduled_death_fires_at_exact_batch(self):
+        state = FaultPlan.from_specs(["dpu:2@1"]).state(n_units=4)
+        assert not state.begin_batch().any()  # batch 0
+        faults = state.begin_batch()  # batch 1
+        assert faults.newly_dead == (2,)
+        assert state.dead_units == (2,)
+        assert not state.begin_batch().any()  # batch 2: already dead
+
+    def test_rank_and_dimm_expand_to_ranges(self):
+        plan = FaultPlan.from_specs(["rank:1@0"])
+        state = plan.state(n_units=8, rank_size=2, dimm_size=4)
+        assert state.begin_batch().newly_dead == (2, 3)
+        plan = FaultPlan.from_specs(["dimm:1@0"])
+        state = plan.state(n_units=8, rank_size=2, dimm_size=4)
+        assert state.begin_batch().newly_dead == (4, 5, 6, 7)
+
+    def test_out_of_range_target_rejected(self):
+        state = FaultPlan.from_specs(["dpu:9@0"]).state(n_units=4)
+        with pytest.raises(ConfigError):
+            state.begin_batch()
+
+    def test_transfer_event_counts_one_retry(self):
+        state = FaultPlan.from_specs(["transfer:1@0"]).state(n_units=4)
+        faults = state.begin_batch()
+        assert faults.transient == {1: 1}
+        assert state.total_retries == 1
+        assert not state.dead  # explicit transient never escalates
+
+    def test_hazard_is_deterministic(self):
+        def run():
+            state = FaultPlan(seed=5, transfer_hazard=0.3).state(n_units=16)
+            return [sorted(state.begin_batch().transient) for _ in range(4)]
+
+        assert run() == run()
+
+    def test_hazard_escalates_to_death(self):
+        # With hazard near 1 every retry fails too, so the retry budget
+        # exhausts immediately and units are fenced.
+        state = FaultPlan(seed=0, transfer_hazard=0.99, max_retries=2).state(
+            n_units=32
+        )
+        faults = state.begin_batch()
+        assert faults.newly_dead  # someone got fenced
+        assert all(u in state.dead for u in faults.newly_dead)
+
+    def test_all_units_dead_raises(self):
+        state = FaultPlan.from_specs(["dpu:0@0", "dpu:1@0"]).state(n_units=2)
+        with pytest.raises(DpuFailedError):
+            state.begin_batch()
+
+    def test_backoff_uses_plan_policy(self):
+        plan = FaultPlan(backoff_base_s=1e-5, backoff_cap_s=3e-5)
+        state = plan.state(n_units=2)
+        assert state.backoff_s(1) == 1e-5
+        assert state.backoff_s(2) == 2e-5
+        assert state.backoff_s(5) == 3e-5
+
+
+class TestRestrictPlacement:
+    def test_no_dead_returns_same_object(self):
+        p = make_placement([[0, 1], [2]])
+        restricted, rerouted, lost = restrict_placement(p, [])
+        assert restricted is p and not rerouted and not lost
+
+    def test_reroute_and_loss_split(self):
+        p = make_placement([[0, 1], [1], [2, 3]])
+        restricted, rerouted, lost = restrict_placement(p, [1])
+        assert restricted.replicas == [[0], [], [2, 3]]
+        assert rerouted == {0} and lost == {1}
+
+    def test_replica_order_preserved(self):
+        p = make_placement([[3, 0, 2]])
+        restricted, _, _ = restrict_placement(p, [0])
+        assert restricted.replicas[0] == [3, 2]
+
+
+class TestPickReplicatedUnit:
+    def test_prefers_fully_replicated_busiest(self):
+        p = make_placement([[0, 1], [1, 2], [3]])
+        # DPU 3 holds a single-replica cluster; 1 holds two clusters.
+        assert pick_replicated_unit(p) == 1
+
+    def test_none_when_every_unit_critical(self):
+        p = make_placement([[0], [1]])
+        assert pick_replicated_unit(p) is None
+
+    def test_exclude(self):
+        p = make_placement([[0, 1], [1, 2], [0, 2]])
+        first = pick_replicated_unit(p)
+        second = pick_replicated_unit(p, exclude=[first])
+        assert second is not None and second != first
+
+
+class TestCoverage:
+    def test_fractions_from_matrix(self):
+        probes = np.array([[0, 1], [2, 3]])
+        cov = coverage_fractions(2, probes, dropped=[(0, 1)])
+        assert cov.tolist() == [0.5, 1.0]
+
+    def test_degraded_result_flags(self):
+        deg = DegradedResult(coverage=np.array([1.0, 0.5]), dropped_pairs=1)
+        assert deg.is_degraded
+        assert deg.coverage_floor == 0.5
+        assert deg.coverage_mean == 0.75
+        with pytest.raises(CoverageError):
+            deg.require_coverage(0.9)
+        deg.require_coverage(0.5)  # at the floor: fine
+
+    def test_clean_result_not_degraded(self):
+        deg = DegradedResult(coverage=np.ones(3))
+        assert not deg.is_degraded and deg.coverage_floor == 1.0
+
+
+class TestPlacementValidation:
+    def test_dpus_for_names_cluster(self):
+        p = make_placement([[0]])
+        with pytest.raises(PlacementError, match="cluster 5"):
+            p.dpus_for(5)
+
+    def test_check_complete_names_empty_cluster(self):
+        p = make_placement([[0], []])
+        with pytest.raises(PlacementError, match="cluster 1"):
+            p.check_complete()
+
+    def test_place_clusters_output_is_complete(self):
+        sizes = np.array([50, 40, 30, 20])
+        freqs = np.array([0.4, 0.3, 0.2, 0.1])
+        placement = place_clusters(
+            sizes, freqs, n_dpus=4, max_dpu_vectors=200
+        )
+        placement.check_complete()  # must not raise
+
+
+class TestScheduleOnMissing:
+    def setup_method(self):
+        self.sizes = np.array([10, 10])
+        self.probes = np.array([[0, 1]])
+
+    def test_raise_is_default(self):
+        p = make_placement([[0], []], n_dpus=2)
+        with pytest.raises(SchedulingError):
+            schedule_batch(self.probes, self.sizes, p)
+
+    def test_drop_records_pairs(self):
+        p = make_placement([[0], []], n_dpus=2)
+        assignment = schedule_batch(
+            self.probes, self.sizes, p, on_missing="drop"
+        )
+        assert assignment.dropped == [(0, 1)]
+        assert (0, 0) in assignment.per_dpu[0]
+
+    def test_bad_mode_rejected(self):
+        p = make_placement([[0], [1]], n_dpus=2)
+        with pytest.raises(SchedulingError):
+            schedule_batch(self.probes, self.sizes, p, on_missing="explode")

@@ -374,6 +374,57 @@ class TestEngineAndConfig:
         with pytest.raises(ValueError):
             resolve_rules(["NOPE999"], None)
 
+class TestFLT001:
+    CORE_PATH = "src/repro/core/engine.py"
+
+    def ids_at(self, source: str, path: str) -> list[str]:
+        return [f.rule_id for f in lint_source(source, path)]
+
+    def test_bare_except_flagged(self):
+        source = "try:\n    f()\nexcept:\n    pass\n"
+        assert self.ids_at(source, self.CORE_PATH) == ["FLT001"]
+
+    def test_broad_exception_flagged(self):
+        source = "try:\n    f()\nexcept Exception:\n    pass\n"
+        assert self.ids_at(source, self.CORE_PATH) == ["FLT001"]
+
+    def test_base_exception_flagged(self):
+        source = "try:\n    f()\nexcept BaseException:\n    pass\n"
+        assert self.ids_at(source, self.CORE_PATH) == ["FLT001"]
+
+    def test_broad_in_tuple_flagged(self):
+        source = "try:\n    f()\nexcept (ValueError, Exception):\n    pass\n"
+        assert self.ids_at(source, self.CORE_PATH) == ["FLT001"]
+
+    def test_hardware_in_scope(self):
+        source = "try:\n    f()\nexcept Exception:\n    pass\n"
+        assert self.ids_at(source, "src/repro/hardware/rank.py") == ["FLT001"]
+
+    def test_typed_handler_is_clean(self):
+        source = (
+            "from repro.errors import DpuFailedError\n"
+            "try:\n    f()\nexcept DpuFailedError:\n    pass\n"
+        )
+        assert self.ids_at(source, self.CORE_PATH) == []
+
+    def test_tuple_of_typed_handlers_is_clean(self):
+        source = "try:\n    f()\nexcept (ValueError, KeyError):\n    pass\n"
+        assert self.ids_at(source, self.CORE_PATH) == []
+
+    def test_out_of_scope_module_is_clean(self):
+        source = "try:\n    f()\nexcept Exception:\n    pass\n"
+        assert self.ids_at(source, "src/repro/cli.py") == []
+        assert self.ids_at(source, "tests/core/test_engine.py") == []
+
+    def test_suppression_comment(self):
+        source = (
+            "try:\n    f()\n"
+            "except Exception:  # simlint: ignore[FLT001]\n    pass\n"
+        )
+        assert self.ids_at(source, self.CORE_PATH) == []
+
+
+class TestInfrastructure:
     def test_syntax_error_becomes_parse_finding(self):
         findings = lint_source("def f(:\n", "broken.py")
         assert [f.rule_id for f in findings] == ["PARSE"]
@@ -387,6 +438,7 @@ class TestEngineAndConfig:
             "UNIT001",
             "WRAM001",
             "OBS001",
+            "FLT001",
         }
 
     def test_text_report_shape(self):

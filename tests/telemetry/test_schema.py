@@ -8,9 +8,12 @@ from repro.errors import ConfigError
 from repro.telemetry.registry import MetricsRegistry
 from repro.telemetry.exposition import snapshot
 from repro.telemetry.schema import (
+    CHAOS_SCHEMA,
     RESULT_SCHEMA,
     main,
+    make_chaos_record,
     make_result_record,
+    validate_chaos_record,
     validate_result_record,
 )
 
@@ -103,6 +106,83 @@ class TestValidator:
         mutate(record)
         errors = validate_result_record(record)
         assert any(needle in e for e in errors), errors
+
+
+def valid_chaos_record() -> dict:
+    return make_chaos_record(
+        name="chaos_test",
+        config={"batches": 2, "n_dpus": 16},
+        plan={"events": [{"kind": "dpu", "target": 5, "batch": 1}], "seed": 7},
+        faults_injected=1,
+        retries=2,
+        rerouted_pairs=13,
+        dropped_pairs=0,
+        dead_units=[5],
+        coverage_floor=1.0,
+        recall_delta=0.0,
+        retry_seconds=1e-4,
+        recovery_batches=1,
+        recovery_seconds=1.3e-4,
+        batches=[
+            {"batch": 0, "coverage_floor": 1.0, "rerouted_pairs": 0, "dropped_pairs": 0},
+            {"batch": 1, "coverage_floor": 1.0, "rerouted_pairs": 13, "dropped_pairs": 0},
+        ],
+    )
+
+
+class TestChaosRecord:
+    def test_valid_record_passes(self):
+        record = valid_chaos_record()
+        assert record["schema"] == CHAOS_SCHEMA
+        assert validate_chaos_record(record) == []
+
+    def test_json_round_trip(self):
+        record = json.loads(json.dumps(valid_chaos_record()))
+        assert validate_chaos_record(record) == []
+
+    def test_constructor_rejects_invalid(self):
+        with pytest.raises(ConfigError):
+            make_chaos_record(
+                name="",
+                config={},
+                plan={},
+                faults_injected=0,
+                retries=0,
+                rerouted_pairs=0,
+                dropped_pairs=0,
+                dead_units=[],
+                coverage_floor=1.0,
+                recall_delta=0.0,
+                retry_seconds=0.0,
+                recovery_batches=0,
+                recovery_seconds=0.0,
+                batches=[{"batch": 0, "coverage_floor": 1.0, "rerouted_pairs": 0, "dropped_pairs": 0}],
+            )
+
+    @pytest.mark.parametrize(
+        "mutate, needle",
+        [
+            (lambda r: r.update(schema="repro.chaos/v0"), "schema"),
+            (lambda r: r.update(name=""), "name"),
+            (lambda r: r.update(plan=[1]), "plan"),
+            (lambda r: r["faults"].update(retries=-1), "retries"),
+            (lambda r: r["faults"].update(dead_units=[-3]), "dead_units"),
+            (lambda r: r["degradation"].update(coverage_floor=1.5), "coverage_floor"),
+            (lambda r: r["recovery"].update(batches=-1), "recovery.batches"),
+            (lambda r: r.update(batches=[]), "batches"),
+            (lambda r: r["batches"][0].pop("coverage_floor"), "coverage_floor"),
+        ],
+    )
+    def test_each_field_is_checked(self, mutate, needle):
+        record = valid_chaos_record()
+        mutate(record)
+        errors = validate_chaos_record(record)
+        assert any(needle in e for e in errors), errors
+
+    def test_cli_dispatch_recognizes_chaos(self, tmp_path):
+        path = tmp_path / "chaos.json"
+        path.write_text(json.dumps(valid_chaos_record()))
+        assert main([str(path)]) == 0
 
 
 class TestCliEntryPoint:

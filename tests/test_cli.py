@@ -24,7 +24,8 @@ class TestParser:
 
     @pytest.mark.parametrize(
         "cmd",
-        ["generate", "build", "search", "bench", "specs", "metrics", "trace", "perf"],
+        ["generate", "build", "search", "bench", "specs", "metrics", "trace",
+         "perf", "chaos"],
     )
     def test_subcommands_exist(self, cmd):
         parser = build_parser()
@@ -106,3 +107,61 @@ class TestFlow:
             main(["generate", "--out", str(path), "--n", "500",
                   "--components", "8", "--seed", "7"])
         np.testing.assert_array_equal(read_vecs(a), read_vecs(b))
+
+
+class TestChaos:
+    def test_default_scenario_emits_valid_record(self, tmp_path, capsys):
+        from repro.telemetry import validate_chaos_record
+
+        out = tmp_path / "chaos.json"
+        assert main([
+            "-q", "chaos", "--batches", "4", "--batch-size", "16",
+            "--out", str(out),
+        ]) == 0
+        record = json.loads(out.read_text())
+        assert validate_chaos_record(record) == []
+        assert record["name"] == "cli_chaos"
+        # The default scenario kills a replicated DPU: full failover.
+        assert record["faults"]["injected"] == 1
+        assert record["faults"]["rerouted_pairs"] > 0
+        assert record["degradation"]["recall_delta"] == 0.0
+        assert record["degradation"]["coverage_floor"] == 1.0
+        assert record["recovery"]["recovery_seconds"] > 0.0
+        # Human summary goes to stdout when --out is given without --json.
+        assert "chaos:" in capsys.readouterr().out
+
+    def test_explicit_transfer_fault_counts_retries(self, capsys):
+        assert main([
+            "-q", "chaos", "--batches", "3", "--batch-size", "16",
+            "--fault", "transfer:0@1", "--json",
+        ]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["faults"]["retries"] == 1
+        assert record["recovery"]["retry_seconds"] > 0.0
+
+    def test_total_loss_exits_nonzero(self, capsys):
+        # The tiny deployment is one 16-DPU DIMM; killing it leaves
+        # nothing to fail over to, which is an error, not a record.
+        assert main([
+            "-q", "chaos", "--batches", "4", "--batch-size", "16",
+            "--fault", "dimm:0@1",
+        ]) == 1
+        assert capsys.readouterr().out == ""
+
+    def test_metrics_with_fault_exposes_fault_counters(self, capsys):
+        assert main([
+            "-q", "metrics", "--batches", "3", "--batch-size", "16",
+            "--fault", "dpu:0@1", "--json",
+        ]) == 0
+        record = json.loads(capsys.readouterr().out)
+        families = {f["name"] for f in record["metrics"]["metrics"]}
+        assert "repro_faults_injected_total" in families
+        assert "repro_faults_dead_units" in families
+
+    def test_metrics_without_fault_has_no_fault_families(self, capsys):
+        assert main([
+            "-q", "metrics", "--batches", "2", "--batch-size", "16", "--json",
+        ]) == 0
+        record = json.loads(capsys.readouterr().out)
+        families = {f["name"] for f in record["metrics"]["metrics"]}
+        assert not any(name.startswith("repro_faults_") for name in families)
