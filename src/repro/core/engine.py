@@ -504,7 +504,7 @@ class UpANNSEngine:
         else:
             meta_sizes = [c * 8 for c in pair_counts]
         self.pim.record_transfer(schedule, meta_sizes, stage=STAGE_TRANSFER_IN)
-        if faults is not None and faults.transient:
+        if faults is not None and (faults.transient or faults.escalated):
             _record_retries(
                 schedule, faults, state, meta_sizes,
                 self.config.pim.host_transfer_bytes_per_s,
@@ -763,6 +763,14 @@ class UpANNSEngine:
         Injecting ``None``-equivalent empty plans is legal and leaves
         behavior observationally identical to no plan.
         """
+        for event in plan.events:
+            if event.kind == "host":
+                raise ConfigError(
+                    f"fault event {event} targets a host, but this engine "
+                    "injects at DPU granularity; host faults belong on the "
+                    "coordinator (MultiHostEngine.inject) and DPU-level "
+                    "plans on its members (hosts[h].inject)"
+                )
         spec = self.config.pim
         dimm = spec.chips_per_dimm * spec.dpus_per_chip
         self.fault_state = plan.state(
@@ -860,11 +868,14 @@ def _record_retries(
     victim DPU's worklist buffer.  Spans land on ``pim_bus`` *before*
     the DPU start time is read, so kernels launch after recovery and
     the cost is visible end-to-end (Chrome trace, utilization report,
-    ``BatchTiming.retry_s``).
+    ``BatchTiming.retry_s``).  Units that escalated to death this batch
+    are charged too: their retries all happened before the driver gave
+    up on the device.
     """
-    for u in sorted(faults.transient):
+    attempts_by_unit = {**faults.transient, **faults.escalated}
+    for u in sorted(attempts_by_unit):
         retrans = meta_sizes[u] if u < len(meta_sizes) else 0
-        for attempt in range(1, faults.transient[u] + 1):
+        for attempt in range(1, attempts_by_unit[u] + 1):
             schedule.record(
                 PIM_BUS,
                 STAGE_RETRY,
@@ -893,7 +904,7 @@ def _degraded_result(
         coverage=coverage,
         rerouted_pairs=rerouted,
         dropped_pairs=len(assignment.dropped),
-        retries=sum(faults.transient.values()),
+        retries=sum(faults.transient.values()) + sum(faults.escalated.values()),
         retry_s=retry_s,
         dead_units=state.dead_units,
         events=faults.events,

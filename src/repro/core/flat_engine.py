@@ -84,6 +84,13 @@ class IVFFlatPimEngine:
 
     def inject(self, plan: FaultPlan) -> FaultState:
         """Arm a fault plan (same granularity mapping as the PQ engine)."""
+        for event in plan.events:
+            if event.kind == "host":
+                raise ConfigError(
+                    f"fault event {event} targets a host, but this engine "
+                    "injects at DPU granularity; host faults belong on the "
+                    "coordinator (MultiHostEngine.inject)"
+                )
         spec = self.config.pim
         dimm = spec.chips_per_dimm * spec.dpus_per_chip
         self.fault_state = plan.state(
@@ -254,7 +261,7 @@ class IVFFlatPimEngine:
             stage=STAGE_TRANSFER_IN,
             start_s=schedule.timeline(HOST_CPU).end,
         )
-        if faults is not None and faults.transient:
+        if faults is not None and (faults.transient or faults.escalated):
             _record_retries(
                 schedule, faults, state,
                 [len(p) * 8 for p in assignment.per_dpu],

@@ -125,7 +125,14 @@ class OnlineService:
             and self._batches_since_refresh >= self.min_batches_between_refreshes
         ):
             logger.info("traffic drift %.3f -> %s: refreshing placement", drift, action)
-            self.engine.refresh_placement()
+            # A drift refresh must not resurrect dead DPUs: keep excluding
+            # every death recovered around, or the new placement would
+            # route clusters onto corpses and recovery would never re-fire
+            # (the dead set is unchanged, so the health check above stays
+            # satisfied while coverage silently degrades).
+            self.engine.refresh_placement(
+                exclude_dpus=frozenset(state.dead) if state is not None else frozenset()
+            )
             self._snapshot = self.engine.trace.snapshot()
             self._batches_since_refresh = 0
             self.refresh_count += 1

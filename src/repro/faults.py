@@ -102,9 +102,13 @@ class FaultPlan:
 
     ``events`` fire at exact batch indices; ``transfer_hazard`` adds a
     seeded per-(DPU, batch) probability of a transient transfer fault on
-    top.  Transient faults are retried with capped exponential backoff;
-    a fault that survives ``max_retries`` escalates to permanent DPU
-    death (the driver gives up on the device).
+    top.  Transient faults are retried with capped exponential backoff.
+    Escalation is hazard-only: the hazard models whether each retry
+    fails again, so a hazard-drawn fault that survives ``max_retries``
+    escalates to permanent DPU death (the driver fences the device).
+    An explicit ``transfer`` event models a one-shot fault whose single
+    retry deterministically succeeds — it never escalates, no matter how
+    many such events pile onto one unit.
     """
 
     events: tuple[FaultEvent, ...] = ()
@@ -183,11 +187,18 @@ class BatchFaults:
     #: DPU id -> number of *failed* transfer attempts this batch (each
     #: failed attempt is retried and charged as one ``retry`` span).
     transient: dict[int, int] = field(default_factory=dict)
+    #: DPU id -> failed attempts of units whose retry budget exhausted
+    #: this batch.  These units are in ``newly_dead``, but the backoff
+    #: and re-transmission traffic that preceded the death still
+    #: happened and is charged on the timeline like ``transient``.
+    escalated: dict[int, int] = field(default_factory=dict)
     #: Events that fired this batch (for reporting).
     events: tuple[FaultEvent, ...] = ()
 
     def any(self) -> bool:
-        return bool(self.newly_dead or self.transient or self.events)
+        return bool(
+            self.newly_dead or self.transient or self.escalated or self.events
+        )
 
 
 @dataclass
@@ -271,8 +282,11 @@ class FaultState:
                 if draws[u] < self.plan.transfer_hazard:
                     transient[u] = transient.get(u, 0) + 1
         # Retry escalation: each failed attempt retries; a retry fails
-        # again with the hazard probability, up to max_retries, after
-        # which the unit is declared dead (permanent transfer fault).
+        # again with the hazard probability, up to max_retries.  The
+        # hazard is what models retry outcomes, so escalation is
+        # hazard-only (see the FaultPlan docstring): with zero hazard an
+        # explicit transfer event's retry deterministically succeeds.
+        escalated: dict[int, int] = {}
         for u in sorted(transient):
             attempts = transient[u]
             while (
@@ -281,27 +295,28 @@ class FaultState:
                 and float(self._rng.random()) < self.plan.transfer_hazard
             ):
                 attempts += 1
-            transient[u] = attempts
-            if attempts >= self.plan.max_retries:
-                # The retry budget is exhausted *if the next attempt
-                # would also fail*; with explicit events (no hazard)
-                # the first retry always succeeds.
-                if self.plan.transfer_hazard > 0.0 and attempts >= self.plan.max_retries:
-                    transient.pop(u)
-                    if u not in self.dead:
-                        self.dead.add(u)
-                        newly_dead.append(u)
+            if self.plan.transfer_hazard > 0.0 and attempts >= self.plan.max_retries:
+                transient.pop(u)
+                escalated[u] = attempts
+                if u not in self.dead:
+                    self.dead.add(u)
+                    newly_dead.append(u)
+            else:
+                transient[u] = attempts
         if len(self.dead) >= self.n_units:
             raise DpuFailedError(
                 f"all {self.n_units} units dead at batch {self.batch_index}; "
                 "nothing left to fail over to"
             )
-        self.total_retries += sum(transient.values())
+        # Escalated units' attempts happened before the device was
+        # declared dead — their retry traffic is still fault cost.
+        self.total_retries += sum(transient.values()) + sum(escalated.values())
         self.events_fired.extend(fired)
         return BatchFaults(
             batch=self.batch_index,
             newly_dead=tuple(newly_dead),
             transient=transient,
+            escalated=escalated,
             events=tuple(fired),
         )
 

@@ -2,7 +2,7 @@
 
 The fault-injection plane (``repro.faults``) gives every failure mode a
 typed exception rooted at ``ReproError`` (``DpuFailedError``,
-``TransferError``, ``SchedulingError``, ...).  A ``try`` block that
+``TransferFaultError``, ``SchedulingError``, ...).  A ``try`` block that
 catches bare ``Exception`` (or a naked ``except:``) inside the serving
 stack swallows the taxonomy: fault-plane errors, programming bugs and
 ``KeyboardInterrupt``-adjacent conditions all collapse into one handler,

@@ -155,6 +155,35 @@ class TestFaultState:
         assert faults.newly_dead  # someone got fenced
         assert all(u in state.dead for u in faults.newly_dead)
 
+    def test_escalated_retries_stay_in_the_ledger(self):
+        # A unit fenced for exhausting its retry budget still burned
+        # backoff/re-transmission traffic first; that cost must land in
+        # the batch record and the cumulative ledger, not vanish with
+        # the device.
+        state = FaultPlan(seed=0, transfer_hazard=0.99, max_retries=2).state(
+            n_units=32
+        )
+        faults = state.begin_batch()
+        assert faults.escalated
+        assert set(faults.escalated) == set(faults.newly_dead)
+        assert all(a >= 2 for a in faults.escalated.values())
+        assert not set(faults.escalated) & set(faults.transient)
+        assert state.total_retries == (
+            sum(faults.transient.values()) + sum(faults.escalated.values())
+        )
+
+    def test_explicit_transfer_pileup_never_escalates(self):
+        # Hazard-only escalation: even max_retries explicit transfer
+        # events on one unit in one batch model one-shot faults whose
+        # retries deterministically succeed.
+        state = FaultPlan.from_specs(
+            ["transfer:1@0", "transfer:1@0", "transfer:1@0"]
+        ).state(n_units=4)
+        faults = state.begin_batch()
+        assert faults.transient == {1: 3}
+        assert not faults.escalated and not state.dead
+        assert state.total_retries == 3
+
     def test_all_units_dead_raises(self):
         state = FaultPlan.from_specs(["dpu:0@0", "dpu:1@0"]).state(n_units=2)
         with pytest.raises(DpuFailedError):

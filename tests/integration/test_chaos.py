@@ -27,13 +27,15 @@ import numpy as np
 import pytest
 
 from repro.config import IndexConfig, QueryConfig, SystemConfig, UpANNSConfig
-from repro.core.engine import UpANNSEngine
+from repro.core.engine import UpANNSEngine, _record_retries
+from repro.core.flat_engine import IVFFlatPimEngine
 from repro.core.multihost import MultiHostEngine
+from repro.core.scheduling import AdaptivePolicy
 from repro.core.service import OnlineService
 from repro.errors import ConfigError
-from repro.faults import FaultPlan, pick_replicated_unit
+from repro.faults import BatchFaults, FaultPlan, pick_replicated_unit
 from repro.hardware.specs import PimSystemSpec
-from repro.sim import PIM_BUS, STAGE_RETRY
+from repro.sim import PIM_BUS, STAGE_RETRY, BatchSchedule
 
 GOLDEN_TIMINGS = json.loads(
     (Path(__file__).parent.parent / "sim" / "golden_timings.json").read_text()
@@ -155,6 +157,32 @@ class TestReplicaFailover:
         )
         assert result.timing.total_s > ref.timing.total_s
 
+    def test_escalated_units_charge_pre_death_retry_spans(self):
+        """A unit fenced mid-batch still burned its retries first; they
+        must appear on the bus lane like any transient's."""
+        plan = FaultPlan(transfer_hazard=0.5, max_retries=3)
+        state = plan.state(n_units=4)
+        faults = BatchFaults(
+            batch=0, newly_dead=(2,), transient={0: 1}, escalated={2: 3}
+        )
+        schedule = BatchSchedule()
+        _record_retries(schedule, faults, state, [8, 8, 8, 8], 1e9)
+        spans = [
+            s for s in schedule.timeline(PIM_BUS).spans if s.stage == STAGE_RETRY
+        ]
+        # 1 transient attempt + 3 pre-death attempts, each >= its backoff.
+        assert len(spans) == 4
+        assert all(s.duration >= state.backoff_s(1) for s in spans)
+
+    def test_host_events_rejected_at_dpu_granularity(self):
+        """`host` faults belong on the multihost coordinator; a DPU-pool
+        engine must refuse them instead of silently killing DPU N."""
+        plan = FaultPlan.from_specs(["host:0@0"])
+        with pytest.raises(ConfigError):
+            UpANNSEngine(make_config()).inject(plan)
+        with pytest.raises(ConfigError):
+            IVFFlatPimEngine(make_config()).inject(plan)
+
 
 class TestGracefulDegradation:
     def test_unreplicated_loss_degrades_with_exact_coverage(
@@ -218,6 +246,40 @@ class TestServiceRecovery:
             assert np.array_equal(report.result.ids, ref_ids)
             assert not report.degraded
         assert service.summary()["recoveries"] == 1.0
+
+    def test_drift_refresh_does_not_resurrect_dead_dpus(
+        self, small_dataset, trained_index, history_queries, small_queries
+    ):
+        """A drift-triggered refresh after recovery must keep excluding
+        the dead set — otherwise clusters land back on the corpse, the
+        unchanged dead set never re-triggers recovery, and coverage
+        silently degrades forever."""
+        ref_engine = build_engine(small_dataset, trained_index, history_queries)
+        ref_ids = ref_engine.search_batch(small_queries).ids
+
+        engine = build_engine(small_dataset, trained_index, history_queries)
+        target = pick_replicated_unit(engine.placement)
+        engine.inject(FaultPlan.from_specs([f"dpu:{target}@1"]))
+        # replicate_threshold=0 makes every eligible batch refresh; the
+        # rate limit of 2 pins the only drift refresh to batch 3, after
+        # the batch-1 recovery reset the counter.
+        service = OnlineService(
+            engine,
+            policy=AdaptivePolicy(replicate_threshold=0.0, relocate_threshold=0.9),
+            min_batches_between_refreshes=2,
+        )
+        reports = [service.submit(small_queries) for _ in range(5)]
+
+        assert service.recovery_count == 1
+        assert reports[1].recovery_s > 0.0
+        assert service.refresh_count >= 1  # a drift refresh ran post-recovery
+        # The corpse stays out of the drift-refreshed placement...
+        assert all(target not in dpus for dpus in engine.placement.replicas)
+        # ...so no batch ever degrades and every result stays exact.
+        for report in reports:
+            assert not report.degraded
+            assert report.coverage_floor == 1.0
+            assert np.array_equal(report.result.ids, ref_ids)
 
 
 class TestMultiHostFailover:
