@@ -227,6 +227,15 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         for err in errors:
             log.error("trace.invalid", error=err)
         return 1
+    if args.sanitize:
+        from repro.sanitize import sanitize_chrome_trace
+
+        findings = sanitize_chrome_trace(payload)
+        if findings:
+            for finding in findings:
+                log.error("trace.sanitize_failed", error=finding.render())
+            return 1
+        log.info("trace.sanitized", findings=0)
     with open(args.out, "w") as fh:
         json.dump(payload, fh)
     n_events = len(payload["traceEvents"])
@@ -235,6 +244,64 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         f"to {args.out} ({args.overlap}: wall-clock {combined.makespan * 1e3:.3f} ms)"
     )
     return 0
+
+
+def _cmd_sanitize(args: argparse.Namespace) -> int:
+    """Run the simsan dynamic checks over JSON artifacts.
+
+    Each file is auto-classified (Chrome trace, chaos/result record, or
+    golden-timings fixture) and routed to the matching conservation
+    checks.  Text output lists one finding per line; ``--json`` emits a
+    ``repro.sanitize/v1`` record instead.  Exit 0 = clean, 1 = findings,
+    2 = unreadable input.
+    """
+    import json
+
+    from repro.sanitize import (
+        detect_kind,
+        make_sanitize_record,
+        sanitize_payload,
+        with_source,
+    )
+
+    inputs: list[dict[str, object]] = []
+    findings = []
+    for path in args.files:
+        try:
+            with open(path, encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            log.error("sanitize.read_failed", file=path, error=str(exc))
+            return 2
+        per_file = sanitize_payload(payload, strict_zero=args.strict)
+        inputs.append(
+            {
+                "path": str(path),
+                "kind": detect_kind(payload),
+                "findings": len(per_file),
+            }
+        )
+        findings.extend(with_source(per_file, str(path)))
+
+    record = make_sanitize_record(
+        name="cli_sanitize", inputs=inputs, findings=findings
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(record, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        log.info("sanitize.record_written", file=args.out)
+    if args.json:
+        print(json.dumps(record, indent=2, sort_keys=True))
+    else:
+        for finding in findings:
+            print(finding.render())
+        checked = ", ".join(
+            f"{row['path']} ({row['kind']})" for row in inputs
+        )
+        verdict = "clean" if not findings else f"{len(findings)} finding(s)"
+        print(f"sanitize: {verdict} over {checked}")
+    return 1 if findings else 0
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
@@ -571,7 +638,37 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.0,
         help="seeded per-DPU transient transfer-fault probability per batch",
     )
+    trace.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run the full simsan checks (incl. happens-before) on the "
+        "exported trace; exit 1 on any finding",
+    )
     trace.set_defaults(func=_cmd_trace)
+
+    sanitize = sub.add_parser(
+        "sanitize",
+        help="simsan: check traces, chaos/result records and golden "
+        "timings for races and conservation bugs",
+    )
+    sanitize.add_argument("files", nargs="+", metavar="FILE")
+    sanitize.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a repro.sanitize/v1 record instead of text findings",
+    )
+    sanitize.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="also write the repro.sanitize/v1 record to FILE",
+    )
+    sanitize.add_argument(
+        "--strict",
+        action="store_true",
+        help="additionally flag zero-duration spans",
+    )
+    sanitize.set_defaults(func=_cmd_sanitize)
 
     metrics = sub.add_parser(
         "metrics",

@@ -49,6 +49,7 @@ from repro.ivfpq.adc import topk_from_distances
 from repro.ivfpq.index import IVFPQIndex
 from repro.metrics.balance import max_mean_ratio
 from repro.metrics.breakdown import stage_seconds_from_schedule
+from repro.sanitize.hook import debug_sanitize_schedule
 from repro.telemetry.pipeline import observe_batch, observe_faults
 from repro.sim import (
     HOST_CPU,
@@ -674,6 +675,13 @@ class UpANNSEngine:
                 "upanns", nq, probes_exec, assignment, faults, state,
                 rerouted_clusters, timing.retry_s,
             )
+        debug_sanitize_schedule(
+            schedule,
+            timing=timing,
+            stage_seconds=stage_seconds,
+            degraded=degraded,
+            label="upanns batch",
+        )
         return BatchResult(
             ids=out_i,
             distances=out_d,
@@ -872,7 +880,7 @@ def _record_retries(
     are charged too: their retries all happened before the driver gave
     up on the device.
     """
-    attempts_by_unit = {**faults.transient, **faults.escalated}
+    attempts_by_unit = faults.attempts_by_unit()
     for u in sorted(attempts_by_unit):
         retrans = meta_sizes[u] if u < len(meta_sizes) else 0
         for attempt in range(1, attempts_by_unit[u] + 1):
@@ -904,7 +912,7 @@ def _degraded_result(
         coverage=coverage,
         rerouted_pairs=rerouted,
         dropped_pairs=len(assignment.dropped),
-        retries=sum(faults.transient.values()) + sum(faults.escalated.values()),
+        retries=faults.total_attempts(),
         retry_s=retry_s,
         dead_units=state.dead_units,
         events=faults.events,

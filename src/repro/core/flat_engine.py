@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.config import IndexConfig, QueryConfig, SystemConfig, UpANNSConfig
 from repro.core.engine import BatchResult, _degraded_result, _record_retries
+from repro.sanitize.hook import debug_sanitize_schedule
 from repro.faults import FaultPlan, FaultState, restrict_placement
 from repro.core.kernel import (
     INSTR_PER_HEAP_COMPARISON,
@@ -400,6 +401,13 @@ class IVFFlatPimEngine:
                 "ivfflat_pim", nq, probes, assignment, faults, state,
                 rerouted_clusters, timing.retry_s,
             )
+        debug_sanitize_schedule(
+            schedule,
+            timing=timing,
+            stage_seconds=stage_seconds,
+            degraded=degraded,
+            label="ivfflat_pim batch",
+        )
         return BatchResult(
             ids=out_i,
             distances=out_d,

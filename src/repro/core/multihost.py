@@ -27,6 +27,7 @@ from repro.core.engine import UpANNSEngine, _degraded_result
 from repro.core.placement import Placement, place_clusters
 from repro.core.scheduling import schedule_batch
 from repro.errors import ConfigError, DpuFailedError, NotTrainedError
+from repro.sanitize.hook import debug_sanitize_schedule
 from repro.faults import (
     DegradedResult,
     FaultPlan,
@@ -439,6 +440,9 @@ class MultiHostEngine:
                 "multihost", nq, probes, routing, faults, state,
                 rerouted_clusters, 0.0,
             )
+        # Lane checks only: the coordinator's scalar fields are not a
+        # BatchTiming, and retries are charged on the member engines.
+        debug_sanitize_schedule(schedule, label="multihost batch")
         return MultiHostBatchResult(
             ids=out_i,
             distances=out_d,

@@ -22,6 +22,7 @@ from repro.core.engine import BatchResult, UpANNSEngine
 from repro.core.scheduling import AdaptivePolicy
 from repro.errors import ConfigError, NotTrainedError
 from repro.metrics.latency import LatencyRecorder
+from repro.sanitize.hook import debug_sanitize_schedule
 from repro.sim import OVERLAP_MODES, BatchSchedule, compose
 from repro.telemetry.registry import get_registry
 from repro.workload.trace import AccessTrace
@@ -169,7 +170,12 @@ class OnlineService:
 
     def combined_schedule(self) -> BatchSchedule:
         """All served batches composed per this service's overlap mode."""
-        return compose(self.schedules, self.overlap)
+        combined = compose(self.schedules, self.overlap)
+        # Per-batch schedules are sanitized inside the engine; this
+        # covers what composition itself can break (lane clamping,
+        # cross-batch ordering).  No-op unless REPRO_SANITIZE is set.
+        debug_sanitize_schedule(combined, label=f"composed {self.overlap} run")
+        return combined
 
     def wallclock_seconds(self) -> float:
         """Modeled wall-clock for everything served so far.

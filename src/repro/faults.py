@@ -200,6 +200,20 @@ class BatchFaults:
             self.newly_dead or self.transient or self.escalated or self.events
         )
 
+    def attempts_by_unit(self) -> dict[int, int]:
+        """DPU id -> failed attempts, transient and escalated merged.
+
+        This is the batch's retry *ledger*: engines emit exactly one
+        ``retry`` span per attempt counted here, and the simsan checker
+        holds ``DegradedResult.retries`` to the same sum — so both sides
+        must derive it from this one method, never re-add the two dicts.
+        """
+        return {**self.transient, **self.escalated}
+
+    def total_attempts(self) -> int:
+        """Failed transfer attempts this batch (== retry spans charged)."""
+        return sum(self.transient.values()) + sum(self.escalated.values())
+
 
 @dataclass
 class FaultState:

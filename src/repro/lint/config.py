@@ -14,6 +14,34 @@ except ImportError:  # pragma: no cover - depends on interpreter
 #: canonical definition sites.  Matched as path suffixes.
 DEFAULT_HW_ALLOWED = ("hardware/specs.py", "hardware/mram.py")
 
+#: Path fragments under the determinism contract (DET001/DET002): the
+#: simulator core plus everything whose output feeds a timeline or
+#: ledger.  ``repro/perf.py`` is deliberately absent — it is the one
+#: module that measures real wall-clock — as is ``cli.py``.
+DEFAULT_DET_SCOPED = (
+    "repro/sim/",
+    "repro/core/",
+    "repro/hardware/",
+    "repro/faults.py",
+    "repro/data/",
+    "repro/workload/",
+)
+
+#: Variable names that conventionally hold *sets* of resources/DPU ids
+#: in this codebase; iterating them unsorted is a DET002 finding even
+#: where the static type is unknown.
+DEFAULT_DET_SET_NAMES = (
+    "dead",
+    "dead_units",
+    "exclude_dpus",
+    "rerouted_clusters",
+)
+
+#: Path fragments allowed to construct ``Span`` objects or append to a
+#: timeline's span list directly (SCHED001); everything else must go
+#: through ``BatchSchedule.record*``.
+DEFAULT_SCHED_ALLOWED = ("repro/sim/",)
+
 
 @dataclass
 class SimlintConfig:
@@ -25,10 +53,23 @@ class SimlintConfig:
     exclude: list[str] = field(default_factory=list)
     hw_allowed_modules: tuple[str, ...] = DEFAULT_HW_ALLOWED
     wram_capacity: int | None = None  # None = DpuSpec().wram_bytes
+    det_scoped_paths: tuple[str, ...] = DEFAULT_DET_SCOPED
+    det_set_names: tuple[str, ...] = DEFAULT_DET_SET_NAMES
+    sched_allowed_paths: tuple[str, ...] = DEFAULT_SCHED_ALLOWED
 
     def is_hw_definition_site(self, path: str) -> bool:
         normalized = path.replace("\\", "/")
         return normalized.endswith(self.hw_allowed_modules)
+
+    def in_det_scope(self, path: str) -> bool:
+        normalized = path.replace("\\", "/")
+        return any(fragment in normalized for fragment in self.det_scoped_paths)
+
+    def is_sched_recorder_site(self, path: str) -> bool:
+        normalized = path.replace("\\", "/")
+        return any(
+            fragment in normalized for fragment in self.sched_allowed_paths
+        )
 
 
 def find_pyproject(start: Path) -> Path | None:
@@ -72,4 +113,13 @@ def load_config(start: Path | None = None) -> SimlintConfig:
     capacity = table.get("wram-capacity")
     if isinstance(capacity, int) and not isinstance(capacity, bool):
         config.wram_capacity = capacity
+    det_paths = table.get("det-scoped-paths")
+    if det_paths:
+        config.det_scoped_paths = tuple(str(p) for p in det_paths)
+    det_names = table.get("det-set-names")
+    if det_names:
+        config.det_set_names = tuple(str(n) for n in det_names)
+    sched_paths = table.get("sched-allowed-paths")
+    if sched_paths:
+        config.sched_allowed_paths = tuple(str(p) for p in sched_paths)
     return config

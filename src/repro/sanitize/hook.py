@@ -1,0 +1,64 @@
+"""Debug-flag sanitizer hook for the engines' hot path.
+
+Every engine calls :func:`debug_sanitize_schedule` on the schedule it
+just recorded (and the trace exporter on the payload it is about to
+write).  The hook is a no-op unless the ``REPRO_SANITIZE`` environment
+variable is set to a non-empty value other than ``0`` — the check costs
+one dict lookup per batch when disabled, so it can stay in the engines
+unconditionally.  When armed, any finding raises
+:class:`~repro.errors.ConfigError` with every violated invariant in the
+message, turning a silently corrupt timeline into a loud failure at the
+batch that produced it.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import ConfigError
+from repro.sanitize.checks import sanitize_chrome_trace, sanitize_schedule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.schedule import BatchSchedule, BatchTiming
+
+#: Environment variable arming the per-batch sanitizer.
+ENV_VAR = "REPRO_SANITIZE"
+
+
+def sanitize_enabled() -> bool:
+    """True when the debug sanitizer is armed via :data:`ENV_VAR`."""
+    return os.environ.get(ENV_VAR, "") not in ("", "0")
+
+
+def debug_sanitize_schedule(
+    schedule: "BatchSchedule | None",
+    *,
+    timing: "BatchTiming | None" = None,
+    stage_seconds: Any = None,
+    degraded: Any = None,
+    label: str = "schedule",
+) -> None:
+    """Sanitize one schedule iff the debug flag is armed; raise on findings."""
+    if schedule is None or not sanitize_enabled():
+        return
+    findings = sanitize_schedule(
+        schedule, timing=timing, stage_seconds=stage_seconds, degraded=degraded
+    )
+    if findings:
+        raise ConfigError(
+            f"simsan: {label} violates {len(findings)} invariant(s): "
+            + "; ".join(f.render() for f in findings)
+        )
+
+
+def debug_sanitize_trace(payload: Any, *, label: str = "trace") -> None:
+    """Sanitize a Chrome-trace payload iff the debug flag is armed."""
+    if not sanitize_enabled():
+        return
+    findings = sanitize_chrome_trace(payload)
+    if findings:
+        raise ConfigError(
+            f"simsan: {label} violates {len(findings)} invariant(s): "
+            + "; ".join(f.render() for f in findings)
+        )

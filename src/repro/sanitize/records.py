@@ -1,0 +1,316 @@
+"""Record-level conservation checks + the ``repro.sanitize/v1`` report.
+
+The telemetry schema validators (``repro.telemetry.schema``) check
+*structure*; this module checks *conservation* — the cross-field sums a
+structurally valid record can still get wrong:
+
+* chaos records: recovery totals vs per-batch rows, coverage floor vs
+  the worst row, fault counters vs row sums;
+* result records: critical-path attribution covering the makespan,
+  per-resource busy+idle filling each lane's window;
+* golden-timing fixtures: the hex-pinned ``total_s`` equal to the
+  left-to-right sum of its parts, bit-for-bit.
+
+Float comparisons on JSON round-trips use a tiny relative tolerance
+(:data:`RECORD_RTOL`); the golden hex fixtures are compared exactly
+because ``float.fromhex`` is lossless.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.sanitize.checks import sanitize_chrome_trace
+from repro.sanitize.findings import SAN_LEDGER, SAN_SCHEMA, SanFinding
+
+RECORD_RTOL = 1e-9
+
+SANITIZE_SCHEMA = "repro.sanitize/v1"
+
+#: ``BatchTiming`` fields in ``total_s`` summation order.
+_TIMING_PARTS = (
+    "host_filter_s",
+    "host_schedule_s",
+    "transfer_in_s",
+    "dpu_makespan_s",
+    "transfer_out_s",
+    "host_aggregate_s",
+    "retry_s",
+)
+
+
+def _isclose(a: float, b: float) -> bool:
+    return math.isclose(a, b, rel_tol=RECORD_RTOL, abs_tol=1e-15)
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def detect_kind(payload: Any) -> str:
+    """Classify a loaded JSON payload for :func:`sanitize_payload`."""
+    if isinstance(payload, dict):
+        if "traceEvents" in payload:
+            return "trace"
+        schema = payload.get("schema")
+        if isinstance(schema, str):
+            if schema.startswith("repro.chaos/"):
+                return "chaos"
+            if schema.startswith("repro.bench.result/"):
+                return "result"
+            if schema.startswith("repro.perf/"):
+                return "perf"
+            if schema == SANITIZE_SCHEMA:
+                return "sanitize"
+        # Golden-timings fixture: engine name -> views; at least one
+        # entry pins a "timing" block (some, e.g. multihost, pin a flat
+        # dict of other hex parts and carry no total to conserve).
+        if (
+            payload
+            and all(isinstance(v, dict) for v in payload.values())
+            and any("timing" in v for v in payload.values())
+        ):
+            return "golden"
+    return "unknown"
+
+
+def sanitize_payload(payload: Any, *, strict_zero: bool = False) -> list[SanFinding]:
+    """Dispatch a loaded JSON payload to the matching sanitizer."""
+    kind = detect_kind(payload)
+    if kind == "trace":
+        return sanitize_chrome_trace(payload, strict_zero=strict_zero)
+    if kind == "chaos":
+        return sanitize_chaos_record(payload)
+    if kind == "result":
+        return sanitize_result_record(payload)
+    if kind == "golden":
+        return sanitize_golden_timings(payload)
+    if kind in ("perf", "sanitize"):
+        # Structure-only records: the telemetry schema validator owns
+        # them and there is no span/conservation surface to check.
+        return []
+    return [
+        SanFinding(
+            SAN_SCHEMA,
+            "input",
+            "unrecognized payload: expected a Chrome trace, a "
+            "repro.chaos/result record, or a golden-timings fixture",
+        )
+    ]
+
+
+def sanitize_chaos_record(record: Any) -> list[SanFinding]:
+    """Cross-field conservation over a ``repro.chaos/v1`` record.
+
+    Assumes the record is structurally valid (run
+    ``repro.telemetry.schema`` first); missing pieces are skipped, not
+    re-reported.
+    """
+    findings: list[SanFinding] = []
+    if not isinstance(record, dict):
+        return [SanFinding(SAN_SCHEMA, "record", "record must be a JSON object")]
+    rows = record.get("batches")
+    recovery = record.get("recovery")
+    degradation = record.get("degradation")
+    config = record.get("config")
+    if not isinstance(rows, list) or not all(isinstance(r, dict) for r in rows):
+        return findings
+
+    if isinstance(config, dict) and isinstance(config.get("batches"), int):
+        if config["batches"] != len(rows):
+            findings.append(
+                SanFinding(
+                    SAN_LEDGER,
+                    "batches",
+                    f"config promises {config['batches']} batches but the "
+                    f"record carries {len(rows)} rows",
+                )
+            )
+    if isinstance(recovery, dict) and _is_number(recovery.get("retry_seconds")):
+        total = sum(float(r.get("retry_seconds", 0.0)) for r in rows)
+        if not _isclose(float(recovery["retry_seconds"]), total):
+            findings.append(
+                SanFinding(
+                    SAN_LEDGER,
+                    "recovery.retry_seconds",
+                    f"reports {recovery['retry_seconds']} but the batch rows "
+                    f"sum to {total}",
+                )
+            )
+    if isinstance(recovery, dict) and _is_number(recovery.get("recovery_seconds")):
+        total = sum(float(r.get("recovery_seconds", 0.0)) for r in rows)
+        if not _isclose(float(recovery["recovery_seconds"]), total):
+            findings.append(
+                SanFinding(
+                    SAN_LEDGER,
+                    "recovery.recovery_seconds",
+                    f"reports {recovery['recovery_seconds']} but the batch "
+                    f"rows sum to {total}",
+                )
+            )
+    if isinstance(degradation, dict) and _is_number(
+        degradation.get("coverage_floor")
+    ):
+        floors = [
+            float(r["coverage_floor"])
+            for r in rows
+            if _is_number(r.get("coverage_floor"))
+        ]
+        worst = min(floors, default=1.0)
+        if not _isclose(float(degradation["coverage_floor"]), worst):
+            findings.append(
+                SanFinding(
+                    SAN_LEDGER,
+                    "degradation.coverage_floor",
+                    f"reports {degradation['coverage_floor']} but the worst "
+                    f"batch row is {worst}",
+                )
+            )
+    faults = record.get("faults")
+    if isinstance(faults, dict):
+        for key in ("rerouted_pairs", "dropped_pairs"):
+            if not isinstance(faults.get(key), int):
+                continue
+            total_pairs = sum(
+                int(r.get(key, 0)) for r in rows if isinstance(r.get(key), int)
+            )
+            if faults[key] != total_pairs:
+                findings.append(
+                    SanFinding(
+                        SAN_LEDGER,
+                        f"faults.{key}",
+                        f"reports {faults[key]} but the batch rows sum to "
+                        f"{total_pairs}",
+                    )
+                )
+    return findings
+
+
+def sanitize_result_record(record: Any) -> list[SanFinding]:
+    """Conservation checks over a ``repro.bench.result/v1`` record."""
+    findings: list[SanFinding] = []
+    if not isinstance(record, dict):
+        return [SanFinding(SAN_SCHEMA, "record", "record must be a JSON object")]
+    util = record.get("utilization")
+    if not isinstance(util, dict) or not _is_number(util.get("makespan_s")):
+        return findings
+    makespan = float(util["makespan_s"])
+    path = util.get("critical_path")
+    if isinstance(path, dict) and path:
+        covered = sum(float(v) for v in path.values() if _is_number(v))
+        if not _isclose(covered, makespan):
+            findings.append(
+                SanFinding(
+                    SAN_LEDGER,
+                    "utilization.critical_path",
+                    f"attribution covers {covered}s of a {makespan}s makespan",
+                )
+            )
+    resources = util.get("resources")
+    if isinstance(resources, list):
+        for row in resources:
+            if not isinstance(row, dict):
+                continue
+            busy, idle = row.get("busy_s"), row.get("idle_s")
+            n_lanes = row.get("n_lanes")
+            if (
+                _is_number(busy)
+                and _is_number(idle)
+                and isinstance(n_lanes, int)
+                and n_lanes > 0
+                and float(idle) > 0.0
+            ):
+                window = makespan * n_lanes
+                if not _isclose(float(busy) + float(idle), window):
+                    findings.append(
+                        SanFinding(
+                            SAN_LEDGER,
+                            f"utilization[{row.get('resource')!r}]",
+                            f"busy {busy}s + idle {idle}s does not fill the "
+                            f"{window}s window ({n_lanes} lane(s))",
+                        )
+                    )
+    return findings
+
+
+def sanitize_golden_timings(payload: Any) -> list[SanFinding]:
+    """Bit-exact conservation over a golden-timings fixture.
+
+    Every pinned ``total_s`` must equal the left-to-right sum of its
+    parts in :class:`~repro.sim.schedule.BatchTiming` field order — the
+    exact accumulation ``total_s`` performs — with no rounding slack:
+    the fixture stores ``float.hex()`` strings precisely so this check
+    can be exact.
+    """
+    findings: list[SanFinding] = []
+    if not isinstance(payload, dict):
+        return [SanFinding(SAN_SCHEMA, "fixture", "fixture must be a JSON object")]
+    for name, entry in payload.items():
+        if not isinstance(entry, dict):
+            continue
+        timing = entry.get("timing")
+        if not isinstance(timing, dict):
+            continue
+        try:
+            parts = [float.fromhex(timing[p]) for p in _TIMING_PARTS if p in timing]
+            pinned = float.fromhex(timing["total_s"])
+        except (KeyError, ValueError, TypeError) as exc:
+            findings.append(
+                SanFinding(
+                    SAN_SCHEMA,
+                    f"{name}.timing",
+                    f"unreadable hex-float timing entry: {exc}",
+                )
+            )
+            continue
+        total = 0.0
+        for part in parts:
+            total += part
+        if total != pinned:
+            findings.append(
+                SanFinding(
+                    SAN_LEDGER,
+                    f"{name}.timing.total_s",
+                    f"pinned {pinned.hex()} but the parts sum to "
+                    f"{total.hex()} (bit-exact check)",
+                )
+            )
+        for part_name in _TIMING_PARTS:
+            if part_name in timing:
+                value = float.fromhex(timing[part_name])
+                if math.isnan(value) or value < 0:
+                    findings.append(
+                        SanFinding(
+                            SAN_LEDGER,
+                            f"{name}.timing.{part_name}",
+                            f"pinned value {value!r} is not a non-negative "
+                            "number of seconds",
+                        )
+                    )
+    return findings
+
+
+def make_sanitize_record(
+    *,
+    name: str,
+    inputs: list[dict[str, Any]],
+    findings: list[SanFinding],
+) -> dict[str, Any]:
+    """Assemble and validate one ``repro.sanitize/v1`` record."""
+    from repro.errors import ConfigError
+    from repro.telemetry.schema import validate_sanitize_record
+
+    record = {
+        "schema": SANITIZE_SCHEMA,
+        "name": name,
+        "inputs": [dict(i) for i in inputs],
+        "count": len(findings),
+        "findings": [f.to_dict() for f in findings],
+    }
+    errors = validate_sanitize_record(record)
+    if errors:
+        raise ConfigError(
+            "constructed an invalid sanitize record: " + "; ".join(errors)
+        )
+    return record

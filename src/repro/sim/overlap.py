@@ -26,6 +26,7 @@ from repro.errors import ConfigError
 from repro.sim.schedule import (
     STAGE_AGGREGATE,
     STAGE_CLUSTER_FILTER,
+    STAGE_RETRY,
     STAGE_SCHEDULE,
     STAGE_TRANSFER_IN,
     STAGE_TRANSFER_OUT,
@@ -107,7 +108,10 @@ def compose_double_buffer(schedules: Sequence[BatchSchedule]) -> BatchSchedule:
             for span in tl.spans:
                 if span.stage in _PRE_STAGES:
                     pre.append(span)
-                elif span.stage == STAGE_TRANSFER_IN:
+                elif span.stage in (STAGE_TRANSFER_IN, STAGE_RETRY):
+                    # Retries ride with transfer-in: they are bus time
+                    # spent re-driving a failed transfer, so they must
+                    # stay contiguous with the transfer they extend.
                     tin.append(span)
                 elif is_dpu_resource(resource):
                     dpu.append(span)

@@ -63,65 +63,25 @@ def chrome_trace(schedule: "BatchSchedule") -> dict[str, Any]:
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
-def _is_number(value: Any) -> bool:
-    return isinstance(value, (int, float)) and not isinstance(value, bool)
-
-
 def validate_chrome_trace(payload: Any) -> list[str]:
     """Schema + invariant errors for a Trace Event Format object.
 
     Returns a list of human-readable problems (empty = valid): the
-    top-level shape, per-event required fields, and non-overlapping
-    ``X`` events per (pid, tid) lane.
+    top-level shape, per-event required fields, and per-lane span
+    monotonicity (no ``X`` event may start before the previous one on
+    its lane ended).  The actual checking is shared with the simsan
+    sanitizer (:mod:`repro.sanitize`) so this module and ``repro.cli
+    sanitize`` can never disagree about what a well-formed trace is;
+    ``sanitize_chrome_trace`` additionally runs the happens-before
+    checks this structural validator deliberately leaves out.
     """
-    errors: list[str] = []
-    if not isinstance(payload, dict):
-        return ["top level must be a JSON object"]
-    events = payload.get("traceEvents")
-    if not isinstance(events, list):
-        return ["missing or non-list 'traceEvents'"]
+    # Imported lazily: repro.sanitize depends on repro.sim and this
+    # module is imported from repro.sim's __init__.
+    from repro.sanitize.checks import check_lanes, collect_trace_lanes
 
-    lanes: dict[tuple[Any, Any], list[tuple[float, float, str]]] = {}
-    for i, event in enumerate(events):
-        if not isinstance(event, dict):
-            errors.append(f"event {i}: not an object")
-            continue
-        ph = event.get("ph")
-        if ph not in ("X", "M"):
-            errors.append(f"event {i}: unsupported phase {ph!r}")
-            continue
-        if not isinstance(event.get("name"), str):
-            errors.append(f"event {i}: missing string 'name'")
-        if ph == "M":
-            args = event.get("args")
-            if not isinstance(args, dict) or not isinstance(args.get("name"), str):
-                errors.append(f"event {i}: metadata event needs args.name")
-            continue
-        ts, dur = event.get("ts"), event.get("dur")
-        if not _is_number(ts) or ts < 0:
-            errors.append(f"event {i}: 'ts' must be a non-negative number")
-            continue
-        if not _is_number(dur) or dur < 0:
-            errors.append(f"event {i}: 'dur' must be a non-negative number")
-            continue
-        lanes.setdefault((event.get("pid"), event.get("tid")), []).append(
-            (float(ts), float(dur), str(event.get("name")))
-        )
-
-    for (pid, tid), spans in lanes.items():
-        spans.sort(key=lambda s: s[0])
-        prev_end = 0.0
-        prev_name = ""
-        for ts, dur, name in spans:
-            slack = _OVERLAP_RTOL * max(1.0, abs(prev_end))
-            if ts + slack < prev_end:
-                errors.append(
-                    f"lane pid={pid} tid={tid}: {name!r} at ts={ts} overlaps "
-                    f"{prev_name!r} ending at {prev_end}"
-                )
-            prev_end = max(prev_end, ts + dur)
-            prev_name = name
-    return errors
+    lanes, findings = collect_trace_lanes(payload)
+    findings.extend(check_lanes(lanes, rtol=_OVERLAP_RTOL, causality=False))
+    return [f"{f.location}: {f.message}" for f in findings]
 
 
 def main(argv: list[str] | None = None) -> int:

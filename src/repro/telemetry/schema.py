@@ -34,6 +34,7 @@ from repro.telemetry.log import get_logger
 RESULT_SCHEMA = "repro.bench.result/v1"
 PERF_SCHEMA = "repro.perf/v1"
 CHAOS_SCHEMA = "repro.chaos/v1"
+SANITIZE_SCHEMA = "repro.sanitize/v1"
 
 #: Stage keys the six-scalar :class:`~repro.sim.schedule.BatchTiming`
 #: decomposes a batch into (the record may carry extra engine-specific
@@ -394,6 +395,64 @@ def validate_chaos_record(record: Any) -> list[str]:
     return errors
 
 
+#: Required keys of one finding row in a sanitize record.
+SANITIZE_FINDING_FIELDS = ("code", "location", "message")
+
+
+def validate_sanitize_record(record: Any) -> list[str]:
+    """Structural errors in a ``repro.sanitize/v1`` record.
+
+    The record is what ``repro.cli sanitize`` emits: which inputs were
+    checked, how many invariants each violated, and one row per finding
+    (``code``/``location``/``message`` plus the source file).
+    """
+    errors: list[str] = []
+    if not isinstance(record, dict):
+        return ["record must be a JSON object"]
+    if record.get("schema") != SANITIZE_SCHEMA:
+        errors.append(
+            f"schema must be {SANITIZE_SCHEMA!r}, got {record.get('schema')!r}"
+        )
+    if not isinstance(record.get("name"), str) or not record.get("name"):
+        errors.append("missing non-empty string 'name'")
+    inputs = record.get("inputs")
+    if not isinstance(inputs, list):
+        errors.append("'inputs' must be a list")
+        inputs = []
+    for i, row in enumerate(inputs):
+        where = f"inputs[{i}]"
+        if not isinstance(row, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        if not isinstance(row.get("path"), str) or not row.get("path"):
+            errors.append(f"{where}: missing non-empty string 'path'")
+        if not isinstance(row.get("kind"), str) or not row.get("kind"):
+            errors.append(f"{where}: missing non-empty string 'kind'")
+        count = row.get("findings")
+        if not isinstance(count, int) or count < 0:
+            errors.append(f"{where}.findings must be a non-negative integer")
+    findings = record.get("findings")
+    if not isinstance(findings, list):
+        errors.append("'findings' must be a list")
+        findings = []
+    for i, row in enumerate(findings):
+        where = f"findings[{i}]"
+        if not isinstance(row, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        for key in SANITIZE_FINDING_FIELDS:
+            if not isinstance(row.get(key), str) or not row.get(key):
+                errors.append(f"{where}: missing non-empty string '{key}'")
+    count = record.get("count")
+    if not isinstance(count, int) or count < 0:
+        errors.append("'count' must be a non-negative integer")
+    elif count != len(findings):
+        errors.append(
+            f"'count' is {count} but the record carries {len(findings)} finding(s)"
+        )
+    return errors
+
+
 def main(argv: list[str] | None = None) -> int:
     """Validate result-record JSON files (or, with ``--prom``, Prometheus
     text scrapes).  Exit 0 = all valid, 1 = invalid, 2 = usage/IO error."""
@@ -430,6 +489,11 @@ def main(argv: list[str] | None = None) -> int:
                     kind, errors = "perf", validate_perf_record(record)
                 elif isinstance(record, dict) and record.get("schema") == CHAOS_SCHEMA:
                     kind, errors = "chaos", validate_chaos_record(record)
+                elif (
+                    isinstance(record, dict)
+                    and record.get("schema") == SANITIZE_SCHEMA
+                ):
+                    kind, errors = "sanitize", validate_sanitize_record(record)
                 else:
                     kind, errors = "result", validate_result_record(record)
         if errors:

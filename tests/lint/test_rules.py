@@ -424,6 +424,170 @@ class TestFLT001:
         assert self.ids_at(source, self.CORE_PATH) == []
 
 
+class TestDET001:
+    SIM_PATH = "src/repro/sim/schedule.py"
+
+    def ids_at(self, source: str, path: str) -> list[str]:
+        return [f.rule_id for f in lint_source(source, path)]
+
+    def test_wall_clock_read_flagged(self):
+        source = "import time\nt = time.time()\n"
+        assert self.ids_at(source, self.SIM_PATH) == ["DET001"]
+
+    def test_perf_counter_flagged(self):
+        source = "import time\nt = time.perf_counter()\n"
+        assert self.ids_at(source, self.SIM_PATH) == ["DET001"]
+
+    def test_unseeded_default_rng_flagged(self):
+        source = "import numpy as np\nrng = np.random.default_rng()\n"
+        assert self.ids_at(source, self.SIM_PATH) == ["DET001"]
+
+    def test_seeded_default_rng_is_clean(self):
+        source = "import numpy as np\nrng = np.random.default_rng(42)\n"
+        assert self.ids_at(source, self.SIM_PATH) == []
+
+    def test_seed_keyword_is_clean(self):
+        source = "import numpy as np\nrng = np.random.default_rng(seed=0)\n"
+        assert self.ids_at(source, self.SIM_PATH) == []
+
+    def test_legacy_numpy_global_rng_flagged_even_seeded(self):
+        source = (
+            "import numpy as np\n"
+            "np.random.seed(0)\n"
+            "x = np.random.rand(4)\n"
+        )
+        assert self.ids_at(source, self.SIM_PATH) == ["DET001", "DET001"]
+
+    def test_stdlib_random_flagged(self):
+        source = "import random\nx = random.random()\n"
+        assert self.ids_at(source, self.SIM_PATH) == ["DET001"]
+
+    def test_stdlib_random_instance_is_clean(self):
+        source = "import random\nrng = random.Random(7)\n"
+        assert self.ids_at(source, self.SIM_PATH) == []
+
+    def test_datetime_now_flagged(self):
+        source = "from datetime import datetime\nd = datetime.now()\n"
+        assert self.ids_at(source, self.SIM_PATH) == ["DET001"]
+
+    def test_perf_module_is_out_of_scope(self):
+        source = "import time\nt = time.perf_counter()\n"
+        assert self.ids_at(source, "src/repro/perf.py") == []
+
+    def test_cli_is_out_of_scope(self):
+        source = "import time\nt = time.time()\n"
+        assert self.ids_at(source, "src/repro/cli.py") == []
+
+    def test_scope_is_configurable(self):
+        config = SimlintConfig(det_scoped_paths=("mylib/",))
+        source = "import time\nt = time.time()\n"
+        findings = lint_source(source, "mylib/clockwork.py", config)
+        assert [f.rule_id for f in findings] == ["DET001"]
+
+    def test_suppression_comment(self):
+        source = (
+            "import time\n"
+            "t = time.time()  # simlint: ignore[DET001]\n"
+        )
+        assert self.ids_at(source, self.SIM_PATH) == []
+
+
+class TestDET002:
+    FAULTS_PATH = "src/repro/faults.py"
+
+    def ids_at(self, source: str, path: str) -> list[str]:
+        return [f.rule_id for f in lint_source(source, path)]
+
+    def test_iterating_set_literal_flagged(self):
+        source = "for u in {1, 2, 3}:\n    pass\n"
+        assert self.ids_at(source, self.FAULTS_PATH) == ["DET002"]
+
+    def test_iterating_set_call_flagged(self):
+        source = "for u in set(units):\n    pass\n"
+        assert self.ids_at(source, self.FAULTS_PATH) == ["DET002"]
+
+    def test_sorted_wrapper_is_clean(self):
+        source = "for u in sorted({1, 2, 3}):\n    pass\n"
+        assert self.ids_at(source, self.FAULTS_PATH) == []
+
+    def test_known_set_name_flagged(self):
+        source = "for u in dead_units:\n    pass\n"
+        assert self.ids_at(source, self.FAULTS_PATH) == ["DET002"]
+
+    def test_known_set_attribute_flagged(self):
+        source = "rows = [u for u in state.exclude_dpus]\n"
+        assert self.ids_at(source, self.FAULTS_PATH) == ["DET002"]
+
+    def test_set_union_expression_flagged(self):
+        source = "for u in alive | dead_units:\n    pass\n"
+        assert self.ids_at(source, self.FAULTS_PATH) == ["DET002"]
+
+    def test_plain_list_iteration_is_clean(self):
+        source = "for u in units:\n    pass\n"
+        assert self.ids_at(source, self.FAULTS_PATH) == []
+
+    def test_set_names_are_configurable(self):
+        config = SimlintConfig(det_set_names=("shard_ids",))
+        source = "for s in shard_ids:\n    pass\nfor u in dead_units:\n    pass\n"
+        findings = lint_source(source, self.FAULTS_PATH, config)
+        assert [f.line for f in findings] == [1]
+
+    def test_out_of_scope_path_is_clean(self):
+        source = "for u in dead_units:\n    pass\n"
+        assert self.ids_at(source, "src/repro/analysis/sweep.py") == []
+
+
+class TestSCHED001:
+    ENGINE_PATH = "src/repro/core/engine.py"
+
+    def ids_at(self, source: str, path: str) -> list[str]:
+        return [f.rule_id for f in lint_source(source, path)]
+
+    def test_hand_constructed_span_flagged(self):
+        source = (
+            "from repro.sim.span import Span\n"
+            "s = Span('host_cpu', 'x', 0.0, 1.0)\n"
+        )
+        assert self.ids_at(source, self.ENGINE_PATH) == ["SCHED001"]
+
+    def test_qualified_span_constructor_flagged(self):
+        source = "import repro.sim.span as span\ns = span.Span('a', 'b', 0, 1)\n"
+        assert self.ids_at(source, self.ENGINE_PATH) == ["SCHED001"]
+
+    def test_spans_list_append_flagged(self):
+        source = "tl.spans.append(s)\n"
+        assert self.ids_at(source, self.ENGINE_PATH) == ["SCHED001"]
+
+    def test_spans_list_extend_flagged(self):
+        source = "schedule.timeline('pim_bus').spans.extend(extra)\n"
+        assert self.ids_at(source, self.ENGINE_PATH) == ["SCHED001"]
+
+    def test_record_api_is_clean(self):
+        source = (
+            "schedule.record('pim_bus', 'transfer_in', 0.5)\n"
+            "schedule.record_at('host_cpu', 'aggregate', 1.0, 0.1)\n"
+        )
+        assert self.ids_at(source, self.ENGINE_PATH) == []
+
+    def test_repro_sim_is_the_allowed_site(self):
+        source = (
+            "from repro.sim.span import Span\n"
+            "s = Span('host_cpu', 'x', 0.0, 1.0)\n"
+            "tl.spans.append(s)\n"
+        )
+        assert self.ids_at(source, "src/repro/sim/overlap.py") == []
+
+    def test_allowed_paths_are_configurable(self):
+        config = SimlintConfig(sched_allowed_paths=("repro/core/",))
+        source = "s = Span('host_cpu', 'x', 0.0, 1.0)\n"
+        findings = lint_source(source, self.ENGINE_PATH, config)
+        assert findings == []
+
+    def test_other_append_calls_are_clean(self):
+        source = "rows.append(x)\nself.schedules.append(sched)\n"
+        assert self.ids_at(source, self.ENGINE_PATH) == []
+
+
 class TestInfrastructure:
     def test_syntax_error_becomes_parse_finding(self):
         findings = lint_source("def f(:\n", "broken.py")
@@ -439,6 +603,9 @@ class TestInfrastructure:
             "WRAM001",
             "OBS001",
             "FLT001",
+            "DET001",
+            "DET002",
+            "SCHED001",
         }
 
     def test_text_report_shape(self):

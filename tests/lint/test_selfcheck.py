@@ -106,6 +106,9 @@ class TestCliContracts:
             "UNIT001",
             "WRAM001",
             "OBS001",
+            "DET001",
+            "DET002",
+            "SCHED001",
         ):
             assert rule_id in result.stdout
 

@@ -1,0 +1,319 @@
+"""Adversarial schedules: one fixture per defect class, distinct codes.
+
+Every fixture here is a schedule the simulator could *never* produce
+through the ``BatchSchedule.record*`` API — they are built by stuffing
+``Span`` objects straight into timelines, exactly the bypass SCHED001
+forbids in library code — and each must be caught by the sanitizer with
+the finding code of its class, not just "something failed".
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sanitize import (
+    SAN_LEDGER,
+    SAN_NUMERIC,
+    SAN_ORDER,
+    SAN_OVERLAP,
+    SAN_SCHEMA,
+    check_lanes,
+    collect_trace_lanes,
+    sanitize_chrome_trace,
+    sanitize_schedule,
+    schedule_lanes,
+)
+from repro.sanitize.hook import debug_sanitize_schedule
+from repro.sim import (
+    HOST_CPU,
+    PIM_BUS,
+    BatchSchedule,
+    ResourceTimeline,
+    Span,
+    dpu_resource,
+)
+from repro.sim.schedule import (
+    STAGE_AGGREGATE,
+    STAGE_CLUSTER_FILTER,
+    STAGE_RETRY,
+    STAGE_TRANSFER_IN,
+    STAGE_TRANSFER_OUT,
+)
+
+
+def raw_schedule(*lanes: tuple[str, list[Span]], freq=None) -> BatchSchedule:
+    """Build a schedule by direct timeline injection (bypasses append)."""
+    sched = BatchSchedule(dpu_frequency_hz=freq)
+    for resource, spans in lanes:
+        sched.timelines[resource] = ResourceTimeline(resource, spans=list(spans))
+    return sched
+
+
+def codes(findings) -> set[str]:
+    return {f.code for f in findings}
+
+
+def valid_schedule() -> BatchSchedule:
+    """A well-formed single-batch schedule recorded through the API."""
+    sched = BatchSchedule(dpu_frequency_hz=100.0)
+    sched.record(HOST_CPU, STAGE_CLUSTER_FILTER, 0.5)
+    sched.record(HOST_CPU, "schedule", 0.5)
+    sched.record(PIM_BUS, STAGE_TRANSFER_IN, 2.0)
+    sched.record(PIM_BUS, STAGE_RETRY, 0.5)
+    bus_end = sched.timeline(PIM_BUS).end
+    sched.record_at(dpu_resource(0), "scan", bus_end, 1.0, cycles=100.0)
+    sched.record_at(dpu_resource(1), "scan", bus_end, 2.0, cycles=200.0)
+    dpu_done = max(tl.end for tl in sched.dpu_timelines())
+    sched.record_at(PIM_BUS, STAGE_TRANSFER_OUT, dpu_done, 1.0)
+    sched.record_at(
+        HOST_CPU, STAGE_AGGREGATE, sched.timeline(PIM_BUS).end, 0.5
+    )
+    return sched
+
+
+class TestDoubleBooking:
+    def test_overlap_on_exclusive_lane_is_san_overlap(self):
+        sched = raw_schedule(
+            (
+                PIM_BUS,
+                [
+                    Span(PIM_BUS, STAGE_TRANSFER_IN, 0.0, 2.0),
+                    Span(PIM_BUS, STAGE_TRANSFER_OUT, 1.0, 2.0),
+                ],
+            )
+        )
+        findings = sanitize_schedule(sched)
+        assert codes(findings) == {SAN_OVERLAP}
+        assert "overlaps" in findings[0].message
+
+    def test_dpu_lane_double_booking(self):
+        lane = dpu_resource(3)
+        findings = check_lanes(
+            {lane: [(0.0, 5.0, "scan"), (4.0, 1.0, "scan")]}
+        )
+        assert codes(findings) == {SAN_OVERLAP}
+
+    def test_touching_spans_are_clean(self):
+        findings = check_lanes(
+            {HOST_CPU: [(0.0, 1.0, "a"), (1.0, 1.0, "b")]}, causality=False
+        )
+        assert findings == []
+
+    def test_rtol_forgives_microsecond_rounding(self):
+        end = 1.0
+        barely_early = end - end * 1e-12
+        findings = check_lanes(
+            {HOST_CPU: [(0.0, end, "a"), (barely_early, 1.0, "b")]},
+            rtol=1e-9,
+            causality=False,
+        )
+        assert findings == []
+
+
+class TestCausalityInversions:
+    def test_dpu_before_transfer_in_is_san_order(self):
+        sched = raw_schedule(
+            (PIM_BUS, [Span(PIM_BUS, STAGE_TRANSFER_IN, 1.0, 2.0)]),
+            (dpu_resource(0), [Span(dpu_resource(0), "scan", 0.5, 1.0)]),
+        )
+        findings = sanitize_schedule(sched)
+        assert codes(findings) == {SAN_ORDER}
+        assert "before the first transfer_in" in findings[0].message
+
+    def test_aggregate_before_transfer_out(self):
+        lanes = {
+            PIM_BUS: [
+                (0.0, 1.0, STAGE_TRANSFER_IN),
+                (3.0, 2.0, STAGE_TRANSFER_OUT),
+            ],
+            dpu_resource(0): [(1.0, 2.0, "scan")],
+            HOST_CPU: [(4.0, 1.0, STAGE_AGGREGATE)],
+        }
+        findings = check_lanes(lanes)
+        assert codes(findings) == {SAN_ORDER}
+        assert "transfer_out" in findings[0].message
+
+    def test_aggregate_before_any_dpu_closed(self):
+        lanes = {
+            PIM_BUS: [(0.0, 1.0, STAGE_TRANSFER_IN)],
+            dpu_resource(0): [(1.0, 5.0, "scan")],
+            HOST_CPU: [(2.0, 1.0, STAGE_AGGREGATE)],
+        }
+        findings = check_lanes(lanes)
+        assert codes(findings) == {SAN_ORDER}
+        assert "DPU" in findings[0].message
+
+    def test_retry_not_contiguous_with_transfer(self):
+        lanes = {
+            PIM_BUS: [
+                (0.0, 1.0, STAGE_TRANSFER_IN),
+                (1.0, 1.0, STAGE_TRANSFER_OUT),
+                (2.0, 0.5, STAGE_RETRY),
+            ]
+        }
+        findings = check_lanes(lanes)
+        assert codes(findings) == {SAN_ORDER}
+        assert "contiguous" in findings[0].message
+
+    def test_retry_after_transfer_in_or_retry_is_clean(self):
+        lanes = {
+            PIM_BUS: [
+                (0.0, 1.0, STAGE_TRANSFER_IN),
+                (1.0, 0.5, STAGE_RETRY),
+                (1.5, 0.5, STAGE_RETRY),
+                (2.0, 1.0, STAGE_TRANSFER_OUT),
+            ]
+        }
+        assert check_lanes(lanes) == []
+
+
+class TestNumericAnomalies:
+    def test_nan_duration_is_san_numeric(self):
+        # NaN sails through Span.__post_init__ (nan < 0 is False) — the
+        # sanitizer is the only net that catches it.
+        sched = raw_schedule(
+            (HOST_CPU, [Span(HOST_CPU, "a", 0.0, math.nan)])
+        )
+        findings = sanitize_schedule(sched)
+        assert codes(findings) == {SAN_NUMERIC}
+        assert "NaN" in findings[0].message
+
+    def test_nan_start_is_san_numeric(self):
+        findings = check_lanes({HOST_CPU: [(math.nan, 1.0, "a")]})
+        assert codes(findings) == {SAN_NUMERIC}
+
+    def test_infinite_duration_is_san_numeric(self):
+        findings = check_lanes({HOST_CPU: [(0.0, math.inf, "a")]})
+        assert codes(findings) == {SAN_NUMERIC}
+
+    def test_zero_duration_legal_by_default_flagged_in_strict(self):
+        lanes = {HOST_CPU: [(0.0, 0.0, "gather")]}
+        assert check_lanes(lanes) == []
+        strict = check_lanes(lanes, strict_zero=True)
+        assert codes(strict) == {SAN_NUMERIC}
+        assert "strict" in strict[0].message
+
+
+class TestLedgerConservation:
+    def test_clean_schedule_with_true_ledgers(self):
+        sched = valid_schedule()
+        assert sanitize_schedule(sched, timing=sched.derive_batch_timing()) == []
+
+    def test_tampered_timing_field_is_san_ledger(self):
+        sched = valid_schedule()
+        timing = sched.derive_batch_timing()
+        timing.transfer_in_s += 0.25
+        findings = sanitize_schedule(sched, timing=timing)
+        assert codes(findings) == {SAN_LEDGER}
+        assert any("transfer_in_s" in f.location for f in findings)
+
+    def test_tampered_retry_charge_is_san_ledger(self):
+        sched = valid_schedule()
+        timing = sched.derive_batch_timing()
+        timing.retry_s = 0.0
+        findings = sanitize_schedule(sched, timing=timing)
+        assert codes(findings) == {SAN_LEDGER}
+
+    def test_dpu_duration_cycles_disagreement(self):
+        lane = dpu_resource(0)
+        sched = raw_schedule(
+            (lane, [Span(lane, "scan", 0.0, 1.5, cycles=100.0)]),
+            freq=100.0,
+        )
+        findings = sanitize_schedule(sched)
+        assert codes(findings) == {SAN_LEDGER}
+        assert "cycles" in findings[0].message
+
+    def test_fault_ledger_mismatches(self):
+        class FakeDegraded:
+            retries = 3
+            retry_s = 99.0
+
+        sched = valid_schedule()
+        findings = sanitize_schedule(
+            sched, timing=sched.derive_batch_timing(), degraded=FakeDegraded()
+        )
+        assert codes(findings) == {SAN_LEDGER}
+        locations = {f.location for f in findings}
+        assert "degraded.retry_s" in locations
+        assert "degraded.retries" in locations  # 1 retry span, not 3
+
+
+class TestSchemaFindings:
+    def test_span_filed_under_wrong_lane(self):
+        sched = raw_schedule(
+            (HOST_CPU, [Span(PIM_BUS, STAGE_TRANSFER_IN, 0.0, 1.0)])
+        )
+        findings = sanitize_schedule(sched)
+        assert SAN_SCHEMA in codes(findings)
+
+    def test_every_defect_class_has_a_distinct_code(self):
+        assert len({SAN_OVERLAP, SAN_ORDER, SAN_NUMERIC, SAN_LEDGER, SAN_SCHEMA}) == 5
+
+
+class TestTraceSanitization:
+    def test_exported_valid_schedule_is_clean(self):
+        sched = valid_schedule()
+        assert sanitize_chrome_trace(sched.to_chrome_trace()) == []
+
+    def test_trace_lanes_keyed_by_thread_name(self):
+        lanes, findings = collect_trace_lanes(valid_schedule().to_chrome_trace())
+        assert findings == []
+        assert PIM_BUS in lanes and HOST_CPU in lanes
+
+    def test_tampered_trace_overlap_detected_by_resource(self):
+        payload = valid_schedule().to_chrome_trace()
+        for event in payload["traceEvents"]:
+            if event["ph"] == "X" and event["name"] == STAGE_TRANSFER_OUT:
+                event["ts"] -= 2.2e6  # drag transfer_out onto the retry span
+        findings = sanitize_chrome_trace(payload)
+        assert SAN_OVERLAP in codes(findings)
+        assert any(f.location == PIM_BUS for f in findings)
+
+    def test_malformed_events_are_san_schema(self):
+        payload = {"traceEvents": [42, {"ph": "Z", "name": "x"}]}
+        findings = sanitize_chrome_trace(payload)
+        assert codes(findings) == {SAN_SCHEMA}
+        assert len(findings) == 2
+
+    def test_non_dict_payload(self):
+        assert codes(sanitize_chrome_trace([])) == {SAN_SCHEMA}
+
+
+class TestDebugHook:
+    def test_disarmed_hook_ignores_corrupt_schedule(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        sched = raw_schedule(
+            (HOST_CPU, [Span(HOST_CPU, "a", 0.0, math.nan)])
+        )
+        debug_sanitize_schedule(sched)  # no-op
+
+    def test_armed_hook_raises_with_label_and_code(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        sched = raw_schedule(
+            (HOST_CPU, [Span(HOST_CPU, "a", 0.0, math.nan)])
+        )
+        with pytest.raises(ConfigError, match="simsan: bad batch.*SAN-NUMERIC"):
+            debug_sanitize_schedule(sched, label="bad batch")
+
+    def test_armed_hook_passes_valid_schedule(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        debug_sanitize_schedule(valid_schedule())
+
+    def test_zero_disarms(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "0")
+        sched = raw_schedule(
+            (HOST_CPU, [Span(HOST_CPU, "a", 0.0, math.nan)])
+        )
+        debug_sanitize_schedule(sched)
+
+
+class TestScheduleLanes:
+    def test_lane_map_mirrors_timelines(self):
+        sched = valid_schedule()
+        lanes = schedule_lanes(sched)
+        assert set(lanes) == set(sched.resources())
+        assert lanes[PIM_BUS][0] == (0.0, 2.0, STAGE_TRANSFER_IN)
