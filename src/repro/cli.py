@@ -182,6 +182,7 @@ def _tiny_deployment(args: argparse.Namespace):
         timing_scale=args.timing_scale,
     )
     engine = UpANNSEngine(cfg)
+    engine.sim_engine = getattr(args, "sim_engine", None)
     engine.build(dataset.vectors, history_queries=history, rng=rng)
     batches = [
         queries[b * args.batch_size : (b + 1) * args.batch_size]
@@ -206,7 +207,11 @@ def _tiny_service(args: argparse.Namespace):
                 fault_specs or [], seed=args.seed, transfer_hazard=hazard
             )
         )
-    service = OnlineService(engine, overlap=args.overlap)
+    service = OnlineService(
+        engine,
+        overlap=args.overlap,
+        sim_engine=getattr(args, "sim_engine", None),
+    )
     for batch in batches:
         service.submit(batch)
     return service
@@ -313,6 +318,8 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     """
     import json
 
+    from repro.sim import resolve_sim_engine
+
     telemetry.reset_metrics()
     service = _tiny_service(args)
     combined = service.combined_schedule()
@@ -339,6 +346,7 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
                 "batches": args.batches,
                 "batch_size": args.batch_size,
                 "overlap": args.overlap,
+                "sim_engine": resolve_sim_engine(args.sim_engine),
                 "timing_scale": args.timing_scale,
                 "seed": args.seed,
                 "n_dpus": service.engine.pim.n_dpus,
@@ -423,12 +431,13 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
     from repro.core.service import OnlineService
     from repro.faults import FaultPlan, pick_replicated_unit
+    from repro.sim import resolve_sim_engine
 
     telemetry.reset_metrics()
 
     # Reference pass: identical deployment, no plan armed.
     engine, batches = _tiny_deployment(args)
-    reference = OnlineService(engine)
+    reference = OnlineService(engine, sim_engine=args.sim_engine)
     ref_ids = [reference.submit(b).result.ids for b in batches]
 
     # Chaos pass: fresh identical deployment with the plan armed.
@@ -444,7 +453,12 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         specs, seed=args.seed, transfer_hazard=args.hazard
     )
     state = engine.inject(plan)
-    service = OnlineService(engine)
+    # Double-buffered serving makes the combined-run check below
+    # meaningful: under the event core a DPU death fences its lane while
+    # the previous batch's compute is still in flight on it.
+    service = OnlineService(
+        engine, overlap="double_buffer", sim_engine=args.sim_engine
+    )
     from repro.errors import DpuFailedError
 
     try:
@@ -453,6 +467,23 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         # Total loss: every unit is dead, there is nothing to degrade to.
         log.error("chaos.total_loss", error=str(exc))
         return 1
+
+    # Run-level schedule gate: the whole chaos run — retries, mid-flight
+    # DPU-death truncation, cross-batch interleaving — must produce a
+    # causally clean timeline under the selected simulation core.
+    from repro.sanitize import sanitize_schedule
+
+    combined = service.combined_schedule()
+    stream_findings = sanitize_schedule(combined)
+    if stream_findings:
+        for finding in stream_findings:
+            log.error("chaos.stream_sanitize_failed", error=finding.render())
+        return 1
+    log.info(
+        "chaos.stream_sanitized",
+        engine=resolve_sim_engine(args.sim_engine),
+        wallclock_ms=round(combined.makespan * 1e3, 3),
+    )
 
     # Functional damage: top-k agreement against the fault-free run.
     matched = total = 0
@@ -493,6 +524,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             "batches": args.batches,
             "batch_size": args.batch_size,
             "seed": args.seed,
+            "sim_engine": resolve_sim_engine(args.sim_engine),
             "timing_scale": args.timing_scale,
             "n_dpus": engine.pim.n_dpus,
         },
@@ -644,6 +676,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the full simsan checks (incl. happens-before) on the "
         "exported trace; exit 1 on any finding",
     )
+    trace.add_argument(
+        "--sim-engine",
+        choices=["analytic", "event"],
+        default=None,
+        help="simulation core for the combined run (default: "
+        "REPRO_SIM_ENGINE env, else analytic)",
+    )
     trace.set_defaults(func=_cmd_trace)
 
     sanitize = sub.add_parser(
@@ -705,6 +744,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.0,
         help="seeded per-DPU transient transfer-fault probability per batch",
     )
+    metrics.add_argument(
+        "--sim-engine",
+        choices=["analytic", "event"],
+        default=None,
+        help="simulation core for the combined run (default: "
+        "REPRO_SIM_ENGINE env, else analytic)",
+    )
     metrics.set_defaults(func=_cmd_metrics)
 
     chaos = sub.add_parser(
@@ -738,6 +784,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="dump the record to stdout even when --out is given",
+    )
+    chaos.add_argument(
+        "--sim-engine",
+        choices=["analytic", "event"],
+        default=None,
+        help="simulation core for the run-level schedule gate (default: "
+        "REPRO_SIM_ENGINE env, else analytic)",
     )
     chaos.set_defaults(func=_cmd_chaos)
 

@@ -62,6 +62,8 @@ from repro.sim import (
     STAGE_TRANSFER_OUT,
     BatchSchedule,
     BatchTiming,
+    BatchWork,
+    resolve_sim_engine,
 )
 from repro.workload.trace import AccessTrace
 
@@ -107,6 +109,9 @@ class BatchResult:
     schedule: BatchSchedule | None = None  # per-resource event timelines
     #: Fault-plane outcome; ``None`` on the fault-free path.
     degraded: DegradedResult | None = None
+    #: The batch's work description (the DAG ``schedule`` was executed
+    #: from) — what cross-batch stream execution re-runs under queuing.
+    work: BatchWork | None = None
 
     @property
     def qps(self) -> float:
@@ -148,6 +153,10 @@ class UpANNSEngine:
     #: Live fault runtime; ``None`` keeps the engine on the exact
     #: fault-free code path (golden-pinned).
     fault_state: FaultState | None = None
+    #: Execution core for batch schedules: ``"analytic"``/``"event"``,
+    #: or ``None`` to defer to the ``REPRO_SIM_ENGINE`` environment
+    #: variable (default analytic; see repro.sim.events).
+    sim_engine: str | None = None
     # Memoized per-cluster visit charges for the grouped kernel, keyed
     # (cluster_id, n_tasklets); cleared with the LUT cache.
     _pair_charges: dict = field(default_factory=dict)
@@ -438,13 +447,14 @@ class UpANNSEngine:
         sizes = self._sizes
         assert sizes is not None and self.placement is not None
 
-        schedule = BatchSchedule(dpu_frequency_hz=self.config.pim.dpu.frequency_hz)
+        work = BatchWork(dpu_frequency_hz=self.config.pim.dpu.frequency_hz)
+        host_prep: int | None = None
 
         # (a) Cluster filtering on the host (skipped when the probes
         # arrive pre-computed from a coordinator).
         if probes is None:
             probes = self.index.ivf.search_clusters(queries, qc.nprobe)
-            schedule.record(
+            host_prep = work.work(
                 HOST_CPU,
                 STAGE_CLUSTER_FILTER,
                 self.host.cluster_filter_seconds(nq, ic.n_clusters, ic.dim),
@@ -482,21 +492,19 @@ class UpANNSEngine:
             exec_placement,
             on_missing="drop" if state is not None else "raise",
         )
-        schedule.record(
+        host_prep = work.work(
             HOST_CPU,
             STAGE_SCHEDULE,
             self.host.scheduling_seconds_for_pairs(assignment.total_pairs()),
+            after=(host_prep,),
         )
 
         # Host -> DPU: queries broadcast + per-DPU worklists.  UpANNS pads
         # worklists to a uniform size so the transfer parallelizes; the
         # naive path ships exact (non-uniform) sizes and serializes.
         query_bytes = nq * ic.dim * 4
-        self.pim.record_broadcast(
-            schedule,
-            query_bytes,
-            stage=STAGE_TRANSFER_IN,
-            start_s=schedule.timeline(HOST_CPU).end,
+        last_bus = self.pim.work_broadcast(
+            work, query_bytes, stage=STAGE_TRANSFER_IN, after=(host_prep,)
         )
         pair_counts = [len(p) for p in assignment.per_dpu]
         if uc.enable_placement:
@@ -504,11 +512,14 @@ class UpANNSEngine:
             meta_sizes = [pad * 8] * self.pim.n_dpus
         else:
             meta_sizes = [c * 8 for c in pair_counts]
-        self.pim.record_transfer(schedule, meta_sizes, stage=STAGE_TRANSFER_IN)
+        last_bus = self.pim.work_transfer(
+            work, meta_sizes, stage=STAGE_TRANSFER_IN, after=(last_bus,)
+        )
         if faults is not None and (faults.transient or faults.escalated):
-            _record_retries(
-                schedule, faults, state, meta_sizes,
+            last_bus = _retry_work(
+                work, faults, state, meta_sizes,
                 self.config.pim.host_transfer_bytes_per_s,
+                after=last_bus,
             )
 
         # Per-DPU kernel execution.
@@ -608,10 +619,12 @@ class UpANNSEngine:
         # inbound transfer completes.
         busy = np.array([log.total_cycles for log in logs])
         freq = self.config.pim.dpu.frequency_hz
-        transfer_done = schedule.timeline(PIM_BUS).end
+        dpu_tail: list[int] = []
         for d, log in enumerate(logs):
             if log.total_cycles > 0:
-                schedule.record_dpu_stages(d, log.stage, start_s=transfer_done)
+                dpu_tail.append(
+                    work.work_dpu_stages(d, log.stage, after=(last_bus,))
+                )
         cycle_ratio = max_mean_ratio(busy, active_only=True)
 
         # DPU -> host result gather (uniform when padded).  Sized from
@@ -621,11 +634,11 @@ class UpANNSEngine:
         if uc.enable_placement and any(result_sizes):
             pad = max(result_sizes)
             result_sizes = [pad] * len(result_sizes)
-        dpu_done = max(
-            (tl.end for tl in schedule.dpu_timelines()), default=transfer_done
-        )
-        self.pim.record_gather(
-            schedule, result_sizes, stage=STAGE_TRANSFER_OUT, start_s=dpu_done
+        gather = self.pim.work_gather(
+            work,
+            result_sizes,
+            stage=STAGE_TRANSFER_OUT,
+            after=tuple(dpu_tail) if dpu_tail else (last_bus,),
         )
 
         # Host-side final aggregation across DPUs.
@@ -641,12 +654,19 @@ class UpANNSEngine:
             top_i, top_d = topk_from_distances(ids, dists, k)
             out_i[qi, : top_i.shape[0]] = top_i
             out_d[qi, : top_d.shape[0]] = top_d
-        schedule.record_at(
+        work.work(
             HOST_CPU,
             STAGE_AGGREGATE,
-            schedule.timeline(PIM_BUS).end,
             self.host.aggregate_seconds(nq, k, max(1, n_partials // max(nq, 1))),
+            after=(gather,),
         )
+
+        # Execute the work description through the selected core.  The
+        # analytic replay reproduces the historical record_at sequence
+        # bit-for-bit; the event core runs the same DAG through the
+        # discrete-event engine (identical here — a single batch's DAG
+        # admits no lane contention).
+        schedule = work.execute(resolve_sim_engine(self.sim_engine))
 
         # Derived views: the legacy additive scalars and the Figure 19
         # stage breakdown (makespan DPU's stages + host-side stages) now
@@ -693,6 +713,7 @@ class UpANNSEngine:
             dpu_busy_seconds=busy / freq,
             schedule=schedule,
             degraded=degraded,
+            work=work,
         )
 
     def _build_tables(
@@ -863,32 +884,42 @@ def _live_probes(probes, sizes: np.ndarray):
     return out
 
 
-def _record_retries(
-    schedule: BatchSchedule,
+def _retry_work(
+    work: BatchWork,
     faults,
     state: FaultState,
     meta_sizes: list[int],
     bus_bytes_per_s: float,
-) -> None:
-    """Charge this batch's transient-fault recovery onto the bus lane.
+    *,
+    after: int,
+) -> int:
+    """Describe this batch's transient-fault recovery on the bus lane.
 
     Each failed attempt costs its backoff plus re-transmitting the
-    victim DPU's worklist buffer.  Spans land on ``pim_bus`` *before*
-    the DPU start time is read, so kernels launch after recovery and
-    the cost is visible end-to-end (Chrome trace, utilization report,
-    ``BatchTiming.retry_s``).  Units that escalated to death this batch
-    are charged too: their retries all happened before the driver gave
-    up on the device.
+    victim DPU's worklist buffer.  The retry items chain off the
+    transfer they repair and are *pinned*: under cross-batch stream
+    execution the event engine runs them immediately after that
+    transfer, ahead of any other batch's queued bus traffic, so retries
+    stay contiguous with their transfer-in (simsan SAN-ORDER).  DPU
+    work depends on the last retry, so kernels launch after recovery
+    and the cost is visible end-to-end (Chrome trace, utilization
+    report, ``BatchTiming.retry_s``).  Units that escalated to death
+    this batch are charged too: their retries all happened before the
+    driver gave up on the device.  Returns the last retry's uid.
     """
+    last = after
     attempts_by_unit = faults.attempts_by_unit()
     for u in sorted(attempts_by_unit):
         retrans = meta_sizes[u] if u < len(meta_sizes) else 0
         for attempt in range(1, attempts_by_unit[u] + 1):
-            schedule.record(
+            last = work.work(
                 PIM_BUS,
                 STAGE_RETRY,
                 state.backoff_s(attempt) + retrans / bus_bytes_per_s,
+                after=(last,),
+                pinned=True,
             )
+    return last
 
 
 def _degraded_result(

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.config import IndexConfig, QueryConfig, SystemConfig, UpANNSConfig
-from repro.core.engine import BatchResult, _degraded_result, _record_retries
+from repro.core.engine import BatchResult, _degraded_result, _retry_work
 from repro.sanitize.hook import debug_sanitize_schedule
 from repro.faults import FaultPlan, FaultState, restrict_placement
 from repro.core.kernel import (
@@ -51,13 +51,13 @@ from repro.metrics.breakdown import stage_seconds_from_schedule
 from repro.telemetry.pipeline import observe_batch
 from repro.sim import (
     HOST_CPU,
-    PIM_BUS,
     STAGE_AGGREGATE,
     STAGE_CLUSTER_FILTER,
     STAGE_SCHEDULE,
     STAGE_TRANSFER_IN,
     STAGE_TRANSFER_OUT,
-    BatchSchedule,
+    BatchWork,
+    resolve_sim_engine,
 )
 
 logger = logging.getLogger(__name__)
@@ -78,6 +78,8 @@ class IVFFlatPimEngine:
     placement: Placement | None = None
     _built: bool = False
     fault_state: FaultState | None = None
+    #: Execution core (``"analytic"``/``"event"``/None -> env default).
+    sim_engine: str | None = None
 
     def __post_init__(self) -> None:
         ic = self.config.index
@@ -228,9 +230,9 @@ class IVFFlatPimEngine:
         nq = queries.shape[0]
         sizes = self.index.cluster_sizes()
 
-        schedule = BatchSchedule(dpu_frequency_hz=self.config.pim.dpu.frequency_hz)
+        work = BatchWork(dpu_frequency_hz=self.config.pim.dpu.frequency_hz)
         probes = self.index.ivf.search_clusters(queries, qc.nprobe)
-        schedule.record(
+        host_prep = work.work(
             HOST_CPU,
             STAGE_CLUSTER_FILTER,
             self.host.cluster_filter_seconds(nq, ic.n_clusters, ic.dim),
@@ -251,22 +253,21 @@ class IVFFlatPimEngine:
             exec_placement,
             on_missing="drop" if state is not None else "raise",
         )
-        schedule.record(
+        host_prep = work.work(
             HOST_CPU,
             STAGE_SCHEDULE,
             self.host.scheduling_seconds_for_pairs(assignment.total_pairs()),
+            after=(host_prep,),
         )
-        self.pim.record_broadcast(
-            schedule,
-            nq * ic.dim * 4,
-            stage=STAGE_TRANSFER_IN,
-            start_s=schedule.timeline(HOST_CPU).end,
+        last_bus = self.pim.work_broadcast(
+            work, nq * ic.dim * 4, stage=STAGE_TRANSFER_IN, after=(host_prep,)
         )
         if faults is not None and (faults.transient or faults.escalated):
-            _record_retries(
-                schedule, faults, state,
+            last_bus = _retry_work(
+                work, faults, state,
                 [len(p) * 8 for p in assignment.per_dpu],
                 self.config.pim.host_transfer_bytes_per_s,
+                after=last_bus,
             )
 
         chunk = self._read_chunk_bytes()
@@ -350,20 +351,22 @@ class IVFFlatPimEngine:
             busy[d] = stage_by_dpu[d].total
 
         freq = self.config.pim.dpu.frequency_hz
-        transfer_done = schedule.timeline(PIM_BUS).end
+        dpu_tail: list[int] = []
         for d, stage in enumerate(stage_by_dpu):
             if stage.total > 0:
-                schedule.record_dpu_stages(d, stage, start_s=transfer_done)
+                dpu_tail.append(
+                    work.work_dpu_stages(d, stage, after=(last_bus,))
+                )
         # Size the result gather by what each DPU actually produced — a
         # group over small clusters can return fewer than k candidates.
         result_sizes = [n * 8 for n in results_returned]
         if uc.enable_placement and any(result_sizes):
             result_sizes = [max(result_sizes)] * len(result_sizes)
-        dpu_done = max(
-            (tl.end for tl in schedule.dpu_timelines()), default=transfer_done
-        )
-        self.pim.record_gather(
-            schedule, result_sizes, stage=STAGE_TRANSFER_OUT, start_s=dpu_done
+        gather = self.pim.work_gather(
+            work,
+            result_sizes,
+            stage=STAGE_TRANSFER_OUT,
+            after=tuple(dpu_tail) if dpu_tail else (last_bus,),
         )
 
         out_d = np.full((nq, k), np.inf, dtype=np.float32)
@@ -378,13 +381,14 @@ class IVFFlatPimEngine:
             top_i, top_d = topk_from_distances(ids, dists, k)
             out_i[qi, : top_i.shape[0]] = top_i
             out_d[qi, : top_d.shape[0]] = top_d
-        schedule.record_at(
+        work.work(
             HOST_CPU,
             STAGE_AGGREGATE,
-            schedule.timeline(PIM_BUS).end,
             self.host.aggregate_seconds(nq, k, max(1, n_partials // max(nq, 1))),
+            after=(gather,),
         )
 
+        schedule = work.execute(resolve_sim_engine(self.sim_engine))
         timing = schedule.derive_batch_timing()
         stage_seconds = stage_seconds_from_schedule(schedule, timing)
         observe_batch(
@@ -419,6 +423,7 @@ class IVFFlatPimEngine:
             dpu_busy_seconds=busy / freq,
             schedule=schedule,
             degraded=degraded,
+            work=work,
         )
 
 

@@ -46,6 +46,8 @@ from repro.sim import (
     STAGE_TRANSFER_IN,
     STAGE_TRANSFER_OUT,
     BatchSchedule,
+    BatchWork,
+    resolve_sim_engine,
 )
 from repro.telemetry.registry import get_registry
 
@@ -84,6 +86,8 @@ class MultiHostBatchResult:
     schedule: BatchSchedule | None = None  # per-resource event timelines
     #: Fault-plane outcome at host granularity; ``None`` when fault-free.
     degraded: DegradedResult | None = None
+    #: Coordinator-level work description ``schedule`` was executed from.
+    work: BatchWork | None = None
 
     @property
     def total_s(self) -> float:
@@ -116,6 +120,9 @@ class MultiHostEngine:
     _sizes: np.ndarray | None = None
     _built: bool = False
     fault_state: FaultState | None = None
+    #: Execution core (``"analytic"``/``"event"``/None -> env default);
+    #: propagated to every member host engine at build/reshard time.
+    sim_engine: str | None = None
     # Retained build inputs so reshard() can rebuild surviving hosts.
     _vectors: np.ndarray | None = None
     _freqs: np.ndarray | None = None
@@ -230,6 +237,7 @@ class MultiHostEngine:
                 dtype=np.int64,
             )
             engine = UpANNSEngine(cfg)
+            engine.sim_engine = self.sim_engine
             engine.build(
                 self._vectors,
                 frequencies=freqs,
@@ -293,12 +301,12 @@ class MultiHostEngine:
         sizes = self._sizes
         assert sizes is not None and self.host_placement is not None
 
-        schedule = BatchSchedule()
+        work = BatchWork()
 
         # Coordinator: one global cluster-filtering pass.
         probes = self.index.ivf.search_clusters(queries, qc.nprobe)
         filter_s = self.coordinator.cluster_filter_seconds(nq, ic.n_clusters, ic.dim)
-        schedule.record(HOST_CPU, STAGE_CLUSTER_FILTER, filter_s)
+        filter_item = work.work(HOST_CPU, STAGE_CLUSTER_FILTER, filter_s)
 
         # Fault plane at host granularity: a lost host disappears from
         # the routing map before any pair is assigned; clusters sharded
@@ -322,7 +330,9 @@ class MultiHostEngine:
             on_missing="drop" if state is not None else "raise",
         )
         route_s = self.coordinator.scheduling_seconds_for_pairs(routing.total_pairs())
-        schedule.record(HOST_CPU, STAGE_SCHEDULE, route_s)
+        route_item = work.work(
+            HOST_CPU, STAGE_SCHEDULE, route_s, after=(filter_item,)
+        )
         per_host_probes: list[list[list[int]]] = [
             [[] for _ in range(nq)] for _ in range(self.n_hosts)
         ]
@@ -338,14 +348,14 @@ class MultiHostEngine:
             pairs = sum(len(row) for row in per_host_probes[h])
             distribute_bytes.append(participating * ic.dim * 4 + pairs * 8)
         distribute_s = self.network.transfer_seconds(distribute_bytes)
-        schedule.record_at(
-            NETWORK, STAGE_TRANSFER_IN, schedule.timeline(HOST_CPU).end, distribute_s
+        distribute_item = work.work(
+            NETWORK, STAGE_TRANSFER_IN, distribute_s, after=(route_item,)
         )
-        distribute_done = schedule.timeline(NETWORK).end
 
         # Local searches (memory-intensive work stays on each host).
         host_results = []
         host_seconds = []
+        host_items: list[int] = []
         for h, engine in enumerate(self.hosts):
             ragged = [
                 np.asarray(row, dtype=np.int64) for row in per_host_probes[h]
@@ -357,8 +367,13 @@ class MultiHostEngine:
             res = engine.search_batch(queries, k=k, probes=ragged)
             host_results.append(res)
             host_seconds.append(res.timing.total_s)
-            schedule.record_at(
-                f"host/{h}", STAGE_HOST_SEARCH, distribute_done, res.timing.total_s
+            host_items.append(
+                work.work(
+                    f"host/{h}",
+                    STAGE_HOST_SEARCH,
+                    res.timing.total_s,
+                    after=(distribute_item,),
+                )
             )
         host_makespan_s = max(host_seconds) if host_seconds else 0.0
 
@@ -367,15 +382,12 @@ class MultiHostEngine:
             (0 if r is None else int((r.ids >= 0).sum()) * 12) for r in host_results
         ]
         gather_s = self.network.transfer_seconds(gather_bytes)
-        hosts_done = max(
-            (
-                schedule.timeline(f"host/{h}").end
-                for h, r in enumerate(host_results)
-                if r is not None
-            ),
-            default=distribute_done,
+        gather_item = work.work(
+            NETWORK,
+            STAGE_TRANSFER_OUT,
+            gather_s,
+            after=tuple(host_items) if host_items else (distribute_item,),
         )
-        schedule.record_at(NETWORK, STAGE_TRANSFER_OUT, hosts_done, gather_s)
 
         out_d = np.full((nq, k), np.inf, dtype=np.float32)
         out_i = np.full((nq, k), -1, dtype=np.int64)
@@ -395,9 +407,8 @@ class MultiHostEngine:
             out_i[qi, : ids.shape[0]] = ids
             out_d[qi, : dists.shape[0]] = dists
         merge_s = self.coordinator.aggregate_seconds(nq, k, self.n_hosts)
-        schedule.record_at(
-            HOST_CPU, STAGE_AGGREGATE, schedule.timeline(NETWORK).end, merge_s
-        )
+        work.work(HOST_CPU, STAGE_AGGREGATE, merge_s, after=(gather_item,))
+        schedule = work.execute(resolve_sim_engine(self.sim_engine))
 
         reg = get_registry()
         reg.counter(
@@ -457,6 +468,7 @@ class MultiHostEngine:
             ],
             schedule=schedule,
             degraded=degraded,
+            work=work,
         )
 
     def cluster_ownership(self) -> list[int]:

@@ -23,7 +23,15 @@ from repro.core.scheduling import AdaptivePolicy
 from repro.errors import ConfigError, NotTrainedError
 from repro.metrics.latency import LatencyRecorder
 from repro.sanitize.hook import debug_sanitize_schedule
-from repro.sim import OVERLAP_MODES, BatchSchedule, compose
+from repro.sim import (
+    OVERLAP_MODES,
+    BatchSchedule,
+    BatchWork,
+    compose,
+    dpu_resource,
+    execute_stream,
+    resolve_sim_engine,
+)
 from repro.telemetry.registry import get_registry
 from repro.workload.trace import AccessTrace
 
@@ -70,7 +78,16 @@ class OnlineService:
     # Refresh placement at most once every this many batches (a real
     # deployment re-places 'every few days', not per batch).
     min_batches_between_refreshes: int = 1
+    # Execution core for the combined run-level schedule: "analytic"
+    # composes the recorded per-batch spans under the overlap policy;
+    # "event" re-executes the retained work descriptions through one
+    # discrete-event simulation, so cross-batch contention (batch N+1's
+    # transfer-in queuing behind batch N's bus occupancy) and mid-flight
+    # fault interruption emerge from queuing.  None defers to the
+    # REPRO_SIM_ENGINE environment variable.
+    sim_engine: str | None = None
     schedules: list[BatchSchedule] = field(default_factory=list)
+    works: list[BatchWork] = field(default_factory=list)
     _snapshot: AccessTrace | None = None
     _batches_since_refresh: int = 0
     refresh_count: int = 0
@@ -93,6 +110,8 @@ class OnlineService:
         result = self.engine.search_batch(queries, k=k)
         if result.schedule is not None:
             self.schedules.append(result.schedule)
+        if result.work is not None:
+            self.works.append(result.work)
         self.latency.record_batch_result(result)
         assert self.engine.trace is not None and self._snapshot is not None
         drift = self.engine.trace.drift_from(self._snapshot)
@@ -169,13 +188,46 @@ class OnlineService:
         return reports
 
     def combined_schedule(self) -> BatchSchedule:
-        """All served batches composed per this service's overlap mode."""
+        """All served batches as one run-level schedule.
+
+        Analytic core: the recorded per-batch spans are composed under
+        this service's overlap policy.  Event core: the retained work
+        descriptions re-execute through one discrete-event run, where
+        the overlap policy only sets the cross-batch dependency shape
+        and the actual interleaving (bus queuing, mid-flight DPU-death
+        interruption at the recorded death batches) emerges from the
+        simulation.
+        """
+        if (
+            resolve_sim_engine(self.sim_engine) == "event"
+            and self.works
+            and len(self.works) == len(self.schedules)
+        ):
+            combined = execute_stream(
+                self.works, overlap=self.overlap, kills=self._stream_kills()
+            )
+            debug_sanitize_schedule(
+                combined, label=f"event stream {self.overlap} run"
+            )
+            return combined
         combined = compose(self.schedules, self.overlap)
         # Per-batch schedules are sanitized inside the engine; this
         # covers what composition itself can break (lane clamping,
         # cross-batch ordering).  No-op unless REPRO_SANITIZE is set.
         debug_sanitize_schedule(combined, label=f"composed {self.overlap} run")
         return combined
+
+    def _stream_kills(self) -> dict[str, int]:
+        """DPU lanes to fence mid-run, from the fault plane's ledger."""
+        state = self.engine.fault_state
+        if state is None:
+            return {}
+        n = len(self.works)
+        return {
+            dpu_resource(u): b
+            for u, b in sorted(state.death_batches.items())
+            if 0 <= b < n
+        }
 
     def wallclock_seconds(self) -> float:
         """Modeled wall-clock for everything served so far.

@@ -237,6 +237,11 @@ class FaultState:
     total_rerouted_pairs: int = 0
     total_dropped_pairs: int = 0
     events_fired: list[FaultEvent] = field(default_factory=list)
+    #: Unit id -> batch index at which it died (event or escalation).
+    #: Stream execution (repro.sim.events.execute_stream) uses this to
+    #: fence the victim's lane mid-flight at that batch's bus activity,
+    #: interrupting whatever span the unit was executing.
+    death_batches: dict[int, int] = field(default_factory=dict)
     _rng: np.random.Generator = field(init=False)
 
     def __post_init__(self) -> None:
@@ -326,6 +331,8 @@ class FaultState:
         # declared dead — their retry traffic is still fault cost.
         self.total_retries += sum(transient.values()) + sum(escalated.values())
         self.events_fired.extend(fired)
+        for u in newly_dead:
+            self.death_batches[u] = self.batch_index
         return BatchFaults(
             batch=self.batch_index,
             newly_dead=tuple(newly_dead),

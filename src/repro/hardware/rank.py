@@ -20,6 +20,7 @@ from repro.hardware.specs import DEFAULT_N_TASKLETS, PimSystemSpec
 from repro.sim.span import PIM_BUS
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.events import BatchWork
     from repro.sim.schedule import BatchSchedule
     from repro.sim.span import Span
 
@@ -144,6 +145,49 @@ class PimSystem:
         """Charge a per-DPU result pull as a ``pim_bus`` span."""
         return self.record_transfer(
             schedule, list(per_dpu_bytes), stage=stage, start_s=start_s
+        )
+
+    # --- Work-emission transfer API --------------------------------------
+    # Event-core counterparts of the record_* wrappers: the engines now
+    # *describe* transfers as work items on the ``pim_bus`` lane and the
+    # execution core (analytic replay or discrete-event) places them.
+
+    def work_broadcast(
+        self,
+        work: "BatchWork",
+        size_bytes: int,
+        *,
+        stage: str,
+        after: Iterable[int | None] = (),
+    ) -> int:
+        """Describe a same-buffer-to-all-DPUs push as a bus work item."""
+        return work.work(
+            PIM_BUS, stage, self.broadcast_seconds(size_bytes), after=after
+        )
+
+    def work_transfer(
+        self,
+        work: "BatchWork",
+        buffer_sizes: Sequence[int],
+        *,
+        stage: str,
+        after: Iterable[int | None] = (),
+    ) -> int:
+        """Describe a per-DPU buffer push/pull as a bus work item."""
+        stats = self.host_transfer_seconds(buffer_sizes)
+        return work.work(PIM_BUS, stage, stats.seconds, after=after)
+
+    def work_gather(
+        self,
+        work: "BatchWork",
+        per_dpu_bytes: Iterable[int],
+        *,
+        stage: str,
+        after: Iterable[int | None] = (),
+    ) -> int:
+        """Describe a per-DPU result pull as a bus work item."""
+        return self.work_transfer(
+            work, list(per_dpu_bytes), stage=stage, after=after
         )
 
     # --- Aggregate views -------------------------------------------------

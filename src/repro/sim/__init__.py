@@ -7,6 +7,16 @@ timelines via :meth:`BatchSchedule.record` (or the module-level
 Chrome-trace export — is derived from the recorded schedule.
 """
 
+from repro.sim.events import (
+    SIM_ENGINE_ENV,
+    SIM_ENGINES,
+    BatchWork,
+    EventEngine,
+    LaneStats,
+    WorkItem,
+    execute_stream,
+    resolve_sim_engine,
+)
 from repro.sim.overlap import (
     OVERLAP_MODES,
     compose,
@@ -60,12 +70,17 @@ def record(
 __all__ = [
     "BatchSchedule",
     "BatchTiming",
+    "BatchWork",
+    "EventEngine",
     "HOST_AGG",
     "HOST_CPU",
+    "LaneStats",
     "NETWORK",
     "OVERLAP_MODES",
     "PIM_BUS",
     "ResourceTimeline",
+    "SIM_ENGINES",
+    "SIM_ENGINE_ENV",
     "STAGE_AGGREGATE",
     "STAGE_CLUSTER_FILTER",
     "STAGE_RETRY",
@@ -73,13 +88,16 @@ __all__ = [
     "STAGE_TRANSFER_IN",
     "STAGE_TRANSFER_OUT",
     "Span",
+    "WorkItem",
     "chrome_trace",
     "compose",
     "compose_double_buffer",
     "compose_sequential",
     "dpu_resource",
+    "execute_stream",
     "is_dpu_resource",
     "pipeline_wallclock",
     "record",
+    "resolve_sim_engine",
     "validate_chrome_trace",
 ]

@@ -185,7 +185,19 @@ def compose_double_buffer(schedules: Sequence[BatchSchedule]) -> BatchSchedule:
 def compose(
     schedules: Sequence[BatchSchedule], overlap: str = "sequential"
 ) -> BatchSchedule:
-    """Compose per-batch schedules under the given overlap mode."""
+    """Compose per-batch schedules under the given overlap mode.
+
+    An empty sequence is rejected: a run-level schedule over zero batches
+    has no meaningful makespan, and silently returning an empty schedule
+    has historically masked services that never served a batch.  (The
+    lower-level ``compose_sequential``/``compose_double_buffer`` builders
+    still accept empty input for incremental callers.)
+    """
+    if not schedules:
+        raise ValueError(
+            "cannot compose an empty schedule sequence; serve at least "
+            "one batch first"
+        )
     if overlap == "sequential":
         return compose_sequential(schedules)
     if overlap == "double_buffer":
@@ -199,4 +211,9 @@ def pipeline_wallclock(
     schedules: Sequence[BatchSchedule], overlap: str = "sequential"
 ) -> float:
     """Run-level wall-clock under an overlap mode (composed makespan)."""
+    if not schedules:
+        raise ValueError(
+            "cannot compute pipeline wall-clock over an empty schedule "
+            "sequence; serve at least one batch first"
+        )
     return compose(schedules, overlap).makespan

@@ -148,3 +148,117 @@ class TestAdaptation:
         for _ in range(3):
             service.submit(small_queries)
         assert service.refresh_count == 0  # rate limiter held it back
+
+
+class TestEventStream:
+    """The discrete-event core behind ``sim_engine='event'``."""
+
+    def test_sequential_event_stream_matches_composed_wallclock(
+        self, small_dataset, trained_index, history_queries, small_queries
+    ):
+        from repro.sim import compose
+
+        service = OnlineService(
+            engine=built_engine(small_dataset, trained_index, history_queries),
+            overlap="sequential",
+            sim_engine="event",
+        )
+        for _ in range(3):
+            service.submit(small_queries)
+        composed = compose(service.schedules, "sequential")
+        assert service.wallclock_seconds() == pytest.approx(
+            composed.makespan, rel=1e-9
+        )
+
+    def test_double_buffer_queues_behind_real_bus_occupancy(
+        self, small_dataset, trained_index, history_queries, small_queries
+    ):
+        from repro.sanitize import sanitize_schedule
+        from repro.sim import PIM_BUS, STAGE_TRANSFER_IN, compose
+
+        service = OnlineService(
+            engine=built_engine(small_dataset, trained_index, history_queries),
+            overlap="double_buffer",
+            sim_engine="event",
+        )
+        for _ in range(3):
+            service.submit(small_queries)
+        combined = service.combined_schedule()
+        sequential = compose(service.schedules, "sequential")
+        assert combined.makespan < sequential.makespan
+        tins = sorted(
+            (
+                s
+                for s in combined.timeline(PIM_BUS).spans
+                if s.stage == STAGE_TRANSFER_IN
+            ),
+            key=lambda s: s.t0,
+        )
+        assert len(tins) == 6  # broadcast + metadata transfer per batch
+        for prev, cur in zip(tins, tins[1:]):
+            assert cur.t0 >= prev.t1  # genuine bus serialization
+        assert sanitize_schedule(combined) == []
+
+    def test_transient_transfer_faults_keep_retries_contiguous(
+        self, small_dataset, trained_index, history_queries, small_queries
+    ):
+        """Double-buffered interleaving with retry traffic: each retry
+        rides directly behind the transfer it repairs (no other batch's
+        transfer-in wedges in between) and the composed stream
+        sanitizes clean."""
+        from repro.faults import FaultPlan
+        from repro.sanitize import sanitize_schedule
+        from repro.sim import PIM_BUS, STAGE_RETRY, STAGE_TRANSFER_IN
+
+        engine = built_engine(small_dataset, trained_index, history_queries)
+        engine.inject(FaultPlan.from_specs([], seed=3, transfer_hazard=0.9))
+        service = OnlineService(
+            engine, overlap="double_buffer", sim_engine="event"
+        )
+        for _ in range(3):
+            service.submit(small_queries)
+        combined = service.combined_schedule()
+        bus = sorted(combined.timeline(PIM_BUS).spans, key=lambda s: s.t0)
+        retries = [s for s in bus if s.stage == STAGE_RETRY]
+        assert retries, "hazard 0.9 over 3 batches must fire at least once"
+        for i, span in enumerate(bus):
+            if span.stage == STAGE_RETRY:
+                assert bus[i - 1].stage in (STAGE_TRANSFER_IN, STAGE_RETRY)
+        assert sanitize_schedule(combined) == []
+
+    def test_dpu_death_interrupts_stream_mid_flight(
+        self, small_dataset, trained_index, history_queries, small_queries
+    ):
+        from repro.faults import FaultPlan, pick_replicated_unit
+        from repro.sanitize import sanitize_schedule
+        from repro.sim import dpu_resource
+
+        engine = built_engine(small_dataset, trained_index, history_queries)
+        target = pick_replicated_unit(engine.placement)
+        assert target is not None
+        engine.inject(FaultPlan.from_specs([f"dpu:{target}@1"]))
+        service = OnlineService(
+            engine, overlap="double_buffer", sim_engine="event"
+        )
+        for _ in range(3):
+            service.submit(small_queries)
+        assert engine.fault_state is not None
+        assert engine.fault_state.death_batches.get(target) == 1
+        combined = service.combined_schedule()
+        # The victim's lane is fenced at the death batch: nothing on it
+        # outlives the stream's view of the fault, and the run-level
+        # timeline stays causally clean despite the truncation.
+        victim = combined.timeline(dpu_resource(target))
+        fence = max((s.t1 for s in victim.spans), default=0.0)
+        assert fence < combined.makespan
+        assert sanitize_schedule(combined) == []
+
+    def test_empty_service_rejected_in_event_mode_too(
+        self, small_dataset, trained_index, history_queries
+    ):
+        service = OnlineService(
+            engine=built_engine(small_dataset, trained_index, history_queries),
+            sim_engine="event",
+        )
+        with pytest.raises(ValueError, match="empty"):
+            service.combined_schedule()

@@ -27,7 +27,7 @@ import numpy as np
 import pytest
 
 from repro.config import IndexConfig, QueryConfig, SystemConfig, UpANNSConfig
-from repro.core.engine import UpANNSEngine, _record_retries
+from repro.core.engine import UpANNSEngine, _retry_work
 from repro.core.flat_engine import IVFFlatPimEngine
 from repro.core.multihost import MultiHostEngine
 from repro.core.scheduling import AdaptivePolicy
@@ -35,7 +35,7 @@ from repro.core.service import OnlineService
 from repro.errors import ConfigError
 from repro.faults import BatchFaults, FaultPlan, pick_replicated_unit
 from repro.hardware.specs import PimSystemSpec
-from repro.sim import PIM_BUS, STAGE_RETRY, BatchSchedule
+from repro.sim import PIM_BUS, STAGE_RETRY, STAGE_TRANSFER_IN, BatchWork
 
 GOLDEN_TIMINGS = json.loads(
     (Path(__file__).parent.parent / "sim" / "golden_timings.json").read_text()
@@ -165,8 +165,10 @@ class TestReplicaFailover:
         faults = BatchFaults(
             batch=0, newly_dead=(2,), transient={0: 1}, escalated={2: 3}
         )
-        schedule = BatchSchedule()
-        _record_retries(schedule, faults, state, [8, 8, 8, 8], 1e9)
+        work = BatchWork()
+        tin = work.work(PIM_BUS, STAGE_TRANSFER_IN, 0.0)
+        _retry_work(work, faults, state, [8, 8, 8, 8], 1e9, after=tin)
+        schedule = work.execute("analytic")
         spans = [
             s for s in schedule.timeline(PIM_BUS).spans if s.stage == STAGE_RETRY
         ]
@@ -329,14 +331,43 @@ class TestMultiHostFailover:
 
 class TestGoldenChaosRecord:
     def test_cli_scenario_matches_committed_record(self, tmp_path, capsys):
-        """`repro.cli chaos --seed 7` reproduces the pinned record."""
+        """`repro.cli chaos --seed 7` reproduces the pinned record.
+
+        The core is pinned explicitly so the test stays meaningful when
+        the suite runs under ``REPRO_SIM_ENGINE=event``: the golden
+        records the analytic-core run.
+        """
         from repro.cli import main
 
         out = tmp_path / "chaos.json"
-        assert main(["-q", "chaos", "--seed", "7", "--out", str(out)]) == 0
+        argv = ["-q", "chaos", "--seed", "7", "--sim-engine", "analytic"]
+        assert main([*argv, "--out", str(out)]) == 0
         capsys.readouterr()
         record = json.loads(out.read_text())
         golden = json.loads(GOLDEN_CHAOS_PATH.read_text())
+        assert record == golden
+
+    def test_event_core_matches_committed_record_modulo_engine(
+        self, tmp_path, capsys
+    ):
+        """The event core reproduces the same chaos accounting.
+
+        Per-batch schedules are bit-for-bit identical across cores
+        (golden-equivalence guarantee), so the whole record — retries,
+        coverage, recovery cost — must match the committed analytic one
+        except for the recorded core name.  The run itself also passes
+        the in-CLI stream sanitize gate with a mid-flight DPU death.
+        """
+        from repro.cli import main
+
+        out = tmp_path / "chaos_event.json"
+        argv = ["-q", "chaos", "--seed", "7", "--sim-engine", "event"]
+        assert main([*argv, "--out", str(out)]) == 0
+        capsys.readouterr()
+        record = json.loads(out.read_text())
+        golden = json.loads(GOLDEN_CHAOS_PATH.read_text())
+        assert record["config"].pop("sim_engine") == "event"
+        golden["config"].pop("sim_engine")
         assert record == golden
 
     def test_committed_record_validates(self):

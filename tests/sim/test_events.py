@@ -1,0 +1,303 @@
+"""Discrete-event core: queuing, determinism, kills, stream execution.
+
+The event engine must (a) degenerate to the analytic replay on a
+contention-free DAG, (b) make cross-batch contention *emerge* from FIFO
+lane queuing rather than composition rules, and (c) interrupt work
+mid-flight on a fault while conserving cycles on the truncated span.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hardware.counters import StageCycles
+from repro.sanitize import sanitize_schedule
+from repro.sim import (
+    HOST_AGG,
+    HOST_CPU,
+    PIM_BUS,
+    SIM_ENGINE_ENV,
+    STAGE_AGGREGATE,
+    STAGE_CLUSTER_FILTER,
+    STAGE_RETRY,
+    STAGE_TRANSFER_IN,
+    STAGE_TRANSFER_OUT,
+    BatchWork,
+    EventEngine,
+    WorkItem,
+    compose,
+    execute_stream,
+    resolve_sim_engine,
+)
+
+FREQ = 350e6
+
+
+def make_batch_work(
+    *,
+    filter_s: float = 1.0,
+    tin_s: float = 2.0,
+    dpu_cycles: float = 3.5e8,  # 1 s at 350 MHz
+    tout_s: float = 0.5,
+    agg_s: float = 0.25,
+) -> BatchWork:
+    """A synthetic batch description shaped like the engines emit."""
+    work = BatchWork(dpu_frequency_hz=FREQ)
+    host = work.work(HOST_CPU, STAGE_CLUSTER_FILTER, filter_s)
+    tin = work.work(PIM_BUS, STAGE_TRANSFER_IN, tin_s, after=(host,))
+    tail = work.work_dpu_stages(
+        0, StageCycles(distance_calc=dpu_cycles), after=(tin,)
+    )
+    tout = work.work(PIM_BUS, STAGE_TRANSFER_OUT, tout_s, after=(tail,))
+    work.work(HOST_CPU, STAGE_AGGREGATE, agg_s, after=(tout,))
+    return work
+
+
+class TestResolveSimEngine:
+    def test_defaults_to_analytic(self, monkeypatch):
+        monkeypatch.delenv(SIM_ENGINE_ENV, raising=False)
+        assert resolve_sim_engine() == "analytic"
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(SIM_ENGINE_ENV, "event")
+        assert resolve_sim_engine() == "event"
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(SIM_ENGINE_ENV, "event")
+        assert resolve_sim_engine("analytic") == "analytic"
+
+    def test_unknown_rejected(self, monkeypatch):
+        monkeypatch.delenv(SIM_ENGINE_ENV, raising=False)
+        with pytest.raises(ConfigError):
+            resolve_sim_engine("quantum")
+        monkeypatch.setenv(SIM_ENGINE_ENV, "quantum")
+        with pytest.raises(ConfigError):
+            resolve_sim_engine()
+
+
+class TestBatchWork:
+    def test_forward_dependency_rejected(self):
+        work = BatchWork()
+        with pytest.raises(ConfigError):
+            work.work(HOST_CPU, STAGE_CLUSTER_FILTER, 1.0, after=(3,))
+
+    def test_none_deps_filtered(self):
+        work = BatchWork()
+        uid = work.work(HOST_CPU, STAGE_CLUSTER_FILTER, 1.0, after=(None,))
+        assert work.items[uid].deps == ()
+
+    def test_unknown_mode_rejected(self):
+        work = make_batch_work()
+        with pytest.raises(ConfigError):
+            work.execute("quantum")
+
+    def test_dpu_stages_require_frequency(self):
+        work = BatchWork()
+        with pytest.raises(ConfigError):
+            work.work_dpu_stages(0, StageCycles(distance_calc=1.0))
+
+
+class TestDegenerateParity:
+    """A contention-free DAG executes identically under both cores."""
+
+    def test_event_matches_analytic_bitwise(self):
+        analytic = make_batch_work().execute("analytic")
+        event = make_batch_work().execute("event")
+        assert list(analytic.timelines) == list(event.timelines)
+        for name, tl in analytic.timelines.items():
+            got = event.timelines[name].spans
+            assert len(tl.spans) == len(got)
+            for a, b in zip(tl.spans, got):
+                assert a.t0.hex() == b.t0.hex()
+                assert a.t1.hex() == b.t1.hex()
+                assert (a.stage, a.cycles) == (b.stage, b.cycles)
+
+    def test_timing_scalars_match(self):
+        a = make_batch_work().execute("analytic").derive_batch_timing()
+        e = make_batch_work().execute("event").derive_batch_timing()
+        assert a.total_s == e.total_s
+        assert a.dpu_makespan_s == e.dpu_makespan_s
+
+
+class TestFifoQueuing:
+    def test_second_arrival_queues_behind_busy_lane(self):
+        work = BatchWork()
+        work.work(PIM_BUS, STAGE_TRANSFER_IN, 2.0)
+        work.work(PIM_BUS, STAGE_TRANSFER_IN, 1.0)
+        engine = EventEngine()
+        schedule = engine.run(work.items)
+        spans = schedule.timeline(PIM_BUS).spans
+        assert spans[0].t0 == 0.0 and spans[0].t1 == 2.0
+        assert spans[1].t0 == 2.0 and spans[1].t1 == 3.0
+        stats = engine.lane_stats[PIM_BUS]
+        assert stats.dispatched == 2
+        assert stats.queued == 1
+        assert stats.peak_outstanding == 2
+
+    def test_simultaneous_arrivals_start_in_uid_order(self):
+        work = BatchWork()
+        for dur in (1.0, 2.0, 3.0):
+            work.work(PIM_BUS, STAGE_TRANSFER_IN, dur)
+        spans = EventEngine().run(work.items).timeline(PIM_BUS).spans
+        assert [s.t1 - s.t0 for s in spans] == [1.0, 2.0, 3.0]
+
+    def test_pinned_successor_preempts_queue(self):
+        """Retry traffic stays contiguous with the transfer it repairs
+        even when another batch's transfer is already queued."""
+        work = BatchWork()
+        tin_a = work.work(PIM_BUS, STAGE_TRANSFER_IN, 1.0)
+        work.work(PIM_BUS, STAGE_TRANSFER_IN, 1.0)  # rival, queued at t=0
+        work.work(PIM_BUS, STAGE_RETRY, 0.5, after=(tin_a,), pinned=True)
+        spans = EventEngine().run(work.items).timeline(PIM_BUS).spans
+        assert [s.stage for s in spans] == [
+            STAGE_TRANSFER_IN,
+            STAGE_RETRY,
+            STAGE_TRANSFER_IN,
+        ]
+        assert spans[1].t0 == spans[0].t1
+
+    def test_duplicate_uid_rejected(self):
+        items = [
+            WorkItem(uid=0, resource=PIM_BUS, stage=STAGE_TRANSFER_IN, duration=1.0),
+            WorkItem(uid=0, resource=PIM_BUS, stage=STAGE_TRANSFER_IN, duration=1.0),
+        ]
+        with pytest.raises(ConfigError):
+            EventEngine().run(items)
+
+    def test_dependency_cycle_is_deadlock_not_hang(self):
+        items = [
+            WorkItem(
+                uid=0, resource=PIM_BUS, stage=STAGE_TRANSFER_IN,
+                duration=1.0, deps=(1,),
+            ),
+            WorkItem(
+                uid=1, resource=HOST_CPU, stage=STAGE_AGGREGATE,
+                duration=1.0, deps=(0,),
+            ),
+        ]
+        with pytest.raises(ConfigError, match="deadlock"):
+            EventEngine().run(items)
+
+
+class TestMidFlightKill:
+    def test_inflight_compute_truncates_with_cycle_conservation(self):
+        work = BatchWork(dpu_frequency_hz=FREQ)
+        tail = work.work_dpu_stages(0, StageCycles(distance_calc=3.5e8))
+        work.work(PIM_BUS, STAGE_TRANSFER_OUT, 0.5, after=(tail,))
+        engine = EventEngine(dpu_frequency_hz=FREQ)
+        schedule = engine.run(work.items, kills_at=[("dpu/0", 0.4)])
+        # The lane carries the zero-cycle stage chain plus the truncated
+        # distance_calc; stages after the fence never record.
+        spans = schedule.timeline("dpu/0").spans
+        cut = spans[-1]
+        assert cut.stage == "distance_calc"
+        # Whole cycles retired before the fence, duration exact.
+        assert cut.cycles == float(int(0.4 * FREQ))
+        assert cut.t1 - cut.t0 == cut.cycles / FREQ
+        assert cut.t1 <= 0.4 + 1e-12
+        # The dependent gather proceeds at the fence, not at the
+        # original 1 s completion — graceful degradation, no deadlock.
+        tout = schedule.timeline(PIM_BUS).spans[0]
+        assert tout.t0 == 0.4
+        assert engine.lane_stats["dpu/0"].cancelled >= 1
+        assert sanitize_schedule(schedule) == []
+
+    def test_kill_before_start_cancels_without_span(self):
+        work = BatchWork()
+        first = work.work(PIM_BUS, STAGE_TRANSFER_IN, 1.0)
+        blocked = work.work("dpu/0", "distance_calc", 1.0, after=(first,))
+        work.work(HOST_CPU, STAGE_AGGREGATE, 0.25, after=(blocked,))
+        engine = EventEngine()
+        schedule = engine.run(work.items, kills_at=[("dpu/0", 0.0)])
+        assert schedule.timeline("dpu/0").spans == []
+        # The aggregate still runs, released when its dead dependency
+        # settles (at the transfer's end, which gated the dpu item).
+        agg = schedule.timeline(HOST_CPU).spans[0]
+        assert agg.t0 == 1.0
+        assert engine.lane_stats["dpu/0"].cancelled == 1
+
+    def test_kill_is_idempotent_and_fences_later_arrivals(self):
+        work = BatchWork()
+        work.work("dpu/0", "distance_calc", 1.0)
+        later = work.work(PIM_BUS, STAGE_TRANSFER_IN, 2.0)
+        work.work("dpu/0", "distance_calc", 1.0, after=(later,))
+        engine = EventEngine()
+        schedule = engine.run(
+            work.items, kills_at=[("dpu/0", 0.5), ("dpu/0", 0.7)]
+        )
+        spans = schedule.timeline("dpu/0").spans
+        assert len(spans) == 1 and spans[0].t1 == 0.5
+        assert engine.lane_stats["dpu/0"].cancelled == 2
+
+
+class TestExecuteStream:
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            execute_stream([])
+
+    def test_unknown_overlap_rejected(self):
+        with pytest.raises(ConfigError):
+            execute_stream([make_batch_work()], overlap="triple_buffer")
+
+    def test_sequential_matches_composed_makespan(self):
+        works = [make_batch_work() for _ in range(3)]
+        composed = compose(
+            [make_batch_work().execute("analytic") for _ in range(3)],
+            "sequential",
+        )
+        stream = execute_stream(works, overlap="sequential")
+        assert stream.makespan == pytest.approx(composed.makespan, rel=1e-12)
+        assert sanitize_schedule(stream) == []
+
+    def test_double_buffer_overlaps_and_queues_on_the_bus(self):
+        works = [make_batch_work() for _ in range(3)]
+        seq = execute_stream(
+            [make_batch_work() for _ in range(3)], overlap="sequential"
+        )
+        stream = execute_stream(works, overlap="double_buffer")
+        assert stream.makespan < seq.makespan
+        # Inbound transfers are serialized by genuine bus occupancy:
+        # batch N+1's transfer-in starts no earlier than batch N's ends.
+        tins = [
+            s
+            for s in stream.timeline(PIM_BUS).spans
+            if s.stage == STAGE_TRANSFER_IN
+        ]
+        assert len(tins) == 3
+        for prev, cur in zip(tins, tins[1:]):
+            assert cur.t0 >= prev.t1
+        # Aggregation moved to its own lane, like compose_double_buffer.
+        assert len(stream.timeline(HOST_AGG).spans) == 3
+        assert sanitize_schedule(stream) == []
+
+    def test_stream_kill_interrupts_previous_batch_mid_flight(self):
+        """A DPU death at batch 1's first bus activity truncates batch
+        0's compute still in flight on the victim lane."""
+        # 2 s of compute: batch 1's transfer-in (released by batch 0's
+        # transfer-in, one host-prep later) starts while it still runs.
+        works = [
+            make_batch_work(dpu_cycles=7e8),
+            make_batch_work(dpu_cycles=7e8),
+        ]
+        stream = execute_stream(
+            works, overlap="double_buffer", kills={"dpu/0": 1}
+        )
+        dc = [
+            s
+            for s in stream.timeline("dpu/0").spans
+            if s.stage == "distance_calc"
+        ]
+        # Batch 0's 2 s compute was cut short; batch 1's never ran.
+        assert len(dc) == 1
+        assert 0.0 < dc[0].t1 - dc[0].t0 < 2.0
+        assert dc[0].cycles == pytest.approx((dc[0].t1 - dc[0].t0) * FREQ)
+        assert sanitize_schedule(stream) == []
+
+    def test_sequential_stream_barriers_single_item_batches(self):
+        w0, w1 = BatchWork(), BatchWork()
+        w0.work(PIM_BUS, STAGE_TRANSFER_IN, 1.0)
+        w1.work(PIM_BUS, STAGE_TRANSFER_IN, 1.0)
+        stream = execute_stream([w0, w1], overlap="sequential")
+        spans = stream.timeline(PIM_BUS).spans
+        assert [s.t0 for s in spans] == [0.0, 1.0]

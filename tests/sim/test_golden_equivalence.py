@@ -199,3 +199,91 @@ class TestMultiHostGolden:
     def test_span_invariants(self, result):
         assert_span_invariants(result.schedule)
         assert validate_chrome_trace(result.schedule.to_chrome_trace()) == []
+
+
+def assert_schedules_bitwise_equal(analytic, event) -> None:
+    """Same lanes in the same order, same spans bit-for-bit."""
+    assert list(analytic.timelines) == list(event.timelines)
+    for name, tl in analytic.timelines.items():
+        got = event.timelines[name].spans
+        assert len(tl.spans) == len(got), name
+        for a, b in zip(tl.spans, got):
+            assert a.t0.hex() == b.t0.hex(), name
+            assert a.t1.hex() == b.t1.hex(), name
+            assert (a.stage, a.cycles) == (b.stage, b.cycles), name
+
+
+class TestEventCoreGolden:
+    """The event core is a *degenerate* mode on single batches: per-batch
+    DAGs admit no contention, so the discrete-event run must reproduce
+    the pinned analytic timings bit-for-bit for every engine."""
+
+    @pytest.mark.parametrize("name", ["upanns", "pim_naive", "upanns_scaled"])
+    def test_ivfpq_engines_bit_for_bit(
+        self, name, small_dataset, history_queries, trained_index, small_queries
+    ):
+        engine = build_ivfpq(
+            name, small_dataset, history_queries, trained_index
+        )
+        engine.sim_engine = "analytic"
+        analytic = engine.search_batch(small_queries)
+        engine.sim_engine = "event"
+        event = engine.search_batch(small_queries)
+        assert_timing_golden(event, GOLDEN[name])
+        assert_schedules_bitwise_equal(analytic.schedule, event.schedule)
+
+    def test_flat_engine_bit_for_bit(
+        self, small_dataset, history_queries, flat_index, small_queries
+    ):
+        cfg = SystemConfig(
+            index=IndexConfig(dim=32, n_clusters=32, m=4, train_iters=4),
+            query=QueryConfig(nprobe=8, k=5, batch_size=40),
+            upanns=UpANNSConfig(enable_cae=False),
+            pim=pim_spec(),
+            timing_scale=200.0,
+        )
+        engine = IVFFlatPimEngine(cfg)
+        engine.build(
+            small_dataset.vectors,
+            history_queries=history_queries,
+            prebuilt_index=flat_index,
+        )
+        engine.sim_engine = "analytic"
+        analytic = engine.search_batch(small_queries)
+        engine.sim_engine = "event"
+        event = engine.search_batch(small_queries)
+        assert_timing_golden(event, GOLDEN["flat"])
+        assert_schedules_bitwise_equal(analytic.schedule, event.schedule)
+
+    def test_multihost_bit_for_bit(
+        self, small_dataset, history_queries, trained_index, small_queries
+    ):
+        engine = MultiHostEngine(
+            host_configs=[ivfpq_config(), ivfpq_config(), ivfpq_config()]
+        )
+        engine.build(
+            small_dataset.vectors,
+            history_queries=history_queries,
+            prebuilt_index=trained_index,
+        )
+
+        def set_mode(mode: str) -> None:
+            engine.sim_engine = mode
+            for host in engine.hosts:
+                if host is not None:
+                    host.sim_engine = mode
+
+        set_mode("analytic")
+        analytic = engine.search_batch(small_queries)
+        set_mode("event")
+        event = engine.search_batch(small_queries)
+        golden = GOLDEN["multihost"]
+        for name in (
+            "coordinator_filter_s",
+            "distribute_s",
+            "host_makespan_s",
+            "gather_s",
+            "merge_s",
+        ):
+            assert getattr(event, name) == float.fromhex(golden[name]), name
+        assert_schedules_bitwise_equal(analytic.schedule, event.schedule)

@@ -136,6 +136,24 @@ class TestDispatch:
         with pytest.raises(ConfigError):
             compose([make_batch()], "triple_buffer")
 
+    def test_compose_empty_sequence_raises(self):
+        """An empty run has no schedule to compose — callers asking for
+        a combined run-level view before serving anything get a clear
+        error instead of a silent zero-makespan schedule."""
+        for mode in ("sequential", "double_buffer"):
+            with pytest.raises(ValueError, match="empty"):
+                compose([], mode)
+
+    def test_pipeline_wallclock_empty_sequence_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            pipeline_wallclock([], "sequential")
+
+    def test_low_level_composers_still_accept_empty(self):
+        """Incremental callers build onto compose_sequential([]) — the
+        guard lives in the run-level entry points only."""
+        assert compose_sequential([]).makespan == 0.0
+        assert compose_double_buffer([]).makespan == 0.0
+
 
 class TestServiceIntegration:
     @pytest.fixture(scope="class")
