@@ -217,9 +217,24 @@ def _tiny_service(args: argparse.Namespace):
     return service
 
 
+def _scenario_config(args: argparse.Namespace) -> dict:
+    """The tiny-deployment knobs, as recorded in exported artifacts."""
+    from repro.sim import resolve_sim_engine
+
+    return {
+        "batches": args.batches,
+        "batch_size": args.batch_size,
+        "overlap": args.overlap,
+        "sim_engine": resolve_sim_engine(getattr(args, "sim_engine", None)),
+        "timing_scale": args.timing_scale,
+        "seed": args.seed,
+    }
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     """Serve a few batches on a tiny synthetic deployment and dump the
-    composed per-resource timeline as Chrome-trace JSON."""
+    composed per-resource timeline as Chrome-trace JSON (optionally the
+    per-query ``repro.trace/v1`` record and one query's span dump too)."""
     import json
 
     from repro.sim import validate_chrome_trace
@@ -248,6 +263,82 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         f"wrote {n_events} events over {len(combined.resources())} resources "
         f"to {args.out} ({args.overlap}: wall-clock {combined.makespan * 1e3:.3f} ms)"
     )
+    if args.trace_out or args.query:
+        from repro.errors import ConfigError
+        from repro.tracing import make_trace_record, query_spans
+
+        record = make_trace_record(
+            name="cli_trace",
+            config=_scenario_config(args),
+            schedule=combined,
+        )
+        if args.trace_out:
+            with open(args.trace_out, "w", encoding="utf-8") as fh:
+                json.dump(record, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            log.info(
+                "trace.record_written",
+                file=args.trace_out,
+                queries=len(record["queries"]),
+                spans=len(record["spans"]),
+            )
+        if args.query:
+            try:
+                rows = query_spans(record, args.query)
+            except ConfigError as exc:
+                log.error("trace.unknown_query", error=str(exc))
+                return 2
+            for row in rows:
+                print(json.dumps(row, sort_keys=True))
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """Attribute a query's wall-clock latency along its critical path.
+
+    Either explains a previously exported ``repro.trace/v1`` record
+    (``--record``) or serves the tiny synthetic deployment first.  The
+    query defaults to the worst (highest-latency) one — the same id a
+    latency-histogram tail-bucket exemplar points at.
+    """
+    import json
+
+    from repro.errors import ConfigError
+    from repro.tracing import (
+        explain_query,
+        render_explanation,
+        validate_trace_record,
+        worst_query,
+    )
+
+    if args.record:
+        try:
+            with open(args.record, encoding="utf-8") as fh:
+                record = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            log.error("explain.read_failed", file=args.record, error=str(exc))
+            return 2
+        errors = validate_trace_record(record)
+        if errors:
+            for err in errors:
+                log.error("explain.invalid_record", file=args.record, error=err)
+            return 2
+    else:
+        from repro.tracing import make_trace_record
+
+        service = _tiny_service(args)
+        record = make_trace_record(
+            name="cli_explain",
+            config=_scenario_config(args),
+            schedule=service.combined_schedule(),
+        )
+    try:
+        qid = args.query or worst_query(record)
+        explanation = explain_query(record, qid)
+    except ConfigError as exc:
+        log.error("explain.failed", error=str(exc))
+        return 2
+    print(render_explanation(explanation))
     return 0
 
 
@@ -683,7 +774,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulation core for the combined run (default: "
         "REPRO_SIM_ENGINE env, else analytic)",
     )
+    trace.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="also write the per-query repro.trace/v1 record as JSON",
+    )
+    trace.add_argument(
+        "--query",
+        default=None,
+        metavar="ID",
+        help="dump one query's span rows (e.g. q000003) as JSON lines",
+    )
     trace.set_defaults(func=_cmd_trace)
+
+    explain = sub.add_parser(
+        "explain",
+        help="rank where one query's latency went (waits, compute, "
+        "transfers, fault retries) along its critical path",
+    )
+    explain.add_argument(
+        "--record",
+        default=None,
+        metavar="FILE",
+        help="explain an exported repro.trace/v1 record instead of "
+        "serving the tiny deployment",
+    )
+    explain.add_argument(
+        "--query",
+        default=None,
+        metavar="ID",
+        help="trace id to explain (default: the worst-latency query)",
+    )
+    explain.add_argument("--batches", type=int, default=3)
+    explain.add_argument("--batch-size", type=int, default=32)
+    explain.add_argument(
+        "--overlap", choices=["sequential", "double_buffer"], default="sequential"
+    )
+    explain.add_argument("--timing-scale", type=float, default=1.0)
+    explain.add_argument("--seed", type=int, default=0)
+    explain.add_argument(
+        "--fault",
+        action="append",
+        default=None,
+        metavar="KIND:TARGET@BATCH",
+        help="inject a fault (e.g. dpu:5@2); repeatable",
+    )
+    explain.add_argument(
+        "--hazard",
+        type=float,
+        default=0.0,
+        help="seeded per-DPU transient transfer-fault probability per batch",
+    )
+    explain.add_argument(
+        "--sim-engine",
+        choices=["analytic", "event"],
+        default=None,
+        help="simulation core for the combined run (default: "
+        "REPRO_SIM_ENGINE env, else analytic)",
+    )
+    explain.set_defaults(func=_cmd_explain)
 
     sanitize = sub.add_parser(
         "sanitize",

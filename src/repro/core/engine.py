@@ -65,6 +65,7 @@ from repro.sim import (
     BatchWork,
     resolve_sim_engine,
 )
+from repro.tracing.context import TraceContext
 from repro.workload.trace import AccessTrace
 
 logger = logging.getLogger(__name__)
@@ -429,6 +430,7 @@ class UpANNSEngine:
         *,
         k: int | None = None,
         probes: list[np.ndarray] | np.ndarray | None = None,
+        trace: TraceContext | None = None,
     ) -> BatchResult:
         """Process one batch through the Figure 5 online pipeline.
 
@@ -437,6 +439,10 @@ class UpANNSEngine:
         the multi-host coordinator, which runs cluster filtering once
         and ships each host only the clusters it owns; the host-side
         filtering cost is then charged by the coordinator, not here.
+
+        ``trace`` carries the batch's per-query trace ids (assigned at
+        service intake); standalone calls get a batch-local default so
+        every emitted span is attributable either way.
         """
         if not self._built:
             raise NotTrainedError("build() must be called before search_batch()")
@@ -446,8 +452,15 @@ class UpANNSEngine:
         nq = queries.shape[0]
         sizes = self._sizes
         assert sizes is not None and self.placement is not None
+        ctx = trace if trace is not None else TraceContext.for_batch(nq)
+        if len(ctx) != nq:
+            raise ConfigError(
+                f"trace context carries {len(ctx)} ids for a batch of {nq}"
+            )
 
-        work = BatchWork(dpu_frequency_hz=self.config.pim.dpu.frequency_hz)
+        work = BatchWork(
+            dpu_frequency_hz=self.config.pim.dpu.frequency_hz, batch=ctx.batch
+        )
         host_prep: int | None = None
 
         # (a) Cluster filtering on the host (skipped when the probes
@@ -458,6 +471,7 @@ class UpANNSEngine:
                 HOST_CPU,
                 STAGE_CLUSTER_FILTER,
                 self.host.cluster_filter_seconds(nq, ic.n_clusters, ic.dim),
+                trace_ids=ctx.all_ids(),
             )
         elif not isinstance(probes, (list, tuple)):
             probes = np.atleast_2d(np.asarray(probes, dtype=np.int64))
@@ -497,6 +511,7 @@ class UpANNSEngine:
             STAGE_SCHEDULE,
             self.host.scheduling_seconds_for_pairs(assignment.total_pairs()),
             after=(host_prep,),
+            trace_ids=ctx.all_ids(),
         )
 
         # Host -> DPU: queries broadcast + per-DPU worklists.  UpANNS pads
@@ -504,7 +519,11 @@ class UpANNSEngine:
         # naive path ships exact (non-uniform) sizes and serializes.
         query_bytes = nq * ic.dim * 4
         last_bus = self.pim.work_broadcast(
-            work, query_bytes, stage=STAGE_TRANSFER_IN, after=(host_prep,)
+            work,
+            query_bytes,
+            stage=STAGE_TRANSFER_IN,
+            after=(host_prep,),
+            trace_ids=ctx.all_ids(),
         )
         pair_counts = [len(p) for p in assignment.per_dpu]
         if uc.enable_placement:
@@ -513,13 +532,18 @@ class UpANNSEngine:
         else:
             meta_sizes = [c * 8 for c in pair_counts]
         last_bus = self.pim.work_transfer(
-            work, meta_sizes, stage=STAGE_TRANSFER_IN, after=(last_bus,)
+            work,
+            meta_sizes,
+            stage=STAGE_TRANSFER_IN,
+            after=(last_bus,),
+            trace_ids=ctx.all_ids(),
         )
         if faults is not None and (faults.transient or faults.escalated):
             last_bus = _retry_work(
                 work, faults, state, meta_sizes,
                 self.config.pim.host_transfer_bytes_per_s,
                 after=last_bus,
+                trace_ids_by_unit=_unit_trace_ids(assignment, ctx),
             )
 
         # Per-DPU kernel execution.
@@ -623,7 +647,14 @@ class UpANNSEngine:
         for d, log in enumerate(logs):
             if log.total_cycles > 0:
                 dpu_tail.append(
-                    work.work_dpu_stages(d, log.stage, after=(last_bus,))
+                    work.work_dpu_stages(
+                        d,
+                        log.stage,
+                        after=(last_bus,),
+                        trace_ids=ctx.ids_for(
+                            qi for qi, _c in assignment.per_dpu[d]
+                        ),
+                    )
                 )
         cycle_ratio = max_mean_ratio(busy, active_only=True)
 
@@ -639,6 +670,7 @@ class UpANNSEngine:
             result_sizes,
             stage=STAGE_TRANSFER_OUT,
             after=tuple(dpu_tail) if dpu_tail else (last_bus,),
+            trace_ids=ctx.all_ids(),
         )
 
         # Host-side final aggregation across DPUs.
@@ -659,6 +691,7 @@ class UpANNSEngine:
             STAGE_AGGREGATE,
             self.host.aggregate_seconds(nq, k, max(1, n_partials // max(nq, 1))),
             after=(gather,),
+            trace_ids=ctx.all_ids(),
         )
 
         # Execute the work description through the selected core.  The
@@ -884,6 +917,22 @@ def _live_probes(probes, sizes: np.ndarray):
     return out
 
 
+def _unit_trace_ids(
+    assignment: Assignment, ctx: TraceContext
+) -> dict[int, tuple[str, ...]]:
+    """Trace ids of the queries each DPU's worklist serves.
+
+    Retry traffic is charged per victim unit; tagging each retry with
+    the victim's queries lets ``repro.cli explain`` attribute recovery
+    cost to exactly the queries whose worklist was re-driven.
+    """
+    return {
+        d: ctx.ids_for(qi for qi, _c in pairs)
+        for d, pairs in enumerate(assignment.per_dpu)
+        if pairs
+    }
+
+
 def _retry_work(
     work: BatchWork,
     faults,
@@ -892,6 +941,7 @@ def _retry_work(
     bus_bytes_per_s: float,
     *,
     after: int,
+    trace_ids_by_unit: dict[int, tuple[str, ...]] | None = None,
 ) -> int:
     """Describe this batch's transient-fault recovery on the bus lane.
 
@@ -911,6 +961,7 @@ def _retry_work(
     attempts_by_unit = faults.attempts_by_unit()
     for u in sorted(attempts_by_unit):
         retrans = meta_sizes[u] if u < len(meta_sizes) else 0
+        ids = (trace_ids_by_unit or {}).get(u, ())
         for attempt in range(1, attempts_by_unit[u] + 1):
             last = work.work(
                 PIM_BUS,
@@ -918,6 +969,7 @@ def _retry_work(
                 state.backoff_s(attempt) + retrans / bus_bytes_per_s,
                 after=(last,),
                 pinned=True,
+                trace_ids=ids,
             )
     return last
 

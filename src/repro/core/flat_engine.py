@@ -21,7 +21,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.config import IndexConfig, QueryConfig, SystemConfig, UpANNSConfig
-from repro.core.engine import BatchResult, _degraded_result, _retry_work
+from repro.core.engine import (
+    BatchResult,
+    _degraded_result,
+    _retry_work,
+    _unit_trace_ids,
+)
 from repro.sanitize.hook import debug_sanitize_schedule
 from repro.faults import FaultPlan, FaultState, restrict_placement
 from repro.core.kernel import (
@@ -49,6 +54,7 @@ from repro.ivfpq.kmeans import squared_distances
 from repro.metrics.balance import max_mean_ratio
 from repro.metrics.breakdown import stage_seconds_from_schedule
 from repro.telemetry.pipeline import observe_batch
+from repro.tracing.context import TraceContext
 from repro.sim import (
     HOST_CPU,
     STAGE_AGGREGATE,
@@ -220,7 +226,13 @@ class IVFFlatPimEngine:
             max(8, result_len * HEAP_ENTRY_BYTES), chunk
         )
 
-    def search_batch(self, queries: np.ndarray, *, k: int | None = None) -> BatchResult:
+    def search_batch(
+        self,
+        queries: np.ndarray,
+        *,
+        k: int | None = None,
+        trace: TraceContext | None = None,
+    ) -> BatchResult:
         """Filter -> schedule -> per-DPU raw-L2 scan -> pruned top-k."""
         if not self._built or self.placement is None:
             raise NotTrainedError("build() must be called before search_batch()")
@@ -229,13 +241,21 @@ class IVFFlatPimEngine:
         queries = np.ascontiguousarray(np.atleast_2d(queries), dtype=np.float32)
         nq = queries.shape[0]
         sizes = self.index.cluster_sizes()
+        ctx = trace if trace is not None else TraceContext.for_batch(nq)
+        if len(ctx) != nq:
+            raise ConfigError(
+                f"trace context carries {len(ctx)} ids for a batch of {nq}"
+            )
 
-        work = BatchWork(dpu_frequency_hz=self.config.pim.dpu.frequency_hz)
+        work = BatchWork(
+            dpu_frequency_hz=self.config.pim.dpu.frequency_hz, batch=ctx.batch
+        )
         probes = self.index.ivf.search_clusters(queries, qc.nprobe)
         host_prep = work.work(
             HOST_CPU,
             STAGE_CLUSTER_FILTER,
             self.host.cluster_filter_seconds(nq, ic.n_clusters, ic.dim),
+            trace_ids=ctx.all_ids(),
         )
         # Fault plane (see UpANNSEngine.search_batch): faults apply
         # before scheduling so routing already avoids dead DPUs.
@@ -258,9 +278,14 @@ class IVFFlatPimEngine:
             STAGE_SCHEDULE,
             self.host.scheduling_seconds_for_pairs(assignment.total_pairs()),
             after=(host_prep,),
+            trace_ids=ctx.all_ids(),
         )
         last_bus = self.pim.work_broadcast(
-            work, nq * ic.dim * 4, stage=STAGE_TRANSFER_IN, after=(host_prep,)
+            work,
+            nq * ic.dim * 4,
+            stage=STAGE_TRANSFER_IN,
+            after=(host_prep,),
+            trace_ids=ctx.all_ids(),
         )
         if faults is not None and (faults.transient or faults.escalated):
             last_bus = _retry_work(
@@ -268,6 +293,7 @@ class IVFFlatPimEngine:
                 [len(p) * 8 for p in assignment.per_dpu],
                 self.config.pim.host_transfer_bytes_per_s,
                 after=last_bus,
+                trace_ids_by_unit=_unit_trace_ids(assignment, ctx),
             )
 
         chunk = self._read_chunk_bytes()
@@ -355,7 +381,14 @@ class IVFFlatPimEngine:
         for d, stage in enumerate(stage_by_dpu):
             if stage.total > 0:
                 dpu_tail.append(
-                    work.work_dpu_stages(d, stage, after=(last_bus,))
+                    work.work_dpu_stages(
+                        d,
+                        stage,
+                        after=(last_bus,),
+                        trace_ids=ctx.ids_for(
+                            qi for qi, _c in assignment.per_dpu[d]
+                        ),
+                    )
                 )
         # Size the result gather by what each DPU actually produced — a
         # group over small clusters can return fewer than k candidates.
@@ -367,6 +400,7 @@ class IVFFlatPimEngine:
             result_sizes,
             stage=STAGE_TRANSFER_OUT,
             after=tuple(dpu_tail) if dpu_tail else (last_bus,),
+            trace_ids=ctx.all_ids(),
         )
 
         out_d = np.full((nq, k), np.inf, dtype=np.float32)
@@ -386,6 +420,7 @@ class IVFFlatPimEngine:
             STAGE_AGGREGATE,
             self.host.aggregate_seconds(nq, k, max(1, n_partials // max(nq, 1))),
             after=(gather,),
+            trace_ids=ctx.all_ids(),
         )
 
         schedule = work.execute(resolve_sim_engine(self.sim_engine))

@@ -37,6 +37,7 @@ from repro.faults import (
 from repro.hardware.host import HostModel
 from repro.ivfpq.adc import topk_from_distances
 from repro.ivfpq.index import IVFPQIndex
+from repro.tracing.context import TraceContext
 from repro.sim import (
     HOST_CPU,
     NETWORK,
@@ -289,7 +290,13 @@ class MultiHostEngine:
     # Online phase
     # ------------------------------------------------------------------
 
-    def search_batch(self, queries: np.ndarray, *, k: int | None = None) -> MultiHostBatchResult:
+    def search_batch(
+        self,
+        queries: np.ndarray,
+        *,
+        k: int | None = None,
+        trace: TraceContext | None = None,
+    ) -> MultiHostBatchResult:
         """Coordinator-filter -> route -> per-host search -> merge."""
         if not self._built or self.index is None:
             raise NotTrainedError("build() must be called before search_batch()")
@@ -300,13 +307,20 @@ class MultiHostEngine:
         nq = queries.shape[0]
         sizes = self._sizes
         assert sizes is not None and self.host_placement is not None
+        ctx = trace if trace is not None else TraceContext.for_batch(nq)
+        if len(ctx) != nq:
+            raise ConfigError(
+                f"trace context carries {len(ctx)} ids for a batch of {nq}"
+            )
 
-        work = BatchWork()
+        work = BatchWork(batch=ctx.batch)
 
         # Coordinator: one global cluster-filtering pass.
         probes = self.index.ivf.search_clusters(queries, qc.nprobe)
         filter_s = self.coordinator.cluster_filter_seconds(nq, ic.n_clusters, ic.dim)
-        filter_item = work.work(HOST_CPU, STAGE_CLUSTER_FILTER, filter_s)
+        filter_item = work.work(
+            HOST_CPU, STAGE_CLUSTER_FILTER, filter_s, trace_ids=ctx.all_ids()
+        )
 
         # Fault plane at host granularity: a lost host disappears from
         # the routing map before any pair is assigned; clusters sharded
@@ -331,7 +345,11 @@ class MultiHostEngine:
         )
         route_s = self.coordinator.scheduling_seconds_for_pairs(routing.total_pairs())
         route_item = work.work(
-            HOST_CPU, STAGE_SCHEDULE, route_s, after=(filter_item,)
+            HOST_CPU,
+            STAGE_SCHEDULE,
+            route_s,
+            after=(filter_item,),
+            trace_ids=ctx.all_ids(),
         )
         per_host_probes: list[list[list[int]]] = [
             [[] for _ in range(nq)] for _ in range(self.n_hosts)
@@ -349,7 +367,11 @@ class MultiHostEngine:
             distribute_bytes.append(participating * ic.dim * 4 + pairs * 8)
         distribute_s = self.network.transfer_seconds(distribute_bytes)
         distribute_item = work.work(
-            NETWORK, STAGE_TRANSFER_IN, distribute_s, after=(route_item,)
+            NETWORK,
+            STAGE_TRANSFER_IN,
+            distribute_s,
+            after=(route_item,),
+            trace_ids=ctx.all_ids(),
         )
 
         # Local searches (memory-intensive work stays on each host).
@@ -373,6 +395,9 @@ class MultiHostEngine:
                     STAGE_HOST_SEARCH,
                     res.timing.total_s,
                     after=(distribute_item,),
+                    trace_ids=ctx.ids_for(
+                        qi for qi, row in enumerate(per_host_probes[h]) if row
+                    ),
                 )
             )
         host_makespan_s = max(host_seconds) if host_seconds else 0.0
@@ -387,6 +412,7 @@ class MultiHostEngine:
             STAGE_TRANSFER_OUT,
             gather_s,
             after=tuple(host_items) if host_items else (distribute_item,),
+            trace_ids=ctx.all_ids(),
         )
 
         out_d = np.full((nq, k), np.inf, dtype=np.float32)
@@ -407,7 +433,13 @@ class MultiHostEngine:
             out_i[qi, : ids.shape[0]] = ids
             out_d[qi, : dists.shape[0]] = dists
         merge_s = self.coordinator.aggregate_seconds(nq, k, self.n_hosts)
-        work.work(HOST_CPU, STAGE_AGGREGATE, merge_s, after=(gather_item,))
+        work.work(
+            HOST_CPU,
+            STAGE_AGGREGATE,
+            merge_s,
+            after=(gather_item,),
+            trace_ids=ctx.all_ids(),
+        )
         schedule = work.execute(resolve_sim_engine(self.sim_engine))
 
         reg = get_registry()

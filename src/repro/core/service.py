@@ -27,12 +27,16 @@ from repro.sim import (
     OVERLAP_MODES,
     BatchSchedule,
     BatchWork,
+    EventEngine,
     compose,
     dpu_resource,
     execute_stream,
     resolve_sim_engine,
 )
+from repro.telemetry.pipeline import observe_lane_stats, observe_query_latencies
 from repro.telemetry.registry import get_registry
+from repro.tracing.context import TraceContext
+from repro.tracing.record import query_latencies
 from repro.workload.trace import AccessTrace
 
 logger = logging.getLogger(__name__)
@@ -95,6 +99,12 @@ class OnlineService:
     #: Dead-DPU set already recovered around; recovery re-runs only
     #: when new deaths appear.
     _recovered_dead: set[int] = field(default_factory=set)
+    #: Next query ordinal: trace ids are assigned at intake and stay
+    #: unique across every batch this service ever serves.
+    _next_query: int = 0
+    #: Event engine retained by the last event-core combined run, so
+    #: its ``lane_stats`` survive for telemetry export.
+    last_event_engine: EventEngine | None = None
 
     def __post_init__(self) -> None:
         if self.overlap not in OVERLAP_MODES:
@@ -107,12 +117,22 @@ class OnlineService:
 
     def submit(self, queries: np.ndarray, *, k: int | None = None) -> ServiceReport:
         """Serve one batch; adapt the placement if traffic drifted."""
-        result = self.engine.search_batch(queries, k=k)
+        # Trace intake: every query gets a service-unique id here, and
+        # the batch index is the stream position the event core will
+        # re-stamp anyway — so span identities agree across both cores.
+        nq = int(np.atleast_2d(np.asarray(queries)).shape[0])
+        ctx = TraceContext.for_batch(
+            nq, batch=len(self.works), start=self._next_query
+        )
+        self._next_query += nq
+        result = self.engine.search_batch(queries, k=k, trace=ctx)
         if result.schedule is not None:
             self.schedules.append(result.schedule)
         if result.work is not None:
             self.works.append(result.work)
         self.latency.record_batch_result(result)
+        if result.schedule is not None:
+            observe_query_latencies(query_latencies(result.schedule))
         assert self.engine.trace is not None and self._snapshot is not None
         drift = self.engine.trace.drift_from(self._snapshot)
         action = self.policy.decide(drift)
@@ -203,9 +223,15 @@ class OnlineService:
             and self.works
             and len(self.works) == len(self.schedules)
         ):
+            engine = EventEngine()
             combined = execute_stream(
-                self.works, overlap=self.overlap, kills=self._stream_kills()
+                self.works,
+                overlap=self.overlap,
+                kills=self._stream_kills(),
+                engine=engine,
             )
+            self.last_event_engine = engine
+            observe_lane_stats(engine.lane_stats, schedule=combined)
             debug_sanitize_schedule(
                 combined, label=f"event stream {self.overlap} run"
             )

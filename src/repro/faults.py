@@ -46,6 +46,14 @@ DEFAULT_MAX_RETRIES = 3
 DEFAULT_BACKOFF_BASE_S = 50e-6
 DEFAULT_BACKOFF_CAP_S = 1e-3
 
+#: Annotations the per-query explainer attaches to spans this plane
+#: shaped: ``retry`` spans are re-driven bus traffic after a transient
+#: transfer fault; ``killed`` spans were truncated mid-flight when a
+#: DPU-death fence interrupted in-flight work (the fault plane owns the
+#: wording so the explainer's vocabulary tracks the injection model).
+RETRY_ANNOTATION = "fault-retry: bus re-drive after a transient fault"
+KILL_ANNOTATION = "mid-flight kill: span truncated by a fault fence"
+
 
 def retry_backoff_s(
     attempt: int,

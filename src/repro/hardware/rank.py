@@ -159,10 +159,15 @@ class PimSystem:
         *,
         stage: str,
         after: Iterable[int | None] = (),
+        trace_ids: Iterable[str] = (),
     ) -> int:
         """Describe a same-buffer-to-all-DPUs push as a bus work item."""
         return work.work(
-            PIM_BUS, stage, self.broadcast_seconds(size_bytes), after=after
+            PIM_BUS,
+            stage,
+            self.broadcast_seconds(size_bytes),
+            after=after,
+            trace_ids=trace_ids,
         )
 
     def work_transfer(
@@ -172,10 +177,13 @@ class PimSystem:
         *,
         stage: str,
         after: Iterable[int | None] = (),
+        trace_ids: Iterable[str] = (),
     ) -> int:
         """Describe a per-DPU buffer push/pull as a bus work item."""
         stats = self.host_transfer_seconds(buffer_sizes)
-        return work.work(PIM_BUS, stage, stats.seconds, after=after)
+        return work.work(
+            PIM_BUS, stage, stats.seconds, after=after, trace_ids=trace_ids
+        )
 
     def work_gather(
         self,
@@ -184,10 +192,15 @@ class PimSystem:
         *,
         stage: str,
         after: Iterable[int | None] = (),
+        trace_ids: Iterable[str] = (),
     ) -> int:
         """Describe a per-DPU result pull as a bus work item."""
         return self.work_transfer(
-            work, list(per_dpu_bytes), stage=stage, after=after
+            work,
+            list(per_dpu_bytes),
+            stage=stage,
+            after=after,
+            trace_ids=trace_ids,
         )
 
     # --- Aggregate views -------------------------------------------------

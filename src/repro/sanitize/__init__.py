@@ -20,6 +20,7 @@ the functions below for tests.
 from repro.sanitize.checks import (
     TRACE_RTOL,
     check_lanes,
+    check_trace_partition,
     collect_trace_lanes,
     sanitize_chrome_trace,
     sanitize_schedule,
@@ -32,6 +33,7 @@ from repro.sanitize.findings import (
     SAN_ORDER,
     SAN_OVERLAP,
     SAN_SCHEMA,
+    SAN_TRACE,
     SanFinding,
     with_source,
 )
@@ -49,6 +51,7 @@ from repro.sanitize.records import (
     sanitize_golden_timings,
     sanitize_payload,
     sanitize_result_record,
+    sanitize_trace_record,
 )
 
 __all__ = [
@@ -60,9 +63,11 @@ __all__ = [
     "SAN_ORDER",
     "SAN_OVERLAP",
     "SAN_SCHEMA",
+    "SAN_TRACE",
     "SanFinding",
     "TRACE_RTOL",
     "check_lanes",
+    "check_trace_partition",
     "collect_trace_lanes",
     "debug_sanitize_schedule",
     "debug_sanitize_trace",
@@ -75,6 +80,7 @@ __all__ = [
     "sanitize_payload",
     "sanitize_result_record",
     "sanitize_schedule",
+    "sanitize_trace_record",
     "schedule_lanes",
     "with_source",
 ]

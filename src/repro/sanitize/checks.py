@@ -32,6 +32,7 @@ from repro.sanitize.findings import (
     SAN_ORDER,
     SAN_OVERLAP,
     SAN_SCHEMA,
+    SAN_TRACE,
     SanFinding,
 )
 from repro.sim.schedule import (
@@ -270,11 +271,85 @@ def sanitize_schedule(
                     )
                 )
     findings.extend(_check_cycle_conservation(schedule))
+    findings.extend(check_trace_partition(schedule))
     findings.extend(
         _check_derived_ledgers(
             schedule, timing=timing, stage_seconds=stage_seconds, degraded=degraded
         )
     )
+    return findings
+
+
+def check_trace_partition(schedule: "BatchSchedule") -> list[SanFinding]:
+    """Trace ids must partition a traced schedule's span set.
+
+    An untraced schedule (no span carries metadata) is legal — hand-built
+    schedules and composition fixtures never ran through an engine.  But
+    once *any* span is traced, all of them must be: a half-traced
+    schedule means some emission path dropped the context, and every
+    downstream attribution (trace records, explainers, exemplars) would
+    silently under-count.  Additionally each ``(batch, uid)`` span
+    identity must be unique, each trace id must stay within one batch
+    (queries never span stream positions), and queue waits are
+    non-negative by construction.
+    """
+    traced = 0
+    untraced: list[tuple[str, str]] = []
+    findings: list[SanFinding] = []
+    seen_keys: dict[tuple[int, int], str] = {}
+    batches_by_qid: dict[str, set[int]] = {}
+    for resource, tl in schedule.timelines.items():
+        for span in tl.spans:
+            tr = span.trace
+            if tr is None:
+                untraced.append((resource, span.stage))
+                continue
+            traced += 1
+            key = (tr.batch, tr.uid)
+            if key in seen_keys:
+                findings.append(
+                    SanFinding(
+                        SAN_TRACE,
+                        resource,
+                        f"span identity b{tr.batch}.{tr.uid} on {span.stage!r} "
+                        f"duplicates one on {seen_keys[key]!r}",
+                    )
+                )
+            else:
+                seen_keys[key] = resource
+            if math.isnan(tr.wait_s) or tr.wait_s < 0:
+                findings.append(
+                    SanFinding(
+                        SAN_TRACE,
+                        resource,
+                        f"{span.stage!r} span reports queue wait "
+                        f"{tr.wait_s!r} (must be finite and >= 0)",
+                    )
+                )
+            for qid in tr.trace_ids:
+                batches_by_qid.setdefault(qid, set()).add(tr.batch)
+    if traced and untraced:
+        resource, stage = untraced[0]
+        findings.append(
+            SanFinding(
+                SAN_TRACE,
+                resource,
+                f"{len(untraced)} span(s) carry no trace metadata while "
+                f"{traced} do (first: {stage!r}) — trace ids must "
+                "partition the span set",
+            )
+        )
+    for qid in sorted(batches_by_qid):
+        batches = batches_by_qid[qid]
+        if len(batches) > 1:
+            findings.append(
+                SanFinding(
+                    SAN_TRACE,
+                    qid,
+                    f"trace id appears in {len(batches)} batches "
+                    f"{sorted(batches)} — a query lives in exactly one",
+                )
+            )
     return findings
 
 
@@ -426,6 +501,22 @@ def collect_trace_lanes(payload: Any) -> tuple[LaneMap, list[SanFinding]]:
             findings.append(SanFinding(SAN_SCHEMA, where, "not an object"))
             continue
         ph = event.get("ph")
+        if ph in ("s", "t", "f"):
+            # Flow events bind spans into per-query chains; they carry
+            # no lane duration, so validate the binding id and move on.
+            if not isinstance(event.get("id"), str) or not event.get("id"):
+                findings.append(
+                    SanFinding(
+                        SAN_SCHEMA, where, "flow event needs a string 'id'"
+                    )
+                )
+            elif not _is_number(event.get("ts")) or event.get("ts") < 0:
+                findings.append(
+                    SanFinding(
+                        SAN_SCHEMA, where, "'ts' must be a non-negative number"
+                    )
+                )
+            continue
         if ph not in ("X", "M"):
             findings.append(
                 SanFinding(SAN_SCHEMA, where, f"unsupported phase {ph!r}")

@@ -22,6 +22,11 @@ did:
 ``SAN-SCHEMA``
     Structural problem in the input itself (malformed trace event,
     span filed under the wrong lane, unrecognized record shape).
+``SAN-TRACE``
+    Trace-metadata defect: trace ids fail to partition the span set
+    (some spans traced, some not), one trace id spans multiple batches,
+    duplicate ``(batch, uid)`` span identities, or a negative queue
+    wait.
 """
 
 from __future__ import annotations
@@ -33,9 +38,17 @@ SAN_ORDER = "SAN-ORDER"
 SAN_NUMERIC = "SAN-NUMERIC"
 SAN_LEDGER = "SAN-LEDGER"
 SAN_SCHEMA = "SAN-SCHEMA"
+SAN_TRACE = "SAN-TRACE"
 
 #: Every code the sanitizer can emit, in severity-agnostic render order.
-ALL_CODES = (SAN_OVERLAP, SAN_ORDER, SAN_NUMERIC, SAN_LEDGER, SAN_SCHEMA)
+ALL_CODES = (
+    SAN_OVERLAP,
+    SAN_ORDER,
+    SAN_NUMERIC,
+    SAN_LEDGER,
+    SAN_SCHEMA,
+    SAN_TRACE,
+)
 
 
 @dataclass(frozen=True, order=True)

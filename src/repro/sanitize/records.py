@@ -8,6 +8,8 @@ structurally valid record can still get wrong:
   the worst row, fault counters vs row sums;
 * result records: critical-path attribution covering the makespan,
   per-resource busy+idle filling each lane's window;
+* trace records: each query's latency equal to its window, its window
+  bounded by the spans that served it, span counts conserved;
 * golden-timing fixtures: the hex-pinned ``total_s`` equal to the
   left-to-right sum of its parts, bit-for-bit.
 
@@ -61,6 +63,8 @@ def detect_kind(payload: Any) -> str:
                 return "result"
             if schema.startswith("repro.perf/"):
                 return "perf"
+            if schema.startswith("repro.trace/"):
+                return "tracerec"
             if schema == SANITIZE_SCHEMA:
                 return "sanitize"
         # Golden-timings fixture: engine name -> views; at least one
@@ -84,6 +88,8 @@ def sanitize_payload(payload: Any, *, strict_zero: bool = False) -> list[SanFind
         return sanitize_chaos_record(payload)
     if kind == "result":
         return sanitize_result_record(payload)
+    if kind == "tracerec":
+        return sanitize_trace_record(payload)
     if kind == "golden":
         return sanitize_golden_timings(payload)
     if kind in ("perf", "sanitize"):
@@ -231,6 +237,97 @@ def sanitize_result_record(record: Any) -> list[SanFinding]:
                             f"{window}s window ({n_lanes} lane(s))",
                         )
                     )
+    return findings
+
+
+def sanitize_trace_record(record: Any) -> list[SanFinding]:
+    """Conservation checks over a ``repro.trace/v1`` record.
+
+    Structure is owned by ``repro.tracing.validate_trace_record`` (and
+    the telemetry schema CLI); this re-derives every query's window from
+    the span rows that reference it and compares:
+
+    * ``latency_s`` must equal ``t1 - t0`` exactly (that is how the
+      maker computes it — a JSON round trip preserves the bits);
+    * ``t0``/``t1`` must equal the min ready time / max end time over
+      the query's spans (to :data:`RECORD_RTOL`);
+    * ``n_spans`` must equal the number of spans carrying the id.
+    """
+    findings: list[SanFinding] = []
+    if not isinstance(record, dict):
+        return [SanFinding(SAN_SCHEMA, "record", "record must be a JSON object")]
+    spans = record.get("spans")
+    queries = record.get("queries")
+    if not isinstance(spans, list) or not isinstance(queries, list):
+        return findings
+
+    windows: dict[str, tuple[float, float, int]] = {}  # qid -> (t0, t1, n)
+    for row in spans:
+        if not isinstance(row, dict):
+            continue
+        t0, dur, wait = row.get("t0"), row.get("duration_s"), row.get("wait_s")
+        ids = row.get("trace_ids")
+        if (
+            not _is_number(t0)
+            or not _is_number(dur)
+            or not _is_number(wait)
+            or not isinstance(ids, list)
+        ):
+            continue
+        ready, end = float(t0) - float(wait), float(t0) + float(dur)
+        for qid in ids:
+            if not isinstance(qid, str):
+                continue
+            prev = windows.get(qid)
+            if prev is None:
+                windows[qid] = (ready, end, 1)
+            else:
+                windows[qid] = (min(prev[0], ready), max(prev[1], end), prev[2] + 1)
+
+    for i, q in enumerate(queries):
+        if not isinstance(q, dict) or not isinstance(q.get("trace_id"), str):
+            continue
+        qid = q["trace_id"]
+        where = f"queries[{qid!r}]"
+        t0, t1, latency = q.get("t0"), q.get("t1"), q.get("latency_s")
+        if _is_number(t0) and _is_number(t1) and _is_number(latency):
+            if float(latency) != float(t1) - float(t0):
+                findings.append(
+                    SanFinding(
+                        SAN_LEDGER,
+                        where,
+                        f"latency_s {latency} but the window is "
+                        f"{float(t1) - float(t0)} (t1 - t0)",
+                    )
+                )
+        derived = windows.get(qid)
+        if derived is None:
+            continue  # structural validator reports span-less queries
+        d_t0, d_t1, d_n = derived
+        if _is_number(t0) and not _isclose(float(t0), d_t0):
+            findings.append(
+                SanFinding(
+                    SAN_LEDGER,
+                    where,
+                    f"t0 {t0} but the earliest span ready time is {d_t0}",
+                )
+            )
+        if _is_number(t1) and not _isclose(float(t1), d_t1):
+            findings.append(
+                SanFinding(
+                    SAN_LEDGER,
+                    where,
+                    f"t1 {t1} but the latest span end is {d_t1}",
+                )
+            )
+        if isinstance(q.get("n_spans"), int) and q["n_spans"] != d_n:
+            findings.append(
+                SanFinding(
+                    SAN_LEDGER,
+                    where,
+                    f"n_spans {q['n_spans']} but {d_n} span(s) carry the id",
+                )
+            )
     return findings
 
 

@@ -41,6 +41,7 @@ from repro.sim.span import (
     PIM_BUS,
     ResourceTimeline,
     Span,
+    SpanTrace,
     dpu_resource,
     is_dpu_resource,
 )
@@ -88,6 +89,7 @@ __all__ = [
     "STAGE_TRANSFER_IN",
     "STAGE_TRANSFER_OUT",
     "Span",
+    "SpanTrace",
     "WorkItem",
     "chrome_trace",
     "compose",

@@ -46,7 +46,7 @@ from repro.sim.schedule import (
     STAGE_TRANSFER_IN,
     BatchSchedule,
 )
-from repro.sim.span import HOST_AGG, HOST_CPU, PIM_BUS
+from repro.sim.span import HOST_AGG, HOST_CPU, PIM_BUS, SpanTrace
 
 #: Environment variable selecting the execution core.
 SIM_ENGINE_ENV = "REPRO_SIM_ENGINE"
@@ -89,6 +89,23 @@ class WorkItem:
     deps: tuple[int, ...] = ()
     pinned: bool = False
     batch: int = 0
+    #: Query trace ids this item does work for (observability only —
+    #: never consulted by either execution core's timing arithmetic).
+    trace_ids: tuple[str, ...] = ()
+
+
+def _item_trace(
+    item: WorkItem, *, wait_s: float, killed: bool = False
+) -> SpanTrace:
+    """Causal metadata for the span an item produced (rides alongside)."""
+    return SpanTrace(
+        uid=item.uid,
+        parents=item.deps,
+        trace_ids=item.trace_ids,
+        batch=item.batch,
+        wait_s=wait_s,
+        killed=killed,
+    )
 
 
 @dataclass
@@ -112,6 +129,9 @@ class _Lane:
     end: float = 0.0
     busy_uid: int | None = None
     busy_t0: float = 0.0
+    #: Queue wait the in-flight item incurred (ready -> dispatch gap),
+    #: captured at start() and consumed when its span is recorded.
+    busy_wait: float = 0.0
     #: Min-heap of (ready_time, seq, uid) waiting for the lane.
     queue: list[tuple[float, int, int]] = field(default_factory=list)
     dead: bool = False
@@ -124,6 +144,10 @@ class BatchWork:
 
     dpu_frequency_hz: float | None = None
     items: list[WorkItem] = field(default_factory=list)
+    #: Stream position stamped on every item (trace span ids are scoped
+    #: by it).  :func:`execute_stream` re-stamps with the merge order,
+    #: which services keep equal to this by appending batches in order.
+    batch: int = 0
 
     def work(
         self,
@@ -135,6 +159,7 @@ class BatchWork:
         counters: object | None = None,
         after: Iterable[int | None] = (),
         pinned: bool = False,
+        trace_ids: Iterable[str] = (),
     ) -> int:
         """Append one work item; returns its uid for later ``after=``."""
         deps = tuple(d for d in after if d is not None)
@@ -152,6 +177,8 @@ class BatchWork:
                 counters=counters,
                 deps=deps,
                 pinned=pinned,
+                batch=self.batch,
+                trace_ids=tuple(trace_ids),
             )
         )
         return uid
@@ -162,6 +189,7 @@ class BatchWork:
         stage_cycles: StageCycles,
         *,
         after: Iterable[int | None] = (),
+        trace_ids: Iterable[str] = (),
     ) -> int:
         """One chained item per kernel stage on a DPU lane.
 
@@ -175,6 +203,7 @@ class BatchWork:
         from repro.sim.span import dpu_resource
 
         resource = dpu_resource(dpu_id)
+        ids = tuple(trace_ids)
         prev: int | None = None
         for name, cyc in stage_cycles.as_dict().items():
             prev = self.work(
@@ -184,6 +213,7 @@ class BatchWork:
                 cycles=cyc,
                 counters=stage_cycles,
                 after=list(after) if prev is None else (prev,),
+                trace_ids=ids,
             )
         if prev is None:
             raise ConfigError("StageCycles produced no stages")
@@ -216,6 +246,10 @@ class BatchWork:
             for dep in item.deps:
                 if ends[dep] > start:
                     start = ends[dep]
+            # The lane clamp (max(start, lane end)) is queue wait: the
+            # item was ready at its dep-max start but the lane was busy.
+            lane_end = schedule.timeline(item.resource).end
+            wait = lane_end - start if lane_end > start else 0.0
             span = schedule.record_at(
                 item.resource,
                 item.stage,
@@ -223,6 +257,7 @@ class BatchWork:
                 item.duration,
                 cycles=item.cycles,
                 counters=item.counters,
+                trace=_item_trace(item, wait_s=wait),
             )
             ends[item.uid] = span.t1
         return schedule
@@ -344,6 +379,7 @@ class EventEngine:
             t0 = max(ready, ln.end)
             ln.busy_uid = uid
             ln.busy_t0 = t0
+            ln.busy_wait = t0 - ready
             ln.end = t0 + item.duration
             ln.stats.dispatched += 1
             push(ln.end, _COMPLETE, uid)
@@ -377,6 +413,9 @@ class EventEngine:
                             cut / freq,
                             cycles=cut,
                             counters=item.counters,
+                            trace=_item_trace(
+                                item, wait_s=ln.busy_wait, killed=True
+                            ),
                         )
                 else:
                     cut_s = at_s - t0
@@ -387,6 +426,9 @@ class EventEngine:
                             t0,
                             cut_s,
                             counters=item.counters,
+                            trace=_item_trace(
+                                item, wait_s=ln.busy_wait, killed=True
+                            ),
                         )
                 ln.busy_uid = None
                 ln.end = at_s
@@ -440,6 +482,7 @@ class EventEngine:
                 item.duration,
                 cycles=item.cycles,
                 counters=item.counters,
+                trace=_item_trace(item, wait_s=ln.busy_wait),
             )
             ln.busy_uid = None
             newly = finalize(uid, now)
@@ -477,6 +520,7 @@ def execute_stream(
     overlap: str = "double_buffer",
     kills: Mapping[str, int] | None = None,
     dpu_frequency_hz: float | None = None,
+    engine: EventEngine | None = None,
 ) -> BatchSchedule:
     """Execute a stream of batch descriptions through one event engine.
 
@@ -496,6 +540,10 @@ def execute_stream(
     ``kills`` maps a resource (e.g. ``dpu/3``) to the batch index at
     whose first bus activity it dies — the mid-flight fault injection
     point used by :class:`repro.faults.FaultState` deaths.
+
+    Pass an ``engine`` to keep a handle on the run's
+    :attr:`EventEngine.lane_stats` (queue-depth telemetry) after the
+    schedule is returned; by default a throwaway engine is used.
     """
     if not works:
         raise ValueError(
@@ -563,5 +611,8 @@ def execute_stream(
         for resource, b in sorted(kills.items()):
             kills_on_batch.setdefault(b, []).append(resource)
 
-    engine = EventEngine(dpu_frequency_hz=freq)
+    if engine is None:
+        engine = EventEngine(dpu_frequency_hz=freq)
+    elif engine.dpu_frequency_hz is None:
+        engine.dpu_frequency_hz = freq
     return engine.run(merged, kills_on_batch=kills_on_batch)

@@ -60,6 +60,7 @@ def _emit(combined: BatchSchedule, spans: Sequence[Span], start: float) -> float
             span.duration,
             cycles=span.cycles,
             counters=span.counters,
+            trace=span.trace,
         )
         end = placed.t1
     return end
@@ -79,6 +80,7 @@ def compose_sequential(schedules: Sequence[BatchSchedule]) -> BatchSchedule:
                     span.duration,
                     cycles=span.cycles,
                     counters=span.counters,
+                    trace=span.trace,
                 )
     return combined
 
@@ -133,14 +135,18 @@ def compose_double_buffer(schedules: Sequence[BatchSchedule]) -> BatchSchedule:
 
     def emit_pre(i: int, start: float) -> None:
         spans = [
-            Span(HOST_CPU, s.stage, s.t0, s.duration, s.cycles, s.counters)
+            Span(
+                HOST_CPU, s.stage, s.t0, s.duration, s.cycles, s.counters, s.trace
+            )
             for s in pre_groups[i]
         ]
         pre_end[i] = _emit(combined, spans, start)
 
     def emit_tin(i: int) -> None:
         spans = [
-            Span(PIM_BUS, s.stage, s.t0, s.duration, s.cycles, s.counters)
+            Span(
+                PIM_BUS, s.stage, s.t0, s.duration, s.cycles, s.counters, s.trace
+            )
             for s in tin_groups[i]
         ]
         tin_end[i] = _emit(combined, spans, pre_end[i])
@@ -159,6 +165,7 @@ def compose_double_buffer(schedules: Sequence[BatchSchedule]) -> BatchSchedule:
                 span.duration,
                 cycles=span.cycles,
                 counters=span.counters,
+                trace=span.trace,
             )
             exec_end = max(exec_end, placed.t1)
         # Pipeline the *next* batch's front end before this batch's
@@ -167,12 +174,16 @@ def compose_double_buffer(schedules: Sequence[BatchSchedule]) -> BatchSchedule:
             emit_pre(i + 1, tin_end[i])
             emit_tin(i + 1)
         tout_spans = [
-            Span(PIM_BUS, s.stage, s.t0, s.duration, s.cycles, s.counters)
+            Span(
+                PIM_BUS, s.stage, s.t0, s.duration, s.cycles, s.counters, s.trace
+            )
             for s in tout_groups[i]
         ]
         tout_end = _emit(combined, tout_spans, exec_end)
         agg_spans = [
-            Span(HOST_AGG, s.stage, s.t0, s.duration, s.cycles, s.counters)
+            Span(
+                HOST_AGG, s.stage, s.t0, s.duration, s.cycles, s.counters, s.trace
+            )
             for s in agg_groups[i]
         ]
         _emit(combined, agg_spans, tout_end)

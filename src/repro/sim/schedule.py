@@ -17,6 +17,7 @@ from repro.hardware.counters import StageCycles
 from repro.sim.span import (
     ResourceTimeline,
     Span,
+    SpanTrace,
     dpu_resource,
     is_dpu_resource,
 )
@@ -92,6 +93,7 @@ class BatchSchedule:
         *,
         cycles: float | None = None,
         counters: object | None = None,
+        trace: SpanTrace | None = None,
     ) -> Span:
         """Append a span at the resource's current end."""
         tl = self.timeline(resource)
@@ -102,6 +104,7 @@ class BatchSchedule:
             duration=duration_s,
             cycles=cycles,
             counters=counters,
+            trace=trace,
         )
         tl.append(span)
         return span
@@ -115,6 +118,7 @@ class BatchSchedule:
         *,
         cycles: float | None = None,
         counters: object | None = None,
+        trace: SpanTrace | None = None,
     ) -> Span:
         """Append a span starting at ``start_s``, or at the resource's
         end if it is still busy then (resource-contention clamp)."""
@@ -126,6 +130,7 @@ class BatchSchedule:
             duration=duration_s,
             cycles=cycles,
             counters=counters,
+            trace=trace,
         )
         tl.append(span)
         return span

@@ -43,6 +43,33 @@ def is_dpu_resource(resource: str) -> bool:
 
 
 @dataclass(frozen=True)
+class SpanTrace:
+    """Causal metadata riding alongside a span — never part of timing.
+
+    The execution cores attach one of these when the work item that
+    produced the span carried trace ids.  Everything here is *derived
+    observability*: span ids and parents mirror the work DAG, the
+    queue-wait split is computed from lane occupancy at dispatch time,
+    and none of it feeds ``BatchTiming`` or any ledger — golden timings
+    stay bit-identical whether tracing metadata is present or not.
+    """
+
+    #: Work-item uid within its batch DAG (stable across both cores).
+    uid: int
+    #: Uids of the work items this span causally depends on.
+    parents: tuple[int, ...] = ()
+    #: Query trace ids this span did work for (empty = untraced span).
+    trace_ids: tuple[str, ...] = ()
+    #: Stream batch index (0 for standalone batch execution).
+    batch: int = 0
+    #: Seconds the item sat ready but queued behind its lane's FIFO
+    #: (service time is the span's own ``duration``).
+    wait_s: float = 0.0
+    #: True when a mid-flight fault fence truncated this span.
+    killed: bool = False
+
+
+@dataclass(frozen=True)
 class Span:
     """One contiguous interval of modeled work on one resource."""
 
@@ -52,6 +79,7 @@ class Span:
     duration: float  # seconds; authoritative (t1 is derived)
     cycles: float | None = None  # DPU spans: the cycles this span models
     counters: object | None = None  # optional ref (e.g. a StageCycles)
+    trace: SpanTrace | None = None  # causal/trace metadata (never timing)
 
     def __post_init__(self) -> None:
         if self.duration < 0:

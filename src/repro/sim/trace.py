@@ -27,7 +27,14 @@ _OVERLAP_RTOL = 1e-9
 
 
 def chrome_trace(schedule: "BatchSchedule") -> dict[str, Any]:
-    """Trace Event Format object for one schedule (one thread/resource)."""
+    """Trace Event Format object for one schedule (one thread/resource).
+
+    Spans carrying trace metadata (:class:`~repro.sim.span.SpanTrace`)
+    additionally emit per-query *flow events* (``s``/``t``/``f``) so
+    Perfetto draws an arrow chain through every span a query touched,
+    and their ``X`` events carry the causal args (``span``, ``parents``,
+    ``wait_us``, ``trace_ids``, ``killed``).
+    """
     events: list[dict[str, Any]] = [
         {
             "ph": "M",
@@ -37,6 +44,9 @@ def chrome_trace(schedule: "BatchSchedule") -> dict[str, Any]:
             "args": {"name": "repro.sim"},
         }
     ]
+    # Per-query flow chains: every (span, tid) a trace id touched, in
+    # recorded time order (ties broken by span uid for determinism).
+    flows: dict[str, list[tuple[float, int, int, str]]] = {}
     for tid, (resource, tl) in enumerate(schedule.timelines.items()):
         events.append(
             {
@@ -57,9 +67,45 @@ def chrome_trace(schedule: "BatchSchedule") -> dict[str, Any]:
                 "ts": span.t0 * _US_PER_S,
                 "dur": span.duration * _US_PER_S,
             }
+            args: dict[str, Any] = {}
             if span.cycles is not None:
-                event["args"] = {"cycles": span.cycles}
+                args["cycles"] = span.cycles
+            if span.trace is not None:
+                args["span"] = span.trace.uid
+                args["batch"] = span.trace.batch
+                if span.trace.parents:
+                    args["parents"] = list(span.trace.parents)
+                args["wait_us"] = span.trace.wait_s * _US_PER_S
+                if span.trace.killed:
+                    args["killed"] = True
+                if span.trace.trace_ids:
+                    args["trace_ids"] = list(span.trace.trace_ids)
+                    for qid in span.trace.trace_ids:
+                        flows.setdefault(qid, []).append(
+                            (span.t0, span.trace.uid, tid, span.stage)
+                        )
+            if args:
+                event["args"] = args
             events.append(event)
+    for qid in sorted(flows):
+        chain = sorted(flows[qid])
+        if len(chain) < 2:
+            continue
+        last = len(chain) - 1
+        for i, (t0, _uid, tid, stage) in enumerate(chain):
+            ph = "s" if i == 0 else ("f" if i == last else "t")
+            flow: dict[str, Any] = {
+                "ph": ph,
+                "name": "query",
+                "cat": "query",
+                "id": qid,
+                "pid": 0,
+                "tid": tid,
+                "ts": t0 * _US_PER_S,
+            }
+            if ph == "f":
+                flow["bp"] = "e"
+            events.append(flow)
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 

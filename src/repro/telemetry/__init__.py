@@ -28,6 +28,9 @@ from repro.telemetry.pipeline import (
     observe_batch,
     observe_dma,
     observe_faults,
+    observe_lane_occupancy,
+    observe_lane_stats,
+    observe_query_latencies,
     observe_wram_peak,
 )
 from repro.telemetry.registry import (
@@ -81,6 +84,9 @@ __all__ = [
     "observe_batch",
     "observe_dma",
     "observe_faults",
+    "observe_lane_occupancy",
+    "observe_lane_stats",
+    "observe_query_latencies",
     "observe_wram_peak",
     "prometheus_text",
     "reset_metrics",

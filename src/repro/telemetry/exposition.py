@@ -97,17 +97,33 @@ def snapshot(registry: MetricsRegistry | None = None) -> dict[str, Any]:
         samples: list[dict[str, Any]] = []
         for child in family.children():
             if family.type == "histogram":
-                samples.append(
-                    {
-                        "labels": dict(child.labels),
-                        "buckets": [
-                            [le, cumulative]
-                            for le, cumulative in child.cumulative_buckets()
-                        ],
-                        "sum": child.sum,
-                        "count": child.count,
-                    }
-                )
+                sample: dict[str, Any] = {
+                    "labels": dict(child.labels),
+                    "buckets": [
+                        [le, cumulative]
+                        for le, cumulative in child.cumulative_buckets()
+                    ],
+                    "sum": child.sum,
+                    "count": child.count,
+                }
+                # Classic text format has no exemplar syntax, so trace-id
+                # exemplars ride only in the JSON snapshot.
+                if child.exemplars:
+                    sample["exemplars"] = [
+                        {
+                            "le": (
+                                "+Inf"
+                                if i >= len(child.buckets)
+                                else child.buckets[i]
+                            ),
+                            "value": value,
+                            "trace_id": trace_id,
+                        }
+                        for i, (value, trace_id) in sorted(
+                            child.exemplars.items()
+                        )
+                    ]
+                samples.append(sample)
             else:
                 samples.append(
                     {"labels": dict(child.labels), "value": child.value}
@@ -203,6 +219,25 @@ def _validate_snapshot_histogram(sample: dict, where: str) -> list[str]:
         errors.append(
             f"{where}: last bucket count {prev_n} exceeds total count {count}"
         )
+    exemplars = sample.get("exemplars")
+    if exemplars is not None:
+        if not isinstance(exemplars, list):
+            return errors + [f"{where}: 'exemplars' must be a list"]
+        for k, ex in enumerate(exemplars):
+            if not (
+                isinstance(ex, dict)
+                and isinstance(ex.get("value"), (int, float))
+                and isinstance(ex.get("trace_id"), str)
+                and ex.get("trace_id")
+                and (
+                    isinstance(ex.get("le"), (int, float))
+                    or ex.get("le") == "+Inf"
+                )
+            ):
+                errors.append(
+                    f"{where}: exemplar[{k}] needs le, numeric value and a "
+                    "non-empty trace_id"
+                )
     return errors
 
 

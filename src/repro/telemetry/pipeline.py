@@ -13,18 +13,26 @@ golden-timing tests pin this).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Mapping
 
-from repro.telemetry.registry import MetricsRegistry, get_registry
+from repro.telemetry.registry import (
+    DEFAULT_SECONDS_BUCKETS,
+    MetricFamily,
+    MetricsRegistry,
+    get_registry,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.sim.schedule import BatchTiming
+    from repro.sim.events import LaneStats
+    from repro.sim.schedule import BatchSchedule, BatchTiming
 
 #: DMA transaction sizes are legal in [8, MAX_DMA_BYTES]; power-of-two
 #: buckets ending at the hardware ceiling.
 DMA_BUCKETS = tuple(float(2**i) for i in range(3, 12))
 #: Queries per batch; 2048 here is a workload knob, not the DMA limit.
 BATCH_SIZE_BUCKETS = (1.0, 8.0, 32.0, 128.0, 512.0, 2048.0)  # simlint: ignore[HW001]
+#: Outstanding requests on one exclusive FIFO lane (in-flight + queued).
+LANE_DEPTH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
 
 #: Stage labels for the six BatchTiming scalars.
 TIMING_STAGES = (
@@ -172,6 +180,133 @@ def observe_batch(
             "repro_dpu_tasklets",
             "tasklet occupancy per DPU (WRAM-plan effective)",
         ).set(n_tasklets)
+
+
+def observe_lane_stats(
+    lane_stats: "Mapping[str, LaneStats]",
+    *,
+    schedule: "BatchSchedule | None" = None,
+    registry: MetricsRegistry | None = None,
+) -> None:
+    """Publish the event core's per-lane FIFO bookkeeping.
+
+    ``lane_stats`` is :attr:`~repro.sim.events.EventEngine.lane_stats`
+    after a run; each lane becomes a ``repro_lane_*`` series labelled by
+    resource.  When the run's schedule is supplied, the busy/idle split
+    and the queue-depth/queue-wait histograms are derived from its spans
+    too (:func:`observe_lane_occupancy`).
+    """
+    reg = registry if registry is not None else get_registry()
+    dispatched = reg.gauge(
+        "repro_lane_dispatched",
+        "items the lane completed in the last event run",
+        ("resource",),
+    )
+    queued = reg.gauge(
+        "repro_lane_queued",
+        "arrivals that found the lane busy and had to queue",
+        ("resource",),
+    )
+    cancelled = reg.gauge(
+        "repro_lane_cancelled",
+        "items cancelled because the lane was fenced by a fault",
+        ("resource",),
+    )
+    peak = reg.gauge(
+        "repro_lane_peak_outstanding",
+        "high-water mark of in-flight + queued items on the lane",
+        ("resource",),
+    )
+    for resource in sorted(lane_stats):
+        stats = lane_stats[resource]
+        dispatched.labels(resource=resource).set(stats.dispatched)
+        queued.labels(resource=resource).set(stats.queued)
+        cancelled.labels(resource=resource).set(stats.cancelled)
+        peak.labels(resource=resource).set_max(stats.peak_outstanding)
+    if schedule is not None:
+        observe_lane_occupancy(schedule, registry=reg)
+
+
+def observe_lane_occupancy(
+    schedule: "BatchSchedule",
+    *,
+    registry: MetricsRegistry | None = None,
+) -> None:
+    """Rolling per-lane occupancy derived from a (traced) schedule.
+
+    Sweeps each lane's spans as a ready/complete event series — a span's
+    ready time is ``t0 - wait_s`` from its trace metadata, so queued
+    time counts as outstanding — and publishes the busy/idle split, an
+    outstanding-depth histogram sampled at every arrival, and a
+    queue-wait histogram carrying trace-id exemplars.
+    """
+    reg = registry if registry is not None else get_registry()
+    makespan = schedule.makespan
+    busy_g = reg.gauge(
+        "repro_lane_busy_seconds", "seconds the lane was executing", ("resource",)
+    )
+    idle_g = reg.gauge(
+        "repro_lane_idle_seconds",
+        "makespan seconds the lane sat idle",
+        ("resource",),
+    )
+    depth_h = reg.histogram(
+        "repro_lane_outstanding",
+        "outstanding items (in-flight + queued) sampled at each arrival",
+        ("resource",),
+        buckets=LANE_DEPTH_BUCKETS,
+    )
+    wait_h = reg.histogram(
+        "repro_lane_queue_wait_seconds",
+        "per-item FIFO queue wait (ready -> dispatch gap)",
+        ("resource",),
+    )
+    for resource in sorted(schedule.timelines):
+        spans = schedule.timelines[resource].spans
+        busy = sum(s.duration for s in spans)
+        busy_g.labels(resource=resource).set(busy)
+        idle_g.labels(resource=resource).set(max(0.0, makespan - busy))
+        events: list[tuple[float, int]] = []
+        for s in spans:
+            tr = s.trace
+            wait = tr.wait_s if tr is not None else 0.0
+            events.append((s.t0 - wait, 1))
+            events.append((s.t1, -1))
+            if tr is not None and wait > 0.0:
+                wait_h.labels(resource=resource).observe(
+                    wait,
+                    exemplar=tr.trace_ids[0] if tr.trace_ids else None,
+                )
+        depth = 0
+        depth_child = depth_h.labels(resource=resource)
+        # Sorting (t, delta) retires completions before same-instant
+        # arrivals, so back-to-back FIFO dispatch never reads depth 2.
+        for _t, delta in sorted(events):
+            depth += delta
+            if delta > 0:
+                depth_child.observe(depth)
+
+
+def observe_query_latencies(
+    latencies: Mapping[str, float],
+    *,
+    registry: MetricsRegistry | None = None,
+) -> MetricFamily:
+    """Per-query end-to-end latency histogram with trace-id exemplars.
+
+    Each bucket remembers the trace id of the worst latency that landed
+    in it, so a tail bucket can always be chased back to a concrete
+    query (``repro.cli explain --query <id>``).
+    """
+    reg = registry if registry is not None else get_registry()
+    hist = reg.histogram(
+        "repro_query_latency_seconds",
+        "per-query end-to-end modeled latency",
+        buckets=DEFAULT_SECONDS_BUCKETS,
+    )
+    for qid in sorted(latencies):
+        hist.observe(latencies[qid], exemplar=qid)
+    return hist
 
 
 def observe_faults(

@@ -98,7 +98,7 @@ class GaugeChild(_Child):
 
 
 class HistogramChild(_Child):
-    __slots__ = ("buckets", "counts", "inf_count", "sum", "count")
+    __slots__ = ("buckets", "counts", "inf_count", "sum", "count", "exemplars")
 
     def __init__(self, labels: dict[str, str], buckets: tuple[float, ...]):
         super().__init__(labels)
@@ -107,12 +107,18 @@ class HistogramChild(_Child):
         self.inf_count = 0
         self.sum = 0.0
         self.count = 0
+        #: bucket index -> (value, trace id) of the worst observation
+        #: that landed there (index ``len(buckets)`` is the +Inf bucket).
+        self.exemplars: dict[int, tuple[float, str]] = {}
 
-    def observe(self, value: float, count: int = 1) -> None:
+    def observe(self, value: float, count: int = 1, exemplar: str | None = None) -> None:
         """Record ``count`` identical observations of ``value``.
 
         The batched form exists for the DMA hot path: a bulk transfer is
         thousands of equal-size transactions, observed in O(1).
+        ``exemplar`` ties the observation back to a trace id; each
+        bucket keeps the exemplar of its largest value seen, so a
+        latency histogram always names a worst offender per bucket.
         """
         if count < 0:
             raise ConfigError(f"observation count must be >= 0, got {count}")
@@ -125,6 +131,12 @@ class HistogramChild(_Child):
             self.inf_count += count
         self.sum += value * count
         self.count += count
+        if exemplar is not None:
+            prev = self.exemplars.get(i)
+            # Ties go to the latest observation, matching worst_query()'s
+            # (latency, trace id) tie-break when ids arrive in sorted order.
+            if prev is None or value >= prev[0]:
+                self.exemplars[i] = (float(value), exemplar)
 
     def cumulative_buckets(self) -> list[tuple[float, int]]:
         """(upper_bound, cumulative_count) pairs, Prometheus ``le`` style."""
@@ -134,6 +146,12 @@ class HistogramChild(_Child):
             running += n
             out.append((le, running))
         return out
+
+    def worst_exemplar(self) -> str | None:
+        """Trace id of the largest exemplar-carrying observation."""
+        if not self.exemplars:
+            return None
+        return max(self.exemplars.values())[1]
 
 
 @dataclass
@@ -188,8 +206,10 @@ class MetricFamily:
     def dec(self, amount: float = 1.0) -> None:
         self._default_child().dec(amount)
 
-    def observe(self, value: float, count: int = 1) -> None:
-        self._default_child().observe(value, count)
+    def observe(
+        self, value: float, count: int = 1, exemplar: str | None = None
+    ) -> None:
+        self._default_child().observe(value, count, exemplar)
 
     def children(self) -> list[_Child]:
         """Children in deterministic (sorted label values) order."""

@@ -494,6 +494,16 @@ def main(argv: list[str] | None = None) -> int:
                     and record.get("schema") == SANITIZE_SCHEMA
                 ):
                     kind, errors = "sanitize", validate_sanitize_record(record)
+                elif (
+                    isinstance(record, dict)
+                    and isinstance(record.get("schema"), str)
+                    and record["schema"].startswith("repro.trace/")
+                ):
+                    # Lazy: keeps the schema CLI import-light (the trace
+                    # validator pulls in repro.sim).
+                    from repro.tracing.record import validate_trace_record
+
+                    kind, errors = "trace", validate_trace_record(record)
                 else:
                     kind, errors = "result", validate_result_record(record)
         if errors:

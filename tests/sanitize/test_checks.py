@@ -317,3 +317,136 @@ class TestScheduleLanes:
         lanes = schedule_lanes(sched)
         assert set(lanes) == set(sched.resources())
         assert lanes[PIM_BUS][0] == (0.0, 2.0, STAGE_TRANSFER_IN)
+
+
+class TestTracePartition:
+    """SAN-TRACE: trace ids must partition a traced schedule's spans."""
+
+    def traced_span(self, resource, stage, t0, dur, *, uid, batch=0, ids=(),
+                    wait=0.0):
+        from repro.sim.span import SpanTrace
+
+        return Span(
+            resource, stage, t0, dur,
+            trace=SpanTrace(uid=uid, trace_ids=tuple(ids), batch=batch,
+                            wait_s=wait),
+        )
+
+    def test_untraced_schedule_is_legal(self):
+        from repro.sanitize import check_trace_partition
+
+        assert check_trace_partition(valid_schedule()) == []
+
+    def test_fully_traced_schedule_is_clean(self):
+        from repro.sanitize import check_trace_partition
+
+        sched = raw_schedule(
+            (HOST_CPU, [
+                self.traced_span(HOST_CPU, "filter", 0.0, 1.0, uid=0,
+                                 ids=("q000000",)),
+            ]),
+            (PIM_BUS, [
+                self.traced_span(PIM_BUS, STAGE_TRANSFER_IN, 1.0, 1.0, uid=1,
+                                 ids=("q000000",), wait=0.5),
+            ]),
+        )
+        assert check_trace_partition(sched) == []
+
+    def test_half_traced_schedule_flagged(self):
+        from repro.sanitize import SAN_TRACE, check_trace_partition
+
+        sched = raw_schedule(
+            (HOST_CPU, [
+                self.traced_span(HOST_CPU, "filter", 0.0, 1.0, uid=0,
+                                 ids=("q000000",)),
+                Span(HOST_CPU, "aggregate", 1.0, 1.0),  # dropped context
+            ]),
+        )
+        findings = check_trace_partition(sched)
+        assert codes(findings) == {SAN_TRACE}
+        assert any("partition the span set" in f.message for f in findings)
+
+    def test_duplicate_span_identity_flagged(self):
+        from repro.sanitize import SAN_TRACE, check_trace_partition
+
+        sched = raw_schedule(
+            (HOST_CPU, [
+                self.traced_span(HOST_CPU, "a", 0.0, 1.0, uid=3),
+                self.traced_span(HOST_CPU, "b", 1.0, 1.0, uid=3),
+            ]),
+        )
+        findings = check_trace_partition(sched)
+        assert SAN_TRACE in codes(findings)
+        assert any("duplicates" in f.message for f in findings)
+
+    def test_trace_id_crossing_batches_flagged(self):
+        from repro.sanitize import SAN_TRACE, check_trace_partition
+
+        sched = raw_schedule(
+            (HOST_CPU, [
+                self.traced_span(HOST_CPU, "a", 0.0, 1.0, uid=0, batch=0,
+                                 ids=("q000000",)),
+                self.traced_span(HOST_CPU, "a", 1.0, 1.0, uid=0, batch=1,
+                                 ids=("q000000",)),
+            ]),
+        )
+        findings = check_trace_partition(sched)
+        assert SAN_TRACE in codes(findings)
+        assert any("exactly one" in f.message for f in findings)
+
+    def test_negative_and_nan_wait_flagged(self):
+        from repro.sanitize import SAN_TRACE, check_trace_partition
+
+        sched = raw_schedule(
+            (HOST_CPU, [
+                self.traced_span(HOST_CPU, "a", 0.0, 1.0, uid=0, wait=-0.5),
+                self.traced_span(HOST_CPU, "b", 1.0, 1.0, uid=1,
+                                 wait=math.nan),
+            ]),
+        )
+        findings = check_trace_partition(sched)
+        assert codes(findings) == {SAN_TRACE}
+        assert len(findings) == 2
+
+    def test_sanitize_schedule_runs_the_partition_check(self):
+        from repro.sanitize import SAN_TRACE
+
+        sched = raw_schedule(
+            (HOST_CPU, [
+                self.traced_span(HOST_CPU, "filter", 0.0, 1.0, uid=0,
+                                 ids=("q000000",)),
+                Span(HOST_CPU, "aggregate", 1.0, 1.0),
+            ]),
+        )
+        assert SAN_TRACE in codes(sanitize_schedule(sched))
+
+
+class TestFlowEvents:
+    """Chrome-trace flow events ("s"/"t"/"f") bind per-query chains."""
+
+    def test_flow_phases_tolerated(self):
+        payload = valid_schedule().to_chrome_trace()
+        payload["traceEvents"].extend([
+            {"ph": "s", "id": "q000000", "ts": 0.0, "pid": 1, "tid": 1,
+             "name": "query", "cat": "query"},
+            {"ph": "t", "id": "q000000", "ts": 1.0, "pid": 1, "tid": 1,
+             "name": "query", "cat": "query"},
+            {"ph": "f", "id": "q000000", "ts": 2.0, "pid": 1, "tid": 1,
+             "name": "query", "cat": "query", "bp": "e"},
+        ])
+        assert sanitize_chrome_trace(payload) == []
+
+    def test_flow_event_without_id_is_san_schema(self):
+        payload = valid_schedule().to_chrome_trace()
+        payload["traceEvents"].append(
+            {"ph": "s", "ts": 0.0, "name": "query", "cat": "query"}
+        )
+        assert SAN_SCHEMA in codes(sanitize_chrome_trace(payload))
+
+    def test_flow_event_with_negative_ts_is_san_schema(self):
+        payload = valid_schedule().to_chrome_trace()
+        payload["traceEvents"].append(
+            {"ph": "f", "id": "q000000", "ts": -1.0, "name": "query",
+             "cat": "query"}
+        )
+        assert SAN_SCHEMA in codes(sanitize_chrome_trace(payload))

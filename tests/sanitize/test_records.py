@@ -196,3 +196,48 @@ class TestSanitizeRecordContract:
         )
         assert proc.returncode == 0, proc.stdout + proc.stderr
         assert "sanitize" in proc.stdout + proc.stderr
+
+
+class TestTraceRecordConservation:
+    """``repro.trace/v1``: query windows must derive from the spans."""
+
+    def record(self):
+        from tests.tracing.test_record import traced_record
+
+        return traced_record(2)
+
+    def test_detect_kind(self):
+        from repro.sanitize import sanitize_trace_record  # noqa: F401
+
+        assert detect_kind(self.record()) == "tracerec"
+
+    def test_exported_record_is_clean(self):
+        from repro.sanitize import sanitize_trace_record
+
+        assert sanitize_trace_record(self.record()) == []
+        assert sanitize_payload(self.record()) == []
+
+    def test_tampered_latency_is_san_ledger(self):
+        from repro.sanitize import sanitize_trace_record
+
+        record = self.record()
+        record["queries"][0]["latency_s"] += 1e-3
+        findings = sanitize_trace_record(record)
+        assert SAN_LEDGER in {f.code for f in findings}
+
+    def test_tampered_window_is_flagged(self):
+        from repro.sanitize import sanitize_trace_record
+
+        record = self.record()
+        record["queries"][-1]["t1"] += 0.25
+        record["queries"][-1]["latency_s"] = (
+            record["queries"][-1]["t1"] - record["queries"][-1]["t0"]
+        )
+        assert sanitize_trace_record(record)
+
+    def test_tampered_span_count_is_flagged(self):
+        from repro.sanitize import sanitize_trace_record
+
+        record = self.record()
+        record["queries"][0]["n_spans"] += 1
+        assert sanitize_trace_record(record)

@@ -107,3 +107,35 @@ class TestSnapshot:
 
     def test_non_object_rejected(self):
         assert validate_snapshot([]) == ["snapshot must be a JSON object"]
+
+
+class TestExemplarExposition:
+    @pytest.fixture()
+    def exemplar_reg(self):
+        r = MetricsRegistry()
+        h = r.histogram("repro_lat", "latency", buckets=(1.0, 8.0))
+        h.observe(0.5, exemplar="q000001")
+        h.observe(100.0, exemplar="q000042")
+        return r
+
+    def test_snapshot_carries_exemplars(self, exemplar_reg):
+        payload = snapshot(exemplar_reg)
+        assert validate_snapshot(payload) == []
+        (family,) = payload["metrics"]
+        (sample,) = family["samples"]
+        assert sample["exemplars"] == [
+            {"le": 1.0, "value": 0.5, "trace_id": "q000001"},
+            {"le": "+Inf", "value": 100.0, "trace_id": "q000042"},
+        ]
+
+    def test_text_format_has_no_exemplar_syntax(self, exemplar_reg):
+        # Classic Prometheus 0.0.4 text has no exemplar clause; they
+        # ride only in the JSON snapshot.
+        text = prometheus_text(exemplar_reg)
+        assert validate_prometheus_text(text) == []
+        assert "q000042" not in text
+
+    def test_validator_catches_bad_exemplar(self, exemplar_reg):
+        payload = snapshot(exemplar_reg)
+        payload["metrics"][0]["samples"][0]["exemplars"][0]["trace_id"] = ""
+        assert validate_snapshot(payload)

@@ -166,3 +166,99 @@ class TestBatchedDmaObservation:
         reg = MetricsRegistry()
         observe_dma_batch("write", 0, {})
         assert reg.snapshot()["metrics"] == []
+
+
+class TestLaneTelemetry:
+    """Queue-depth and occupancy series from the discrete-event core."""
+
+    def stream(self):
+        from repro.sim import EventEngine, execute_stream
+        from tests.tracing.test_record import traced_work
+
+        works = [
+            traced_work(n_queries=4, start=4 * b, batch=b) for b in range(3)
+        ]
+        eng = EventEngine()
+        sched = execute_stream(works, overlap="double_buffer", engine=eng)
+        return eng, sched
+
+    def test_lane_stats_become_gauges(self, registry):
+        from repro.telemetry.pipeline import observe_lane_stats
+
+        eng, sched = self.stream()
+        observe_lane_stats(eng.lane_stats, schedule=sched)
+        for resource, stats in eng.lane_stats.items():
+            def val(name):
+                return registry.gauge(name, "", ("resource",)).labels(
+                    resource=resource
+                ).value
+            assert val("repro_lane_dispatched") == stats.dispatched
+            assert val("repro_lane_queued") == stats.queued
+            assert val("repro_lane_cancelled") == stats.cancelled
+            assert val("repro_lane_peak_outstanding") == stats.peak_outstanding
+        # Interleaved batches queue on the bus, and the peak shows it.
+        bus = eng.lane_stats["pim_bus"]
+        assert bus.peak_outstanding >= 2
+
+    def test_occupancy_busy_plus_idle_is_makespan(self, registry):
+        from repro.telemetry.pipeline import observe_lane_stats
+
+        eng, sched = self.stream()
+        observe_lane_stats(eng.lane_stats, schedule=sched)
+        busy = registry.gauge("repro_lane_busy_seconds", "", ("resource",))
+        idle = registry.gauge("repro_lane_idle_seconds", "", ("resource",))
+        for resource, tl in sched.timelines.items():
+            b = busy.labels(resource=resource).value
+            i = idle.labels(resource=resource).value
+            assert b == pytest.approx(sum(s.duration for s in tl.spans))
+            assert b + i == pytest.approx(sched.makespan)
+
+    def test_queue_wait_histogram_names_a_trace(self, registry):
+        from repro.telemetry.pipeline import observe_lane_stats
+
+        eng, sched = self.stream()
+        observe_lane_stats(eng.lane_stats, schedule=sched)
+        waits = registry.histogram(
+            "repro_lane_queue_wait_seconds", "", ("resource",)
+        )
+        child = waits.labels(resource="pim_bus")
+        assert child.count > 0
+        # The exemplar is a real query of the stream, not a made-up tag.
+        assert child.worst_exemplar() in {f"q{n:06d}" for n in range(12)}
+
+    def test_worst_latency_exemplar_resolves_in_the_export(self, registry):
+        # Acceptance: the worst latency bucket's exemplar trace id must
+        # resolve to a query the exported trace record declares.
+        from repro.telemetry.pipeline import observe_query_latencies
+        from repro.tracing import make_trace_record, query_latencies, worst_query
+
+        _, sched = self.stream()
+        record = make_trace_record(name="x", config={}, schedule=sched)
+        family = observe_query_latencies(query_latencies(sched))
+        exemplar = family.labels().worst_exemplar()
+        assert exemplar in {q["trace_id"] for q in record["queries"]}
+        assert exemplar == worst_query(record)
+
+    def test_event_mode_service_publishes_lane_series(
+        self, registry, engine, small_queries
+    ):
+        # Satellite wiring: combined_schedule() in event mode exports
+        # EventEngine.lane_stats without any caller-side plumbing.
+        service = OnlineService(
+            engine=engine, overlap="double_buffer", sim_engine="event"
+        )
+        for _ in range(2):
+            service.submit(small_queries)
+        service.combined_schedule()
+        assert service.last_event_engine is not None
+        names = {f.name for f in registry.families()}
+        assert {
+            "repro_lane_dispatched",
+            "repro_lane_peak_outstanding",
+            "repro_lane_busy_seconds",
+            "repro_lane_outstanding",
+            "repro_lane_queue_wait_seconds",
+            "repro_query_latency_seconds",
+        } <= names
+        latency = registry.histogram("repro_query_latency_seconds", "")
+        assert latency.labels().count == 2 * len(small_queries)

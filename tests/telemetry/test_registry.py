@@ -148,3 +148,44 @@ class TestProcessRegistry:
             assert get_registry().families() == []
         finally:
             set_registry(previous)
+
+
+class TestExemplars:
+    def test_largest_value_per_bucket_wins(self, reg):
+        h = reg.histogram("repro_lat", "latency", buckets=(1.0, 10.0))
+        h.observe(0.5, exemplar="q000001")
+        h.observe(0.9, exemplar="q000002")
+        h.observe(0.2, exemplar="q000003")
+        child = h.labels()
+        assert child.exemplars[0] == (0.9, "q000002")
+
+    def test_inf_bucket_holds_overflow_exemplar(self, reg):
+        h = reg.histogram("repro_lat", "latency", buckets=(1.0, 10.0))
+        h.observe(99.0, exemplar="q000042")
+        # Index len(buckets) is the +Inf bucket.
+        assert h.labels().exemplars[2] == (99.0, "q000042")
+
+    def test_worst_exemplar_is_global_max(self, reg):
+        h = reg.histogram("repro_lat", "latency", buckets=(1.0, 10.0))
+        h.observe(0.5, exemplar="q000001")
+        h.observe(5.0, exemplar="q000007")
+        h.observe(0.9, exemplar="q000002")
+        assert h.labels().worst_exemplar() == "q000007"
+
+    def test_plain_observations_leave_no_exemplar(self, reg):
+        h = reg.histogram("repro_lat", "latency", buckets=(1.0, 10.0))
+        h.observe(0.5)
+        h.observe(99.0, count=3)
+        child = h.labels()
+        assert child.exemplars == {}
+        assert child.worst_exemplar() is None
+        assert child.count == 4  # counting is unaffected
+
+    def test_labelled_children_keep_separate_exemplars(self, reg):
+        h = reg.histogram(
+            "repro_lane_wait", "wait", ("resource",), buckets=(1.0,)
+        )
+        h.labels(resource="pim_bus").observe(0.5, exemplar="q000001")
+        h.labels(resource="dpu/0").observe(0.7, exemplar="q000002")
+        assert h.labels(resource="pim_bus").worst_exemplar() == "q000001"
+        assert h.labels(resource="dpu/0").worst_exemplar() == "q000002"

@@ -165,3 +165,85 @@ class TestChaos:
         record = json.loads(capsys.readouterr().out)
         families = {f["name"] for f in record["metrics"]["metrics"]}
         assert not any(name.startswith("repro_faults_") for name in families)
+
+
+class TestTraceAndExplain:
+    def test_trace_out_writes_valid_record(self, tmp_path, capsys):
+        from repro.tracing import validate_trace_record
+
+        chrome = tmp_path / "trace.json"
+        record_path = tmp_path / "trace_record.json"
+        assert main([
+            "trace", "--out", str(chrome), "--trace-out", str(record_path),
+            "--batches", "2", "--batch-size", "8",
+            "--overlap", "double_buffer", "--sim-engine", "event",
+            "--sanitize",
+        ]) == 0
+        record = json.loads(record_path.read_text())
+        assert record["schema"] == "repro.trace/v1"
+        assert validate_trace_record(record) == []
+        assert record["config"]["sim_engine"] == "event"
+        assert len(record["queries"]) == 16
+
+    def test_trace_query_dumps_span_rows(self, tmp_path, capsys):
+        chrome = tmp_path / "trace.json"
+        assert main([
+            "trace", "--out", str(chrome), "--batches", "2",
+            "--batch-size", "4", "--query", "q000005",
+        ]) == 0
+        rows = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+            if line.strip().startswith("{")
+        ]
+        assert rows and all("q000005" in r["trace_ids"] for r in rows)
+
+    def test_trace_unknown_query_fails(self, tmp_path, capsys):
+        chrome = tmp_path / "trace.json"
+        assert main([
+            "trace", "--out", str(chrome), "--batches", "1",
+            "--batch-size", "4", "--query", "q999999",
+        ]) == 2
+
+    def test_explain_defaults_to_worst_query(self, capsys):
+        assert main([
+            "explain", "--batches", "2", "--batch-size", "8",
+            "--overlap", "double_buffer", "--sim-engine", "event",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "critical path covers" in out
+        assert "query q" in out
+
+    def test_explain_reads_exported_record(self, tmp_path, capsys):
+        chrome = tmp_path / "trace.json"
+        record_path = tmp_path / "record.json"
+        assert main([
+            "trace", "--out", str(chrome), "--trace-out", str(record_path),
+            "--batches", "2", "--batch-size", "4",
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "explain", "--record", str(record_path), "--query", "q000002",
+        ]) == 0
+        assert "query q000002" in capsys.readouterr().out
+
+    def test_explain_annotates_fault_retries(self, capsys):
+        assert main([
+            "explain", "--batches", "3", "--batch-size", "8",
+            "--sim-engine", "event", "--overlap", "double_buffer",
+            "--hazard", "0.5", "--seed", "1",
+        ]) == 0
+        # A hazard this high faults some transfer on the worst query's
+        # path; the row must carry the fault plane's annotation.
+        assert "fault-retry" in capsys.readouterr().out
+
+    def test_explain_unknown_query_fails(self, capsys):
+        assert main([
+            "explain", "--batches", "1", "--batch-size", "4",
+            "--query", "q999999",
+        ]) == 2
+
+    def test_explain_rejects_invalid_record(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "repro.trace/v1"}))
+        assert main(["explain", "--record", str(bad)]) == 2

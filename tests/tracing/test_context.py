@@ -1,0 +1,66 @@
+"""Trace-context propagation: id assignment and subset selection."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.tracing import TraceContext, format_trace_id
+
+
+class TestFormat:
+    def test_zero_padded_counter(self):
+        assert format_trace_id(0) == "q000000"
+        assert format_trace_id(95) == "q000095"
+        assert format_trace_id(1234567) == "q1234567"
+
+
+class TestForBatch:
+    def test_ids_in_query_order(self):
+        ctx = TraceContext.for_batch(3)
+        assert ctx.trace_ids == ("q000000", "q000001", "q000002")
+        assert ctx.batch == 0
+        assert len(ctx) == 3
+
+    def test_start_continues_a_service_counter(self):
+        # The service hands out ids across submits: batch 2 starting at
+        # query 60 must not collide with batches 0/1.
+        ctx = TraceContext.for_batch(2, batch=2, start=60)
+        assert ctx.trace_ids == ("q000060", "q000061")
+        assert ctx.batch == 2
+
+    def test_empty_batch_allowed(self):
+        assert TraceContext.for_batch(0).trace_ids == ()
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigError):
+            TraceContext.for_batch(-1)
+
+    def test_negative_batch_rejected(self):
+        with pytest.raises(ConfigError):
+            TraceContext.for_batch(1, batch=-1)
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ConfigError):
+            TraceContext(trace_ids=("q000001", "q000001"))
+
+
+class TestSubsets:
+    def test_all_ids_is_the_whole_batch(self):
+        ctx = TraceContext.for_batch(4)
+        assert ctx.all_ids() == ctx.trace_ids
+
+    def test_ids_for_selects_and_orders(self):
+        ctx = TraceContext.for_batch(4)
+        assert ctx.ids_for([2, 0]) == ("q000002", "q000000")
+
+    def test_ids_for_dedups_repeated_pairs(self):
+        # A DPU serving several (query, cluster) pairs of the same query
+        # tags its chain with that query once.
+        ctx = TraceContext.for_batch(4)
+        assert ctx.ids_for([1, 3, 1, 1, 3]) == ("q000001", "q000003")
+
+    def test_out_of_range_index_rejected(self):
+        ctx = TraceContext.for_batch(2)
+        with pytest.raises(ConfigError):
+            ctx.ids_for([2])
+        with pytest.raises(ConfigError):
+            ctx.ids_for([-1])
