@@ -67,6 +67,11 @@ class UpANNSConfig:
     # a hit skips host-side recomputation, never the modeled DPU charge.
     # (Coincidentally MRAM-sized; this is host memory, not a DPU limit.)
     lut_cache_bytes: int = 64 * 1024 * 1024  # simlint: ignore[HW001]
+    # Cost-aware LUT-cache admission: clusters whose access frequency
+    # (from the live workload trace) falls below this floor are computed
+    # but not cached, so one-shot tail clusters stop evicting the warm
+    # working set.  0.0 (default) admits everything — the golden path.
+    lut_admission_floor: float = 0.0
 
     def __post_init__(self) -> None:
         if self.n_tasklets < 1:
@@ -79,6 +84,11 @@ class UpANNSConfig:
             )
         if self.lut_cache_bytes < 0:
             raise ConfigError("lut_cache_bytes must be >= 0 (0 disables)")
+        if not 0.0 <= self.lut_admission_floor <= 1.0:
+            raise ConfigError(
+                "lut_admission_floor is a frequency fraction in [0, 1], "
+                f"got {self.lut_admission_floor}"
+            )
         if self.cae_combo_length < 2:
             raise ConfigError("co-occurrence combinations need length >= 2")
         if self.placement_threshold_rate <= 0:

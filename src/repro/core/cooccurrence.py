@@ -110,13 +110,33 @@ class CooccurrenceModel:
         """
         if lut.shape[0] != self.m:
             raise ConfigError(f"LUT rows {lut.shape[0]} != m {self.m}")
-        sums = np.zeros(self.n_slots, dtype=np.float32)
         if not self.combos:
-            return sums
+            return np.zeros(0, dtype=np.float32)
         pos, codes, slots = self._packed_indices()
-        vals = lut[pos, codes]
-        sums[slots] = vals.sum(axis=1, dtype=np.float64).astype(np.float32)
+        return partial_sums_from_packed(lut, pos, codes, slots, self.n_slots)
+
+
+def partial_sums_from_packed(
+    lut: np.ndarray,
+    pos: np.ndarray,
+    codes: np.ndarray,
+    slots: np.ndarray,
+    n_slots: int,
+) -> np.ndarray:
+    """Per-slot partial sums from pre-packed index matrices.
+
+    The functional core of :meth:`CooccurrenceModel.partial_sums`,
+    callable from contexts that hold only the packed ``(pos, codes,
+    slots)`` arrays — the ``repro.parallel`` workers rebuild flat tables
+    from shared-memory views of exactly these matrices.  Bit-identical
+    to the method: same gather, same float64 row sum, same cast.
+    """
+    sums = np.zeros(n_slots, dtype=np.float32)
+    if n_slots == 0 or pos.shape[0] == 0:
         return sums
+    vals = lut[pos, codes]
+    sums[slots] = vals.sum(axis=1, dtype=np.float64).astype(np.float32)
+    return sums
 
 
 MAX_COMBO_LENGTH = 7  # packing limit: 7 uint8 codes per int64 key

@@ -33,7 +33,9 @@ from repro.core.encoding import build_flat_table, encode_cluster
 from repro.core.kernel import (
     ClusterPayload,
     DpuWorkLog,
+    GatherPlanCache,
     KernelConfig,
+    replay_batch_charges,
     run_batch_on_dpu,
     run_query_on_dpu,
 )
@@ -158,9 +160,25 @@ class UpANNSEngine:
     #: or ``None`` to defer to the ``REPRO_SIM_ENGINE`` environment
     #: variable (default analytic; see repro.sim.events).
     sim_engine: str | None = None
+    #: Functional-path executor for the grouped kernel: ``"serial"``
+    #: (inline, the default), ``"process"`` / ``"process:N"`` (DPU
+    #: groups fan out over N worker processes attached to shared-memory
+    #: views of the index), or ``None`` to defer to the
+    #: ``REPRO_EXECUTOR`` environment variable.  Results are
+    #: bit-identical across backends; only host wall-clock changes.
+    executor: str | None = None
     # Memoized per-cluster visit charges for the grouped kernel, keyed
     # (cluster_id, n_tasklets); cleared with the LUT cache.
     _pair_charges: dict = field(default_factory=dict)
+    # Memoized fused-gather plans for the grouped kernel (cross-batch,
+    # query-independent); cleared with the LUT cache.
+    _gather_plans: GatherPlanCache = field(default_factory=GatherPlanCache)
+    # Monotonic epoch for worker-side caches: bumped whenever the
+    # cross-batch caches are cleared so pool workers drop theirs too.
+    _cache_epoch: int = 0
+    # Live process-pool runtime (repro.parallel); built lazily on the
+    # first parallel batch, torn down on index/placement changes.
+    _executor_runtime: object | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         ic = self.config.index
@@ -373,10 +391,13 @@ class UpANNSEngine:
 
         The codebook version bump makes every existing LUT-cache key
         unreachable; the explicit clear releases the bytes immediately.
+        The process-pool runtime (if any) is torn down too — its workers
+        hold shared-memory views of the *old* payload arrays.
         """
         self._codebook_version += 1
         if self.lut_cache is None:
             self.lut_cache = LutCache(self.config.upanns.lut_cache_bytes)
+        self._shutdown_executor()
         self.clear_runtime_caches()
 
     def clear_runtime_caches(self) -> None:
@@ -384,10 +405,60 @@ class UpANNSEngine:
 
         Used by ``repro.perf`` to measure a cold batch on a built
         engine; functionally a no-op (the caches only skip recompute).
+        The epoch bump tells pool workers to drop their local table
+        memos on the next task, so "cold" stays cold under every
+        executor backend.
         """
         if self.lut_cache is not None:
             self.lut_cache.clear()
         self._pair_charges.clear()
+        self._gather_plans.clear()
+        self._cache_epoch += 1
+
+    def close(self) -> None:
+        """Release process-pool workers and shared-memory segments.
+
+        Safe to call repeatedly; a serial engine makes this a no-op.
+        """
+        self._shutdown_executor()
+
+    def _shutdown_executor(self) -> None:
+        runtime = self._executor_runtime
+        self._executor_runtime = None
+        if runtime is not None:
+            runtime.shutdown()  # type: ignore[attr-defined]
+
+    def _resolve_executor_runtime(self):
+        """The live parallel runtime for this batch, or None for serial.
+
+        Resolution order: the ``executor`` field if set, else the
+        ``REPRO_EXECUTOR`` environment variable, else serial.  The pool
+        (and its shared-memory index views) is built on first use and
+        reused across batches until the spec changes or the index /
+        placement is invalidated.
+        """
+        import os
+
+        from repro.parallel import ProcessExecutor, parse_executor_spec
+
+        spec = parse_executor_spec(
+            self.executor
+            if self.executor is not None
+            else os.environ.get("REPRO_EXECUTOR", "serial")
+        )
+        if spec.kind == "serial":
+            self._shutdown_executor()
+            return None
+        runtime = self._executor_runtime
+        if runtime is not None and runtime.n_workers != spec.workers:  # type: ignore[attr-defined]
+            self._shutdown_executor()
+            runtime = None
+        if runtime is None:
+            runtime = ProcessExecutor(spec.workers)
+            runtime.start(self._payloads, self.index.pq, self.index.ivf.centroids,
+                          lut_cache_bytes=self.config.upanns.lut_cache_bytes)
+            self._executor_runtime = runtime
+        return runtime
 
     def _plan_wram(self) -> WramPlan:
         ic, uc, qc = self.config.index, self.config.upanns, self.config.query
@@ -479,6 +550,14 @@ class UpANNSEngine:
             raise ConfigError("probes must supply one cluster list per query")
         assert self.trace is not None
         self.trace.record_batch(probes)
+        if uc.lut_admission_floor > 0.0 and self.lut_cache is not None:
+            # Cost-aware admission: refresh the per-cluster frequency
+            # view so below-floor (one-shot tail) clusters are computed
+            # but not retained.  Purely a retention policy — table
+            # values and modeled charges are untouched.
+            self.lut_cache.set_admission(
+                self.trace.frequencies(), uc.lut_admission_floor
+            )
 
         # Empty probed clusters contribute no candidates; drop the dead
         # (query, cluster) pairs before scheduling and LUT construction.
@@ -566,7 +645,11 @@ class UpANNSEngine:
             # come from the cross-batch LUT cache, then each DPU's whole
             # worklist executes in fused NumPy ops.  Charges are
             # replayed pair-by-pair, so the ledger matches the loop.
+            # The table build runs in the parent under every executor
+            # backend, so LUT-cache state (hits, misses, eviction order)
+            # is identical whether workers recompute tables or not.
             tables = self._build_tables(queries, probes_exec, centroids)
+            dpu_groups: list[tuple[int, list[tuple[int, list[ClusterPayload]]]]] = []
             for d, pairs in enumerate(assignment.per_dpu):
                 if not pairs:
                     continue
@@ -575,17 +658,56 @@ class UpANNSEngine:
                     if self._payloads[c].size == 0:
                         continue
                     by_query.setdefault(qi, []).append(self._payloads[c])
-                if not by_query:
-                    continue
-                groups = list(by_query.items())
-                outs = run_batch_on_dpu(
-                    self.pim.dpu(d),
-                    self.index.pq,
-                    groups,
-                    kernel_cfg,
-                    tables,
-                    charge_cache=self._pair_charges,
-                )
+                if by_query:
+                    dpu_groups.append((d, list(by_query.items())))
+            runtime = self._resolve_executor_runtime()
+            if runtime is not None and dpu_groups:
+                # Parallel functional execution: workers compute each
+                # DPU's distances + top-k from shared-memory index views
+                # and rebuilt tables; the parent replays every charge in
+                # ascending DPU order, exactly as the serial loop below.
+                try:
+                    functional = runtime.compute(
+                        dpu_groups,
+                        queries,
+                        probes_exec,
+                        k=kernel_cfg.k,
+                        n_tasklets=kernel_cfg.n_tasklets,
+                        prune=kernel_cfg.prune_topk,
+                        version=self._codebook_version,
+                        epoch=self._cache_epoch,
+                    )
+                # Cleanup-and-reraise, not failure handling: whatever
+                # escaped (ExecutorError, a worker-raised bug, a pickling
+                # error) the pool must be torn down before propagating so
+                # the next batch rebuilds it cleanly.
+                except Exception:  # simlint: ignore[FLT001]
+                    self._shutdown_executor()
+                    raise
+            else:
+                functional = None
+            for d, groups in dpu_groups:
+                if functional is not None:
+                    topk, group_sizes = functional[d]
+                    outs = replay_batch_charges(
+                        self.pim.dpu(d),
+                        self.index.pq,
+                        groups,
+                        topk,
+                        group_sizes,
+                        kernel_cfg,
+                        charge_cache=self._pair_charges,
+                    )
+                else:
+                    outs = run_batch_on_dpu(
+                        self.pim.dpu(d),
+                        self.index.pq,
+                        groups,
+                        kernel_cfg,
+                        tables,
+                        charge_cache=self._pair_charges,
+                        plan_cache=self._gather_plans,
+                    )
                 for (qi, payloads), out in zip(groups, outs):
                     partials[qi].append((out.ids, out.distances))
                     logs[d].stage += out.stage

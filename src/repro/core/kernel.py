@@ -490,8 +490,54 @@ def _gather_sum(table: np.ndarray, gidx: np.ndarray, base: np.ndarray) -> np.nda
     return dists
 
 
+class GatherPlanCache:
+    """Byte-bounded memo of worklist gather plans (functional-path only).
+
+    The fused ADC gathers of :func:`compute_pair_distances` concatenate
+    per-payload index arrays (gather offsets / safe addresses) and base
+    offsets whose values depend only on the *payloads* in worklist
+    order, never on the queries — so repeat traffic over a stable
+    placement rebuilds identical multi-hundred-MB index concatenations
+    every batch.  This cache keys them by (encoding kind, row width,
+    ordered cluster-id tuple) and replays them.
+
+    Insertion-only with a byte cap: worklists are stable across repeat
+    traffic, so eviction churn would only add nondeterministic memory
+    pressure — once full, new plans are simply not retained.  Cleared
+    alongside the LUT cache (placement/index changes invalidate the
+    payload arrays the plans index into).
+    """
+
+    def __init__(self, capacity_bytes: int = 1 << 30):
+        self.capacity_bytes = int(capacity_bytes)
+        self._plans: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}
+        self._bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    @property
+    def nbytes(self) -> int:
+        return self._bytes
+
+    def get(self, key: tuple) -> tuple[np.ndarray, np.ndarray] | None:
+        return self._plans.get(key)
+
+    def put(self, key: tuple, plan: tuple[np.ndarray, np.ndarray]) -> None:
+        size = sum(int(a.nbytes) for a in plan)
+        if self._bytes + size > self.capacity_bytes:
+            return
+        self._plans[key] = plan
+        self._bytes += size
+
+    def clear(self) -> None:
+        self._plans.clear()
+        self._bytes = 0
+
+
 def compute_pair_distances(
     pairs: list[tuple[ClusterPayload, np.ndarray]],
+    plan_cache: GatherPlanCache | None = None,
 ) -> list[np.ndarray]:
     """Fused ADC over many (payload, table) pairs.
 
@@ -501,6 +547,10 @@ def compute_pair_distances(
     reduction run over exactly the same element sequence as the
     per-pair :func:`adc_distances` / :func:`adc_distances_direct` call
     — the outputs are bit-identical.
+
+    ``plan_cache`` optionally memoizes the query-independent halves of
+    each fused gather (concatenated index arrays + base offsets) across
+    batches; the table values themselves are rebuilt every call.
     """
     out: list[np.ndarray] = [None] * len(pairs)  # type: ignore[list-item]
     groups: dict[tuple[str, int], list[int]] = {}
@@ -513,7 +563,7 @@ def compute_pair_distances(
             key = ("plain", payload.codes.shape[1])
         groups.setdefault(key, []).append(i)
 
-    for (kind, _width), idxs in groups.items():
+    for (kind, width), idxs in groups.items():
         if len(idxs) == 1:
             payload, table = pairs[idxs[0]]
             if kind == "plain":
@@ -527,35 +577,56 @@ def compute_pair_distances(
                 )
             continue
         sizes = [pairs[i][0].size for i in idxs]
+        plan_key: tuple | None = None
+        plan = None
+        if plan_cache is not None:
+            plan_key = (kind, width, tuple(pairs[i][0].cluster_id for i in idxs))
+            plan = plan_cache.get(plan_key)
         if kind == "plain":
             ksub = pairs[idxs[0]][1].shape[1]
             m = pairs[idxs[0]][0].codes.shape[1]
-            gidx = np.concatenate(
-                [pairs[i][0].adc_gather_indices(ksub) for i in idxs]
-            )
+            if plan is None:
+                gidx = np.concatenate(
+                    [pairs[i][0].adc_gather_indices(ksub) for i in idxs]
+                )
+                base = np.repeat(
+                    np.arange(len(idxs), dtype=np.int32) * np.int32(m * ksub),
+                    sizes,
+                )
+                if plan_cache is not None and plan_key is not None:
+                    plan_cache.put(plan_key, (gidx, base))
+            else:
+                gidx, base = plan
             flat = np.concatenate([pairs[i][1].reshape(-1) for i in idxs])
-            base = np.repeat(
-                np.arange(len(idxs), dtype=np.int32) * np.int32(m * ksub), sizes
-            )
             dists = _gather_sum(flat, gidx, base)
         else:
             # Each pair's flat table is followed by one 0.0 sentinel
             # slot its dead addresses point at, so a single gather+sum
             # reproduces the masked per-pair reduction exactly.
             parts: list[np.ndarray] = []
-            safes: list[np.ndarray] = []
-            table_lens = np.empty(len(idxs), dtype=np.int64)
-            for j, i in enumerate(idxs):
-                payload, table = pairs[i]
-                parts.append(table)
+            for i in idxs:
+                parts.append(pairs[i][1])
                 parts.append(_SENTINEL_ZERO)
-                table_lens[j] = table.shape[0]
-                safes.append(payload.adc_safe_addresses(table.shape[0]))
             tables = np.concatenate(parts)
-            starts = np.zeros(len(idxs), dtype=np.int64)
-            np.cumsum(table_lens[:-1] + 1, out=starts[1:])
-            base = np.repeat(starts.astype(np.int32), sizes)
-            dists = _gather_sum(tables, np.concatenate(safes), base)
+            if plan is None:
+                # Table lengths are payload-determined (m * ksub plus
+                # the cluster's slot count), so the base offsets are
+                # query-independent and cacheable with the addresses.
+                safes: list[np.ndarray] = []
+                table_lens = np.empty(len(idxs), dtype=np.int64)
+                for j, i in enumerate(idxs):
+                    payload, table = pairs[i]
+                    table_lens[j] = table.shape[0]
+                    safes.append(payload.adc_safe_addresses(table.shape[0]))
+                starts = np.zeros(len(idxs), dtype=np.int64)
+                np.cumsum(table_lens[:-1] + 1, out=starts[1:])
+                base = np.repeat(starts.astype(np.int32), sizes)
+                gidx = np.concatenate(safes)
+                if plan_cache is not None and plan_key is not None:
+                    plan_cache.put(plan_key, (gidx, base))
+            else:
+                gidx, base = plan
+            dists = _gather_sum(tables, gidx, base)
         start = 0
         for i, size in zip(idxs, sizes):
             out[i] = dists[start : start + size]
@@ -563,32 +634,23 @@ def compute_pair_distances(
     return out
 
 
-def run_batch_on_dpu(
-    dpu: DPU,
-    pq: ProductQuantizer,
+def compute_groups_functional(
     groups: list[tuple[int, list[ClusterPayload]]],
-    cfg: KernelConfig,
     tables: dict[int, dict[int, np.ndarray]],
-    charge_cache: dict[tuple[int, int], PairCharges] | None = None,
-) -> list[QueryKernelOutput]:
-    """Grouped entry point: all (query, cluster) pairs of one DPU at once.
+    k: int,
+    n_tasklets: int,
+    *,
+    prune: bool = True,
+    plan_cache: GatherPlanCache | None = None,
+) -> tuple[list[tuple[np.ndarray, np.ndarray, HeapStats]], np.ndarray]:
+    """Pure functional half of the grouped kernel: distances + top-k.
 
-    ``groups`` lists (query index, payloads) in the scheduling order;
-    ``tables[qi][cluster_id]`` supplies the precomputed functional table
-    for each pair (from the engine's cross-batch LUT cache).  Distances
-    are computed in fused gathers across the whole worklist and the
-    per-query top-k selections run as one batched call; charges are then
-    replayed per pair in the per-pair loop's exact order, so ledger and
-    stage cycles match :func:`run_query_on_dpu` bit-for-bit.
-
-    ``charge_cache`` optionally memoizes charge computations across
-    calls (and batches): :class:`PairCharges` keyed by (cluster id,
-    tasklet count), plus whole-group aggregates keyed by the group's
-    ordered cluster-id tuple so repeat traffic replays a query's charges
-    with one dict lookup.
+    Touches no ledger, no telemetry and no module state, so it is safe
+    to run in a forked worker process (the ``repro.parallel`` executor
+    ships exactly this computation out of process).  Returns the
+    per-group ``(values, ids, HeapStats)`` triples in ``groups`` order
+    plus the per-group candidate counts the charge replay needs.
     """
-    if not groups:
-        return []
     pair_list: list[tuple[ClusterPayload, np.ndarray]] = []
     all_payloads: list[ClusterPayload] = []
     for qi, payloads in groups:
@@ -597,7 +659,7 @@ def run_batch_on_dpu(
         for payload in payloads:
             pair_list.append((payload, tables[qi][payload.cluster_id]))
             all_payloads.append(payload)
-    dists = compute_pair_distances(pair_list)
+    dists = compute_pair_distances(pair_list, plan_cache=plan_cache)
 
     # Pairs are already laid out in group order, so the per-group
     # candidate slices are just contiguous runs of one flat array.
@@ -615,9 +677,71 @@ def run_batch_on_dpu(
     np.cumsum(counts[:-1], out=bounds[1:])
     group_sizes = np.add.reduceat(pair_sizes, bounds)
     topk = scan_topk_fast_batch_flat(
-        flat_v, flat_i, group_sizes, cfg.k, dpu.n_tasklets, prune=cfg.prune_topk
+        flat_v, flat_i, group_sizes, k, n_tasklets, prune=prune
+    )
+    return topk, group_sizes
+
+
+def run_batch_on_dpu(
+    dpu: DPU,
+    pq: ProductQuantizer,
+    groups: list[tuple[int, list[ClusterPayload]]],
+    cfg: KernelConfig,
+    tables: dict[int, dict[int, np.ndarray]],
+    charge_cache: dict[tuple[int, int], PairCharges] | None = None,
+    plan_cache: GatherPlanCache | None = None,
+) -> list[QueryKernelOutput]:
+    """Grouped entry point: all (query, cluster) pairs of one DPU at once.
+
+    ``groups`` lists (query index, payloads) in the scheduling order;
+    ``tables[qi][cluster_id]`` supplies the precomputed functional table
+    for each pair (from the engine's cross-batch LUT cache).  Distances
+    are computed in fused gathers across the whole worklist and the
+    per-query top-k selections run as one batched call
+    (:func:`compute_groups_functional`); charges are then replayed per
+    pair in the per-pair loop's exact order
+    (:func:`replay_batch_charges`), so ledger and stage cycles match
+    :func:`run_query_on_dpu` bit-for-bit.
+
+    ``charge_cache`` optionally memoizes charge computations across
+    calls (and batches): :class:`PairCharges` keyed by (cluster id,
+    tasklet count), plus whole-group aggregates keyed by the group's
+    ordered cluster-id tuple so repeat traffic replays a query's charges
+    with one dict lookup.  ``plan_cache`` memoizes the worklists' fused
+    gather plans the same way.
+    """
+    if not groups:
+        return []
+    topk, group_sizes = compute_groups_functional(
+        groups,
+        tables,
+        cfg.k,
+        dpu.n_tasklets,
+        prune=cfg.prune_topk,
+        plan_cache=plan_cache,
+    )
+    return replay_batch_charges(
+        dpu, pq, groups, topk, group_sizes, cfg, charge_cache=charge_cache
     )
 
+
+def replay_batch_charges(
+    dpu: DPU,
+    pq: ProductQuantizer,
+    groups: list[tuple[int, list[ClusterPayload]]],
+    topk: list[tuple[np.ndarray, np.ndarray, HeapStats]],
+    group_sizes: np.ndarray,
+    cfg: KernelConfig,
+    charge_cache: dict[tuple[int, int], PairCharges] | None = None,
+) -> list[QueryKernelOutput]:
+    """Ledger half of the grouped kernel: replay every visit's charges.
+
+    Consumes the functional results of :func:`compute_groups_functional`
+    (wherever they were computed — inline or in a worker process) and
+    charges the DPU ledger, stage cycles and DMA telemetry exactly as
+    the per-pair reference loop would.  Must run in the parent process:
+    this is the only half that mutates shared simulator state.
+    """
     # Charge replay, batched.  Integer ledger deltas and DMA telemetry
     # increments add associatively, so they are accumulated locally and
     # flushed once; the per-stage cycle floats are the only

@@ -56,6 +56,11 @@ class LutCache:
         self._registry = registry
         self._entries: OrderedDict[CacheKey, np.ndarray] = OrderedDict()
         self._bytes = 0
+        # Cost-aware admission (off by default): per-cluster access
+        # frequencies and the floor below which puts are skipped.
+        self._admission_freq: np.ndarray | None = None
+        self._admission_floor = 0.0
+        self._admission_skips = 0
 
     @property
     def enabled(self) -> bool:
@@ -118,15 +123,51 @@ class LutCache:
             misses.inc(len(out) - n_hits)
         return out
 
+    def set_admission(
+        self, frequencies: np.ndarray | None, floor: float = 0.0
+    ) -> None:
+        """Arm (or disarm) frequency-floor admission.
+
+        ``frequencies`` is the per-cluster access distribution (summing
+        to 1, e.g. :meth:`repro.workload.trace.AccessTrace.frequencies`);
+        a :meth:`put` for a cluster whose frequency is below ``floor``
+        is silently skipped, so one-shot tail clusters never evict the
+        warm working set.  ``None`` or a floor of 0 admits everything.
+        Functional no-op either way: admission only changes what is
+        *retained*, never any computed value.
+        """
+        if frequencies is None or floor <= 0.0:
+            self._admission_freq = None
+            self._admission_floor = 0.0
+            return
+        self._admission_freq = np.asarray(frequencies, dtype=np.float64)
+        self._admission_floor = float(floor)
+
+    def _admits(self, cluster: int) -> bool:
+        freq = self._admission_freq
+        if freq is None or not 0 <= cluster < freq.shape[0]:
+            return True
+        return bool(freq[cluster] >= self._admission_floor)
+
     def put(self, key: CacheKey, table: np.ndarray) -> None:
         """Insert (or refresh) one table, evicting LRU entries to fit.
 
         A table larger than the whole capacity is simply not retained —
-        the caller keeps its own reference for the current batch.
+        the caller keeps its own reference for the current batch.  With
+        admission armed, tables of below-floor clusters are skipped and
+        counted in ``repro_lut_cache_admission_skips_total``.
         """
         if not self.enabled:
             return
         if table.nbytes > self.capacity_bytes:
+            return
+        if not self._admits(key[1]):
+            self._admission_skips += 1
+            reg = self._registry if self._registry is not None else get_registry()
+            reg.counter(
+                "repro_lut_cache_admission_skips_total",
+                "LUT-cache puts skipped by the frequency-floor admission policy",
+            ).inc()
             return
         old = self._entries.pop(key, None)
         if old is not None:
@@ -148,6 +189,7 @@ class LutCache:
             "entries": len(self._entries),
             "bytes": self._bytes,
             "capacity_bytes": self.capacity_bytes,
+            "admission_skips": self._admission_skips,
         }
 
 

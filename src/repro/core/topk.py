@@ -325,6 +325,76 @@ def scan_topk_fast_batch(
     )
 
 
+#: Padding key for the bucketed group selection: strictly greater than
+#: any real packed (value, position) key — the position half of a real
+#: key is a within-group offset, far below 2**32 - 1, so even a NaN
+#: distance (value half 0xFFFFFFFF) packs strictly below this.
+_PAD_KEY = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def _select_group_topk_keys(
+    keys: np.ndarray,
+    starts: np.ndarray,
+    n_arr: np.ndarray,
+    k_eff: np.ndarray,
+    offs: np.ndarray,
+    out: np.ndarray,
+    k: int,
+) -> None:
+    """Per-group sorted k-smallest keys, written into ``out`` segments.
+
+    Equivalent to ``sorted(partition(keys[s:e], ke))[:ke]`` per group,
+    but batched: groups are bucketed by padded length class (next power
+    of two) so each class runs one 2-D ``np.partition`` + ``np.sort``
+    over a padded matrix instead of one small NumPy dispatch per group.
+    Padding slots hold :data:`_PAD_KEY`, which is strictly greater than
+    every real key, so they never enter a row's selected prefix; the
+    selected keys per group are therefore *identical* to the per-group
+    form (keys are unique (value, position) packs — the k smallest of a
+    multiset with unique members is a uniquely defined set).
+    """
+    n_groups = int(n_arr.shape[0])
+    live = n_arr > 0
+    if not live.any():
+        return
+    # Length class = smallest power of two >= n (exact integer search,
+    # no float log rounding).
+    pows = np.int64(1) << np.arange(40, dtype=np.int64)
+    cls = np.searchsorted(pows, n_arr, side="left")
+    cls[~live] = -1
+    for c in np.unique(cls[live]).tolist():
+        rows = np.flatnonzero(cls == c)
+        lens = n_arr[rows]
+        pad_len = int(pows[c])
+        n_rows = rows.shape[0]
+        total_in = int(lens.sum())
+        # Scatter each row's live keys into a PAD-filled (rows, pad_len)
+        # matrix: one vectorized pass over the class's elements.
+        row_of = np.repeat(np.arange(n_rows, dtype=np.int64), lens)
+        local_j = (
+            np.arange(total_in, dtype=np.int64)
+            - np.repeat(np.cumsum(lens) - lens, lens)
+        )
+        src = np.repeat(starts[rows], lens) + local_j
+        padded = np.full(n_rows * pad_len, _PAD_KEY, dtype=np.uint64)
+        padded[row_of * pad_len + local_j] = keys[src]
+        padded = padded.reshape(n_rows, pad_len)
+        width = min(k, pad_len)
+        if width < pad_len:
+            padded = np.partition(padded, width - 1, axis=1)[:, :width]
+        sel = np.sort(padded, axis=1)
+        # Extract each row's first k_eff entries into its out segment.
+        ke_rows = k_eff[rows]
+        total_out = int(ke_rows.sum())
+        loc_out = (
+            np.arange(total_out, dtype=np.int64)
+            - np.repeat(np.cumsum(ke_rows) - ke_rows, ke_rows)
+        )
+        dst = np.repeat(offs[rows], ke_rows) + loc_out
+        keep = np.arange(width, dtype=np.int64)[None, :] < ke_rows[:, None]
+        out[dst] = sel[keep]
+
+
 def scan_topk_fast_batch_flat(
     flat_v: np.ndarray,
     flat_i: np.ndarray,
@@ -374,20 +444,8 @@ def scan_topk_fast_batch_flat(
     offs = np.zeros(n_groups + 1, dtype=np.int64)
     np.cumsum(k_eff_arr, out=offs[1:])
     all_sel = np.empty(int(offs[-1]), dtype=np.uint64)
-    starts_l = starts.tolist()
     offs_l = offs.tolist()
-    for g in range(n_groups):
-        o0, o1 = offs_l[g], offs_l[g + 1]
-        if o1 == o0:
-            continue
-        s, e = starts_l[g], starts_l[g + 1]
-        ke = o1 - o0
-        if ke < e - s:
-            sel = np.partition(keys[s:e], ke - 1)[:ke]
-            sel.sort()
-        else:
-            sel = np.sort(keys[s:e])
-        all_sel[o0:o1] = sel
+    _select_group_topk_keys(keys, starts, n_arr, k_eff_arr, offs, all_sel, k)
     pos = (all_sel & mask32).astype(np.int64) + np.repeat(starts[:-1], k_eff_arr)
     # Per-group selection threshold = last (largest) selected value;
     # empty groups keep +inf (they contribute no candidates anyway).

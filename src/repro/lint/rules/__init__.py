@@ -10,6 +10,7 @@ from repro.lint.rules import (
     flt001,
     hw001,
     obs001,
+    par001,
     sched001,
     time001,
     unit001,
@@ -24,6 +25,7 @@ __all__ = [
     "flt001",
     "hw001",
     "obs001",
+    "par001",
     "sched001",
     "time001",
     "unit001",

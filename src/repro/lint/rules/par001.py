@@ -1,0 +1,154 @@
+"""PAR001 — no module-level mutable state in worker-reachable modules.
+
+The process-pool executor (:mod:`repro.parallel`) imports the kernel and
+LUT-cache modules inside worker processes.  Module-level mutable
+containers in those modules are silent fork-state: a fork-started worker
+inherits whatever the parent accumulated before the pool spun up, a
+spawn-started worker gets a fresh copy — and either way writes from the
+parent after the fork never reach the workers, so results quietly depend
+on *when* the pool was created.  The convention is that worker-reachable
+modules keep all mutable state behind an explicit init hook (the
+worker's ``_STATE`` slot, initialized by ``init_worker``) or inside
+objects shipped per task.
+
+This rule flags, in the parallel scope (``par-scoped-paths``),
+module-level bindings of obviously mutable containers:
+
+* list / dict / set displays and comprehensions,
+* calls to ``list`` / ``dict`` / ``set`` / ``bytearray`` / ``deque`` /
+  ``defaultdict`` / ``OrderedDict`` / ``Counter``,
+* any module-level augmented assignment (mutating module state at
+  import time).
+
+``__all__`` is exempt (an import-protocol constant that is never
+mutated after import).  Immutable bindings — numbers, strings, tuples,
+``None`` sentinels, type aliases — are fine, as are class and function
+bodies: only the module's own top-level namespace is checked.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+#: Constructor names whose call result is a mutable container.
+_MUTABLE_CALLS = frozenset(
+    {
+        "list",
+        "dict",
+        "set",
+        "bytearray",
+        "deque",
+        "defaultdict",
+        "OrderedDict",
+        "Counter",
+    }
+)
+
+#: Names exempt from the rule (import-protocol constants).
+_EXEMPT_NAMES = frozenset({"__all__"})
+
+
+def _mutable_rhs(node: ast.expr) -> str | None:
+    """Describe why ``node`` builds a mutable container, or None."""
+    if isinstance(node, ast.List):
+        return "a list display"
+    if isinstance(node, ast.Dict):
+        return "a dict display"
+    if isinstance(node, ast.Set):
+        return "a set display"
+    if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp)):
+        return "a comprehension"
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name in _MUTABLE_CALLS:
+            return f"a {name}(...) call"
+    return None
+
+
+def _target_names(node: ast.stmt) -> list[str]:
+    targets: list[ast.expr] = []
+    if isinstance(node, ast.Assign):
+        targets = node.targets
+    elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+        targets = [node.target]
+    names = []
+    for target in targets:
+        if isinstance(target, ast.Name):
+            names.append(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            names.extend(
+                e.id for e in target.elts if isinstance(e, ast.Name)
+            )
+    return names
+
+
+def _module_level_statements(tree: ast.Module) -> Iterator[ast.stmt]:
+    """Top-level statements, descending through module-level if/try
+    blocks (``TYPE_CHECKING`` guards and import fallbacks) but never
+    into function or class bodies."""
+    stack: list[ast.stmt] = list(tree.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, ast.If):
+            stack.extend(node.body)
+            stack.extend(node.orelse)
+        elif isinstance(node, ast.Try):
+            stack.extend(node.body)
+            stack.extend(node.orelse)
+            stack.extend(node.finalbody)
+            for handler in node.handlers:
+                stack.extend(handler.body)
+
+
+@register
+class WorkerModuleStateRule(Rule):
+    rule_id = "PAR001"
+    summary = (
+        "worker-reachable modules must not bind module-level mutable "
+        "containers"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.config.in_par_scope(ctx.path):
+            return
+        for node in _module_level_statements(ctx.tree):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                continue
+            names = _target_names(node)
+            if names and all(n in _EXEMPT_NAMES for n in names):
+                continue
+            if isinstance(node, ast.AugAssign):
+                yield ctx.finding(
+                    self.rule_id,
+                    node,
+                    "module-level augmented assignment mutates import-time "
+                    "state — pool workers inherit a stale copy (fork) or "
+                    "none at all (spawn); move it behind the worker init "
+                    "hook",
+                )
+                continue
+            value = node.value
+            if value is None:  # bare annotation: `x: list` declares nothing
+                continue
+            why = _mutable_rhs(value)
+            if why is not None:
+                label = ", ".join(names) if names else "<target>"
+                yield ctx.finding(
+                    self.rule_id,
+                    node,
+                    f"module-level binding of {why} ({label}) is silent "
+                    "fork-state: parent writes after the pool starts never "
+                    "reach workers — keep mutable state in the worker's "
+                    "init-hook state object or ship it per task",
+                )

@@ -1,0 +1,15 @@
+"""Pluggable host-side executors for the grouped batch kernel.
+
+``serial`` runs DPU worklists inline (the reference path); ``process`` /
+``process:N`` fan them out over worker processes attached to read-only
+shared-memory views of the index.  Results are bit-identical across
+backends — only host wall-clock changes.  See docs/SIMULATOR.md §16.
+"""
+
+from repro.parallel.executor import (
+    ExecutorSpec,
+    ProcessExecutor,
+    parse_executor_spec,
+)
+
+__all__ = ["ExecutorSpec", "ProcessExecutor", "parse_executor_spec"]

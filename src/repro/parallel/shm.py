@@ -1,0 +1,99 @@
+"""Shared-memory array packing for the process-pool executor.
+
+The parallel backend's contract is that *index data never crosses the
+pipe per batch*: codebooks, coarse centroids and every cluster payload
+array are packed once into a single ``multiprocessing.shared_memory``
+block when the pool starts, and workers attach read-only NumPy views.
+Per-batch traffic is then only query slices out and top-k candidates
+back.
+
+Layout: one segment, arrays placed back-to-back at 64-byte-aligned
+offsets, described by a picklable manifest ``{name: (dtype str, shape,
+offset)}`` shipped to workers through the pool initializer.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+
+#: Alignment for each array's offset inside the segment — cache-line
+#: sized so vectorized loads in workers never straddle a boundary.
+_ALIGN = 64
+
+#: Manifest entry: (dtype string, shape tuple, byte offset).
+Manifest = dict[str, tuple[str, tuple[int, ...], int]]
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+class SharedArrayStore:
+    """Owner-side handle of one packed shared-memory segment.
+
+    Created by the executor in the parent process; ``close()`` +
+    ``unlink()`` on shutdown.  Workers never hold one of these — they
+    use :func:`attach_arrays` with the (name, manifest) pair instead.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, manifest: Manifest):
+        self._shm = shm
+        self.manifest = manifest
+
+    @classmethod
+    def create(cls, arrays: dict[str, np.ndarray]) -> "SharedArrayStore":
+        """Pack ``arrays`` into a fresh segment, copying each once."""
+        manifest: Manifest = {}
+        offset = 0
+        for name, arr in arrays.items():
+            offset = _aligned(offset)
+            manifest[name] = (arr.dtype.str, tuple(arr.shape), offset)
+            offset += arr.nbytes
+        shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        for name, arr in arrays.items():
+            dtype, shape, off = manifest[name]
+            view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf, offset=off)
+            view[...] = arr
+        return cls(shm, manifest)
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def nbytes(self) -> int:
+        return self._shm.size
+
+    def close(self) -> None:
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - interpreter-dependent
+            pass
+
+    def unlink(self) -> None:
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+
+def attach_arrays(
+    name: str, manifest: Manifest
+) -> tuple[shared_memory.SharedMemory, dict[str, np.ndarray]]:
+    """Worker-side attach: read-only views over the owner's segment.
+
+    The returned segment handle must stay referenced for the views'
+    lifetime.  The parent owns the segment's resource-tracker
+    registration (CPython 3.11 registers on create only), so attaching
+    here neither registers nor unlinks anything — a worker exiting
+    leaves the segment intact for its siblings.
+    """
+    shm = shared_memory.SharedMemory(name=name)
+    views: dict[str, np.ndarray] = {}
+    for key, (dtype, shape, offset) in manifest.items():
+        view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf, offset=offset)
+        view.flags.writeable = False
+        views[key] = view
+    return shm, views

@@ -33,6 +33,8 @@ Run via the CLI::
 from __future__ import annotations
 
 import gc
+import os
+import statistics
 import time
 from dataclasses import dataclass, replace
 from typing import Any, Callable
@@ -144,7 +146,13 @@ class _Setup:
     grouped: UpANNSEngine
 
 
-def _build_setup(case: PerfCase, seed: int, lut_cache_bytes: int) -> _Setup:
+def _build_setup(
+    case: PerfCase,
+    seed: int,
+    lut_cache_bytes: int,
+    *,
+    executor: str | None = None,
+) -> _Setup:
     rng = np.random.default_rng(seed)
     spec = replace(SIFT1B, dim=case.dim, pq_m=case.m)
     dataset = make_dataset(
@@ -189,10 +197,15 @@ def _build_setup(case: PerfCase, seed: int, lut_cache_bytes: int) -> _Setup:
         )
         return engine
 
+    grouped = build_engine("grouped")
+    # Only the grouped (serving) engine gets the backend override; the
+    # looped engine stays the inline reference every result is checked
+    # against.
+    grouped.executor = executor
     return _Setup(
         queries_for=queries_for,
         looped=build_engine("looped"),
-        grouped=build_engine("grouped"),
+        grouped=grouped,
     )
 
 
@@ -215,12 +228,42 @@ def _timed(engine: UpANNSEngine, queries: np.ndarray) -> tuple[float, BatchResul
 
 def _best_of(
     engine: UpANNSEngine, queries: np.ndarray, repeats: int
-) -> tuple[float, BatchResult]:
-    best, result = _timed(engine, queries)
+) -> tuple[dict[str, float], BatchResult]:
+    """Repeat-timing with variance: {min, median, stdev} + last result.
+
+    CI gates on the median (robust to one noisy repeat on a shared
+    runner); ``min`` remains the headline single-batch number.
+    """
+    samples = []
+    elapsed, result = _timed(engine, queries)
+    samples.append(elapsed)
     for _ in range(repeats - 1):
         elapsed, result = _timed(engine, queries)
-        best = min(best, elapsed)
-    return best, result
+        samples.append(elapsed)
+    return {
+        "min": min(samples),
+        "median": statistics.median(samples),
+        "stdev": statistics.stdev(samples) if len(samples) >= 2 else 0.0,
+    }, result
+
+
+def _sustained_qps(
+    engine: UpANNSEngine, queries: np.ndarray, rounds: int, *, cold: bool = False
+) -> float:
+    """Open-loop sustained throughput: ``rounds`` back-to-back batches.
+
+    Each batch is issued the instant the previous one returns; ``cold``
+    clears the cross-batch caches before every batch (the epoch bump
+    propagates to pool workers), so cold QPS prices the full LUT-build
+    path under every executor backend.
+    """
+    total = 0.0
+    for _ in range(rounds):
+        if cold:
+            engine.clear_runtime_caches()
+        elapsed, _result = _timed(engine, queries)
+        total += elapsed
+    return rounds * queries.shape[0] / total if total > 0 else 0.0
 
 
 def _check_equivalent(case: PerfCase, looped: BatchResult, grouped: BatchResult) -> None:
@@ -234,19 +277,67 @@ def _check_equivalent(case: PerfCase, looped: BatchResult, grouped: BatchResult)
         )
 
 
-def run_case(case: PerfCase, setup: _Setup, *, repeats: int, seed: int) -> dict[str, Any]:
-    """Time one batch shape; returns a perf-record case dict."""
+def run_case(
+    case: PerfCase,
+    setup: _Setup,
+    *,
+    repeats: int,
+    seed: int,
+    sweep_workers: tuple[int, ...] = (),
+) -> dict[str, Any]:
+    """Time one batch shape; returns a perf-record case dict.
+
+    Beyond the classic best-of latency triple, each case now carries
+    per-repeat variance (``*_stats`` with min/median/stdev — CI gates on
+    ``speedup_warm_median``), open-loop sustained throughput
+    (``qps_warm`` / ``qps_cold``) and, when ``sweep_workers`` is
+    non-empty, a worker-scaling table measured under the
+    ``process:N`` executor backend with results asserted bit-identical
+    to the looped reference at every point.
+    """
     queries = setup.queries_for(case.batch_size, seed + case.batch_size)
-    looped_s, r_looped = _best_of(setup.looped, queries, repeats)
+    looped_stats, r_looped = _best_of(setup.looped, queries, repeats)
+    looped_s = looped_stats["min"]
 
     # Cold = first grouped run with every cross-batch cache empty.
     grouped = setup.grouped
     grouped.clear_runtime_caches()
     cold_s, r_cold = _timed(grouped, queries)
-    warm_s, r_warm = _best_of(grouped, queries, repeats)
+    warm_stats, r_warm = _best_of(grouped, queries, repeats)
+    warm_s = warm_stats["min"]
 
     _check_equivalent(case, r_looped, r_cold)
     _check_equivalent(case, r_looped, r_warm)
+
+    # Open-loop sustained throughput on the serving (grouped) path.
+    qps_warm = _sustained_qps(grouped, queries, repeats)
+    qps_cold = _sustained_qps(grouped, queries, repeats, cold=True)
+
+    workers: dict[str, dict[str, float]] = {}
+    if sweep_workers:
+        prev_executor = grouped.executor
+        try:
+            for n_workers in sweep_workers:
+                grouped.executor = f"process:{n_workers}"
+                grouped.clear_runtime_caches()
+                _elapsed, r_pool = _timed(grouped, queries)  # cold + spin-up
+                _check_equivalent(case, r_looped, r_pool)
+                pool_stats, r_pool = _best_of(grouped, queries, repeats)
+                _check_equivalent(case, r_looped, r_pool)
+                pool_qps = _sustained_qps(grouped, queries, repeats)
+                workers[str(n_workers)] = {
+                    "warm_s": pool_stats["median"],
+                    "qps_warm": pool_qps,
+                    "speedup_warm": (
+                        looped_stats["median"] / pool_stats["median"]
+                        if pool_stats["median"] > 0
+                        else 0.0
+                    ),
+                }
+        finally:
+            grouped.executor = prev_executor
+            grouped.close()
+
     case_record = {
         "name": case.name,
         "shape": case.shape(),
@@ -254,9 +345,20 @@ def run_case(case: PerfCase, setup: _Setup, *, repeats: int, seed: int) -> dict[
         "looped_s": looped_s,
         "grouped_cold_s": cold_s,
         "grouped_warm_s": warm_s,
+        "looped_stats": looped_stats,
+        "grouped_warm_stats": warm_stats,
         "speedup_cold": looped_s / cold_s if cold_s > 0 else 0.0,
         "speedup_warm": looped_s / warm_s if warm_s > 0 else 0.0,
+        "speedup_warm_median": (
+            looped_stats["median"] / warm_stats["median"]
+            if warm_stats["median"] > 0
+            else 0.0
+        ),
+        "qps_warm": qps_warm,
+        "qps_cold": qps_cold,
     }
+    if workers:
+        case_record["workers"] = workers
     log.info(
         "perf.case",
         name=case.name,
@@ -264,8 +366,24 @@ def run_case(case: PerfCase, setup: _Setup, *, repeats: int, seed: int) -> dict[
         cold_s=round(cold_s, 4),
         warm_s=round(warm_s, 4),
         speedup_warm=round(case_record["speedup_warm"], 2),
+        qps_warm=round(qps_warm, 1),
     )
     return case_record
+
+
+def _mode_for(cases: tuple[PerfCase, ...]) -> str:
+    """The mode actually run, derived from the case tuple itself.
+
+    The config block used to hard-code ``"full"`` whenever explicit
+    cases were passed (and the CLI's record always said full even under
+    ``--quick``); deriving it from the cases makes the record honest for
+    every entry point.
+    """
+    if cases == QUICK_CASES:
+        return "quick"
+    if cases == FULL_CASES:
+        return "full"
+    return "custom"
 
 
 def run_perf(
@@ -275,28 +393,60 @@ def run_perf(
     repeats: int = 3,
     seed: int = 0,
     lut_cache_bytes: int = LUT_CACHE_BYTES,
+    executor: str | None = None,
+    sweep_workers: tuple[int, ...] | None = None,
 ) -> dict[str, Any]:
-    """Run a case suite and assemble one ``repro.perf/v1`` record."""
+    """Run a case suite and assemble one ``repro.perf/v1`` record.
+
+    ``executor`` selects the grouped engine's backend for the main
+    timings (``serial``, ``process``, ``process:N``) — results are
+    asserted bit-identical to the looped reference either way.
+    ``sweep_workers`` additionally measures each case under
+    ``process:N`` for every N listed (default: ``(1, 2, 4, 8)`` for the
+    full suite, no sweep for quick/custom runs — pass an explicit tuple
+    to override, ``()`` to disable).
+    """
     if repeats < 1:
         raise ConfigError("repeats must be >= 1")
     if cases is None:
         cases = QUICK_CASES if quick else FULL_CASES
+    mode = _mode_for(cases)
+    if sweep_workers is None:
+        sweep_workers = (1, 2, 4, 8) if mode == "full" else ()
     setups: dict[tuple, _Setup] = {}
     case_records = []
-    for case in cases:
-        if case.setup_key not in setups:
-            log.info("perf.setup", case=case.name, n_vectors=case.n_vectors)
-            setups[case.setup_key] = _build_setup(case, seed, lut_cache_bytes)
-        case_records.append(
-            run_case(case, setups[case.setup_key], repeats=repeats, seed=seed)
-        )
+    try:
+        for case in cases:
+            if case.setup_key not in setups:
+                log.info("perf.setup", case=case.name, n_vectors=case.n_vectors)
+                setups[case.setup_key] = _build_setup(
+                    case, seed, lut_cache_bytes, executor=executor
+                )
+            case_records.append(
+                run_case(
+                    case,
+                    setups[case.setup_key],
+                    repeats=repeats,
+                    seed=seed,
+                    sweep_workers=sweep_workers,
+                )
+            )
+    finally:
+        for setup in setups.values():
+            setup.looped.close()
+            setup.grouped.close()
     return make_perf_record(
-        name="perf_quick" if quick else "perf",
+        name="perf_quick" if mode == "quick" else "perf",
         config={
-            "mode": "quick" if quick else "full",
+            "mode": mode,
             "repeats": repeats,
             "seed": seed,
             "lut_cache_bytes": lut_cache_bytes,
+            "executor": executor if executor is not None else "serial",
+            "sweep_workers": list(sweep_workers),
+            # Worker scaling is bounded by the measuring host; recorded
+            # so a committed baseline's sweep is interpretable.
+            "host_cpus": os.cpu_count() or 1,
         },
         cases=case_records,
     )
@@ -312,9 +462,14 @@ def compare_to_baseline(
 
     Cases match by name, so a ``--quick`` run gates against the quick
     cases embedded in the committed full record.  The gated quantity is
-    ``speedup_warm`` — a wall-clock *ratio* measured on one machine, so
-    the check is insensitive to how fast the CI runner is.  A case fails
-    when its speedup falls below ``baseline / max_regression``.
+    ``speedup_warm_median`` when both records carry it (robust to one
+    noisy repeat on a shared runner), falling back to the min-based
+    ``speedup_warm`` for pre-variance baselines — either way a
+    wall-clock *ratio* measured on one machine, so the check is
+    insensitive to how fast the CI runner is.  A case fails when its
+    speedup falls below ``baseline / max_regression``, or when the
+    baseline records sustained throughput (``qps_warm``/``qps_cold``)
+    and the fresh record dropped those fields.
     """
     if max_regression <= 1.0:
         raise ConfigError("max_regression must be > 1.0")
@@ -330,13 +485,23 @@ def compare_to_baseline(
         if base is None:
             continue
         matched += 1
-        floor = float(base["speedup_warm"]) / max_regression
-        if float(case["speedup_warm"]) < floor:
+        gate = "speedup_warm"
+        if "speedup_warm_median" in base and "speedup_warm_median" in case:
+            gate = "speedup_warm_median"
+        floor = float(base[gate]) / max_regression
+        if float(case[gate]) < floor:
             failures.append(
-                f"case {case['name']!r}: speedup_warm "
-                f"{case['speedup_warm']:.2f}x fell below {floor:.2f}x "
-                f"(baseline {base['speedup_warm']:.2f}x / {max_regression:g})"
+                f"case {case['name']!r}: {gate} "
+                f"{case[gate]:.2f}x fell below {floor:.2f}x "
+                f"(baseline {base[gate]:.2f}x / {max_regression:g})"
             )
+        for qps_field in ("qps_warm", "qps_cold"):
+            if qps_field in base and qps_field not in case:
+                failures.append(
+                    f"case {case['name']!r}: baseline records {qps_field} "
+                    "but the fresh record does not — sustained-throughput "
+                    "coverage regressed"
+                )
     if not matched:
         failures.append("no case names in common with the baseline record")
     return failures

@@ -119,6 +119,115 @@ class TestCounters:
         assert cache.get(key(1)) is not None
 
 
+class TestAdmissionFloor:
+    """Frequency-floor admission: retention-only, never values."""
+
+    def freqs(self):
+        # Cluster 0 is hot (0.9), cluster 1 is cold tail (0.01).
+        return np.array([0.9, 0.01, 0.0])
+
+    def test_below_floor_puts_skipped_and_counted(self, registry):
+        cache = LutCache(1024)
+        cache.set_admission(self.freqs(), floor=0.05)
+        cache.put(key(0), table(1.0))
+        cache.put(key(1), table(2.0))
+        assert cache.get(key(0)) is not None  # hot cluster retained
+        assert cache.get(key(1)) is None  # tail cluster not retained
+        assert cache.stats()["admission_skips"] == 1
+        families = {
+            m["name"]: m for m in registry.snapshot()["metrics"]
+        }
+        fam = families["repro_lut_cache_admission_skips_total"]
+        assert fam["samples"][0]["value"] == 1
+
+    def test_zero_floor_admits_everything(self, registry):
+        cache = LutCache(1024)
+        cache.set_admission(self.freqs(), floor=0.0)
+        cache.put(key(1), table(2.0))
+        assert cache.get(key(1)) is not None
+        assert cache.stats()["admission_skips"] == 0
+
+    def test_disarm_restores_full_admission(self, registry):
+        cache = LutCache(1024)
+        cache.set_admission(self.freqs(), floor=0.05)
+        cache.set_admission(None)
+        cache.put(key(1), table(2.0))
+        assert cache.get(key(1)) is not None
+
+    def test_out_of_range_cluster_admitted(self, registry):
+        cache = LutCache(1024)
+        cache.set_admission(self.freqs(), floor=0.05)
+        cache.put(key(7), table(3.0))  # no frequency row for cluster 7
+        assert cache.get(key(7)) is not None
+
+    def test_admission_never_changes_returned_values(self, registry):
+        """A skipped put only affects retention: the caller's table is
+        untouched and a later get is an honest miss, not a wrong hit."""
+        cache = LutCache(1024)
+        cache.set_admission(self.freqs(), floor=0.05)
+        t = table(4.0)
+        before = t.copy()
+        cache.put(key(1), t)
+        np.testing.assert_array_equal(t, before)
+        assert cache.get(key(1)) is None
+
+
+class TestAdmissionFloorEngine:
+    """lut_admission_floor wiring: config validation + engine no-op."""
+
+    def test_config_rejects_out_of_range_floor(self):
+        from repro.config import UpANNSConfig
+
+        with pytest.raises(ConfigError):
+            UpANNSConfig(lut_admission_floor=-0.1)
+        with pytest.raises(ConfigError):
+            UpANNSConfig(lut_admission_floor=1.5)
+        assert UpANNSConfig(lut_admission_floor=0.2).lut_admission_floor == 0.2
+
+    def test_floor_is_functional_noop_on_engine(
+        self, registry, small_dataset, trained_index, history_queries,
+        small_queries,
+    ):
+        from repro.config import (
+            IndexConfig,
+            QueryConfig,
+            SystemConfig,
+            UpANNSConfig,
+        )
+        from repro.core.engine import UpANNSEngine
+        from repro.hardware.specs import PimSystemSpec
+
+        def build(floor):
+            cfg = SystemConfig(
+                index=IndexConfig(dim=32, n_clusters=32, m=8, train_iters=6),
+                query=QueryConfig(nprobe=8, k=5, batch_size=40),
+                upanns=UpANNSConfig(lut_admission_floor=floor),
+                pim=PimSystemSpec(
+                    n_dimms=1, chips_per_dimm=2, dpus_per_chip=8
+                ),
+            )
+            eng = UpANNSEngine(cfg)
+            eng.build(
+                small_dataset.vectors,
+                history_queries=history_queries,
+                prebuilt_index=trained_index,
+            )
+            return eng
+
+        golden = build(0.0)
+        floored = build(0.5)  # aggressive floor: most clusters skipped
+        ref = golden.search_batch(small_queries)
+        ref2 = golden.search_batch(small_queries)
+        got = floored.search_batch(small_queries)
+        got2 = floored.search_batch(small_queries)
+        np.testing.assert_array_equal(ref.ids, got.ids)
+        np.testing.assert_array_equal(ref.distances, got.distances)
+        np.testing.assert_array_equal(ref2.ids, got2.ids)
+        np.testing.assert_array_equal(ref2.distances, got2.distances)
+        assert floored.lut_cache.stats()["admission_skips"] > 0
+        assert golden.lut_cache.stats()["admission_skips"] == 0
+
+
 class TestDigestAndCapacity:
     def test_digest_stable_and_content_sensitive(self):
         q = np.arange(8, dtype=np.float32)

@@ -1,0 +1,67 @@
+"""Shared-memory store tests: roundtrip fidelity and view hygiene."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.shm import SharedArrayStore, attach_arrays
+
+
+@pytest.fixture
+def arrays():
+    rng = np.random.default_rng(5)
+    return {
+        "codebooks": rng.standard_normal((8, 256, 4)).astype(np.float32),
+        "ids": np.arange(1000, dtype=np.int64),
+        "codes": rng.integers(0, 256, size=(1000, 8)).astype(np.uint8),
+        "lengths": rng.integers(0, 100, size=64).astype(np.int16),
+        "empty": np.zeros((0, 3), dtype=np.float32),
+    }
+
+
+class TestSharedArrayStore:
+    def test_roundtrip_is_bitwise(self, arrays):
+        store = SharedArrayStore.create(arrays)
+        try:
+            shm, views = attach_arrays(store.name, store.manifest)
+            try:
+                assert set(views) == set(arrays)
+                for name, original in arrays.items():
+                    view = views[name]
+                    assert view.dtype == original.dtype
+                    assert view.shape == original.shape
+                    np.testing.assert_array_equal(view, original)
+            finally:
+                del views
+                shm.close()
+        finally:
+            store.close()
+            store.unlink()
+
+    def test_views_are_read_only(self, arrays):
+        store = SharedArrayStore.create(arrays)
+        try:
+            shm, views = attach_arrays(store.name, store.manifest)
+            try:
+                with pytest.raises(ValueError):
+                    views["ids"][0] = 99
+            finally:
+                del views
+                shm.close()
+        finally:
+            store.close()
+            store.unlink()
+
+    def test_offsets_are_aligned(self, arrays):
+        store = SharedArrayStore.create(arrays)
+        try:
+            for _dtype, _shape, offset in store.manifest.values():
+                assert offset % 64 == 0
+        finally:
+            store.close()
+            store.unlink()
+
+    def test_unlink_is_idempotent(self, arrays):
+        store = SharedArrayStore.create(arrays)
+        store.close()
+        store.unlink()
+        store.unlink()  # second unlink of a gone segment must not raise

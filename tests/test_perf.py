@@ -55,6 +55,48 @@ class TestRunPerf:
         with pytest.raises(ConfigError):
             run_perf(cases=(TINY,), repeats=0)
 
+    def test_variance_stats_and_qps_fields(self, tiny_record):
+        (case,) = tiny_record["cases"]
+        for block in ("looped_stats", "grouped_warm_stats"):
+            stats = case[block]
+            assert stats["min"] > 0.0
+            assert stats["median"] >= stats["min"]
+            assert stats["stdev"] >= 0.0  # 0.0 at repeats=1
+        assert case["qps_warm"] > 0.0
+        assert case["qps_cold"] > 0.0
+        assert case["speedup_warm_median"] > 0.0
+
+    def test_mode_reflects_actual_cases(self, tiny_record):
+        """Regression: the record used to claim mode "full" for every
+        run, --quick included."""
+        from repro.perf import FULL_CASES, QUICK_CASES, _mode_for
+
+        assert tiny_record["config"]["mode"] == "custom"
+        assert _mode_for(QUICK_CASES) == "quick"
+        assert _mode_for(FULL_CASES) == "full"
+        assert _mode_for((TINY,)) == "custom"
+        assert tiny_record["config"]["host_cpus"] >= 1
+        assert tiny_record["config"]["executor"] == "serial"
+
+    def test_worker_sweep_records_scaling_table(self):
+        record = run_perf(
+            cases=(TINY,), repeats=1, seed=0, sweep_workers=(1,)
+        )
+        assert validate_perf_record(record) == []
+        (case,) = record["cases"]
+        point = case["workers"]["1"]
+        assert point["warm_s"] > 0.0
+        assert point["qps_warm"] > 0.0
+        assert point["speedup_warm"] > 0.0
+
+    def test_process_executor_record_matches_serial(self, tiny_record):
+        """The main timings under process:1 must carry the same
+        functional record shape — equivalence to the looped reference is
+        asserted inside run_case at every timed point."""
+        record = run_perf(cases=(TINY,), repeats=1, seed=0, executor="process:1")
+        assert validate_perf_record(record) == []
+        assert record["config"]["executor"] == "process:1"
+
 
 def record_with(name, speedup_warm):
     return {
@@ -92,3 +134,29 @@ class TestCompareToBaseline:
     def test_rejects_max_regression_at_or_below_one(self):
         with pytest.raises(ConfigError):
             compare_to_baseline(record_with("a", 2.0), record_with("a", 2.0), max_regression=1.0)
+
+    def test_gates_on_median_when_both_records_have_it(self):
+        current = record_with("a", 9.0)  # min-based ratio looks fine
+        baseline = record_with("a", 9.0)
+        current["cases"][0]["speedup_warm_median"] = 2.0  # median regressed
+        baseline["cases"][0]["speedup_warm_median"] = 9.0
+        failures = compare_to_baseline(current, baseline, max_regression=2.0)
+        assert len(failures) == 1
+        assert "speedup_warm_median" in failures[0]
+
+    def test_min_fallback_for_pre_variance_baselines(self):
+        current = record_with("a", 2.0)
+        current["cases"][0]["speedup_warm_median"] = 2.0
+        baseline = record_with("a", 5.0)  # old record: no median field
+        failures = compare_to_baseline(current, baseline, max_regression=2.0)
+        assert len(failures) == 1
+        assert "speedup_warm " in failures[0]
+
+    def test_dropped_qps_fields_fail_the_gate(self):
+        baseline = record_with("a", 2.0)
+        baseline["cases"][0]["qps_warm"] = 100.0
+        baseline["cases"][0]["qps_cold"] = 50.0
+        current = record_with("a", 2.0)
+        failures = compare_to_baseline(current, baseline)
+        assert len(failures) == 2
+        assert all("coverage regressed" in f for f in failures)
