@@ -668,6 +668,211 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_deployment(args: argparse.Namespace):
+    """A fresh tiny deployment for one serving run; (service, dataset)."""
+    from dataclasses import replace
+
+    from repro.core.service import OnlineService
+    from repro.data.synthetic import SIFT1B
+    from repro.hardware.specs import PimSystemSpec
+
+    rng = np.random.default_rng(args.seed)
+    spec = replace(SIFT1B, dim=32, pq_m=8)
+    dataset = make_dataset(
+        spec, 4000, n_components=16, correlated_subspaces=2, rng=rng
+    )
+    history = make_queries(
+        dataset, 300, popularity=zipf_weights(16, 0.6), rng=rng
+    )
+    cfg = SystemConfig(
+        index=IndexConfig(dim=32, n_clusters=32, m=8, train_iters=4),
+        query=QueryConfig(nprobe=8, k=5, batch_size=args.batch_size),
+        upanns=UpANNSConfig(),
+        pim=PimSystemSpec(n_dimms=1, chips_per_dimm=2, dpus_per_chip=8),
+        timing_scale=args.timing_scale,
+    )
+    engine = UpANNSEngine(cfg)
+    # The serving frontend's stream always re-executes through the
+    # event core (arrival-time release needs it); keep the per-batch
+    # core aligned so there is a single timing story per run.
+    engine.sim_engine = "event"
+    engine.build(dataset.vectors, history_queries=history, rng=rng)
+    service = OnlineService(engine, overlap="sequential", sim_engine="event")
+    return service, dataset
+
+
+def _serve_tenants(args: argparse.Namespace, capacity_qps: float):
+    """The two-tenant mix every serve run uses, at base (1x) load.
+
+    ``interactive`` offers two thirds of calibrated capacity as smooth
+    Poisson traffic under the SLO; ``batchy`` offers the remaining
+    third in 4x bursts with no deadline of its own.
+    """
+    from repro.serving import TenantConfig
+
+    return (
+        TenantConfig(
+            name="interactive",
+            rate_qps=capacity_qps * 2.0 / 3.0,
+            slo_ms=args.slo_ms,
+        ),
+        TenantConfig(
+            name="batchy",
+            rate_qps=capacity_qps / 3.0,
+            burst_factor=4.0,
+            burst_period_s=0.05,
+            burst_duty=0.25,
+        ),
+    )
+
+
+def _serve_run(args: argparse.Namespace, load: float, shedding: bool):
+    """One seeded open-loop run; returns its FrontendResult."""
+    from repro.serving import AdmissionPolicy, ArrivalGenerator, ServingFrontend
+    from repro.workload.batch import BatchGenerator
+
+    service, dataset = _serve_deployment(args)
+    tenants = tuple(
+        t.scaled(load) for t in _serve_tenants(args, args.capacity_qps)
+    )
+    generator = ArrivalGenerator(
+        tenants=tenants, seed=args.seed, horizon_s=args.horizon
+    )
+    query_gens = {
+        t.name: BatchGenerator(
+            dataset,
+            batch_size=args.batch_size,
+            zipf_alpha=t.zipf_alpha,
+            drift_per_batch=t.drift_per_batch,
+            rng=np.random.default_rng([args.seed, i]),
+        )
+        for i, t in enumerate(tenants)
+    }
+    requests = generator.generate(query_gens)
+    policy = AdmissionPolicy(
+        shedding=shedding, max_queue_depth=args.queue_depth
+    )
+    frontend = ServingFrontend(
+        service,
+        tenants,
+        policy=policy,
+        max_batch=args.batch_size,
+        max_delay_s=args.max_delay_ms / 1e3,
+    )
+    return frontend.run(requests)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Sweep offered load through the serving frontend and emit a
+    schema-versioned ``repro.serve/v1`` record.
+
+    Calibrates the tiny deployment's capacity closed-loop, then runs
+    each swept load twice — shedding frontend and no-shedding
+    baseline — over identical seeded arrival streams, so the record's
+    goodput-vs-offered-load curve shows exactly what admission control
+    buys under overload.
+    """
+    import json
+
+    from repro.sanitize import sanitize_schedule
+    from repro.serving import render_serve_report, serve_record_kwargs
+
+    telemetry.reset_metrics()
+
+    # Calibration: closed-loop batches on a fresh deployment give the
+    # pipeline's sustainable rate (batch size over mean batch seconds).
+    service, dataset = _serve_deployment(args)
+    from repro.workload.batch import BatchGenerator
+
+    cal_gen = BatchGenerator(
+        dataset,
+        batch_size=args.batch_size,
+        rng=np.random.default_rng(args.seed),
+    )
+    totals = [
+        service.submit(cal_gen.next_batch().queries).result.timing.total_s
+        for _ in range(4)
+    ]
+    args.capacity_qps = args.batch_size / (sum(totals) / len(totals))
+    log.info("serve.calibrated", capacity_qps=round(args.capacity_qps, 1))
+
+    loads = [float(x) for x in args.load_sweep.split(",") if x.strip()]
+    if not loads or any(x <= 0 for x in loads):
+        log.error("serve.bad_load_sweep", value=args.load_sweep)
+        return 2
+    modes = [True] if args.no_baseline else [True, False]
+
+    curve = []
+    headline = None
+    for load in loads:
+        for shedding in modes:
+            result = _serve_run(args, load, shedding)
+            findings = sanitize_schedule(result.schedule)
+            if findings:
+                for finding in findings:
+                    log.error("serve.stream_sanitize_failed", error=finding.render())
+                return 1
+            ledger = result.ledger()["totals"]
+            lat = result.latencies_ms()
+            offered_qps = ledger["offered"] / args.horizon
+            point = dict(ledger)
+            point.update(
+                {
+                    "offered_load": load,
+                    "offered_qps": offered_qps,
+                    "goodput_qps": result.goodput_qps(),
+                    "p99_ms": float(np.percentile(lat, 99)) if lat.size else 0.0,
+                    "coverage_floor": result.coverage_floor(),
+                    "shedding": shedding,
+                }
+            )
+            curve.append(point)
+            log.info(
+                "serve.point",
+                load=load,
+                shedding=shedding,
+                offered=ledger["offered"],
+                shed=ledger["shed"],
+                timed_out=ledger["timed_out"],
+                goodput_qps=round(point["goodput_qps"], 1),
+                p99_ms=round(point["p99_ms"], 3),
+            )
+            if shedding and (headline is None or load >= headline[0]):
+                headline = (load, result)
+
+    assert headline is not None
+    sections = serve_record_kwargs(headline[1])
+    record = telemetry.make_serve_record(
+        name="cli_serve",
+        config={
+            "seed": args.seed,
+            "horizon_s": args.horizon,
+            "slo_ms": args.slo_ms,
+            "max_batch": args.batch_size,
+            "max_delay_ms": args.max_delay_ms,
+            "queue_depth": args.queue_depth,
+            "timing_scale": args.timing_scale,
+            "capacity_qps": args.capacity_qps,
+            "loads": loads,
+            "headline_load": headline[0],
+            "sim_engine": "event",
+        },
+        totals=sections["totals"],
+        tenants=sections["tenants"],
+        curve=curve,
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(record, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        log.info("serve.record_written", file=args.out)
+    if args.json or not args.out:
+        print(json.dumps(record, indent=2, sort_keys=True))
+    else:
+        print(render_serve_report(record))
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint.__main__ import main as lint_main
 
@@ -954,6 +1159,68 @@ def build_parser() -> argparse.ArgumentParser:
         "REPRO_SIM_ENGINE env, else analytic)",
     )
     chaos.set_defaults(func=_cmd_chaos)
+
+    serve = sub.add_parser(
+        "serve",
+        help="sweep offered load through the multi-tenant serving "
+        "frontend and emit a repro.serve/v1 record",
+    )
+    serve.add_argument(
+        "--horizon",
+        type=float,
+        default=0.2,
+        help="simulated seconds of open-loop arrivals per run",
+    )
+    serve.add_argument(
+        "--slo-ms",
+        type=float,
+        default=20.0,
+        help="interactive tenant's per-request deadline",
+    )
+    serve.add_argument(
+        "--max-delay-ms",
+        type=float,
+        default=3.0,
+        help="coalescer deadline: a queued request waits at most this "
+        "long for its batch to fill",
+    )
+    serve.add_argument(
+        "--batch-size",
+        type=int,
+        default=24,
+        help="coalescer size trigger (and calibration batch size)",
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=48,
+        help="per-tenant queue bound for the shedding frontend",
+    )
+    serve.add_argument(
+        "--load-sweep",
+        default="0.5,1.0,2.0",
+        metavar="X,Y,...",
+        help="offered-load multiples of calibrated capacity to sweep",
+    )
+    serve.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="skip the no-shedding baseline runs (shedding curve only)",
+    )
+    serve.add_argument("--timing-scale", type=float, default=1.0)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="write the repro.serve/v1 record as JSON",
+    )
+    serve.add_argument(
+        "--json",
+        action="store_true",
+        help="dump the record to stdout even when --out is given",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     perf = sub.add_parser(
         "perf",

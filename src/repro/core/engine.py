@@ -15,7 +15,7 @@ management, none of the UpANNS optimizations).
 from __future__ import annotations
 
 import logging
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -502,6 +502,7 @@ class UpANNSEngine:
         k: int | None = None,
         probes: list[np.ndarray] | np.ndarray | None = None,
         trace: TraceContext | None = None,
+        nprobe: int | None = None,
     ) -> BatchResult:
         """Process one batch through the Figure 5 online pipeline.
 
@@ -514,11 +515,31 @@ class UpANNSEngine:
         ``trace`` carries the batch's per-query trace ids (assigned at
         service intake); standalone calls get a batch-local default so
         every emitted span is attributable either way.
+
+        ``nprobe`` shrinks this batch's cluster probing below the
+        configured ``QueryConfig.nprobe`` (the serving frontend's
+        degrade response under overload).  The result carries a
+        :class:`DegradedResult` whose coverage is scaled by
+        ``nprobe / configured`` so callers see the intentional recall
+        sacrifice through the same surface as fault degradation.
         """
         if not self._built:
             raise NotTrainedError("build() must be called before search_batch()")
         qc, ic, uc = self.config.query, self.config.index, self.config.upanns
         k = k if k is not None else qc.k
+        if nprobe is not None:
+            if isinstance(nprobe, bool) or not isinstance(nprobe, int):
+                raise ConfigError(f"nprobe override must be an integer, got {nprobe!r}")
+            if not 1 <= nprobe <= qc.nprobe:
+                raise ConfigError(
+                    f"nprobe override {nprobe} outside [1, {qc.nprobe}] "
+                    "(it can only shrink probing, never widen it)"
+                )
+            if probes is not None:
+                raise ConfigError(
+                    "nprobe override conflicts with precomputed probes"
+                )
+        eff_nprobe = nprobe if nprobe is not None else qc.nprobe
         queries = np.ascontiguousarray(np.atleast_2d(queries), dtype=np.float32)
         nq = queries.shape[0]
         sizes = self._sizes
@@ -537,7 +558,7 @@ class UpANNSEngine:
         # (a) Cluster filtering on the host (skipped when the probes
         # arrive pre-computed from a coordinator).
         if probes is None:
-            probes = self.index.ivf.search_clusters(queries, qc.nprobe)
+            probes = self.index.ivf.search_clusters(queries, eff_nprobe)
             host_prep = work.work(
                 HOST_CPU,
                 STAGE_CLUSTER_FILTER,
@@ -850,6 +871,17 @@ class UpANNSEngine:
                 "upanns", nq, probes_exec, assignment, faults, state,
                 rerouted_clusters, timing.retry_s,
             )
+        if nprobe is not None and nprobe < qc.nprobe:
+            # An intentional probe cut is a coverage sacrifice too:
+            # scale (or synthesize) the coverage record by the fraction
+            # of the configured probing this batch actually ran, so
+            # degrade-mode recall loss is visible through the same
+            # DegradedResult surface as fault-induced loss.
+            frac = nprobe / qc.nprobe
+            if degraded is None:
+                degraded = DegradedResult(coverage=np.full(nq, frac))
+            else:
+                degraded = replace(degraded, coverage=degraded.coverage * frac)
         debug_sanitize_schedule(
             schedule,
             timing=timing,

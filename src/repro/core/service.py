@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.core.engine import BatchResult, UpANNSEngine
 from repro.core.scheduling import AdaptivePolicy
+from repro.core.validation import validate_queries
 from repro.errors import ConfigError, NotTrainedError
 from repro.metrics.latency import LatencyRecorder
 from repro.sanitize.hook import debug_sanitize_schedule
@@ -115,17 +116,44 @@ class OnlineService:
             raise NotTrainedError("the engine must be built before serving")
         self._snapshot = self.engine.trace.snapshot()
 
-    def submit(self, queries: np.ndarray, *, k: int | None = None) -> ServiceReport:
-        """Serve one batch; adapt the placement if traffic drifted."""
-        # Trace intake: every query gets a service-unique id here, and
-        # the batch index is the stream position the event core will
-        # re-stamp anyway — so span identities agree across both cores.
-        nq = int(np.atleast_2d(np.asarray(queries)).shape[0])
-        ctx = TraceContext.for_batch(
-            nq, batch=len(self.works), start=self._next_query
-        )
-        self._next_query += nq
-        result = self.engine.search_batch(queries, k=k, trace=ctx)
+    def submit(
+        self,
+        queries: np.ndarray,
+        *,
+        k: int | None = None,
+        trace: TraceContext | None = None,
+        nprobe: int | None = None,
+    ) -> ServiceReport:
+        """Serve one batch; adapt the placement if traffic drifted.
+
+        ``trace`` lets a frontend that assigned request ids at intake
+        (``repro.serving``) carry them through; by default the service
+        mints a fresh sequential context.  ``nprobe`` shrinks cluster
+        probing below the configured value for this batch only (the
+        frontend's degrade response under overload).
+        """
+        queries = validate_queries(queries, dim=self.engine.config.index.dim)
+        nq = int(queries.shape[0])
+        if trace is None:
+            # Trace intake: every query gets a service-unique id here, and
+            # the batch index is the stream position the event core will
+            # re-stamp anyway — so span identities agree across both cores.
+            ctx = TraceContext.for_batch(
+                nq, batch=len(self.works), start=self._next_query
+            )
+            self._next_query += nq
+        else:
+            if trace.batch != len(self.works):
+                raise ConfigError(
+                    f"trace batch {trace.batch} does not match stream "
+                    f"position {len(self.works)}"
+                )
+            if len(trace.trace_ids) != nq:
+                raise ConfigError(
+                    f"trace carries {len(trace.trace_ids)} ids for {nq} queries"
+                )
+            ctx = trace
+        result = self.engine.search_batch(queries, k=k, trace=ctx, nprobe=nprobe)
         if result.schedule is not None:
             self.schedules.append(result.schedule)
         if result.work is not None:

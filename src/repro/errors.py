@@ -11,8 +11,24 @@ class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
 
 
-class ConfigError(ReproError):
-    """An invalid or inconsistent configuration was supplied."""
+class ConfigError(ReproError, ValueError):
+    """An invalid or inconsistent configuration was supplied.
+
+    Also a :class:`ValueError`: construction-time validation (fault
+    plans, admission policies, tenant configs) raises this, and callers
+    holding only stdlib vocabulary can still catch it as the bad-value
+    error it is.
+    """
+
+
+class InvalidQueryError(ReproError, ValueError):
+    """A query array failed intake validation.
+
+    Raised by :meth:`OnlineService.submit <repro.core.service.OnlineService.submit>`
+    and the serving frontend for empty batches, dimension mismatches and
+    non-finite vectors — instead of a deep numpy traceback from inside
+    the pipeline.  Also a :class:`ValueError` for stdlib-only callers.
+    """
 
 
 class WramOverflowError(ReproError):

@@ -84,6 +84,14 @@ class FaultEvent:
             raise ConfigError(
                 f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
             )
+        # Reject float-typed indices (a batch "2.5" silently never fires
+        # because begin_batch compares with ==) before the sign check.
+        for name in ("target", "batch"):
+            value = getattr(self, name)
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ConfigError(
+                    f"fault {name} must be an integer, got {value!r}"
+                )
         if self.target < 0 or self.batch < 0:
             raise ConfigError(f"fault target/batch must be >= 0: {self}")
 
@@ -127,12 +135,37 @@ class FaultPlan:
     backoff_cap_s: float = DEFAULT_BACKOFF_CAP_S
 
     def __post_init__(self) -> None:
-        if not 0.0 <= self.transfer_hazard < 1.0:
-            raise ConfigError("transfer_hazard must be in [0, 1)")
+        # NaN fails every comparison, so check finiteness explicitly or
+        # a NaN hazard/backoff would sail through the range checks.
+        import math
+
+        if not math.isfinite(self.transfer_hazard) or not (
+            0.0 <= self.transfer_hazard < 1.0
+        ):
+            raise ConfigError(
+                f"transfer_hazard must be in [0, 1), got {self.transfer_hazard!r}"
+            )
         if self.max_retries < 1:
-            raise ConfigError("max_retries must be >= 1")
+            raise ConfigError(f"max_retries must be >= 1, got {self.max_retries!r}")
+        for name in ("backoff_base_s", "backoff_cap_s"):
+            if not math.isfinite(getattr(self, name)):
+                raise ConfigError(
+                    f"{name} must be finite, got {getattr(self, name)!r}"
+                )
+        if self.backoff_cap_s <= 0.0:
+            raise ConfigError(
+                f"backoff_cap_s must be > 0 (it caps every retry's wait), "
+                f"got {self.backoff_cap_s!r}"
+            )
         if self.backoff_base_s < 0 or self.backoff_cap_s < self.backoff_base_s:
-            raise ConfigError("need 0 <= backoff_base_s <= backoff_cap_s")
+            raise ConfigError(
+                f"need 0 <= backoff_base_s <= backoff_cap_s, got "
+                f"base={self.backoff_base_s!r} cap={self.backoff_cap_s!r}"
+            )
+        if isinstance(self.seed, bool) or not isinstance(self.seed, int):
+            raise ConfigError(f"seed must be an integer, got {self.seed!r}")
+        if self.seed < 0:
+            raise ConfigError(f"seed must be >= 0, got {self.seed}")
         object.__setattr__(self, "events", tuple(self.events))
 
     @classmethod
@@ -257,6 +290,12 @@ class FaultState:
             raise ConfigError("fault state needs at least one unit")
         if self.rank_size < 1 or self.dimm_size < 1:
             raise ConfigError("rank/dimm sizes must be >= 1")
+        # Fail fast on events that could never fire on this unit pool:
+        # without this, a plan targeting dpu 99 of a 16-DPU system only
+        # errors at the batch the event lands on (or never, if the run
+        # is shorter) — confusing downstream behavior at its finest.
+        for event in self.plan.events:
+            self._targets_of(event)
         self._rng = np.random.default_rng(self.plan.seed)
 
     @property

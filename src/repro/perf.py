@@ -435,19 +435,26 @@ def run_perf(
         for setup in setups.values():
             setup.looped.close()
             setup.grouped.close()
+    host_cpus = os.cpu_count() or 1
+    config: dict[str, Any] = {
+        "mode": mode,
+        "repeats": repeats,
+        "seed": seed,
+        "lut_cache_bytes": lut_cache_bytes,
+        "executor": executor if executor is not None else "serial",
+        "sweep_workers": list(sweep_workers),
+        # Worker scaling is bounded by the measuring host; recorded
+        # so a committed baseline's sweep is interpretable.
+        "host_cpus": host_cpus,
+    }
+    if host_cpus <= 1 and any(n > 1 for n in sweep_workers):
+        config["cpu_caveat"] = (
+            "single-CPU host: sweep points beyond 1 worker measure "
+            "process-pool oversubscription, not parallel speedup"
+        )
     return make_perf_record(
         name="perf_quick" if mode == "quick" else "perf",
-        config={
-            "mode": mode,
-            "repeats": repeats,
-            "seed": seed,
-            "lut_cache_bytes": lut_cache_bytes,
-            "executor": executor if executor is not None else "serial",
-            "sweep_workers": list(sweep_workers),
-            # Worker scaling is bounded by the measuring host; recorded
-            # so a committed baseline's sweep is interpretable.
-            "host_cpus": os.cpu_count() or 1,
-        },
+        config=config,
         cases=case_records,
     )
 

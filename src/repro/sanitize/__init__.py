@@ -51,6 +51,7 @@ from repro.sanitize.records import (
     sanitize_golden_timings,
     sanitize_payload,
     sanitize_result_record,
+    sanitize_serve_record,
     sanitize_trace_record,
 )
 
@@ -80,6 +81,7 @@ __all__ = [
     "sanitize_payload",
     "sanitize_result_record",
     "sanitize_schedule",
+    "sanitize_serve_record",
     "sanitize_trace_record",
     "schedule_lanes",
     "with_source",

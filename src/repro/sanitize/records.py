@@ -65,6 +65,8 @@ def detect_kind(payload: Any) -> str:
                 return "perf"
             if schema.startswith("repro.trace/"):
                 return "tracerec"
+            if schema.startswith("repro.serve/"):
+                return "serve"
             if schema == SANITIZE_SCHEMA:
                 return "sanitize"
         # Golden-timings fixture: engine name -> views; at least one
@@ -90,6 +92,8 @@ def sanitize_payload(payload: Any, *, strict_zero: bool = False) -> list[SanFind
         return sanitize_result_record(payload)
     if kind == "tracerec":
         return sanitize_trace_record(payload)
+    if kind == "serve":
+        return sanitize_serve_record(payload)
     if kind == "golden":
         return sanitize_golden_timings(payload)
     if kind in ("perf", "sanitize"):
@@ -190,6 +194,88 @@ def sanitize_chaos_record(record: Any) -> list[SanFinding]:
                         f"{total_pairs}",
                     )
                 )
+    return findings
+
+
+def _serve_ledger_findings(where: str, row: Any) -> list[SanFinding]:
+    """Exact offered-conservation over one serve-record ledger row."""
+    keys = ("offered", "admitted", "shed", "timed_out")
+    if not isinstance(row, dict) or not all(
+        isinstance(row.get(k), int) for k in keys
+    ):
+        return []
+    balance = row["admitted"] + row["shed"] + row["timed_out"]
+    if row["offered"] != balance:
+        return [
+            SanFinding(
+                SAN_LEDGER,
+                where,
+                f"offered {row['offered']} but admitted + shed + timed_out "
+                f"is {balance} (requests leaked or double-counted)",
+            )
+        ]
+    return []
+
+
+def sanitize_serve_record(record: Any) -> list[SanFinding]:
+    """Cross-field conservation over a ``repro.serve/v1`` record.
+
+    The structural validator already enforces per-row conservation;
+    this re-checks it independently (sanitize runs on files the maker
+    never saw) and adds the cross-section sums: tenant ledgers must add
+    up to the totals, per-reason shed counts to each tenant's shed
+    count, and every curve point must conserve its own offered count.
+    """
+    findings: list[SanFinding] = []
+    if not isinstance(record, dict):
+        return [SanFinding(SAN_SCHEMA, "record", "record must be a JSON object")]
+    totals = record.get("totals")
+    tenants = record.get("tenants")
+    findings += _serve_ledger_findings("totals", totals)
+    if isinstance(tenants, list):
+        sums = {"offered": 0, "admitted": 0, "shed": 0, "timed_out": 0}
+        complete = True
+        for i, row in enumerate(tenants):
+            if not isinstance(row, dict):
+                complete = False
+                continue
+            where = f"tenants[{row.get('tenant', i)!r}]"
+            findings += _serve_ledger_findings(where, row)
+            for key in sums:
+                if isinstance(row.get(key), int):
+                    sums[key] += row[key]
+                else:
+                    complete = False
+            reasons = row.get("shed_by_reason")
+            if (
+                isinstance(reasons, dict)
+                and all(isinstance(v, int) for v in reasons.values())
+                and isinstance(row.get("shed"), int)
+                and sum(reasons.values()) != row["shed"]
+            ):
+                findings.append(
+                    SanFinding(
+                        SAN_LEDGER,
+                        f"{where}.shed_by_reason",
+                        f"reasons sum to {sum(reasons.values())} but shed "
+                        f"is {row['shed']}",
+                    )
+                )
+        if complete and isinstance(totals, dict):
+            for key, value in sums.items():
+                if isinstance(totals.get(key), int) and totals[key] != value:
+                    findings.append(
+                        SanFinding(
+                            SAN_LEDGER,
+                            f"totals.{key}",
+                            f"reports {totals[key]} but the tenant rows "
+                            f"sum to {value}",
+                        )
+                    )
+    curve = record.get("curve")
+    if isinstance(curve, list):
+        for i, point in enumerate(curve):
+            findings += _serve_ledger_findings(f"curve[{i}]", point)
     return findings
 
 

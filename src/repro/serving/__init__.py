@@ -1,0 +1,58 @@
+"""Multi-tenant serving frontend: arrivals, admission, coalescing, shedding.
+
+An event-driven request layer on top of
+:class:`~repro.core.service.OnlineService`.  Open-loop arrivals (seeded
+Poisson/burst schedules per tenant, on the simulated clock) flow through
+SLO-aware admission control into per-tenant bounded queues; an adaptive
+coalescer closes batches on size or deadline with tenant-fair draining;
+overload is answered by rejecting at intake, shrinking ``n_probe``
+through the engine's degraded-coverage path, or timing out queued
+requests with a charged cancellation.  Execution rides
+:func:`~repro.sim.events.execute_stream` in event mode with arrival-time
+work release, so queue-wait emerges from genuine lane contention.
+
+Everything here is deterministic under a seed (simlint DET001 scope):
+no wall-clock, no unseeded RNG.
+"""
+
+from repro.serving.admission import AdmissionPolicy, TokenBucket
+from repro.serving.arrivals import ArrivalGenerator, TenantConfig
+from repro.serving.coalescer import BatchCoalescer
+from repro.serving.frontend import FrontendResult, ServingFrontend
+from repro.serving.report import render_serve_report, serve_record_kwargs
+from repro.serving.request import (
+    SHED_ANNOTATION,
+    SHED_PREDICTED_WAIT,
+    SHED_QUEUE_FULL,
+    SHED_RATE_LIMIT,
+    SHED_REASONS,
+    STATUS_COMPLETED,
+    STATUS_QUEUED,
+    STATUS_SHED,
+    STATUS_TIMED_OUT,
+    TIMEOUT_ANNOTATION,
+    Request,
+)
+
+__all__ = [
+    "AdmissionPolicy",
+    "ArrivalGenerator",
+    "BatchCoalescer",
+    "FrontendResult",
+    "Request",
+    "SHED_ANNOTATION",
+    "SHED_PREDICTED_WAIT",
+    "SHED_QUEUE_FULL",
+    "SHED_RATE_LIMIT",
+    "SHED_REASONS",
+    "STATUS_COMPLETED",
+    "STATUS_QUEUED",
+    "STATUS_SHED",
+    "STATUS_TIMED_OUT",
+    "ServingFrontend",
+    "TIMEOUT_ANNOTATION",
+    "TenantConfig",
+    "TokenBucket",
+    "render_serve_report",
+    "serve_record_kwargs",
+]

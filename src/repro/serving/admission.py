@@ -1,0 +1,184 @@
+"""SLO-aware admission control: token buckets, backpressure, degrade.
+
+Admission runs at intake, on the simulated clock, before a request may
+join its tenant queue.  Three gates, in order of cheapness: a bounded
+queue (``queue_full``), a per-tenant token bucket (``rate_limit``), and
+a predicted-wait check against the request's deadline
+(``predicted_wait``).  Separately from shedding, the policy decides
+when an overloaded batch should *degrade* — shrink ``n_probe`` and
+sacrifice coverage instead of latency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.serving.request import (
+    SHED_PREDICTED_WAIT,
+    SHED_QUEUE_FULL,
+    SHED_RATE_LIMIT,
+)
+
+#: Admission verdicts that are not shed reasons.
+ADMIT = "admit"
+
+
+@dataclass
+class TokenBucket:
+    """Deterministic token bucket on the simulated clock."""
+
+    rate_qps: float
+    burst: float
+    _tokens: float = field(init=False)
+    _last_s: float = field(init=False, default=0.0)
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.rate_qps) or self.rate_qps <= 0.0:
+            raise ConfigError(
+                f"token bucket rate_qps must be finite and > 0, got {self.rate_qps!r}"
+            )
+        if not math.isfinite(self.burst) or self.burst < 1.0:
+            raise ConfigError(
+                f"token bucket burst must be >= 1 (one whole request), "
+                f"got {self.burst!r}"
+            )
+        self._tokens = self.burst
+
+    def try_take(self, now_s: float) -> bool:
+        """Refill to ``now_s`` and take one token if available."""
+        if now_s < self._last_s:
+            raise ConfigError(
+                f"token bucket time went backwards: {now_s} < {self._last_s}"
+            )
+        self._tokens = min(
+            self.burst, self._tokens + (now_s - self._last_s) * self.rate_qps
+        )
+        self._last_s = now_s
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Knobs for intake shedding and overload degradation.
+
+    ``shedding=False`` turns every gate off (the no-shedding baseline:
+    unbounded queues, no rate limits, no timeouts, no degrade) — used
+    both for the divergence baseline under overload and for the
+    closed-loop degenerate mode that must reproduce plain
+    ``OnlineService.submit`` behavior bit-for-bit.
+    """
+
+    shedding: bool = True
+    #: Per-tenant queue bound; arrivals beyond it shed ``queue_full``.
+    max_queue_depth: int = 64
+    #: Per-tenant token refill rate; None disables the bucket.
+    rate_limit_qps: float | None = None
+    #: Bucket capacity in whole requests.
+    rate_limit_burst: float = 8.0
+    #: Shed ``predicted_wait`` when the predicted completion overshoots
+    #: the request's deadline by more than this factor of its SLO
+    #: budget (1.0 = shed exactly at predicted miss).
+    predicted_wait_slack: float = 1.0
+    #: Degrade (shrink n_probe) when the predicted queue wait exceeds
+    #: this fraction of the tightest drained deadline budget.
+    degrade_wait_frac: float = 0.5
+    #: Coverage floor degrade may not cross: the effective n_probe
+    #: never drops below ``ceil(min_coverage * configured)``.
+    min_coverage: float = 0.5
+
+    def __post_init__(self) -> None:
+        if isinstance(self.max_queue_depth, bool) or not isinstance(
+            self.max_queue_depth, int
+        ):
+            raise ConfigError(
+                f"max_queue_depth must be an integer, got {self.max_queue_depth!r}"
+            )
+        if self.max_queue_depth < 1:
+            raise ConfigError(
+                f"max_queue_depth must be >= 1, got {self.max_queue_depth}"
+            )
+        if self.rate_limit_qps is not None and (
+            not math.isfinite(self.rate_limit_qps) or self.rate_limit_qps <= 0.0
+        ):
+            raise ConfigError(
+                f"rate_limit_qps must be finite and > 0, got {self.rate_limit_qps!r}"
+            )
+        if not math.isfinite(self.rate_limit_burst) or self.rate_limit_burst < 1.0:
+            raise ConfigError(
+                f"rate_limit_burst must be >= 1, got {self.rate_limit_burst!r}"
+            )
+        if not math.isfinite(self.predicted_wait_slack) or (
+            self.predicted_wait_slack <= 0.0
+        ):
+            raise ConfigError(
+                f"predicted_wait_slack must be > 0, got {self.predicted_wait_slack!r}"
+            )
+        if not 0.0 <= self.degrade_wait_frac <= 1.0:
+            raise ConfigError(
+                f"degrade_wait_frac must be in [0, 1], got {self.degrade_wait_frac!r}"
+            )
+        if not 0.0 < self.min_coverage <= 1.0:
+            raise ConfigError(
+                f"min_coverage must be in (0, 1], got {self.min_coverage!r}"
+            )
+
+    def bucket_for(self) -> TokenBucket | None:
+        """A fresh per-tenant token bucket (None when unlimited)."""
+        if not self.shedding or self.rate_limit_qps is None:
+            return None
+        return TokenBucket(rate_qps=self.rate_limit_qps, burst=self.rate_limit_burst)
+
+    def decide(
+        self,
+        *,
+        now_s: float,
+        queue_depth: int,
+        deadline_s: float,
+        predicted_done_s: float | None,
+        bucket: TokenBucket | None,
+    ) -> str:
+        """Admission verdict for one arrival: :data:`ADMIT` or a shed reason.
+
+        ``predicted_done_s`` is the frontend's completion estimate for a
+        request admitted now (None before any batch has been observed —
+        a cold predictor never sheds on prediction alone).
+        """
+        if not self.shedding:
+            return ADMIT
+        if queue_depth >= self.max_queue_depth:
+            return SHED_QUEUE_FULL
+        if bucket is not None and not bucket.try_take(now_s):
+            return SHED_RATE_LIMIT
+        if (
+            predicted_done_s is not None
+            and math.isfinite(deadline_s)
+            and predicted_done_s
+            > now_s + (deadline_s - now_s) * self.predicted_wait_slack
+        ):
+            return SHED_PREDICTED_WAIT
+        return ADMIT
+
+    def degraded_nprobe(
+        self,
+        configured: int,
+        *,
+        predicted_wait_s: float,
+        tightest_budget_s: float,
+    ) -> int:
+        """Effective ``n_probe`` for a batch closing under load.
+
+        Returns ``configured`` when the predicted queue wait is within
+        bounds; otherwise shrinks to half the configured probing, but
+        never below the :attr:`min_coverage` floor.
+        """
+        if not self.shedding or not math.isfinite(tightest_budget_s):
+            return configured
+        if predicted_wait_s <= self.degrade_wait_frac * tightest_budget_s:
+            return configured
+        floor = max(1, math.ceil(self.min_coverage * configured))
+        return max(floor, configured // 2)

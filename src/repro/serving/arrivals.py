@@ -1,0 +1,196 @@
+"""Open-loop arrival generation: seeded Poisson/burst schedules per tenant.
+
+Arrivals are generated up front on the simulated clock — an open-loop
+workload offers requests at its own rate regardless of how the service
+keeps up, which is what makes overload observable at all (a closed loop
+self-throttles).  Everything is deterministic under the seed: tenant
+``i`` draws from ``np.random.default_rng([seed, i])``, so adding a
+tenant never perturbs another tenant's arrival sequence.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.serving.request import Request
+from repro.tracing.context import format_trace_id
+from repro.workload.batch import BatchGenerator
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """One tenant's traffic contract.
+
+    ``rate_qps`` is the mean offered rate.  A bursty tenant modulates
+    it with a square wave: for the first ``burst_duty`` fraction of
+    every ``burst_period_s`` the instantaneous rate is ``burst_factor``
+    times the base rate (``burst_factor=1`` is plain Poisson).
+    ``slo_ms`` is the per-request deadline from arrival (None = no SLO).
+    """
+
+    name: str
+    rate_qps: float
+    slo_ms: float | None = None
+    burst_factor: float = 1.0
+    burst_period_s: float = 1.0
+    burst_duty: float = 0.5
+    #: Popularity skew of this tenant's query mix (``repro.workload``).
+    zipf_alpha: float = 1.0
+    drift_per_batch: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("tenant needs a name")
+        if not math.isfinite(self.rate_qps) or self.rate_qps <= 0.0:
+            raise ConfigError(
+                f"tenant {self.name!r}: rate_qps must be finite and > 0, "
+                f"got {self.rate_qps!r}"
+            )
+        if self.slo_ms is not None and (
+            not math.isfinite(self.slo_ms) or self.slo_ms <= 0.0
+        ):
+            raise ConfigError(
+                f"tenant {self.name!r}: slo_ms must be finite and > 0, "
+                f"got {self.slo_ms!r}"
+            )
+        if not math.isfinite(self.burst_factor) or self.burst_factor < 1.0:
+            raise ConfigError(
+                f"tenant {self.name!r}: burst_factor must be >= 1, "
+                f"got {self.burst_factor!r}"
+            )
+        if not math.isfinite(self.burst_period_s) or self.burst_period_s <= 0.0:
+            raise ConfigError(
+                f"tenant {self.name!r}: burst_period_s must be > 0"
+            )
+        if not 0.0 < self.burst_duty < 1.0:
+            raise ConfigError(
+                f"tenant {self.name!r}: burst_duty must be in (0, 1), "
+                f"got {self.burst_duty!r}"
+            )
+
+    def scaled(self, load: float) -> "TenantConfig":
+        """This tenant at ``load`` times its base rate (sweep helper)."""
+        if not math.isfinite(load) or load <= 0.0:
+            raise ConfigError(f"load multiplier must be > 0, got {load!r}")
+        return TenantConfig(
+            name=self.name,
+            rate_qps=self.rate_qps * load,
+            slo_ms=self.slo_ms,
+            burst_factor=self.burst_factor,
+            burst_period_s=self.burst_period_s,
+            burst_duty=self.burst_duty,
+            zipf_alpha=self.zipf_alpha,
+            drift_per_batch=self.drift_per_batch,
+        )
+
+    def rate_at(self, t: float) -> float:
+        """Instantaneous offered rate at simulated time ``t``.
+
+        Normalized so the *mean* over a period equals ``rate_qps``:
+        the burst window runs hotter, the trough correspondingly cooler.
+        """
+        if self.burst_factor == 1.0:
+            return self.rate_qps
+        d, f = self.burst_duty, self.burst_factor
+        phase = (t / self.burst_period_s) % 1.0
+        if phase < d:
+            return self.rate_qps * f
+        # Trough rate balances the burst so the period mean stays at
+        # rate_qps: d*f + (1-d)*trough == 1 (clamped when d*f > 1).
+        return self.rate_qps * max((1.0 - d * f) / (1.0 - d), 0.0)
+
+
+@dataclass
+class ArrivalGenerator:
+    """Deterministic merged arrival stream for a set of tenants."""
+
+    tenants: tuple[TenantConfig, ...]
+    seed: int = 0
+    horizon_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.tenants:
+            raise ConfigError("need at least one tenant")
+        names = [t.name for t in self.tenants]
+        if len(set(names)) != len(names):
+            raise ConfigError(f"duplicate tenant names in {names}")
+        if isinstance(self.seed, bool) or not isinstance(self.seed, int):
+            raise ConfigError(f"seed must be an integer, got {self.seed!r}")
+        if self.seed < 0:
+            raise ConfigError(f"seed must be >= 0, got {self.seed}")
+        if not math.isfinite(self.horizon_s) or self.horizon_s <= 0.0:
+            raise ConfigError(f"horizon_s must be > 0, got {self.horizon_s!r}")
+        self.tenants = tuple(self.tenants)
+
+    def _tenant_arrival_times(self, index: int) -> np.ndarray:
+        """Arrival instants for tenant ``index`` within the horizon.
+
+        Non-homogeneous Poisson via per-event thinning against the
+        tenant's peak rate: exponential gaps at the peak, keep each
+        candidate with probability ``rate_at(t) / peak``.  Exact and
+        deterministic under the seed.
+        """
+        tenant = self.tenants[index]
+        rng = np.random.default_rng([self.seed, index])
+        # rate_at is maximal inside the burst window, and t=0 is in it.
+        peak = max(tenant.rate_at(0.0), tenant.rate_qps)
+        times = []
+        t = 0.0
+        while True:
+            t += float(rng.exponential(1.0 / peak))
+            if t >= self.horizon_s:
+                break
+            if float(rng.random()) * peak <= tenant.rate_at(t):
+                times.append(t)
+        return np.asarray(times, dtype=np.float64)
+
+    def generate(
+        self, generators: dict[str, BatchGenerator]
+    ) -> list[Request]:
+        """All requests of all tenants, sorted by arrival time.
+
+        ``generators`` maps tenant name to the :class:`BatchGenerator`
+        supplying its query mix (Zipf + drift).  Trace ids are assigned
+        in arrival order — the same order a single service loop would
+        assign them — which is what makes the closed-loop degenerate
+        mode reproduce ``OnlineService.submit`` ids exactly.
+        """
+        missing = [t.name for t in self.tenants if t.name not in generators]
+        if missing:
+            raise ConfigError(f"no query generator for tenants {missing}")
+        per_tenant: list[tuple[int, np.ndarray]] = []
+        for i, tenant in enumerate(self.tenants):
+            per_tenant.append((i, self._tenant_arrival_times(i)))
+        merged: list[tuple[float, int, int]] = []
+        for i, times in per_tenant:
+            for j, t in enumerate(times):
+                merged.append((float(t), i, j))
+        # Sort by (time, tenant index, per-tenant ordinal): a total
+        # deterministic order even on (measure-zero) ties.
+        merged.sort()
+        queries: dict[int, np.ndarray] = {
+            i: generators[self.tenants[i].name].next_queries(len(times))
+            if len(times)
+            else np.empty((0, 1), dtype=np.float32)
+            for i, times in per_tenant
+        }
+        requests = []
+        for n, (t, i, j) in enumerate(merged):
+            tenant = self.tenants[i]
+            deadline = (
+                t + tenant.slo_ms / 1e3 if tenant.slo_ms is not None else math.inf
+            )
+            requests.append(
+                Request(
+                    trace_id=format_trace_id(n),
+                    tenant=tenant.name,
+                    query=queries[i][j],
+                    arrival_s=t,
+                    deadline_s=deadline,
+                )
+            )
+        return requests

@@ -1,0 +1,107 @@
+"""Adaptive batch coalescing with tenant-fair draining.
+
+Admitted requests wait in per-tenant FIFO queues; a batch closes when
+either enough requests are waiting (size trigger) or the oldest one has
+waited its maximum delay (deadline trigger).  Draining interleaves
+tenants round-robin from a rotating offset, so a heavy tenant cannot
+starve a light one out of batch slots — each close takes at most its
+fair share plus whatever slots other tenants left unused.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.serving.request import Request
+
+
+@dataclass
+class BatchCoalescer:
+    """Per-tenant queues + the close-on-size-or-deadline policy."""
+
+    tenant_names: tuple[str, ...]
+    max_batch: int = 32
+    max_delay_s: float = 0.002
+    _queues: dict[str, deque[Request]] = field(init=False)
+    _rr_offset: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        if not self.tenant_names:
+            raise ConfigError("coalescer needs at least one tenant")
+        if isinstance(self.max_batch, bool) or not isinstance(self.max_batch, int):
+            raise ConfigError(f"max_batch must be an integer, got {self.max_batch!r}")
+        if self.max_batch < 1:
+            raise ConfigError(f"max_batch must be >= 1, got {self.max_batch}")
+        if not math.isfinite(self.max_delay_s) or self.max_delay_s < 0.0:
+            raise ConfigError(
+                f"max_delay_s must be finite and >= 0, got {self.max_delay_s!r}"
+            )
+        self.tenant_names = tuple(self.tenant_names)
+        self._queues = {name: deque() for name in self.tenant_names}
+
+    def enqueue(self, request: Request) -> None:
+        queue = self._queues.get(request.tenant)
+        if queue is None:
+            raise ConfigError(f"unknown tenant {request.tenant!r}")
+        queue.append(request)
+
+    def depth(self, tenant: str) -> int:
+        queue = self._queues.get(tenant)
+        if queue is None:
+            raise ConfigError(f"unknown tenant {tenant!r}")
+        return len(queue)
+
+    @property
+    def total_depth(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    @property
+    def size_ready(self) -> bool:
+        """Enough waiting to close a full batch immediately."""
+        return self.total_depth >= self.max_batch
+
+    def earliest_due_s(self) -> float:
+        """When the oldest queued request hits its maximum delay."""
+        heads = [q[0].arrival_s for q in self._queues.values() if q]
+        if not heads:
+            return math.inf
+        return min(heads) + self.max_delay_s
+
+    def expire(self, now_s: float) -> list[Request]:
+        """Pop every queued request whose deadline has passed ``now_s``."""
+        expired = []
+        for queue in self._queues.values():
+            kept: deque[Request] = deque()
+            while queue:
+                req = queue.popleft()
+                (expired if req.deadline_s <= now_s else kept).append(req)
+            queue.extend(kept)
+        expired.sort(key=lambda r: (r.arrival_s, r.trace_id))
+        return expired
+
+    def drain(self) -> list[Request]:
+        """Close one batch: up to ``max_batch`` requests, tenant-fair.
+
+        Round-robin one request per tenant per lap, starting from a
+        rotating offset so the same tenant does not always get the
+        first (and under contention, the last guaranteed) slot.
+        """
+        names = self.tenant_names
+        batch: list[Request] = []
+        start = self._rr_offset
+        self._rr_offset = (self._rr_offset + 1) % len(names)
+        while len(batch) < self.max_batch:
+            took = False
+            for lane in range(len(names)):
+                if len(batch) >= self.max_batch:
+                    break
+                queue = self._queues[names[(start + lane) % len(names)]]
+                if queue:
+                    batch.append(queue.popleft())
+                    took = True
+            if not took:
+                break
+        return batch

@@ -1,0 +1,89 @@
+"""Run summaries: percentiles, ledgers, record assembly, rendering.
+
+Turns one :class:`~repro.serving.frontend.FrontendResult` into the
+``totals``/``tenants`` sections of a ``repro.serve/v1`` record (the
+``curve`` section is assembled by the CLI across a load sweep), and
+renders records for human eyes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.serving.frontend import FrontendResult
+
+
+def percentile_ms(latencies_ms: np.ndarray, q: float) -> float:
+    """The ``q``-th percentile of sorted millisecond latencies (0 if empty)."""
+    if latencies_ms.size == 0:
+        return 0.0
+    return float(np.percentile(latencies_ms, q))
+
+
+def _summary_row(result: FrontendResult, tenant: str | None) -> dict:
+    lat = result.latencies_ms(tenant)
+    return {
+        "goodput_qps": result.goodput_qps(tenant),
+        "p50_ms": percentile_ms(lat, 50),
+        "p95_ms": percentile_ms(lat, 95),
+        "p99_ms": percentile_ms(lat, 99),
+    }
+
+
+def serve_record_kwargs(result: FrontendResult) -> dict:
+    """The ``totals`` and ``tenants`` sections for ``make_serve_record``."""
+    ledger = result.ledger()
+    totals = dict(ledger["totals"])
+    totals.update(_summary_row(result, None))
+    totals["coverage_floor"] = result.coverage_floor()
+    totals["batches"] = len(result.reports)
+    tenants = []
+    for name in sorted(ledger["tenants"]):
+        row = {"tenant": name}
+        row.update(ledger["tenants"][name])
+        row.update(_summary_row(result, name))
+        tenants.append(row)
+    return {"totals": totals, "tenants": tenants}
+
+
+def render_serve_report(record: dict) -> str:
+    """Human-readable view of a ``repro.serve/v1`` record."""
+    totals = record["totals"]
+    lines = [
+        f"serve run: {record['name']}",
+        (
+            f"  offered {totals['offered']}  admitted {totals['admitted']}  "
+            f"shed {totals['shed']}  timed-out {totals['timed_out']}  "
+            f"batches {totals['batches']}"
+        ),
+        (
+            f"  goodput {totals['goodput_qps']:.1f} qps  "
+            f"p50 {totals['p50_ms']:.3f} ms  p95 {totals['p95_ms']:.3f} ms  "
+            f"p99 {totals['p99_ms']:.3f} ms  "
+            f"coverage floor {totals['coverage_floor']:.3f}"
+        ),
+    ]
+    for row in record["tenants"]:
+        reasons = ", ".join(
+            f"{reason}={count}"
+            for reason, count in sorted(row["shed_by_reason"].items())
+        )
+        lines.append(
+            f"  tenant {row['tenant']}: offered {row['offered']} "
+            f"admitted {row['admitted']} shed {row['shed']}"
+            + (f" ({reasons})" if reasons else "")
+            + f" timed-out {row['timed_out']}  p99 {row['p99_ms']:.3f} ms"
+        )
+    if record["curve"]:
+        lines.append("  goodput vs offered load:")
+        for point in record["curve"]:
+            mode = "shed" if point["shedding"] else "base"
+            lines.append(
+                f"    {mode} x{point['offered_load']:.2f}: "
+                f"offered {point['offered_qps']:.1f} qps -> "
+                f"goodput {point['goodput_qps']:.1f} qps, "
+                f"p99 {point['p99_ms']:.3f} ms, shed {point['shed']}, "
+                f"timed-out {point['timed_out']}, "
+                f"coverage floor {point['coverage_floor']:.3f}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""The request: unit of work the serving frontend tracks end to end.
+
+Every offered request — admitted, shed at intake, or timed out in
+queue — owns at least one span in the run's combined schedule, so the
+tracing stack (``repro.tracing``) can explain what happened to any
+request id: executed requests own their batch's pipeline spans, shed
+requests own one :data:`~repro.sim.schedule.STAGE_SHED` span and timed
+out requests one :data:`~repro.sim.schedule.STAGE_CANCEL` span on the
+``host_cpu`` lane (the admission bookkeeping is real host work).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+#: Request lifecycle states.  ``queued`` is the only transient state;
+#: a finished run contains none of them.
+STATUS_QUEUED = "queued"
+STATUS_COMPLETED = "completed"
+STATUS_SHED = "shed"
+STATUS_TIMED_OUT = "timed_out"
+
+#: Why admission control turned a request away at intake.
+SHED_QUEUE_FULL = "queue_full"
+SHED_RATE_LIMIT = "rate_limit"
+SHED_PREDICTED_WAIT = "predicted_wait"
+SHED_REASONS = (SHED_QUEUE_FULL, SHED_RATE_LIMIT, SHED_PREDICTED_WAIT)
+
+#: Annotations ``explain_query`` attaches to overload-response spans.
+SHED_ANNOTATION = (
+    "request shed at intake: admission control rejected it before queuing"
+)
+TIMEOUT_ANNOTATION = (
+    "request timed out in queue: its deadline expired before execution"
+)
+
+
+@dataclass
+class Request:
+    """One query request flowing through the serving frontend."""
+
+    trace_id: str
+    tenant: str
+    #: The query vector, shape ``(dim,)`` float32.
+    query: np.ndarray
+    #: Arrival on the simulated clock (open-loop: independent of service).
+    arrival_s: float
+    #: Absolute completion deadline; ``inf`` means no SLO.
+    deadline_s: float = math.inf
+    status: str = STATUS_QUEUED
+    #: Set when ``status == STATUS_SHED``.
+    shed_reason: str | None = None
+    #: Time the request was admitted to its tenant queue (== arrival).
+    admitted_s: float | None = None
+    #: Stream batch index the request executed in (or carried its
+    #: shed/cancel span in), once known.
+    batch: int | None = None
+    #: End-to-end modeled latency, filled from the combined stream run.
+    latency_s: float | None = None
+    #: Effective n_probe the request's batch ran with (degrade response).
+    nprobe: int | None = None
+    #: Worst per-query coverage of the request's batch (1.0 = full).
+    coverage: float = 1.0
+    _finalized: bool = field(default=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.trace_id:
+            raise ConfigError("request needs a trace id")
+        if not math.isfinite(self.arrival_s) or self.arrival_s < 0.0:
+            raise ConfigError(f"bad arrival time {self.arrival_s!r}")
+        if math.isnan(self.deadline_s) or self.deadline_s < self.arrival_s:
+            raise ConfigError(
+                f"deadline {self.deadline_s!r} precedes arrival {self.arrival_s!r}"
+            )
+
+    def finish(self, status: str, *, reason: str | None = None) -> None:
+        """Move to a terminal state exactly once."""
+        if self._finalized:
+            raise ConfigError(f"request {self.trace_id} finalized twice")
+        if status == STATUS_SHED and reason not in SHED_REASONS:
+            raise ConfigError(f"unknown shed reason {reason!r}")
+        self.status = status
+        self.shed_reason = reason
+        self._finalized = True

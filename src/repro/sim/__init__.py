@@ -26,9 +26,11 @@ from repro.sim.overlap import (
 )
 from repro.sim.schedule import (
     STAGE_AGGREGATE,
+    STAGE_CANCEL,
     STAGE_CLUSTER_FILTER,
     STAGE_RETRY,
     STAGE_SCHEDULE,
+    STAGE_SHED,
     STAGE_TRANSFER_IN,
     STAGE_TRANSFER_OUT,
     BatchSchedule,
@@ -83,9 +85,11 @@ __all__ = [
     "SIM_ENGINES",
     "SIM_ENGINE_ENV",
     "STAGE_AGGREGATE",
+    "STAGE_CANCEL",
     "STAGE_CLUSTER_FILTER",
     "STAGE_RETRY",
     "STAGE_SCHEDULE",
+    "STAGE_SHED",
     "STAGE_TRANSFER_IN",
     "STAGE_TRANSFER_OUT",
     "Span",

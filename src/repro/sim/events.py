@@ -92,6 +92,11 @@ class WorkItem:
     #: Query trace ids this item does work for (observability only —
     #: never consulted by either execution core's timing arithmetic).
     trace_ids: tuple[str, ...] = ()
+    #: Earliest simulated time the item may become ready (arrival-time
+    #: work release: a request cannot be processed before it arrives).
+    #: 0.0 — the default everywhere outside the serving frontend —
+    #: reproduces the historical behavior bit-for-bit.
+    earliest: float = 0.0
 
 
 def _item_trace(
@@ -242,7 +247,7 @@ class BatchWork:
         schedule = BatchSchedule(dpu_frequency_hz=self.dpu_frequency_hz)
         ends: dict[int, float] = {}
         for item in self.items:
-            start = 0.0
+            start = item.earliest
             for dep in item.deps:
                 if ends[dep] > start:
                     start = ends[dep]
@@ -318,7 +323,11 @@ class EventEngine:
                     )
                 remaining[item.uid] += 1
                 dependents[dep].append(item.uid)
-        ready_time: dict[int, float] = {u: 0.0 for u in by_uid}
+        # An item is ready no earlier than its release time (arrival-time
+        # work release); dependency completions only push this later.
+        ready_time: dict[int, float] = {
+            u: by_uid[u].earliest for u in by_uid
+        }
 
         lanes: dict[str, _Lane] = {}
 
@@ -371,7 +380,7 @@ class EventEngine:
         def settle(uid: int, t: float) -> None:
             """Finalize a cancelled item and queue its dependents."""
             for dep_uid in finalize(uid, t):
-                push(t, _ARRIVE, dep_uid)
+                push(ready_time[dep_uid], _ARRIVE, dep_uid)
 
         def start(uid: int, ready: float) -> None:
             item = by_uid[uid]
@@ -441,7 +450,7 @@ class EventEngine:
 
         for item in items:
             if remaining[item.uid] == 0:
-                push(0.0, _ARRIVE, item.uid)
+                push(item.earliest, _ARRIVE, item.uid)
         for resource, at_s in kills_at:
             push(at_s, _KILL, resource)
 
@@ -496,10 +505,10 @@ class EventEngine:
                 if not started_pinned and pinned and d == min(pinned) and not ln.dead:
                     # Contiguity bundle: the pinned successor preempts
                     # anything queued (retries ride with their transfer).
-                    start(d, now)
+                    start(d, ready_time[d])
                     started_pinned = True
                 else:
-                    push(now, _ARRIVE, d)
+                    push(ready_time[d], _ARRIVE, d)
             if not started_pinned and not ln.dead and ln.queue:
                 r, _s2, quid = heapq.heappop(ln.queue)
                 start(quid, r)
@@ -521,6 +530,7 @@ def execute_stream(
     kills: Mapping[str, int] | None = None,
     dpu_frequency_hz: float | None = None,
     engine: EventEngine | None = None,
+    releases: Sequence[float] | None = None,
 ) -> BatchSchedule:
     """Execute a stream of batch descriptions through one event engine.
 
@@ -540,6 +550,14 @@ def execute_stream(
     ``kills`` maps a resource (e.g. ``dpu/3``) to the batch index at
     whose first bus activity it dies — the mid-flight fault injection
     point used by :class:`repro.faults.FaultState` deaths.
+
+    ``releases`` optionally supplies one release time per batch
+    (arrival-time work release, used by the serving frontend): no item
+    of batch ``b`` may become ready before ``releases[b]``, so a batch
+    submitted at simulated time *t* starts no earlier than *t* even on
+    an idle pipeline, and queue-wait beyond that point emerges from
+    genuine lane contention.  Release times must be non-negative,
+    finite and non-decreasing (batches close in time order).
 
     Pass an ``engine`` to keep a handle on the run's
     :attr:`EventEngine.lane_stats` (queue-depth telemetry) after the
@@ -562,11 +580,30 @@ def execute_stream(
             if w.dpu_frequency_hz is not None:
                 freq = w.dpu_frequency_hz
                 break
+    if releases is not None:
+        if len(releases) != len(works):
+            raise ConfigError(
+                f"got {len(releases)} release times for {len(works)} batches"
+            )
+        prev = 0.0
+        for b, t in enumerate(releases):
+            if not math.isfinite(t) or t < 0.0:
+                raise ConfigError(
+                    f"release time for batch {b} must be finite and >= 0, "
+                    f"got {t!r}"
+                )
+            if t < prev:
+                raise ConfigError(
+                    f"release times must be non-decreasing; batch {b} "
+                    f"releases at {t} after {prev}"
+                )
+            prev = t
 
     merged: list[WorkItem] = []
     gate: tuple[int, ...] = ()
     for b, w in enumerate(works):
         offset = len(merged)
+        release = releases[b] if releases is not None else 0.0
         depended = [False] * len(w.items)
         last_bus: int | None = None
         for item in w.items:
@@ -590,6 +627,7 @@ def execute_stream(
                     resource=resource,
                     deps=deps,
                     batch=b,
+                    earliest=max(item.earliest, release),
                 )
             )
             if item.resource == PIM_BUS and item.stage in (

@@ -32,6 +32,14 @@ STAGE_AGGREGATE = "aggregate"
 #: transfer fault (``repro.faults``).  Charged on the ``pim_bus`` lane
 #: so Chrome traces and utilization reports show the recovery cost.
 STAGE_RETRY = "retry"
+#: Serving-frontend overload responses (``repro.serving``), charged on
+#: the ``host_cpu`` lane so shed/timed-out requests still own a span:
+#: ``shed`` is an intake rejection (admission control turned the request
+#: away), ``cancel`` is a queued request timed out past its deadline.
+#: Neither has a :class:`BatchTiming` field — they are request-plane
+#: cost, not batch-pipeline stages.
+STAGE_SHED = "shed"
+STAGE_CANCEL = "cancel"
 
 
 @dataclass

@@ -51,10 +51,13 @@ from repro.telemetry.report import (
 _SCHEMA_NAMES = (
     "RESULT_SCHEMA",
     "CHAOS_SCHEMA",
+    "SERVE_SCHEMA",
     "make_result_record",
     "validate_result_record",
     "make_chaos_record",
     "validate_chaos_record",
+    "make_serve_record",
+    "validate_serve_record",
 )
 
 
@@ -72,6 +75,7 @@ __all__ = [
     "MetricsRegistry",
     "RESULT_SCHEMA",
     "ResourceUtilization",
+    "SERVE_SCHEMA",
     "SNAPSHOT_SCHEMA",
     "StructuredLogger",
     "UtilizationReport",
@@ -81,6 +85,7 @@ __all__ = [
     "get_registry",
     "make_chaos_record",
     "make_result_record",
+    "make_serve_record",
     "observe_batch",
     "observe_dma",
     "observe_faults",
@@ -96,5 +101,6 @@ __all__ = [
     "validate_chaos_record",
     "validate_prometheus_text",
     "validate_result_record",
+    "validate_serve_record",
     "validate_snapshot",
 ]

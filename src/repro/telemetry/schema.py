@@ -35,6 +35,7 @@ RESULT_SCHEMA = "repro.bench.result/v1"
 PERF_SCHEMA = "repro.perf/v1"
 CHAOS_SCHEMA = "repro.chaos/v1"
 SANITIZE_SCHEMA = "repro.sanitize/v1"
+SERVE_SCHEMA = "repro.serve/v1"
 
 #: Stage keys the six-scalar :class:`~repro.sim.schedule.BatchTiming`
 #: decomposes a batch into (the record may carry extra engine-specific
@@ -446,6 +447,173 @@ def validate_chaos_record(record: Any) -> list[str]:
     return errors
 
 
+#: Count fields whose conservation a serve record must satisfy exactly:
+#: every offered request ends in exactly one of the three terminal
+#: buckets (``admitted`` means *executed*).
+SERVE_LEDGER_FIELDS = ("offered", "admitted", "shed", "timed_out")
+#: Latency-summary fields carried by totals and every tenant row.
+SERVE_SUMMARY_FIELDS = ("goodput_qps", "p50_ms", "p95_ms", "p99_ms")
+#: Required fields of one goodput-vs-offered-load curve point.
+SERVE_CURVE_FIELDS = SERVE_LEDGER_FIELDS + (
+    "offered_load",
+    "offered_qps",
+    "goodput_qps",
+    "p99_ms",
+    "coverage_floor",
+    "shedding",
+)
+
+
+def make_serve_record(
+    *,
+    name: str,
+    config: dict[str, Any],
+    totals: dict[str, Any],
+    tenants: list[dict[str, Any]],
+    curve: list[dict[str, Any]],
+) -> dict[str, Any]:
+    """Assemble and validate one serving-run record.
+
+    The record summarizes a seeded open-loop serving scenario: the
+    offered/admitted/shed/timed-out ledger (total and per tenant, with
+    per-reason shed counts), admitted-request latency percentiles and
+    goodput, and a goodput-vs-offered-load curve across the swept load
+    points (rows carry ``shedding`` so the shedding frontend and the
+    no-shedding baseline can share one record).
+    """
+    record = {
+        "schema": SERVE_SCHEMA,
+        "name": name,
+        "config": dict(config),
+        "totals": dict(totals),
+        "tenants": [dict(t) for t in tenants],
+        "curve": [dict(p) for p in curve],
+    }
+    errors = validate_serve_record(record)
+    if errors:
+        raise ConfigError(
+            "constructed an invalid serve record: " + "; ".join(errors)
+        )
+    return record
+
+
+def _validate_serve_ledger(where: str, row: Any) -> list[str]:
+    """Shared checks: count fields plus exact offered conservation."""
+    errors = []
+    for key in SERVE_LEDGER_FIELDS:
+        if not isinstance(row.get(key), int) or row.get(key, -1) < 0:
+            errors.append(f"{where}.{key} must be a non-negative integer")
+    if not errors:
+        balance = row["admitted"] + row["shed"] + row["timed_out"]
+        if row["offered"] != balance:
+            errors.append(
+                f"{where}: offered ({row['offered']}) != admitted + shed "
+                f"+ timed_out ({balance})"
+            )
+    return errors
+
+
+def _validate_serve_summary(where: str, row: Any) -> list[str]:
+    errors = []
+    for key in SERVE_SUMMARY_FIELDS:
+        if not _is_number(row.get(key)) or row.get(key, -1) < 0:
+            errors.append(f"{where}.{key} must be a non-negative number")
+    if not errors and not (
+        row["p50_ms"] <= row["p95_ms"] <= row["p99_ms"]
+    ):
+        errors.append(f"{where}: percentiles must be non-decreasing (p50<=p95<=p99)")
+    return errors
+
+
+def validate_serve_record(record: Any) -> list[str]:
+    """Structural errors in a serve record (empty list = valid)."""
+    errors: list[str] = []
+    if not isinstance(record, dict):
+        return ["record must be a JSON object"]
+    if record.get("schema") != SERVE_SCHEMA:
+        errors.append(
+            f"schema must be {SERVE_SCHEMA!r}, got {record.get('schema')!r}"
+        )
+    if not isinstance(record.get("name"), str) or not record.get("name"):
+        errors.append("missing non-empty string 'name'")
+    config = record.get("config")
+    if not isinstance(config, dict) or not all(isinstance(k, str) for k in config):
+        errors.append("'config' must be an object with string keys")
+    totals = record.get("totals")
+    if not isinstance(totals, dict):
+        errors.append("'totals' must be an object")
+        totals = {}
+    else:
+        errors += _validate_serve_ledger("totals", totals)
+        errors += _validate_serve_summary("totals", totals)
+        floor = totals.get("coverage_floor")
+        if not _is_number(floor) or not (0.0 <= floor <= 1.0):
+            errors.append("totals.coverage_floor must be within [0, 1]")
+        if not isinstance(totals.get("batches"), int) or totals.get("batches", -1) < 0:
+            errors.append("totals.batches must be a non-negative integer")
+    tenants = record.get("tenants")
+    if not isinstance(tenants, list) or not tenants:
+        errors.append("'tenants' must be a non-empty list")
+        tenants = []
+    sums = dict.fromkeys(SERVE_LEDGER_FIELDS, 0)
+    rows_ok = True
+    for i, row in enumerate(tenants):
+        where = f"tenants[{i}]"
+        if not isinstance(row, dict):
+            errors.append(f"{where}: not an object")
+            rows_ok = False
+            continue
+        if not isinstance(row.get("tenant"), str) or not row.get("tenant"):
+            errors.append(f"{where}: missing non-empty string 'tenant'")
+        row_errors = _validate_serve_ledger(where, row)
+        row_errors += _validate_serve_summary(where, row)
+        errors += row_errors
+        if row_errors:
+            rows_ok = False
+            continue
+        for key in SERVE_LEDGER_FIELDS:
+            sums[key] += row[key]
+        reasons = row.get("shed_by_reason")
+        if not isinstance(reasons, dict) or not all(
+            isinstance(k, str) and isinstance(v, int) and v >= 0
+            for k, v in reasons.items()
+        ):
+            errors.append(
+                f"{where}.shed_by_reason must map reason -> non-negative count"
+            )
+        elif sum(reasons.values()) != row["shed"]:
+            errors.append(
+                f"{where}: shed_by_reason sums to {sum(reasons.values())} "
+                f"but shed is {row['shed']}"
+            )
+    if rows_ok and isinstance(totals, dict) and not errors:
+        for key in SERVE_LEDGER_FIELDS:
+            if sums[key] != totals.get(key):
+                errors.append(
+                    f"tenant {key} counts sum to {sums[key]} but "
+                    f"totals.{key} is {totals.get(key)!r}"
+                )
+    curve = record.get("curve")
+    if not isinstance(curve, list):
+        errors.append("'curve' must be a list")
+        curve = []
+    for i, point in enumerate(curve):
+        where = f"curve[{i}]"
+        if not isinstance(point, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        errors += _validate_serve_ledger(where, point)
+        for key in ("offered_load", "offered_qps", "goodput_qps", "p99_ms"):
+            if not _is_number(point.get(key)) or point.get(key, -1) < 0:
+                errors.append(f"{where}.{key} must be a non-negative number")
+        floor = point.get("coverage_floor")
+        if not _is_number(floor) or not (0.0 <= floor <= 1.0):
+            errors.append(f"{where}.coverage_floor must be within [0, 1]")
+        if not isinstance(point.get("shedding"), bool):
+            errors.append(f"{where}.shedding must be a boolean")
+    return errors
+
+
 #: Required keys of one finding row in a sanitize record.
 SANITIZE_FINDING_FIELDS = ("code", "location", "message")
 
@@ -545,6 +713,8 @@ def main(argv: list[str] | None = None) -> int:
                     and record.get("schema") == SANITIZE_SCHEMA
                 ):
                     kind, errors = "sanitize", validate_sanitize_record(record)
+                elif isinstance(record, dict) and record.get("schema") == SERVE_SCHEMA:
+                    kind, errors = "serve", validate_serve_record(record)
                 elif (
                     isinstance(record, dict)
                     and isinstance(record.get("schema"), str)

@@ -23,14 +23,16 @@ from typing import Any
 from repro.errors import ConfigError
 from repro.faults import KILL_ANNOTATION, RETRY_ANNOTATION
 from repro.sim.schedule import (
+    STAGE_CANCEL,
     STAGE_RETRY,
+    STAGE_SHED,
     STAGE_TRANSFER_IN,
     STAGE_TRANSFER_OUT,
 )
 from repro.tracing.record import query_spans
 
 #: Contribution kinds, in render order.
-KINDS = ("wait", "compute", "transfer", "retry")
+KINDS = ("wait", "compute", "transfer", "retry", "cancel")
 
 _EPS = 1e-12
 
@@ -38,6 +40,8 @@ _EPS = 1e-12
 def _kind(stage: str) -> str:
     if stage == STAGE_RETRY:
         return "retry"
+    if stage in (STAGE_SHED, STAGE_CANCEL):
+        return "cancel"
     if stage in (STAGE_TRANSFER_IN, STAGE_TRANSFER_OUT):
         return "transfer"
     return "compute"
@@ -90,6 +94,10 @@ def explain_query(record: dict[str, Any], trace_id: str) -> QueryExplanation:
     }
     mine = query_spans(record, trace_id)
     terminal = max(mine, key=lambda r: (r["t0"] + r["duration_s"], r["span"]))
+    # Lazy: the serving package sits above core.service in the import
+    # DAG; pulling it at module scope would close a cycle through
+    # tracing's package __init__.
+    from repro.serving.request import SHED_ANNOTATION, TIMEOUT_ANNOTATION
 
     t0, t1 = float(q["t0"]), float(q["t1"])
     latency = float(q["latency_s"])
@@ -133,6 +141,10 @@ def explain_query(record: dict[str, Any], trace_id: str) -> QueryExplanation:
         notes = []
         if row["stage"] == STAGE_RETRY:
             notes.append(RETRY_ANNOTATION)
+        if row["stage"] == STAGE_SHED:
+            notes.append(SHED_ANNOTATION)
+        if row["stage"] == STAGE_CANCEL:
+            notes.append(TIMEOUT_ANNOTATION)
         if row.get("killed"):
             notes.append(KILL_ANNOTATION)
         note = "; ".join(notes)

@@ -42,6 +42,9 @@ class BatchGenerator:
     rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(7))
     _popularity: np.ndarray = field(init=False)
     _emitted: int = 0
+    #: Queries drawn through :meth:`next_queries` (request granularity);
+    #: drift fires every ``batch_size`` of these, mirroring the batch path.
+    _emitted_queries: int = 0
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
@@ -87,3 +90,33 @@ class BatchGenerator:
         """Yield ``n`` successive batches."""
         for _ in range(n):
             yield self.next_batch()
+
+    def next_queries(self, n: int) -> np.ndarray:
+        """Draw ``n`` queries at request granularity (``(n, dim)``).
+
+        The serving frontend consumes queries one request at a time
+        rather than in fixed batches; drift keeps the batch cadence —
+        it is applied once per ``batch_size`` queries emitted, so a
+        frontend drawing single queries sees the same popularity
+        evolution as a caller consuming :meth:`next_batch`.
+        """
+        if n < 1:
+            raise ConfigError("next_queries needs n >= 1")
+        chunks = []
+        remaining = n
+        while remaining > 0:
+            consumed = self._emitted_queries % self.batch_size
+            if self._emitted_queries > 0 and consumed == 0:
+                self._apply_drift()
+            take = min(remaining, self.batch_size - consumed)
+            chunks.append(
+                make_queries(
+                    self.dataset,
+                    take,
+                    popularity=self._popularity,
+                    rng=self.rng,
+                )
+            )
+            self._emitted_queries += take
+            remaining -= take
+        return np.concatenate(chunks, axis=0) if len(chunks) > 1 else chunks[0]

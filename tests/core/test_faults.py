@@ -95,6 +95,54 @@ class TestFaultPlan:
         assert not FaultPlan(transfer_hazard=0.5).is_empty()
 
 
+class TestConstructionValidation:
+    """Every fault/retry knob fails fast, at construction, typed."""
+
+    @pytest.mark.parametrize(
+        "hazard", [float("nan"), float("inf"), -0.1, 1.0]
+    )
+    def test_bad_hazard_rejected(self, hazard):
+        with pytest.raises(ConfigError, match="transfer_hazard"):
+            FaultPlan(transfer_hazard=hazard)
+
+    @pytest.mark.parametrize("cap", [0.0, -1.0, float("nan")])
+    def test_bad_backoff_cap_rejected(self, cap):
+        with pytest.raises(ConfigError):
+            FaultPlan(backoff_cap_s=cap)
+
+    def test_negative_backoff_base_rejected(self):
+        with pytest.raises(ConfigError, match="backoff_base_s"):
+            FaultPlan(backoff_base_s=-1e-6)
+
+    def test_nan_backoff_base_rejected(self):
+        # NaN fails every comparison, so a plain range check would let
+        # it through into every retry computation.
+        with pytest.raises(ConfigError, match="backoff_base_s"):
+            FaultPlan(backoff_base_s=float("nan"))
+
+    @pytest.mark.parametrize("retries", [0, -1])
+    def test_bad_max_retries_rejected(self, retries):
+        with pytest.raises(ConfigError, match="max_retries"):
+            FaultPlan(max_retries=retries)
+
+    @pytest.mark.parametrize("seed", [-1, True, 1.5])
+    def test_bad_seed_rejected(self, seed):
+        with pytest.raises(ConfigError, match="seed"):
+            FaultPlan(seed=seed)
+
+    @pytest.mark.parametrize("target", [True, 2.5])
+    def test_non_integer_event_fields_rejected(self, target):
+        with pytest.raises(ConfigError, match="integer"):
+            FaultEvent(kind="dpu", target=target, batch=0)
+        with pytest.raises(ConfigError, match="integer"):
+            FaultEvent(kind="dpu", target=0, batch=target)
+
+    def test_errors_are_value_errors(self):
+        # argparse / callers catching ValueError keep working.
+        with pytest.raises(ValueError):
+            FaultPlan(transfer_hazard=-0.5)
+
+
 class TestRetryBackoff:
     def test_exponential_then_capped(self):
         assert retry_backoff_s(1, base_s=1e-4, cap_s=1.0) == 1e-4
@@ -127,9 +175,10 @@ class TestFaultState:
         assert state.begin_batch().newly_dead == (4, 5, 6, 7)
 
     def test_out_of_range_target_rejected(self):
-        state = FaultPlan.from_specs(["dpu:9@0"]).state(n_units=4)
+        # Validated eagerly at state construction, not at the batch the
+        # event would fire on — a plan that can never fire is a config bug.
         with pytest.raises(ConfigError):
-            state.begin_batch()
+            FaultPlan.from_specs(["dpu:9@0"]).state(n_units=4)
 
     def test_transfer_event_counts_one_retry(self):
         state = FaultPlan.from_specs(["transfer:1@0"]).state(n_units=4)

@@ -17,6 +17,7 @@ from repro.sanitize import (
     sanitize_golden_timings,
     sanitize_payload,
     sanitize_result_record,
+    sanitize_serve_record,
     with_source,
 )
 from repro.telemetry.schema import SANITIZE_SCHEMA, validate_sanitize_record
@@ -241,3 +242,58 @@ class TestTraceRecordConservation:
         record = self.record()
         record["queries"][0]["n_spans"] += 1
         assert sanitize_trace_record(record)
+
+
+class TestServeConservation:
+    def make_record(self) -> dict:
+        row = {
+            "offered": 10,
+            "admitted": 7,
+            "shed": 2,
+            "timed_out": 1,
+        }
+        return {
+            "schema": "repro.serve/v1",
+            "totals": dict(row),
+            "tenants": [
+                dict(row, tenant="a", shed_by_reason={"queue_full": 2})
+            ],
+            "curve": [dict(row, offered_load=1.0, shedding=True)],
+        }
+
+    def test_consistent_record_is_clean(self):
+        assert sanitize_serve_record(self.make_record()) == []
+
+    def test_detect_kind(self):
+        assert detect_kind(self.make_record()) == "serve"
+
+    def test_totals_leak_is_flagged(self):
+        record = self.make_record()
+        record["totals"]["admitted"] = 8
+        findings = sanitize_serve_record(record)
+        assert any(
+            f.code == SAN_LEDGER and f.location == "totals" for f in findings
+        )
+        assert any("leaked or double-counted" in f.message for f in findings)
+
+    def test_tenant_leak_is_flagged(self):
+        record = self.make_record()
+        record["tenants"][0]["shed"] = 3
+        findings = sanitize_serve_record(record)
+        # Both the tenant's own ledger and its reason split break, and
+        # the tenant sums no longer match the totals.
+        assert any("tenants['a']" == f.location for f in findings)
+        assert any("shed_by_reason" in f.location for f in findings)
+        assert any(f.location == "totals.shed" for f in findings)
+
+    def test_curve_point_leak_is_flagged(self):
+        record = self.make_record()
+        record["curve"][0]["timed_out"] = 2
+        findings = sanitize_serve_record(record)
+        assert [f.location for f in findings] == ["curve[0]"]
+
+    def test_dispatches_through_sanitize_payload(self):
+        record = self.make_record()
+        record["totals"]["offered"] = 11
+        findings = sanitize_payload(record)
+        assert findings and all(f.code == SAN_LEDGER for f in findings)

@@ -1,0 +1,181 @@
+"""Admission control units: token bucket, gate order, degrade."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serving import (
+    SHED_PREDICTED_WAIT,
+    SHED_QUEUE_FULL,
+    SHED_RATE_LIMIT,
+    AdmissionPolicy,
+    TokenBucket,
+)
+from repro.serving.admission import ADMIT
+
+
+class TestTokenBucket:
+    def test_burst_then_deny_then_refill(self):
+        bucket = TokenBucket(rate_qps=10.0, burst=2.0)
+        assert bucket.try_take(0.0)
+        assert bucket.try_take(0.0)
+        assert not bucket.try_take(0.0)  # burst exhausted
+        assert not bucket.try_take(0.05)  # half a token refilled
+        assert bucket.try_take(0.1)  # a whole one now
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate_qps=100.0, burst=2.0)
+        assert bucket.try_take(0.0)
+        # A long idle period refills to burst, not beyond.
+        assert bucket.try_take(100.0)
+        assert bucket.try_take(100.0)
+        assert not bucket.try_take(100.0)
+
+    def test_time_backwards_rejected(self):
+        bucket = TokenBucket(rate_qps=10.0, burst=2.0)
+        bucket.try_take(1.0)
+        with pytest.raises(ConfigError, match="backwards"):
+            bucket.try_take(0.5)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"rate_qps": 0.0, "burst": 2.0},
+            {"rate_qps": float("inf"), "burst": 2.0},
+            {"rate_qps": 10.0, "burst": 0.5},
+            {"rate_qps": 10.0, "burst": float("nan")},
+        ],
+    )
+    def test_bad_config_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            TokenBucket(**kwargs)
+
+
+class TestAdmissionPolicy:
+    def decide(self, policy, **overrides):
+        kwargs = dict(
+            now_s=0.0,
+            queue_depth=0,
+            deadline_s=math.inf,
+            predicted_done_s=None,
+            bucket=None,
+        )
+        kwargs.update(overrides)
+        return policy.decide(**kwargs)
+
+    def test_shedding_off_admits_everything(self):
+        policy = AdmissionPolicy(shedding=False, max_queue_depth=1)
+        assert self.decide(policy, queue_depth=10_000) == ADMIT
+        assert policy.bucket_for() is None
+
+    def test_queue_full_gate(self):
+        policy = AdmissionPolicy(max_queue_depth=4)
+        assert self.decide(policy, queue_depth=3) == ADMIT
+        assert self.decide(policy, queue_depth=4) == SHED_QUEUE_FULL
+
+    def test_rate_limit_gate(self):
+        policy = AdmissionPolicy(rate_limit_qps=10.0, rate_limit_burst=1.0)
+        bucket = policy.bucket_for()
+        assert bucket is not None
+        assert self.decide(policy, bucket=bucket) == ADMIT
+        assert self.decide(policy, bucket=bucket) == SHED_RATE_LIMIT
+
+    def test_predicted_wait_gate_needs_a_warm_predictor(self):
+        policy = AdmissionPolicy()
+        # Cold predictor (None): never sheds on prediction alone.
+        assert self.decide(policy, deadline_s=0.001) == ADMIT
+        # Warm predictor, miss predicted: shed.
+        assert (
+            self.decide(
+                policy, deadline_s=0.001, predicted_done_s=0.002
+            )
+            == SHED_PREDICTED_WAIT
+        )
+        # No deadline: nothing to miss.
+        assert self.decide(policy, predicted_done_s=1e9) == ADMIT
+
+    def test_gate_order_queue_before_rate_before_wait(self):
+        policy = AdmissionPolicy(
+            max_queue_depth=1, rate_limit_qps=10.0, rate_limit_burst=1.0
+        )
+        bucket = policy.bucket_for()
+        verdict = self.decide(
+            policy,
+            queue_depth=1,
+            bucket=bucket,
+            deadline_s=0.001,
+            predicted_done_s=1.0,
+        )
+        assert verdict == SHED_QUEUE_FULL
+        # The queue-full shed did not consume a token.
+        assert self.decide(policy, bucket=bucket) == ADMIT
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_queue_depth": 0},
+            {"max_queue_depth": True},
+            {"rate_limit_qps": -1.0},
+            {"rate_limit_burst": 0.0},
+            {"predicted_wait_slack": 0.0},
+            {"degrade_wait_frac": 1.5},
+            {"min_coverage": 0.0},
+        ],
+    )
+    def test_bad_config_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            AdmissionPolicy(**kwargs)
+
+
+class TestDegrade:
+    def test_within_budget_keeps_configured(self):
+        policy = AdmissionPolicy(degrade_wait_frac=0.5)
+        assert (
+            policy.degraded_nprobe(
+                8, predicted_wait_s=0.004, tightest_budget_s=0.010
+            )
+            == 8
+        )
+
+    def test_over_budget_halves_down_to_the_floor(self):
+        policy = AdmissionPolicy(degrade_wait_frac=0.5, min_coverage=0.5)
+        assert (
+            policy.degraded_nprobe(
+                8, predicted_wait_s=0.009, tightest_budget_s=0.010
+            )
+            == 4
+        )
+        # The floor wins when half would cross it.
+        strict = AdmissionPolicy(degrade_wait_frac=0.5, min_coverage=0.9)
+        assert (
+            strict.degraded_nprobe(
+                8, predicted_wait_s=0.009, tightest_budget_s=0.010
+            )
+            == 8  # ceil(0.9 * 8) = 8
+        )
+
+    def test_never_below_one(self):
+        policy = AdmissionPolicy(min_coverage=0.01)
+        assert (
+            policy.degraded_nprobe(
+                1, predicted_wait_s=1.0, tightest_budget_s=0.001
+            )
+            >= 1
+        )
+
+    def test_no_deadline_or_no_shedding_means_no_degrade(self):
+        assert (
+            AdmissionPolicy().degraded_nprobe(
+                8, predicted_wait_s=1.0, tightest_budget_s=math.inf
+            )
+            == 8
+        )
+        assert (
+            AdmissionPolicy(shedding=False).degraded_nprobe(
+                8, predicted_wait_s=1.0, tightest_budget_s=0.001
+            )
+            == 8
+        )

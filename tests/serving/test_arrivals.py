@@ -1,0 +1,202 @@
+"""Arrival generation: determinism, burst shape, tenant independence."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.serving import ArrivalGenerator, TenantConfig
+from repro.workload.batch import BatchGenerator
+
+
+def make_gens(small_dataset, tenants, *, seed=3):
+    return {
+        t.name: BatchGenerator(
+            dataset=small_dataset,
+            batch_size=30,
+            zipf_alpha=t.zipf_alpha,
+            rng=np.random.default_rng([seed, i]),
+        )
+        for i, t in enumerate(tenants)
+    }
+
+
+class TestTenantConfig:
+    def test_plain_poisson_rate_is_flat(self):
+        t = TenantConfig(name="a", rate_qps=100.0)
+        assert t.rate_at(0.0) == t.rate_at(0.123) == 100.0
+
+    def test_burst_mean_rate_is_preserved(self):
+        """The square wave's period mean equals rate_qps exactly."""
+        t = TenantConfig(
+            name="a",
+            rate_qps=100.0,
+            burst_factor=4.0,
+            burst_period_s=0.1,
+            burst_duty=0.2,
+        )
+        times = np.linspace(0.0, 0.1, 100_000, endpoint=False)
+        mean = float(np.mean([t.rate_at(x) for x in times]))
+        assert mean == pytest.approx(100.0, rel=1e-3)
+        assert t.rate_at(0.0) == 400.0  # in the burst window
+        assert t.rate_at(0.05) == pytest.approx(25.0)  # trough
+
+    def test_trough_clamps_at_zero(self):
+        """duty * factor > 1 would need a negative trough; clamp it."""
+        t = TenantConfig(
+            name="a", rate_qps=100.0, burst_factor=3.0, burst_duty=0.5
+        )
+        assert t.rate_at(0.75) == 0.0
+
+    def test_scaled_multiplies_rate_only(self):
+        t = TenantConfig(name="a", rate_qps=100.0, slo_ms=10.0)
+        s = t.scaled(2.5)
+        assert s.rate_qps == 250.0
+        assert s.slo_ms == 10.0 and s.name == "a"
+        with pytest.raises(ConfigError):
+            t.scaled(0.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"name": ""},
+            {"rate_qps": 0.0},
+            {"rate_qps": float("nan")},
+            {"slo_ms": -1.0},
+            {"burst_factor": 0.5},
+            {"burst_period_s": 0.0},
+            {"burst_duty": 1.0},
+        ],
+    )
+    def test_bad_config_rejected(self, kwargs):
+        base = {"name": "a", "rate_qps": 100.0}
+        base.update(kwargs)
+        with pytest.raises(ConfigError):
+            TenantConfig(**base)
+
+
+class TestArrivalGenerator:
+    def test_validation(self):
+        t = TenantConfig(name="a", rate_qps=10.0)
+        with pytest.raises(ConfigError, match="at least one"):
+            ArrivalGenerator(tenants=())
+        with pytest.raises(ConfigError, match="duplicate"):
+            ArrivalGenerator(tenants=(t, t))
+        with pytest.raises(ConfigError, match="seed"):
+            ArrivalGenerator(tenants=(t,), seed=True)
+        with pytest.raises(ConfigError, match="horizon"):
+            ArrivalGenerator(tenants=(t,), horizon_s=0.0)
+
+    def test_deterministic_under_seed(self, small_dataset):
+        tenants = (
+            TenantConfig(name="a", rate_qps=2000.0, slo_ms=5.0),
+            TenantConfig(name="b", rate_qps=1000.0, burst_factor=3.0),
+        )
+        runs = []
+        for _ in range(2):
+            gen = ArrivalGenerator(tenants=tenants, seed=7, horizon_s=0.05)
+            runs.append(gen.generate(make_gens(small_dataset, tenants)))
+        a, b = runs
+        assert len(a) == len(b) > 0
+        for x, y in zip(a, b):
+            assert x.trace_id == y.trace_id
+            assert x.arrival_s == y.arrival_s
+            assert x.tenant == y.tenant
+            assert np.array_equal(x.query, y.query)
+
+    def test_adding_a_tenant_never_perturbs_another(self, small_dataset):
+        """Tenant i draws from rng([seed, i]): streams are independent."""
+        a = TenantConfig(name="a", rate_qps=2000.0)
+        b = TenantConfig(name="b", rate_qps=500.0)
+        solo = ArrivalGenerator(tenants=(a,), seed=7, horizon_s=0.05)
+        both = ArrivalGenerator(tenants=(a, b), seed=7, horizon_s=0.05)
+        solo_times = [
+            r.arrival_s
+            for r in solo.generate(make_gens(small_dataset, (a,)))
+        ]
+        both_times = [
+            r.arrival_s
+            for r in both.generate(make_gens(small_dataset, (a, b)))
+            if r.tenant == "a"
+        ]
+        assert solo_times == both_times
+
+    def test_requests_sorted_with_ids_in_arrival_order(self, small_dataset):
+        tenants = (
+            TenantConfig(name="a", rate_qps=2000.0),
+            TenantConfig(name="b", rate_qps=2000.0),
+        )
+        gen = ArrivalGenerator(tenants=tenants, seed=1, horizon_s=0.05)
+        requests = gen.generate(make_gens(small_dataset, tenants))
+        assert len(requests) > 10
+        for i, (x, y) in enumerate(zip(requests, requests[1:])):
+            assert x.arrival_s <= y.arrival_s
+            assert x.trace_id < y.trace_id, i  # q%06d sorts numerically
+
+    def test_deadline_follows_slo(self, small_dataset):
+        tenants = (
+            TenantConfig(name="a", rate_qps=2000.0, slo_ms=5.0),
+            TenantConfig(name="b", rate_qps=2000.0),
+        )
+        gen = ArrivalGenerator(tenants=tenants, seed=1, horizon_s=0.02)
+        for req in gen.generate(make_gens(small_dataset, tenants)):
+            if req.tenant == "a":
+                assert req.deadline_s == pytest.approx(req.arrival_s + 0.005)
+            else:
+                assert math.isinf(req.deadline_s)
+
+    def test_missing_generator_rejected(self, small_dataset):
+        tenants = (TenantConfig(name="a", rate_qps=10.0),)
+        gen = ArrivalGenerator(tenants=tenants, seed=1)
+        with pytest.raises(ConfigError, match="no query generator"):
+            gen.generate({})
+
+    def test_mean_offered_rate_tracks_config(self, small_dataset):
+        """Over a long horizon the Poisson stream hits its mean rate."""
+        tenants = (TenantConfig(name="a", rate_qps=5000.0),)
+        gen = ArrivalGenerator(tenants=tenants, seed=2, horizon_s=1.0)
+        requests = gen.generate(make_gens(small_dataset, tenants))
+        assert len(requests) == pytest.approx(5000, rel=0.1)
+
+
+class TestNextQueries:
+    def test_batch_aligned_draws_match_next_batch_bitwise(self, small_dataset):
+        """Draws aligned to batch_size consume the rng identically to
+        next_batch, so the queries are the same bits."""
+        kw = dict(
+            dataset=small_dataset,
+            batch_size=30,
+            zipf_alpha=1.0,
+            drift_per_batch=0.3,
+        )
+        by_batch = BatchGenerator(rng=np.random.default_rng(5), **kw)
+        by_request = BatchGenerator(rng=np.random.default_rng(5), **kw)
+        for _ in range(3):
+            assert np.array_equal(
+                by_request.next_queries(30), by_batch.next_batch().queries
+            )
+
+    def test_drift_fires_every_batch_size_queries(self, small_dataset):
+        """Request-granularity draws keep the batch drift cadence: the
+        popularity profile holds for batch_size queries, then rotates."""
+        gen = BatchGenerator(
+            dataset=small_dataset,
+            batch_size=30,
+            zipf_alpha=1.0,
+            drift_per_batch=0.3,
+            rng=np.random.default_rng(5),
+        )
+        before = gen.popularity
+        gen.next_queries(7)
+        gen.next_queries(23)  # completes the first 30-query "batch"
+        assert np.array_equal(gen.popularity, before)
+        gen.next_queries(1)  # the 31st query crosses the boundary
+        assert not np.array_equal(gen.popularity, before)
+
+    def test_rejects_nonpositive(self, small_dataset):
+        gen = BatchGenerator(dataset=small_dataset, batch_size=30)
+        with pytest.raises(ConfigError):
+            gen.next_queries(0)

@@ -1,0 +1,127 @@
+"""Batch coalescing: close triggers, tenant fairness, expiry."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.serving import BatchCoalescer, Request
+from repro.tracing.context import format_trace_id
+
+_QUERY = np.zeros(4, dtype=np.float32)
+
+
+def req(n, *, tenant="a", arrival=0.0, deadline=math.inf):
+    return Request(
+        trace_id=format_trace_id(n),
+        tenant=tenant,
+        query=_QUERY,
+        arrival_s=arrival,
+        deadline_s=deadline,
+    )
+
+
+class TestTriggers:
+    def test_size_ready_at_max_batch(self):
+        c = BatchCoalescer(tenant_names=("a",), max_batch=3)
+        for n in range(2):
+            c.enqueue(req(n))
+        assert not c.size_ready
+        c.enqueue(req(2))
+        assert c.size_ready
+
+    def test_earliest_due_follows_oldest_head(self):
+        c = BatchCoalescer(tenant_names=("a", "b"), max_delay_s=0.002)
+        assert math.isinf(c.earliest_due_s())
+        c.enqueue(req(0, tenant="b", arrival=0.005))
+        c.enqueue(req(1, tenant="a", arrival=0.001))
+        assert c.earliest_due_s() == pytest.approx(0.003)
+
+    def test_depth_accounting(self):
+        c = BatchCoalescer(tenant_names=("a", "b"))
+        c.enqueue(req(0, tenant="a"))
+        c.enqueue(req(1, tenant="b"))
+        c.enqueue(req(2, tenant="b"))
+        assert c.depth("a") == 1 and c.depth("b") == 2
+        assert c.total_depth == 3
+        with pytest.raises(ConfigError, match="unknown tenant"):
+            c.depth("nobody")
+        with pytest.raises(ConfigError, match="unknown tenant"):
+            c.enqueue(req(3, tenant="nobody"))
+
+
+class TestFairness:
+    def test_heavy_tenant_cannot_starve_a_light_one(self):
+        c = BatchCoalescer(tenant_names=("heavy", "light"), max_batch=4)
+        for n in range(10):
+            c.enqueue(req(n, tenant="heavy"))
+        c.enqueue(req(100, tenant="light", arrival=0.001))
+        c.enqueue(req(101, tenant="light", arrival=0.001))
+        batch = c.drain()
+        assert len(batch) == 4
+        # Round-robin: the light tenant holds its fair share of slots.
+        assert sum(1 for r in batch if r.tenant == "light") == 2
+
+    def test_unused_slots_go_to_whoever_has_work(self):
+        c = BatchCoalescer(tenant_names=("a", "b"), max_batch=4)
+        for n in range(6):
+            c.enqueue(req(n, tenant="a"))
+        assert len(c.drain()) == 4
+        assert c.total_depth == 2
+
+    def test_offset_rotates_between_closes(self):
+        """The same tenant does not get the first slot of every batch."""
+        c = BatchCoalescer(tenant_names=("a", "b"), max_batch=2)
+        firsts = []
+        for round_ in range(2):
+            c.enqueue(req(2 * round_, tenant="a"))
+            c.enqueue(req(2 * round_ + 1, tenant="b"))
+            firsts.append(c.drain()[0].tenant)
+        assert set(firsts) == {"a", "b"}
+
+    def test_fifo_within_a_tenant(self):
+        c = BatchCoalescer(tenant_names=("a",), max_batch=3)
+        for n in range(3):
+            c.enqueue(req(n, arrival=n * 1e-3))
+        assert [r.trace_id for r in c.drain()] == [
+            format_trace_id(n) for n in range(3)
+        ]
+
+
+class TestExpiry:
+    def test_expire_pops_past_deadline_only(self):
+        c = BatchCoalescer(tenant_names=("a", "b"))
+        c.enqueue(req(0, tenant="a", arrival=0.0, deadline=0.004))
+        c.enqueue(req(1, tenant="a", arrival=0.001, deadline=0.010))
+        c.enqueue(req(2, tenant="b", arrival=0.002, deadline=0.003))
+        expired = c.expire(0.005)
+        assert [r.trace_id for r in expired] == ["q000000", "q000002"]
+        assert c.total_depth == 1
+        assert c.drain()[0].trace_id == "q000001"
+
+    def test_expire_keeps_queue_order(self):
+        c = BatchCoalescer(tenant_names=("a",))
+        c.enqueue(req(0, arrival=0.0, deadline=0.001))
+        c.enqueue(req(1, arrival=0.002))
+        c.enqueue(req(2, arrival=0.003))
+        c.expire(0.002)
+        assert [r.trace_id for r in c.drain()] == ["q000001", "q000002"]
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"tenant_names": ()},
+            {"tenant_names": ("a",), "max_batch": 0},
+            {"tenant_names": ("a",), "max_batch": True},
+            {"tenant_names": ("a",), "max_delay_s": -1.0},
+            {"tenant_names": ("a",), "max_delay_s": float("nan")},
+        ],
+    )
+    def test_bad_config_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            BatchCoalescer(**kwargs)

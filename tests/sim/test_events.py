@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import pytest
 
+from dataclasses import replace
+
 from repro.errors import ConfigError
 from repro.hardware.counters import StageCycles
 from repro.sanitize import sanitize_schedule
@@ -301,3 +303,78 @@ class TestExecuteStream:
         stream = execute_stream([w0, w1], overlap="sequential")
         spans = stream.timeline(PIM_BUS).spans
         assert [s.t0 for s in spans] == [0.0, 1.0]
+
+
+class TestArrivalRelease:
+    """Arrival-time work release: WorkItem.earliest + stream releases."""
+
+    def test_item_earliest_honored_by_both_cores(self):
+        work = make_batch_work()
+        work.items[0] = replace(work.items[0], earliest=5.0)
+        for mode in ("analytic", "event"):
+            schedule = work.execute(mode)
+            head = schedule.timeline(HOST_CPU).spans[0]
+            assert head.t0 == pytest.approx(5.0), mode
+            assert sanitize_schedule(schedule) == []
+
+    def test_default_earliest_is_bit_compatible(self):
+        plain = make_batch_work().execute("event")
+        explicit = make_batch_work()
+        explicit.items = [replace(i, earliest=0.0) for i in explicit.items]
+        assert explicit.execute("event").makespan == plain.makespan
+
+    def test_release_delays_batch_start(self):
+        """A batch submitted at time t starts no earlier than t, even
+        on an idle pipeline — the gap is real queue time."""
+        works = [make_batch_work(), make_batch_work()]
+        base = execute_stream(
+            [make_batch_work(), make_batch_work()], overlap="sequential"
+        )
+        gap = base.makespan + 3.0
+        stream = execute_stream(
+            works, overlap="sequential", releases=[0.0, gap]
+        )
+        batch1 = [
+            s
+            for tl in stream.timelines.values()
+            for s in tl.spans
+            if s.trace is not None and s.trace.batch == 1
+        ]
+        assert min(s.t0 for s in batch1) >= gap
+        assert stream.makespan == pytest.approx(
+            base.makespan / 2 + gap, rel=1e-12
+        )
+        assert sanitize_schedule(stream) == []
+
+    def test_zero_releases_match_no_releases_bitwise(self):
+        no_releases = execute_stream(
+            [make_batch_work(), make_batch_work()], overlap="double_buffer"
+        )
+        zeros = execute_stream(
+            [make_batch_work(), make_batch_work()],
+            overlap="double_buffer",
+            releases=[0.0, 0.0],
+        )
+        assert zeros.makespan == no_releases.makespan
+        for name, tl in no_releases.timelines.items():
+            other = zeros.timeline(name).spans
+            assert [(s.t0, s.t1, s.stage) for s in tl.spans] == [
+                (s.t0, s.t1, s.stage) for s in other
+            ]
+
+    def test_release_count_must_match_batches(self):
+        with pytest.raises(ConfigError, match="release times"):
+            execute_stream([make_batch_work()], releases=[0.0, 1.0])
+
+    @pytest.mark.parametrize("bad", [-1.0, float("nan"), float("inf")])
+    def test_bad_release_values_rejected(self, bad):
+        with pytest.raises(ConfigError, match="finite"):
+            execute_stream(
+                [make_batch_work(), make_batch_work()], releases=[0.0, bad]
+            )
+
+    def test_decreasing_releases_rejected(self):
+        with pytest.raises(ConfigError, match="non-decreasing"):
+            execute_stream(
+                [make_batch_work(), make_batch_work()], releases=[2.0, 1.0]
+            )

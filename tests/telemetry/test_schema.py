@@ -10,11 +10,14 @@ from repro.telemetry.exposition import snapshot
 from repro.telemetry.schema import (
     CHAOS_SCHEMA,
     RESULT_SCHEMA,
+    SERVE_SCHEMA,
     main,
     make_chaos_record,
     make_result_record,
+    make_serve_record,
     validate_chaos_record,
     validate_result_record,
+    validate_serve_record,
 )
 
 
@@ -211,3 +214,116 @@ class TestCliEntryPoint:
         bad = tmp_path / "bad.prom"
         bad.write_text("repro_undeclared 1\n")
         assert main(["--prom", str(bad)]) == 1
+
+
+def valid_serve_record() -> dict:
+    tenant = {
+        "tenant": "interactive",
+        "offered": 100,
+        "admitted": 80,
+        "shed": 15,
+        "timed_out": 5,
+        "shed_by_reason": {"queue_full": 10, "predicted_wait": 5},
+        "goodput_qps": 4000.0,
+        "p50_ms": 1.0,
+        "p95_ms": 2.0,
+        "p99_ms": 3.0,
+    }
+    totals = {
+        "offered": 100,
+        "admitted": 80,
+        "shed": 15,
+        "timed_out": 5,
+        "goodput_qps": 4000.0,
+        "p50_ms": 1.0,
+        "p95_ms": 2.0,
+        "p99_ms": 3.0,
+        "coverage_floor": 0.5,
+        "batches": 7,
+    }
+    point = {
+        "offered": 100,
+        "admitted": 80,
+        "shed": 15,
+        "timed_out": 5,
+        "offered_load": 2.0,
+        "offered_qps": 5000.0,
+        "goodput_qps": 4000.0,
+        "p99_ms": 3.0,
+        "coverage_floor": 0.5,
+        "shedding": True,
+    }
+    return make_serve_record(
+        name="serve_test",
+        config={"seed": 0, "horizon_s": 0.2},
+        totals=totals,
+        tenants=[tenant],
+        curve=[point],
+    )
+
+
+class TestServeRecord:
+    def test_valid_record_passes(self):
+        record = valid_serve_record()
+        assert record["schema"] == SERVE_SCHEMA
+        assert validate_serve_record(record) == []
+
+    def test_maker_rejects_broken_conservation(self):
+        record = valid_serve_record()
+        totals = dict(record["totals"], admitted=81)
+        with pytest.raises(ConfigError, match="offered"):
+            make_serve_record(
+                name="serve_test",
+                config={},
+                totals=totals,
+                tenants=record["tenants"],
+                curve=record["curve"],
+            )
+
+    def test_tenant_sums_must_match_totals(self):
+        record = valid_serve_record()
+        record["tenants"][0]["offered"] = 99
+        record["tenants"][0]["admitted"] = 79
+        errors = validate_serve_record(record)
+        assert any("sum to" in e for e in errors)
+
+    def test_shed_by_reason_must_sum_to_shed(self):
+        record = valid_serve_record()
+        record["tenants"][0]["shed_by_reason"]["queue_full"] = 11
+        errors = validate_serve_record(record)
+        assert any("shed_by_reason" in e for e in errors)
+
+    def test_percentile_ordering_enforced(self):
+        record = valid_serve_record()
+        record["totals"]["p95_ms"] = 10.0
+        errors = validate_serve_record(record)
+        assert any("non-decreasing" in e for e in errors)
+
+    def test_curve_point_checked(self):
+        record = valid_serve_record()
+        record["curve"][0]["shedding"] = "yes"
+        record["curve"][0]["admitted"] = 81
+        errors = validate_serve_record(record)
+        assert any("shedding" in e for e in errors)
+        assert any("curve[0]" in e and "offered" in e for e in errors)
+
+    def test_coverage_floor_bounds(self):
+        record = valid_serve_record()
+        record["totals"]["coverage_floor"] = 1.5
+        errors = validate_serve_record(record)
+        assert any("coverage_floor" in e for e in errors)
+
+    def test_tenants_required(self):
+        record = valid_serve_record()
+        record["tenants"] = []
+        errors = validate_serve_record(record)
+        assert any("tenants" in e for e in errors)
+
+    def test_cli_entry_point_dispatches_serve(self, tmp_path):
+        path = tmp_path / "serve.json"
+        path.write_text(json.dumps(valid_serve_record()))
+        assert main([str(path)]) == 0
+        path.write_text(
+            json.dumps(dict(valid_serve_record(), totals={"offered": 1}))
+        )
+        assert main([str(path)]) == 1
